@@ -1,0 +1,212 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per table/figure, each
+   measuring the per-operation cost that the corresponding experiment's
+   behaviour hinges on (fenced vs fence-free take, steal paths, the litmus
+   program, the capacity microbenchmark, simulator step throughput, and the
+   native deque ops).
+
+   Part 2 — the full figure/table regeneration (the same harness the
+   [wsrepro all] CLI exposes): Table 1, Fig. 1, Fig. 7, Fig. 8, Fig. 10 on
+   both machines, Fig. 11. This is the output recorded in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+
+(* --- micro-benchmark helpers ---------------------------------------- *)
+
+(* A single-worker machine that repeatedly takes from a preloaded queue;
+   returns a thunk performing [puts+takes] of one batch. Building the
+   machine is part of the thunk (continuations are single-shot), so these
+   numbers compare variants rather than measure bare op latency. *)
+let sim_batch ~queue ~worker_fence ~delta () =
+  let m = Tso.Machine.create (Tso.Machine.abstract_config ~sb_capacity:8) in
+  let params =
+    { Ws_core.Queue_intf.capacity = 128; delta; worker_fence; tag = "q" }
+  in
+  let q = Ws_core.Registry.create (Ws_core.Registry.find queue) m params in
+  let scratch =
+    Tso.Memory.alloc (Tso.Machine.memory m) ~name:"scratch" ~init:0
+  in
+  let _ =
+    Tso.Machine.spawn m ~name:"w" (fun () ->
+        for i = 1 to 64 do
+          Ws_core.Queue_intf.put q i
+        done;
+        let rec drain () =
+          match Ws_core.Queue_intf.take q with
+          | `Task t ->
+              Tso.Program.store scratch t;
+              drain ()
+          | `Empty -> ()
+        in
+        drain ())
+  in
+  match Tso.Sched.run m (Tso.Sched.round_robin ()) with
+  | Tso.Sched.Quiescent -> ()
+  | _ -> failwith "bench batch did not quiesce"
+
+let litmus_batch () =
+  ignore
+    (Ws_litmus.Litmus_program.run ~tasks:64 ~sb_capacity:8 ~coalesce:true ~l:1
+       ~delta:5 ~drain_weight:0.05 ~seed:7 ())
+
+let capacity_batch () =
+  ignore
+    (Ws_litmus.Capacity.cycles_per_iteration Ws_litmus.Capacity.westmere_model
+       ~stores:36 ~iterations:100)
+
+let fig10_batch () =
+  let dag =
+    Ws_runtime.Dag.of_comp (Ws_workloads.Cilk_suite.fib ~spawn:5 ~join:5 ~leaf:10 8)
+  in
+  let cfg =
+    {
+      Ws_runtime.Engine.default_config with
+      workers = 2;
+      queue = Ws_core.Registry.find "thep";
+      delta = 4;
+      sb_capacity = 8;
+    }
+  in
+  let wl = Ws_runtime.Dag.instantiate dag ~name:"fib8" in
+  ignore (Ws_runtime.Engine.run_timed cfg wl)
+
+let fig11_graph =
+  lazy (Ws_workloads.Graph.random_graph ~nodes:400 ~edges:1200 ~seed:3)
+
+let fig11_batch () =
+  let checked =
+    Ws_workloads.Graph_workloads.transitive_closure (Lazy.force fig11_graph)
+      ~src:0 ()
+  in
+  let cfg =
+    {
+      Ws_runtime.Engine.default_config with
+      workers = 2;
+      queue = Ws_core.Registry.find "ff-cl";
+      delta = 4;
+      sb_capacity = 8;
+    }
+  in
+  ignore
+    (Ws_runtime.Engine.run_timed cfg checked.Ws_workloads.Graph_workloads.workload)
+
+let ablation_batch () =
+  ignore
+    (Ws_harness.Exp_ablation.fence_sweep ~bench:"Integrate" ~costs:[ 20 ] ())
+
+let native_cl_batch () =
+  let q = Ws_native.Chase_lev.create ~capacity:128 () in
+  for i = 1 to 64 do
+    Ws_native.Chase_lev.push q i
+  done;
+  for _ = 1 to 32 do
+    ignore (Ws_native.Chase_lev.pop q)
+  done;
+  for _ = 1 to 32 do
+    ignore (Ws_native.Chase_lev.steal q)
+  done
+
+let native_the_batch () =
+  let q = Ws_native.The_queue.create ~capacity:128 () in
+  for i = 1 to 64 do
+    Ws_native.The_queue.push q i
+  done;
+  for _ = 1 to 32 do
+    ignore (Ws_native.The_queue.pop q)
+  done;
+  for _ = 1 to 32 do
+    ignore (Ws_native.The_queue.steal q)
+  done
+
+let tests =
+  [
+    (* Fig. 1: the fence is the whole story of the worker's take path *)
+    Test.make ~name:"fig1/the-take-fenced(64ops)"
+      (Staged.stage (sim_batch ~queue:"the" ~worker_fence:true ~delta:1));
+    Test.make ~name:"fig1/the-take-fence-free(64ops)"
+      (Staged.stage (sim_batch ~queue:"the" ~worker_fence:false ~delta:1));
+    (* Fig. 10 algorithms on the simulated machine *)
+    Test.make ~name:"fig10/ff-the(64ops)"
+      (Staged.stage (sim_batch ~queue:"ff-the" ~worker_fence:false ~delta:4));
+    Test.make ~name:"fig10/thep(64ops)"
+      (Staged.stage (sim_batch ~queue:"thep" ~worker_fence:false ~delta:4));
+    Test.make ~name:"fig10/fib8-2workers-thep" (Staged.stage fig10_batch);
+    (* Fig. 11 *)
+    Test.make ~name:"fig11/ff-cl(64ops)"
+      (Staged.stage (sim_batch ~queue:"ff-cl" ~worker_fence:false ~delta:4));
+    Test.make ~name:"fig11/idempotent-lifo(64ops)"
+      (Staged.stage (sim_batch ~queue:"idempotent-lifo" ~worker_fence:false ~delta:1));
+    Test.make ~name:"fig11/tc-400nodes-ff-cl" (Staged.stage fig11_batch);
+    (* Fig. 8 / Fig. 9: one litmus run *)
+    Test.make ~name:"fig8/litmus-run(64tasks)" (Staged.stage litmus_batch);
+    (* Fig. 6 / Fig. 7: the capacity microbenchmark *)
+    Test.make ~name:"fig7/capacity-point(100iters)" (Staged.stage capacity_batch);
+    (* native artifact *)
+    Test.make ~name:"native/chase-lev(64push+pop+steal)"
+      (Staged.stage native_cl_batch);
+    Test.make ~name:"native/the-queue(64push+pop+steal)"
+      (Staged.stage native_the_batch);
+    (* ablation: one fence-sweep point *)
+    Test.make ~name:"ablation/fence-sweep-point" (Staged.stage ablation_batch);
+  ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    List.map (fun test -> Benchmark.all cfg instances test) tests
+  in
+  Printf.printf "== Bechamel micro-benchmarks (ns per batch, OLS on run) ==\n";
+  List.iter2
+    (fun test tbl ->
+      let results = Analyze.all ols Instance.monotonic_clock tbl in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Printf.sprintf "%12.1f ns" e
+            | _ -> "        n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "r²=%.3f" r
+            | None -> ""
+          in
+          Printf.printf "%-40s %s  %s\n%!" name est r2)
+        results;
+      ignore test)
+    tests raw
+
+(* --- full figure regeneration ---------------------------------------- *)
+
+let run_figures () =
+  print_newline ();
+  Ws_harness.Exp_table1.run ();
+  print_newline ();
+  Ws_harness.Exp_fig1.run ();
+  print_newline ();
+  Ws_harness.Exp_fig7.run ();
+  print_newline ();
+  Ws_harness.Exp_fig8.run ();
+  print_newline ();
+  List.iter
+    (fun m ->
+      Ws_harness.Exp_fig10.run m ~repeats:3 ();
+      print_newline ())
+    Ws_harness.Machine_config.primary;
+  Ws_harness.Exp_fig11.run ~repeats:3 ();
+  print_newline ();
+  Ws_harness.Exp_ablation.run ()
+
+let () =
+  let micro_only = Array.mem "--micro" Sys.argv in
+  let figures_only = Array.mem "--figures" Sys.argv in
+  if not figures_only then run_micro ();
+  if not micro_only then run_figures ()

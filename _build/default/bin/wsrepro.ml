@@ -1,0 +1,396 @@
+(* wsrepro — CLI for the fence-free work stealing reproduction.
+
+   One subcommand per experiment (fig1, fig7, fig8, fig10, fig11, table1,
+   all), plus exploratory tools: [litmus] for a single Fig. 9 cell, [check]
+   for randomized safety testing of any queue, and [explore] for bounded
+   exhaustive model checking. *)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Ws_harness.Machine_config.find s with
+    | m -> Ok m
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (expected %s)" s
+               (String.concat " | "
+                  (List.map
+                     (fun (m : Ws_harness.Machine_config.t) -> m.name)
+                     Ws_harness.Machine_config.all))))
+  in
+  let print ppf (m : Ws_harness.Machine_config.t) =
+    Format.pp_print_string ppf m.name
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Ws_harness.Machine_config.haswell
+    & info [ "machine"; "m" ] ~docv:"MACHINE"
+        ~doc:"Simulated machine: westmere-ex or haswell.")
+
+let repeats_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "repeats"; "r" ] ~docv:"N" ~doc:"Runs per data point (median).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+
+let queue_arg =
+  let doc =
+    Printf.sprintf "Queue algorithm: %s."
+      (String.concat ", " Ws_core.Registry.names)
+  in
+  Arg.(value & opt string "ff-the" & info [ "queue"; "q" ] ~docv:"QUEUE" ~doc)
+
+(* fig1 *)
+let fig1_cmd =
+  let run machine seed =
+    print_endline
+      "== Figure 1: single-threaded time without the take() fence ==";
+    print_string (Ws_harness.Exp_fig1.render (Ws_harness.Exp_fig1.compute ~machine ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Single-threaded fence-removal speedup (Figure 1)")
+    Term.(const run $ machine_arg $ seed_arg)
+
+(* fig7 *)
+let fig7_cmd =
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:"Store-buffer capacity measurement (Figures 6 and 7)")
+    Term.(const Ws_harness.Exp_fig7.run $ const ())
+
+(* fig8 *)
+let fig8_cmd =
+  let run runs tasks =
+    Ws_harness.Exp_fig8.run ~runs_per_l:runs ~tasks ()
+  in
+  let runs =
+    Arg.(
+      value & opt int 40
+      & info [ "runs" ] ~docv:"N" ~doc:"Runs per (L, delta) pair.")
+  in
+  let tasks =
+    Arg.(
+      value & opt int 192
+      & info [ "tasks" ] ~docv:"N" ~doc:"Queue size of the litmus program.")
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"TSO[S] litmus campaign (Figures 8 and 9)")
+    Term.(const run $ runs $ tasks)
+
+(* fig10 *)
+let fig10_cmd =
+  let run machine repeats benches =
+    let benches = match benches with [] -> None | l -> Some l in
+    Ws_harness.Exp_fig10.run machine ~repeats ?benches ()
+  in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH" ~doc:"Subset of benchmarks (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"CilkPlus suite vs fence-free variants (Figure 10)")
+    Term.(const run $ machine_arg $ repeats_arg $ benches)
+
+(* fig11 *)
+let fig11_cmd =
+  let run machine repeats spanning =
+    if spanning then begin
+      (* the paper reports spanning-tree results "are similar"; verify that *)
+      print_endline "== Figure 11 workload: spanning tree ==";
+      print_string
+        (Ws_harness.Exp_fig11.render
+           (Ws_harness.Exp_fig11.compute ~machine ~repeats
+              ~workload:`Spanning_tree ()))
+    end
+    else Ws_harness.Exp_fig11.run ~machine ~repeats ()
+  in
+  let spanning =
+    Arg.(
+      value & flag
+      & info [ "spanning-tree" ]
+          ~doc:"Run the spanning-tree workload instead of transitive closure.")
+  in
+  Cmd.v
+    (Cmd.info "fig11"
+       ~doc:"Graph benchmarks vs idempotent work stealing (Figure 11)")
+    Term.(const run $ machine_arg $ repeats_arg $ spanning)
+
+(* table1 *)
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Benchmark inventory and DAG statistics (Table 1)")
+    Term.(const Ws_harness.Exp_table1.run $ const ())
+
+(* all *)
+let all_cmd =
+  let run repeats =
+    Ws_harness.Exp_table1.run ();
+    print_newline ();
+    Ws_harness.Exp_fig1.run ();
+    print_newline ();
+    Ws_harness.Exp_fig7.run ();
+    print_newline ();
+    Ws_harness.Exp_fig8.run ();
+    print_newline ();
+    List.iter
+      (fun m ->
+        Ws_harness.Exp_fig10.run m ~repeats ();
+        print_newline ())
+      Ws_harness.Machine_config.primary;
+    Ws_harness.Exp_fig11.run ~repeats ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Every table and figure, in paper order")
+    Term.(const run $ repeats_arg)
+
+(* scaling *)
+let scaling_cmd =
+  let run machine bench = Ws_harness.Exp_scaling.run ~machine ~bench () in
+  let bench =
+    Arg.(value & opt string "Fib" & info [ "bench"; "b" ] ~docv:"BENCH" ~doc:"Benchmark.")
+  in
+  Cmd.v
+    (Cmd.info "scaling" ~doc:"Worker-count speedup curves (THE vs THEP)")
+    Term.(const run $ machine_arg $ bench)
+
+(* classic x86-TSO litmus suite *)
+let tso_litmus_cmd =
+  let run () =
+    print_endline
+      "== Classic x86-TSO litmus tests against the abstract machine ==";
+    let results = Ws_litmus.Classic.run_all () in
+    List.iter (fun r -> Format.printf "%a@." Ws_litmus.Classic.pp_result r) results;
+    if List.exists (fun r -> not r.Ws_litmus.Classic.ok) results then exit 1
+  in
+  Cmd.v
+    (Cmd.info "tso-litmus"
+       ~doc:"Validate the machine against the classic x86-TSO litmus tests")
+    Term.(const run $ const ())
+
+(* ablation *)
+let ablation_cmd =
+  let run machine = Ws_harness.Exp_ablation.run ~machine () in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Design-choice ablations: delta sweep, fence-cost sweep, THEP heartbeat placement")
+    Term.(const run $ machine_arg)
+
+(* litmus: one cell of Fig. 8 *)
+let litmus_cmd =
+  let run l delta sb coalesce runs tasks seed =
+    let bad = ref 0 in
+    for r = 1 to runs do
+      let o =
+        Ws_litmus.Litmus_program.run ~tasks ~sb_capacity:sb ~coalesce ~l ~delta
+          ~drain_weight:0.02 ~seed:(seed + r) ()
+      in
+      if not (Ws_litmus.Litmus_program.correct o) then incr bad
+    done;
+    Printf.printf
+      "L=%d delta=%d sb=%d(+B) coalesce=%b: %d incorrect out of %d runs\n" l
+      delta sb coalesce !bad runs;
+    if !bad > 0 then exit 1
+  in
+  let l = Arg.(value & opt int 1 & info [ "l" ] ~docv:"L" ~doc:"Client stores between takes.") in
+  let delta = Arg.(value & opt int 4 & info [ "delta"; "d" ] ~docv:"D" ~doc:"Thief's delta.") in
+  let sb = Arg.(value & opt int 32 & info [ "sb" ] ~docv:"S" ~doc:"Store buffer entries.") in
+  let coalesce = Arg.(value & flag & info [ "coalesce" ] ~doc:"Enable same-address coalescing in B.") in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Number of runs.") in
+  let tasks = Arg.(value & opt int 256 & info [ "tasks" ] ~docv:"N" ~doc:"Initial queue size.") in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run one (L, delta) cell of the Fig. 9 litmus test")
+    Term.(const run $ l $ delta $ sb $ coalesce $ runs $ tasks $ seed_arg)
+
+(* check: randomized safety testing through the runtime *)
+let check_cmd =
+  let run qname workers seeds sb delta =
+    let cfg =
+      {
+        Ws_runtime.Engine.default_config with
+        workers;
+        queue = Ws_core.Registry.find qname;
+        sb_capacity = sb;
+        delta;
+      }
+    in
+    let failures = ref 0 in
+    for seed = 1 to seeds do
+      let wl =
+        Ws_runtime.Workload.uniform ~name:"check" ~tasks:64 ~work:10 ()
+      in
+      let r = Ws_runtime.Engine.run_random { cfg with seed } wl in
+      let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find qname in
+      let bad =
+        r.Ws_runtime.Engine.outcome <> Tso.Sched.Quiescent
+        || r.lost > 0
+        || (r.duplicates > 0 && not Q.may_duplicate)
+      in
+      if bad then begin
+        incr failures;
+        Printf.printf "seed %d: outcome=%s lost=%d duplicates=%d\n" seed
+          (match r.outcome with
+          | Tso.Sched.Quiescent -> "quiescent"
+          | Tso.Sched.Max_steps -> "max-steps"
+          | Tso.Sched.Deadlock -> "deadlock")
+          r.lost r.duplicates
+      end
+    done;
+    Printf.printf "%s: %d failures in %d adversarial random runs\n" qname
+      !failures seeds;
+    if !failures > 0 then exit 1
+  in
+  let workers = Arg.(value & opt int 3 & info [ "workers"; "w" ] ~docv:"N" ~doc:"Workers.") in
+  let seeds = Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Random schedules to try.") in
+  let sb = Arg.(value & opt int 4 & info [ "sb" ] ~docv:"S" ~doc:"Store buffer entries.") in
+  let delta = Arg.(value & opt int 3 & info [ "delta"; "d" ] ~docv:"D" ~doc:"Delta for fence-free queues.") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Randomized safety check of a queue under the runtime")
+    Term.(const run $ queue_arg $ workers $ seeds $ sb $ delta)
+
+(* delta: the §4 static analysis on the runtime's worker loop *)
+let delta_cmd =
+  let run machine client_stores =
+    let g = Ws_core.Delta_analysis.worker_loop_cfg ~client_stores in
+    let bound = machine.Ws_harness.Machine_config.reorder_bound in
+    let x =
+      Option.value ~default:0 (Ws_core.Delta_analysis.min_stores_between_takes g)
+    in
+    Printf.printf
+      "machine %s: reorder bound S = %d\n\
+       worker-loop CFG: min stores between takes x = %d\n\
+       sound delta = ceil(S/(x+1)) = %d\n"
+      machine.Ws_harness.Machine_config.name bound x
+      (Ws_core.Delta_analysis.delta g ~bound)
+  in
+  let client_stores =
+    Arg.(
+      value & opt int 1
+      & info [ "client-stores"; "x" ] ~docv:"N"
+          ~doc:"Stores the client performs after each take.")
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:"Derive a sound delta from the worker loop's CFG (the §4 analysis)")
+    Term.(const run $ machine_arg $ client_stores)
+
+(* trace: watch one random schedule of a queue scenario *)
+let trace_cmd =
+  let run qname sb delta preloaded steals seed last =
+    let spec =
+      {
+        Ws_harness.Scenarios.default_spec with
+        queue = qname;
+        sb_capacity = sb;
+        delta;
+        preloaded;
+        steal_attempts = steals;
+      }
+    in
+    let inst = Ws_harness.Scenarios.instance spec () in
+    let trace = Tso.Trace.attach inst.Tso.Explore.machine in
+    let rng = Random.State.make [| seed |] in
+    (match
+       Tso.Sched.run ~max_steps:100_000 inst.Tso.Explore.machine
+         (Tso.Sched.weighted rng ~drain_weight:0.15)
+     with
+    | Tso.Sched.Quiescent -> ()
+    | Tso.Sched.Max_steps -> print_endline "(truncated at 100k steps)"
+    | Tso.Sched.Deadlock -> print_endline "DEADLOCK");
+    print_string (Tso.Trace.render ?last trace);
+    match inst.Tso.Explore.check () with
+    | Ok () -> print_endline "run satisfied the safety check"
+    | Error e ->
+        Printf.printf "SAFETY VIOLATION: %s\n" e;
+        exit 1
+  in
+  let sb = Arg.(value & opt int 3 & info [ "sb" ] ~docv:"S" ~doc:"Store buffer entries.") in
+  let delta = Arg.(value & opt int 2 & info [ "delta"; "d" ] ~docv:"D" ~doc:"Delta.") in
+  let preloaded = Arg.(value & opt int 3 & info [ "tasks" ] ~docv:"N" ~doc:"Preloaded tasks.") in
+  let steals = Arg.(value & opt int 2 & info [ "steals" ] ~docv:"N" ~doc:"Thief attempts.") in
+  let last =
+    Arg.(value & opt (some int) None & info [ "last" ] ~docv:"N" ~doc:"Show only the last N events.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the interleaving of one adversarial run of a queue scenario")
+    Term.(const run $ queue_arg $ sb $ delta $ preloaded $ steals $ seed_arg $ last)
+
+(* explore: bounded exhaustive model checking *)
+let explore_cmd =
+  let run qname sb delta preloaded steals max_runs pb fence =
+    let spec =
+      {
+        Ws_harness.Scenarios.default_spec with
+        queue = qname;
+        sb_capacity = sb;
+        delta;
+        preloaded;
+        steal_attempts = steals;
+        worker_fence = fence;
+      }
+    in
+    let st =
+      Ws_harness.Scenarios.explore_check spec ~max_runs
+        ~preemption_bound:(Some pb) ()
+    in
+    Printf.printf
+      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches\n"
+      qname st.Tso.Explore.runs st.truncated st.deadlocks st.pruned;
+    match st.failures with
+    | [] -> print_endline "no safety violation found"
+    | (choices, msg) :: _ ->
+        Printf.printf "VIOLATION: %s\nreplayable choice prefix: [%s]\n\n" msg
+          (String.concat "; " (List.map string_of_int choices));
+        (* replay the schedule with a trace attached *)
+        let inst = Ws_harness.Scenarios.instance spec () in
+        let trace = Tso.Trace.attach inst.Tso.Explore.machine in
+        List.iter
+          (fun i ->
+            match Tso.Explore.next_choices inst.Tso.Explore.machine with
+            | [] -> ()
+            | ts ->
+                ignore
+                  (Tso.Machine.apply inst.Tso.Explore.machine (List.nth ts i)))
+          choices;
+        print_endline "interleaving:";
+        print_string (Tso.Trace.render trace);
+        exit 1
+  in
+  let sb = Arg.(value & opt int 1 & info [ "sb" ] ~docv:"S" ~doc:"Store buffer entries.") in
+  let delta = Arg.(value & opt int 2 & info [ "delta"; "d" ] ~docv:"D" ~doc:"Delta.") in
+  let preloaded = Arg.(value & opt int 2 & info [ "tasks" ] ~docv:"N" ~doc:"Preloaded tasks.") in
+  let steals = Arg.(value & opt int 1 & info [ "steals" ] ~docv:"N" ~doc:"Thief attempts.") in
+  let max_runs = Arg.(value & opt int 200_000 & info [ "max-runs" ] ~docv:"N" ~doc:"Run budget.") in
+  let pb = Arg.(value & opt int 3 & info [ "preemptions" ] ~docv:"N" ~doc:"CHESS preemption bound.") in
+  let fence =
+    Arg.(
+      value & opt bool true
+      & info [ "fence" ] ~docv:"BOOL"
+          ~doc:"Worker fence for the fenced baselines (set false to watch the checker catch the bug).")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Bounded exhaustive model checking of a queue")
+    Term.(const run $ queue_arg $ sb $ delta $ preloaded $ steals $ max_runs $ pb $ fence)
+
+let main =
+  Cmd.group
+    (Cmd.info "wsrepro" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of 'Fence-Free Work Stealing on Bounded TSO \
+          Processors' (ASPLOS 2014) on a simulated bounded-TSO machine")
+    [
+      fig1_cmd; fig7_cmd; fig8_cmd; fig10_cmd; fig11_cmd; table1_cmd; all_cmd;
+      ablation_cmd; scaling_cmd; litmus_cmd; tso_litmus_cmd; check_cmd;
+      explore_cmd; trace_cmd; delta_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

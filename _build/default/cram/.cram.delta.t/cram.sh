@@ -1,0 +1,2 @@
+  $ wsrepro delta -m westmere-ex
+  $ wsrepro delta -m haswell --client-stores 2

@@ -1,0 +1,1 @@
+  $ wsrepro fig7 | grep -E 'documented capacity'

@@ -1,0 +1,2 @@
+  $ wsrepro litmus -l 1 --delta 5 --sb 8 --runs 25 --tasks 96
+  $ wsrepro litmus -l 1 --delta 2 --sb 8 --runs 60 --tasks 96 --coalesce

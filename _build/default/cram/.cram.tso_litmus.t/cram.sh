@@ -1,0 +1,1 @@
+  $ wsrepro tso-litmus

@@ -1,0 +1,12 @@
+The §4 static analysis derives the paper's default deltas from the worker
+loop's CFG:
+
+  $ wsrepro delta -m westmere-ex
+  machine westmere-ex: reorder bound S = 33
+  worker-loop CFG: min stores between takes x = 1
+  sound delta = ceil(S/(x+1)) = 17
+
+  $ wsrepro delta -m haswell --client-stores 2
+  machine haswell: reorder bound S = 43
+  worker-loop CFG: min stores between takes x = 2
+  sound delta = ceil(S/(x+1)) = 15

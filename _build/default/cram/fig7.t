@@ -1,0 +1,10 @@
+The store-buffer capacity measurement puts the knee exactly at each
+machine's documented capacity:
+
+  $ wsrepro fig7 | grep -E 'documented capacity'
+  -- westmere-ex (documented capacity 32, measured 32) --
+  32        110.0        <- knee (documented capacity)
+  -- haswell (documented capacity 42, measured 42) --
+  42        140.0        <- knee (documented capacity)
+  -- sparc-t2 (documented capacity 8, measured 8) --
+  8         110.0        <- knee (documented capacity)

@@ -1,0 +1,11 @@
+A single safe cell of the Fig. 9 litmus program: delta at the true bound
+never produces an incorrect execution.
+
+  $ wsrepro litmus -l 1 --delta 5 --sb 8 --runs 25 --tasks 96
+  L=1 delta=5 sb=8(+B) coalesce=false: 0 incorrect out of 25 runs
+
+And an unsafe delta is refuted (exit code 1):
+
+  $ wsrepro litmus -l 1 --delta 2 --sb 8 --runs 60 --tasks 96 --coalesce
+  L=1 delta=2 sb=8(+B) coalesce=true: 53 incorrect out of 60 runs
+  [1]

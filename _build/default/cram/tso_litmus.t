@@ -1,0 +1,15 @@
+The abstract machine passes the classic x86-TSO litmus suite, with every
+verdict decided exhaustively:
+
+  $ wsrepro tso-litmus
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed          80 runs (exhaustive)  OK
+  SB+fences          forbidden not observed      70 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed      70 runs (exhaustive)  OK
+  MP                 forbidden not observed      30 runs (exhaustive)  OK
+  LB                 forbidden not observed      20 runs (exhaustive)  OK
+  n6                 allowed   observed         420 runs (exhaustive)  OK
+  n5                 forbidden not observed      80 runs (exhaustive)  OK
+  IRIW               forbidden not observed    2520 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       5 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       6 runs (exhaustive)  OK

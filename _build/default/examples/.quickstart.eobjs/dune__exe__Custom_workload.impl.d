@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Addr List Machine Memory Option Printf Program Tso Ws_core Ws_runtime

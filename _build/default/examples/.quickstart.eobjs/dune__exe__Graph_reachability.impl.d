@@ -1,0 +1,1 @@
+examples/graph_reachability.ml: List Printf Ws_harness Ws_runtime Ws_workloads

@@ -1,0 +1,1 @@
+examples/model_check_delta.ml: List Printf String Tso Ws_harness

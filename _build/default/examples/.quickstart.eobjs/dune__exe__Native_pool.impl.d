@@ -1,0 +1,1 @@
+examples/native_pool.ml: Array List Printf Unix Ws_native

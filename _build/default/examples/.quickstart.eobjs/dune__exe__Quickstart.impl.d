@@ -1,0 +1,1 @@
+examples/quickstart.ml: Machine Memory Printf Program Random Sched Tso Ws_core

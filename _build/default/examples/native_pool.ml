@@ -1,0 +1,29 @@
+(* The native (non-simulated) side of the library: a work-stealing pool of
+   real OCaml 5 domains built on the Atomic-based Chase-Lev deque.
+
+   Run with:  dune exec examples/native_pool.exe
+
+   (As DESIGN.md explains, OCaml atomics are always fully fenced, so this
+   pool is the *fenced* Chase-Lev baseline; the fence-free algorithms live
+   on the simulated machine where fences are controllable.) *)
+
+let () =
+  let pool = Ws_native.Pool.create ~domains:3 () in
+
+  (* parallel naive fib on real domains *)
+  let n = 30 in
+  let t0 = Unix.gettimeofday () in
+  let r = Ws_native.Pool.fib pool n in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "fib %d = %d (%.3fs on 4 workers)\n" n r dt;
+
+  (* parallel map via spawn *)
+  let inputs = Array.init 64 (fun i -> i) in
+  let outputs = Array.make 64 0 in
+  Ws_native.Pool.parallel_run pool
+    (List.init 64 (fun i () ->
+         let rec slow_square x k = if k = 0 then x * x else slow_square x (k - 1) in
+         outputs.(i) <- slow_square inputs.(i) 10_000));
+  Printf.printf "parallel map ok: outputs.(7) = %d (expect 49)\n" outputs.(7);
+
+  Ws_native.Pool.shutdown pool

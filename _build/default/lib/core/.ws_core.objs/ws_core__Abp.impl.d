@@ -1,0 +1,1 @@
+lib/core/abp.ml: Addr List Machine Memory Pack Program Queue_intf Tso

@@ -1,0 +1,1 @@
+lib/core/abp.mli: Queue_intf

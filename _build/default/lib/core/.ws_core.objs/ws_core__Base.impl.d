@@ -1,0 +1,1 @@
+lib/core/base.ml: Addr List Machine Memory Program Queue_intf Tso

@@ -1,0 +1,1 @@
+lib/core/chase_lev.ml: Base Program Queue_intf Tso

@@ -1,0 +1,1 @@
+lib/core/chase_lev.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/chase_lev_dyn.ml: Addr Array List Machine Memory Printf Program Queue_intf Tso

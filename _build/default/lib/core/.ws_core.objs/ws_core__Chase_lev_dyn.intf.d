@@ -1,0 +1,1 @@
+lib/core/chase_lev_dyn.mli: Queue_intf

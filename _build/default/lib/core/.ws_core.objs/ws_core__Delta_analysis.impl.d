@@ -1,0 +1,1 @@
+lib/core/delta_analysis.ml: Hashtbl List Option Printf Set

@@ -1,0 +1,1 @@
+lib/core/ff_cl.ml: Base Program Queue_intf Tso

@@ -1,0 +1,1 @@
+lib/core/ff_cl.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/ff_the.ml: Base Program Queue_intf Sync Tso

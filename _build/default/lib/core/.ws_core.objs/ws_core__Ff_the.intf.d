@@ -1,0 +1,1 @@
+lib/core/ff_the.mli: Queue_intf

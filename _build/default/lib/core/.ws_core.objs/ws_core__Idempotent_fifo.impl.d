@@ -1,0 +1,1 @@
+lib/core/idempotent_fifo.ml: Addr List Machine Memory Pack Program Queue_intf Tso

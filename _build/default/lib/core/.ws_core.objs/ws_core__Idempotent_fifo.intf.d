@@ -1,0 +1,1 @@
+lib/core/idempotent_fifo.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/idempotent_lifo.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/pack.ml: Printf

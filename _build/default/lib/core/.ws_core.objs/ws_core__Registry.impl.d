@@ -1,0 +1,1 @@
+lib/core/registry.ml: Abp Chase_lev Chase_lev_dyn Ff_cl Ff_the Idempotent_fifo Idempotent_lifo List Queue_intf String The_queue Thep Thep_sep

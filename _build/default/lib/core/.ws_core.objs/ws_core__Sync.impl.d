@@ -1,0 +1,1 @@
+lib/core/sync.ml: Addr Machine Memory Program Tso

@@ -1,0 +1,1 @@
+lib/core/the_queue.ml: Base Program Queue_intf Sync Tso

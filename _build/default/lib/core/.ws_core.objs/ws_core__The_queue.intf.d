@@ -1,0 +1,1 @@
+lib/core/the_queue.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/thep.ml: Addr List Machine Memory Pack Program Queue_intf Sync Tso

@@ -1,0 +1,1 @@
+lib/core/thep.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/thep_sep.ml: Addr List Machine Memory Program Queue_intf Sync Tso

@@ -1,0 +1,1 @@
+lib/core/thep_sep.mli: Queue_intf

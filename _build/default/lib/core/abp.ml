@@ -1,0 +1,102 @@
+open Tso
+
+(* top is packed <tag, t>; bot is a plain cell owned by the worker. Unlike
+   THE/Chase-Lev, indices are bounded by the array (the deque resets bot to
+   0 whenever it empties, bumping the tag to defeat ABA). *)
+let lo_bits = 24
+
+type t = {
+  mem : Memory.t;
+  top : Addr.t;  (* packed <tag, t> *)
+  bot : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+  fence : bool;
+}
+
+let name = "abp"
+let may_abort = true
+let may_duplicate = false
+let worker_fence_free = false
+
+let create m (p : Queue_intf.params) =
+  let mem = Machine.memory m in
+  {
+    mem;
+    top =
+      Memory.alloc mem ~name:(p.tag ^ ".top")
+        ~init:(Pack.pack2 ~lo_bits ~hi:0 ~lo:0);
+    bot = Memory.alloc mem ~name:(p.tag ^ ".bot") ~init:0;
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+    fence = p.worker_fence;
+  }
+
+let task_addr q i =
+  assert (i >= 0 && i < q.capacity);
+  Addr.offset q.tasks i
+
+let preload q items =
+  let tag, t = Pack.unpack2 ~lo_bits (Memory.get q.mem q.top) in
+  if tag <> 0 || t <> 0 || Memory.get q.mem q.bot <> 0 then
+    invalid_arg "preload: queue is not fresh";
+  if List.length items > q.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set q.mem (Addr.offset q.tasks i) v) items;
+  Memory.set q.mem q.bot (List.length items)
+
+let put q task =
+  let b = Program.load q.bot in
+  if b >= q.capacity then
+    failwith "abp queue overflow: tasks array is too small";
+  Program.store (task_addr q b) task;
+  Program.store q.bot (b + 1)
+
+let take q : Queue_intf.take_result =
+  let b = Program.load q.bot in
+  if b = 0 then `Empty
+  else begin
+    let b = b - 1 in
+    Program.store q.bot b;
+    if q.fence then Program.fence ();
+    let task = Program.load (task_addr q b) in
+    let tag, t = Pack.unpack2 ~lo_bits (Program.load q.top) in
+    if b > t then `Task task
+    else begin
+      (* queue looks empty or one element: reset bot and bump the tag *)
+      Program.store q.bot 0;
+      let reset = Pack.pack2 ~lo_bits ~hi:(tag + 1) ~lo:0 in
+      if b = t then begin
+        (* last element: race any thief with a CAS on top *)
+        if
+          Program.cas q.top
+            ~expect:(Pack.pack2 ~lo_bits ~hi:tag ~lo:t)
+            ~replace:reset
+        then `Task task
+        else begin
+          Program.store q.top reset;
+          `Empty
+        end
+      end
+      else begin
+        (* b < t: a thief already passed us *)
+        Program.store q.top reset;
+        `Empty
+      end
+    end
+  end
+
+let steal q : Queue_intf.steal_result =
+  let tag, t = Pack.unpack2 ~lo_bits (Program.load q.top) in
+  let b = Program.load q.bot in
+  if b <= t then `Empty
+  else begin
+    let task = Program.load (task_addr q t) in
+    if
+      Program.cas q.top
+        ~expect:(Pack.pack2 ~lo_bits ~hi:tag ~lo:t)
+        ~replace:(Pack.pack2 ~lo_bits ~hi:tag ~lo:(t + 1))
+    then `Task task
+    else (* lost a race with the worker or another thief *) `Abort
+  end

@@ -1,0 +1,10 @@
+(** The Arora–Blumofe–Plaxton non-blocking work-stealing deque (SPAA 1998)
+    — reference \[9\] of the paper and the ancestor of both THE and
+    Chase-Lev. Included as a third fenced baseline for completeness.
+
+    The top index carries an ABA tag; thieves race on it with CAS and
+    return [`Abort] when they {e lose a race} (contention abort — a
+    different phenomenon from FF-THE's uncertainty abort, but the same
+    relaxed specification). The worker's [take] issues the usual fence. *)
+
+include Queue_intf.S

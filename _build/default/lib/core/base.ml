@@ -1,0 +1,55 @@
+(** Cells and code shared by the THE / Chase-Lev family (Fig. 2a): head [H],
+    tail [T], the circular [tasks] array, and the worker's [put]. *)
+
+open Tso
+
+type cells = {
+  mem : Memory.t;
+  h : Addr.t;
+  t : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+}
+
+let alloc m (p : Queue_intf.params) =
+  let mem = Machine.memory m in
+  {
+    mem;
+    h = Memory.alloc mem ~name:(p.tag ^ ".H") ~init:0;
+    t = Memory.alloc mem ~name:(p.tag ^ ".T") ~init:0;
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+  }
+
+let task_addr c i =
+  assert (i >= 0);
+  Addr.offset c.tasks (i mod c.capacity)
+
+let read_task c i = Program.load (task_addr c i)
+
+(* Host-level overflow guard: [H] in memory can only lag the true head, so
+   [t - H_mem] over-approximates the queue length. Not part of the protocol
+   (the paper elides resizing); it turns an undersized array into a crash
+   instead of silent corruption. *)
+let check_room c t =
+  let h_mem = Memory.get c.mem c.h in
+  if t - h_mem >= c.capacity then
+    failwith "work-stealing queue overflow: tasks array is too small"
+
+(* Host-level preload of a fresh queue (test scaffolding). *)
+let preload c items =
+  if Memory.get c.mem c.t <> 0 || Memory.get c.mem c.h <> 0 then
+    invalid_arg "preload: queue is not fresh";
+  if List.length items > c.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set c.mem (Addr.offset c.tasks i) v) items;
+  Memory.set c.mem c.t (List.length items)
+
+(* Fig. 2a put(): store the task, then publish it by bumping T. TSO keeps the
+   two stores ordered. *)
+let put c task =
+  let t = Program.load c.t in
+  check_room c t;
+  Program.store (task_addr c t) task;
+  Program.store c.t (t + 1)

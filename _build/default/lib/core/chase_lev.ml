@@ -1,0 +1,56 @@
+(** The Chase-Lev nonblocking work-stealing deque (SPAA 2005), as given in
+    Fig. 2c. Thieves race with a CAS on [H]; the worker only needs the CAS
+    when removing the last task. *)
+
+open Tso
+
+type t = {
+  c : Base.cells;
+  fence : bool;
+}
+
+let name = "chase-lev"
+let may_abort = false
+let may_duplicate = false
+let worker_fence_free = false
+
+let create m (p : Queue_intf.params) = { c = Base.alloc m p; fence = p.worker_fence }
+
+let preload q items = Base.preload q.c items
+
+let put q task = Base.put q.c task
+
+let take q : Queue_intf.take_result =
+  let t = Program.load q.c.t - 1 in
+  Program.store q.c.t t;
+  if q.fence then Program.fence ();
+  let h = Program.load q.c.h in
+  if t > h then `Task (Base.read_task q.c t)
+  else if t < h then begin
+    (* Queue was empty, or a thief concurrently advanced H: fix T. *)
+    Program.store q.c.t h;
+    `Empty
+  end
+  else begin
+    (* t = h: contend for the last task with a CAS after restoring T. *)
+    Program.store q.c.t (h + 1);
+    if Program.cas q.c.h ~expect:h ~replace:(h + 1) then
+      `Task (Base.read_task q.c t)
+    else `Empty
+  end
+
+let steal q : Queue_intf.steal_result =
+  let rec loop () : Queue_intf.steal_result =
+    let h = Program.load q.c.h in
+    let t = Program.load q.c.t in
+    if h >= t then `Empty
+    else begin
+      let task = Base.read_task q.c h in
+      if Program.cas q.c.h ~expect:h ~replace:(h + 1) then `Task task
+      else begin
+        Program.spin_pause ();
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,5 @@
+(** The Chase-Lev nonblocking work-stealing deque (SPAA 2005; paper
+    Fig. 2c): the second fenced baseline. Thieves race on [H] with CAS; the
+    worker needs the CAS only for the last task. *)
+
+include Queue_intf.S

@@ -1,0 +1,133 @@
+open Tso
+
+type buffer = { base : Addr.t; size : int }
+
+type t = {
+  mem : Memory.t;
+  h : Addr.t;
+  t : Addr.t;
+  buf_id : Addr.t;  (* shared publication of the active buffer *)
+  mutable buffers : buffer array;  (* host-side id -> simulated array *)
+  mutable grown : int;
+  tag : string;
+  fence : bool;
+}
+
+let name = "chase-lev-dyn"
+let may_abort = false
+let may_duplicate = false
+let worker_fence_free = false
+
+let alloc_buffer q size =
+  let id = Array.length q.buffers in
+  let base =
+    Memory.alloc_array q.mem
+      ~name:(Printf.sprintf "%s.buf%d" q.tag id)
+      ~len:size ~init:(-1)
+  in
+  q.buffers <- Array.append q.buffers [| { base; size } |];
+  id
+
+let create m (p : Queue_intf.params) =
+  let mem = Machine.memory m in
+  let q =
+    {
+      mem;
+      h = Memory.alloc mem ~name:(p.tag ^ ".H") ~init:0;
+      t = Memory.alloc mem ~name:(p.tag ^ ".T") ~init:0;
+      buf_id = Memory.alloc mem ~name:(p.tag ^ ".buf") ~init:0;
+      buffers = [||];
+      grown = 0;
+      tag = p.tag;
+      fence = p.worker_fence;
+    }
+  in
+  (* start deliberately small so growth is exercised *)
+  let id = alloc_buffer q (max 2 (min 8 p.capacity)) in
+  assert (id = 0);
+  q
+
+let grows q = q.grown
+
+let buffer q id = q.buffers.(id)
+
+let elem_addr b i = Addr.offset b.base (((i mod b.size) + b.size) mod b.size)
+
+let read_elem q ~buf i = Program.load (elem_addr (buffer q buf) i)
+
+let preload q items =
+  if Memory.get q.mem q.t <> 0 || Memory.get q.mem q.h <> 0 then
+    invalid_arg "preload: queue is not fresh";
+  let b = buffer q 0 in
+  if List.length items > b.size then
+    (* grow host-side before anything runs *)
+    ignore (alloc_buffer q (2 * List.length items));
+  let id = Array.length q.buffers - 1 in
+  let b = buffer q id in
+  Memory.set q.mem q.buf_id id;
+  List.iteri (fun i v -> Memory.set q.mem (elem_addr b i) v) items;
+  Memory.set q.mem q.t (List.length items)
+
+(* Owner-side growth: copy the live window [h, t) into a buffer twice the
+   size, then publish it. The copy reads through the old buffer and writes
+   the new one with ordinary simulated accesses, so the machine sees every
+   memory operation a real implementation would do. *)
+let grow q ~old_id ~h ~t =
+  let old_b = buffer q old_id in
+  let new_id = alloc_buffer q (2 * old_b.size) in
+  let new_b = buffer q new_id in
+  for i = h to t - 1 do
+    Program.store (elem_addr new_b i) (Program.load (elem_addr old_b i))
+  done;
+  Program.store q.buf_id new_id;
+  q.grown <- q.grown + 1;
+  new_id
+
+let put q task =
+  let t = Program.load q.t in
+  let h = Program.load q.h in
+  let buf = Program.load q.buf_id in
+  let buf =
+    if t - h >= (buffer q buf).size - 1 then grow q ~old_id:buf ~h ~t else buf
+  in
+  Program.store (elem_addr (buffer q buf) t) task;
+  Program.store q.t (t + 1)
+
+let take q : Queue_intf.take_result =
+  let t = Program.load q.t - 1 in
+  Program.store q.t t;
+  if q.fence then Program.fence ();
+  let h = Program.load q.h in
+  if t > h then begin
+    let buf = Program.load q.buf_id in
+    `Task (read_elem q ~buf t)
+  end
+  else if t < h then begin
+    Program.store q.t h;
+    `Empty
+  end
+  else begin
+    Program.store q.t (h + 1);
+    if Program.cas q.h ~expect:h ~replace:(h + 1) then begin
+      let buf = Program.load q.buf_id in
+      `Task (read_elem q ~buf t)
+    end
+    else `Empty
+  end
+
+let steal q : Queue_intf.steal_result =
+  let rec loop () : Queue_intf.steal_result =
+    let h = Program.load q.h in
+    let t = Program.load q.t in
+    if h >= t then `Empty
+    else begin
+      let buf = Program.load q.buf_id in
+      let task = read_elem q ~buf h in
+      if Program.cas q.h ~expect:h ~replace:(h + 1) then `Task task
+      else begin
+        Program.spin_pause ();
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,14 @@
+(** Chase-Lev with the {e dynamic circular array} of the original paper —
+    the detail Fig. 2 elides ("we omit details of resizing the array").
+
+    The active buffer is published through a shared cell holding a buffer
+    id; growth allocates a double-size array, copies the live window with
+    ordinary (simulated) loads and stores, and publishes the new id with a
+    plain store — safe because only the owner writes the buffer cell and
+    TSO orders the copy's stores before the publication, exactly like
+    [put]'s task/tail pair. Thieves re-read the buffer id on every attempt. *)
+
+include Queue_intf.S
+
+val grows : t -> int
+(** How many times this queue has grown (for tests). *)

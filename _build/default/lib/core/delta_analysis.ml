@@ -1,0 +1,107 @@
+type block = {
+  id : int;
+  stores : int;
+  calls_take : bool;
+  succs : int list;
+}
+
+type cfg = { by_id : (int, block) Hashtbl.t; order : block list }
+
+let cfg blocks =
+  if blocks = [] then invalid_arg "Delta_analysis.cfg: empty";
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if b.stores < 0 then invalid_arg "Delta_analysis.cfg: negative stores";
+      if Hashtbl.mem by_id b.id then
+        invalid_arg (Printf.sprintf "Delta_analysis.cfg: duplicate block %d" b.id);
+      Hashtbl.add by_id b.id b)
+    blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem by_id s) then
+            invalid_arg
+              (Printf.sprintf "Delta_analysis.cfg: block %d has dangling successor %d"
+                 b.id s))
+        b.succs)
+    blocks;
+  { by_id; order = blocks }
+
+let blocks t = t.order
+
+(* Dijkstra from a source block's successors, edge weight = stores of the
+   block the edge leaves. Distance to a node counts the stores of every
+   block strictly between the source take and that node's entry. *)
+let shortest_to_takes t (src : block) =
+  let dist = Hashtbl.create 16 in
+  let module Pq = Set.Make (struct
+    type t = int * int (* distance, block id *)
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  let relax id d =
+    let better =
+      match Hashtbl.find_opt dist id with None -> true | Some d' -> d < d'
+    in
+    if better then begin
+      (match Hashtbl.find_opt dist id with
+      | Some d' -> pq := Pq.remove (d', id) !pq
+      | None -> ());
+      Hashtbl.replace dist id d;
+      pq := Pq.add (d, id) !pq
+    end
+  in
+  (* Leaving the source block costs the stores the source performs after its
+     take; the paper assigns the whole block's stores to its out-edges. *)
+  List.iter (fun s -> relax s src.stores) src.succs;
+  let best = ref None in
+  let note id d =
+    let b = Hashtbl.find t.by_id id in
+    if b.calls_take then
+      best := Some (match !best with None -> d | Some b' -> min b' d)
+  in
+  while not (Pq.is_empty !pq) do
+    let ((d, id) as e) = Pq.min_elt !pq in
+    pq := Pq.remove e !pq;
+    note id d;
+    let b = Hashtbl.find t.by_id id in
+    if not b.calls_take then
+      (* paths through another take() are cut: the later take restarts the
+         window, so only take-free interior paths count *)
+      List.iter (fun s -> relax s (d + b.stores)) b.succs
+  done;
+  !best
+
+let min_stores_between_takes t =
+  let takes = List.filter (fun b -> b.calls_take) t.order in
+  List.fold_left
+    (fun acc src ->
+      match shortest_to_takes t src with
+      | None -> acc
+      | Some d -> Some (match acc with None -> d | Some a -> min a d))
+    None takes
+
+let ceil_div a b = (a + b - 1) / b
+
+let delta t ~bound =
+  if bound < 1 then invalid_arg "Delta_analysis.delta: bound must be >= 1";
+  let x = Option.value ~default:0 (min_stores_between_takes t) in
+  max 1 (ceil_div bound (x + 1))
+
+let worker_loop_cfg ~client_stores =
+  (* 0: take()            (the dequeue itself; its T-store is the +1 of x+1)
+     1: client stores     (the CilkPlus field write(s) after a take)
+     2: execute leaf      (no puts)
+     3: execute + spawn   (>= 2 stores per put)
+     4: loop back edge *)
+  cfg
+    [
+      { id = 0; stores = 0; calls_take = true; succs = [ 1 ] };
+      { id = 1; stores = client_stores; calls_take = false; succs = [ 2; 3 ] };
+      { id = 2; stores = 0; calls_take = false; succs = [ 4 ] };
+      { id = 3; stores = 2; calls_take = false; succs = [ 4 ] };
+      { id = 4; stores = 0; calls_take = false; succs = [ 0 ] };
+    ]

@@ -1,0 +1,46 @@
+(** Deriving δ from client code (paper §4, "Determining δ").
+
+    δ = ⌈S/(x+1)⌉ where [x] is a lower bound on the number of stores the
+    client performs between consecutive [take()] calls. The paper obtains
+    [x] by "a static analysis on the basic block control-flow graph of the
+    program \[searching\] for a weighted shortest path from take() to
+    itself, where we assign the number of stores performed in a basic block
+    B as the weight of each edge going out of B."
+
+    This module implements exactly that analysis on an explicit CFG. The
+    runtime's worker loop is provided as a pre-built CFG ({!worker_loop_cfg})
+    whose analysis justifies the default δ = ⌈S/2⌉ of §8.1. *)
+
+type block = {
+  id : int;
+  stores : int;  (** stores performed in this basic block *)
+  calls_take : bool;  (** the block contains a [take()] call *)
+  succs : int list;  (** control-flow successors *)
+}
+
+type cfg
+
+val cfg : block list -> cfg
+(** @raise Invalid_argument on duplicate ids, dangling successors, negative
+    store counts, or an empty block list. *)
+
+val blocks : cfg -> block list
+
+val min_stores_between_takes : cfg -> int option
+(** The weight of the lightest control-flow path from one [take()] call back
+    to a [take()] call — the [x] of §4. [None] when no take block can reach
+    a take block (at most one take per execution: δ reasoning is then
+    unnecessary, any steal of a task other than the single hidden one is
+    safe only with x = 0). *)
+
+val delta : cfg -> bound:int -> int
+(** ⌈bound/(x+1)⌉ with [x = min_stores_between_takes] (0 when [None]):
+    a sound δ for FF-THE / FF-CL / THEP thieves on a TSO\[bound\] machine,
+    by the §4 argument. Always ≥ 1. *)
+
+val worker_loop_cfg : client_stores:int -> cfg
+(** The CFG of {!Ws_runtime}'s worker loop: take → client stores →
+    execute (which may put spawned tasks, adding stores) → take. Its
+    lightest cycle carries exactly [client_stores] stores (a leaf task that
+    spawns nothing), matching CilkPlus's "writes a field of the dequeued
+    task" and justifying δ = ⌈S/(client_stores+1)⌉. *)

@@ -1,0 +1,61 @@
+(** FF-CL (Fig. 4): the fence-free Chase-Lev variant.
+
+    The worker's [take] is Chase-Lev's minus the memory fence. A thief about
+    to steal task [h] must rule out that the worker's store [T := h] (its
+    last-task path) is still in the store buffer, which [t - δ > h]
+    establishes; otherwise the worker is guaranteed to synchronise through
+    the CAS on [H] (§4.1). Uncertain thieves return [`Abort]. *)
+
+open Tso
+
+type t = {
+  c : Base.cells;
+  delta : int;
+}
+
+let name = "ff-cl"
+let may_abort = true
+let may_duplicate = false
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  if p.delta < 1 then invalid_arg "ff-cl: delta must be >= 1";
+  { c = Base.alloc m p; delta = p.delta }
+
+let preload q items = Base.preload q.c items
+
+let put q task = Base.put q.c task
+
+(* Chase-Lev's take with the fence removed. *)
+let take q : Queue_intf.take_result =
+  let t = Program.load q.c.t - 1 in
+  Program.store q.c.t t;
+  let h = Program.load q.c.h in
+  if t > h then `Task (Base.read_task q.c t)
+  else if t < h then begin
+    Program.store q.c.t h;
+    `Empty
+  end
+  else begin
+    Program.store q.c.t (h + 1);
+    if Program.cas q.c.h ~expect:h ~replace:(h + 1) then
+      `Task (Base.read_task q.c t)
+    else `Empty
+  end
+
+let steal q : Queue_intf.steal_result =
+  let rec loop () : Queue_intf.steal_result =
+    let h = Program.load q.c.h in
+    let t = Program.load q.c.t in
+    if h >= t then `Empty
+    else if t - q.delta <= h then `Abort
+    else begin
+      let task = Base.read_task q.c h in
+      if Program.cas q.c.h ~expect:h ~replace:(h + 1) then `Task task
+      else begin
+        Program.spin_pause ();
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,5 @@
+(** FF-CL (paper Fig. 4): Chase-Lev with the worker's fence deleted, thief
+    guarded by the same [T - delta > h] bound (§4.1). Nonblocking, may
+    [`Abort]. *)
+
+include Queue_intf.S

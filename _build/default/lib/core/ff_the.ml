@@ -1,0 +1,77 @@
+(** FF-THE (Fig. 3): the fence-free THE variant.
+
+    The worker's [take] is THE's minus the memory fence. The thief
+    compensates by reasoning about bounded reordering: when it observes tail
+    [t], the worker's true position is at least [t - δ], where δ bounds the
+    number of take-stores hidden in the worker's store buffer (δ =
+    ⌈S/(x+1)⌉ for a client doing x stores between takes, §4). If the thief
+    cannot establish [T - δ > h] it refuses to steal and returns [`Abort] —
+    the relaxed specification of §4, which keeps safety (no duplication, no
+    loss) while violating the "laws of order" tightness assumption (§6). *)
+
+open Tso
+
+type t = {
+  c : Base.cells;
+  lock : Sync.t;
+  delta : int;
+}
+
+let name = "ff-the"
+let may_abort = true
+let may_duplicate = false
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  if p.delta < 1 then invalid_arg "ff-the: delta must be >= 1";
+  {
+    c = Base.alloc m p;
+    lock = Sync.create m ~name:(p.tag ^ ".lock");
+    delta = p.delta;
+  }
+
+let preload q items = Base.preload q.c items
+
+let put q task = Base.put q.c task
+
+(* THE's take with the fence removed; the lock-protected conflict path is
+   unchanged. *)
+let take q : Queue_intf.take_result =
+  let t = Program.load q.c.t - 1 in
+  Program.store q.c.t t;
+  let h = Program.load q.c.h in
+  if t > h then `Task (Base.read_task q.c t)
+  else if t < h then begin
+    Sync.lock q.lock;
+    let h = Program.load q.c.h in
+    if h >= t + 1 then begin
+      Program.store q.c.t (t + 1);
+      Sync.unlock q.lock;
+      `Empty
+    end
+    else begin
+      Sync.unlock q.lock;
+      `Task (Base.read_task q.c t)
+    end
+  end
+  else `Task (Base.read_task q.c t)
+
+let steal q : Queue_intf.steal_result =
+  Sync.lock q.lock;
+  let h = Program.load q.c.h in
+  Program.store q.c.h (h + 1);
+  Program.fence ();
+  let t = Program.load q.c.t in
+  let ret =
+    (* t - δ > h certifies that even the most advanced take hidden in the
+       worker's store buffer has not reached task h. Note δ >= 1 means the
+       thief can never be certain the queue is non-empty, so ABORT subsumes
+       EMPTY (§4). *)
+    if t - q.delta > h then `Task (Base.read_task q.c h)
+    else begin
+      Program.store q.c.h h;
+      `Abort
+    end
+  in
+  Sync.unlock q.lock;
+  ret

@@ -1,0 +1,6 @@
+(** FF-THE (paper Fig. 3): THE with the worker's fence deleted. Thieves
+    compensate by bounded-reordering reasoning — steal only when
+    [T - delta > h]; otherwise return [`Abort] (relaxed specification,
+    §4). *)
+
+include Queue_intf.S

@@ -1,0 +1,85 @@
+(** Michael, Vechev and Saraswat's idempotent {e double-ended} FIFO queue
+    (PPoPP 2009). The owner puts and takes at the tail; thieves steal from
+    the head; the last task can be extracted concurrently by both. The
+    packed anchor is <head, size, tag>. Owner operations are fence-free. *)
+
+open Tso
+
+let lo_bits = 20 (* head, wrapped mod capacity *)
+let mid_bits = 20 (* size *)
+
+type t = {
+  mem : Memory.t;
+  anchor : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+}
+
+let name = "idempotent-fifo"
+let may_abort = false
+let may_duplicate = true
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  if p.capacity >= 1 lsl lo_bits then
+    invalid_arg "idempotent-fifo: capacity too large for the packed anchor";
+  let mem = Machine.memory m in
+  {
+    mem;
+    anchor =
+      Memory.alloc mem ~name:(p.tag ^ ".anchor")
+        ~init:(Pack.pack3 ~lo_bits ~mid_bits ~hi:0 ~mid:0 ~lo:0);
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+  }
+
+let task_addr q i = Addr.offset q.tasks (i mod q.capacity)
+
+let preload q items =
+  let g, s, h = Pack.unpack3 ~lo_bits ~mid_bits (Memory.get q.mem q.anchor) in
+  if g <> 0 || s <> 0 || h <> 0 then invalid_arg "preload: queue is not fresh";
+  if List.length items > q.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set q.mem (Addr.offset q.tasks i) v) items;
+  Memory.set q.mem q.anchor
+    (Pack.pack3 ~lo_bits ~mid_bits ~hi:(List.length items)
+       ~mid:(List.length items) ~lo:0)
+
+let put q task =
+  let g, s, h = Pack.unpack3 ~lo_bits ~mid_bits (Program.load q.anchor) in
+  if s >= q.capacity then
+    failwith "idempotent-fifo overflow: tasks array is too small";
+  Program.store (task_addr q (h + s)) task;
+  Program.store q.anchor
+    (Pack.pack3 ~lo_bits ~mid_bits ~hi:(g + 1) ~mid:(s + 1) ~lo:h)
+
+let take q : Queue_intf.take_result =
+  let g, s, h = Pack.unpack3 ~lo_bits ~mid_bits (Program.load q.anchor) in
+  if s = 0 then `Empty
+  else begin
+    let task = Program.load (task_addr q (h + s - 1)) in
+    Program.store q.anchor
+      (Pack.pack3 ~lo_bits ~mid_bits ~hi:g ~mid:(s - 1) ~lo:h);
+    `Task task
+  end
+
+let steal q : Queue_intf.steal_result =
+  let rec loop () : Queue_intf.steal_result =
+    let g, s, h = Pack.unpack3 ~lo_bits ~mid_bits (Program.load q.anchor) in
+    if s = 0 then `Empty
+    else begin
+      let task = Program.load (task_addr q h) in
+      let expect = Pack.pack3 ~lo_bits ~mid_bits ~hi:g ~mid:s ~lo:h in
+      let replace =
+        Pack.pack3 ~lo_bits ~mid_bits ~hi:g ~mid:(s - 1)
+          ~lo:((h + 1) mod q.capacity)
+      in
+      if Program.cas q.anchor ~expect ~replace then `Task task
+      else begin
+        Program.spin_pause ();
+        loop ()
+      end
+    end
+  in
+  loop ()

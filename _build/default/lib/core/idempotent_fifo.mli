@@ -1,0 +1,6 @@
+(** Michael, Vechev & Saraswat's idempotent double-ended FIFO queue
+    (PPoPP 2009): owner puts/takes at the tail, thieves steal from the head,
+    anchor packed as <head, size, tag>. Fence-free owner; duplicates
+    possible. *)
+
+include Queue_intf.S

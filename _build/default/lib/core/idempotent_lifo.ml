@@ -1,0 +1,88 @@
+(** Michael, Vechev and Saraswat's idempotent LIFO work-stealing queue
+    (PPoPP 2009), the paper's §8.2 fence-free comparison point.
+
+    A stack: both the owner and thieves remove from the top. The owner's
+    operations are fence-free plain stores; thieves synchronise with a CAS on
+    the packed anchor <tail, tag>. The price is relaxed semantics: a task can
+    be extracted {e more than once} (never lost), so only clients that
+    tolerate re-execution may use it. *)
+
+open Tso
+
+(* tail in the low bits, ABA tag above. *)
+let lo_bits = 24
+
+type t = {
+  mem : Memory.t;
+  anchor : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+}
+
+let name = "idempotent-lifo"
+let may_abort = false
+let may_duplicate = true
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  let mem = Machine.memory m in
+  {
+    mem;
+    anchor =
+      Memory.alloc mem ~name:(p.tag ^ ".anchor")
+        ~init:(Pack.pack2 ~lo_bits ~hi:0 ~lo:0);
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+  }
+
+let task_addr q i =
+  assert (i >= 0 && i < q.capacity);
+  Addr.offset q.tasks i
+
+let preload q items =
+  let g, t = Pack.unpack2 ~lo_bits (Memory.get q.mem q.anchor) in
+  if g <> 0 || t <> 0 then invalid_arg "preload: queue is not fresh";
+  if List.length items > q.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set q.mem (Addr.offset q.tasks i) v) items;
+  Memory.set q.mem q.anchor
+    (Pack.pack2 ~lo_bits ~hi:(List.length items) ~lo:(List.length items))
+
+let put q task =
+  let g, t = Pack.unpack2 ~lo_bits (Program.load q.anchor) in
+  if t >= q.capacity then
+    failwith "idempotent-lifo overflow: tasks array is too small";
+  Program.store (task_addr q t) task;
+  (* TSO orders the element store before the anchor publication; the tag
+     bump forces conflicting thief CASes to fail (ABA). *)
+  Program.store q.anchor (Pack.pack2 ~lo_bits ~hi:(g + 1) ~lo:(t + 1))
+
+let take q : Queue_intf.take_result =
+  let g, t = Pack.unpack2 ~lo_bits (Program.load q.anchor) in
+  if t = 0 then `Empty
+  else begin
+    let task = Program.load (task_addr q (t - 1)) in
+    Program.store q.anchor (Pack.pack2 ~lo_bits ~hi:g ~lo:(t - 1));
+    `Task task
+  end
+
+let steal q : Queue_intf.steal_result =
+  let rec loop () : Queue_intf.steal_result =
+    let g, t = Pack.unpack2 ~lo_bits (Program.load q.anchor) in
+    if t = 0 then `Empty
+    else begin
+      (* Read the task before the CAS: a successful CAS on a stale anchor
+         may duplicate the owner's take, but never invents or loses a
+         task. *)
+      let task = Program.load (task_addr q (t - 1)) in
+      let expect = Pack.pack2 ~lo_bits ~hi:g ~lo:t in
+      let replace = Pack.pack2 ~lo_bits ~hi:g ~lo:(t - 1) in
+      if Program.cas q.anchor ~expect ~replace then `Task task
+      else begin
+        Program.spin_pause ();
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,6 @@
+(** Michael, Vechev & Saraswat's idempotent LIFO work-stealing queue
+    (PPoPP 2009), the paper's §8.2 comparison. Owner operations are
+    fence-free plain stores; thieves CAS the packed <tail, tag> anchor. A
+    task can be extracted more than once (never lost). *)
+
+include Queue_intf.S

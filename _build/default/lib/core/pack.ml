@@ -1,0 +1,25 @@
+let check_field ~bits name v =
+  if v < 0 then invalid_arg (Printf.sprintf "Pack: negative %s field" name);
+  if bits < 62 && v lsr bits <> 0 then
+    invalid_arg (Printf.sprintf "Pack: %s field overflows %d bits" name bits)
+
+let pack2 ~lo_bits ~hi ~lo =
+  check_field ~bits:lo_bits "lo" lo;
+  check_field ~bits:(62 - lo_bits) "hi" hi;
+  (hi lsl lo_bits) lor lo
+
+let unpack2 ~lo_bits v =
+  let mask = (1 lsl lo_bits) - 1 in
+  (v lsr lo_bits, v land mask)
+
+let pack3 ~lo_bits ~mid_bits ~hi ~mid ~lo =
+  check_field ~bits:lo_bits "lo" lo;
+  check_field ~bits:mid_bits "mid" mid;
+  check_field ~bits:(62 - lo_bits - mid_bits) "hi" hi;
+  (hi lsl (lo_bits + mid_bits)) lor (mid lsl lo_bits) lor lo
+
+let unpack3 ~lo_bits ~mid_bits v =
+  let lo = v land ((1 lsl lo_bits) - 1) in
+  let mid = (v lsr lo_bits) land ((1 lsl mid_bits) - 1) in
+  let hi = v lsr (lo_bits + mid_bits) in
+  (hi, mid, lo)

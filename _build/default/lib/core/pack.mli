@@ -1,0 +1,16 @@
+(** Bit-field packing of several non-negative fields into one memory cell.
+
+    THEP keeps the thief's heartbeat counter in the top bits of [H] (§5), and
+    the idempotent queues pack their anchor (head, size, tag). OCaml ints
+    give us 62 usable bits, mirroring the paper's 64-bit words. *)
+
+val pack2 : lo_bits:int -> hi:int -> lo:int -> int
+(** [pack2 ~lo_bits ~hi ~lo] packs [hi] above [lo_bits] bits of [lo].
+    @raise Invalid_argument if a field is negative or [lo] overflows. *)
+
+val unpack2 : lo_bits:int -> int -> int * int
+(** Inverse of {!pack2}: returns [(hi, lo)]. *)
+
+val pack3 : lo_bits:int -> mid_bits:int -> hi:int -> mid:int -> lo:int -> int
+val unpack3 : lo_bits:int -> mid_bits:int -> int -> int * int * int
+(** [(hi, mid, lo)]. *)

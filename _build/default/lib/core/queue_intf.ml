@@ -1,0 +1,66 @@
+(** Common interface of the work-stealing task queues (paper §3.1).
+
+    Tasks are non-negative integers (the runtime maps them to task records).
+    All implementations run on the bounded-TSO abstract machine: their
+    [put]/[take]/[steal] bodies must only be called from within a simulated
+    thread program, because every shared access they make is a {!Tso.Program}
+    effect. *)
+
+type take_result = [ `Task of int | `Empty ]
+
+type steal_result = [ `Task of int | `Empty | `Abort ]
+(** [`Abort] is the relaxed-specification refusal of FF-THE / FF-CL (§4): the
+    thief could not rule out a conflicting buffered [take] and backed off
+    without modifying the queue. *)
+
+type params = {
+  capacity : int;  (** W, the size of the circular tasks array *)
+  delta : int;
+      (** δ: the max number of [take]-stores that can hide in the worker's
+          store buffer (§4). [max_int] encodes δ = ∞. Ignored by the
+          fenced baselines and the idempotent queues. *)
+  worker_fence : bool;
+      (** whether the worker's [take] issues its memory fence. [true] for
+          the THE / Chase-Lev baselines; setting it [false] on those
+          reproduces the (unsafe in general, single-thread-safe) Fig. 1
+          experiment. Fence-free algorithms ignore it. *)
+  tag : string;  (** prefix for this queue's cells in memory traces *)
+}
+
+let default_params =
+  { capacity = 1024; delta = 1; worker_fence = true; tag = "q" }
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val may_abort : bool
+  (** [steal] can return [`Abort] (relaxed specification, §4). *)
+
+  val may_duplicate : bool
+  (** A task can be extracted more than once (idempotent queues only). *)
+
+  val worker_fence_free : bool
+  (** The worker's [take] path issues neither a fence nor an atomic RMW in
+      the common case (given the params it was created with). *)
+
+  val create : Tso.Machine.t -> params -> t
+
+  val preload : t -> int list -> unit
+  (** Host-level test scaffolding: populate a {e fresh} queue directly in
+      memory, before any simulated thread runs (the litmus programs of §7.3
+      start from "a queue initialized with 512 items"). Not a simulated
+      operation. *)
+
+  val put : t -> int -> unit
+  val take : t -> take_result
+  val steal : t -> steal_result
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let put (Packed ((module Q), q)) task = Q.put q task
+let take (Packed ((module Q), q)) = Q.take q
+let steal (Packed ((module Q), q)) = Q.steal q
+let name (Packed ((module Q), _)) = Q.name

@@ -1,0 +1,25 @@
+type impl = (module Queue_intf.S)
+
+let all : impl list =
+  [
+    (module The_queue);
+    (module Chase_lev);
+    (module Chase_lev_dyn);
+    (module Abp);
+    (module Ff_the);
+    (module Ff_cl);
+    (module Thep);
+    (module Thep_sep);
+    (module Idempotent_lifo);
+    (module Idempotent_fifo);
+  ]
+
+let names = List.map (fun (module Q : Queue_intf.S) -> Q.name) all
+
+let find name =
+  List.find (fun (module Q : Queue_intf.S) -> String.equal Q.name name) all
+
+let create (module Q : Queue_intf.S) m params =
+  Queue_intf.Packed ((module Q), Q.create m params)
+
+let strict (module Q : Queue_intf.S) = (not Q.may_abort) && not Q.may_duplicate

@@ -1,0 +1,14 @@
+open Tso
+
+type t = Addr.t
+
+let create m ~name = Memory.alloc (Machine.memory m) ~name ~init:0
+
+let try_lock a = Program.cas a ~expect:0 ~replace:1
+
+let lock a =
+  while not (try_lock a) do
+    Program.spin_pause ()
+  done
+
+let unlock a = Program.store a 0

@@ -1,0 +1,12 @@
+(** Spinlock in the instruction DSL, used by THE-family queues.
+
+    Acquisition is a CAS loop (each attempt drains the acquirer's store
+    buffer, as x86 locked operations do); release is a plain store, which is
+    sufficient under TSO. *)
+
+type t
+
+val create : Tso.Machine.t -> name:string -> t
+val lock : t -> unit
+val unlock : t -> unit
+val try_lock : t -> bool

@@ -1,0 +1,65 @@
+(** Cilk's THE work-stealing queue (Frigo et al. 1998), as given in Fig. 2b.
+    The fenced baseline: the worker's [take] publishes its new tail and then
+    issues a memory fence before checking for a conflicting thief; conflicts
+    are arbitrated under a per-queue lock, worker wins. *)
+
+open Tso
+
+type t = {
+  c : Base.cells;
+  lock : Sync.t;
+  fence : bool;
+}
+
+let name = "the"
+let may_abort = false
+let may_duplicate = false
+let worker_fence_free = false
+
+let create m (p : Queue_intf.params) =
+  { c = Base.alloc m p; lock = Sync.create m ~name:(p.tag ^ ".lock"); fence = p.worker_fence }
+
+let preload q items = Base.preload q.c items
+
+let put q task = Base.put q.c task
+
+let take q : Queue_intf.take_result =
+  let t = Program.load q.c.t - 1 in
+  Program.store q.c.t t;
+  if q.fence then Program.fence ();
+  let h = Program.load q.c.h in
+  if t > h then `Task (Base.read_task q.c t)
+  else if t < h then begin
+    (* Possible conflict with a thief: arbitrate under the lock. *)
+    Sync.lock q.lock;
+    let h = Program.load q.c.h in
+    if h >= t + 1 then begin
+      (* The queue was empty (or the thief won the last task): restore T. *)
+      Program.store q.c.t (t + 1);
+      Sync.unlock q.lock;
+      `Empty
+    end
+    else begin
+      Sync.unlock q.lock;
+      `Task (Base.read_task q.c t)
+    end
+  end
+  else (* t = h: the thief (if any) will abort; the worker wins. *)
+    `Task (Base.read_task q.c t)
+
+let steal q : Queue_intf.steal_result =
+  Sync.lock q.lock;
+  let h = Program.load q.c.h in
+  Program.store q.c.h (h + 1);
+  Program.fence ();
+  let t = Program.load q.c.t in
+  let ret =
+    if h + 1 <= t then `Task (Base.read_task q.c h)
+    else begin
+      (* Empty queue, or the increment crossed a worker's decrement: undo. *)
+      Program.store q.c.h h;
+      `Empty
+    end
+  in
+  Sync.unlock q.lock;
+  ret

@@ -1,0 +1,6 @@
+(** Cilk's THE work-stealing queue (Frigo et al. 1998; paper Fig. 2b): the
+    fenced baseline. Worker-side [take] publishes the new tail, fences, then
+    checks for a conflicting thief; conflicts are arbitrated under a
+    per-queue lock with the worker winning. *)
+
+include Queue_intf.S

@@ -1,0 +1,131 @@
+(** THEP (Fig. 5): fence-free work stealing meeting the {e strict}
+    specification, via worker echoes.
+
+    [H] carries the thief's heartbeat counter [s] in its top bits. A thief
+    that cannot certify [T - δ > h] publishes [s+1] (by its [H] update) and
+    spins until the worker echoes it back through [P] — at which point TSO
+    guarantees any value subsequently read from [T] was written after the
+    worker observed the thief — or until the queue looks empty ([h+1 > T]),
+    in which case the worker may be blocked on the lock and the thief must
+    give way (§5). The worker's common path pays one extra plain store
+    ([P := s]) instead of a fence. *)
+
+open Tso
+
+(* s lives above 31 bits of h; task indices stay far below 2^31 here. *)
+let lo_bits = 31
+let bottom = -1 (* the ⊥ value of P *)
+
+type t = {
+  mem : Memory.t;
+  hs : Addr.t;  (* packed <s, h> *)
+  t : Addr.t;
+  p : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+  lock : Sync.t;
+  delta : int;
+}
+
+let name = "thep"
+let may_abort = false
+let may_duplicate = false
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  if p.delta < 1 then invalid_arg "thep: delta must be >= 1";
+  let mem = Machine.memory m in
+  {
+    mem;
+    hs = Memory.alloc mem ~name:(p.tag ^ ".H") ~init:(Pack.pack2 ~lo_bits ~hi:0 ~lo:0);
+    t = Memory.alloc mem ~name:(p.tag ^ ".T") ~init:0;
+    p = Memory.alloc mem ~name:(p.tag ^ ".P") ~init:bottom;
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+    lock = Sync.create m ~name:(p.tag ^ ".lock");
+    delta = p.delta;
+  }
+
+let task_addr q i =
+  assert (i >= 0);
+  Addr.offset q.tasks (i mod q.capacity)
+
+let read_task q i = Program.load (task_addr q i)
+
+let check_room q t =
+  let _, h_mem = Pack.unpack2 ~lo_bits (Memory.get q.mem q.hs) in
+  if t - h_mem >= q.capacity then
+    failwith "work-stealing queue overflow: tasks array is too small"
+
+let preload q items =
+  if Memory.get q.mem q.t <> 0 then invalid_arg "preload: queue is not fresh";
+  if List.length items > q.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set q.mem (Addr.offset q.tasks i) v) items;
+  Memory.set q.mem q.t (List.length items)
+
+let put q task =
+  let t = Program.load q.t in
+  check_room q t;
+  Program.store (task_addr q t) task;
+  Program.store q.t (t + 1)
+
+let take q : Queue_intf.take_result =
+  let t = Program.load q.t - 1 in
+  Program.store q.t t;
+  let s, h = Pack.unpack2 ~lo_bits (Program.load q.hs) in
+  if t < h then begin
+    Sync.lock q.lock;
+    (* Invalidate any stale echo: a thief that sees ⊥ keeps waiting, and a
+       thief blocked on T <= h will notice and release the lock. *)
+    Program.store q.p bottom;
+    let _, h = Pack.unpack2 ~lo_bits (Program.load q.hs) in
+    if h >= t + 1 then begin
+      Program.store q.t (t + 1);
+      Sync.unlock q.lock;
+      `Empty
+    end
+    else begin
+      Sync.unlock q.lock;
+      `Task (read_task q t)
+    end
+  end
+  else begin
+    (* Echo the heartbeat: a plain store replaces the fence. *)
+    Program.store q.p s;
+    `Task (read_task q t)
+  end
+
+let steal q : Queue_intf.steal_result =
+  Sync.lock q.lock;
+  let s, h = Pack.unpack2 ~lo_bits (Program.load q.hs) in
+  Program.store q.hs (Pack.pack2 ~lo_bits ~hi:(s + 1) ~lo:(h + 1));
+  Program.fence ();
+  let give_up () : Queue_intf.steal_result =
+    Program.store q.hs (Pack.pack2 ~lo_bits ~hi:(s + 1) ~lo:h);
+    `Empty
+  in
+  let t0 = Program.load q.t in
+  let ret =
+    if t0 - q.delta <= h then begin
+      (* Uncertain: wait for the worker's echo, bailing out if the queue
+         looks empty (the worker might never come back, §5). *)
+      let rec wait () : Queue_intf.steal_result =
+        let p = Program.load q.p in
+        if p = s + 1 then begin
+          let t = Program.load q.t in
+          if h + 1 <= t then `Task (read_task q h) else give_up ()
+        end
+        else if h + 1 > Program.load q.t then give_up ()
+        else begin
+          Program.spin_pause ();
+          wait ()
+        end
+      in
+      wait ()
+    end
+    else `Task (read_task q h)
+  in
+  Sync.unlock q.lock;
+  ret

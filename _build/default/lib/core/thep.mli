@@ -1,0 +1,8 @@
+(** THEP (paper Fig. 5): fence-free work stealing meeting the {e strict}
+    specification via worker echoes. An uncertain thief publishes a
+    heartbeat in the top bits of [H] and waits for the worker to echo it
+    through [P]; TSO's store ordering then guarantees a fresh read of [T].
+    Blocking: a lone thief on a nearly-empty queue waits for the worker
+    (the §6 tightness violation). *)
+
+include Queue_intf.S

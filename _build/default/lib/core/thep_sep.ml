@@ -1,0 +1,120 @@
+open Tso
+
+let bottom = -1 (* the ⊥ value of P *)
+
+type t = {
+  mem : Memory.t;
+  h : Addr.t;
+  s : Addr.t;  (* the heartbeat counter, separated from H *)
+  t : Addr.t;
+  p : Addr.t;
+  tasks : Addr.t;
+  capacity : int;
+  lock : Sync.t;
+  delta : int;
+}
+
+let name = "thep-sep"
+let may_abort = false
+let may_duplicate = false
+let worker_fence_free = true
+
+let create m (p : Queue_intf.params) =
+  if p.delta < 1 then invalid_arg "thep-sep: delta must be >= 1";
+  let mem = Machine.memory m in
+  {
+    mem;
+    h = Memory.alloc mem ~name:(p.tag ^ ".H") ~init:0;
+    s = Memory.alloc mem ~name:(p.tag ^ ".S") ~init:0;
+    t = Memory.alloc mem ~name:(p.tag ^ ".T") ~init:0;
+    p = Memory.alloc mem ~name:(p.tag ^ ".P") ~init:bottom;
+    tasks =
+      Memory.alloc_array mem ~name:(p.tag ^ ".tasks") ~len:p.capacity
+        ~init:(-1);
+    capacity = p.capacity;
+    lock = Sync.create m ~name:(p.tag ^ ".lock");
+    delta = p.delta;
+  }
+
+let task_addr q i =
+  assert (i >= 0);
+  Addr.offset q.tasks (i mod q.capacity)
+
+let read_task q i = Program.load (task_addr q i)
+
+let check_room q t =
+  if t - Memory.get q.mem q.h >= q.capacity then
+    failwith "work-stealing queue overflow: tasks array is too small"
+
+let preload q items =
+  if Memory.get q.mem q.t <> 0 then invalid_arg "preload: queue is not fresh";
+  if List.length items > q.capacity then invalid_arg "preload: too many items";
+  List.iteri (fun i v -> Memory.set q.mem (Addr.offset q.tasks i) v) items;
+  Memory.set q.mem q.t (List.length items)
+
+let put q task =
+  let t = Program.load q.t in
+  check_room q t;
+  Program.store (task_addr q t) task;
+  Program.store q.t (t + 1)
+
+let take q : Queue_intf.take_result =
+  let t = Program.load q.t - 1 in
+  Program.store q.t t;
+  (* The extra load: S must be read BEFORE H. The thief stores H before S,
+     so (FIFO drains) seeing the new S implies the new H is already in
+     memory and the later H load cannot miss it. *)
+  let s = Program.load q.s in
+  let h = Program.load q.h in
+  if t < h then begin
+    Sync.lock q.lock;
+    Program.store q.p bottom;
+    let h = Program.load q.h in
+    if h >= t + 1 then begin
+      Program.store q.t (t + 1);
+      Sync.unlock q.lock;
+      `Empty
+    end
+    else begin
+      Sync.unlock q.lock;
+      `Task (read_task q t)
+    end
+  end
+  else begin
+    Program.store q.p s;
+    `Task (read_task q t)
+  end
+
+let steal q : Queue_intf.steal_result =
+  Sync.lock q.lock;
+  let h = Program.load q.h in
+  let s = Program.load q.s in
+  (* H before S: see the comment in [take] *)
+  Program.store q.h (h + 1);
+  Program.store q.s (s + 1);
+  Program.fence ();
+  let give_up () : Queue_intf.steal_result =
+    Program.store q.h h;
+    `Empty
+  in
+  let t0 = Program.load q.t in
+  let ret =
+    if t0 - q.delta <= h then begin
+      let rec wait () : Queue_intf.steal_result =
+        let p = Program.load q.p in
+        if p = s + 1 then begin
+          let t = Program.load q.t in
+          if h + 1 <= t then `Task (read_task q h) else give_up ()
+        end
+        else if h + 1 > Program.load q.t then give_up ()
+        else begin
+          Program.spin_pause ();
+          wait ()
+        end
+      in
+      wait ()
+    end
+    else `Task (read_task q h)
+  in
+  Sync.unlock q.lock;
+  ret

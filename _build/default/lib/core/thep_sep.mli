@@ -1,0 +1,11 @@
+(** THEP with the thief's heartbeat counter kept in a {e separate} shared
+    variable instead of the top bits of [H] — the design alternative
+    mentioned in §5 ("the counter can also be maintained in a separate
+    variable, at the cost of an extra load in the take() path").
+
+    Ordering is what makes it work: the thief stores [H] {e before} [S], so
+    TSO's FIFO drain guarantees that a worker that loads [S] before [H] and
+    sees the new counter also sees the new head. The ablation experiment
+    compares its extra-load cost against stock THEP. *)
+
+include Queue_intf.S

@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Array List Machine_config Printf Runner Tablefmt Tso Variants Ws_runtime Ws_workloads

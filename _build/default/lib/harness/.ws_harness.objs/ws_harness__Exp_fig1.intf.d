@@ -1,0 +1,1 @@
+lib/harness/exp_fig1.mli: Machine_config

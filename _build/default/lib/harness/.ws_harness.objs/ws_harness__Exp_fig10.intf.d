@@ -1,0 +1,1 @@
+lib/harness/exp_fig10.mli: Machine_config

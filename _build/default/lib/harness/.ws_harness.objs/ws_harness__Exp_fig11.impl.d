@@ -1,0 +1,1 @@
+lib/harness/exp_fig11.ml: List Machine_config Printf Runner Stats Tablefmt Variants Ws_runtime Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_fig11.mli: Machine_config Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_fig7.ml: List Machine_config Printf Tablefmt Ws_litmus

@@ -1,0 +1,1 @@
+lib/harness/exp_fig8.ml: Buffer List Printf Tablefmt Ws_litmus

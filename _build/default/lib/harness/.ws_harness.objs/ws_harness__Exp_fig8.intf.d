@@ -1,0 +1,1 @@
+lib/harness/exp_fig8.mli: Ws_litmus

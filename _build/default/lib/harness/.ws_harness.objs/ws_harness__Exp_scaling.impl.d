@@ -1,0 +1,1 @@
+lib/harness/exp_scaling.ml: List Machine_config Printf Runner Tablefmt Variants Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_table1.ml: List Printf Tablefmt Ws_runtime Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/machine_config.ml: List String Tso Ws_litmus

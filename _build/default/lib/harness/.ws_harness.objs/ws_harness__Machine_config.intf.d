@@ -1,0 +1,1 @@
+lib/harness/machine_config.mli: Tso Ws_litmus

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: List Machine_config Option Printf Tso Variants Ws_core Ws_runtime Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Machine_config Variants Ws_runtime Ws_workloads

@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Array Explore Fun List Machine Memory Printf Program Random Sched Store_buffer String Tso Ws_core

@@ -1,0 +1,1 @@
+lib/harness/variants.ml: Machine_config

@@ -1,0 +1,1 @@
+lib/harness/variants.mli: Machine_config

@@ -1,0 +1,177 @@
+type delta_row = {
+  delta : int;
+  ff_the_pct : float;
+  ff_the_aborts : int;
+  thep_pct : float;
+  thep_sep_pct : float;
+}
+
+let variant label queue delta =
+  {
+    Variants.label;
+    queue;
+    delta_of = (fun _ -> delta);
+    worker_fence = false;
+  }
+
+let run_one machine v ~costs ~seed dag name =
+  let cfg = { (Runner.config machine v ~seed ()) with Ws_runtime.Engine.costs } in
+  let wl = Ws_runtime.Dag.instantiate dag ~name in
+  let r = Ws_runtime.Engine.run_timed cfg wl in
+  (match r.Ws_runtime.Engine.outcome with
+  | Tso.Sched.Quiescent -> ()
+  | _ -> failwith (name ^ ": ablation run did not quiesce"));
+  if r.Ws_runtime.Engine.lost > 0 || r.Ws_runtime.Engine.duplicates > 0 then
+    failwith (name ^ ": ablation run corrupted tasks");
+  let makespan =
+    match r.Ws_runtime.Engine.timing with
+    | Some t -> float_of_int t.Tso.Timing.makespan
+    | None -> assert false
+  in
+  (makespan, Ws_runtime.Metrics.total_aborts r.Ws_runtime.Engine.metrics)
+
+let delta_sweep ?(machine = Machine_config.haswell) ?(bench = "knapsack")
+    ?deltas ?(seed = 17) () =
+  let deltas =
+    match deltas with
+    | Some d -> d
+    | None ->
+        let s = machine.Machine_config.reorder_bound in
+        [ 2; 4; 8; Machine_config.default_delta machine; s ]
+  in
+  let b = Ws_workloads.Cilk_suite.find bench in
+  let dag = Ws_workloads.Cilk_suite.dag b in
+  let costs = machine.Machine_config.costs in
+  let baseline, _ =
+    run_one machine Variants.the_baseline ~costs ~seed dag bench
+  in
+  List.map
+    (fun delta ->
+      let ff, aborts =
+        run_one machine (variant "ff-the" "ff-the" delta) ~costs ~seed dag bench
+      in
+      let thep, _ =
+        run_one machine (variant "thep" "thep" delta) ~costs ~seed dag bench
+      in
+      let thep_sep, _ =
+        run_one machine (variant "thep-sep" "thep-sep" delta) ~costs ~seed dag
+          bench
+      in
+      {
+        delta;
+        ff_the_pct = 100.0 *. ff /. baseline;
+        ff_the_aborts = aborts;
+        thep_pct = 100.0 *. thep /. baseline;
+        thep_sep_pct = 100.0 *. thep_sep /. baseline;
+      })
+    deltas
+
+type fence_row = {
+  fence_cost : int;
+  the_makespan : float;
+  thep_makespan : float;
+  thep_vs_the_pct : float;
+}
+
+let fence_sweep ?(machine = Machine_config.haswell) ?(bench = "Integrate")
+    ?(costs = [ 0; 5; 10; 20; 40; 60 ]) ?(seed = 17) () =
+  let b = Ws_workloads.Cilk_suite.find bench in
+  let dag = Ws_workloads.Cilk_suite.dag b in
+  let delta = 4 in
+  List.map
+    (fun fence_cost ->
+      let cm = { machine.Machine_config.costs with Tso.Timing.fence_cost } in
+      let the, _ =
+        run_one machine Variants.the_baseline ~costs:cm ~seed dag bench
+      in
+      let thep, _ =
+        run_one machine (variant "thep" "thep" delta) ~costs:cm ~seed dag bench
+      in
+      {
+        fence_cost;
+        the_makespan = the;
+        thep_makespan = thep;
+        thep_vs_the_pct = 100.0 *. thep /. the;
+      })
+    costs
+
+type victim_row = {
+  policy : string;
+  makespan : float;
+  steal_attempts : int;
+}
+
+let victim_sweep ?(machine = Machine_config.haswell) ?(bench = "QuickSort")
+    ?(seed = 17) () =
+  let b = Ws_workloads.Cilk_suite.find bench in
+  let dag = Ws_workloads.Cilk_suite.dag b in
+  List.map
+    (fun (policy_name, victim) ->
+      let v = variant "thep" "thep" 4 in
+      let cfg =
+        { (Runner.config machine v ~seed ()) with Ws_runtime.Engine.victim }
+      in
+      let wl = Ws_runtime.Dag.instantiate dag ~name:bench in
+      let r = Ws_runtime.Engine.run_timed cfg wl in
+      (match r.Ws_runtime.Engine.outcome with
+      | Tso.Sched.Quiescent -> ()
+      | _ -> failwith "victim ablation run did not quiesce");
+      let makespan =
+        match r.Ws_runtime.Engine.timing with
+        | Some t -> float_of_int t.Tso.Timing.makespan
+        | None -> assert false
+      in
+      {
+        policy = policy_name;
+        makespan;
+        steal_attempts =
+          Array.fold_left
+            (fun acc w -> acc + w.Ws_runtime.Metrics.steal_attempts)
+            0 r.Ws_runtime.Engine.metrics.Ws_runtime.Metrics.workers;
+      })
+    [
+      ("random", Ws_runtime.Engine.Random_victim);
+      ("round-robin", Ws_runtime.Engine.Round_robin_victim);
+    ]
+
+let run ?(machine = Machine_config.haswell) () =
+  Printf.printf "== Ablation: delta sweep (%s, knapsack; %% of THE) ==\n"
+    machine.Machine_config.name;
+  let rows = delta_sweep ~machine () in
+  Tablefmt.print
+    ~header:[ "delta"; "FF-THE"; "FF-THE aborts"; "THEP"; "THEP-sep" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.delta;
+           Tablefmt.pct r.ff_the_pct;
+           string_of_int r.ff_the_aborts;
+           Tablefmt.pct r.thep_pct;
+           Tablefmt.pct r.thep_sep_pct;
+         ])
+       rows);
+  Printf.printf
+    "\n== Ablation: fence-cost sweep (%s, Integrate; THEP normalized to THE) ==\n"
+    machine.Machine_config.name;
+  let rows = fence_sweep ~machine () in
+  Tablefmt.print
+    ~header:[ "fence cost (cyc)"; "THE (cyc)"; "THEP (cyc)"; "THEP vs THE" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.fence_cost;
+           Printf.sprintf "%.0f" r.the_makespan;
+           Printf.sprintf "%.0f" r.thep_makespan;
+           Tablefmt.pct r.thep_vs_the_pct;
+         ])
+       rows);
+  Printf.printf
+    "\n== Ablation: victim selection (%s, QuickSort, THEP d=4) ==\n"
+    machine.Machine_config.name;
+  let rows = victim_sweep ~machine () in
+  Tablefmt.print
+    ~header:[ "policy"; "makespan (cyc)"; "steal attempts" ]
+    (List.map
+       (fun r ->
+         [ r.policy; Printf.sprintf "%.0f" r.makespan; string_of_int r.steal_attempts ])
+       rows)

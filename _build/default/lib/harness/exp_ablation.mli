@@ -1,0 +1,57 @@
+(** Ablations of the design choices DESIGN.md calls out (not figures from
+    the paper, but experiments it motivates):
+
+    - {b δ sweep}: how the thief's uncertainty bound trades steal
+      availability (aborts / echo waits) against safety margin, from the
+      aggressive δ = 4 of §8.1 up to δ = S. Shows why FF-THE is
+      "very sensitive to δ" while THEP "is not" (§8.1).
+    - {b fence-cost sweep}: the whole premise — the fence-free algorithms'
+      advantage must scale with the hardware's fence latency and vanish as
+      it approaches zero.
+    - {b THEP heartbeat placement}: packed into [H]'s top bits (paper
+      default) vs a separate variable with an extra take-path load (the §5
+      alternative), implemented as [thep-sep]. *)
+
+type delta_row = {
+  delta : int;
+  ff_the_pct : float;  (** makespan normalized to THE, % *)
+  ff_the_aborts : int;
+  thep_pct : float;
+  thep_sep_pct : float;
+}
+
+val delta_sweep :
+  ?machine:Machine_config.t ->
+  ?bench:string ->
+  ?deltas:int list ->
+  ?seed:int ->
+  unit ->
+  delta_row list
+
+type fence_row = {
+  fence_cost : int;
+  the_makespan : float;
+  thep_makespan : float;
+  thep_vs_the_pct : float;
+}
+
+val fence_sweep :
+  ?machine:Machine_config.t ->
+  ?bench:string ->
+  ?costs:int list ->
+  ?seed:int ->
+  unit ->
+  fence_row list
+
+type victim_row = {
+  policy : string;
+  makespan : float;
+  steal_attempts : int;
+}
+
+val victim_sweep :
+  ?machine:Machine_config.t -> ?bench:string -> ?seed:int -> unit -> victim_row list
+(** Random vs round-robin victim selection under THEP δ=4. *)
+
+val run : ?machine:Machine_config.t -> unit -> unit
+(** Print all three ablations. *)

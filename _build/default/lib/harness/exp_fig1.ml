@@ -1,0 +1,42 @@
+type row = {
+  bench : string;
+  fenced : float;
+  fence_free : float;
+  normalized : float;
+}
+
+let compute ?(machine = Machine_config.haswell) ?(seed = 1) () =
+  List.map
+    (fun name ->
+      let b = Ws_workloads.Cilk_suite.find name in
+      let dag = Ws_workloads.Cilk_suite.dag b in
+      let one variant =
+        List.hd
+          (Runner.run_dag machine variant ~workers:1 ~seeds:[ seed ] dag ~name)
+      in
+      let fenced = one Variants.the_baseline in
+      let fence_free = one Variants.the_no_fence in
+      { bench = name; fenced; fence_free; normalized = 100.0 *. fence_free /. fenced })
+    Ws_workloads.Cilk_suite.fig1_names
+
+let render rows =
+  let table =
+    Tablefmt.render
+      ~header:[ "Benchmark"; "fenced (cyc)"; "fence-free (cyc)"; "normalized" ]
+      (List.map
+         (fun r ->
+           [
+             r.bench;
+             Printf.sprintf "%.0f" r.fenced;
+             Printf.sprintf "%.0f" r.fence_free;
+             Tablefmt.pct r.normalized;
+           ])
+         rows)
+  in
+  table
+  ^ Printf.sprintf "geomean: %s\n"
+      (Tablefmt.pct (Stats.geomean (List.map (fun r -> r.normalized) rows)))
+
+let run ?machine () =
+  print_endline "== Figure 1: single-threaded time without the take() fence ==";
+  print_string (render (compute ?machine ()))

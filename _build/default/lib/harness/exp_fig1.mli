@@ -1,0 +1,17 @@
+(** Figure 1: single-threaded execution time of the CilkPlus benchmarks when
+    the worker does not issue a memory fence on task removal, normalized to
+    the fenced runtime (%). One worker, no thieves — removing the fence is
+    safe, and the whole difference is the fence stall. *)
+
+type row = {
+  bench : string;
+  fenced : float;  (** makespan, cycles *)
+  fence_free : float;
+  normalized : float;  (** fence_free / fenced * 100 *)
+}
+
+val compute : ?machine:Machine_config.t -> ?seed:int -> unit -> row list
+(** Defaults: Haswell (as the paper's Fig. 1), the seven Fig. 1 benchmarks. *)
+
+val render : row list -> string
+val run : ?machine:Machine_config.t -> unit -> unit

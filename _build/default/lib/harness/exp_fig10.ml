@@ -1,0 +1,65 @@
+type row = {
+  bench : string;
+  baseline : float;
+  cells : (string * float) list;
+}
+
+let compute machine ?(repeats = 3) ?benches () =
+  let benches =
+    match benches with
+    | Some names -> List.map Ws_workloads.Cilk_suite.find names
+    | None -> Ws_workloads.Cilk_suite.all
+  in
+  let seeds = List.init repeats (fun i -> 11 + (100 * i)) in
+  List.map
+    (fun (b : Ws_workloads.Cilk_suite.bench) ->
+      let dag = Ws_workloads.Cilk_suite.dag b in
+      let median_of variant =
+        Stats.median (Runner.run_dag machine variant ~seeds dag ~name:b.name)
+      in
+      let baseline = median_of Variants.the_baseline in
+      let cells =
+        List.map
+          (fun v -> (v.Variants.label, 100.0 *. median_of v /. baseline))
+          Variants.fig10
+      in
+      { bench = b.name; baseline; cells })
+    benches
+
+let geomean_row rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+      List.map
+        (fun (label, _) ->
+          ( label,
+            Stats.geomean
+              (List.map (fun r -> List.assoc label r.cells) rows) ))
+        first.cells
+
+let render machine rows =
+  let labels = List.map (fun v -> v.Variants.label) Variants.fig10 in
+  let header = "Benchmark" :: "THE (cyc)" :: labels in
+  let body =
+    List.map
+      (fun r ->
+        r.bench
+        :: Printf.sprintf "%.0f" r.baseline
+        :: List.map (fun l -> Tablefmt.pct (List.assoc l r.cells)) labels)
+      rows
+  in
+  let geo =
+    "Geo mean" :: ""
+    :: List.map (fun (_, v) -> Tablefmt.pct v) (geomean_row rows)
+  in
+  Printf.sprintf "-- %s: %d workers, S = %d, default delta = %d --\n"
+    machine.Machine_config.name machine.Machine_config.workers
+    machine.Machine_config.reorder_bound
+    (Machine_config.default_delta machine)
+  ^ Tablefmt.render ~header (body @ [ geo ])
+
+let run machine ?repeats ?benches () =
+  Printf.printf
+    "== Figure 10 (%s): CilkPlus suite, normalized to the THE baseline ==\n"
+    machine.Machine_config.name;
+  print_string (render machine (compute machine ?repeats ?benches ()))

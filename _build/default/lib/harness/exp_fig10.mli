@@ -1,0 +1,23 @@
+(** Figure 10: run time of the CilkPlus suite under the fence-free variants,
+    normalized to stock THE (%), at the machine's full (non-hyperthreaded)
+    parallelism — 10 workers on Westmere-EX (10a), 4 on Haswell (10b).
+
+    The qualitative targets from the paper: THEP and THEP δ=4 beat the
+    baseline by ~10% on the fence-heavy benchmarks; FF-THE with the default
+    δ = ⌈S/2⌉ degenerates to near-single-threaded speed on benchmarks whose
+    queues stay shallow (bars far above 100%), which δ = 4 repairs on all
+    but LUD. *)
+
+type row = {
+  bench : string;
+  baseline : float;  (** median THE makespan, cycles *)
+  cells : (string * float) list;  (** variant label -> normalized % *)
+}
+
+val compute :
+  Machine_config.t -> ?repeats:int -> ?benches:string list -> unit -> row list
+
+val geomean_row : row list -> (string * float) list
+
+val render : Machine_config.t -> row list -> string
+val run : Machine_config.t -> ?repeats:int -> ?benches:string list -> unit -> unit

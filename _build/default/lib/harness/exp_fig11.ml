@@ -1,0 +1,121 @@
+type graph_case = {
+  label : string;
+  graph : Ws_workloads.Graph.t;
+  workers : int option;
+  node_work : int;
+  edge_work : int;
+}
+
+type cell = { normalized : float; stolen_pct : float; makespan : float }
+
+type row = { case : string; cells : (string * cell) list }
+
+let default_cases () =
+  [
+    {
+      label = "K-graph (10^4 nodes, k=3)";
+      graph = Ws_workloads.Graph.k_graph ~nodes:10_000 ~k:3 ~seed:5;
+      workers = None;
+      node_work = 90;
+      edge_work = 22;
+    };
+    {
+      label = "Random (10^4 nodes, 3*10^4 edges)";
+      graph = Ws_workloads.Graph.random_graph ~nodes:10_000 ~edges:30_000 ~seed:5;
+      workers = None;
+      node_work = 70;
+      edge_work = 16;
+    };
+    {
+      label = "Torus (2400 nodes, 2 threads)";
+      graph = Ws_workloads.Graph.torus ~width:60 ~height:40;
+      workers = Some 2;
+      node_work = 10;
+      edge_work = 4;
+    };
+  ]
+
+let compute ?(machine = Machine_config.haswell) ?(repeats = 3) ?cases
+    ?(workload = `Transitive_closure) () =
+  let cases = match cases with Some c -> c | None -> default_cases () in
+  let seeds = List.init repeats (fun i -> 21 + (10 * i)) in
+  List.map
+    (fun case ->
+      let mk () =
+        match workload with
+        | `Transitive_closure ->
+            Ws_workloads.Graph_workloads.transitive_closure case.graph ~src:0
+              ~node_work:case.node_work ~edge_work:case.edge_work ()
+        | `Spanning_tree ->
+            Ws_workloads.Graph_workloads.spanning_tree case.graph ~src:0
+              ~node_work:case.node_work ~edge_work:case.edge_work ()
+      in
+      let medians =
+        List.map
+          (fun v ->
+            let runs =
+              List.map
+                (fun seed ->
+                  Runner.run_checked machine v ?workers:case.workers ~seed mk)
+                seeds
+            in
+            let makespans = List.map fst runs in
+            let stolen =
+              Stats.mean
+                (List.map
+                   (fun (_, m) -> Ws_runtime.Metrics.stolen_task_pct m)
+                   runs)
+            in
+            (v.Variants.label, Stats.median makespans, stolen))
+          Variants.fig11
+      in
+      let baseline =
+        match medians with (_, m, _) :: _ -> m | [] -> assert false
+      in
+      {
+        case = case.label;
+        cells =
+          List.map
+            (fun (label, m, stolen) ->
+              ( label,
+                {
+                  normalized = 100.0 *. m /. baseline;
+                  stolen_pct = stolen;
+                  makespan = m;
+                } ))
+            medians;
+      })
+    cases
+
+let render rows =
+  let labels = List.map (fun v -> v.Variants.label) Variants.fig11 in
+  let time_table =
+    Tablefmt.render
+      ~header:("Input" :: labels)
+      (List.map
+         (fun r ->
+           r.case
+           :: List.map
+                (fun l -> Tablefmt.pct (List.assoc l r.cells).normalized)
+                labels)
+         rows)
+  in
+  let stolen_table =
+    Tablefmt.render
+      ~header:("Input" :: labels)
+      (List.map
+         (fun r ->
+           r.case
+           :: List.map
+                (fun l ->
+                  Printf.sprintf "%.2f%%" (List.assoc l r.cells).stolen_pct)
+                labels)
+         rows)
+  in
+  "(a) run time, normalized to Chase-Lev\n" ^ time_table
+  ^ "(b) % of tasks executed by a thief\n" ^ stolen_table
+
+let run ?machine ?repeats () =
+  print_endline
+    "== Figure 11: transitive closure vs idempotent work stealing ==";
+  print_string (render (compute ?machine ?repeats ()))

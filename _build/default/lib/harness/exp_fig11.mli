@@ -1,0 +1,36 @@
+(** Figure 11: transitive closure (and spanning tree) on the three graph
+    inputs, comparing FF-CL and the idempotent queues against Chase-Lev.
+
+    (a) run time normalized to Chase-Lev — all fence-free queues comparable,
+    the torus benefiting most; (b) percentage of work completed by stealing —
+    tiny for every queue, which is the paper's argument for optimising the
+    worker's path. The torus runs at 2 workers (the paper's programs do not
+    scale past 2 there); the other graphs at full parallelism. *)
+
+type graph_case = {
+  label : string;
+  graph : Ws_workloads.Graph.t;
+  workers : int option;  (** override, e.g. torus at 2 *)
+  node_work : int;  (** cycles per visited node *)
+  edge_work : int;  (** cycles per scanned edge *)
+}
+
+type cell = { normalized : float; stolen_pct : float; makespan : float }
+
+type row = { case : string; cells : (string * cell) list }
+
+val default_cases : unit -> graph_case list
+(** K-graph (10k nodes, k=3), random (10k nodes, 30k edges), torus (2400
+    nodes as in the paper, 2 workers) — scaled from the paper's 2M-node
+    inputs. *)
+
+val compute :
+  ?machine:Machine_config.t ->
+  ?repeats:int ->
+  ?cases:graph_case list ->
+  ?workload:[ `Transitive_closure | `Spanning_tree ] ->
+  unit ->
+  row list
+
+val render : row list -> string
+val run : ?machine:Machine_config.t -> ?repeats:int -> unit -> unit

@@ -1,0 +1,38 @@
+type result = {
+  machine : Machine_config.t;
+  points : (int * float) list;
+  detected : int;
+}
+
+let stores_list (m : Machine_config.t) =
+  let c = m.capacity_model.Ws_litmus.Capacity.capacity in
+  [ c - 4; c - 2; c - 1; c; c + 1; c + 2; c + 4; c + 8; c + 12; c + 16; c + 20 ]
+
+let compute machine =
+  let points =
+    Ws_litmus.Capacity.sweep machine.Machine_config.capacity_model
+      ~stores_list:(stores_list machine) ~iterations:2000
+  in
+  { machine; points; detected = Ws_litmus.Capacity.detect_capacity points }
+
+let render r =
+  let rows =
+    List.map
+      (fun (n, c) ->
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" c;
+          (if n = r.detected then "<- knee (documented capacity)" else "");
+        ])
+      r.points
+  in
+  Printf.sprintf "-- %s (documented capacity %d, measured %d) --\n"
+    r.machine.Machine_config.name
+    r.machine.Machine_config.capacity_model.Ws_litmus.Capacity.capacity
+    r.detected
+  ^ Tablefmt.render ~header:[ "# stores"; "cycles/iter"; "" ] rows
+
+let run () =
+  print_endline
+    "== Figure 7: store buffer capacity measurement (knee of the curve) ==";
+  List.iter (fun m -> print_string (render (compute m))) Machine_config.all

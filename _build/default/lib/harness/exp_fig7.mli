@@ -1,0 +1,15 @@
+(** Figures 6 and 7: measuring the store buffer's capacity by timing
+    sequences of stores of increasing length against a long-latency filler
+    (§7.2). The knee of the cycles-per-iteration curve is the documented
+    capacity: 32 on Westmere-EX, 42 on Haswell. *)
+
+type result = {
+  machine : Machine_config.t;
+  points : (int * float) list;
+  detected : int;
+}
+
+val compute : Machine_config.t -> result
+val render : result -> string
+val run : unit -> unit
+(** Both machines. *)

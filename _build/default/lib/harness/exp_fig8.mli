@@ -1,0 +1,36 @@
+(** Figure 8: the TSO[S] litmus campaign (§7.3). Runs the Fig. 9 program over
+    (L, δ) pairs on a machine with a 32-entry buffer plus the coalescing
+    egress entry B, then interprets the outcomes under an assumed bound S.
+
+    - [s_assumed = 32] (Fig. 8a): δ = α cells fail exactly where (L+1)
+      divides 32 — refuting TSO[32];
+    - [s_assumed = 33] (Fig. 8b): everything at δ ≥ α is correct except the
+      L = 0 column, where same-address coalescing makes reordering
+      unbounded. *)
+
+type t = {
+  s_assumed : int;
+  cells : Ws_litmus.Grid.cell list;
+}
+
+val compute :
+  ?sb_capacity:int ->
+  ?runs_per_l:int ->
+  ?tasks:int ->
+  ?max_l:int ->
+  ?seed:int ->
+  s_assumed:int ->
+  unit ->
+  t
+
+val render : t -> string
+
+val render_grid : t -> string
+(** Compact '#'/'.' picture in the spirit of the paper's scatter plot. *)
+
+val expected_incorrect : t -> Ws_litmus.Grid.cell -> bool
+(** The paper's prediction for a cell, used both in rendering (to flag
+    mismatches) and by the test suite. *)
+
+val run : ?runs_per_l:int -> ?tasks:int -> unit -> unit
+(** Both campaigns (8a then 8b). *)

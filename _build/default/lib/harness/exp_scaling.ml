@@ -1,0 +1,69 @@
+type row = {
+  workers : int;
+  the_makespan : float;
+  the_speedup : float;
+  thep_makespan : float;
+  thep_speedup : float;
+  thep_vs_the_pct : float;
+}
+
+let thep_variant =
+  {
+    Variants.label = "THEP d=4";
+    queue = "thep";
+    delta_of = (fun _ -> 4);
+    worker_fence = false;
+  }
+
+let compute ?(machine = Machine_config.westmere_ex) ?(bench = "Fib")
+    ?workers_list ?(seed = 23) () =
+  let workers_list =
+    match workers_list with
+    | Some l -> l
+    | None ->
+        List.filter
+          (fun w -> w <= machine.Machine_config.workers)
+          [ 1; 2; 4; 6; 8; 10 ]
+  in
+  let b = Ws_workloads.Cilk_suite.find bench in
+  let dag = Ws_workloads.Cilk_suite.dag b in
+  let one variant workers =
+    List.hd
+      (Runner.run_dag machine variant ~workers ~seeds:[ seed ] dag ~name:bench)
+  in
+  let the1 = one Variants.the_baseline 1 in
+  let thep1 = one thep_variant 1 in
+  List.map
+    (fun workers ->
+      let the = one Variants.the_baseline workers in
+      let thep = one thep_variant workers in
+      {
+        workers;
+        the_makespan = the;
+        the_speedup = the1 /. the;
+        thep_makespan = thep;
+        thep_speedup = thep1 /. thep;
+        thep_vs_the_pct = 100.0 *. thep /. the;
+      })
+    workers_list
+
+let render rows =
+  Tablefmt.render
+    ~header:
+      [ "workers"; "THE (cyc)"; "speedup"; "THEP d=4 (cyc)"; "speedup"; "THEP vs THE" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.workers;
+           Printf.sprintf "%.0f" r.the_makespan;
+           Printf.sprintf "%.2fx" r.the_speedup;
+           Printf.sprintf "%.0f" r.thep_makespan;
+           Printf.sprintf "%.2fx" r.thep_speedup;
+           Tablefmt.pct r.thep_vs_the_pct;
+         ])
+       rows)
+
+let run ?(machine = Machine_config.westmere_ex) ?(bench = "Fib") () =
+  Printf.printf "== Scaling: %s on %s, 1..%d workers ==\n" bench
+    machine.Machine_config.name machine.Machine_config.workers;
+  print_string (render (compute ~machine ~bench ()))

@@ -1,0 +1,26 @@
+(** Worker-count scaling: speedup curves for the fenced baseline vs THEP
+    from 1 to the machine's core count. Not a paper figure, but the sanity
+    check behind Fig. 10's setup — the simulated runtime must actually scale
+    before normalized comparisons mean anything, and the fence-free
+    advantage should persist (not grow or shrink pathologically) across
+    worker counts. *)
+
+type row = {
+  workers : int;
+  the_makespan : float;
+  the_speedup : float;  (** vs the 1-worker THE run *)
+  thep_makespan : float;
+  thep_speedup : float;
+  thep_vs_the_pct : float;
+}
+
+val compute :
+  ?machine:Machine_config.t ->
+  ?bench:string ->
+  ?workers_list:int list ->
+  ?seed:int ->
+  unit ->
+  row list
+
+val render : row list -> string
+val run : ?machine:Machine_config.t -> ?bench:string -> unit -> unit

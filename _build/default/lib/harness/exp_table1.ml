@@ -1,0 +1,30 @@
+let render () =
+  let rows =
+    List.map
+      (fun (b : Ws_workloads.Cilk_suite.bench) ->
+        let dag = Ws_workloads.Cilk_suite.dag b in
+        let t1 = Ws_runtime.Dag.total_work dag in
+        let tinf = Ws_runtime.Dag.critical_path dag in
+        [
+          b.name;
+          b.description;
+          b.paper_input;
+          b.our_input;
+          string_of_int (Ws_runtime.Dag.size dag);
+          string_of_int t1;
+          string_of_int tinf;
+          Printf.sprintf "%.1f" (float_of_int t1 /. float_of_int tinf);
+        ])
+      Ws_workloads.Cilk_suite.all
+  in
+  Tablefmt.render
+    ~header:
+      [
+        "Benchmark"; "Description"; "Paper input"; "Our input"; "Tasks";
+        "T1 (cyc)"; "Tinf (cyc)"; "Parallelism";
+      ]
+    rows
+
+let run () =
+  print_endline "== Table 1: benchmark applications ==";
+  print_string (render ())

@@ -1,0 +1,6 @@
+(** Table 1: the benchmark applications, their paper inputs, our scaled
+    inputs, and the resulting DAG statistics (task count, total work T1,
+    critical path T-inf, average parallelism). *)
+
+val render : unit -> string
+val run : unit -> unit

@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  workers : int;
+  sb_capacity : int;
+  reorder_bound : int;
+  costs : Tso.Timing.cost_model;
+  capacity_model : Ws_litmus.Capacity.model;
+}
+
+(* Fence/RMW base costs and the drain latency set the share of take()
+   overhead that the fence-free algorithms recover; these land the Fig. 1
+   bands (see EXPERIMENTS.md for the calibration). *)
+let base_costs =
+  {
+    Tso.Timing.load_cost = 1;
+    store_cost = 1;
+    rmw_cost = 22;
+    fence_cost = 22;
+    drain_latency = 6;
+    pause_cost = 4;
+  }
+
+let westmere_ex =
+  {
+    name = "westmere-ex";
+    workers = 10;
+    sb_capacity = 32;
+    reorder_bound = 33;
+    costs = base_costs;
+    capacity_model = Ws_litmus.Capacity.westmere_model;
+  }
+
+let haswell =
+  {
+    name = "haswell";
+    workers = 4;
+    sb_capacity = 42;
+    reorder_bound = 43;
+    costs = { base_costs with rmw_cost = 20; fence_cost = 20 };
+    capacity_model = Ws_litmus.Capacity.haswell_model;
+  }
+
+let sparc_t2 =
+  {
+    name = "sparc-t2";
+    workers = 8;
+    sb_capacity = 8;
+    reorder_bound = 8;
+    (* in-order cores: memory ops relatively costlier than on the OoO x86s *)
+    costs = { base_costs with rmw_cost = 28; fence_cost = 28; drain_latency = 8 };
+    capacity_model =
+      {
+        Ws_litmus.Capacity.capacity = 8;
+        drain_latency = 8;
+        filler_latency = 110;
+        egress = false;
+      };
+  }
+
+let primary = [ westmere_ex; haswell ]
+let all = primary @ [ sparc_t2 ]
+let find name = List.find (fun m -> String.equal m.name name) all
+
+let ceil_div a b = (a + b - 1) / b
+let default_delta m = ceil_div m.reorder_bound 2
+let delta_for m ~client_stores = ceil_div m.reorder_bound (client_stores + 1)

@@ -1,0 +1,42 @@
+(** Simulated-CPU configurations standing in for the paper's two testbeds
+    (§8 "Platform"). Worker counts match the paper's no-hyperthreading runs;
+    reorder bounds are the paper's measured values (store buffer capacity
+    plus the egress entry B). *)
+
+type t = {
+  name : string;
+  workers : int;
+  sb_capacity : int;  (** architectural store-buffer entries *)
+  reorder_bound : int;  (** the measured S used to derive δ: capacity + 1 *)
+  costs : Tso.Timing.cost_model;
+  capacity_model : Ws_litmus.Capacity.model;
+}
+
+val westmere_ex : t
+(** Xeon E7-4870: 10 workers, 32-entry buffer, S = 33. *)
+
+val haswell : t
+(** Core i7-4770: 4 workers, 42-entry buffer, S = 43. *)
+
+val sparc_t2 : t
+(** UltraSPARC T2-class machine: the other mainstream TSO architecture the
+    paper's claim covers (§1, §7). 8 workers and a small 8-entry per-strand
+    store buffer with no observable egress extension — so the default
+    δ = ⌈S/2⌉ is just 4 and FF-THE is usable out of the box, unlike on the
+    deep-buffered x86 parts. Not part of the paper's evaluation; included to
+    exercise the S-dependence of the algorithms. *)
+
+val primary : t list
+(** The paper's two testbeds (Westmere-EX, Haswell) — what Fig. 10 loops
+    over. *)
+
+val all : t list
+(** [primary] plus the SPARC configuration. *)
+
+val find : string -> t
+
+val default_delta : t -> int
+(** δ = ⌈S/2⌉: the runtime performs one client store after each take (§8.1). *)
+
+val delta_for : t -> client_stores:int -> int
+(** δ = ⌈S/(x+1)⌉ for a client doing [x] stores between takes (§4). *)

@@ -1,0 +1,118 @@
+open Tso
+
+type spec = {
+  queue : string;
+  sb_capacity : int;
+  buffer_model : Store_buffer.model;
+  delta : int;
+  worker_fence : bool;
+  preloaded : int;
+  puts : int;
+  steal_attempts : int;
+  thieves : int;
+  client_stores : int;
+}
+
+let default_spec =
+  {
+    queue = "ff-the";
+    sb_capacity = 2;
+    buffer_model = Store_buffer.Abstract;
+    delta = 1;
+    worker_fence = true;
+    preloaded = 2;
+    puts = 1;
+    steal_attempts = 2;
+    thieves = 1;
+    client_stores = 1;
+  }
+
+let instance spec () =
+  let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find spec.queue in
+  let machine =
+    Machine.create { Machine.sb_capacity = spec.sb_capacity; buffer_model = spec.buffer_model }
+  in
+  let params =
+    {
+      Ws_core.Queue_intf.capacity = 64;
+      delta = spec.delta;
+      worker_fence = spec.worker_fence;
+      tag = "q";
+    }
+  in
+  let q = Q.create machine params in
+  let total = spec.preloaded + spec.puts in
+  Q.preload q (List.init spec.preloaded Fun.id);
+  let removed = Array.make (max total 1) 0 in
+  let bad_abort = ref false in
+  let scratch = Memory.alloc (Machine.memory machine) ~name:"scratch" ~init:0 in
+  let _ =
+    Machine.spawn machine ~name:"worker" (fun () ->
+        for i = spec.preloaded to total - 1 do
+          Q.put q i
+        done;
+        let rec drain () =
+          match Q.take q with
+          | `Empty -> ()
+          | `Task i ->
+              removed.(i) <- removed.(i) + 1;
+              for s = 1 to spec.client_stores do
+                Program.store scratch (i + s)
+              done;
+              drain ()
+        in
+        drain ())
+  in
+  for t = 1 to spec.thieves do
+    ignore
+      (Machine.spawn machine
+         ~name:(Printf.sprintf "thief%d" t)
+         (fun () ->
+           for _ = 1 to spec.steal_attempts do
+             match Q.steal q with
+             | `Task i -> removed.(i) <- removed.(i) + 1
+             | `Empty -> ()
+             | `Abort -> if not Q.may_abort then bad_abort := true
+           done))
+  done;
+  let check () =
+    if !bad_abort then Error (Q.name ^ " returned ABORT but may_abort is false")
+    else begin
+      let problems = ref [] in
+      Array.iteri
+        (fun i c ->
+          if i < total then begin
+            if c = 0 then problems := Printf.sprintf "task %d lost" i :: !problems
+            else if c > 1 && not Q.may_duplicate then
+              problems :=
+                Printf.sprintf "task %d extracted %d times" i c :: !problems
+          end)
+        removed;
+      match !problems with
+      | [] -> Ok ()
+      | ps -> Error (String.concat "; " (List.rev ps))
+    end
+  in
+  { Explore.machine; check }
+
+let random_check spec ~seeds ?(drain_weight = 0.1) () =
+  let rec go = function
+    | [] -> Ok ()
+    | seed :: rest -> (
+        let inst = instance spec () in
+        let rng = Random.State.make [| seed |] in
+        match
+          Sched.run ~max_steps:500_000 inst.Explore.machine
+            (Sched.weighted rng ~drain_weight)
+        with
+        | Sched.Quiescent -> (
+            match inst.Explore.check () with
+            | Ok () -> go rest
+            | Error e -> Error (Printf.sprintf "seed %d: %s" seed e))
+        | Sched.Deadlock -> Error (Printf.sprintf "seed %d: deadlock" seed)
+        | Sched.Max_steps -> Error (Printf.sprintf "seed %d: step budget" seed))
+  in
+  go seeds
+
+let explore_check spec ?max_runs ?max_depth ?preemption_bound () =
+  Explore.search ?max_runs ?max_depth ?preemption_bound ~mk:(instance spec) ()

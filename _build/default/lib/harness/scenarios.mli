@@ -1,0 +1,41 @@
+(** Small worker/thief scenarios over a single queue, packaged as
+    {!Tso.Explore.instance}s so they can be driven three ways: exhaustively
+    (bounded model checking), by random schedules (litmus-style), or replayed
+    from a failing choice sequence. Used by the [check]/[explore] CLI
+    commands and throughout the test suite. *)
+
+type spec = {
+  queue : string;  (** registry name *)
+  sb_capacity : int;
+  buffer_model : Tso.Store_buffer.model;
+  delta : int;
+  worker_fence : bool;
+  preloaded : int;  (** items in the queue at the start *)
+  puts : int;  (** items the worker puts before it starts taking *)
+  steal_attempts : int;  (** thief tries, each counted even on Abort/Empty *)
+  thieves : int;
+  client_stores : int;  (** worker stores between takes *)
+}
+
+val default_spec : spec
+(** ff-the on TSO[2], δ=1, 2 preloaded, 1 put, 1 thief with 2 attempts —
+    small enough to explore exhaustively. *)
+
+val instance : spec -> unit -> Tso.Explore.instance
+(** Fresh machine + threads + safety check. The check verifies, at
+    quiescence: no task extracted twice (unless the queue is idempotent), no
+    task lost (worker drains to Empty), and no Abort from queues that must
+    not abort. *)
+
+val random_check :
+  spec -> seeds:int list -> ?drain_weight:float -> unit -> (unit, string) result
+(** Run the scenario once per seed under adversarial random scheduling;
+    first failure wins. *)
+
+val explore_check :
+  spec ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  ?preemption_bound:int option ->
+  unit ->
+  Tso.Explore.stats

@@ -1,0 +1,33 @@
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else begin
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = min (lo + 1) (n - 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+      end
+
+let median xs = percentile 50.0 xs
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+type summary = { median : float; p10 : float; p90 : float }
+
+let summarize xs =
+  { median = median xs; p10 = percentile 10.0 xs; p90 = percentile 90.0 xs }

@@ -1,0 +1,14 @@
+(** Summary statistics used by the experiment harness (the paper reports
+    medians with 10th/90th percentiles, and geometric means across the
+    suite). *)
+
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100], linear interpolation. *)
+
+val geomean : float list -> float
+val mean : float list -> float
+
+type summary = { median : float; p10 : float; p90 : float }
+
+val summarize : float list -> summary

@@ -1,0 +1,29 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (width.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  Buffer.add_string buf
+    (String.make
+       (Array.fold_left ( + ) 0 width + (2 * (cols - 1)))
+       '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)
+let pct x = Printf.sprintf "%.1f%%" x
+let f1 x = Printf.sprintf "%.1f" x

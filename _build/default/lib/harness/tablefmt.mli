@@ -1,0 +1,12 @@
+(** Minimal aligned-ASCII-table rendering for the experiment outputs. *)
+
+val render : header:string list -> string list list -> string
+(** Right-pads every column to its widest cell; header separated by a
+    dashed rule. *)
+
+val print : header:string list -> string list list -> unit
+val pct : float -> string
+(** "96.3%" *)
+
+val f1 : float -> string
+(** one decimal *)

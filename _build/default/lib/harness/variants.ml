@@ -1,0 +1,83 @@
+type t = {
+  label : string;
+  queue : string;
+  delta_of : Machine_config.t -> int;
+  worker_fence : bool;
+}
+
+let the_baseline =
+  { label = "THE"; queue = "the"; delta_of = (fun _ -> 1); worker_fence = true }
+
+let the_no_fence =
+  {
+    label = "THE (no fence)";
+    queue = "the";
+    delta_of = (fun _ -> 1);
+    worker_fence = false;
+  }
+
+let fig10 =
+  [
+    {
+      label = "FF-THE";
+      queue = "ff-the";
+      delta_of = Machine_config.default_delta;
+      worker_fence = false;
+    };
+    {
+      label = "FF-THE d=4";
+      queue = "ff-the";
+      delta_of = (fun _ -> 4);
+      worker_fence = false;
+    };
+    {
+      label = "THEP d=inf";
+      queue = "thep";
+      delta_of = (fun _ -> max_int);
+      worker_fence = false;
+    };
+    {
+      label = "THEP";
+      queue = "thep";
+      delta_of = Machine_config.default_delta;
+      worker_fence = false;
+    };
+    {
+      label = "THEP d=4";
+      queue = "thep";
+      delta_of = (fun _ -> 4);
+      worker_fence = false;
+    };
+  ]
+
+let fig11 =
+  [
+    {
+      label = "Chase-Lev";
+      queue = "chase-lev";
+      delta_of = (fun _ -> 1);
+      worker_fence = true;
+    };
+    {
+      label = "Idempotent d.e. FIFO";
+      queue = "idempotent-fifo";
+      delta_of = (fun _ -> 1);
+      worker_fence = false;
+    };
+    {
+      label = "Idempotent LIFO";
+      queue = "idempotent-lifo";
+      delta_of = (fun _ -> 1);
+      worker_fence = false;
+    };
+    {
+      label = "FF-CL";
+      queue = "ff-cl";
+      delta_of = Machine_config.default_delta;
+      worker_fence = false;
+    };
+  ]
+
+let delta_to_string machine v =
+  let d = v.delta_of machine in
+  if d = max_int then "inf" else string_of_int d

@@ -1,0 +1,23 @@
+(** The queue configurations evaluated in §8. *)
+
+type t = {
+  label : string;  (** as in the Fig. 10 legend *)
+  queue : string;  (** registry name *)
+  delta_of : Machine_config.t -> int;
+  worker_fence : bool;
+}
+
+val the_baseline : t
+(** Stock CilkPlus THE — the 100% line of Fig. 10. *)
+
+val the_no_fence : t
+(** THE with the take-fence removed, single-worker-safe only (Fig. 1). *)
+
+val fig10 : t list
+(** FF-THE, FF-THE δ=4, THEP δ=∞, THEP, THEP δ=4 — Fig. 10's bar order. *)
+
+val fig11 : t list
+(** Chase-Lev (baseline), idempotent double-ended FIFO, idempotent LIFO,
+    FF-CL — Fig. 11's bar order. *)
+
+val delta_to_string : Machine_config.t -> t -> string

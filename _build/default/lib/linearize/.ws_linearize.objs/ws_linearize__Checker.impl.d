@@ -1,0 +1,1 @@
+lib/linearize/checker.ml: Array History List Printf Set Spec

@@ -1,0 +1,1 @@
+lib/linearize/history.ml: Format List Spec Tso Ws_core

@@ -1,0 +1,1 @@
+lib/linearize/spec.ml: Format List

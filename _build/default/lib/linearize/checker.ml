@@ -1,0 +1,83 @@
+type verdict =
+  | Linearizable of (int * Spec.op * Spec.response) list
+  | Not_linearizable
+  | Too_large
+
+module Key = struct
+  type t = string * Spec.state (* bitmask of linearised ops, spec state *)
+
+  let compare = compare
+end
+
+module Seen = Set.Make (Key)
+
+let check ?(init = Spec.initial) ?(max_states = 2_000_000) kind entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  if n > 62 then invalid_arg "Checker.check: history too long (> 62 ops)";
+  let explored = ref 0 in
+  let seen = ref Seen.empty in
+  let budget_hit = ref false in
+  (* An op is ready to linearise next if every op whose response precedes its
+     invocation has already been linearised. *)
+  let must_precede j i =
+    entries.(j).History.res < entries.(i).History.inv
+  in
+  let mask_key mask = Printf.sprintf "%x" mask in
+  let rec go mask state acc =
+    if !explored >= max_states then begin
+      budget_hit := true;
+      None
+    end
+    else begin
+      incr explored;
+      if mask = (1 lsl n) - 1 then Some (List.rev acc)
+      else begin
+        let key = (mask_key mask, state) in
+        if Seen.mem key !seen then None
+        else begin
+          seen := Seen.add key !seen;
+          let rec try_ops i =
+            if i >= n then None
+            else if mask land (1 lsl i) <> 0 then try_ops (i + 1)
+            else begin
+              let ready =
+                let ok = ref true in
+                for j = 0 to n - 1 do
+                  if
+                    !ok
+                    && mask land (1 lsl j) = 0
+                    && j <> i
+                    && must_precede j i
+                  then ok := false
+                done;
+                !ok
+              in
+              if not ready then try_ops (i + 1)
+              else begin
+                let e = entries.(i) in
+                match Spec.conforms kind state e.History.op e.History.response with
+                | None -> try_ops (i + 1)
+                | Some state' -> (
+                    match
+                      go
+                        (mask lor (1 lsl i))
+                        state'
+                        ((e.History.id, e.History.op, e.History.response) :: acc)
+                    with
+                    | Some _ as w -> w
+                    | None -> try_ops (i + 1))
+              end
+            end
+          in
+          try_ops 0
+        end
+      end
+    end
+  in
+  match go 0 init [] with
+  | Some witness -> Linearizable witness
+  | None -> if !budget_hit then Too_large else Not_linearizable
+
+let check_history ?init ?max_states kind h =
+  check ?init ?max_states kind (History.entries h)

@@ -1,0 +1,72 @@
+type entry = {
+  id : int;
+  thread : string;
+  op : Spec.op;
+  response : Spec.response;
+  inv : int;
+  res : int;
+}
+
+type t = { mutable entries : entry list; mutable next_id : int }
+
+let create () = { entries = []; next_id = 0 }
+
+let record t m ~thread op f =
+  (* Thread programs run lazily (a body executes up to its next effect
+     during the previous resume), so stamping at wrapper entry would
+     back-date the invocation to the caller's previous instruction. The
+     no-op label is a real transition: once it has been scheduled, the
+     operation has genuinely begun. *)
+  Tso.Program.label (Format.asprintf "inv %a" Spec.pp_op op);
+  let inv = Tso.Machine.steps m in
+  let response = f () in
+  let res = Tso.Machine.steps m in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.entries <- { id; thread; op; response; inv; res } :: t.entries;
+  response
+
+let entries t = List.rev t.entries
+let length t = t.next_id
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "[%4d,%4d] %-8s %a -> %a@," e.inv e.res e.thread
+        Spec.pp_op e.op Spec.pp_response e.response)
+    (entries t);
+  Format.fprintf ppf "@]"
+
+let put t m ~thread q v =
+  let r =
+    record t m ~thread (Spec.Put v) (fun () ->
+        Ws_core.Queue_intf.put q v;
+        Spec.R_ok)
+  in
+  match r with Spec.R_ok -> () | _ -> assert false
+
+let take t m ~thread q =
+  let result = ref `Empty in
+  let _ =
+    record t m ~thread Spec.Take (fun () ->
+        let r = Ws_core.Queue_intf.take q in
+        result := r;
+        match r with
+        | `Task v -> Spec.R_task v
+        | `Empty -> Spec.R_empty)
+  in
+  !result
+
+let steal t m ~thread q =
+  let result = ref `Empty in
+  let _ =
+    record t m ~thread Spec.Steal (fun () ->
+        let r = Ws_core.Queue_intf.steal q in
+        result := (r :> Ws_core.Queue_intf.steal_result);
+        match r with
+        | `Task v -> Spec.R_task v
+        | `Empty -> Spec.R_empty
+        | `Abort -> Spec.R_abort)
+  in
+  !result

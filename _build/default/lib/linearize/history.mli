@@ -1,0 +1,38 @@
+(** Concurrent histories of queue operations, recorded from simulator runs.
+
+    Timestamps are the machine's transition counter: an operation's
+    invocation stamp is taken when the (host-level) wrapper is entered and
+    its response stamp when it returns, so two operations overlap iff their
+    [\[inv, res\]] intervals intersect — real-time order in the sense of
+    Herlihy & Wing. *)
+
+type entry = {
+  id : int;
+  thread : string;
+  op : Spec.op;
+  response : Spec.response;
+  inv : int;
+  res : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> Tso.Machine.t -> thread:string -> Spec.op -> (unit -> Spec.response) -> Spec.response
+(** [record h m ~thread op f] stamps the invocation, runs [f] (which performs
+    the simulated operation), stamps the response and logs the entry.
+    Returns [f ()]'s result. The invocation stamp is anchored by a no-op
+    [label] transition, so it reflects when the operation was actually
+    scheduled rather than when the caller's program text reached it. *)
+
+val entries : t -> entry list
+(** In invocation order. *)
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {1 Recording wrappers} *)
+
+val put : t -> Tso.Machine.t -> thread:string -> Ws_core.Queue_intf.packed -> int -> unit
+val take : t -> Tso.Machine.t -> thread:string -> Ws_core.Queue_intf.packed -> Ws_core.Queue_intf.take_result
+val steal : t -> Tso.Machine.t -> thread:string -> Ws_core.Queue_intf.packed -> Ws_core.Queue_intf.steal_result

@@ -1,0 +1,71 @@
+type op = Put of int | Take | Steal
+
+type response = R_ok | R_task of int | R_empty | R_abort
+
+let pp_op ppf = function
+  | Put v -> Format.fprintf ppf "put(%d)" v
+  | Take -> Format.fprintf ppf "take()"
+  | Steal -> Format.fprintf ppf "steal()"
+
+let pp_response ppf = function
+  | R_ok -> Format.fprintf ppf "ok"
+  | R_task v -> Format.fprintf ppf "task %d" v
+  | R_empty -> Format.fprintf ppf "EMPTY"
+  | R_abort -> Format.fprintf ppf "ABORT"
+
+(* [items] is the queue head-first; [handed_out] remembers elements already
+   extracted, which the idempotent spec may re-deliver. *)
+type state = { items : int list; handed_out : int list }
+
+let initial = { items = []; handed_out = [] }
+let contents s = s.items
+let of_contents items = { items; handed_out = [] }
+let equal_state a b = a.items = b.items && a.handed_out = b.handed_out
+let compare_state = compare
+
+type kind = Strict | Relaxed | Idempotent
+
+let remember s v =
+  if List.mem v s.handed_out then s else { s with handed_out = v :: s.handed_out }
+
+let rec split_last = function
+  | [] -> None
+  | [ x ] -> Some ([], x)
+  | x :: rest -> (
+      match split_last rest with
+      | Some (init, last) -> Some (x :: init, last)
+      | None -> None)
+
+let apply kind s op =
+  match op with
+  | Put v -> [ (R_ok, { s with items = s.items @ [ v ] }) ]
+  | Take -> (
+      let proper =
+        match split_last s.items with
+        | None -> [ (R_empty, s) ]
+        | Some (init, last) ->
+            [ (R_task last, remember { s with items = init } last) ]
+      in
+      match kind with
+      | Strict | Relaxed -> proper
+      | Idempotent ->
+          proper
+          @ List.map (fun v -> (R_task v, s)) s.handed_out)
+  | Steal -> (
+      let proper =
+        match s.items with
+        | [] -> [ (R_empty, s) ]
+        | first :: rest ->
+            [ (R_task first, remember { s with items = rest } first) ]
+      in
+      match kind with
+      | Strict -> proper
+      | Relaxed -> (R_abort, s) :: proper
+      | Idempotent ->
+          proper
+          @ List.map (fun v -> (R_task v, s)) s.handed_out)
+
+let conforms kind s op r =
+  List.find_map
+    (fun (r', s') -> if r = r' then Some s' else None)
+    (apply kind s op)

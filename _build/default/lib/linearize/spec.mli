@@ -1,0 +1,36 @@
+(** Sequential specifications of the work-stealing queue (§3.1 and §4).
+
+    A specification maps a state and an operation to the set of legal
+    (response, next state) pairs. The strict spec is deterministic; the
+    relaxed spec additionally lets [steal] return [`Abort] leaving the state
+    unchanged; the idempotent spec tracks a multiset-style state where an
+    element may be handed out more than once (take-at-least-once). *)
+
+type op = Put of int | Take | Steal
+
+type response = R_ok | R_task of int | R_empty | R_abort
+
+val pp_op : Format.formatter -> op -> unit
+val pp_response : Format.formatter -> response -> unit
+
+type state
+(** The queue contents, head on the left. *)
+
+val initial : state
+val contents : state -> int list
+val of_contents : int list -> state
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+
+type kind = Strict | Relaxed | Idempotent
+
+val apply : kind -> state -> op -> (response * state) list
+(** All legal outcomes of the operation in the given state. Responses are
+    exact: e.g. [Take] on [\[1;2\]] must answer [R_task 2] (tail). For
+    [Idempotent], a [Steal]/[Take] may re-deliver a previously removed
+    element; such outcomes are generated from the state's memory of
+    handed-out elements. *)
+
+val conforms : kind -> state -> op -> response -> state option
+(** [conforms kind s op r] is [Some s'] when the recorded response [r] is a
+    legal outcome, with [s'] the resulting state; [None] otherwise. *)

@@ -1,0 +1,1 @@
+lib/litmus/capacity.ml: List Queue

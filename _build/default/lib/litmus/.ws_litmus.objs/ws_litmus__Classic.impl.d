@@ -1,0 +1,1 @@
+lib/litmus/classic.ml: Explore Format Hashtbl List Machine Memory Option Printf Program String Tso

@@ -1,0 +1,1 @@
+lib/litmus/classic.mli: Format Tso

@@ -1,0 +1,1 @@
+lib/litmus/grid.ml: Hashtbl List Litmus_program Option

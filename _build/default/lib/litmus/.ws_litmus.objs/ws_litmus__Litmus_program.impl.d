@@ -1,0 +1,1 @@
+lib/litmus/litmus_program.ml: Array Fun List Machine Memory Printf Program Random Sched Tso Ws_core

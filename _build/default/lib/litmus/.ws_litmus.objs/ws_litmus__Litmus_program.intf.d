@@ -1,0 +1,1 @@
+lib/litmus/litmus_program.mli: Tso

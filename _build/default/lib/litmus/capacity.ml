@@ -1,0 +1,82 @@
+type model = {
+  capacity : int;
+  drain_latency : int;
+  filler_latency : int;
+  egress : bool;
+}
+
+(* Drains hit the L1 at a couple of cycles per store, so a sub-capacity
+   sequence drains entirely under the filler's shadow; the post-knee slope
+   of Fig. 7 (~2.5 cycles per extra store) pins drain_latency. *)
+let westmere_model =
+  { capacity = 32; drain_latency = 3; filler_latency = 110; egress = true }
+
+let haswell_model =
+  { capacity = 42; drain_latency = 3; filler_latency = 140; egress = true }
+
+(* In-order issue / in-order retire pipeline with a background drain engine.
+   State carried across instructions:
+   - [clock]: next issue cycle;
+   - [retired]: retire time of the previous instruction (in-order);
+   - [free_at]: queue of times at which currently-occupied SB entries free
+     up. With the egress buffer an entry frees when its drain *starts*
+     (the store moves to B); without it, when the write completes. *)
+let cycles_per_iteration model ~stores ~iterations =
+  if stores < 1 then invalid_arg "Capacity: stores must be >= 1";
+  let free_at = Queue.create () in
+  let clock = ref 0 (* in-order issue, one instruction per cycle *) in
+  let retired = ref 0 (* in-order retirement frontier *) in
+  let drain_done = ref 0 (* drain engine busy until here *) in
+  let issue_store () =
+    (* reclaim entries already freed, then stall issue if still full *)
+    while
+      (match Queue.peek_opt free_at with
+      | Some t -> t <= !clock
+      | None -> false)
+      && Queue.length free_at > 0
+    do
+      ignore (Queue.pop free_at)
+    done;
+    if Queue.length free_at >= model.capacity then
+      clock := max !clock (Queue.pop free_at);
+    let issue = !clock in
+    clock := issue + 1;
+    (* retirement is in order but wide: a store retires with (not after) the
+       frontier, so a burst of stores retires as soon as the previous filler
+       has *)
+    retired := max issue !retired;
+    (* the drain engine writes one retired store per drain_latency cycles *)
+    let start = max !retired !drain_done in
+    let finish = start + model.drain_latency in
+    drain_done := finish;
+    Queue.push (if model.egress then start else finish) free_at
+  in
+  let issue_filler () =
+    let issue = !clock in
+    clock := issue + 1;
+    retired := max issue !retired + model.filler_latency
+  in
+  let t0 = !clock in
+  for _ = 1 to iterations do
+    for _ = 1 to stores do
+      issue_store ()
+    done;
+    issue_filler ()
+  done;
+  (* wait for the last filler to retire, as the cycle counter read in Fig. 6
+     would *)
+  clock := max !clock !retired;
+  float_of_int (!clock - t0) /. float_of_int iterations
+
+let sweep model ~stores_list ~iterations =
+  List.map
+    (fun stores -> (stores, cycles_per_iteration model ~stores ~iterations))
+    stores_list
+
+let detect_capacity points =
+  match points with
+  | [] -> invalid_arg "Capacity.detect_capacity: no points"
+  | (_, base) :: _ ->
+      List.fold_left
+        (fun acc (n, c) -> if c <= base *. 1.005 then max acc n else acc)
+        0 points

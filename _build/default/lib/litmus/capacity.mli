@@ -1,0 +1,39 @@
+(** Store-buffer capacity measurement (paper §7.2, Figs. 6 and 7).
+
+    Models the micro-benchmark of Fig. 6 at the pipeline level: alternate a
+    sequence of [stores] stores with a long-latency non-memory instruction
+    sequence. Issue is in-order, one instruction per cycle; a store occupies
+    a buffer entry from issue until the drain engine retires it to memory
+    (one write per [drain_latency] cycles, starting only after the store
+    retires — and in-order retirement means after the previous iteration's
+    filler retires). While the sequence fits in the buffer, drains overlap
+    the filler and an iteration costs ~[filler_latency] cycles; beyond
+    capacity, issue stalls and the cost climbs — the knee of Fig. 7.
+
+    With [egress = true] the post-retirement buffer B of §7.3 adds one
+    observable entry, which is why the measured reordering bound is
+    capacity + 1 (33 on Westmere-EX, 43 on Haswell). *)
+
+type model = {
+  capacity : int;  (** architectural store-buffer entries *)
+  drain_latency : int;  (** cycles per write to the memory subsystem *)
+  filler_latency : int;  (** latency of the non-memory instruction sequence *)
+  egress : bool;  (** model the B buffer (frees an SB entry at drain start) *)
+}
+
+val westmere_model : model
+(** 32 entries + B, as measured in Fig. 7. *)
+
+val haswell_model : model
+(** 42 entries + B. *)
+
+val cycles_per_iteration : model -> stores:int -> iterations:int -> float
+(** Average cost of one iteration of the Fig. 6 loop. *)
+
+val sweep : model -> stores_list:int list -> iterations:int -> (int * float) list
+(** The Fig. 7 curve: (sequence length, cycles/iteration). *)
+
+val detect_capacity : (int * float) list -> int
+(** The knee: the largest sequence length whose cost is within 0.5% of the
+    baseline (shortest-sequence) cost — the documented capacity; the extra
+    observable entry B only shows up in the §7.3 litmus campaign. *)

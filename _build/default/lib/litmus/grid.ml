@@ -1,0 +1,61 @@
+type cell = {
+  alpha : int;
+  delta : int;
+  l_values : int list;
+  runs : int;
+  incorrect : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let alpha_groups ~s_assumed ~max_l =
+  let tbl = Hashtbl.create 16 in
+  for l = 0 to max_l do
+    let alpha = ceil_div s_assumed (l + 1) in
+    Hashtbl.replace tbl alpha
+      (l :: Option.value ~default:[] (Hashtbl.find_opt tbl alpha))
+  done;
+  Hashtbl.fold (fun alpha ls acc -> (alpha, List.rev ls) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let run_cell ?(tasks = 256) ?(runs_per_l = 20) ?(drain_weight = 0.02)
+    ?(stop_at_first = true) ~sb_capacity ~coalesce ~s_assumed:_ ~alpha
+    ~l_values ~delta ~seed () =
+  let runs = ref 0 in
+  let incorrect = ref 0 in
+  (try
+     List.iter
+       (fun l ->
+         for r = 1 to runs_per_l do
+           incr runs;
+           let o =
+             Litmus_program.run ~tasks ~sb_capacity ~coalesce ~l ~delta
+               ~drain_weight
+               ~seed:(seed + (1000 * l) + r)
+               ()
+           in
+           if not (Litmus_program.correct o) then begin
+             incr incorrect;
+             if stop_at_first then raise Exit
+           end
+         done)
+       l_values
+   with Exit -> ());
+  { alpha; delta; l_values; runs = !runs; incorrect = !incorrect }
+
+let campaign ?tasks ?runs_per_l ?stop_at_first ?(max_l = 32)
+    ?(delta_offsets = [ -1; 0; 1 ]) ~sb_capacity ~coalesce ~s_assumed ~seed ()
+    =
+  let groups = alpha_groups ~s_assumed ~max_l in
+  List.concat_map
+    (fun (alpha, l_values) ->
+      List.filter_map
+        (fun off ->
+          let delta = alpha + off in
+          if delta < 1 then None
+          else
+            Some
+              (run_cell ?tasks ?runs_per_l ?stop_at_first ~sb_capacity
+                 ~coalesce ~s_assumed ~alpha ~l_values ~delta ~seed ()))
+        delta_offsets)
+    groups

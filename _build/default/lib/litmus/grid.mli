@@ -1,0 +1,58 @@
+(** The Fig. 8 litmus campaign: test whether the machine implements TSO[S]
+    for an assumed bound S by hunting for incorrect executions of the Fig. 9
+    program across (L, δ) pairs.
+
+    For an assumed bound [s_assumed], each pair is summarised by
+    α = ⌈s_assumed / (L+1)⌉, the maximum number of take-stores that could
+    hide in the buffer {e if the assumption held}. Executions with δ ≥ α
+    must then be correct; an incorrect one refutes TSO[s_assumed].
+
+    Interpreting the campaign against the machine's real behaviour
+    (architectural buffer [sb_capacity] plus the egress entry B, observable
+    bound [sb_capacity + 1]):
+    - assuming S = [sb_capacity] (Fig. 8a): cells with δ = α fail exactly
+      when (L+1) divides S, because the true α is one larger there;
+    - assuming S = [sb_capacity + 1] (Fig. 8b): all cells with δ ≥ α pass
+      except L = 0, where same-address coalescing in B makes the reordering
+      unbounded. *)
+
+type cell = {
+  alpha : int;  (** ⌈s_assumed/(L+1)⌉ *)
+  delta : int;
+  l_values : int list;  (** all L aggregated into this α *)
+  runs : int;
+  incorrect : int;
+}
+
+val alpha_groups : s_assumed:int -> max_l:int -> (int * int list) list
+(** (α, all L in [0, max_l] with ⌈s_assumed/(L+1)⌉ = α), α descending. *)
+
+val run_cell :
+  ?tasks:int ->
+  ?runs_per_l:int ->
+  ?drain_weight:float ->
+  ?stop_at_first:bool ->
+  sb_capacity:int ->
+  coalesce:bool ->
+  s_assumed:int ->
+  alpha:int ->
+  l_values:int list ->
+  delta:int ->
+  seed:int ->
+  unit ->
+  cell
+
+val campaign :
+  ?tasks:int ->
+  ?runs_per_l:int ->
+  ?stop_at_first:bool ->
+  ?max_l:int ->
+  ?delta_offsets:int list ->
+  sb_capacity:int ->
+  coalesce:bool ->
+  s_assumed:int ->
+  seed:int ->
+  unit ->
+  cell list
+(** The full grid: for every α group, each δ = α + offset (offsets default
+    [\[-1; 0; 1\]], δ clamped to ≥ 1). *)

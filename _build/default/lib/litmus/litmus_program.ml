@@ -1,0 +1,77 @@
+open Tso
+
+type outcome = {
+  taken : int;
+  stolen : int;
+  tasks : int;
+  duplicated : int;
+  lost : int;
+  sched : Sched.outcome;
+}
+
+let correct o =
+  o.sched = Sched.Quiescent
+  && o.taken + o.stolen = o.tasks
+  && o.duplicated = 0
+  && o.lost = 0
+
+let run ?(tasks = 512) ?(queue_capacity = 1024) ~sb_capacity ~coalesce ~l
+    ~delta ~drain_weight ~seed () =
+  let machine =
+    Machine.create (Machine.realistic_config ~sb_capacity ~coalesce)
+  in
+  let params =
+    {
+      Ws_core.Queue_intf.capacity = queue_capacity;
+      delta;
+      worker_fence = false;
+      tag = "q";
+    }
+  in
+  let module Q = Ws_core.Ff_the in
+  let q = Q.create machine params in
+  Q.preload q (List.init tasks Fun.id);
+  let removed = Array.make tasks 0 in
+  let taken = ref 0 in
+  let stolen = ref 0 in
+  (* the worker's L stores between takes go to L distinct locations *)
+  let mem = Machine.memory machine in
+  let pads =
+    Array.init (max l 1) (fun i ->
+        Memory.alloc mem ~name:(Printf.sprintf "pad%d" i) ~init:0)
+  in
+  let _ =
+    Machine.spawn machine ~name:"worker" (fun () ->
+        let rec loop () =
+          match Q.take q with
+          | `Empty -> ()
+          | `Task i ->
+              removed.(i) <- removed.(i) + 1;
+              incr taken;
+              for j = 0 to l - 1 do
+                Program.store pads.(j) !taken
+              done;
+              loop ()
+        in
+        loop ())
+  in
+  let _ =
+    Machine.spawn machine ~name:"thief" (fun () ->
+        let rec loop () =
+          match Q.steal q with
+          | `Abort -> ()
+          | `Empty -> () (* unreachable: FF-THE subsumes EMPTY in ABORT *)
+          | `Task i ->
+              removed.(i) <- removed.(i) + 1;
+              incr stolen;
+              loop ()
+        in
+        loop ())
+  in
+  let rng = Random.State.make [| seed; sb_capacity; l; delta |] in
+  let sched =
+    Sched.run ~max_steps:2_000_000 machine (Sched.weighted rng ~drain_weight)
+  in
+  let duplicated = Array.fold_left (fun a c -> if c > 1 then a + 1 else a) 0 removed in
+  let lost = Array.fold_left (fun a c -> if c = 0 then a + 1 else a) 0 removed in
+  { taken = !taken; stolen = !stolen; tasks; duplicated; lost; sched }

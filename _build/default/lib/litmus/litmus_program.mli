@@ -1,0 +1,39 @@
+(** The Fig. 9 litmus program: a worker and a thief concurrently drain an
+    FF-THE queue preloaded with [tasks] items on a realistic bounded-TSO
+    machine. The worker performs [l] stores to distinct locations between
+    takes; the thief steals until its first ABORT. The run is correct iff
+    every item was removed exactly once (taken + stolen = tasks and no
+    duplicates).
+
+    This is the engine behind the Fig. 8 campaign, and doubles as a general
+    stress harness for the other queue algorithms in the tests. *)
+
+type outcome = {
+  taken : int;
+  stolen : int;
+  tasks : int;
+  duplicated : int;  (** items removed more than once *)
+  lost : int;  (** items never removed *)
+  sched : Tso.Sched.outcome;
+}
+
+val correct : outcome -> bool
+(** taken + stolen = tasks with no duplicates and no losses, and the run
+    reached quiescence. *)
+
+val run :
+  ?tasks:int ->
+  ?queue_capacity:int ->
+  sb_capacity:int ->
+  coalesce:bool ->
+  l:int ->
+  delta:int ->
+  drain_weight:float ->
+  seed:int ->
+  unit ->
+  outcome
+(** One run. [sb_capacity] is the architectural buffer size (the machine
+    adds the egress entry B, so the observable bound is [sb_capacity + 1]);
+    [coalesce] enables same-address coalescing in B (the L = 0 anomaly).
+    Default [tasks] = 512 as in the paper; schedules are adversarial
+    weighted-random with the given [drain_weight]. *)

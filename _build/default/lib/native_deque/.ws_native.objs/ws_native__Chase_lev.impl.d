@@ -1,0 +1,1 @@
+lib/native_deque/chase_lev.ml: Array Atomic Domain

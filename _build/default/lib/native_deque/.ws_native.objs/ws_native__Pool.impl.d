@@ -1,0 +1,1 @@
+lib/native_deque/pool.ml: Array Atomic Chase_lev Domain List Option Random

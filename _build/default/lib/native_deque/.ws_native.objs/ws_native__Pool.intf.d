@@ -1,0 +1,1 @@
+lib/native_deque/pool.mli:

@@ -1,0 +1,1 @@
+lib/native_deque/the_queue.mli:

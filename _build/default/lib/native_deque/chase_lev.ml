@@ -1,0 +1,95 @@
+(* Chase & Lev, "Dynamic circular work-stealing deque" (SPAA 2005), with the
+   growing circular buffer of the original. H and T are monotonically
+   increasing virtual indices; the buffer doubles on overflow. *)
+
+type 'a buffer = { log_size : int; elems : 'a option Atomic.t array }
+
+let buffer_create log_size =
+  { log_size; elems = Array.init (1 lsl log_size) (fun _ -> Atomic.make None) }
+
+let buffer_get b i = Atomic.get b.elems.(i land ((1 lsl b.log_size) - 1))
+let buffer_set b i v = Atomic.set b.elems.(i land ((1 lsl b.log_size) - 1)) v
+
+let buffer_grow b ~head ~tail =
+  let b' = buffer_create (b.log_size + 1) in
+  for i = head to tail - 1 do
+    buffer_set b' i (buffer_get b i)
+  done;
+  b'
+
+type 'a t = {
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  let rec log2_up n acc = if 1 lsl acc >= n then acc else log2_up n (acc + 1) in
+  {
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    buf = Atomic.make (buffer_create (max 4 (log2_up capacity 0)));
+  }
+
+let size q = max 0 (Atomic.get q.tail - Atomic.get q.head)
+
+let push q v =
+  let t = Atomic.get q.tail in
+  let h = Atomic.get q.head in
+  let b = Atomic.get q.buf in
+  let b =
+    if t - h >= (1 lsl b.log_size) - 1 then begin
+      let b' = buffer_grow b ~head:h ~tail:t in
+      Atomic.set q.buf b';
+      b'
+    end
+    else b
+  in
+  buffer_set b t (Some v);
+  (* Atomic.set is a release store: the element is visible before the new
+     tail. *)
+  Atomic.set q.tail (t + 1)
+
+let pop q =
+  let t = Atomic.get q.tail - 1 in
+  let b = Atomic.get q.buf in
+  Atomic.set q.tail t;
+  (* OCaml SC atomics make this store/load sequence the fenced take() of
+     Fig. 2c — the fence the paper removes is implicit and unremovable
+     here. *)
+  let h = Atomic.get q.head in
+  if t > h then buffer_get b t
+  else if t < h then begin
+    (* empty, or a thief got ahead: restore the tail *)
+    Atomic.set q.tail h;
+    None
+  end
+  else begin
+    (* last element: race thieves via CAS on the head *)
+    Atomic.set q.tail (h + 1);
+    if Atomic.compare_and_set q.head h (h + 1) then buffer_get b t else None
+  end
+
+let steal q =
+  let h = Atomic.get q.head in
+  let t = Atomic.get q.tail in
+  if h >= t then None
+  else begin
+    let b = Atomic.get q.buf in
+    let v = buffer_get b h in
+    if Atomic.compare_and_set q.head h (h + 1) then v else None
+  end
+
+let rec steal_retry q =
+  let h = Atomic.get q.head in
+  let t = Atomic.get q.tail in
+  if h >= t then None
+  else begin
+    let b = Atomic.get q.buf in
+    let v = buffer_get b h in
+    if Atomic.compare_and_set q.head h (h + 1) then v
+    else begin
+      Domain.cpu_relax ();
+      steal_retry q
+    end
+  end

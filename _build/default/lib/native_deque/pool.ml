@@ -1,0 +1,90 @@
+type task = unit -> unit
+
+type t = {
+  deques : task Chase_lev.t array;
+  in_flight : int Atomic.t;
+  stop : bool Atomic.t;
+  domains : unit Domain.t list;
+  worker_id : int option Domain.DLS.key;
+}
+
+let rec run_one pool me rng =
+  match Chase_lev.pop pool.deques.(me) with
+  | Some task ->
+      task ();
+      ignore (Atomic.fetch_and_add pool.in_flight (-1));
+      true
+  | None ->
+      let n = Array.length pool.deques in
+      if n <= 1 then false
+      else begin
+        let victim =
+          let v = Random.State.int rng (n - 1) in
+          if v >= me then v + 1 else v
+        in
+        match Chase_lev.steal pool.deques.(victim) with
+        | Some task ->
+            task ();
+            ignore (Atomic.fetch_and_add pool.in_flight (-1));
+            true
+        | None -> false
+      end
+
+and worker_loop pool me =
+  Domain.DLS.set pool.worker_id (Some me);
+  let rng = Random.State.make [| 0x9e3779b9; me |] in
+  while not (Atomic.get pool.stop) do
+    if not (run_one pool me rng) then Domain.cpu_relax ()
+  done
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let worker_id = Domain.DLS.new_key (fun () -> None) in
+  let pool =
+    {
+      deques = Array.init (n + 1) (fun _ -> Chase_lev.create ());
+      in_flight = Atomic.make 0;
+      stop = Atomic.make false;
+      domains = [];
+      worker_id;
+    }
+  in
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)))
+  in
+  { pool with domains }
+
+let my_id pool = Option.value ~default:0 (Domain.DLS.get pool.worker_id)
+
+let spawn pool task =
+  ignore (Atomic.fetch_and_add pool.in_flight 1);
+  Chase_lev.push pool.deques.(my_id pool) task
+
+let parallel_run pool tasks =
+  Domain.DLS.set pool.worker_id (Some 0);
+  List.iter (fun t -> spawn pool t) tasks;
+  let rng = Random.State.make [| 0xab1e |] in
+  while Atomic.get pool.in_flight > 0 do
+    if not (run_one pool 0 rng) then Domain.cpu_relax ()
+  done
+
+let shutdown pool =
+  Atomic.set pool.stop true;
+  List.iter Domain.join pool.domains
+
+let fib pool n =
+  let acc = Atomic.make 0 in
+  let rec task n () =
+    if n < 2 then ignore (Atomic.fetch_and_add acc n)
+    else begin
+      spawn pool (task (n - 1));
+      spawn pool (task (n - 2))
+    end
+  in
+  parallel_run pool [ task n ];
+  Atomic.get acc

@@ -1,0 +1,25 @@
+(** A minimal work-stealing thread pool over the native deques: each domain
+    owns a {!Chase_lev} deque of thunks, pops locally, and steals from
+    random victims when empty. Demonstrates the deques under real
+    parallelism (and powers the native benchmarks and examples). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Default: [Domain.recommended_domain_count () - 1] worker domains plus
+    the caller. *)
+
+val parallel_run : t -> (unit -> unit) list -> unit
+(** Execute the thunks to completion. Each thunk may {!spawn} more work.
+    Returns when every spawned task has finished. Not reentrant. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Enqueue a task on the calling worker's deque. Must be called from inside
+    a task run by {!parallel_run} (or before it, for seeding). *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool cannot be reused afterwards. *)
+
+val fib : t -> int -> int
+(** The inevitable demo: parallel naive Fibonacci on the pool (used by
+    examples and the native bench). *)

@@ -1,0 +1,16 @@
+(** A real (non-simulated) THE queue (Cilk-5 / Fig. 2b) on OCaml 5 Atomics,
+    with a per-queue mutex for the conflict path. Single owner for
+    [push]/[pop]; [steal] from any domain. As with {!Chase_lev}, the
+    worker-side fence is implicit in OCaml's SC atomics and cannot be
+    removed — see DESIGN.md §1. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fixed capacity (rounded up to a power of two); [push] raises [Failure]
+    on overflow. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val steal : 'a t -> 'a option
+val size : 'a t -> int

@@ -1,0 +1,1 @@
+lib/runtime/dag.ml: Array List Printf Queue Tso Workload

@@ -1,0 +1,1 @@
+lib/runtime/dag.mli: Workload

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Addr Array Hashtbl List Machine Memory Metrics Option Printf Program Random Sched Store_buffer Timing Tso Workload Ws_core

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Hashtbl Metrics Tso Workload Ws_core

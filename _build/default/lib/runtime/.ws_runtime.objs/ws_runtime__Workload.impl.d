@@ -1,0 +1,1 @@
+lib/runtime/workload.ml: Fun List Tso

@@ -1,0 +1,121 @@
+type comp =
+  | Leaf of int
+  | Fork of { before : int; children : comp list; after : int }
+  | Seq of comp list
+
+type t = {
+  work : int array;  (* per-task cycles *)
+  deps : int array;  (* incoming-edge count *)
+  children : int list array;  (* tasks unblocked when this one completes *)
+}
+
+type builder = {
+  mutable b_work : int list;  (* reversed *)
+  mutable b_n : int;
+  mutable b_edges : (int * int) list;
+}
+
+let add b work =
+  let id = b.b_n in
+  b.b_n <- id + 1;
+  b.b_work <- work :: b.b_work;
+  id
+
+let edge b src dst = b.b_edges <- (src, dst) :: b.b_edges
+
+(* Returns (entry, exit) task ids of the sub-computation. *)
+let rec build b = function
+  | Leaf w ->
+      let id = add b w in
+      (id, id)
+  | Fork { before; children; after } ->
+      let fork = add b before in
+      let join = add b after in
+      edge b fork join;
+      List.iter
+        (fun child ->
+          let entry, exit_ = build b child in
+          edge b fork entry;
+          edge b exit_ join)
+        children;
+      (fork, join)
+  | Seq comps -> (
+      let ends = List.map (build b) comps in
+      match ends with
+      | [] ->
+          let id = add b 0 in
+          (id, id)
+      | (entry0, exit0) :: rest ->
+          let exit_ =
+            List.fold_left
+              (fun prev_exit (entry, exit_) ->
+                edge b prev_exit entry;
+                exit_)
+              exit0 rest
+          in
+          (entry0, exit_))
+
+let of_comp comp =
+  let b = { b_work = []; b_n = 0; b_edges = [] } in
+  let _ = build b comp in
+  let n = b.b_n in
+  let work = Array.of_list (List.rev b.b_work) in
+  let deps = Array.make n 0 in
+  let children = Array.make n [] in
+  List.iter
+    (fun (src, dst) ->
+      deps.(dst) <- deps.(dst) + 1;
+      children.(src) <- dst :: children.(src))
+    b.b_edges;
+  { work; deps; children }
+
+let size t = Array.length t.work
+let total_work t = Array.fold_left ( + ) 0 t.work
+
+let critical_path t =
+  let n = size t in
+  let dist = Array.make n (-1) in
+  (* tasks are numbered so that edges go from lower fork ids to higher join
+     ids only within a fork; a generic topological pass is safer. *)
+  let indeg = Array.copy t.deps in
+  let q = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then begin
+      dist.(i) <- t.work.(i);
+      Queue.push i q
+    end
+  done;
+  let best = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    best := max !best dist.(i);
+    List.iter
+      (fun j ->
+        dist.(j) <- max dist.(j) (dist.(i) + t.work.(j));
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.push j q)
+      t.children.(i)
+  done;
+  !best
+
+let instantiate t ~name =
+  let remaining = Array.copy t.deps in
+  let n = size t in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    if t.deps.(i) = 0 then roots := i :: !roots
+  done;
+  let executed = Array.make n false in
+  let execute ~worker:_ id =
+    if executed.(id) then
+      failwith
+        (Printf.sprintf "DAG workload %s: task %d executed twice" name id);
+    executed.(id) <- true;
+    Tso.Program.work t.work.(id);
+    List.filter
+      (fun j ->
+        remaining.(j) <- remaining.(j) - 1;
+        remaining.(j) = 0)
+      t.children.(id)
+  in
+  Workload.make ~name ~roots:!roots ~execute ~expected_total:n ()

@@ -1,0 +1,31 @@
+(** Fork–join task DAGs and their translation to runtime workloads.
+
+    The Table-1 benchmarks are expressed as computation trees ({!comp}):
+    a [Fork] does [before] cycles of work, spawns its children, and joins
+    into [after] cycles of continuation work. The translation produces one
+    task per strand plus one join task per fork, with dependency counting
+    done host-side (exactly-once queues only — the DAG experiments all use
+    the THE/Chase-Lev family). *)
+
+type comp =
+  | Leaf of int  (** [work] cycles *)
+  | Fork of { before : int; children : comp list; after : int }
+  | Seq of comp list
+      (** sequential composition (iterative benchmarks: one sweep per
+          element, each waiting for the previous) *)
+
+type t
+(** An immutable DAG; instantiate per run. *)
+
+val of_comp : comp -> t
+val size : t -> int
+(** Number of tasks. *)
+
+val total_work : t -> int
+(** Sum of all task costs, i.e. the T{_1} of the computation. *)
+
+val critical_path : t -> int
+(** Longest weighted path, i.e. the T{_∞} of the computation. *)
+
+val instantiate : t -> name:string -> Workload.t
+(** Fresh dependence counters; the resulting workload is single-use. *)

@@ -1,0 +1,51 @@
+(** The work-stealing runtime: P simulated workers, one queue each, executing
+    a {!Workload.t} to quiescence (the CilkPlus-runtime stand-in of §8).
+
+    Each worker drains its own queue with [take]; when empty it turns thief
+    and steals from uniformly random victims. As in CilkPlus, the worker
+    performs [client_stores] plain stores after every (successful) take —
+    the x of §4 that makes δ = ⌈S/(x+1)⌉ valid and prevents same-address
+    store coalescing (§7.3).
+
+    Termination uses host-level completion counting: workers exit once every
+    spawned task has completed at least once. Duplicate extractions (possible
+    with the idempotent queues) are recorded and do not double-count. *)
+
+type victim_policy =
+  | Random_victim  (** uniformly random victim ≠ self (ABP's policy) *)
+  | Round_robin_victim  (** cycle over the other workers *)
+
+type config = {
+  workers : int;
+  queue : Ws_core.Registry.impl;
+  queue_capacity : int;
+  delta : int;  (** δ for the fence-free queues; [max_int] = ∞ *)
+  worker_fence : bool;  (** fenced baselines only; see {!Ws_core.Queue_intf.params} *)
+  sb_capacity : int;  (** S of the simulated machine *)
+  costs : Tso.Timing.cost_model;
+  seed : int;
+  client_stores : int;  (** plain stores after each take (default 1) *)
+  idle_backoff : int;  (** cycles a thief backs off after a failed attempt *)
+  victim : victim_policy;
+  max_steps : int;
+}
+
+val default_config : config
+(** 4 workers, chase-lev queue, S = 16, δ = 1, default costs. *)
+
+type result = {
+  outcome : Tso.Sched.outcome;
+  timing : Tso.Timing.report option;  (** present for timed runs *)
+  metrics : Metrics.t;
+  executions : (int, int) Hashtbl.t;  (** task id -> times executed *)
+  duplicates : int;  (** tasks executed more than once *)
+  lost : int;  (** expected tasks never executed (needs [expected_total]) *)
+}
+
+val run_timed : config -> Workload.t -> result
+(** Deterministic discrete-event run under the timing model; this is what
+    the performance figures use. *)
+
+val run_random : ?drain_weight:float -> config -> Workload.t -> result
+(** Adversarially scheduled run on the abstract machine (drains delayed with
+    [drain_weight], default 0.1); this is what the correctness tests use. *)

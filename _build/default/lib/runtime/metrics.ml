@@ -1,0 +1,46 @@
+type worker = {
+  mutable tasks_run : int;
+  mutable tasks_run_stolen : int;
+  mutable puts : int;
+  mutable takes : int;
+  mutable take_empties : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable steal_empties : int;
+  mutable steal_aborts : int;
+}
+
+type t = { workers : worker array }
+
+let create n =
+  {
+    workers =
+      Array.init n (fun _ ->
+          {
+            tasks_run = 0;
+            tasks_run_stolen = 0;
+            puts = 0;
+            takes = 0;
+            take_empties = 0;
+            steal_attempts = 0;
+            steals = 0;
+            steal_empties = 0;
+            steal_aborts = 0;
+          });
+  }
+
+let sum t f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
+let total_tasks t = sum t (fun w -> w.tasks_run)
+let total_steals t = sum t (fun w -> w.steals)
+let total_aborts t = sum t (fun w -> w.steal_aborts)
+
+let stolen_task_pct t =
+  let total = total_tasks t in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int (sum t (fun w -> w.tasks_run_stolen)) /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[tasks=%d stolen=%.2f%% steals=%d aborts=%d empties=%d@]" (total_tasks t)
+    (stolen_task_pct t) (total_steals t) (total_aborts t)
+    (sum t (fun w -> w.steal_empties))

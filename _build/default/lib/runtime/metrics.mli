@@ -1,0 +1,25 @@
+(** Per-run scheduler metrics (Fig. 11b's "% of work completed by stealing"
+    and general steal/abort accounting). *)
+
+type worker = {
+  mutable tasks_run : int;
+  mutable tasks_run_stolen : int;  (** of which obtained by stealing *)
+  mutable puts : int;
+  mutable takes : int;
+  mutable take_empties : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable steal_empties : int;
+  mutable steal_aborts : int;
+}
+
+type t = { workers : worker array }
+
+val create : int -> t
+val total_tasks : t -> int
+val total_steals : t -> int
+val total_aborts : t -> int
+val stolen_task_pct : t -> float
+(** Percentage of executed tasks that were obtained by stealing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  roots : int list;
+  init : Tso.Machine.t -> unit;
+  execute : worker:int -> int -> int list;
+  expected_total : int option;
+}
+
+let make ~name ~roots ~execute ?(init = fun _ -> ()) ?expected_total () =
+  { name; roots; init; execute; expected_total }
+
+let uniform ~name ~tasks ~work () =
+  make ~name
+    ~roots:(List.init tasks Fun.id)
+    ~execute:(fun ~worker:_ _ ->
+      Tso.Program.work work;
+      [])
+    ~expected_total:tasks ()

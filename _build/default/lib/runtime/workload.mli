@@ -1,0 +1,36 @@
+(** Dynamic task workloads executed by the work-stealing runtime.
+
+    Tasks are integer ids. A workload provides the root tasks and an
+    [execute] callback; [execute] runs {e inside a simulated worker thread},
+    so it may — and for realistic modelling should — perform {!Tso.Program}
+    effects: [work] for its computational cost, and loads/stores/CAS for any
+    shared state of its own (e.g. the visited flags of the graph
+    algorithms). It returns the tasks it spawns, which the runtime puts on
+    the executing worker's queue.
+
+    [init] is called by the engine (host-side, before any thread runs) with
+    the machine the workload will execute on; workloads that keep shared
+    state in simulated memory allocate it there. *)
+
+type t = {
+  name : string;
+  roots : int list;
+  init : Tso.Machine.t -> unit;
+  execute : worker:int -> int -> int list;
+  expected_total : int option;
+      (** total distinct tasks, when known, so the engine can check that
+          none were lost *)
+}
+
+val make :
+  name:string ->
+  roots:int list ->
+  execute:(worker:int -> int -> int list) ->
+  ?init:(Tso.Machine.t -> unit) ->
+  ?expected_total:int ->
+  unit ->
+  t
+
+val uniform : name:string -> tasks:int -> work:int -> unit -> t
+(** [tasks] independent root tasks of [work] cycles each: the paper's §5
+    "W unit-length tasks" scenario, and a convenient stress shape. *)

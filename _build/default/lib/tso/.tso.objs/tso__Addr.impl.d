@@ -1,0 +1,1 @@
+lib/tso/addr.ml: Format Int

@@ -1,0 +1,1 @@
+lib/tso/explore.ml: List Machine

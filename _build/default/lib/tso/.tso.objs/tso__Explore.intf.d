@@ -1,0 +1,1 @@
+lib/tso/explore.mli: Machine

@@ -1,0 +1,1 @@
+lib/tso/machine.ml: Addr Array Buffer Digest List Memory Program Store_buffer

@@ -1,0 +1,1 @@
+lib/tso/machine.mli: Addr Memory Store_buffer

@@ -1,0 +1,1 @@
+lib/tso/memory.ml: Addr Array Format Printf

@@ -1,0 +1,1 @@
+lib/tso/memory.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/tso/program.ml: Addr Effect Format Printf

@@ -1,0 +1,1 @@
+lib/tso/program.mli: Addr

@@ -1,0 +1,1 @@
+lib/tso/reference.ml: Addr Array Explore List Machine Memory Printf Program Set

@@ -1,0 +1,1 @@
+lib/tso/reference.mli: Set

@@ -1,0 +1,1 @@
+lib/tso/sched.ml: List Machine Random

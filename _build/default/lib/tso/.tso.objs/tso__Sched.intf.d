@@ -1,0 +1,1 @@
+lib/tso/sched.mli: Machine Random

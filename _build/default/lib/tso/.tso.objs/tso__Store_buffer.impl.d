@@ -1,0 +1,1 @@
+lib/tso/store_buffer.ml: Addr Format List Memory Option Queue

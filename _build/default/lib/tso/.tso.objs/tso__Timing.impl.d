@@ -1,0 +1,1 @@
+lib/tso/timing.ml: Array Machine Queue Sched Store_buffer

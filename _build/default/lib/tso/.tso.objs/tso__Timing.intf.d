@@ -1,0 +1,1 @@
+lib/tso/timing.mli: Machine Sched

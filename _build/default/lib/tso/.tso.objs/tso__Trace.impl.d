@@ -1,0 +1,1 @@
+lib/tso/trace.ml: Buffer Format List Machine Memory Printf Store_buffer String

@@ -1,0 +1,1 @@
+lib/tso/trace.mli: Format Machine

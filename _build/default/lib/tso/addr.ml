@@ -1,0 +1,8 @@
+type t = int
+
+let of_index i = i
+let to_index a = a
+let offset a i = a + i
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf a = Format.fprintf ppf "@%d" a

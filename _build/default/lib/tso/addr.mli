@@ -1,0 +1,21 @@
+(** Symbolic addresses of shared-memory cells in the abstract TSO machine.
+
+    An address is an index into a {!Memory.t}. Addresses are allocated (and
+    given names, for tracing) through {!Memory.alloc} and
+    {!Memory.alloc_array}; they are never forged from raw integers by
+    clients. *)
+
+type t = private int
+
+val of_index : int -> t
+(** [of_index i] is the address of cell [i]. Reserved for {!Memory}. *)
+
+val to_index : t -> int
+(** Index of the cell this address designates. *)
+
+val offset : t -> int -> t
+(** [offset a i] is the address [i] cells past [a] (array indexing). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

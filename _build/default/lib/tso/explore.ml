@@ -1,0 +1,161 @@
+type instance = {
+  machine : Machine.t;
+  check : unit -> (unit, string) result;
+}
+
+type stats = {
+  runs : int;
+  truncated : int;
+  deadlocks : int;
+  pruned : int;
+  failures : (int list * string) list;
+}
+
+(* The unit performing a transition, for preemption accounting. Drains and
+   flushes belong to the memory subsystem and never count as preemptions. *)
+type unit_id = U_thread of int | U_memory
+
+let unit_of = function
+  | Machine.Step t -> U_thread t
+  | Machine.Drain _ | Machine.Flush _ -> U_memory
+
+exception Stop
+
+(* Partial-order reduction for busy-wait loops: a pause/label step is a pure
+   no-op that commutes with every other transition, so exploring it is only
+   useful once nothing else can move. Without this, a spinlock's
+   cas-fail/pause cycle revisits the same machine state forever. The reduced
+   list is the choice universe for BOTH search and replay, so recorded
+   indices stay meaningful. *)
+let choices m =
+  let ts = Machine.enabled m in
+  let is_noop = function
+    | Machine.Step t -> (
+        match Machine.pending_class m t with
+        | Some Machine.C_free -> true
+        | _ -> false)
+    | Machine.Drain _ | Machine.Flush _ -> false
+  in
+  match List.filter (fun t -> not (is_noop t)) ts with
+  | [] -> ts
+  | productive -> productive
+
+let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
+    ?(max_failures = 5) ~mk () =
+  let runs = ref 0 in
+  let truncated = ref 0 in
+  let deadlocks = ref 0 in
+  let pruned = ref 0 in
+  let failures = ref [] in
+  let fail prefix msg =
+    if List.length !failures < max_failures then
+      failures := !failures @ [ (List.rev prefix, msg) ]
+  in
+  let bump () =
+    incr runs;
+    if !runs >= max_runs then raise Stop
+  in
+  let replay_prefix prefix =
+    let inst = mk () in
+    List.iter
+      (fun i ->
+        match choices inst.machine with
+        | [] -> assert false
+        | ts -> ignore (Machine.apply inst.machine (List.nth ts i)))
+      (List.rev prefix);
+    inst
+  in
+  (* Continue a run in-place from the current machine state. [prefix] is the
+     reversed choice list that reached this state; [last_unit]/[preemptions]
+     summarise the prefix for the CHESS bound. Siblings of the choices made
+     here are explored by replaying their prefix on a fresh instance. *)
+  let rec extend inst prefix depth last_unit preemptions =
+    let m = inst.machine in
+    match choices m with
+    | [] ->
+        if Machine.quiescent m then begin
+          (match inst.check () with Ok () -> () | Error msg -> fail prefix msg);
+          bump ()
+        end
+        else begin
+          incr deadlocks;
+          fail prefix "deadlock";
+          bump ()
+        end
+    | _ when depth >= max_depth ->
+        incr truncated;
+        bump ()
+    | [ tr ] ->
+        ignore (Machine.apply m tr);
+        let last_unit =
+          (* memory-subsystem transitions do not change whose turn it is *)
+          match unit_of tr with U_memory -> last_unit | u -> Some u
+        in
+        extend inst (0 :: prefix) (depth + 1) last_unit preemptions
+    | ts ->
+        let cost_of tr =
+          match (last_unit, unit_of tr) with
+          | Some (U_thread a), U_thread b when a <> b ->
+              if List.exists (fun t -> unit_of t = U_thread a) ts then 1 else 0
+          | _ -> 0
+        in
+        let within cost =
+          match preemption_bound with
+          | None -> true
+          | Some b -> preemptions + cost <= b
+        in
+        (* Child 0 is explored in-place (no replay); siblings replay. *)
+        List.iteri
+          (fun i tr ->
+            let cost = cost_of tr in
+            if not (within cost) then incr pruned
+            else begin
+              let prefix' = i :: prefix in
+              let inst', resumed =
+                if i = 0 then begin
+                  ignore (Machine.apply m tr);
+                  (inst, true)
+                end
+                else (replay_prefix prefix', false)
+              in
+              ignore resumed;
+              let last_unit' =
+                match unit_of tr with U_memory -> last_unit | u -> Some u
+              in
+              extend inst' prefix' (depth + 1) last_unit' (preemptions + cost)
+            end)
+          ts
+  in
+  (try extend (mk ()) [] 0 None 0 with Stop -> ());
+  {
+    runs = !runs;
+    truncated = !truncated;
+    deadlocks = !deadlocks;
+    pruned = !pruned;
+    failures = !failures;
+  }
+
+let next_choices = choices
+
+let replay_choices ~mk steps =
+  let inst = mk () in
+  let m = inst.machine in
+  List.iter
+    (fun i ->
+      match choices m with
+      | [] -> invalid_arg "Explore.replay_choices: run ended early"
+      | ts ->
+          if i >= List.length ts then
+            invalid_arg "Explore.replay_choices: bad choice index";
+          ignore (Machine.apply m (List.nth ts i)))
+    steps;
+  (* Drive any forced suffix to quiescence. *)
+  let rec finish () =
+    match Machine.enabled m with
+    | [] -> ()
+    | tr :: _ ->
+        ignore (Machine.apply m tr);
+        finish ()
+  in
+  finish ();
+  inst.check ()

@@ -1,0 +1,53 @@
+(** Bounded stateless model checking of machine programs.
+
+    Explores the tree of scheduler choices by depth-first search. Because a
+    thread program's continuation cannot be cloned, each branch is replayed
+    from a fresh machine built by [mk] — standard stateless model checking.
+    The search is bounded by depth, by a total-run budget, and optionally by
+    a CHESS-style preemption bound (switching away from a thread whose next
+    instruction is still enabled costs one preemption; drain and flush
+    transitions are free, since TSO reordering lives in exactly those
+    choices and must stay unrestricted).
+
+    Used by the test suite to verify, over {e all} interleavings of small
+    configurations, the safety properties of every queue algorithm: no task
+    lost, no task duplicated (idempotent queues excepted), ABORT only when
+    the bound permits it. *)
+
+type instance = {
+  machine : Machine.t;
+  check : unit -> (unit, string) result;
+      (** Invoked once the machine is quiescent; inspects host-level cells
+          the thread programs filled in. *)
+}
+
+type stats = {
+  runs : int;  (** complete (quiescent) runs checked *)
+  truncated : int;  (** runs cut off by the depth bound *)
+  deadlocks : int;
+  pruned : int;  (** branches skipped by the preemption bound *)
+  failures : (int list * string) list;
+      (** failing runs: replayable choice sequence and message (at most
+          [max_failures], newest last) *)
+}
+
+val search :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int option ->
+  ?max_failures:int ->
+  mk:(unit -> instance) ->
+  unit ->
+  stats
+(** Defaults: [max_depth = 400], [max_runs = 200_000],
+    [preemption_bound = None] (unbounded), [max_failures = 5]. *)
+
+val replay_choices : mk:(unit -> instance) -> int list -> (unit, string) result
+(** Re-run one recorded choice sequence (from {!stats.failures}) and return
+    its check result; useful to shrink or debug a failure. *)
+
+val next_choices : Machine.t -> Machine.transition list
+(** The choice universe the explorer branches over at the machine's current
+    state: enabled transitions after the no-op partial-order reduction.
+    Recorded choice indices index into this list — use it to replay a
+    failure step by step (e.g. with a {!Trace} attached). *)

@@ -1,0 +1,217 @@
+type config = {
+  sb_capacity : int;
+  buffer_model : Store_buffer.model;
+}
+
+let abstract_config ~sb_capacity =
+  { sb_capacity; buffer_model = Store_buffer.Abstract }
+
+let realistic_config ~sb_capacity ~coalesce =
+  { sb_capacity; buffer_model = Store_buffer.Realistic { coalesce } }
+
+let pso_config ~sb_capacity = { sb_capacity; buffer_model = Store_buffer.Pso }
+
+type tid = int
+
+type thread = {
+  tid : tid;
+  name : string;
+  buf : Store_buffer.t;
+  mutable status : Program.status;
+}
+
+type event =
+  | Ev_exec of { tid : tid; instr : string }
+  | Ev_drain of { tid : tid; result : Store_buffer.drain_result }
+  | Ev_flush of { tid : tid; addr : Addr.t; value : int }
+  | Ev_done of tid
+
+type t = {
+  mem : Memory.t;
+  cfg : config;
+  mutable threads : thread array;
+  mutable listeners : (event -> unit) list;
+  mutable steps : int;
+}
+
+let create ?mem cfg =
+  let mem = match mem with Some m -> m | None -> Memory.create () in
+  { mem; cfg; threads = [||]; listeners = []; steps = 0 }
+
+let memory t = t.mem
+let config t = t.cfg
+
+let spawn t ~name body =
+  let tid = Array.length t.threads in
+  let buf =
+    Store_buffer.create ~capacity:t.cfg.sb_capacity ~model:t.cfg.buffer_model
+  in
+  let th = { tid; name; buf; status = Program.start body } in
+  t.threads <- Array.append t.threads [| th |];
+  tid
+
+let thread t tid =
+  if tid < 0 || tid >= Array.length t.threads then
+    invalid_arg "Machine: no such thread";
+  t.threads.(tid)
+
+let thread_count t = Array.length t.threads
+let thread_name t tid = (thread t tid).name
+
+let thread_done t tid =
+  match (thread t tid).status with Program.Done -> true | Program.Paused _ -> false
+
+let status_done = function Program.Done -> true | Program.Paused _ -> false
+let all_done t = Array.for_all (fun th -> status_done th.status) t.threads
+let buffered_stores t tid = Store_buffer.pending (thread t tid).buf
+
+let quiescent t =
+  all_done t && Array.for_all (fun th -> Store_buffer.is_empty th.buf) t.threads
+
+let steps t = t.steps
+
+type transition =
+  | Step of tid
+  | Drain of tid * int
+  | Flush of tid
+
+let request_enabled th (type a) (req : a Program.request) =
+  match req with
+  | Program.Req_load _ | Program.Req_work _ | Program.Req_label _
+  | Program.Req_pause ->
+      true
+  | Program.Req_store _ -> not (Store_buffer.is_full th.buf)
+  | Program.Req_cas _ | Program.Req_fetch_add _ | Program.Req_fence ->
+      (* Atomic RMWs and fences require the issuing thread's buffer to have
+         fully drained (x86 semantics); the drain itself happens through
+         ordinary Drain/Flush transitions, preserving the intermediate
+         memory states other threads can observe. *)
+      Store_buffer.is_empty th.buf
+
+let enabled t =
+  let acc = ref [] in
+  Array.iter
+    (fun th ->
+      if Store_buffer.can_flush_egress th.buf then acc := Flush th.tid :: !acc;
+      List.iter
+        (fun lane -> acc := Drain (th.tid, lane) :: !acc)
+        (List.rev (Store_buffer.drain_lanes th.buf));
+      match th.status with
+      | Program.Done -> ()
+      | Program.Paused (Program.Paused_at (req, _)) ->
+          if request_enabled th req then acc := Step th.tid :: !acc)
+    t.threads;
+  List.rev !acc
+
+let pending_request t tid =
+  match (thread t tid).status with
+  | Program.Done -> None
+  | Program.Paused (Program.Paused_at (req, _)) ->
+      Some (Program.describe_named (Memory.name t.mem) req)
+
+type request_class =
+  | C_load
+  | C_store
+  | C_rmw
+  | C_fence
+  | C_work of int
+  | C_free
+
+let pending_class t tid =
+  match (thread t tid).status with
+  | Program.Done -> None
+  | Program.Paused (Program.Paused_at (req, _)) ->
+      Some
+        (match req with
+        | Program.Req_load _ -> C_load
+        | Program.Req_store _ -> C_store
+        | Program.Req_cas _ | Program.Req_fetch_add _ -> C_rmw
+        | Program.Req_fence -> C_fence
+        | Program.Req_work n -> C_work n
+        | Program.Req_label _ | Program.Req_pause -> C_free)
+
+let store_blocked t tid =
+  let th = thread t tid in
+  match th.status with
+  | Program.Paused (Program.Paused_at (Program.Req_store _, _)) ->
+      Store_buffer.is_full th.buf
+  | _ -> false
+
+let emit t ev = List.iter (fun f -> f ev) t.listeners
+let on_event t f = t.listeners <- t.listeners @ [ f ]
+
+let exec_request t th (type a) (req : a Program.request) : a =
+  match req with
+  | Program.Req_load a -> (
+      match Store_buffer.lookup th.buf a with
+      | Some v -> v
+      | None -> Memory.get t.mem a)
+  | Program.Req_store (a, v) ->
+      Store_buffer.push th.buf a v;
+      ()
+  | Program.Req_cas (a, expect, replace) ->
+      assert (Store_buffer.is_empty th.buf);
+      let cur = Memory.get t.mem a in
+      if cur = expect then begin
+        Memory.set t.mem a replace;
+        true
+      end
+      else false
+  | Program.Req_fetch_add (a, d) ->
+      assert (Store_buffer.is_empty th.buf);
+      let cur = Memory.get t.mem a in
+      Memory.set t.mem a (cur + d);
+      cur
+  | Program.Req_fence ->
+      assert (Store_buffer.is_empty th.buf);
+      ()
+  | Program.Req_work _ -> ()
+  | Program.Req_label _ -> ()
+  | Program.Req_pause -> ()
+
+let apply t tr =
+  t.steps <- t.steps + 1;
+  match tr with
+  | Step tid -> (
+      let th = thread t tid in
+      match th.status with
+      | Program.Done -> invalid_arg "Machine.apply: thread is done"
+      | Program.Paused (Program.Paused_at (req, resume)) ->
+          if not (request_enabled th req) then
+            invalid_arg "Machine.apply: instruction not enabled";
+          let instr = Program.describe_named (Memory.name t.mem) req in
+          let v = exec_request t th req in
+          th.status <- resume v;
+          let ev = Ev_exec { tid; instr } in
+          emit t ev;
+          if status_done th.status then emit t (Ev_done tid);
+          ev)
+  | Drain (tid, lane) ->
+      let th = thread t tid in
+      let result = Store_buffer.drain_lane th.buf lane t.mem in
+      let ev = Ev_drain { tid; result } in
+      emit t ev;
+      ev
+  | Flush tid ->
+      let th = thread t tid in
+      let addr, value = Store_buffer.flush_egress th.buf t.mem in
+      let ev = Ev_flush { tid; addr; value } in
+      emit t ev;
+      ev
+
+let fingerprint t =
+  let b = Buffer.create 128 in
+  Array.iter (fun v -> Buffer.add_string b (string_of_int v); Buffer.add_char b ',')
+    (Memory.snapshot t.mem);
+  Array.iter
+    (fun th ->
+      Buffer.add_char b '|';
+      List.iter
+        (fun (a, v) ->
+          Buffer.add_string b (string_of_int (Addr.to_index a));
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int v);
+          Buffer.add_char b ';')
+        (Store_buffer.to_list th.buf))
+    t.threads;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -1,0 +1,101 @@
+(** The bounded-TSO abstract machine (paper §2, extended per §7.3).
+
+    A machine is a shared {!Memory.t}, a set of threads each with a bounded
+    {!Store_buffer.t}, and a transition relation. Scheduling — which enabled
+    transition fires next — is external: {!Sched} (random / weighted),
+    {!Explore} (bounded exhaustive) and {!Timing} (discrete-event performance
+    model) all drive the same machine. *)
+
+type config = {
+  sb_capacity : int;  (** store-buffer entries, the S of TSO[S] *)
+  buffer_model : Store_buffer.model;
+}
+
+val abstract_config : sb_capacity:int -> config
+(** The pure TSO[S] abstract machine of §2. *)
+
+val realistic_config : sb_capacity:int -> coalesce:bool -> config
+(** The §7.3 microarchitectural model: an egress buffer B raises the
+    observable reordering bound to [sb_capacity + 1], and [coalesce] enables
+    same-address store coalescing in B. *)
+
+val pso_config : sb_capacity:int -> config
+(** Bounded partial store order (per-address drain lanes): the §10
+    future-work model, under which TSO-dependent algorithms break. *)
+
+type t
+
+val create : ?mem:Memory.t -> config -> t
+val memory : t -> Memory.t
+val config : t -> config
+
+(** {1 Threads} *)
+
+type tid = int
+
+val spawn : t -> name:string -> (unit -> unit) -> tid
+(** Register a thread program. The program starts paused at its first
+    instruction. Threads must be spawned before the machine is driven. *)
+
+val thread_count : t -> int
+val thread_name : t -> tid -> string
+val thread_done : t -> tid -> bool
+val all_done : t -> bool
+val buffered_stores : t -> tid -> int
+(** Stores of thread [tid] not yet globally visible (buffer proper plus B). *)
+
+val quiescent : t -> bool
+(** All threads finished and all store buffers drained. *)
+
+val steps : t -> int
+(** Number of transitions applied so far. *)
+
+(** {1 Transitions} *)
+
+type transition =
+  | Step of tid  (** execute the thread's pending instruction *)
+  | Drain of tid * int
+      (** memory subsystem propagates a store of the thread's buffer: lane 0
+          (the oldest store) for the FIFO models; one lane per pending
+          address for PSO *)
+  | Flush of tid  (** memory subsystem writes the egress buffer B to memory *)
+
+val enabled : t -> transition list
+(** All transitions enabled in the current state, in a deterministic order
+    (threads by tid; per thread [Flush], then [Drain] lanes, then [Step]).
+    Empty iff the machine is quiescent or deadlocked. *)
+
+val pending_request : t -> tid -> string option
+(** Description of the instruction a paused thread waits to execute. *)
+
+type event =
+  | Ev_exec of { tid : tid; instr : string }
+  | Ev_drain of { tid : tid; result : Store_buffer.drain_result }
+  | Ev_flush of { tid : tid; addr : Addr.t; value : int }
+  | Ev_done of tid
+
+val apply : t -> transition -> event
+(** Fire one enabled transition. @raise Invalid_argument if not enabled. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Register a trace listener, called after every {!apply}. *)
+
+(** {1 Introspection for the timing engine} *)
+
+type request_class =
+  | C_load
+  | C_store
+  | C_rmw  (** cas / fetch-and-add *)
+  | C_fence
+  | C_work of int
+  | C_free  (** label / pause *)
+
+val pending_class : t -> tid -> request_class option
+(** Classification of the pending instruction, [None] if the thread is done. *)
+
+val store_blocked : t -> tid -> bool
+(** The thread's pending instruction is a store and the buffer is full. *)
+
+val fingerprint : t -> string
+(** A digest of memory contents and buffered stores (not of thread control
+    state); used by tests to compare outcomes across schedules. *)

@@ -1,0 +1,56 @@
+type t = {
+  mutable cells : int array;
+  mutable names : string array;
+  mutable used : int;
+}
+
+let create () = { cells = Array.make 64 0; names = Array.make 64 ""; used = 0 }
+
+let ensure_capacity t n =
+  if n > Array.length t.cells then begin
+    let cap = max n (2 * Array.length t.cells) in
+    let cells = Array.make cap 0 in
+    Array.blit t.cells 0 cells 0 t.used;
+    let names = Array.make cap "" in
+    Array.blit t.names 0 names 0 t.used;
+    t.cells <- cells;
+    t.names <- names
+  end
+
+let alloc t ~name ~init =
+  ensure_capacity t (t.used + 1);
+  let a = t.used in
+  t.cells.(a) <- init;
+  t.names.(a) <- name;
+  t.used <- t.used + 1;
+  Addr.of_index a
+
+let alloc_array t ~name ~len ~init =
+  assert (len > 0);
+  ensure_capacity t (t.used + len);
+  let base = t.used in
+  for i = 0 to len - 1 do
+    t.cells.(base + i) <- init;
+    t.names.(base + i) <- Printf.sprintf "%s[%d]" name i
+  done;
+  t.used <- t.used + len;
+  Addr.of_index base
+
+let check t a =
+  let i = Addr.to_index a in
+  if i < 0 || i >= t.used then
+    invalid_arg (Printf.sprintf "Memory: address %d out of bounds (size %d)" i t.used);
+  i
+
+let get t a = t.cells.(check t a)
+let set t a v = t.cells.(check t a) <- v
+let size t = t.used
+let name t a = t.names.(check t a)
+let snapshot t = Array.sub t.cells 0 t.used
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.used - 1 do
+    Format.fprintf ppf "%s = %d@," t.names.(i) t.cells.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** The shared memory of the abstract TSO machine.
+
+    Memory is a flat array of integer cells. Cells are allocated with a
+    symbolic name so traces and error messages can refer to variables the way
+    the paper does ([H], [T], [tasks\[3\]], ...). All reads and writes to
+    memory are performed by {!Machine} when it applies transitions; algorithm
+    code never touches memory directly (it goes through the {!Program}
+    effects). *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> name:string -> init:int -> Addr.t
+(** Allocate one named cell. *)
+
+val alloc_array : t -> name:string -> len:int -> init:int -> Addr.t
+(** Allocate [len] contiguous cells named [name[0]] ... [name[len-1]];
+    returns the address of element 0. *)
+
+val get : t -> Addr.t -> int
+val set : t -> Addr.t -> int -> unit
+
+val size : t -> int
+(** Number of allocated cells. *)
+
+val name : t -> Addr.t -> string
+(** Symbolic name of a cell, for tracing. *)
+
+val snapshot : t -> int array
+(** Copy of the current contents (used by the explorer to compare states and
+    by tests to assert final memory). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type _ Effect.t +=
+  | E_load : Addr.t -> int Effect.t
+  | E_store : Addr.t * int -> unit Effect.t
+  | E_cas : Addr.t * int * int -> bool Effect.t
+  | E_fetch_add : Addr.t * int -> int Effect.t
+  | E_fence : unit Effect.t
+  | E_work : int -> unit Effect.t
+  | E_label : string -> unit Effect.t
+  | E_pause : unit Effect.t
+
+let load a = Effect.perform (E_load a)
+let store a v = Effect.perform (E_store (a, v))
+let cas a ~expect ~replace = Effect.perform (E_cas (a, expect, replace))
+let fetch_add a d = Effect.perform (E_fetch_add (a, d))
+let fence () = Effect.perform E_fence
+let work n = if n > 0 then Effect.perform (E_work n)
+let label s = Effect.perform (E_label s)
+let spin_pause () = Effect.perform E_pause
+
+type _ request =
+  | Req_load : Addr.t -> int request
+  | Req_store : Addr.t * int -> unit request
+  | Req_cas : Addr.t * int * int -> bool request
+  | Req_fetch_add : Addr.t * int -> int request
+  | Req_fence : unit request
+  | Req_work : int -> unit request
+  | Req_label : string -> unit request
+  | Req_pause : unit request
+
+type status =
+  | Done
+  | Paused of paused
+
+and paused = Paused_at : 'a request * ('a -> status) -> paused
+
+let start body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          let pause (req : a request) =
+            Some
+              (fun (k : (a, status) continuation) ->
+                Paused (Paused_at (req, fun v -> continue k v)))
+          in
+          match eff with
+          | E_load a -> pause (Req_load a)
+          | E_store (a, v) -> pause (Req_store (a, v))
+          | E_cas (a, e, r) -> pause (Req_cas (a, e, r))
+          | E_fetch_add (a, d) -> pause (Req_fetch_add (a, d))
+          | E_fence -> pause Req_fence
+          | E_work n -> pause (Req_work n)
+          | E_label s -> pause (Req_label s)
+          | E_pause -> pause Req_pause
+          | _ -> None);
+    }
+
+let describe_named (type a) name (req : a request) =
+  match req with
+  | Req_load a -> Printf.sprintf "load %s" (name a)
+  | Req_store (a, v) -> Printf.sprintf "store %s := %d" (name a) v
+  | Req_cas (a, e, r) -> Printf.sprintf "cas %s (%d -> %d)" (name a) e r
+  | Req_fetch_add (a, d) -> Printf.sprintf "faa %s += %d" (name a) d
+  | Req_fence -> "fence"
+  | Req_work n -> Printf.sprintf "work %d" n
+  | Req_label s -> Printf.sprintf "label %S" s
+  | Req_pause -> "pause"
+
+let describe req =
+  describe_named (fun a -> Format.asprintf "%a" Addr.pp a) req

@@ -1,0 +1,157 @@
+type op =
+  | Load of int
+  | Store of int * int
+  | Fence
+  | Cas of int * int * int
+
+type program = op list array
+
+type outcome = {
+  reads : int list;
+  memory : int list;
+}
+
+let compare_outcome = compare
+
+module Outcome_set = Set.Make (struct
+  type t = outcome
+
+  let compare = compare_outcome
+end)
+
+(* Purely functional machine state: per-thread remaining ops, per-thread
+   buffers (oldest first), per-thread reads (reversed), memory. *)
+type state = {
+  progs : op list array;
+  bufs : (int * int) list array;
+  reads : int list array;
+  mem : int array;
+}
+
+let clone s =
+  {
+    progs = Array.copy s.progs;
+    bufs = Array.copy s.bufs;
+    reads = Array.copy s.reads;
+    mem = Array.copy s.mem;
+  }
+
+let forwarded buf addr =
+  (* newest matching entry; buffers are oldest-first *)
+  List.fold_left
+    (fun acc (a, v) -> if a = addr then Some v else acc)
+    None buf
+
+let outcomes ~cells ~sb_capacity program =
+  let results = ref Outcome_set.empty in
+  let rec explore s =
+    let n = Array.length s.progs in
+    let moved = ref false in
+    (* thread steps *)
+    for t = 0 to n - 1 do
+      match s.progs.(t) with
+      | [] -> ()
+      | op :: rest -> (
+          match op with
+          | Load a ->
+              moved := true;
+              let v =
+                match forwarded s.bufs.(t) a with
+                | Some v -> v
+                | None -> s.mem.(a)
+              in
+              let s' = clone s in
+              s'.progs.(t) <- rest;
+              s'.reads.(t) <- v :: s.reads.(t);
+              explore s'
+          | Store (a, v) ->
+              if List.length s.bufs.(t) < sb_capacity then begin
+                moved := true;
+                let s' = clone s in
+                s'.progs.(t) <- rest;
+                s'.bufs.(t) <- s.bufs.(t) @ [ (a, v) ];
+                explore s'
+              end
+          | Fence ->
+              if s.bufs.(t) = [] then begin
+                moved := true;
+                let s' = clone s in
+                s'.progs.(t) <- rest;
+                explore s'
+              end
+          | Cas (a, expect, replace) ->
+              if s.bufs.(t) = [] then begin
+                moved := true;
+                let s' = clone s in
+                s'.progs.(t) <- rest;
+                if s.mem.(a) = expect then s'.mem.(a) <- replace;
+                explore s'
+              end)
+    done;
+    (* drains *)
+    for t = 0 to n - 1 do
+      match s.bufs.(t) with
+      | [] -> ()
+      | (a, v) :: rest ->
+          moved := true;
+          let s' = clone s in
+          s'.bufs.(t) <- rest;
+          s'.mem.(a) <- v;
+          explore s'
+    done;
+    if not !moved then begin
+      (* quiescent iff all programs done and buffers empty — drains are
+         always enabled when a buffer is non-empty, so not-moved implies
+         buffers empty and every program either done or... a program can
+         only be stuck on Store (full buffer: impossible here, buffer empty)
+         or Fence/Cas (buffer empty: enabled). Hence all done. *)
+      let reads =
+        Array.to_list s.reads |> List.concat_map List.rev
+      in
+      let memory = Array.to_list s.mem in
+      results := Outcome_set.add { reads; memory } !results
+    end
+  in
+  explore
+    {
+      progs = Array.copy program;
+      bufs = Array.map (fun _ -> []) program;
+      reads = Array.map (fun _ -> []) program;
+      mem = Array.make cells 0;
+    };
+  !results
+
+let machine_outcomes ~cells ~sb_capacity ?(max_runs = 3_000_000) program =
+  let results = ref Outcome_set.empty in
+  let mk () =
+    let m = Machine.create (Machine.abstract_config ~sb_capacity) in
+    let mem = Machine.memory m in
+    let base = Memory.alloc_array mem ~name:"c" ~len:cells ~init:0 in
+    let cell i = Addr.offset base i in
+    let n = Array.length program in
+    let reads = Array.make n [] in
+    for t = 0 to n - 1 do
+      ignore
+        (Machine.spawn m ~name:(Printf.sprintf "t%d" t) (fun () ->
+             List.iter
+               (fun op ->
+                 match op with
+                 | Load a -> reads.(t) <- Program.load (cell a) :: reads.(t)
+                 | Store (a, v) -> Program.store (cell a) v
+                 | Fence -> Program.fence ()
+                 | Cas (a, e, r) ->
+                     ignore (Program.cas (cell a) ~expect:e ~replace:r))
+               program.(t)))
+    done;
+    let check () =
+      let rlist = Array.to_list reads |> List.concat_map List.rev in
+      let memory = List.init cells (fun i -> Memory.get mem (cell i)) in
+      results := Outcome_set.add { reads = rlist; memory } !results;
+      Ok ()
+    in
+    { Explore.machine = m; check }
+  in
+  let st = Explore.search ~max_runs ~mk () in
+  if st.Explore.runs >= max_runs || st.Explore.truncated > 0 then
+    invalid_arg "Reference.machine_outcomes: exploration did not exhaust";
+  !results

@@ -1,0 +1,38 @@
+(** A second, independent implementation of bounded-TSO semantics, used to
+    differentially test {!Machine}.
+
+    Programs here are straight-line per-thread operation lists over a small
+    array of cells. {!outcomes} enumerates — by plain recursive search over
+    a purely functional state, sharing no code with the abstract machine —
+    the {e complete} set of observable results (every load's value plus the
+    final memory). The test suite generates random programs and checks that
+    the machine's explorer observes exactly the same set: any divergence in
+    either direction is a semantics bug in one of the two implementations. *)
+
+type op =
+  | Load of int  (** read cell i; the value read is part of the outcome *)
+  | Store of int * int  (** write cell i *)
+  | Fence
+  | Cas of int * int * int  (** cell, expected, replacement; drains first *)
+
+type program = op list array
+(** one operation list per thread *)
+
+type outcome = {
+  reads : int list;  (** every Load's value, in (thread, program order) —
+                         thread 0's loads first, then thread 1's, ... *)
+  memory : int list;  (** final contents of the cells *)
+}
+
+val compare_outcome : outcome -> outcome -> int
+
+module Outcome_set : Set.S with type elt = outcome
+
+val outcomes : cells:int -> sb_capacity:int -> program -> Outcome_set.t
+(** All results reachable under bounded TSO with the given store-buffer
+    capacity. Exponential; intended for programs of a handful of ops. *)
+
+val machine_outcomes :
+  cells:int -> sb_capacity:int -> ?max_runs:int -> program -> Outcome_set.t
+(** The same set, computed by driving {!Machine} with {!Explore} — the
+    subject under test. *)

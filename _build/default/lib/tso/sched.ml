@@ -1,0 +1,68 @@
+type outcome =
+  | Quiescent
+  | Max_steps
+  | Deadlock
+
+type policy = Machine.t -> Machine.transition list -> Machine.transition
+
+let run ?(max_steps = 2_000_000) m policy =
+  let rec loop budget =
+    if budget <= 0 then Max_steps
+    else
+      match Machine.enabled m with
+      | [] -> if Machine.quiescent m then Quiescent else Deadlock
+      | ts ->
+          let tr = policy m ts in
+          ignore (Machine.apply m tr);
+          loop (budget - 1)
+  in
+  loop max_steps
+
+let round_robin () =
+  let counter = ref 0 in
+  fun _m ts ->
+    let n = List.length ts in
+    let i = !counter mod n in
+    incr counter;
+    List.nth ts i
+
+let uniform rng _m ts = List.nth ts (Random.State.int rng (List.length ts))
+
+let weighted rng ~drain_weight _m ts =
+  let weight = function
+    | Machine.Step _ -> 1.0
+    | Machine.Drain _ | Machine.Flush _ -> drain_weight
+  in
+  let total = List.fold_left (fun acc tr -> acc +. weight tr) 0.0 ts in
+  if total <= 0.0 then List.nth ts (Random.State.int rng (List.length ts))
+  else begin
+    let x = Random.State.float rng total in
+    let rec pick acc = function
+      | [] -> assert false
+      | [ tr ] -> tr
+      | tr :: rest ->
+          let acc = acc +. weight tr in
+          if x < acc then tr else pick acc rest
+    in
+    pick 0.0 ts
+  end
+
+let replay choices ~fallback =
+  let remaining = ref choices in
+  fun m ts ->
+    match !remaining with
+    | [] -> fallback m ts
+    | i :: rest ->
+        remaining := rest;
+        let n = List.length ts in
+        if i >= n then invalid_arg "Sched.replay: choice index out of range";
+        List.nth ts i
+
+let record report policy m ts =
+  let tr = policy m ts in
+  let rec index i = function
+    | [] -> invalid_arg "Sched.record: policy returned a non-enabled transition"
+    | t :: rest -> if t = tr then i else index (i + 1) rest
+  in
+  report (index 0 ts);
+  tr

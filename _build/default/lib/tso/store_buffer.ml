@@ -1,0 +1,130 @@
+type model =
+  | Abstract
+  | Realistic of { coalesce : bool }
+  | Pso
+
+type t = {
+  capacity : int;
+  model : model;
+  buf : (Addr.t * int) Queue.t;
+  mutable egress : (Addr.t * int) option;
+}
+
+let create ~capacity ~model =
+  if capacity < 1 then invalid_arg "Store_buffer.create: capacity must be >= 1";
+  { capacity; model; buf = Queue.create (); egress = None }
+
+let capacity t = t.capacity
+let model t = t.model
+let entries t = Queue.length t.buf
+
+let pending t =
+  Queue.length t.buf + (match t.egress with None -> 0 | Some _ -> 1)
+
+let is_empty t = pending t = 0
+let is_full t = Queue.length t.buf >= t.capacity
+
+let push t a v =
+  if is_full t then invalid_arg "Store_buffer.push: buffer full";
+  Queue.push (a, v) t.buf
+
+let lookup t a =
+  (* Newest matching entry wins; the queue iterates oldest-first, so the last
+     match found in the buffer proper is the newest. B holds the oldest
+     pending store, so it only matters when the buffer proper has no match. *)
+  let found = ref None in
+  Queue.iter (fun (a', v) -> if Addr.equal a a' then found := Some v) t.buf;
+  match !found with
+  | Some _ as r -> r
+  | None -> (
+      match t.egress with
+      | Some (a', v) when Addr.equal a a' -> Some v
+      | _ -> None)
+
+type drain_result =
+  | Wrote of Addr.t * int
+  | Staged of Addr.t * int
+  | Coalesced of Addr.t * int
+
+let oldest t = Queue.peek_opt t.buf
+
+let can_drain t =
+  match oldest t with
+  | None -> false
+  | Some (a, _) -> (
+      match t.model with
+      | Abstract | Pso -> true
+      | Realistic { coalesce } -> (
+          match t.egress with
+          | None -> true
+          | Some (a', _) -> coalesce && Addr.equal a a'))
+
+let drain t mem =
+  if not (can_drain t) then invalid_arg "Store_buffer.drain: not enabled";
+  let a, v = Queue.pop t.buf in
+  match t.model with
+  | Abstract | Pso ->
+      Memory.set mem a v;
+      Wrote (a, v)
+  | Realistic _ -> (
+      match t.egress with
+      | None ->
+          t.egress <- Some (a, v);
+          Staged (a, v)
+      | Some (a', _) ->
+          assert (Addr.equal a a');
+          t.egress <- Some (a, v);
+          Coalesced (a, v))
+
+(* PSO: one drain lane per address with pending stores; lanes are address
+   indices, so they are stable across replays of a schedule. *)
+let drain_lanes t =
+  match t.model with
+  | Abstract | Realistic _ -> if can_drain t then [ 0 ] else []
+  | Pso ->
+      Queue.fold (fun acc (a, _) -> Addr.to_index a :: acc) [] t.buf
+      |> List.sort_uniq compare
+
+let drain_lane t lane mem =
+  match t.model with
+  | Abstract | Realistic _ ->
+      if lane <> 0 then invalid_arg "Store_buffer.drain_lane: bad lane";
+      drain t mem
+  | Pso ->
+      (* remove the oldest entry whose address is [lane] *)
+      if not (List.mem lane (drain_lanes t)) then
+        invalid_arg "Store_buffer.drain_lane: lane has no pending store";
+      let entries = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev in
+      Queue.clear t.buf;
+      let removed = ref None in
+      List.iter
+        (fun ((a, v) as e) ->
+          if Option.is_none !removed && Addr.to_index a = lane then
+            removed := Some (a, v)
+          else Queue.push e t.buf)
+        entries;
+      let a, v = Option.get !removed in
+      Memory.set mem a v;
+      Wrote (a, v)
+
+let can_flush_egress t = Option.is_some t.egress
+
+let flush_egress t mem =
+  match t.egress with
+  | None -> invalid_arg "Store_buffer.flush_egress: B is empty"
+  | Some (a, v) ->
+      t.egress <- None;
+      Memory.set mem a v;
+      (a, v)
+
+let to_list t =
+  let tail = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev in
+  match t.egress with None -> tail | Some e -> e :: tail
+
+let pp mem ppf t =
+  let pp_entry ppf (a, v) =
+    Format.fprintf ppf "%s:=%d" (Memory.name mem a) v
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+    (to_list t)

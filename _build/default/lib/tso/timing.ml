@@ -1,0 +1,185 @@
+type cost_model = {
+  load_cost : int;
+  store_cost : int;
+  rmw_cost : int;
+  fence_cost : int;
+  drain_latency : int;
+  pause_cost : int;
+}
+
+let default_costs =
+  {
+    load_cost = 1;
+    store_cost = 1;
+    rmw_cost = 24;
+    fence_cost = 24;
+    drain_latency = 16;
+    pause_cost = 4;
+  }
+
+type thread_stats = {
+  finish_time : int;
+  instructions : int;
+  loads : int;
+  stores : int;
+  rmws : int;
+  fences : int;
+  fence_stall : int;
+  work_cycles : int;
+}
+
+type report = {
+  makespan : int;
+  outcome : Sched.outcome;
+  steps : int;
+  threads : thread_stats array;
+}
+
+type core = {
+  mutable clock : int;
+  mutable drain_free : int;  (* when the drain engine can start its next write *)
+  mutable buffer_emptied_at : int;  (* time of the drain that last emptied the buffer *)
+  issue_times : int Queue.t;  (* completion times of buffered stores, oldest first *)
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable rmws : int;
+  mutable fences : int;
+  mutable fence_stall : int;
+  mutable work_cycles : int;
+}
+
+let global_now = ref 0
+let current_time () = !global_now
+
+let run ?(max_steps = 50_000_000) m costs =
+  (match Machine.config m with
+  | { buffer_model = Store_buffer.Abstract; _ } -> ()
+  | _ -> invalid_arg "Timing.run: requires the Abstract buffer model");
+  let n = Machine.thread_count m in
+  let cores =
+    Array.init n (fun _ ->
+        {
+          clock = 0;
+          drain_free = 0;
+          buffer_emptied_at = 0;
+          issue_times = Queue.create ();
+          instructions = 0;
+          loads = 0;
+          stores = 0;
+          rmws = 0;
+          fences = 0;
+          fence_stall = 0;
+          work_cycles = 0;
+        })
+  in
+  let next_drain_time tid =
+    let c = cores.(tid) in
+    match Queue.peek_opt c.issue_times with
+    | None -> None
+    | Some issued -> Some (max c.drain_free issued + costs.drain_latency)
+  in
+  (* Time at which the instruction pending on [tid] can execute, or None if
+     it must wait for a drain (full buffer / fence / RMW). *)
+  let feasible_time tid =
+    let c = cores.(tid) in
+    match Machine.pending_class m tid with
+    | None -> None
+    | Some cls -> (
+        match cls with
+        | Machine.C_load | Machine.C_work _ | Machine.C_free -> Some c.clock
+        | Machine.C_store ->
+            if Machine.store_blocked m tid then None else Some c.clock
+        | Machine.C_rmw | Machine.C_fence ->
+            if Queue.is_empty c.issue_times then
+              Some (max c.clock c.buffer_emptied_at)
+            else None)
+  in
+  let steps = ref 0 in
+  let outcome = ref Sched.Quiescent in
+  (try
+     while not (Machine.quiescent m) do
+       if !steps >= max_steps then begin
+         outcome := Sched.Max_steps;
+         raise Exit
+       end;
+       (* Select the earliest event; drains beat instructions on ties so a
+          load at time t sees every store that reached memory by t. *)
+       let best = ref None in
+       let consider time kind tid =
+         let candidate = (time, kind, tid) in
+         match !best with
+         | None -> best := Some candidate
+         | Some cur -> if candidate < cur then best := Some candidate
+       in
+       for tid = 0 to n - 1 do
+         (match next_drain_time tid with
+         | Some t -> consider t 0 tid
+         | None -> ());
+         match feasible_time tid with
+         | Some t -> consider t 1 tid
+         | None -> ()
+       done;
+       (match !best with
+       | None ->
+           outcome := Sched.Deadlock;
+           raise Exit
+       | Some (time, 0, tid) ->
+           (* drain *)
+           global_now := time;
+           let c = cores.(tid) in
+           ignore (Machine.apply m (Machine.Drain (tid, 0)));
+           ignore (Queue.pop c.issue_times);
+           c.drain_free <- time;
+           if Queue.is_empty c.issue_times then c.buffer_emptied_at <- time
+       | Some (time, _, tid) ->
+           global_now := time;
+           let c = cores.(tid) in
+           let cls =
+             match Machine.pending_class m tid with
+             | Some cls -> cls
+             | None -> assert false
+           in
+           let clock_before = c.clock in
+           ignore (Machine.apply m (Machine.Step tid));
+           c.instructions <- c.instructions + 1;
+           (match cls with
+           | Machine.C_load ->
+               c.loads <- c.loads + 1;
+               c.clock <- time + costs.load_cost
+           | Machine.C_store ->
+               c.stores <- c.stores + 1;
+               c.clock <- time + costs.store_cost;
+               Queue.push c.clock c.issue_times
+           | Machine.C_rmw ->
+               c.rmws <- c.rmws + 1;
+               c.fence_stall <- c.fence_stall + (time - clock_before);
+               c.clock <- time + costs.rmw_cost
+           | Machine.C_fence ->
+               c.fences <- c.fences + 1;
+               c.fence_stall <- c.fence_stall + (time - clock_before);
+               c.clock <- time + costs.fence_cost
+           | Machine.C_work w ->
+               c.work_cycles <- c.work_cycles + w;
+               c.clock <- time + w
+           | Machine.C_free -> c.clock <- time + costs.pause_cost));
+       incr steps
+     done
+   with Exit -> ());
+  let threads =
+    Array.map
+      (fun c ->
+        {
+          finish_time = c.clock;
+          instructions = c.instructions;
+          loads = c.loads;
+          stores = c.stores;
+          rmws = c.rmws;
+          fences = c.fences;
+          fence_stall = c.fence_stall;
+          work_cycles = c.work_cycles;
+        })
+      cores
+  in
+  let makespan = Array.fold_left (fun acc c -> max acc c.clock) 0 cores in
+  { makespan; outcome = !outcome; steps = !steps; threads }

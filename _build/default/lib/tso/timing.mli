@@ -1,0 +1,54 @@
+(** Discrete-event performance model of a bounded-TSO multicore.
+
+    Each simulated thread is a core with a cycle clock. Instruction classes
+    have configurable costs; buffered stores drain to memory in the
+    background, one every [drain_latency] cycles per core. A fence (or an
+    atomic RMW) cannot execute until the issuing core's buffer has drained,
+    so its cost is [base cost + remaining drain time] — exactly the stall the
+    paper's fence-free algorithms eliminate. Events (instruction executions
+    and drains) are processed in global time order, so a load observes
+    precisely the stores that have drained by the time it executes.
+
+    The engine requires the [Abstract] buffer model (the egress/coalescing
+    quirk matters for correctness litmus tests, not for timing). *)
+
+type cost_model = {
+  load_cost : int;  (** L1-hit load *)
+  store_cost : int;  (** issue into the store buffer *)
+  rmw_cost : int;  (** CAS / fetch-add, once the buffer has drained *)
+  fence_cost : int;  (** fence base cost, once the buffer has drained *)
+  drain_latency : int;  (** cycles for one buffered store to reach memory *)
+  pause_cost : int;  (** spin-loop pause hint *)
+}
+
+val default_costs : cost_model
+(** Loads/stores 1 cycle, RMW 24, fence base 24, drain 16, pause 4 — in the
+    ballpark of published x86 figures; the harness's machine configs refine
+    these per simulated CPU. *)
+
+type thread_stats = {
+  finish_time : int;  (** cycle at which the thread completed *)
+  instructions : int;
+  loads : int;
+  stores : int;
+  rmws : int;
+  fences : int;
+  fence_stall : int;  (** cycles spent waiting for drains before fences/RMWs *)
+  work_cycles : int;  (** cycles of client [work] executed *)
+}
+
+type report = {
+  makespan : int;  (** max finish time over all threads *)
+  outcome : Sched.outcome;
+  steps : int;
+  threads : thread_stats array;
+}
+
+val run : ?max_steps:int -> Machine.t -> cost_model -> report
+(** Drive a machine (with all threads spawned) to quiescence under the
+    timing model. Deterministic: ties are broken by (kind, thread id). *)
+
+val current_time : unit -> int
+(** The global simulated time while a {!run} is in progress. Host-level code
+    embedded in thread programs may call this to timestamp events (e.g. the
+    runtime's metrics). Meaningless outside a run. *)

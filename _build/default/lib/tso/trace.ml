@@ -1,0 +1,83 @@
+type entry = { step : int; tid : int; text : string }
+
+type t = {
+  machine : Machine.t;
+  mutable entries : entry list;  (* newest first *)
+  mutable count : int;
+}
+
+let describe_drain mem result =
+  match result with
+  | Store_buffer.Wrote (a, v) ->
+      Printf.sprintf "~ drain %s=%d" (Memory.name mem a) v
+  | Store_buffer.Staged (a, v) ->
+      Printf.sprintf "~ stage %s=%d into B" (Memory.name mem a) v
+  | Store_buffer.Coalesced (a, v) ->
+      Printf.sprintf "~ coalesce %s=%d in B" (Memory.name mem a) v
+
+let attach machine =
+  let t = { machine; entries = []; count = 0 } in
+  Machine.on_event machine (fun ev ->
+      let mem = Machine.memory machine in
+      let entry =
+        match ev with
+        | Machine.Ev_exec { tid; instr } -> Some (tid, instr)
+        | Machine.Ev_drain { tid; result } ->
+            Some (tid, describe_drain mem result)
+        | Machine.Ev_flush { tid; addr; value } ->
+            Some
+              (tid, Printf.sprintf "~ flush B: %s=%d" (Memory.name mem addr) value)
+        | Machine.Ev_done tid -> Some (tid, "(done)")
+      in
+      match entry with
+      | None -> ()
+      | Some (tid, text) ->
+          t.count <- t.count + 1;
+          t.entries <- { step = t.count; tid; text } :: t.entries);
+  t
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let length t = t.count
+
+let render ?last t =
+  let entries = List.rev t.entries in
+  let entries =
+    match last with
+    | None -> entries
+    | Some n ->
+        let len = List.length entries in
+        List.filteri (fun i _ -> i >= len - n) entries
+  in
+  let threads = Machine.thread_count t.machine in
+  let col_width =
+    List.fold_left (fun acc e -> max acc (String.length e.text + 2)) 24 entries
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "step  ";
+  for tid = 0 to threads - 1 do
+    let name = Machine.thread_name t.machine tid in
+    Buffer.add_string buf name;
+    Buffer.add_string buf (String.make (max 1 (col_width - String.length name)) ' ')
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (6 + (col_width * threads)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "%4d  " e.step);
+      for tid = 0 to threads - 1 do
+        if tid = e.tid then begin
+          Buffer.add_string buf e.text;
+          Buffer.add_string buf
+            (String.make (max 1 (col_width - String.length e.text)) ' ')
+        end
+        else Buffer.add_string buf (String.make col_width ' ')
+      done;
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

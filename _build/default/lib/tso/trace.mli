@@ -1,0 +1,27 @@
+(** Human-readable interleaving traces, in the columns-per-thread style of
+    litmus tools. Attach to a machine before driving it; render afterwards.
+
+    {v
+    step  worker                       thief
+    ---------------------------------------------------------
+       1  store q.T := 2
+       2                               cas q.lock (0 -> 1)
+       3  ~ drain q.T=2
+    v}
+
+    Memory-subsystem actions (drains, egress flushes) are shown in the
+    owning thread's column prefixed with [~]. *)
+
+type t
+
+val attach : Machine.t -> t
+(** Registers an event listener; events from every subsequent
+    [Machine.apply] are recorded. *)
+
+val clear : t -> unit
+val length : t -> int
+
+val render : ?last:int -> t -> string
+(** The recorded trace; [last] keeps only the final n events. *)
+
+val pp : Format.formatter -> t -> unit

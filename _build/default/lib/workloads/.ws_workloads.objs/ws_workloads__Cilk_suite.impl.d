@@ -1,0 +1,1 @@
+lib/workloads/cilk_suite.ml: Dag Hashtbl List Random String Ws_runtime

@@ -1,0 +1,1 @@
+lib/workloads/cilk_suite.mli: Ws_runtime

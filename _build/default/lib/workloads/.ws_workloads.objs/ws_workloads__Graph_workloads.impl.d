@@ -1,0 +1,1 @@
+lib/workloads/graph_workloads.ml: Addr Array Graph Machine Memory Option Printf Program Tso Ws_runtime

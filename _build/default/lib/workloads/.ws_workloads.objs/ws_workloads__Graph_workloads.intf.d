@@ -1,0 +1,1 @@
+lib/workloads/graph_workloads.mli: Graph Ws_runtime

@@ -1,0 +1,270 @@
+open Ws_runtime
+
+(* All costs are simulated cycles. The constants below were calibrated so
+   that the share of take()-fence time in a single-threaded run lands in the
+   band Fig. 1 reports: large for the fine-grained recursive benchmarks
+   (Fib, Integrate, knapsack), small for the coarse blocked ones (Matmul,
+   cholesky, Jacobi). *)
+
+let fib ?(spawn = 55) ?(join = 60) ?(leaf = 120) n =
+  let rec go n =
+    if n < 2 then Dag.Leaf leaf
+    else Dag.Fork { before = spawn; children = [ go (n - 1); go (n - 2) ]; after = join }
+  in
+  go n
+
+let integrate ~depth =
+  (* Adaptive quadrature: recursion depth varies pseudo-randomly around
+     [depth], like the adaptivity of the real benchmark. *)
+  let rng = Random.State.make [| 0x1a7e6 |] in
+  let rec go d =
+    if d <= 0 then Dag.Leaf (160 + Random.State.int rng 80)
+    else
+      let d' = if Random.State.int rng 8 = 0 then d - 2 else d - 1 in
+      Dag.Fork
+        { before = 40; children = [ go d'; go d' ]; after = 55 }
+  in
+  go depth
+
+let quicksort ~n ~cutoff =
+  let rng = Random.State.make [| 0x9507 |] in
+  let rec go n =
+    if n <= cutoff then Dag.Leaf (5 * n)
+    else begin
+      (* partition is linear work done before spawning the two halves;
+         the pivot splits unevenly, as real input does *)
+      let ratio = 0.3 +. (0.4 *. Random.State.float rng 1.0) in
+      let left = int_of_float (float_of_int n *. ratio) in
+      let right = n - left - 1 in
+      Dag.Fork
+        { before = n / 2; children = [ go (max 1 left); go (max 1 right) ]; after = 25 }
+    end
+  in
+  go n
+
+let matmul ~n ~block =
+  (* Divide and conquer into 8 half-size multiplications; the quadrant
+     additions are the join work. *)
+  let rec go n =
+    if n <= block then Dag.Leaf (n * n * n / 16)
+    else
+      let half = n / 2 in
+      Dag.Fork
+        {
+          before = 12;
+          children = List.init 8 (fun _ -> go half);
+          after = n * n / 32;
+        }
+  in
+  go n
+
+let strassen ~n ~block =
+  (* Seven recursive products plus O(n^2) matrix additions around them. *)
+  let rec go n =
+    if n <= block then Dag.Leaf (n * n * n / 16)
+    else
+      let half = n / 2 in
+      let adds = n * n / 16 in
+      Dag.Fork
+        { before = adds; children = List.init 7 (fun _ -> go half); after = adds }
+  in
+  go n
+
+let knapsack ~items =
+  (* Branch and bound: an irregular binary tree where subtrees are pruned
+     pseudo-randomly, with deeper nodes pruned more aggressively. *)
+  let rng = Random.State.make [| 0xb0b |] in
+  let rec go depth =
+    if depth = 0 then Dag.Leaf 170
+    else if depth < items - 6 && Random.State.int rng 100 < 32 then
+      Dag.Leaf 190 (* pruned by the bound *)
+    else
+      Dag.Fork
+        { before = 65; children = [ go (depth - 1); go (depth - 1) ]; after = 55 }
+  in
+  go items
+
+let sweep ~rows ~row_work =
+  Dag.Fork
+    { before = 6; children = List.init rows (fun _ -> Dag.Leaf row_work); after = 8 }
+
+let jacobi ~rows ~iters ~row_work =
+  Dag.Seq (List.init iters (fun _ -> sweep ~rows ~row_work))
+
+let heat ~rows ~iters ~row_work =
+  (* Same iterative structure as Jacobi with a different grain. *)
+  Dag.Seq (List.init iters (fun _ -> sweep ~rows ~row_work))
+
+let cholesky ~blocks =
+  (* Blocked right-looking factorisation: for each k, factor the diagonal
+     block, update the panel below it in parallel, then the trailing
+     submatrix in parallel. Parallelism shrinks as k grows. *)
+  let steps =
+    List.init blocks (fun k ->
+        let below = blocks - k - 1 in
+        let diag = Dag.Leaf 1100 in
+        if below = 0 then diag
+        else
+          Dag.Seq
+            [
+              diag;
+              Dag.Fork
+                {
+                  before = 6;
+                  children = List.init below (fun _ -> Dag.Leaf 650);
+                  after = 6;
+                };
+              Dag.Fork
+                {
+                  before = 6;
+                  children =
+                    List.init (below * (below + 1) / 2) (fun _ -> Dag.Leaf 600);
+                  after = 6;
+                };
+            ])
+  in
+  Dag.Seq steps
+
+let lud ~blocks =
+  (* Blocked LU without pivoting: same wavefront shape as cholesky but a
+     full (square) trailing update and finer blocks, so the tail of the
+     computation has very shallow queues — the shape that starves FF-THE's
+     default δ (Fig. 10's LUD discussion). *)
+  let steps =
+    List.init blocks (fun k ->
+        let rest = blocks - k - 1 in
+        let diag = Dag.Leaf 450 in
+        if rest = 0 then diag
+        else
+          Dag.Seq
+            [
+              diag;
+              Dag.Fork
+                {
+                  before = 6;
+                  children = List.init (2 * rest) (fun _ -> Dag.Leaf 260);
+                  after = 6;
+                };
+              Dag.Fork
+                {
+                  before = 6;
+                  children = List.init (rest * rest) (fun _ -> Dag.Leaf 300);
+                  after = 6;
+                };
+            ])
+  in
+  Dag.Seq steps
+
+let fft ~n ~cutoff =
+  let rec go n =
+    if n <= cutoff then Dag.Leaf (5 * n)
+    else
+      let half = n / 2 in
+      (* two recursive halves, then an O(n) butterfly combine *)
+      Dag.Fork { before = 8; children = [ go half; go half ]; after = 2 * n }
+  in
+  go n
+
+type bench = {
+  name : string;
+  description : string;
+  paper_input : string;
+  our_input : string;
+  comp : unit -> Dag.comp;
+}
+
+let all =
+  [
+    {
+      name = "Fib";
+      description = "Recursive Fibonacci";
+      paper_input = "42";
+      our_input = "n=18";
+      comp = (fun () -> fib 18);
+    };
+    {
+      name = "Jacobi";
+      description = "Iterative mesh relaxation";
+      paper_input = "1024x1024";
+      our_input = "240 rows x 10 iters, 1000 cycles/row";
+      comp = (fun () -> jacobi ~rows:240 ~iters:10 ~row_work:1000);
+    };
+    {
+      name = "QuickSort";
+      description = "Recursive QuickSort";
+      paper_input = "10^8";
+      our_input = "n=30000, cutoff=64";
+      comp = (fun () -> quicksort ~n:30_000 ~cutoff:64);
+    };
+    {
+      name = "Matmul";
+      description = "Matrix multiply";
+      paper_input = "1024x1024";
+      our_input = "n=256, block=32";
+      comp = (fun () -> matmul ~n:256 ~block:32);
+    };
+    {
+      name = "Integrate";
+      description = "Recursively calculate area under a curve";
+      paper_input = "10000";
+      our_input = "depth=11";
+      comp = (fun () -> integrate ~depth:11);
+    };
+    {
+      name = "knapsack";
+      description = "Recursive branch-and-bound knapsack solver";
+      paper_input = "32 items";
+      our_input = "18 items";
+      comp = (fun () -> knapsack ~items:18);
+    };
+    {
+      name = "cholesky";
+      description = "Cholesky factorization";
+      paper_input = "4000x4000, 40000 nonzeros";
+      our_input = "18 blocks";
+      comp = (fun () -> cholesky ~blocks:18);
+    };
+    {
+      name = "Heat";
+      description = "Heat diffusion simulation";
+      paper_input = "4096x1024";
+      our_input = "200 rows x 10 iters, 300 cycles/row";
+      comp = (fun () -> heat ~rows:200 ~iters:10 ~row_work:300);
+    };
+    {
+      name = "LUD";
+      description = "LU decomposition";
+      paper_input = "1024x1024";
+      our_input = "14 blocks";
+      comp = (fun () -> lud ~blocks:14);
+    };
+    {
+      name = "strassen";
+      description = "Strassen matrix multiply";
+      paper_input = "4096x4096";
+      our_input = "n=512, block=64";
+      comp = (fun () -> strassen ~n:512 ~block:64);
+    };
+    {
+      name = "fft";
+      description = "Fast Fourier transform";
+      paper_input = "2^26";
+      our_input = "n=2^14, cutoff=128";
+      comp = (fun () -> fft ~n:(1 lsl 14) ~cutoff:128);
+    };
+  ]
+
+let fig1_names =
+  [ "Fib"; "Jacobi"; "QuickSort"; "Matmul"; "Integrate"; "knapsack"; "cholesky" ]
+
+let find name = List.find (fun b -> String.equal b.name name) all
+
+let cache : (string, Dag.t) Hashtbl.t = Hashtbl.create 16
+
+let dag b =
+  match Hashtbl.find_opt cache b.name with
+  | Some d -> d
+  | None ->
+      let d = Dag.of_comp (b.comp ()) in
+      Hashtbl.add cache b.name d;
+      d

@@ -1,0 +1,44 @@
+(** The CilkPlus benchmark suite of Table 1, expressed as fork–join
+    computation DAGs with per-strand cycle costs.
+
+    Inputs are scaled down from the paper's (documented per benchmark in
+    [paper_input] / [our_input]) so that a discrete-event simulation of a run
+    completes in seconds. What the figures are sensitive to — the DAG shape
+    and the ratio of scheduler overhead (fence, take, put) to strand work —
+    is preserved by the cost model. DAG construction is deterministic, so
+    every queue variant schedules the identical computation. *)
+
+type bench = {
+  name : string;
+  description : string;
+  paper_input : string;
+  our_input : string;
+  comp : unit -> Ws_runtime.Dag.comp;
+}
+
+val all : bench list
+(** Fib, Jacobi, QuickSort, Matmul, Integrate, knapsack, cholesky, Heat,
+    LUD, strassen, fft — the order of Fig. 10. *)
+
+val fig1_names : string list
+(** The seven benchmarks of Fig. 1. *)
+
+val find : string -> bench
+(** @raise Not_found on unknown names. *)
+
+val dag : bench -> Ws_runtime.Dag.t
+(** Build (and cache) the benchmark's DAG. *)
+
+(** Individual computations, parameterised, for tests and examples. *)
+
+val fib : ?spawn:int -> ?join:int -> ?leaf:int -> int -> Ws_runtime.Dag.comp
+val integrate : depth:int -> Ws_runtime.Dag.comp
+val quicksort : n:int -> cutoff:int -> Ws_runtime.Dag.comp
+val matmul : n:int -> block:int -> Ws_runtime.Dag.comp
+val strassen : n:int -> block:int -> Ws_runtime.Dag.comp
+val knapsack : items:int -> Ws_runtime.Dag.comp
+val jacobi : rows:int -> iters:int -> row_work:int -> Ws_runtime.Dag.comp
+val heat : rows:int -> iters:int -> row_work:int -> Ws_runtime.Dag.comp
+val cholesky : blocks:int -> Ws_runtime.Dag.comp
+val lud : blocks:int -> Ws_runtime.Dag.comp
+val fft : n:int -> cutoff:int -> Ws_runtime.Dag.comp

@@ -1,0 +1,109 @@
+type t = {
+  nodes : int;
+  adj : int array array;
+}
+
+let of_edge_list nodes edge_list =
+  let deg = Array.make nodes 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let adj = Array.init nodes (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make nodes 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  { nodes; adj }
+
+let dedup_pairs pairs =
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  S.elements
+    (List.fold_left
+       (fun s (u, v) -> if u = v then s else S.add (norm (u, v)) s)
+       S.empty pairs)
+
+let k_graph ~nodes ~k ~seed =
+  if nodes mod 2 <> 0 then invalid_arg "Graph.k_graph: nodes must be even";
+  let rng = Random.State.make [| seed; nodes; k |] in
+  let pairs = ref [] in
+  for _ = 1 to k do
+    (* one random perfect matching *)
+    let perm = Array.init nodes Fun.id in
+    for i = nodes - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    let i = ref 0 in
+    while !i + 1 < nodes do
+      pairs := (perm.(!i), perm.(!i + 1)) :: !pairs;
+      i := !i + 2
+    done
+  done;
+  of_edge_list nodes (dedup_pairs !pairs)
+
+let random_graph ~nodes ~edges ~seed =
+  let rng = Random.State.make [| seed; nodes; edges |] in
+  let pairs = ref [] in
+  let made = ref 0 in
+  (* draw with rejection of self-loops; duplicates are deduplicated at the
+     end, so we overdraw slightly *)
+  while !made < edges do
+    let u = Random.State.int rng nodes and v = Random.State.int rng nodes in
+    if u <> v then begin
+      pairs := (u, v) :: !pairs;
+      incr made
+    end
+  done;
+  of_edge_list nodes (dedup_pairs !pairs)
+
+let torus ~width ~height =
+  let nodes = width * height in
+  let id x y = (((y + height) mod height) * width) + ((x + width) mod width) in
+  let pairs = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      pairs := (id x y, id (x + 1) y) :: (id x y, id x (y + 1)) :: !pairs
+    done
+  done;
+  of_edge_list nodes (dedup_pairs !pairs)
+
+let edges t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.adj
+
+let reachable_from t src =
+  let seen = Array.make t.nodes false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+      t.adj.(u)
+  done;
+  seen
+
+let degree_histogram t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      let d = Array.length a in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    t.adj;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

@@ -1,0 +1,29 @@
+(** Graph generators and reference algorithms for the §8.2 benchmarks.
+
+    The paper's inputs: a K-regular graph, a random G(n,m) graph and a
+    two-dimensional torus. Sizes are scaled down (documented in the
+    experiment harness); the torus keeps the paper's 2400 nodes. *)
+
+type t = {
+  nodes : int;
+  adj : int array array;  (** adjacency lists (undirected: both directions) *)
+}
+
+val k_graph : nodes:int -> k:int -> seed:int -> t
+(** K-regular graph: each node is connected to [k] others (union of [k]
+    random perfect matchings, deduplicated). *)
+
+val random_graph : nodes:int -> edges:int -> seed:int -> t
+(** G(n,m): [edges] undirected edges drawn uniformly. *)
+
+val torus : width:int -> height:int -> t
+(** 2-D torus (grid with wraparound); node [(x, y)] is [y * width + x]. *)
+
+val edges : t -> int
+(** Total directed edge count (sum of adjacency list lengths). *)
+
+val reachable_from : t -> int -> bool array
+(** Host-level BFS, the verification oracle for the simulated algorithms. *)
+
+val degree_histogram : t -> (int * int) list
+(** (degree, count), ascending — for tests. *)

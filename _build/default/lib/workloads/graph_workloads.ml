@@ -1,0 +1,93 @@
+open Tso
+
+type checked = {
+  workload : Ws_runtime.Workload.t;
+  verify : unit -> (unit, string) result;
+}
+
+(* Shared skeleton: [on_claim] is invoked (inside the simulated thread) when
+   the executing worker wins the CAS on neighbour [v] of node [u]. *)
+let visit_workload name (g : Graph.t) ~src ~node_work ~edge_work ~on_claim
+    ~extra_init ~verify_extra =
+  let visited = ref None in
+  let machine_mem = ref None in
+  let init m =
+    let mem = Machine.memory m in
+    machine_mem := Some mem;
+    visited := Some (Memory.alloc_array mem ~name:"visited" ~len:g.Graph.nodes ~init:0);
+    (* claim the source up front: it is the root task *)
+    Memory.set mem (Addr.offset (Option.get !visited) src) 1;
+    extra_init mem
+  in
+  let execute ~worker:_ u =
+    let visited = Option.get !visited in
+    Program.work node_work;
+    let spawned = ref [] in
+    Array.iter
+      (fun v ->
+        Program.work edge_work;
+        (* test-and-test-and-set keeps RMW traffic realistic *)
+        if Program.load (Addr.offset visited v) = 0 then
+          if Program.cas (Addr.offset visited v) ~expect:0 ~replace:1 then begin
+            on_claim ~u ~v;
+            spawned := v :: !spawned
+          end)
+      g.Graph.adj.(u);
+    !spawned
+  in
+  let verify () =
+    let mem = Option.get !machine_mem in
+    let visited = Option.get !visited in
+    let reachable = Graph.reachable_from g src in
+    let rec check v =
+      if v >= g.Graph.nodes then Ok ()
+      else
+        let got = Memory.get mem (Addr.offset visited v) = 1 in
+        if got <> reachable.(v) then
+          Error
+            (Printf.sprintf "%s: node %d %s" name v
+               (if reachable.(v) then "reachable but not visited"
+                else "visited but unreachable"))
+        else check (v + 1)
+    in
+    match check 0 with Ok () -> verify_extra mem | Error _ as e -> e
+  in
+  let workload =
+    Ws_runtime.Workload.make ~name ~roots:[ src ] ~execute ~init ()
+  in
+  { workload; verify }
+
+let transitive_closure g ~src ?(node_work = 20) ?(edge_work = 6) () =
+  visit_workload "transitive-closure" g ~src ~node_work ~edge_work
+    ~on_claim:(fun ~u:_ ~v:_ -> ())
+    ~extra_init:(fun _ -> ())
+    ~verify_extra:(fun _ -> Ok ())
+
+let spanning_tree g ~src ?(node_work = 20) ?(edge_work = 6) () =
+  let parent = ref None in
+  let extra_init mem =
+    parent := Some (Memory.alloc_array mem ~name:"parent" ~len:g.Graph.nodes ~init:(-1))
+  in
+  let on_claim ~u ~v = Program.store (Addr.offset (Option.get !parent) v) u in
+  let verify_extra mem =
+    let parent_arr = Option.get !parent in
+    let reachable = Graph.reachable_from g src in
+    (* every reachable node except the source must have a parent whose chain
+       reaches the source without cycles *)
+    let rec climb v steps =
+      if v = src then true
+      else if steps > g.Graph.nodes then false
+      else
+        let p = Memory.get mem (Addr.offset parent_arr v) in
+        p >= 0 && climb p (steps + 1)
+    in
+    let rec check v =
+      if v >= g.Graph.nodes then Ok ()
+      else if v <> src && reachable.(v) && not (climb v 0) then
+        Error (Printf.sprintf "spanning-tree: node %d has a broken parent chain" v)
+      else check (v + 1)
+    in
+    check 0
+  in
+  visit_workload "spanning-tree" g ~src ~node_work ~edge_work ~on_claim
+    ~extra_init ~verify_extra

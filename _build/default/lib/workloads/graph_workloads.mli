@@ -1,0 +1,24 @@
+(** The §8.2 graph benchmarks as runtime workloads: transitive closure
+    (single-source reachability) and spanning tree, after Bader & Cong.
+
+    Tasks are "visit node u". Visiting performs, {e in simulated memory}, a
+    CAS on the neighbour's visited flag for every edge — the algorithms'
+    internal synchronisation that makes duplicated task execution harmless,
+    which is exactly why Michael et al.'s idempotent queues are applicable
+    here. A duplicated "visit u" finds every neighbour already claimed (or
+    claims it, validly) and spawns nothing twice: each node is spawned by
+    the unique CAS winner. *)
+
+type checked = {
+  workload : Ws_runtime.Workload.t;
+  verify : unit -> (unit, string) result;
+      (** after the run: compares the simulated result against a host BFS
+          (every reachable node visited; for spanning tree, parents form a
+          valid tree rooted at the source) *)
+}
+
+val transitive_closure :
+  Graph.t -> src:int -> ?node_work:int -> ?edge_work:int -> unit -> checked
+
+val spanning_tree :
+  Graph.t -> src:int -> ?node_work:int -> ?edge_work:int -> unit -> checked

@@ -1,0 +1,1 @@
+test/test_deque.ml: Alcotest Array Fun List Machine Printf Program QCheck QCheck_alcotest Random Sched Store_buffer Tso Ws_core Ws_harness Ws_linearize

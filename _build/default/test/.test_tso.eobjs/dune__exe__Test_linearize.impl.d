@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Checker Format History List Machine Memory Printf Program QCheck QCheck_alcotest Random Sched Spec Tso Ws_core Ws_linearize

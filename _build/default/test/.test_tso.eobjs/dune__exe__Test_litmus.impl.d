@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Capacity Classic Grid List Litmus_program Printf Tso Ws_harness Ws_litmus

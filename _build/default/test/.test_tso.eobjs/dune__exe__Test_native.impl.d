@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Atomic Chase_lev Domain List Pool QCheck QCheck_alcotest The_queue Unix Ws_native

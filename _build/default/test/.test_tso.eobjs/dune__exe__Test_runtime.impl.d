@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Dag Engine Hashtbl Lazy List Metrics Printf QCheck QCheck_alcotest Tso Workload Ws_core Ws_runtime Ws_workloads

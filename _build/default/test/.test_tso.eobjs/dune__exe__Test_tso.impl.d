@@ -1,0 +1,1 @@
+test/test_tso.ml: Addr Alcotest Array Explore List Machine Memory Printf Program QCheck QCheck_alcotest Random Reference Sched Store_buffer String Timing Trace Tso

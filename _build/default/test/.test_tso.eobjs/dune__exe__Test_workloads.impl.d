@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cilk_suite Graph Graph_workloads List Printf QCheck QCheck_alcotest Tso Ws_core Ws_runtime Ws_workloads

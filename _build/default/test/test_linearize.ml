@@ -1,0 +1,431 @@
+(* Tests for the sequential specs and the Wing–Gong linearizability checker,
+   including the paper's §3.3 result: put() buffering makes even the fenced
+   baselines non-linearizable, a fence after put() restores linearizability,
+   and the fence-free variants are linearizable w.r.t. the relaxed spec. *)
+
+open Ws_linearize
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_strict_transitions () =
+  let s = Spec.of_contents [ 1; 2; 3 ] in
+  (match Spec.apply Spec.Strict s Spec.Take with
+  | [ (Spec.R_task 3, s') ] ->
+      Alcotest.(check (list int)) "take from tail" [ 1; 2 ] (Spec.contents s')
+  | _ -> Alcotest.fail "strict take must be deterministic");
+  (match Spec.apply Spec.Strict s Spec.Steal with
+  | [ (Spec.R_task 1, s') ] ->
+      Alcotest.(check (list int)) "steal from head" [ 2; 3 ] (Spec.contents s')
+  | _ -> Alcotest.fail "strict steal must be deterministic");
+  match Spec.apply Spec.Strict Spec.initial Spec.Take with
+  | [ (Spec.R_empty, _) ] -> ()
+  | _ -> Alcotest.fail "take on empty"
+
+let test_spec_relaxed_allows_abort () =
+  let s = Spec.of_contents [ 7 ] in
+  checkb "abort conforms, state unchanged" true
+    (match Spec.conforms Spec.Relaxed s Spec.Steal Spec.R_abort with
+    | Some s' -> Spec.contents s' = [ 7 ]
+    | None -> false);
+  checkb "strict spec rejects abort" true
+    (Spec.conforms Spec.Strict s Spec.Steal Spec.R_abort = None)
+
+let test_spec_idempotent_redelivery () =
+  let s = Spec.of_contents [ 1; 2 ] in
+  match Spec.conforms Spec.Idempotent s Spec.Steal (Spec.R_task 1) with
+  | None -> Alcotest.fail "first steal"
+  | Some s' -> (
+      (* 1 was handed out; the idempotent spec may deliver it again *)
+      match Spec.conforms Spec.Idempotent s' Spec.Take (Spec.R_task 1) with
+      | Some s'' ->
+          Alcotest.(check (list int)) "redelivery leaves queue" [ 2 ]
+            (Spec.contents s'')
+      | None -> Alcotest.fail "idempotent spec must allow re-delivery")
+
+(* ------------------------------------------------------------------ *)
+(* Checker on hand-written histories                                   *)
+(* ------------------------------------------------------------------ *)
+
+let entry id thread op response inv res =
+  { History.id; thread; op; response; inv; res }
+
+let test_checker_accepts_sequential () =
+  let h =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 1;
+      entry 1 "w" Spec.Take (Spec.R_task 1) 2 3;
+      entry 2 "t" Spec.Steal Spec.R_empty 4 5;
+    ]
+  in
+  match Checker.check Spec.Strict h with
+  | Checker.Linearizable _ -> ()
+  | _ -> Alcotest.fail "sequential history must linearize"
+
+let test_checker_uses_overlap () =
+  (* steal overlaps the put, so it may linearize before it and return
+     EMPTY even though the put "started first" *)
+  let h =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 10;
+      entry 1 "t" Spec.Steal Spec.R_empty 5 6;
+      entry 2 "w" Spec.Take (Spec.R_task 1) 11 12;
+    ]
+  in
+  match Checker.check Spec.Strict h with
+  | Checker.Linearizable _ -> ()
+  | _ -> Alcotest.fail "overlapping steal may linearize first"
+
+let test_checker_rejects_real_time_violation () =
+  (* steal returns EMPTY strictly AFTER the put completed: no linearization
+     order can explain it (nothing ever removed task 1 before the take) *)
+  let h =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 1;
+      entry 1 "t" Spec.Steal Spec.R_empty 2 3;
+      entry 2 "w" Spec.Take (Spec.R_task 1) 4 5;
+    ]
+  in
+  match Checker.check Spec.Strict h with
+  | Checker.Not_linearizable -> ()
+  | Checker.Linearizable _ -> Alcotest.fail "must reject: EMPTY after visible put"
+  | Checker.Too_large -> Alcotest.fail "budget"
+
+let test_checker_rejects_duplication () =
+  let h =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 1;
+      entry 1 "w" Spec.Take (Spec.R_task 1) 2 3;
+      entry 2 "t" Spec.Steal (Spec.R_task 1) 2 4;
+    ]
+  in
+  match Checker.check Spec.Strict h with
+  | Checker.Not_linearizable -> ()
+  | _ -> Alcotest.fail "must reject double removal"
+
+let test_checker_order_sensitivity () =
+  (* take must see the LIFO end: with [1;2] enqueued, take -> 1 is wrong *)
+  let h =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 1;
+      entry 1 "w" (Spec.Put 2) Spec.R_ok 2 3;
+      entry 2 "w" Spec.Take (Spec.R_task 1) 4 5;
+    ]
+  in
+  (match Checker.check Spec.Strict h with
+  | Checker.Not_linearizable -> ()
+  | _ -> Alcotest.fail "take must return the tail");
+  let h_ok =
+    [
+      entry 0 "w" (Spec.Put 1) Spec.R_ok 0 1;
+      entry 1 "w" (Spec.Put 2) Spec.R_ok 2 3;
+      entry 2 "w" Spec.Take (Spec.R_task 2) 4 5;
+    ]
+  in
+  match Checker.check Spec.Strict h_ok with
+  | Checker.Linearizable _ -> ()
+  | _ -> Alcotest.fail "tail take must pass"
+
+(* ------------------------------------------------------------------ *)
+(* Recorded histories from machine runs (§3.3)                         *)
+(* ------------------------------------------------------------------ *)
+
+open Tso
+
+(* The §3.3 scenario: the worker's put is buffered; a concurrent steal
+   misses it and returns EMPTY after the put completed. [fence_after_put]
+   is the documented fix. *)
+let section_3_3_machine ~fence_after_put qname =
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:4) in
+  let params =
+    { Ws_core.Queue_intf.capacity = 16; delta = 1; worker_fence = true; tag = "q" }
+  in
+  let q = Ws_core.Registry.create (Ws_core.Registry.find qname) m params in
+  let h = History.create () in
+  let _ =
+    Machine.spawn m ~name:"worker" (fun () ->
+        if fence_after_put then
+          (* the §3.3 fix: the fence happens before put() completes, i.e.
+             inside the recorded interval *)
+          ignore
+            (History.record h m ~thread:"worker" (Spec.Put 42) (fun () ->
+                 Ws_core.Queue_intf.put q 42;
+                 Program.fence ();
+                 Spec.R_ok))
+        else History.put h m ~thread:"worker" q 42)
+  in
+  let _ =
+    Machine.spawn m ~name:"thief" (fun () ->
+        ignore (History.steal h m ~thread:"thief" q))
+  in
+  (m, h)
+
+(* Drive with an explicit schedule: worker puts (stores stay buffered),
+   thief then steals to completion, drains last. *)
+let run_completely m =
+  (* thief first? No: worker's put must invoke first, then thief runs while
+     the put's stores are buffered. Round-robin gets there; we just need the
+     specific interleaving, so search for it: run each seed until we find
+     the non-linearizable outcome. *)
+  ignore m
+
+let test_section_3_3_violation () =
+  ignore run_completely;
+  (* search seeds until the steal misses the buffered put *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 200 do
+    incr seed;
+    let m, h = section_3_3_machine ~fence_after_put:false "chase-lev" in
+    let rng = Random.State.make [| !seed |] in
+    (match Sched.run m (Sched.weighted rng ~drain_weight:0.02) with
+    | Sched.Quiescent -> ()
+    | _ -> Alcotest.fail "no quiesce");
+    match Checker.check_history Spec.Strict h with
+    | Checker.Not_linearizable -> found := true
+    | _ -> ()
+  done;
+  checkb "found the §3.3 non-linearizable execution" true !found
+
+let test_section_3_3_fix () =
+  (* with a fence after put, every schedule must be linearizable *)
+  for seed = 1 to 200 do
+    let m, h = section_3_3_machine ~fence_after_put:true "chase-lev" in
+    let rng = Random.State.make [| seed |] in
+    (match Sched.run m (Sched.weighted rng ~drain_weight:0.02) with
+    | Sched.Quiescent -> ()
+    | _ -> Alcotest.fail "no quiesce");
+    match Checker.check_history Spec.Strict h with
+    | Checker.Linearizable _ -> ()
+    | Checker.Not_linearizable ->
+        Alcotest.failf "seed %d: fenced put still non-linearizable" seed
+    | Checker.Too_large -> Alcotest.fail "budget"
+  done
+
+(* Random small runs of each queue: all recorded histories must linearize
+   against the appropriate spec (with a fence after put, §3.3's fix, so the
+   benign put-buffering violations disappear and what remains is the
+   algorithm's real behaviour). *)
+let kind_for (module Q : Ws_core.Queue_intf.S) =
+  if Q.may_duplicate then Spec.Idempotent
+  else if Q.may_abort then Spec.Relaxed
+  else Spec.Strict
+
+let test_random_histories_linearizable qname () =
+  let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find qname in
+  let kind = kind_for (module Q) in
+  for seed = 1 to 60 do
+    let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+    let params =
+      { Ws_core.Queue_intf.capacity = 32; delta = 1; worker_fence = true; tag = "q" }
+    in
+    let q = Ws_core.Registry.create (Ws_core.Registry.find qname) m params in
+    let h = History.create () in
+    let scratch = Memory.alloc (Machine.memory m) ~name:"s" ~init:0 in
+    let put_fenced i =
+      ignore
+        (History.record h m ~thread:"worker" (Spec.Put i) (fun () ->
+             Ws_core.Queue_intf.put q i;
+             Program.fence ();
+             Spec.R_ok))
+    in
+    let _ =
+      Machine.spawn m ~name:"worker" (fun () ->
+          for i = 1 to 3 do
+            put_fenced i
+          done;
+          for _ = 1 to 3 do
+            ignore (History.take h m ~thread:"worker" q);
+            Program.store scratch 1
+          done)
+    in
+    let _ =
+      Machine.spawn m ~name:"thief" (fun () ->
+          for _ = 1 to 2 do
+            ignore (History.steal h m ~thread:"thief" q)
+          done)
+    in
+    let rng = Random.State.make [| seed * 3 |] in
+    (match Sched.run m (Sched.weighted rng ~drain_weight:0.1) with
+    | Sched.Quiescent -> ()
+    | _ -> Alcotest.fail "no quiesce");
+    match Checker.check_history kind h with
+    | Checker.Linearizable _ -> ()
+    | Checker.Not_linearizable ->
+        Alcotest.failf "seed %d: %s history not linearizable:\n%s" seed qname
+          (Format.asprintf "%a" History.pp h)
+    | Checker.Too_large -> Alcotest.fail "checker budget exceeded"
+  done
+
+(* The delta reasoning feeds the relaxed spec: an FF-CL run with an unsound
+   delta must produce a history even the relaxed spec rejects. *)
+let test_unsound_delta_breaks_relaxed_linearizability () =
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 500 do
+    incr seed;
+    let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+    let params =
+      { Ws_core.Queue_intf.capacity = 32; delta = 1; worker_fence = false; tag = "q" }
+    in
+    let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find "ff-cl" in
+    let q = Q.create m params in
+    Q.preload q [ 1; 2; 3 ];
+    let h = History.create () in
+    let packed = Ws_core.Queue_intf.Packed ((module Q), q) in
+    let _ =
+      Machine.spawn m ~name:"worker" (fun () ->
+          (* no client stores: two takes can hide in TSO[2] *)
+          for _ = 1 to 3 do
+            ignore (History.take h m ~thread:"worker" packed)
+          done)
+    in
+    let _ =
+      Machine.spawn m ~name:"thief" (fun () ->
+          for _ = 1 to 2 do
+            ignore (History.steal h m ~thread:"thief" packed)
+          done)
+    in
+    let rng = Random.State.make [| !seed * 7 |] in
+    (match Sched.run m (Sched.weighted rng ~drain_weight:0.02) with
+    | Sched.Quiescent -> ()
+    | _ -> Alcotest.fail "no quiesce");
+    match
+      Checker.check ~init:(Spec.of_contents [ 1; 2; 3 ]) Spec.Relaxed
+        (History.entries h)
+    with
+    | Checker.Not_linearizable -> found := true
+    | _ -> ()
+  done;
+  checkb "unsound delta produced a non-linearizable history" true !found
+
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing of the checker itself                          *)
+(* ------------------------------------------------------------------ *)
+
+(* a naive oracle: try every permutation of the history *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let brute_force kind entries =
+  let respects_real_time perm =
+    (* in the permuted order, no operation may appear after one whose
+       invocation follows its response in real time *)
+    let rec ok = function
+      | [] -> true
+      | e :: rest ->
+          List.for_all
+            (fun later -> not (later.History.res < e.History.inv))
+            rest
+          && ok rest
+    in
+    ok perm
+  in
+  let replays perm =
+    let rec go state = function
+      | [] -> true
+      | e :: rest -> (
+          match Spec.conforms kind state e.History.op e.History.response with
+          | Some s' -> go s' rest
+          | None -> false)
+    in
+    go Spec.initial perm
+  in
+  List.exists (fun p -> respects_real_time p && replays p) (permutations entries)
+
+let history_gen =
+  let open QCheck.Gen in
+  let op_result i =
+    frequency
+      [
+        (3, return (Spec.Put i, Spec.R_ok));
+        ( 3,
+          map
+            (fun v -> (Spec.Take, if v = 0 then Spec.R_empty else Spec.R_task v))
+            (int_bound 3) );
+        ( 3,
+          map
+            (fun v -> (Spec.Steal, if v = 0 then Spec.R_empty else Spec.R_task v))
+            (int_bound 3) );
+        (1, return (Spec.Steal, Spec.R_abort));
+      ]
+  in
+  let entry i =
+    map3
+      (fun (op, response) inv len ->
+        {
+          History.id = i;
+          thread = (if i mod 2 = 0 then "w" else "t");
+          op;
+          response;
+          inv;
+          res = inv + 1 + len;
+        })
+      (op_result i) (int_bound 8) (int_bound 4)
+  in
+  sized_size (int_range 1 5) (fun n ->
+      flatten_l (List.init n entry))
+
+let checker_vs_brute_force kind kind_name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "checker agrees with brute force (%s)" kind_name)
+    ~count:300
+    (QCheck.make history_gen)
+    (fun entries ->
+      let expected = brute_force kind entries in
+      match Checker.check kind entries with
+      | Checker.Linearizable _ -> expected
+      | Checker.Not_linearizable -> not expected
+      | Checker.Too_large -> true (* budget exhaustion is not a verdict *))
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "strict transitions" `Quick test_spec_strict_transitions;
+          Alcotest.test_case "relaxed allows abort" `Quick test_spec_relaxed_allows_abort;
+          Alcotest.test_case "idempotent redelivery" `Quick test_spec_idempotent_redelivery;
+        ] );
+      ( "checker",
+        [
+          QCheck_alcotest.to_alcotest
+            (checker_vs_brute_force Spec.Strict "strict");
+          QCheck_alcotest.to_alcotest
+            (checker_vs_brute_force Spec.Relaxed "relaxed");
+          QCheck_alcotest.to_alcotest
+            (checker_vs_brute_force Spec.Idempotent "idempotent");
+          Alcotest.test_case "accepts sequential" `Quick test_checker_accepts_sequential;
+          Alcotest.test_case "uses overlap" `Quick test_checker_uses_overlap;
+          Alcotest.test_case "rejects real-time violation" `Quick
+            test_checker_rejects_real_time_violation;
+          Alcotest.test_case "rejects duplication" `Quick test_checker_rejects_duplication;
+          Alcotest.test_case "take/steal end sensitivity" `Quick
+            test_checker_order_sensitivity;
+        ] );
+      ( "recorded histories",
+        [
+          Alcotest.test_case "§3.3 violation exists (Chase-Lev)" `Quick
+            test_section_3_3_violation;
+          Alcotest.test_case "§3.3 fix: fence after put" `Slow test_section_3_3_fix;
+          Alcotest.test_case "§4: unsound delta breaks even the relaxed spec" `Slow
+            test_unsound_delta_breaks_relaxed_linearizability;
+        ]
+        @ List.map
+            (fun q ->
+              Alcotest.test_case
+                (Printf.sprintf "random histories linearizable [%s]" q)
+                `Slow
+                (test_random_histories_linearizable q))
+            Ws_core.Registry.names );
+    ]

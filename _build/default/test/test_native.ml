@@ -1,0 +1,278 @@
+(* Tests for the native (real OCaml 5 Atomic/Domain) deques and the
+   work-stealing pool. Sequential semantics plus multi-domain stress with
+   conservation checking. *)
+
+let checki = Alcotest.check Alcotest.int
+
+open Ws_native
+
+(* ------------------------------------------------------------------ *)
+(* Chase-Lev, sequential                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cl_lifo_pop () =
+  let q = Chase_lev.create () in
+  List.iter (Chase_lev.push q) [ 1; 2; 3 ];
+  let a = Chase_lev.pop q in
+  let b = Chase_lev.pop q in
+  let c = Chase_lev.pop q in
+  let d = Chase_lev.pop q in
+  Alcotest.(check (list (option int)))
+    "pop LIFO"
+    [ Some 3; Some 2; Some 1; None ]
+    [ a; b; c; d ]
+
+let test_cl_fifo_steal () =
+  let q = Chase_lev.create () in
+  List.iter (Chase_lev.push q) [ 1; 2; 3 ];
+  let a = Chase_lev.steal q in
+  let b = Chase_lev.steal q in
+  let c = Chase_lev.steal q in
+  let d = Chase_lev.steal q in
+  Alcotest.(check (list (option int)))
+    "steal FIFO"
+    [ Some 1; Some 2; Some 3; None ]
+    [ a; b; c; d ]
+
+let test_cl_mixed_ends () =
+  let q = Chase_lev.create () in
+  List.iter (Chase_lev.push q) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "steal head" (Some 1) (Chase_lev.steal q);
+  Alcotest.(check (option int)) "pop tail" (Some 4) (Chase_lev.pop q);
+  Alcotest.(check (option int)) "steal next" (Some 2) (Chase_lev.steal q);
+  Alcotest.(check (option int)) "pop last" (Some 3) (Chase_lev.pop q);
+  Alcotest.(check (option int)) "empty pop" None (Chase_lev.pop q);
+  Alcotest.(check (option int)) "empty steal" None (Chase_lev.steal q)
+
+let test_cl_growth () =
+  let q = Chase_lev.create ~capacity:4 () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Chase_lev.push q i
+  done;
+  checki "size" n (Chase_lev.size q);
+  let sum = ref 0 in
+  let rec drain () =
+    match Chase_lev.pop q with
+    | Some v ->
+        sum := !sum + v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  checki "conserved across growth" (n * (n + 1) / 2) !sum
+
+let test_cl_interleaved_sequential () =
+  let q = Chase_lev.create ~capacity:4 () in
+  let popped = ref 0 and pushed = ref 0 in
+  for round = 1 to 50 do
+    for i = 1 to 7 do
+      Chase_lev.push q ((round * 100) + i);
+      incr pushed
+    done;
+    for _ = 1 to 5 do
+      match Chase_lev.pop q with Some _ -> incr popped | None -> ()
+    done
+  done;
+  let rec drain () =
+    match Chase_lev.pop q with Some _ -> incr popped; drain () | None -> ()
+  in
+  drain ();
+  checki "nothing lost" !pushed !popped
+
+(* ------------------------------------------------------------------ *)
+(* Chase-Lev, concurrent stress                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cl_concurrent_conservation () =
+  (* owner pushes N and pops; two stealer domains compete; every element
+     must be extracted exactly once *)
+  let n = 20_000 in
+  let q = Chase_lev.create () in
+  let extracted = Array.make n 0 in
+  let stop = Atomic.make false in
+  let stealer () =
+    while not (Atomic.get stop) do
+      match Chase_lev.steal_retry q with
+      | Some v -> extracted.(v) <- extracted.(v) + 1
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let d1 = Domain.spawn stealer in
+  let d2 = Domain.spawn stealer in
+  let owner_got = ref [] in
+  for i = 0 to n - 1 do
+    Chase_lev.push q i;
+    if i mod 3 = 0 then
+      match Chase_lev.pop q with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> ()
+  done;
+  let rec drain () =
+    match Chase_lev.pop q with
+    | Some v ->
+        owner_got := v :: !owner_got;
+        drain ()
+    | None -> if Chase_lev.size q > 0 then drain ()
+  in
+  drain ();
+  (* wait for stealers to finish consuming anything they raced for *)
+  Unix.sleepf 0.05;
+  Atomic.set stop true;
+  Domain.join d1;
+  Domain.join d2;
+  List.iter (fun v -> extracted.(v) <- extracted.(v) + 1) !owner_got;
+  let dups = ref 0 and lost = ref 0 in
+  Array.iter
+    (fun c ->
+      if c > 1 then incr dups;
+      if c = 0 then incr lost)
+    extracted;
+  checki "no element extracted twice" 0 !dups;
+  checki "no element lost" 0 !lost
+
+(* ------------------------------------------------------------------ *)
+(* THE queue (native)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_the_sequential () =
+  let q = The_queue.create ~capacity:16 () in
+  List.iter (The_queue.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop tail" (Some 3) (The_queue.pop q);
+  Alcotest.(check (option int)) "steal head" (Some 1) (The_queue.steal q);
+  Alcotest.(check (option int)) "pop" (Some 2) (The_queue.pop q);
+  Alcotest.(check (option int)) "empty" None (The_queue.pop q);
+  Alcotest.(check (option int)) "empty steal" None (The_queue.steal q)
+
+let test_the_concurrent_conservation () =
+  let n = 20_000 in
+  let q = The_queue.create ~capacity:(1 lsl 15) () in
+  let counts = Array.make n 0 in
+  let stop = Atomic.make false in
+  let stolen = ref [] in
+  let stealer =
+    Domain.spawn (fun () ->
+        let acc = ref [] in
+        while not (Atomic.get stop) do
+          match The_queue.steal q with
+          | Some v -> acc := v :: !acc
+          | None -> Domain.cpu_relax ()
+        done;
+        !acc)
+  in
+  let mine = ref [] in
+  for i = 0 to n - 1 do
+    The_queue.push q i;
+    if i land 1 = 0 then
+      match The_queue.pop q with Some v -> mine := v :: !mine | None -> ()
+  done;
+  let rec drain () =
+    match The_queue.pop q with
+    | Some v ->
+        mine := v :: !mine;
+        drain ()
+    | None -> if The_queue.size q > 0 then drain ()
+  in
+  drain ();
+  Unix.sleepf 0.05;
+  Atomic.set stop true;
+  stolen := Domain.join stealer;
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) !mine;
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) !stolen;
+  let dups = Array.fold_left (fun a c -> if c > 1 then a + 1 else a) 0 counts in
+  let lost = Array.fold_left (fun a c -> if c = 0 then a + 1 else a) 0 counts in
+  checki "no duplicates" 0 dups;
+  checki "no losses" 0 lost
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_fib () =
+  let pool = Pool.create ~domains:3 () in
+  checki "fib 20" 6765 (Pool.fib pool 20);
+  checki "fib 25 (reuse)" 75025 (Pool.fib pool 25);
+  Pool.shutdown pool
+
+let test_pool_parallel_sum () =
+  let pool = Pool.create ~domains:2 () in
+  let acc = Atomic.make 0 in
+  Pool.parallel_run pool
+    (List.init 100 (fun i () -> ignore (Atomic.fetch_and_add acc (i + 1))));
+  Pool.shutdown pool;
+  checki "sum 1..100" 5050 (Atomic.get acc)
+
+let test_pool_nested_spawn () =
+  let pool = Pool.create ~domains:2 () in
+  let acc = Atomic.make 0 in
+  Pool.parallel_run pool
+    [
+      (fun () ->
+        for _ = 1 to 10 do
+          Pool.spawn pool (fun () ->
+              Pool.spawn pool (fun () -> ignore (Atomic.fetch_and_add acc 1)))
+        done);
+    ];
+  Pool.shutdown pool;
+  checki "nested spawns all ran" 10 (Atomic.get acc)
+
+(* qcheck: random sequential op sequences vs a reference deque *)
+let cl_matches_reference =
+  QCheck.Test.make ~name:"native chase-lev matches reference deque (sequential)"
+    ~count:200
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      let q = Chase_lev.create ~capacity:4 () in
+      let reference = ref ([] : int list) (* head first *) in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              let v = List.length !reference in
+              Chase_lev.push q v;
+              reference := !reference @ [ v ];
+              true
+          | 1 -> (
+              let got = Chase_lev.pop q in
+              match List.rev !reference with
+              | [] -> got = None
+              | last :: rev_init ->
+                  reference := List.rev rev_init;
+                  got = Some last)
+          | _ -> (
+              let got = Chase_lev.steal q in
+              match !reference with
+              | [] -> got = None
+              | first :: rest ->
+                  reference := rest;
+                  got = Some first))
+        ops)
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "chase-lev",
+        [
+          Alcotest.test_case "pop LIFO" `Quick test_cl_lifo_pop;
+          Alcotest.test_case "steal FIFO" `Quick test_cl_fifo_steal;
+          Alcotest.test_case "mixed ends" `Quick test_cl_mixed_ends;
+          Alcotest.test_case "buffer growth" `Quick test_cl_growth;
+          Alcotest.test_case "interleaved sequential" `Quick
+            test_cl_interleaved_sequential;
+          Alcotest.test_case "concurrent conservation" `Slow
+            test_cl_concurrent_conservation;
+          QCheck_alcotest.to_alcotest cl_matches_reference;
+        ] );
+      ( "the-queue",
+        [
+          Alcotest.test_case "sequential" `Quick test_the_sequential;
+          Alcotest.test_case "concurrent conservation" `Slow
+            test_the_concurrent_conservation;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "fib" `Slow test_pool_fib;
+          Alcotest.test_case "parallel sum" `Quick test_pool_parallel_sum;
+          Alcotest.test_case "nested spawn" `Quick test_pool_nested_spawn;
+        ] );
+    ]

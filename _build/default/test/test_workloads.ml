@@ -1,0 +1,263 @@
+(* Tests for the Table-1 benchmark DAGs and the §8.2 graph workloads. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+open Ws_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Cilk suite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_suite_inventory () =
+  checki "eleven benchmarks, as in Table 1" 11 (List.length Cilk_suite.all);
+  Alcotest.(check (list string))
+    "Fig. 1 subset"
+    [ "Fib"; "Jacobi"; "QuickSort"; "Matmul"; "Integrate"; "knapsack"; "cholesky" ]
+    Cilk_suite.fig1_names;
+  List.iter
+    (fun n -> ignore (Cilk_suite.find n))
+    Cilk_suite.fig1_names
+
+let test_every_bench_builds b () =
+  let dag = Cilk_suite.dag b in
+  checkb "has tasks" true (Ws_runtime.Dag.size dag > 1);
+  checkb "has work" true (Ws_runtime.Dag.total_work dag > 0);
+  let t1 = Ws_runtime.Dag.total_work dag in
+  let tinf = Ws_runtime.Dag.critical_path dag in
+  checkb "critical path <= total work" true (tinf <= t1);
+  checkb "exposes parallelism (T1/Tinf > 2)" true
+    (float_of_int t1 /. float_of_int tinf > 2.0)
+
+let test_dag_determinism () =
+  (* identical DAG across two builds: every variant must schedule the same
+     computation *)
+  let b = Cilk_suite.find "QuickSort" in
+  let d1 = Ws_runtime.Dag.of_comp (b.Cilk_suite.comp ()) in
+  let d2 = Ws_runtime.Dag.of_comp (b.Cilk_suite.comp ()) in
+  checki "same size" (Ws_runtime.Dag.size d1) (Ws_runtime.Dag.size d2);
+  checki "same work" (Ws_runtime.Dag.total_work d1) (Ws_runtime.Dag.total_work d2);
+  checki "same critical path" (Ws_runtime.Dag.critical_path d1)
+    (Ws_runtime.Dag.critical_path d2)
+
+let test_fib_task_count () =
+  (* fib n has fib(n+1) leaves and fib(n+1)-1 internal forks, each fork
+     contributing a fork and a join task *)
+  let rec fib = function 0 -> 0 | 1 -> 1 | n -> fib (n - 1) + fib (n - 2) in
+  let n = 10 in
+  let d = Ws_runtime.Dag.of_comp (Cilk_suite.fib n) in
+  let leaves = fib (n + 1) in
+  checki "task count" (leaves + (2 * (leaves - 1))) (Ws_runtime.Dag.size d)
+
+let test_jacobi_is_iterative () =
+  (* one sweep of r rows -> critical path ~ iters * (fork + row + join) *)
+  let d = Ws_runtime.Dag.of_comp (Cilk_suite.jacobi ~rows:8 ~iters:4 ~row_work:10) in
+  checki "tasks: 4 * (fork + join + 8 rows)" 40 (Ws_runtime.Dag.size d);
+  checki "critical path = 4 sweeps" (4 * (6 + 10 + 8)) (Ws_runtime.Dag.critical_path d)
+
+let test_lud_tail_is_narrow () =
+  (* the last wavefront has a single diagonal task: LUD's shallow tail *)
+  let d = Ws_runtime.Dag.of_comp (Cilk_suite.lud ~blocks:4) in
+  checkb "built" true (Ws_runtime.Dag.size d > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Graph generators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_torus_degrees () =
+  let g = Graph.torus ~width:8 ~height:6 in
+  checki "nodes" 48 g.Graph.nodes;
+  Alcotest.(check (list (pair int int)))
+    "every torus node has degree 4"
+    [ (4, 48) ]
+    (Graph.degree_histogram g);
+  checki "directed edges" (48 * 4) (Graph.edges g)
+
+let test_torus_fully_reachable () =
+  let g = Graph.torus ~width:5 ~height:5 in
+  let r = Graph.reachable_from g 0 in
+  checki "torus is connected" 25
+    (Array.fold_left (fun a b -> if b then a + 1 else a) 0 r)
+
+let test_k_graph_shape () =
+  let g = Graph.k_graph ~nodes:1000 ~k:3 ~seed:1 in
+  checki "nodes" 1000 g.Graph.nodes;
+  let max_deg =
+    Array.fold_left (fun a l -> max a (Array.length l)) 0 g.Graph.adj
+  in
+  checkb "degree bounded by k" true (max_deg <= 3);
+  (* matchings can collide, so the average degree is close to but possibly
+     below k *)
+  let avg = float_of_int (Graph.edges g) /. 1000.0 in
+  checkb "average degree near k" true (avg > 2.0 && avg <= 3.0)
+
+let test_random_graph_shape () =
+  let g = Graph.random_graph ~nodes:500 ~edges:1500 ~seed:2 in
+  checki "nodes" 500 g.Graph.nodes;
+  let e = Graph.edges g / 2 in
+  checkb "close to requested edge count (dedup may drop a few)" true
+    (e > 1400 && e <= 1500)
+
+let test_generators_deterministic () =
+  let g1 = Graph.random_graph ~nodes:100 ~edges:300 ~seed:9 in
+  let g2 = Graph.random_graph ~nodes:100 ~edges:300 ~seed:9 in
+  checkb "same seed, same graph" true (g1.Graph.adj = g2.Graph.adj);
+  let g3 = Graph.random_graph ~nodes:100 ~edges:300 ~seed:10 in
+  checkb "different seed, different graph" true (g1.Graph.adj <> g3.Graph.adj)
+
+let test_reachability_oracle () =
+  (* two disconnected triangles *)
+  let g =
+    {
+      Graph.nodes = 6;
+      adj =
+        [|
+          [| 1; 2 |]; [| 0; 2 |]; [| 0; 1 |]; [| 4; 5 |]; [| 3; 5 |]; [| 3; 4 |];
+        |];
+    }
+  in
+  let r = Graph.reachable_from g 0 in
+  Alcotest.(check (array bool))
+    "only the first triangle"
+    [| true; true; true; false; false; false |]
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Graph workloads through the engine                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_workload qname checked =
+  let cfg =
+    {
+      Ws_runtime.Engine.default_config with
+      workers = 3;
+      queue = Ws_core.Registry.find qname;
+      delta = 3;
+      sb_capacity = 6;
+      seed = 77;
+    }
+  in
+  let r =
+    Ws_runtime.Engine.run_timed cfg checked.Graph_workloads.workload
+  in
+  checkb "quiescent" true (r.Ws_runtime.Engine.outcome = Tso.Sched.Quiescent);
+  match checked.Graph_workloads.verify () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_tc_all_queues qname () =
+  let g = Graph.random_graph ~nodes:300 ~edges:900 ~seed:3 in
+  run_workload qname (Graph_workloads.transitive_closure g ~src:0 ())
+
+let test_tc_disconnected () =
+  (* visiting must stop at the component boundary; verify checks both
+     directions (reachable => visited, unreachable => untouched) *)
+  let g =
+    {
+      Graph.nodes = 6;
+      adj =
+        [|
+          [| 1; 2 |]; [| 0; 2 |]; [| 0; 1 |]; [| 4; 5 |]; [| 3; 5 |]; [| 3; 4 |];
+        |];
+    }
+  in
+  run_workload "chase-lev" (Graph_workloads.transitive_closure g ~src:0 ())
+
+let test_spanning_tree_all_queues qname () =
+  let g = Graph.torus ~width:12 ~height:10 in
+  run_workload qname (Graph_workloads.spanning_tree g ~src:5 ())
+
+let test_spanning_tree_random_mode () =
+  (* adversarial scheduling + idempotent queue: parents must still form a
+     valid tree *)
+  let g = Graph.torus ~width:6 ~height:6 in
+  let checked = Graph_workloads.spanning_tree g ~src:0 () in
+  let cfg =
+    {
+      Ws_runtime.Engine.default_config with
+      workers = 2;
+      queue = Ws_core.Registry.find "idempotent-fifo";
+      sb_capacity = 4;
+      seed = 5;
+      max_steps = 5_000_000;
+    }
+  in
+  let r =
+    Ws_runtime.Engine.run_random ~drain_weight:0.1 cfg
+      checked.Graph_workloads.workload
+  in
+  checkb "quiescent" true (r.Ws_runtime.Engine.outcome = Tso.Sched.Quiescent);
+  match checked.Graph_workloads.verify () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* qcheck: TC visits exactly the reachable set on arbitrary random graphs *)
+let tc_visits_reachable =
+  QCheck.Test.make ~name:"transitive closure = host BFS on random graphs"
+    ~count:25
+    QCheck.(pair (int_range 10 120) (int_bound 1000))
+    (fun (nodes, seed) ->
+      let g = Graph.random_graph ~nodes ~edges:(2 * nodes) ~seed in
+      let checked = Graph_workloads.transitive_closure g ~src:0 () in
+      let cfg =
+        {
+          Ws_runtime.Engine.default_config with
+          workers = 2;
+          queue = Ws_core.Registry.find "ff-cl";
+          delta = 2;
+          sb_capacity = 4;
+          seed;
+        }
+      in
+      let r =
+        Ws_runtime.Engine.run_timed cfg checked.Graph_workloads.workload
+      in
+      r.Ws_runtime.Engine.outcome = Tso.Sched.Quiescent
+      && checked.Graph_workloads.verify () = Ok ())
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "cilk-suite",
+        [
+          Alcotest.test_case "inventory" `Quick test_suite_inventory;
+          Alcotest.test_case "dag determinism" `Quick test_dag_determinism;
+          Alcotest.test_case "fib task count" `Quick test_fib_task_count;
+          Alcotest.test_case "jacobi iterative shape" `Quick test_jacobi_is_iterative;
+          Alcotest.test_case "lud builds" `Quick test_lud_tail_is_narrow;
+        ]
+        @ List.map
+            (fun (b : Cilk_suite.bench) ->
+              Alcotest.test_case
+                (Printf.sprintf "builds [%s]" b.Cilk_suite.name)
+                `Quick (test_every_bench_builds b))
+            Cilk_suite.all );
+      ( "graph-generators",
+        [
+          Alcotest.test_case "torus degrees" `Quick test_torus_degrees;
+          Alcotest.test_case "torus connected" `Quick test_torus_fully_reachable;
+          Alcotest.test_case "k-graph shape" `Quick test_k_graph_shape;
+          Alcotest.test_case "random graph shape" `Quick test_random_graph_shape;
+          Alcotest.test_case "determinism" `Quick test_generators_deterministic;
+          Alcotest.test_case "reachability oracle" `Quick test_reachability_oracle;
+        ] );
+      ( "graph-workloads",
+        [
+          Alcotest.test_case "disconnected boundary" `Quick test_tc_disconnected;
+          Alcotest.test_case "spanning tree adversarial + idempotent" `Slow
+            test_spanning_tree_random_mode;
+          QCheck_alcotest.to_alcotest tc_visits_reachable;
+        ]
+        @ List.map
+            (fun q ->
+              Alcotest.test_case
+                (Printf.sprintf "transitive closure [%s]" q)
+                `Quick (test_tc_all_queues q))
+            Ws_core.Registry.names
+        @ List.map
+            (fun q ->
+              Alcotest.test_case
+                (Printf.sprintf "spanning tree [%s]" q)
+                `Quick (test_spanning_tree_all_queues q))
+            Ws_core.Registry.names );
+    ]
