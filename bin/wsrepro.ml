@@ -161,19 +161,36 @@ let scaling_cmd =
     (Cmd.info "scaling" ~doc:"Worker-count speedup curves (THE vs THEP)")
     Term.(const run $ machine_arg $ bench)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Explore with N domains in parallel. Results are byte-identical \
+           to the sequential search unless the run budget is exhausted or \
+           $(b,--memo) is also set (verdicts agree in all cases).")
+
+let memo_arg =
+  Arg.(
+    value & flag
+    & info [ "memo" ]
+        ~doc:
+          "Memoize visited machine states, pruning interleavings that \
+           converge to an already-explored state.")
+
 (* classic x86-TSO litmus suite *)
 let tso_litmus_cmd =
-  let run () =
+  let run jobs memo =
     print_endline
       "== Classic x86-TSO litmus tests against the abstract machine ==";
-    let results = Ws_litmus.Classic.run_all () in
+    let results = Ws_litmus.Classic.run_all ~jobs ~memo () in
     List.iter (fun r -> Format.printf "%a@." Ws_litmus.Classic.pp_result r) results;
     if List.exists (fun r -> not r.Ws_litmus.Classic.ok) results then exit 1
   in
   Cmd.v
     (Cmd.info "tso-litmus"
        ~doc:"Validate the machine against the classic x86-TSO litmus tests")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg $ memo_arg)
 
 (* ablation *)
 let ablation_cmd =
@@ -326,7 +343,7 @@ let trace_cmd =
 
 (* explore: bounded exhaustive model checking *)
 let explore_cmd =
-  let run qname sb delta preloaded steals max_runs pb fence =
+  let run qname sb delta preloaded steals max_runs pb fence jobs memo =
     let spec =
       {
         Ws_harness.Scenarios.default_spec with
@@ -338,13 +355,14 @@ let explore_cmd =
         worker_fence = fence;
       }
     in
-    let st =
-      Ws_harness.Scenarios.explore_check spec ~max_runs
-        ~preemption_bound:(Some pb) ()
+    let st, _clean =
+      Ws_harness.Runner.exhaustive_check spec ~max_runs
+        ~preemption_bound:(Some pb) ~jobs ~memo ()
     in
     Printf.printf
-      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches\n"
-      qname st.Tso.Explore.runs st.truncated st.deadlocks st.pruned;
+      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches%s\n"
+      qname st.Tso.Explore.runs st.truncated st.deadlocks st.pruned
+      (if memo then Printf.sprintf ", %d memo hits" st.memo_hits else "");
     match st.failures with
     | [] -> print_endline "no safety violation found"
     | (choices, msg) :: _ ->
@@ -379,7 +397,9 @@ let explore_cmd =
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive model checking of a queue")
-    Term.(const run $ queue_arg $ sb $ delta $ preloaded $ steals $ max_runs $ pb $ fence)
+    Term.(
+      const run $ queue_arg $ sb $ delta $ preloaded $ steals $ max_runs $ pb
+      $ fence $ jobs_arg $ memo_arg)
 
 let main =
   Cmd.group

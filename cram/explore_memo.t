@@ -1,0 +1,18 @@
+Unmemoized, the default fence-free THE scenario exhausts the 200k-run
+budget without finishing (every truncated interleaving is a hole in the
+proof). Memoization recognises interleavings that converge to the same
+machine state — same memory, same store-buffer contents, same per-thread
+position — and prunes the revisit, collapsing the search to a complete
+exhaustive proof of the safety property:
+
+  $ wsrepro explore -q ff-the --memo
+  ff-the: 172 complete runs, 0 truncated, 0 deadlocks, 165 pruned branches, 3530 memo hits
+  no safety violation found
+
+The memoized search still catches real bugs: dropping the take-side fence
+from the fenced THE queue surfaces the double-extraction violation, again
+after a pruned (but sound) search:
+
+  $ wsrepro explore -q the --fence=false --memo --tasks=2 --steals=1 2>&1 | head -n 2
+  the: 111 complete runs, 0 truncated, 0 deadlocks, 136 pruned branches, 2051 memo hits
+  VIOLATION: task 0 extracted 2 times

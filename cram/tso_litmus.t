@@ -13,3 +13,36 @@ verdict decided exhaustively:
   IRIW               forbidden not observed    2520 runs (exhaustive)  OK
   store-forwarding   forbidden not observed       5 runs (exhaustive)  OK
   rmw-atomic         forbidden not observed       6 runs (exhaustive)  OK
+
+Parallel exploration is deterministic: fanning the search across domains
+produces the byte-identical table (same run counts, same verdicts):
+
+  $ wsrepro tso-litmus --jobs 4
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed          80 runs (exhaustive)  OK
+  SB+fences          forbidden not observed      70 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed      70 runs (exhaustive)  OK
+  MP                 forbidden not observed      30 runs (exhaustive)  OK
+  LB                 forbidden not observed      20 runs (exhaustive)  OK
+  n6                 allowed   observed         420 runs (exhaustive)  OK
+  n5                 forbidden not observed      80 runs (exhaustive)  OK
+  IRIW               forbidden not observed    2520 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       5 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       6 runs (exhaustive)  OK
+
+Memoizing visited machine states prunes interleavings that converge to an
+already-explored state; every verdict is unchanged but the searches shrink
+(IRIW collapses from 2520 runs to 15):
+
+  $ wsrepro tso-litmus --memo
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed           4 runs (exhaustive)  OK
+  SB+fences          forbidden not observed       3 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed       3 runs (exhaustive)  OK
+  MP                 forbidden not observed       3 runs (exhaustive)  OK
+  LB                 forbidden not observed       3 runs (exhaustive)  OK
+  n6                 allowed   observed           5 runs (exhaustive)  OK
+  n5                 forbidden not observed       4 runs (exhaustive)  OK
+  IRIW               forbidden not observed      15 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       1 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       4 runs (exhaustive)  OK

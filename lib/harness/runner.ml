@@ -35,6 +35,14 @@ let run_dag m v ?workers ~seeds dag ~name =
       makespan r)
     seeds
 
+let exhaustive_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo ()
+    =
+  let st =
+    Scenarios.explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs
+      ?memo ()
+  in
+  (st, st.Tso.Explore.failures = [] && st.Tso.Explore.truncated = 0)
+
 let run_checked m v ?workers ~seed mk =
   let cfg = config m v ?workers ~seed () in
   let checked = mk () in

@@ -24,6 +24,20 @@ val run_dag :
     reach quiescence or loses/duplicates a task — the experiments must only
     report numbers from provably-complete runs. *)
 
+val exhaustive_check :
+  Scenarios.spec ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  ?preemption_bound:int option ->
+  ?jobs:int ->
+  ?memo:bool ->
+  unit ->
+  Tso.Explore.stats * bool
+(** Bounded exhaustive model checking of a queue scenario, optionally
+    memoized ([memo]) and fanned out across domains ([jobs]). Returns the
+    explorer statistics and a clean-verdict flag: no failure found and no
+    run truncated by the depth bound. *)
+
 val run_checked :
   Machine_config.t ->
   Variants.t ->

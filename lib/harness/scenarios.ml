@@ -114,5 +114,9 @@ let random_check spec ~seeds ?(drain_weight = 0.1) () =
   in
   go seeds
 
-let explore_check spec ?max_runs ?max_depth ?preemption_bound () =
-  Explore.search ?max_runs ?max_depth ?preemption_bound ~mk:(instance spec) ()
+let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
+    ?(memo = false) () =
+  if jobs > 1 then
+    Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~jobs
+      ~mk:(instance spec) ()
+  else Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ~mk:(instance spec) ()

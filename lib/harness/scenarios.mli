@@ -37,5 +37,10 @@ val explore_check :
   ?max_runs:int ->
   ?max_depth:int ->
   ?preemption_bound:int option ->
+  ?jobs:int ->
+  ?memo:bool ->
   unit ->
   Tso.Explore.stats
+(** Bounded exhaustive exploration of the scenario. [jobs > 1] fans the
+    search out across domains ({!Tso.Explore_par}); [memo] enables the
+    visited-state cache. Defaults: [jobs = 1], [memo = false]. *)

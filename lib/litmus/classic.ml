@@ -239,8 +239,11 @@ type result = {
   ok : bool;
 }
 
-let run ?(max_runs = 400_000) test =
-  let st = Explore.search ~max_runs ~mk:test.mk () in
+let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) test =
+  let st =
+    if jobs > 1 then Explore_par.search ~max_runs ~memo ~jobs ~mk:test.mk ()
+    else Explore.search ~max_runs ~memo ~mk:test.mk ()
+  in
   let observed = st.Explore.failures <> [] in
   let exhausted = st.Explore.runs < max_runs && st.Explore.truncated = 0 in
   let ok =
@@ -250,7 +253,8 @@ let run ?(max_runs = 400_000) test =
   in
   { test; observed; runs = st.Explore.runs; exhausted; ok }
 
-let run_all ?max_runs () = List.map (fun t -> run ?max_runs t) all
+let run_all ?max_runs ?jobs ?memo () =
+  List.map (fun t -> run ?max_runs ?jobs ?memo t) all
 
 let pp_result ppf r =
   Format.fprintf ppf "%-18s %-9s %-12s %7d runs%s  %s" r.test.name

@@ -36,6 +36,11 @@ type result = {
                   only meaningful when [exhausted]) *)
 }
 
-val run : ?max_runs:int -> t -> result
-val run_all : ?max_runs:int -> unit -> result list
+val run : ?max_runs:int -> ?jobs:int -> ?memo:bool -> t -> result
+(** Decide one test's verdict by bounded exhaustive search. [jobs > 1] uses
+    the multicore explorer (byte-identical results); [memo] prunes
+    converged interleavings, shrinking [runs] without changing [observed].
+    Defaults: [jobs = 1], [memo = false]. *)
+
+val run_all : ?max_runs:int -> ?jobs:int -> ?memo:bool -> unit -> result list
 val pp_result : Format.formatter -> result -> unit

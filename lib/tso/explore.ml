@@ -8,6 +8,7 @@ type stats = {
   truncated : int;
   deadlocks : int;
   pruned : int;
+  memo_hits : int;
   failures : (int list * string) list;
 }
 
@@ -40,100 +41,237 @@ let choices m =
   | [] -> ts
   | productive -> productive
 
-let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ~mk () =
-  let runs = ref 0 in
-  let truncated = ref 0 in
-  let deadlocks = ref 0 in
-  let pruned = ref 0 in
-  let failures = ref [] in
-  let fail prefix msg =
-    if List.length !failures < max_failures then
-      failures := !failures @ [ (List.rev prefix, msg) ]
-  in
-  let bump () =
-    incr runs;
-    if !runs >= max_runs then raise Stop
-  in
-  let replay_prefix prefix =
+(* Growable array-backed choice prefix. Alongside each choice index we keep
+   the chosen transition itself: transitions are plain values (thread ids
+   and lane numbers), so a sibling replay can re-apply them directly instead
+   of recomputing the choice universe at every step — replay is one
+   [Machine.apply] per step, O(depth) total where the list-based
+   representation cost O(depth^2). *)
+module Prefix = struct
+  type t = {
+    mutable idx : int array;
+    mutable trs : Machine.transition array;
+    mutable len : int;
+  }
+
+  let dummy = Machine.Step (-1)
+  let create () = { idx = Array.make 64 0; trs = Array.make 64 dummy; len = 0 }
+
+  let copy p =
+    { idx = Array.copy p.idx; trs = Array.copy p.trs; len = p.len }
+
+  let length p = p.len
+
+  let push p i tr =
+    let n = p.len in
+    if n = Array.length p.idx then begin
+      let idx = Array.make (2 * n) 0 in
+      let trs = Array.make (2 * n) dummy in
+      Array.blit p.idx 0 idx 0 n;
+      Array.blit p.trs 0 trs 0 n;
+      p.idx <- idx;
+      p.trs <- trs
+    end;
+    p.idx.(n) <- i;
+    p.trs.(n) <- tr;
+    p.len <- n + 1
+
+  let pop p =
+    assert (p.len > 0);
+    p.len <- p.len - 1
+
+  let to_list p = Array.to_list (Array.sub p.idx 0 p.len)
+
+  (* Incremental replay: re-apply the recorded transitions on a fresh
+     instance. The path was valid when recorded and the machine is
+     deterministic, so no enabledness recomputation is needed. *)
+  let replay ~mk p =
     let inst = mk () in
-    List.iter
-      (fun i ->
-        match choices inst.machine with
-        | [] -> assert false
-        | ts -> ignore (Machine.apply inst.machine (List.nth ts i)))
-      (List.rev prefix);
+    for k = 0 to p.len - 1 do
+      ignore (Machine.apply inst.machine p.trs.(k))
+    done;
     inst
+end
+
+(* Mutable per-search accumulators. Failures are prepended (newest first)
+   and reversed once at the end, fixing the former O(n^2)
+   [failures := !failures @ [...]] pattern. *)
+type acc = {
+  mutable runs : int;
+  mutable truncated : int;
+  mutable deadlocks : int;
+  mutable pruned : int;
+  mutable memo_hits : int;
+  mutable failures_rev : (int list * string) list;
+  mutable failure_count : int;
+}
+
+let make_acc () =
+  {
+    runs = 0;
+    truncated = 0;
+    deadlocks = 0;
+    pruned = 0;
+    memo_hits = 0;
+    failures_rev = [];
+    failure_count = 0;
+  }
+
+let stats_of_acc a =
+  {
+    runs = a.runs;
+    truncated = a.truncated;
+    deadlocks = a.deadlocks;
+    pruned = a.pruned;
+    memo_hits = a.memo_hits;
+    failures = List.rev a.failures_rev;
+  }
+
+(* Visited-state cache. Pruning a revisit is only sound if the earlier
+   exploration of the state had at least as much remaining budget (depth and
+   preemptions), so each fingerprint maps to the Pareto frontier of
+   (depth remaining, preemptions remaining) pairs already explored. With the
+   default unbounded settings the frontier is a single entry and this
+   degenerates to a plain visited set. The cache is abstracted as a closure
+   so {!Explore_par} can substitute a sharded, lock-protected table shared
+   across domains. *)
+type memo = { seen : string -> depth_rem:int -> preempt_rem:int -> bool }
+
+let memo_tbl_check tbl fp ~depth_rem ~preempt_rem =
+  let entries = Option.value ~default:[] (Hashtbl.find_opt tbl fp) in
+  if List.exists (fun (d, p) -> d >= depth_rem && p >= preempt_rem) entries
+  then true
+  else begin
+    let entries =
+      (depth_rem, preempt_rem)
+      :: List.filter
+           (fun (d, p) -> not (d <= depth_rem && p <= preempt_rem))
+           entries
+    in
+    Hashtbl.replace tbl fp entries;
+    false
+  end
+
+let memo_create () =
+  let tbl : (string, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
+  { seen = (fun fp ~depth_rem ~preempt_rem -> memo_tbl_check tbl fp ~depth_rem ~preempt_rem) }
+
+type ctx = {
+  mk : unit -> instance;
+  max_depth : int;
+  preemption_bound : int option;
+  max_failures : int;
+  memo : memo option;
+  acc : acc;
+  on_run : acc -> unit;  (** called once per completed run; may raise {!Stop} *)
+}
+
+let fail ctx prefix msg =
+  if ctx.acc.failure_count < ctx.max_failures then begin
+    ctx.acc.failures_rev <- (Prefix.to_list prefix, msg) :: ctx.acc.failures_rev;
+    ctx.acc.failure_count <- ctx.acc.failure_count + 1
+  end
+
+let preemption_cost ~last_unit ~choices:ts tr =
+  match (last_unit, unit_of tr) with
+  | Some (U_thread a), U_thread b when a <> b ->
+      if List.exists (fun t -> unit_of t = U_thread a) ts then 1 else 0
+  | _ -> 0
+
+(* Continue a run in-place from the current machine state. [prefix] holds
+   the choices that reached this state; [last_unit]/[preemptions] summarise
+   the prefix for the CHESS bound. Siblings of the choices made here are
+   explored by replaying their prefix on a fresh instance. On return the
+   prefix is restored to its entry length. *)
+let rec extend ctx inst prefix depth last_unit preemptions =
+  let m = inst.machine in
+  let memo_hit =
+    match ctx.memo with
+    | None -> false
+    | Some memo ->
+        let preempt_rem =
+          match ctx.preemption_bound with
+          | None -> max_int
+          | Some b -> b - preemptions
+        in
+        memo.seen (Machine.fingerprint m) ~depth_rem:(ctx.max_depth - depth)
+          ~preempt_rem
   in
-  (* Continue a run in-place from the current machine state. [prefix] is the
-     reversed choice list that reached this state; [last_unit]/[preemptions]
-     summarise the prefix for the CHESS bound. Siblings of the choices made
-     here are explored by replaying their prefix on a fresh instance. *)
-  let rec extend inst prefix depth last_unit preemptions =
-    let m = inst.machine in
+  if memo_hit then ctx.acc.memo_hits <- ctx.acc.memo_hits + 1
+  else
     match choices m with
     | [] ->
         if Machine.quiescent m then begin
-          (match inst.check () with Ok () -> () | Error msg -> fail prefix msg);
-          bump ()
+          (match inst.check () with
+          | Ok () -> ()
+          | Error msg -> fail ctx prefix msg);
+          ctx.on_run ctx.acc
         end
         else begin
-          incr deadlocks;
-          fail prefix "deadlock";
-          bump ()
+          ctx.acc.deadlocks <- ctx.acc.deadlocks + 1;
+          fail ctx prefix "deadlock";
+          ctx.on_run ctx.acc
         end
-    | _ when depth >= max_depth ->
-        incr truncated;
-        bump ()
+    | _ when depth >= ctx.max_depth ->
+        ctx.acc.truncated <- ctx.acc.truncated + 1;
+        ctx.on_run ctx.acc
     | [ tr ] ->
         ignore (Machine.apply m tr);
         let last_unit =
           (* memory-subsystem transitions do not change whose turn it is *)
           match unit_of tr with U_memory -> last_unit | u -> Some u
         in
-        extend inst (0 :: prefix) (depth + 1) last_unit preemptions
+        Prefix.push prefix 0 tr;
+        extend ctx inst prefix (depth + 1) last_unit preemptions;
+        Prefix.pop prefix
     | ts ->
-        let cost_of tr =
-          match (last_unit, unit_of tr) with
-          | Some (U_thread a), U_thread b when a <> b ->
-              if List.exists (fun t -> unit_of t = U_thread a) ts then 1 else 0
-          | _ -> 0
-        in
         let within cost =
-          match preemption_bound with
+          match ctx.preemption_bound with
           | None -> true
           | Some b -> preemptions + cost <= b
         in
         (* Child 0 is explored in-place (no replay); siblings replay. *)
         List.iteri
           (fun i tr ->
-            let cost = cost_of tr in
-            if not (within cost) then incr pruned
+            let cost = preemption_cost ~last_unit ~choices:ts tr in
+            if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
             else begin
-              let prefix' = i :: prefix in
-              let inst', resumed =
+              Prefix.push prefix i tr;
+              let inst' =
                 if i = 0 then begin
                   ignore (Machine.apply m tr);
-                  (inst, true)
+                  inst
                 end
-                else (replay_prefix prefix', false)
+                else Prefix.replay ~mk:ctx.mk prefix
               in
-              ignore resumed;
               let last_unit' =
                 match unit_of tr with U_memory -> last_unit | u -> Some u
               in
-              extend inst' prefix' (depth + 1) last_unit' (preemptions + cost)
+              extend ctx inst' prefix (depth + 1) last_unit'
+                (preemptions + cost);
+              Prefix.pop prefix
             end)
           ts
+
+let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
+    ?(max_failures = 5) ?(memo = false) ~mk () =
+  let acc = make_acc () in
+  let ctx =
+    {
+      mk;
+      max_depth;
+      preemption_bound;
+      max_failures;
+      memo = (if memo then Some (memo_create ()) else None);
+      acc;
+      on_run =
+        (fun a ->
+          a.runs <- a.runs + 1;
+          if a.runs >= max_runs then raise Stop);
+    }
   in
-  (try extend (mk ()) [] 0 None 0 with Stop -> ());
-  {
-    runs = !runs;
-    truncated = !truncated;
-    deadlocks = !deadlocks;
-    pruned = !pruned;
-    failures = !failures;
-  }
+  (try extend ctx (mk ()) (Prefix.create ()) 0 None 0 with Stop -> ());
+  stats_of_acc acc
 
 let next_choices = choices
 
@@ -159,3 +297,41 @@ let replay_choices ~mk steps =
   in
   finish ();
   inst.check ()
+
+module Internal = struct
+  type nonrec acc = acc = {
+    mutable runs : int;
+    mutable truncated : int;
+    mutable deadlocks : int;
+    mutable pruned : int;
+    mutable memo_hits : int;
+    mutable failures_rev : (int list * string) list;
+    mutable failure_count : int;
+  }
+
+  let make_acc = make_acc
+  let stats_of_acc = stats_of_acc
+
+  module Prefix = Prefix
+
+  type nonrec memo = memo = {
+    seen : string -> depth_rem:int -> preempt_rem:int -> bool;
+  }
+
+  let memo_create = memo_create
+  let memo_tbl_check = memo_tbl_check
+
+  type nonrec ctx = ctx = {
+    mk : unit -> instance;
+    max_depth : int;
+    preemption_bound : int option;
+    max_failures : int;
+    memo : memo option;
+    acc : acc;
+    on_run : acc -> unit;
+  }
+
+  let extend = extend
+  let fail = fail
+  let preemption_cost = preemption_cost
+end

@@ -3,11 +3,25 @@
     Explores the tree of scheduler choices by depth-first search. Because a
     thread program's continuation cannot be cloned, each branch is replayed
     from a fresh machine built by [mk] — standard stateless model checking.
+    Replay is incremental: the prefix that reached a node is kept as a
+    growable array of (choice index, transition) pairs, so replaying a
+    sibling costs one [Machine.apply] per step instead of re-deriving the
+    choice universe (the former list-based replay was O(depth^2)).
+
     The search is bounded by depth, by a total-run budget, and optionally by
     a CHESS-style preemption bound (switching away from a thread whose next
     instruction is still enabled costs one preemption; drain and flush
     transitions are free, since TSO reordering lives in exactly those
     choices and must stay unrestricted).
+
+    With [memo = true] the search additionally keeps a visited-state cache
+    keyed by {!Machine.fingerprint}: two interleavings that converge to the
+    same machine state have identical subtrees, so the second one is pruned
+    (counted in [memo_hits]). Because the fingerprint covers per-thread
+    program position, the cache never merges states whose threads observed
+    different values — verdicts are unchanged, only redundant work is cut.
+    Under a preemption bound the cache only prunes a revisit whose remaining
+    budget is covered by an earlier visit, so bounding stays exact.
 
     Used by the test suite to verify, over {e all} interleavings of small
     configurations, the safety properties of every queue algorithm: no task
@@ -26,6 +40,8 @@ type stats = {
   truncated : int;  (** runs cut off by the depth bound *)
   deadlocks : int;
   pruned : int;  (** branches skipped by the preemption bound *)
+  memo_hits : int;
+      (** subtrees pruned by the visited-state cache (0 unless [memo]) *)
   failures : (int list * string) list;
       (** failing runs: replayable choice sequence and message (at most
           [max_failures], newest last) *)
@@ -36,11 +52,13 @@ val search :
   ?max_runs:int ->
   ?preemption_bound:int option ->
   ?max_failures:int ->
+  ?memo:bool ->
   mk:(unit -> instance) ->
   unit ->
   stats
 (** Defaults: [max_depth = 400], [max_runs = 200_000],
-    [preemption_bound = None] (unbounded), [max_failures = 5]. *)
+    [preemption_bound = None] (unbounded), [max_failures = 5],
+    [memo = false]. *)
 
 val replay_choices : mk:(unit -> instance) -> int list -> (unit, string) result
 (** Re-run one recorded choice sequence (from {!stats.failures}) and return
@@ -51,3 +69,80 @@ val next_choices : Machine.t -> Machine.transition list
     state: enabled transitions after the no-op partial-order reduction.
     Recorded choice indices index into this list — use it to replay a
     failure step by step (e.g. with a {!Trace} attached). *)
+
+type unit_id = U_thread of int | U_memory
+    (** The unit performing a transition: a thread, or the memory subsystem
+        (drains/flushes), which never costs a preemption. *)
+
+val unit_of : Machine.transition -> unit_id
+
+exception Stop
+(** Raised by the run-budget callback to abort a search. *)
+
+(**/**)
+
+(** The search core, exposed for {!Explore_par}. The parallel driver must
+    explore each subtree {e exactly} as the sequential search would (so
+    merged results are byte-identical); sharing the recursion is what
+    guarantees that. Not a stable API. *)
+module Internal : sig
+  type nonrec acc = {
+    mutable runs : int;
+    mutable truncated : int;
+    mutable deadlocks : int;
+    mutable pruned : int;
+    mutable memo_hits : int;
+    mutable failures_rev : (int list * string) list;
+    mutable failure_count : int;
+  }
+
+  val make_acc : unit -> acc
+  val stats_of_acc : acc -> stats
+
+  module Prefix : sig
+    type t
+
+    val create : unit -> t
+    val copy : t -> t
+    val length : t -> int
+    val push : t -> int -> Machine.transition -> unit
+    val pop : t -> unit
+    val to_list : t -> int list
+    val replay : mk:(unit -> instance) -> t -> instance
+  end
+
+  type memo = { seen : string -> depth_rem:int -> preempt_rem:int -> bool }
+      (** Visited-state cache: [seen fp ~depth_rem ~preempt_rem] returns
+          [true] (prune) iff [fp] was already explored with at least as much
+          remaining budget, recording the visit otherwise. *)
+
+  val memo_create : unit -> memo
+
+  val memo_tbl_check :
+    (string, (int * int) list) Hashtbl.t ->
+    string ->
+    depth_rem:int ->
+    preempt_rem:int ->
+    bool
+  (** The Pareto-dominance check over one table; building block for sharded
+      caches. *)
+
+  type ctx = {
+    mk : unit -> instance;
+    max_depth : int;
+    preemption_bound : int option;
+    max_failures : int;
+    memo : memo option;
+    acc : acc;
+    on_run : acc -> unit;
+  }
+
+  val extend : ctx -> instance -> Prefix.t -> int -> unit_id option -> int -> unit
+  val fail : ctx -> Prefix.t -> string -> unit
+
+  val preemption_cost :
+    last_unit:unit_id option ->
+    choices:Machine.transition list ->
+    Machine.transition ->
+    int
+end

@@ -1,0 +1,253 @@
+open Explore.Internal
+
+(* A pending subtree: the prefix that reaches it plus the CHESS summary of
+   that prefix. *)
+type task = {
+  prefix : Prefix.t;
+  depth : int;
+  last_unit : Explore.unit_id option;
+  preemptions : int;
+}
+
+(* The frontier is an ordered list of items in lexicographic (= sequential
+   DFS) order: outcomes already decided during expansion, and subtrees still
+   to explore. Keeping the order is what makes the merged result
+   byte-identical to the sequential search. *)
+type item = Settled of acc | Subtree of task
+
+type cfg = {
+  mk : unit -> Explore.instance;
+  max_depth : int;
+  preemption_bound : int option;
+  max_failures : int;
+  memo : memo option;
+  on_run : acc -> unit;
+}
+
+let make_ctx cfg acc =
+  {
+    mk = cfg.mk;
+    max_depth = cfg.max_depth;
+    preemption_bound = cfg.preemption_bound;
+    max_failures = cfg.max_failures;
+    memo = cfg.memo;
+    acc;
+    on_run = cfg.on_run;
+  }
+
+(* One visited-state cache shared by every domain, sharded by fingerprint
+   hash so concurrent lookups rarely contend on the same lock. Sharing the
+   cache is what lets parallel memoized search prune interleavings that
+   converge across subtree boundaries — with per-task caches most of the
+   memoization benefit evaporates. The price is that [runs]/[memo_hits]
+   become schedule-dependent (whichever domain reaches a state first records
+   it); verdicts are unaffected because a state is only ever pruned after
+   some domain has committed to exploring it with at least as much remaining
+   budget. *)
+let shared_memo () =
+  let n_shards = 64 in
+  let shards =
+    Array.init n_shards (fun _ -> (Mutex.create (), Hashtbl.create 256))
+  in
+  {
+    seen =
+      (fun fp ~depth_rem ~preempt_rem ->
+        let lock, tbl = shards.(Hashtbl.hash fp land (n_shards - 1)) in
+        Mutex.lock lock;
+        let hit = memo_tbl_check tbl fp ~depth_rem ~preempt_rem in
+        Mutex.unlock lock;
+        hit);
+  }
+
+(* Expand one task by one branching level: replay its prefix, walk forced
+   (singleton-choice) steps in place, and split at the first node with a
+   real choice. Terminal nodes are settled through [extend] itself so their
+   accounting (check, fail, run counting) is exactly the sequential one. *)
+let expand cfg task =
+  let inst = Prefix.replay ~mk:cfg.mk task.prefix in
+  let prefix = task.prefix in
+  let terminal depth last_unit =
+    let acc = make_acc () in
+    (try extend (make_ctx cfg acc) inst prefix depth last_unit task.preemptions
+     with Explore.Stop -> ());
+    [ Settled acc ]
+  in
+  let rec walk depth last_unit =
+    let m = inst.Explore.machine in
+    match Explore.next_choices m with
+    | [] -> terminal depth last_unit
+    | _ when depth >= cfg.max_depth -> terminal depth last_unit
+    | [ tr ] ->
+        ignore (Machine.apply m tr);
+        Prefix.push prefix 0 tr;
+        let last_unit =
+          match Explore.unit_of tr with
+          | U_memory -> last_unit
+          | u -> Some u
+        in
+        walk (depth + 1) last_unit
+    | ts ->
+        let pruned = make_acc () in
+        let children =
+          List.concat
+            (List.mapi
+               (fun i tr ->
+                 let cost = preemption_cost ~last_unit ~choices:ts tr in
+                 let within =
+                   match cfg.preemption_bound with
+                   | None -> true
+                   | Some b -> task.preemptions + cost <= b
+                 in
+                 if not within then begin
+                   pruned.pruned <- pruned.pruned + 1;
+                   []
+                 end
+                 else begin
+                   Prefix.push prefix i tr;
+                   let child_prefix = Prefix.copy prefix in
+                   Prefix.pop prefix;
+                   [
+                     Subtree
+                       {
+                         prefix = child_prefix;
+                         depth = depth + 1;
+                         last_unit =
+                           (match Explore.unit_of tr with
+                           | U_memory -> last_unit
+                           | u -> Some u);
+                         preemptions = task.preemptions + cost;
+                       };
+                   ]
+                 end)
+               ts)
+        in
+        if pruned.pruned > 0 then Settled pruned :: children else children
+  in
+  walk task.depth task.last_unit
+
+(* Grow the frontier breadth-first until it holds enough subtrees to feed
+   every domain, replacing each subtree by its children in place (which
+   preserves lexicographic order). *)
+let build_frontier cfg ~target =
+  let rec grow items rounds =
+    let n_tasks =
+      List.fold_left
+        (fun n -> function Subtree _ -> n + 1 | Settled _ -> n)
+        0 items
+    in
+    if n_tasks = 0 || n_tasks >= target || rounds >= 64 then items
+    else
+      grow
+        (List.concat_map
+           (function Settled _ as s -> [ s ] | Subtree t -> expand cfg t)
+           items)
+        (rounds + 1)
+  in
+  grow
+    [
+      Subtree
+        { prefix = Prefix.create (); depth = 0; last_unit = None; preemptions = 0 };
+    ]
+    0
+
+let run_task cfg task =
+  let acc = make_acc () in
+  (try
+     let inst = Prefix.replay ~mk:cfg.mk task.prefix in
+     extend (make_ctx cfg acc) inst task.prefix task.depth task.last_unit
+       task.preemptions
+   with Explore.Stop -> ());
+  acc
+
+let merge ~max_runs ~max_failures accs =
+  let merged = make_acc () in
+  List.iter
+    (fun (a : acc) ->
+      (* Once the run budget is spent, later subtrees are dropped whole —
+         when the budget binds, totals are an approximation of the
+         sequential cut-off (which stops mid-subtree); when it does not
+         bind, nothing is dropped and totals are exact. *)
+      if merged.runs < max_runs then begin
+        merged.runs <- merged.runs + a.runs;
+        merged.truncated <- merged.truncated + a.truncated;
+        merged.deadlocks <- merged.deadlocks + a.deadlocks;
+        merged.pruned <- merged.pruned + a.pruned;
+        merged.memo_hits <- merged.memo_hits + a.memo_hits;
+        List.iter
+          (fun f ->
+            if merged.failure_count < max_failures then begin
+              merged.failures_rev <- f :: merged.failures_rev;
+              merged.failure_count <- merged.failure_count + 1
+            end)
+          (List.rev a.failures_rev)
+      end)
+    accs;
+  merged
+
+let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
+    ?(max_failures = 5) ?(memo = false) ?jobs ~mk () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  if jobs = 1 then
+    Explore.search ~max_depth ~max_runs ~preemption_bound ~max_failures ~memo
+      ~mk ()
+  else begin
+    let total_runs = Atomic.make 0 in
+    let on_run (a : acc) =
+      a.runs <- a.runs + 1;
+      if Atomic.fetch_and_add total_runs 1 + 1 >= max_runs then
+        raise Explore.Stop
+    in
+    let cfg =
+      {
+        mk;
+        max_depth;
+        preemption_bound;
+        max_failures;
+        memo = (if memo then Some (shared_memo ()) else None);
+        on_run;
+      }
+    in
+    let items = build_frontier cfg ~target:(4 * jobs) in
+    let tasks =
+      Array.of_list
+        (List.filter_map
+           (function Subtree t -> Some t | Settled _ -> None)
+           items)
+    in
+    let results = Array.make (Array.length tasks) None in
+    (* The shared work queue: domains claim the next unclaimed subtree until
+       none remain — the checker work-steals, like the queues it checks. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length tasks then begin
+          results.(i) <- Some (run_task cfg tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min (jobs - 1) (Array.length tasks)) (fun _ ->
+          Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    (* Deterministic merge: walk the frontier in lexicographic order,
+       substituting each subtree's explored result. *)
+    let ordinal = ref 0 in
+    let accs =
+      List.map
+        (function
+          | Settled a -> a
+          | Subtree _ ->
+              let a = Option.get results.(!ordinal) in
+              incr ordinal;
+              a)
+        items
+    in
+    stats_of_acc (merge ~max_runs ~max_failures accs)
+  end

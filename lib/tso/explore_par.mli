@@ -1,0 +1,39 @@
+(** Multicore bounded model checking: {!Explore.search} fanned out across
+    OCaml 5 [Domain]s.
+
+    The top-level choice frontier is expanded breadth-first (in lexicographic
+    order, walking forced steps in place) until it holds roughly [4 * jobs]
+    independent subtrees; the subtrees then form a shared work queue that
+    domains claim with an atomic cursor — the checker itself work-steals,
+    like the queues it checks. Each claimed subtree is explored with the
+    {e same} sequential core as {!Explore.search} ([Explore.Internal]), and
+    per-domain results are merged back in frontier order, so with the run
+    budget not binding the merged statistics and failure traces are
+    byte-identical to a sequential search. When the run budget does bind,
+    the parallel search may explore slightly more than the sequential one
+    before stopping (the budget is shared through an atomic counter), and
+    whole subtrees past the budget are dropped from the report.
+
+    Memoization ([memo = true]) uses a single visited-state cache shared by
+    all domains (sharded by fingerprint hash, one mutex per shard), so
+    interleavings that converge across subtree boundaries are still pruned.
+    Verdicts are unchanged, but [runs]/[memo_hits] become schedule-dependent
+    — whichever domain reaches a state first records it — so memoized
+    parallel statistics are {e not} byte-identical to the sequential
+    memoized search (non-memoized parallel search remains deterministic). *)
+
+val search :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int option ->
+  ?max_failures:int ->
+  ?memo:bool ->
+  ?jobs:int ->
+  mk:(unit -> Explore.instance) ->
+  unit ->
+  Explore.stats
+(** Same bounds and defaults as {!Explore.search}. [jobs] defaults to
+    [Domain.recommended_domain_count ()]; [jobs = 1] falls back to the
+    sequential search. [mk] must be safe to call from multiple domains
+    (each call builds a fresh, unshared instance — true of every instance
+    builder in this repository). *)

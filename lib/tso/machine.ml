@@ -18,6 +18,12 @@ type thread = {
   name : string;
   buf : Store_buffer.t;
   mutable status : Program.status;
+  (* Rolling hash of the responses this thread has received (one update per
+     executed instruction). A thread program is a deterministic function of
+     its response history, so equal [hist] means equal control state — the
+     "program position" component of {!fingerprint}, which effect-based
+     continuations cannot expose directly. *)
+  mutable hist : int;
 }
 
 type event =
@@ -30,13 +36,16 @@ type t = {
   mem : Memory.t;
   cfg : config;
   mutable threads : thread array;
-  mutable listeners : (event -> unit) list;
+  (* Growable array: amortised O(1) registration, allocation-free emission
+     in registration order ([apply] fires listeners on every transition). *)
+  mutable listeners : (event -> unit) array;
+  mutable n_listeners : int;
   mutable steps : int;
 }
 
 let create ?mem cfg =
   let mem = match mem with Some m -> m | None -> Memory.create () in
-  { mem; cfg; threads = [||]; listeners = []; steps = 0 }
+  { mem; cfg; threads = [||]; listeners = [||]; n_listeners = 0; steps = 0 }
 
 let memory t = t.mem
 let config t = t.cfg
@@ -46,7 +55,7 @@ let spawn t ~name body =
   let buf =
     Store_buffer.create ~capacity:t.cfg.sb_capacity ~model:t.cfg.buffer_model
   in
-  let th = { tid; name; buf; status = Program.start body } in
+  let th = { tid; name; buf; status = Program.start body; hist = 0 } in
   t.threads <- Array.append t.threads [| th |];
   tid
 
@@ -137,8 +146,20 @@ let store_blocked t tid =
       Store_buffer.is_full th.buf
   | _ -> false
 
-let emit t ev = List.iter (fun f -> f ev) t.listeners
-let on_event t f = t.listeners <- t.listeners @ [ f ]
+let emit t ev =
+  for i = 0 to t.n_listeners - 1 do
+    t.listeners.(i) ev
+  done
+
+let on_event t f =
+  let n = t.n_listeners in
+  if n = Array.length t.listeners then begin
+    let grown = Array.make (max 4 (2 * n)) f in
+    Array.blit t.listeners 0 grown 0 n;
+    t.listeners <- grown
+  end;
+  t.listeners.(n) <- f;
+  t.n_listeners <- n + 1
 
 let exec_request t th (type a) (req : a Program.request) : a =
   match req with
@@ -169,6 +190,18 @@ let exec_request t th (type a) (req : a Program.request) : a =
   | Program.Req_label _ -> ()
   | Program.Req_pause -> ()
 
+(* Encode a request's response as an int for the history hash. Only loads,
+   CAS and fetch-add return data a program can branch on. *)
+let encode_response : type a. a Program.request -> a -> int =
+ fun req v ->
+  match req with
+  | Program.Req_load _ -> v
+  | Program.Req_cas _ -> if v then 1 else 0
+  | Program.Req_fetch_add _ -> v
+  | Program.Req_store _ | Program.Req_fence | Program.Req_work _
+  | Program.Req_label _ | Program.Req_pause ->
+      0
+
 let apply t tr =
   t.steps <- t.steps + 1;
   match tr with
@@ -181,6 +214,7 @@ let apply t tr =
             invalid_arg "Machine.apply: instruction not enabled";
           let instr = Program.describe_named (Memory.name t.mem) req in
           let v = exec_request t th req in
+          th.hist <- Hashtbl.hash (th.hist, instr, encode_response req v);
           th.status <- resume v;
           let ev = Ev_exec { tid; instr } in
           emit t ev;
@@ -200,18 +234,35 @@ let apply t tr =
       ev
 
 let fingerprint t =
-  let b = Buffer.create 128 in
+  let b = Buffer.create 256 in
+  let add_entry (a, v) =
+    Buffer.add_string b (string_of_int (Addr.to_index a));
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ';'
+  in
   Array.iter (fun v -> Buffer.add_string b (string_of_int v); Buffer.add_char b ',')
     (Memory.snapshot t.mem);
   Array.iter
     (fun th ->
       Buffer.add_char b '|';
-      List.iter
-        (fun (a, v) ->
-          Buffer.add_string b (string_of_int (Addr.to_index a));
-          Buffer.add_char b ':';
-          Buffer.add_string b (string_of_int v);
-          Buffer.add_char b ';')
-        (Store_buffer.to_list th.buf))
+      (* Control state: done/paused, the pending instruction, and the
+         response-history hash (program position). *)
+      (match th.status with
+      | Program.Done -> Buffer.add_char b 'D'
+      | Program.Paused (Program.Paused_at (req, _)) ->
+          Buffer.add_char b 'P';
+          Buffer.add_string b (Program.describe req));
+      Buffer.add_char b '#';
+      Buffer.add_string b (string_of_int th.hist);
+      (* The egress slot B is hashed separately from the buffer proper: a
+         store staged in B and the same store still queued are different
+         states (they enable different transitions). *)
+      Buffer.add_char b '@';
+      (match Store_buffer.egress_entry th.buf with
+      | None -> Buffer.add_char b '-'
+      | Some e -> add_entry e);
+      Buffer.add_char b '!';
+      List.iter add_entry (Store_buffer.buffered th.buf))
     t.threads;
   Digest.to_hex (Digest.string (Buffer.contents b))

@@ -78,7 +78,8 @@ val apply : t -> transition -> event
 (** Fire one enabled transition. @raise Invalid_argument if not enabled. *)
 
 val on_event : t -> (event -> unit) -> unit
-(** Register a trace listener, called after every {!apply}. *)
+(** Register a trace listener, called after every {!apply}. Listeners fire
+    in registration order; registration is amortised O(1). *)
 
 (** {1 Introspection for the timing engine} *)
 
@@ -97,5 +98,13 @@ val store_blocked : t -> tid -> bool
 (** The thread's pending instruction is a store and the buffer is full. *)
 
 val fingerprint : t -> string
-(** A digest of memory contents and buffered stores (not of thread control
-    state); used by tests to compare outcomes across schedules. *)
+(** A digest of the complete machine state: memory contents and, per thread,
+    the control state (done/paused plus the pending instruction), the
+    program position (a rolling hash of every response the thread has
+    received — a deterministic thread program is a function of its response
+    history), the egress slot B, and the buffer proper. Equal fingerprints
+    imply equal machine states (modulo hash collisions), which is what lets
+    {!Explore.search}'s memoization prune converged interleavings soundly.
+    Host-side effects performed by thread bodies are covered exactly when
+    they are a function of the response history and commute across threads
+    (true for per-thread result registers and commutative counters). *)

@@ -117,8 +117,11 @@ let flush_egress t mem =
       Memory.set mem a v;
       (a, v)
 
+let egress_entry t = t.egress
+let buffered t = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev
+
 let to_list t =
-  let tail = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev in
+  let tail = buffered t in
   match t.egress with None -> tail | Some e -> e :: tail
 
 let pp mem ppf t =

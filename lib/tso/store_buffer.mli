@@ -80,7 +80,14 @@ val flush_egress : t -> Memory.t -> Addr.t * int
 (** Write B to memory. @raise Invalid_argument if [not (can_flush_egress t)]. *)
 
 val to_list : t -> (Addr.t * int) list
-(** Pending stores oldest-first (B first if occupied), for traces and the
-    explorer's state fingerprint. *)
+(** Pending stores oldest-first (B first if occupied), for traces. *)
+
+val egress_entry : t -> (Addr.t * int) option
+(** The store currently held in B, if any. Distinguishing B from the buffer
+    proper matters for state fingerprints: a store staged in B and the same
+    store still queued enable different transitions. *)
+
+val buffered : t -> (Addr.t * int) list
+(** The buffer proper only, oldest-first (excludes B). *)
 
 val pp : Memory.t -> Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(* Regression tests for the memoized + multicore exploration layer:
+   - parallel search must return byte-identical statistics and failure
+     traces to the sequential search (classic x86-TSO litmus suite);
+   - memoized search must report the same verdicts while exploring fewer
+     runs;
+   - memoized exploration turns queue scenarios that blow the run budget
+     into full proofs. *)
+
+open Tso
+
+let checkb = Alcotest.check Alcotest.bool
+
+let pp_stats ppf (s : Explore.stats) =
+  Format.fprintf ppf
+    "{runs=%d; truncated=%d; deadlocks=%d; pruned=%d; memo_hits=%d; \
+     failures=[%a]}"
+    s.Explore.runs s.truncated s.deadlocks s.pruned s.memo_hits
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (tr, msg) ->
+         Format.fprintf ppf "([%s], %s)"
+           (String.concat ";" (List.map string_of_int tr))
+           msg))
+    s.failures
+
+let stats = Alcotest.testable pp_stats ( = )
+let max_runs = 400_000
+
+let test_parallel_byte_identical () =
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let seq = Explore.search ~max_runs ~mk:t.mk () in
+      let par = Explore_par.search ~max_runs ~jobs:4 ~mk:t.mk () in
+      Alcotest.check stats (t.name ^ ": jobs=4 equals sequential") seq par)
+    Ws_litmus.Classic.all
+
+let test_parallel_more_jobs_than_work () =
+  (* a single-thread test whose whole space fits inside the frontier
+     expansion: domains must cope with an empty/short task queue *)
+  let t = Ws_litmus.Classic.find "store-forwarding" in
+  let seq = Explore.search ~max_runs ~mk:t.mk () in
+  let par = Explore_par.search ~max_runs ~jobs:8 ~mk:t.mk () in
+  Alcotest.check stats "jobs=8 on a 5-run space" seq par
+
+let test_memo_same_verdicts () =
+  let reduced = ref false in
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let plain = Ws_litmus.Classic.run t in
+      let memo = Ws_litmus.Classic.run ~memo:true t in
+      checkb (t.name ^ ": verdict unchanged") plain.observed memo.observed;
+      checkb (t.name ^ ": ok unchanged") plain.ok memo.ok;
+      checkb
+        (t.name ^ ": memo never explores more")
+        true (memo.runs <= plain.runs);
+      if memo.runs < plain.runs then reduced := true)
+    Ws_litmus.Classic.all;
+  checkb "memoization reduced runs on at least one litmus case" true !reduced
+
+let test_memo_parallel_verdicts () =
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let seq = Ws_litmus.Classic.run ~memo:true t in
+      let par = Ws_litmus.Classic.run ~memo:true ~jobs:4 t in
+      checkb (t.name ^ ": memo+jobs verdict unchanged") seq.observed
+        par.observed;
+      checkb (t.name ^ ": memo+jobs ok unchanged") seq.ok par.ok)
+    Ws_litmus.Classic.all
+
+let test_scenario_memo_completes () =
+  (* the default ff-the scenario blows the 200k-run budget unmemoized;
+     memoization collapses it to a complete (exhaustive) proof *)
+  let spec = Ws_harness.Scenarios.default_spec in
+  let st, clean =
+    Ws_harness.Runner.exhaustive_check spec ~preemption_bound:(Some 3)
+      ~memo:true ()
+  in
+  checkb "no violation" true clean;
+  checkb "memo hits reported" true (st.Explore.memo_hits > 0);
+  checkb "well under the run budget" true (st.Explore.runs < 10_000);
+  let par, par_clean =
+    Ws_harness.Runner.exhaustive_check spec ~preemption_bound:(Some 3)
+      ~memo:true ~jobs:4 ()
+  in
+  checkb "parallel memoized verdict agrees" true (par_clean = clean);
+  checkb "parallel memoized also completes" true (par.Explore.runs < 10_000)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "classic suite byte-identical" `Quick
+            test_parallel_byte_identical;
+          Alcotest.test_case "more jobs than work" `Quick
+            test_parallel_more_jobs_than_work;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "classic suite verdicts unchanged" `Quick
+            test_memo_same_verdicts;
+          Alcotest.test_case "memo + parallel verdicts unchanged" `Quick
+            test_memo_parallel_verdicts;
+          Alcotest.test_case "scenario proof under budget" `Quick
+            test_scenario_memo_completes;
+        ] );
+    ]

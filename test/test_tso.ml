@@ -136,6 +136,57 @@ let test_sb_no_cross_address_coalescing () =
   checki "x" 1 (Memory.get mem x);
   checki "y" 2 (Memory.get mem y)
 
+let test_sb_lookup_shadows_egress () =
+  (* forwarding precedence: the newest entry of the buffer proper must
+     shadow an older same-address store staged in B *)
+  let mem, x, _ = mk_mem2 () in
+  let sb =
+    Store_buffer.create ~capacity:2
+      ~model:(Store_buffer.Realistic { coalesce = false })
+  in
+  Store_buffer.push sb x 1;
+  ignore (Store_buffer.drain sb mem) (* x:=1 staged into B *);
+  check (Alcotest.option Alcotest.int) "B forwards when queue empty" (Some 1)
+    (Store_buffer.lookup sb x);
+  Store_buffer.push sb x 2;
+  check (Alcotest.option Alcotest.int) "newest queue entry shadows B" (Some 2)
+    (Store_buffer.lookup sb x);
+  (match Store_buffer.egress_entry sb with
+  | Some (a, 1) -> checkb "B holds the oldest store" true (Addr.equal a x)
+  | _ -> Alcotest.fail "expected x:=1 in B");
+  (match Store_buffer.buffered sb with
+  | [ (a, 2) ] -> checkb "buffer proper holds the newest" true (Addr.equal a x)
+  | _ -> Alcotest.fail "expected [x:=2] in the buffer proper");
+  ignore (Store_buffer.flush_egress sb mem);
+  checki "memory got B's value" 1 (Memory.get mem x);
+  check (Alcotest.option Alcotest.int) "queue still forwards after flush"
+    (Some 2) (Store_buffer.lookup sb x)
+
+let test_sb_pso_lanes_stable () =
+  let mem, x, y = mk_mem2 () in
+  let sb = Store_buffer.create ~capacity:4 ~model:Store_buffer.Pso in
+  Store_buffer.push sb y 1;
+  Store_buffer.push sb x 2;
+  Store_buffer.push sb y 3;
+  let lanes = Store_buffer.drain_lanes sb in
+  check (Alcotest.list Alcotest.int) "one sorted lane per pending address"
+    [ Addr.to_index x; Addr.to_index y ]
+    lanes;
+  check (Alcotest.list Alcotest.int) "lanes are stable across calls" lanes
+    (Store_buffer.drain_lanes sb);
+  (match Store_buffer.drain_lane sb (Addr.to_index y) mem with
+  | Store_buffer.Wrote (a, 1) -> checkb "oldest y first" true (Addr.equal a y)
+  | _ -> Alcotest.fail "PSO drain writes memory directly");
+  check (Alcotest.list Alcotest.int) "y still pending: lanes unchanged"
+    [ Addr.to_index x; Addr.to_index y ]
+    (Store_buffer.drain_lanes sb);
+  (match Store_buffer.drain_lane sb (Addr.to_index y) mem with
+  | Store_buffer.Wrote (_, 3) -> ()
+  | _ -> Alcotest.fail "second y drain must write y:=3");
+  check (Alcotest.list Alcotest.int) "y lane disappears once empty"
+    [ Addr.to_index x ]
+    (Store_buffer.drain_lanes sb)
+
 (* qcheck: the abstract store buffer against a reference list model. *)
 let sb_model_prop =
   QCheck.Test.make ~name:"store buffer matches reference model" ~count:300
@@ -289,6 +340,67 @@ let test_machine_events () =
       !events
   in
   check (Alcotest.list Alcotest.string) "event stream" [ "exec"; "done"; "drain" ] kinds
+
+let test_machine_event_order () =
+  (* listeners fire in registration order, for every event *)
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let mem = Machine.memory m in
+  let x = Memory.alloc mem ~name:"x" ~init:0 in
+  let order = ref [] in
+  Machine.on_event m (fun _ -> order := "first" :: !order);
+  Machine.on_event m (fun _ -> order := "second" :: !order);
+  let tid = Machine.spawn m ~name:"t" (fun () -> Program.store x 1) in
+  ignore (Machine.apply m (Machine.Step tid)) (* Ev_exec then Ev_done *);
+  check
+    (Alcotest.list Alcotest.string)
+    "registration order per event"
+    [ "first"; "second"; "first"; "second" ]
+    (List.rev !order);
+  (* registration stays cheap and ordered as the listener set grows *)
+  let hits = Array.make 64 (-1) in
+  Array.iteri
+    (fun i _ ->
+      Machine.on_event m (fun _ -> if hits.(i) < 0 then hits.(i) <- i))
+    hits;
+  ignore (Machine.apply m (Machine.Drain (tid, 0)));
+  checkb "all listeners fired" true (Array.for_all (fun v -> v >= 0) hits)
+
+let test_fingerprint_covers_control_state () =
+  (* a pure label step changes neither memory nor buffers, but it moves the
+     program position, so the fingerprint must change *)
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let tid =
+    Machine.spawn m ~name:"t" (fun () ->
+        Program.label "a";
+        Program.label "b")
+  in
+  let fp0 = Machine.fingerprint m in
+  ignore (Machine.apply m (Machine.Step tid));
+  let fp1 = Machine.fingerprint m in
+  checkb "label step changes the fingerprint" true (fp0 <> fp1);
+  ignore (Machine.apply m (Machine.Step tid));
+  checkb "second label step changes it again" true (fp1 <> Machine.fingerprint m)
+
+let test_fingerprint_distinguishes_egress () =
+  (* a store staged in B and the same store still queued are different
+     machine states (they enable different transitions) and must not share a
+     fingerprint, even though the flattened pending-store list is equal *)
+  let mk () =
+    let m = Machine.create (Machine.realistic_config ~sb_capacity:2 ~coalesce:false) in
+    let mem = Machine.memory m in
+    let x = Memory.alloc mem ~name:"x" ~init:0 in
+    let tid = Machine.spawn m ~name:"t" (fun () -> Program.store x 1) in
+    ignore (Machine.apply m (Machine.Step tid));
+    (m, tid)
+  in
+  let m_queued, _ = mk () in
+  let m_staged, tid = mk () in
+  check Alcotest.string "identical states share a fingerprint"
+    (Machine.fingerprint m_queued)
+    (Machine.fingerprint m_staged);
+  ignore (Machine.apply m_staged (Machine.Drain (tid, 0))) (* stage into B *);
+  checkb "queued vs staged-in-B differ" true
+    (Machine.fingerprint m_queued <> Machine.fingerprint m_staged)
 
 let test_machine_rmw_atomicity () =
   (* two threads fetch-add the same cell 50 times each; the result must be
@@ -477,6 +589,35 @@ let test_explore_counts_preemptions () =
       ~mk:(sb_litmus_instance ~fences:true) ()
   in
   checkb "fenced + bound 0 has no failures" true (fenced.Explore.failures = [])
+
+let test_explore_memo_equivalence () =
+  (* the visited-state cache cuts runs without changing the verdict, and a
+     memoized failure prefix still replays *)
+  let plain = Explore.search ~mk:(sb_litmus_instance ~fences:false) () in
+  let memo = Explore.search ~memo:true ~mk:(sb_litmus_instance ~fences:false) () in
+  checkb "weak outcome still found" true (memo.Explore.failures <> []);
+  checkb "memo explores fewer runs" true (memo.Explore.runs < plain.Explore.runs);
+  checkb "memo hits reported" true (memo.Explore.memo_hits > 0);
+  checki "plain search reports no memo hits" 0 plain.Explore.memo_hits;
+  (match memo.Explore.failures with
+  | (choices, _) :: _ -> (
+      match Explore.replay_choices ~mk:(sb_litmus_instance ~fences:false) choices with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "memoized failure prefix did not reproduce")
+  | [] -> assert false);
+  let memo_f = Explore.search ~memo:true ~mk:(sb_litmus_instance ~fences:true) () in
+  checkb "no false positives under memoization" true (memo_f.Explore.failures = []);
+  checkb "memoized fenced search still exhausts" true
+    (memo_f.Explore.truncated = 0 && memo_f.Explore.runs > 0);
+  (* dominance check: memoization stays exact under a preemption bound — a
+     state first seen with little remaining budget must not mask a later
+     visit with more *)
+  let bounded =
+    Explore.search ~preemption_bound:(Some 0) ~memo:true
+      ~mk:(sb_litmus_instance ~fences:false) ()
+  in
+  checkb "weak outcome found at bound 0 with memo" true
+    (bounded.Explore.failures <> [])
 
 
 (* ------------------------------------------------------------------ *)
@@ -833,6 +974,10 @@ let () =
           Alcotest.test_case "same-address coalescing" `Quick test_sb_coalescing;
           Alcotest.test_case "no cross-address coalescing" `Quick
             test_sb_no_cross_address_coalescing;
+          Alcotest.test_case "lookup: queue shadows egress" `Quick
+            test_sb_lookup_shadows_egress;
+          Alcotest.test_case "PSO drain lanes are stable" `Quick
+            test_sb_pso_lanes_stable;
           QCheck_alcotest.to_alcotest sb_model_prop;
         ] );
       ( "machine",
@@ -845,6 +990,11 @@ let () =
           Alcotest.test_case "store-to-load forwarding" `Quick
             test_machine_forwarding;
           Alcotest.test_case "event stream" `Quick test_machine_events;
+          Alcotest.test_case "listener order" `Quick test_machine_event_order;
+          Alcotest.test_case "fingerprint covers control state" `Quick
+            test_fingerprint_covers_control_state;
+          Alcotest.test_case "fingerprint splits egress from queue" `Quick
+            test_fingerprint_distinguishes_egress;
           Alcotest.test_case "rmw atomicity" `Quick test_machine_rmw_atomicity;
         ] );
       ( "sched",
@@ -868,6 +1018,8 @@ let () =
           Alcotest.test_case "failure replay" `Quick test_explore_replay_failure;
           Alcotest.test_case "preemption bound" `Quick
             test_explore_counts_preemptions;
+          Alcotest.test_case "memoization equivalence" `Quick
+            test_explore_memo_equivalence;
         ] );
       ( "api-corners",
         [
