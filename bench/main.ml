@@ -19,7 +19,7 @@ open Toolkit
    returns a thunk performing [puts+takes] of one batch. Building the
    machine is part of the thunk (continuations are single-shot), so these
    numbers compare variants rather than measure bare op latency. *)
-let sim_batch ~queue ~worker_fence ~delta () =
+let sim_machine ~queue ~worker_fence ~delta () =
   let m = Tso.Machine.create (Tso.Machine.abstract_config ~sb_capacity:8) in
   let params =
     { Ws_core.Queue_intf.capacity = 128; delta; worker_fence; tag = "q" }
@@ -42,9 +42,27 @@ let sim_batch ~queue ~worker_fence ~delta () =
         in
         drain ())
   in
-  match Tso.Sched.run m (Tso.Sched.round_robin ()) with
+  m
+
+(* Run a machine to quiescence; a counting wrapper measures transitions
+   without touching the scheduler's hot path (every policy invocation is
+   exactly one applied transition). *)
+let run_sim ?steps m =
+  let policy = Tso.Sched.round_robin () in
+  let policy =
+    match steps with
+    | None -> policy
+    | Some c ->
+        fun m buf ->
+          incr c;
+          policy m buf
+  in
+  match Tso.Sched.run m policy with
   | Tso.Sched.Quiescent -> ()
   | _ -> failwith "bench batch did not quiesce"
+
+let sim_batch ~queue ~worker_fence ~delta () =
+  run_sim (sim_machine ~queue ~worker_fence ~delta ())
 
 let litmus_batch () =
   ignore
@@ -205,8 +223,192 @@ let run_figures () =
   print_newline ();
   Ws_harness.Exp_ablation.run ()
 
+(* --- machine-readable benchmark (BENCH_simulator.json) ---------------- *)
+
+(* Schema contract for the tracked perf baseline. The CI smoke job and the
+   cram test validate this id and the exact field set, so numbers recorded
+   in EXPERIMENTS.md stay comparable across commits; bump the version if a
+   field changes meaning. *)
+let bench_schema = "wsrepro-bench/v1"
+
+let bench_fields =
+  [
+    "sim_batch_steps_per_sec";
+    "explorer_runs_per_sec";
+    "fig10_wall_s";
+    "fingerprint_ns";
+    "memo_lookup_ns";
+  ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Simulator step throughput through [Sched.run]: the number the
+   allocation-free enabled-set path is accountable for. *)
+let measure_sim_steps ~batches () =
+  let steps = ref 0 in
+  let (), dt =
+    wall (fun () ->
+        for _ = 1 to batches do
+          run_sim ~steps (sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 ())
+        done)
+  in
+  float_of_int !steps /. dt
+
+(* Explorer throughput on a small FF-THE scenario (complete runs/sec). *)
+let measure_explorer ~max_runs () =
+  let spec =
+    {
+      Ws_harness.Scenarios.default_spec with
+      queue = "ff-the";
+      sb_capacity = 1;
+      delta = 2;
+      preloaded = 2;
+      steal_attempts = 1;
+    }
+  in
+  let (st, _), dt =
+    wall (fun () ->
+        Ws_harness.Runner.exhaustive_check spec ~max_runs
+          ~preemption_bound:(Some 3) ~jobs:1 ~memo:false ())
+  in
+  float_of_int st.Tso.Explore.runs /. dt
+
+(* Cost of one [Machine.fingerprint] of a mid-run machine state — the memo
+   key computation on the explorer's hot path. *)
+let measure_fingerprint ~iters () =
+  let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+  ignore (Tso.Sched.run ~max_steps:200 m (Tso.Sched.round_robin ()));
+  let acc = ref 0 in
+  let (), dt =
+    wall (fun () ->
+        for _ = 1 to iters do
+          acc := !acc lxor Tso.Machine.fingerprint m
+        done)
+  in
+  Sys.opaque_identity !acc |> ignore;
+  1e9 *. dt /. float_of_int iters
+
+(* Fingerprint + Pareto-dominance probe against a populated memo table:
+   what one memoized-explorer node pays before recursing. *)
+let measure_memo_lookup ~iters () =
+  let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+  ignore (Tso.Sched.run ~max_steps:200 m (Tso.Sched.round_robin ()));
+  let tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
+  (* deterministic LCG fill — a realistic load factor without Random *)
+  let x = ref 0x9E3779B9 in
+  for _ = 1 to 4096 do
+    x := (!x lxor (!x lsr 17)) * 0x2545F4914F6CDD1D land max_int;
+    Hashtbl.replace tbl !x [ (8, 2) ]
+  done;
+  Hashtbl.replace tbl (Tso.Machine.fingerprint m) [ (8, 2) ];
+  let hits = ref 0 in
+  let (), dt =
+    wall (fun () ->
+        for _ = 1 to iters do
+          let fp = Tso.Machine.fingerprint m in
+          if Tso.Explore.Internal.memo_tbl_check tbl fp ~depth_rem:4 ~preempt_rem:1
+          then incr hits
+        done)
+  in
+  Sys.opaque_identity !hits |> ignore;
+  1e9 *. dt /. float_of_int iters
+
+(* Wall time of one Fig. 10 column (Fib on haswell), the end-to-end figure
+   regeneration cost the hot-path work targets. *)
+let measure_fig10 ~repeats () =
+  let (), dt =
+    wall (fun () ->
+        ignore
+          (Ws_harness.Exp_fig10.compute Ws_harness.Machine_config.haswell
+             ~repeats ~benches:[ "Fib" ] ()))
+  in
+  dt
+
+let run_json ~smoke ~out () =
+  let batches, max_runs, fp_iters, repeats =
+    if smoke then (20, 500, 2_000, 1) else (2_000, 20_000, 200_000, 3)
+  in
+  let metrics =
+    [
+      ("sim_batch_steps_per_sec", measure_sim_steps ~batches ());
+      ("explorer_runs_per_sec", measure_explorer ~max_runs ());
+      ("fig10_wall_s", measure_fig10 ~repeats ());
+      ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
+      ("memo_lookup_ns", measure_memo_lookup ~iters:fp_iters ());
+    ]
+  in
+  assert (List.map fst metrics = bench_fields);
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": %S,\n" bench_schema);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": %S,\n" (if smoke then "smoke" else "full"));
+  Buffer.add_string buf "  \"metrics\": {\n";
+  let n = List.length metrics in
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %.3f%s\n" k v (if i = n - 1 then "" else ",")))
+    metrics;
+  Buffer.add_string buf "  }\n}\n";
+  match out with
+  | None -> print_string (Buffer.contents buf)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Schema validator for --check: fails (exit 1) when the schema id or any
+   required metric is missing, which is what the CI smoke job keys on. *)
+let run_check file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let schema_ok = contains s (Printf.sprintf "\"schema\": %S" bench_schema) in
+  let missing =
+    List.filter (fun f -> not (contains s (Printf.sprintf "%S:" f))) bench_fields
+  in
+  if schema_ok && missing = [] then
+    Printf.printf "%s: schema %s OK (%d metrics)\n" file bench_schema
+      (List.length bench_fields)
+  else begin
+    if not schema_ok then
+      Printf.eprintf "%s: missing or wrong schema id (want %s)\n" file
+        bench_schema;
+    List.iter (fun f -> Printf.eprintf "%s: missing metric %S\n" file f) missing;
+    exit 1
+  end
+
 let () =
-  let micro_only = Array.mem "--micro" Sys.argv in
-  let figures_only = Array.mem "--figures" Sys.argv in
-  if not figures_only then run_micro ();
-  if not micro_only then run_figures ()
+  let argv = Sys.argv in
+  let has f = Array.exists (String.equal f) argv in
+  let value_of flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a -> if String.equal a flag && i + 1 < Array.length argv then r := Some argv.(i + 1))
+      argv;
+    !r
+  in
+  if has "--check" then
+    match value_of "--check" with
+    | Some f -> run_check f
+    | None ->
+        prerr_endline "usage: bench --check FILE";
+        exit 2
+  else if has "--json" then
+    run_json ~smoke:(has "--smoke") ~out:(value_of "--out") ()
+  else begin
+    let micro_only = has "--micro" in
+    let figures_only = has "--figures" in
+    if not figures_only then run_micro ();
+    if not micro_only then run_figures ()
+  end

@@ -65,10 +65,18 @@ let fig7_cmd =
        ~doc:"Store-buffer capacity measurement (Figures 6 and 7)")
     Term.(const Ws_harness.Exp_fig7.run $ const ())
 
+let fig_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the experiment's run grid across N OCaml domains. Output is \
+           byte-identical to $(b,--jobs 1); only wall-clock time changes.")
+
 (* fig8 *)
 let fig8_cmd =
-  let run runs tasks =
-    Ws_harness.Exp_fig8.run ~runs_per_l:runs ~tasks ()
+  let run runs tasks jobs =
+    Ws_harness.Exp_fig8.run ~runs_per_l:runs ~tasks ~jobs ()
   in
   let runs =
     Arg.(
@@ -82,13 +90,13 @@ let fig8_cmd =
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"TSO[S] litmus campaign (Figures 8 and 9)")
-    Term.(const run $ runs $ tasks)
+    Term.(const run $ runs $ tasks $ fig_jobs_arg)
 
 (* fig10 *)
 let fig10_cmd =
-  let run machine repeats benches =
+  let run machine repeats jobs benches =
     let benches = match benches with [] -> None | l -> Some l in
-    Ws_harness.Exp_fig10.run machine ~repeats ?benches ()
+    Ws_harness.Exp_fig10.run machine ~repeats ?benches ~jobs ()
   in
   let benches =
     Arg.(
@@ -97,20 +105,20 @@ let fig10_cmd =
   in
   Cmd.v
     (Cmd.info "fig10" ~doc:"CilkPlus suite vs fence-free variants (Figure 10)")
-    Term.(const run $ machine_arg $ repeats_arg $ benches)
+    Term.(const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ benches)
 
 (* fig11 *)
 let fig11_cmd =
-  let run machine repeats spanning =
+  let run machine repeats jobs spanning =
     if spanning then begin
       (* the paper reports spanning-tree results "are similar"; verify that *)
       print_endline "== Figure 11 workload: spanning tree ==";
       print_string
         (Ws_harness.Exp_fig11.render
            (Ws_harness.Exp_fig11.compute ~machine ~repeats
-              ~workload:`Spanning_tree ()))
+              ~workload:`Spanning_tree ~jobs ()))
     end
-    else Ws_harness.Exp_fig11.run ~machine ~repeats ()
+    else Ws_harness.Exp_fig11.run ~machine ~repeats ~jobs ()
   in
   let spanning =
     Arg.(
@@ -121,7 +129,7 @@ let fig11_cmd =
   Cmd.v
     (Cmd.info "fig11"
        ~doc:"Graph benchmarks vs idempotent work stealing (Figure 11)")
-    Term.(const run $ machine_arg $ repeats_arg $ spanning)
+    Term.(const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ spanning)
 
 (* table1 *)
 let table1_cmd =
@@ -131,35 +139,37 @@ let table1_cmd =
 
 (* all *)
 let all_cmd =
-  let run repeats =
+  let run repeats jobs =
     Ws_harness.Exp_table1.run ();
     print_newline ();
     Ws_harness.Exp_fig1.run ();
     print_newline ();
     Ws_harness.Exp_fig7.run ();
     print_newline ();
-    Ws_harness.Exp_fig8.run ();
+    Ws_harness.Exp_fig8.run ~jobs ();
     print_newline ();
     List.iter
       (fun m ->
-        Ws_harness.Exp_fig10.run m ~repeats ();
+        Ws_harness.Exp_fig10.run m ~repeats ~jobs ();
         print_newline ())
       Ws_harness.Machine_config.primary;
-    Ws_harness.Exp_fig11.run ~repeats ()
+    Ws_harness.Exp_fig11.run ~repeats ~jobs ()
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure, in paper order")
-    Term.(const run $ repeats_arg)
+    Term.(const run $ repeats_arg $ fig_jobs_arg)
 
 (* scaling *)
 let scaling_cmd =
-  let run machine bench = Ws_harness.Exp_scaling.run ~machine ~bench () in
+  let run machine bench jobs =
+    Ws_harness.Exp_scaling.run ~machine ~bench ~jobs ()
+  in
   let bench =
     Arg.(value & opt string "Fib" & info [ "bench"; "b" ] ~docv:"BENCH" ~doc:"Benchmark.")
   in
   Cmd.v
     (Cmd.info "scaling" ~doc:"Worker-count speedup curves (THE vs THEP)")
-    Term.(const run $ machine_arg $ bench)
+    Term.(const run $ machine_arg $ bench $ fig_jobs_arg)
 
 let jobs_arg =
   Arg.(
@@ -194,11 +204,11 @@ let tso_litmus_cmd =
 
 (* ablation *)
 let ablation_cmd =
-  let run machine = Ws_harness.Exp_ablation.run ~machine () in
+  let run machine jobs = Ws_harness.Exp_ablation.run ~machine ~jobs () in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Design-choice ablations: delta sweep, fence-cost sweep, THEP heartbeat placement")
-    Term.(const run $ machine_arg)
+    Term.(const run $ machine_arg $ fig_jobs_arg)
 
 (* litmus: one cell of Fig. 8 *)
 let litmus_cmd =

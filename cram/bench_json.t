@@ -1,0 +1,35 @@
+The bench harness has a machine-readable mode for tracking the simulator's
+performance over time. `--json --smoke` runs each probe with tiny iteration
+counts (the numbers are meaningless, the shape is the contract) and `--out`
+writes the file the repo tracks as BENCH_simulator.json:
+
+  $ wsbench --json --smoke --out bench.json
+  wrote bench.json
+
+The emitted document always carries the schema id and the full metric set,
+with one fixed-format float per metric:
+
+  $ grep -o '"schema": "[^"]*"' bench.json
+  "schema": "wsrepro-bench/v1"
+  $ grep -c '"mode": "smoke"' bench.json
+  1
+  $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
+  "sim_batch_steps_per_sec":
+  "explorer_runs_per_sec":
+  "fig10_wall_s":
+  "fingerprint_ns":
+  "memo_lookup_ns":
+
+`--check` validates that contract (CI runs it against the tracked baseline
+so schema drift fails the build):
+
+  $ wsbench --check bench.json
+  bench.json: schema wsrepro-bench/v1 OK (5 metrics)
+
+and fails loudly when a metric disappears or the schema id changes:
+
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v1|wsrepro-bench/v0|' bench.json > drifted.json
+  $ wsbench --check drifted.json
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v1)
+  drifted.json: missing metric "fingerprint_ns"
+  [1]

@@ -31,7 +31,7 @@ let run_one machine v ~costs ~seed dag name =
   (makespan, Ws_runtime.Metrics.total_aborts r.Ws_runtime.Engine.metrics)
 
 let delta_sweep ?(machine = Machine_config.haswell) ?(bench = "knapsack")
-    ?deltas ?(seed = 17) () =
+    ?deltas ?(seed = 17) ?(jobs = 1) () =
   let deltas =
     match deltas with
     | Some d -> d
@@ -42,21 +42,29 @@ let delta_sweep ?(machine = Machine_config.haswell) ?(bench = "knapsack")
   let b = Ws_workloads.Cilk_suite.find bench in
   let dag = Ws_workloads.Cilk_suite.dag b in
   let costs = machine.Machine_config.costs in
-  let baseline, _ =
-    run_one machine Variants.the_baseline ~costs ~seed dag bench
+  let points =
+    Variants.the_baseline
+    :: List.concat_map
+         (fun delta ->
+           [
+             variant "ff-the" "ff-the" delta;
+             variant "thep" "thep" delta;
+             variant "thep-sep" "thep-sep" delta;
+           ])
+         deltas
   in
-  List.map
-    (fun delta ->
-      let ff, aborts =
-        run_one machine (variant "ff-the" "ff-the" delta) ~costs ~seed dag bench
-      in
-      let thep, _ =
-        run_one machine (variant "thep" "thep" delta) ~costs ~seed dag bench
-      in
-      let thep_sep, _ =
-        run_one machine (variant "thep-sep" "thep-sep" delta) ~costs ~seed dag
-          bench
-      in
+  let results =
+    Array.of_list
+      (Par_runner.map ~jobs
+         (fun v -> run_one machine v ~costs ~seed dag bench)
+         points)
+  in
+  let baseline, _ = results.(0) in
+  List.mapi
+    (fun i delta ->
+      let ff, aborts = results.(1 + (3 * i)) in
+      let thep, _ = results.(2 + (3 * i)) in
+      let thep_sep, _ = results.(3 + (3 * i)) in
       {
         delta;
         ff_the_pct = 100.0 *. ff /. baseline;
@@ -74,19 +82,33 @@ type fence_row = {
 }
 
 let fence_sweep ?(machine = Machine_config.haswell) ?(bench = "Integrate")
-    ?(costs = [ 0; 5; 10; 20; 40; 60 ]) ?(seed = 17) () =
+    ?(costs = [ 0; 5; 10; 20; 40; 60 ]) ?(seed = 17) ?(jobs = 1) () =
   let b = Ws_workloads.Cilk_suite.find bench in
   let dag = Ws_workloads.Cilk_suite.dag b in
   let delta = 4 in
-  List.map
-    (fun fence_cost ->
-      let cm = { machine.Machine_config.costs with Tso.Timing.fence_cost } in
-      let the, _ =
-        run_one machine Variants.the_baseline ~costs:cm ~seed dag bench
-      in
-      let thep, _ =
-        run_one machine (variant "thep" "thep" delta) ~costs:cm ~seed dag bench
-      in
+  let points =
+    List.concat_map
+      (fun fence_cost ->
+        [
+          (fence_cost, Variants.the_baseline);
+          (fence_cost, variant "thep" "thep" delta);
+        ])
+      costs
+  in
+  let results =
+    Array.of_list
+      (Par_runner.map ~jobs
+         (fun (fence_cost, v) ->
+           let cm =
+             { machine.Machine_config.costs with Tso.Timing.fence_cost }
+           in
+           run_one machine v ~costs:cm ~seed dag bench)
+         points)
+  in
+  List.mapi
+    (fun i fence_cost ->
+      let the, _ = results.(2 * i) in
+      let thep, _ = results.((2 * i) + 1) in
       {
         fence_cost;
         the_makespan = the;
@@ -102,10 +124,10 @@ type victim_row = {
 }
 
 let victim_sweep ?(machine = Machine_config.haswell) ?(bench = "QuickSort")
-    ?(seed = 17) () =
+    ?(seed = 17) ?(jobs = 1) () =
   let b = Ws_workloads.Cilk_suite.find bench in
   let dag = Ws_workloads.Cilk_suite.dag b in
-  List.map
+  Par_runner.map ~jobs
     (fun (policy_name, victim) ->
       let v = variant "thep" "thep" 4 in
       let cfg =
@@ -134,10 +156,10 @@ let victim_sweep ?(machine = Machine_config.haswell) ?(bench = "QuickSort")
       ("round-robin", Ws_runtime.Engine.Round_robin_victim);
     ]
 
-let run ?(machine = Machine_config.haswell) () =
+let run ?(machine = Machine_config.haswell) ?jobs () =
   Printf.printf "== Ablation: delta sweep (%s, knapsack; %% of THE) ==\n"
     machine.Machine_config.name;
-  let rows = delta_sweep ~machine () in
+  let rows = delta_sweep ~machine ?jobs () in
   Tablefmt.print
     ~header:[ "delta"; "FF-THE"; "FF-THE aborts"; "THEP"; "THEP-sep" ]
     (List.map
@@ -153,7 +175,7 @@ let run ?(machine = Machine_config.haswell) () =
   Printf.printf
     "\n== Ablation: fence-cost sweep (%s, Integrate; THEP normalized to THE) ==\n"
     machine.Machine_config.name;
-  let rows = fence_sweep ~machine () in
+  let rows = fence_sweep ~machine ?jobs () in
   Tablefmt.print
     ~header:[ "fence cost (cyc)"; "THE (cyc)"; "THEP (cyc)"; "THEP vs THE" ]
     (List.map
@@ -168,7 +190,7 @@ let run ?(machine = Machine_config.haswell) () =
   Printf.printf
     "\n== Ablation: victim selection (%s, QuickSort, THEP d=4) ==\n"
     machine.Machine_config.name;
-  let rows = victim_sweep ~machine () in
+  let rows = victim_sweep ~machine ?jobs () in
   Tablefmt.print
     ~header:[ "policy"; "makespan (cyc)"; "steal attempts" ]
     (List.map

@@ -25,8 +25,12 @@ val delta_sweep :
   ?bench:string ->
   ?deltas:int list ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   delta_row list
+(** [jobs] fans the (variant × δ) runs across OCaml 5 domains via
+    {!Par_runner.map}; rows are byte-identical to a sequential run.
+    Default 1. *)
 
 type fence_row = {
   fence_cost : int;
@@ -40,6 +44,7 @@ val fence_sweep :
   ?bench:string ->
   ?costs:int list ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   fence_row list
 
@@ -50,8 +55,13 @@ type victim_row = {
 }
 
 val victim_sweep :
-  ?machine:Machine_config.t -> ?bench:string -> ?seed:int -> unit -> victim_row list
+  ?machine:Machine_config.t ->
+  ?bench:string ->
+  ?seed:int ->
+  ?jobs:int ->
+  unit ->
+  victim_row list
 (** Random vs round-robin victim selection under THEP δ=4. *)
 
-val run : ?machine:Machine_config.t -> unit -> unit
+val run : ?machine:Machine_config.t -> ?jobs:int -> unit -> unit
 (** Print all three ablations. *)

@@ -15,9 +15,25 @@ type row = {
 }
 
 val compute :
-  Machine_config.t -> ?repeats:int -> ?benches:string list -> unit -> row list
+  Machine_config.t ->
+  ?repeats:int ->
+  ?benches:string list ->
+  ?jobs:int ->
+  unit ->
+  row list
+(** [jobs] fans the (bench × variant × seed) grid of independent timed runs
+    across OCaml 5 domains via {!Par_runner.map}; results are folded back in
+    grid order, so the rows (and the rendered table) are byte-identical to a
+    sequential run. Default 1 (sequential). *)
 
 val geomean_row : row list -> (string * float) list
 
 val render : Machine_config.t -> row list -> string
-val run : Machine_config.t -> ?repeats:int -> ?benches:string list -> unit -> unit
+
+val run :
+  Machine_config.t ->
+  ?repeats:int ->
+  ?benches:string list ->
+  ?jobs:int ->
+  unit ->
+  unit

@@ -36,28 +36,46 @@ let default_cases () =
   ]
 
 let compute ?(machine = Machine_config.haswell) ?(repeats = 3) ?cases
-    ?(workload = `Transitive_closure) () =
+    ?(workload = `Transitive_closure) ?(jobs = 1) () =
   let cases = match cases with Some c -> c | None -> default_cases () in
   let seeds = List.init repeats (fun i -> 21 + (10 * i)) in
-  List.map
-    (fun case ->
-      let mk () =
-        match workload with
-        | `Transitive_closure ->
-            Ws_workloads.Graph_workloads.transitive_closure case.graph ~src:0
-              ~node_work:case.node_work ~edge_work:case.edge_work ()
-        | `Spanning_tree ->
-            Ws_workloads.Graph_workloads.spanning_tree case.graph ~src:0
-              ~node_work:case.node_work ~edge_work:case.edge_work ()
-      in
+  (* One grid point per (case, variant, seed); [mk] builds a fresh checked
+     workload per run, so points are independent and safe to fan out. *)
+  let points =
+    List.concat_map
+      (fun case ->
+        List.concat_map
+          (fun v -> List.map (fun seed -> (case, v, seed)) seeds)
+          Variants.fig11)
+      cases
+  in
+  let results =
+    Array.of_list
+      (Par_runner.map ~jobs
+         (fun (case, v, seed) ->
+           let mk () =
+             match workload with
+             | `Transitive_closure ->
+                 Ws_workloads.Graph_workloads.transitive_closure case.graph
+                   ~src:0 ~node_work:case.node_work ~edge_work:case.edge_work
+                   ()
+             | `Spanning_tree ->
+                 Ws_workloads.Graph_workloads.spanning_tree case.graph ~src:0
+                   ~node_work:case.node_work ~edge_work:case.edge_work ()
+           in
+           Runner.run_checked machine v ?workers:case.workers ~seed mk)
+         points)
+  in
+  let n_seeds = List.length seeds in
+  let n_variants = List.length Variants.fig11 in
+  List.mapi
+    (fun ci case ->
       let medians =
-        List.map
-          (fun v ->
+        List.mapi
+          (fun vi v ->
             let runs =
-              List.map
-                (fun seed ->
-                  Runner.run_checked machine v ?workers:case.workers ~seed mk)
-                seeds
+              List.init n_seeds (fun si ->
+                  results.(((ci * n_variants) + vi) * n_seeds + si))
             in
             let makespans = List.map fst runs in
             let stolen =
@@ -115,7 +133,7 @@ let render rows =
   "(a) run time, normalized to Chase-Lev\n" ^ time_table
   ^ "(b) % of tasks executed by a thief\n" ^ stolen_table
 
-let run ?machine ?repeats () =
+let run ?machine ?repeats ?jobs () =
   print_endline
     "== Figure 11: transitive closure vs idempotent work stealing ==";
-  print_string (render (compute ?machine ?repeats ()))
+  print_string (render (compute ?machine ?repeats ?jobs ()))

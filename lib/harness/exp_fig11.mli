@@ -29,8 +29,14 @@ val compute :
   ?repeats:int ->
   ?cases:graph_case list ->
   ?workload:[ `Transitive_closure | `Spanning_tree ] ->
+  ?jobs:int ->
   unit ->
   row list
+(** [jobs] fans the (case × variant × seed) grid across OCaml 5 domains via
+    {!Par_runner.map}; rows are folded back in grid order, byte-identical
+    to a sequential run. Default 1. *)
 
 val render : row list -> string
-val run : ?machine:Machine_config.t -> ?repeats:int -> unit -> unit
+
+val run :
+  ?machine:Machine_config.t -> ?repeats:int -> ?jobs:int -> unit -> unit

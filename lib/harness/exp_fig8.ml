@@ -11,10 +11,28 @@ let real_bound sb_capacity = sb_capacity + 1
 let ceil_div a b = (a + b - 1) / b
 
 let compute ?(sb_capacity = 32) ?(runs_per_l = 40) ?(tasks = 192) ?(max_l = 32)
-    ?(seed = 7) ~s_assumed () =
+    ?(seed = 7) ?(jobs = 1) ~s_assumed () =
+  (* The same (α, δ) cell enumeration as {!Ws_litmus.Grid.campaign}, but
+     with each cell as an independent grid point for {!Par_runner.map}:
+     every litmus run builds its own machine and RNG from the cell's seed,
+     so cell results (and their order) match the sequential campaign
+     exactly. *)
+  let specs =
+    List.concat_map
+      (fun (alpha, l_values) ->
+        List.filter_map
+          (fun off ->
+            let delta = alpha + off in
+            if delta < 1 then None else Some (alpha, l_values, delta))
+          [ -1; 0; 1 ])
+      (Ws_litmus.Grid.alpha_groups ~s_assumed ~max_l)
+  in
   let cells =
-    Ws_litmus.Grid.campaign ~tasks ~runs_per_l ~max_l ~sb_capacity
-      ~coalesce:true ~s_assumed ~seed ()
+    Par_runner.map ~jobs
+      (fun (alpha, l_values, delta) ->
+        Ws_litmus.Grid.run_cell ~tasks ~runs_per_l ~sb_capacity ~coalesce:true
+          ~s_assumed ~alpha ~l_values ~delta ~seed ())
+      specs
   in
   { s_assumed; cells }
 
@@ -98,13 +116,13 @@ let render_grid t =
     offsets;
   Buffer.contents buf
 
-let run ?runs_per_l ?tasks () =
+let run ?runs_per_l ?tasks ?jobs () =
   print_endline "== Figure 8: litmus campaign against the bounded-TSO model ==";
   print_endline
     "(machine under test: 32-entry store buffer + coalescing egress entry B)";
   List.iter
     (fun s_assumed ->
-      let t = compute ?runs_per_l ?tasks ~s_assumed () in
+      let t = compute ?runs_per_l ?tasks ?jobs ~s_assumed () in
       print_string (render t);
       print_endline "(# = incorrect execution found, . = none)";
       print_string (render_grid t))

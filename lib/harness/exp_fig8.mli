@@ -19,9 +19,13 @@ val compute :
   ?tasks:int ->
   ?max_l:int ->
   ?seed:int ->
+  ?jobs:int ->
   s_assumed:int ->
   unit ->
   t
+(** [jobs] fans the grid's (α, δ) cells across OCaml 5 domains via
+    {!Par_runner.map}; cell order and contents match the sequential
+    campaign exactly. Default 1. *)
 
 val render : t -> string
 
@@ -32,5 +36,5 @@ val expected_incorrect : t -> Ws_litmus.Grid.cell -> bool
 (** The paper's prediction for a cell, used both in rendering (to flag
     mismatches) and by the test suite. *)
 
-val run : ?runs_per_l:int -> ?tasks:int -> unit -> unit
+val run : ?runs_per_l:int -> ?tasks:int -> ?jobs:int -> unit -> unit
 (** Both campaigns (8a then 8b). *)

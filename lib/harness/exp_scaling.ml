@@ -16,7 +16,7 @@ let thep_variant =
   }
 
 let compute ?(machine = Machine_config.westmere_ex) ?(bench = "Fib")
-    ?workers_list ?(seed = 23) () =
+    ?workers_list ?(seed = 23) ?(jobs = 1) () =
   let workers_list =
     match workers_list with
     | Some l -> l
@@ -27,16 +27,29 @@ let compute ?(machine = Machine_config.westmere_ex) ?(bench = "Fib")
   in
   let b = Ws_workloads.Cilk_suite.find bench in
   let dag = Ws_workloads.Cilk_suite.dag b in
-  let one variant workers =
-    List.hd
-      (Runner.run_dag machine variant ~workers ~seeds:[ seed ] dag ~name:bench)
+  (* Grid points: the two single-worker baselines, then (THE, THEP) per
+     worker count — all independent timed runs. *)
+  let points =
+    (Variants.the_baseline, 1) :: (thep_variant, 1)
+    :: List.concat_map
+         (fun w -> [ (Variants.the_baseline, w); (thep_variant, w) ])
+         workers_list
   in
-  let the1 = one Variants.the_baseline 1 in
-  let thep1 = one thep_variant 1 in
-  List.map
-    (fun workers ->
-      let the = one Variants.the_baseline workers in
-      let thep = one thep_variant workers in
+  let results =
+    Array.of_list
+      (Par_runner.map ~jobs
+         (fun (variant, workers) ->
+           List.hd
+             (Runner.run_dag machine variant ~workers ~seeds:[ seed ] dag
+                ~name:bench))
+         points)
+  in
+  let the1 = results.(0) in
+  let thep1 = results.(1) in
+  List.mapi
+    (fun i workers ->
+      let the = results.(2 + (2 * i)) in
+      let thep = results.(3 + (2 * i)) in
       {
         workers;
         the_makespan = the;
@@ -63,7 +76,7 @@ let render rows =
          ])
        rows)
 
-let run ?(machine = Machine_config.westmere_ex) ?(bench = "Fib") () =
+let run ?(machine = Machine_config.westmere_ex) ?(bench = "Fib") ?jobs () =
   Printf.printf "== Scaling: %s on %s, 1..%d workers ==\n" bench
     machine.Machine_config.name machine.Machine_config.workers;
-  print_string (render (compute ~machine ~bench ()))
+  print_string (render (compute ~machine ~bench ?jobs ()))

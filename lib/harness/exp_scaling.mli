@@ -19,8 +19,12 @@ val compute :
   ?bench:string ->
   ?workers_list:int list ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   row list
+(** [jobs] fans the (variant × worker count) runs across OCaml 5 domains
+    via {!Par_runner.map}; rows are byte-identical to a sequential run.
+    Default 1. *)
 
 val render : row list -> string
-val run : ?machine:Machine_config.t -> ?bench:string -> unit -> unit
+val run : ?machine:Machine_config.t -> ?bench:string -> ?jobs:int -> unit -> unit

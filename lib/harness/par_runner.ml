@@ -1,0 +1,45 @@
+(* Deterministic fan-out over OCaml 5 domains.
+
+   Every figure-regeneration experiment is a grid of independent simulator
+   runs (workload × variant × seed), each fully self-contained: a fresh
+   machine, its own RNG state, its own timing clock. [map] claims grid
+   points off a shared atomic cursor and writes results into a slot per
+   point, so the caller folds them back in grid order and the rendered
+   output is byte-identical to a sequential run — parallelism changes wall
+   time only. *)
+
+let map ?(jobs = 1) f xs =
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Capture failures per point and re-raise the first one in grid
+             order below, matching the failure a sequential run would hit
+             first. *)
+          (results.(i) <-
+             (match f inputs.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end

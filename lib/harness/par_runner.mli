@@ -1,0 +1,12 @@
+(** Deterministic parallel map over OCaml 5 domains, for fanning the
+    independent grid points of an experiment (workload × variant × seed)
+    across cores. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs] domains
+    (the caller's included). Results keep list order, so output assembled
+    from them is byte-identical to the sequential run; each [f] must be
+    self-contained (the experiment runners build a fresh machine per grid
+    point). [jobs <= 1] runs sequentially with no domain spawned. If some
+    [f] raises, the first failure in list order is re-raised after all
+    domains join. *)

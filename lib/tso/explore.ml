@@ -28,18 +28,61 @@ exception Stop
    cas-fail/pause cycle revisits the same machine state forever. The reduced
    list is the choice universe for BOTH search and replay, so recorded
    indices stay meaningful. *)
+let is_noop m = function
+  | Machine.Step t -> (
+      match Machine.pending_class m t with
+      | Some Machine.C_free -> true
+      | _ -> false)
+  | Machine.Drain _ | Machine.Flush _ -> false
+
 let choices m =
   let ts = Machine.enabled m in
-  let is_noop = function
-    | Machine.Step t -> (
-        match Machine.pending_class m t with
-        | Some Machine.C_free -> true
-        | _ -> false)
-    | Machine.Drain _ | Machine.Flush _ -> false
-  in
-  match List.filter (fun t -> not (is_noop t)) ts with
+  match List.filter (fun t -> not (is_noop m t)) ts with
   | [] -> ts
   | productive -> productive
+
+(* Same reduction over a reusable buffer: refill it with the enabled set,
+   then compact out the no-ops in place (keeping order) unless everything is
+   a no-op. This is the search's per-node choice computation, so it must
+   yield exactly the same sequence as [choices]. *)
+let choices_into m buf =
+  let n = Machine.enabled_into m buf in
+  let productive = ref 0 in
+  for i = 0 to n - 1 do
+    if not (is_noop m (Machine.tbuf_get buf i)) then incr productive
+  done;
+  if !productive = 0 || !productive = n then n
+  else begin
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let tr = Machine.tbuf_get buf i in
+      if not (is_noop m tr) then begin
+        Machine.tbuf_set buf !j tr;
+        incr j
+      end
+    done;
+    Machine.tbuf_truncate buf !j;
+    !j
+  end
+
+(* One enabled-set buffer per search depth, grown on demand: the DFS at
+   depth [d] iterates its siblings from buffer [d] while the recursion
+   below uses deeper buffers, so no buffer is ever clobbered while live. *)
+type pool = { mutable bufs : Machine.tbuf array }
+
+let pool_create () = { bufs = [||] }
+
+let pool_get pool depth =
+  let n = Array.length pool.bufs in
+  if depth >= n then begin
+    let grown = Array.make (max (depth + 1) (max 16 (2 * n))) (Machine.tbuf_create ()) in
+    Array.blit pool.bufs 0 grown 0 n;
+    for i = n to Array.length grown - 1 do
+      grown.(i) <- Machine.tbuf_create ()
+    done;
+    pool.bufs <- grown
+  end;
+  pool.bufs.(depth)
 
 (* Growable array-backed choice prefix. Alongside each choice index we keep
    the chosen transition itself: transitions are plain values (thread ids
@@ -88,7 +131,7 @@ module Prefix = struct
   let replay ~mk p =
     let inst = mk () in
     for k = 0 to p.len - 1 do
-      ignore (Machine.apply inst.machine p.trs.(k))
+      Machine.apply inst.machine p.trs.(k)
     done;
     inst
 end
@@ -135,7 +178,7 @@ let stats_of_acc a =
    degenerates to a plain visited set. The cache is abstracted as a closure
    so {!Explore_par} can substitute a sharded, lock-protected table shared
    across domains. *)
-type memo = { seen : string -> depth_rem:int -> preempt_rem:int -> bool }
+type memo = { seen : int -> depth_rem:int -> preempt_rem:int -> bool }
 
 let memo_tbl_check tbl fp ~depth_rem ~preempt_rem =
   let entries = Option.value ~default:[] (Hashtbl.find_opt tbl fp) in
@@ -153,7 +196,7 @@ let memo_tbl_check tbl fp ~depth_rem ~preempt_rem =
   end
 
 let memo_create () =
-  let tbl : (string, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
+  let tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
   { seen = (fun fp ~depth_rem ~preempt_rem -> memo_tbl_check tbl fp ~depth_rem ~preempt_rem) }
 
 type ctx = {
@@ -164,6 +207,7 @@ type ctx = {
   memo : memo option;
   acc : acc;
   on_run : acc -> unit;  (** called once per completed run; may raise {!Stop} *)
+  pool : pool;  (** per-depth enabled-set buffers for the in-place DFS *)
 }
 
 let fail ctx prefix msg =
@@ -176,6 +220,21 @@ let preemption_cost ~last_unit ~choices:ts tr =
   match (last_unit, unit_of tr) with
   | Some (U_thread a), U_thread b when a <> b ->
       if List.exists (fun t -> unit_of t = U_thread a) ts then 1 else 0
+  | _ -> 0
+
+(* The same CHESS accounting over the buffer the choices live in. *)
+let preemption_cost_buf ~last_unit buf tr =
+  match (last_unit, unit_of tr) with
+  | Some (U_thread a), U_thread b when a <> b ->
+      let n = Machine.tbuf_length buf in
+      let rec still_enabled i =
+        i < n
+        && ((match Machine.tbuf_get buf i with
+            | Machine.Step t -> t = a
+            | Machine.Drain _ | Machine.Flush _ -> false)
+           || still_enabled (i + 1))
+      in
+      if still_enabled 0 then 1 else 0
   | _ -> 0
 
 (* Continue a run in-place from the current machine state. [prefix] holds
@@ -198,60 +257,68 @@ let rec extend ctx inst prefix depth last_unit preemptions =
           ~preempt_rem
   in
   if memo_hit then ctx.acc.memo_hits <- ctx.acc.memo_hits + 1
-  else
-    match choices m with
-    | [] ->
-        if Machine.quiescent m then begin
-          (match inst.check () with
-          | Ok () -> ()
-          | Error msg -> fail ctx prefix msg);
-          ctx.on_run ctx.acc
-        end
-        else begin
-          ctx.acc.deadlocks <- ctx.acc.deadlocks + 1;
-          fail ctx prefix "deadlock";
-          ctx.on_run ctx.acc
-        end
-    | _ when depth >= ctx.max_depth ->
-        ctx.acc.truncated <- ctx.acc.truncated + 1;
+  else begin
+    (* Depth [depth]'s buffer stays live while this node iterates its
+       children; the recursion below only touches deeper buffers. *)
+    let buf = pool_get ctx.pool depth in
+    let n = choices_into m buf in
+    if n = 0 then begin
+      if Machine.quiescent m then begin
+        (match inst.check () with
+        | Ok () -> ()
+        | Error msg -> fail ctx prefix msg);
         ctx.on_run ctx.acc
-    | [ tr ] ->
-        ignore (Machine.apply m tr);
-        let last_unit =
-          (* memory-subsystem transitions do not change whose turn it is *)
-          match unit_of tr with U_memory -> last_unit | u -> Some u
-        in
-        Prefix.push prefix 0 tr;
-        extend ctx inst prefix (depth + 1) last_unit preemptions;
-        Prefix.pop prefix
-    | ts ->
-        let within cost =
-          match ctx.preemption_bound with
-          | None -> true
-          | Some b -> preemptions + cost <= b
-        in
-        (* Child 0 is explored in-place (no replay); siblings replay. *)
-        List.iteri
-          (fun i tr ->
-            let cost = preemption_cost ~last_unit ~choices:ts tr in
-            if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
-            else begin
-              Prefix.push prefix i tr;
-              let inst' =
-                if i = 0 then begin
-                  ignore (Machine.apply m tr);
-                  inst
-                end
-                else Prefix.replay ~mk:ctx.mk prefix
-              in
-              let last_unit' =
-                match unit_of tr with U_memory -> last_unit | u -> Some u
-              in
-              extend ctx inst' prefix (depth + 1) last_unit'
-                (preemptions + cost);
-              Prefix.pop prefix
-            end)
-          ts
+      end
+      else begin
+        ctx.acc.deadlocks <- ctx.acc.deadlocks + 1;
+        fail ctx prefix "deadlock";
+        ctx.on_run ctx.acc
+      end
+    end
+    else if depth >= ctx.max_depth then begin
+      ctx.acc.truncated <- ctx.acc.truncated + 1;
+      ctx.on_run ctx.acc
+    end
+    else if n = 1 then begin
+      let tr = Machine.tbuf_get buf 0 in
+      Machine.apply m tr;
+      let last_unit =
+        (* memory-subsystem transitions do not change whose turn it is *)
+        match unit_of tr with U_memory -> last_unit | u -> Some u
+      in
+      Prefix.push prefix 0 tr;
+      extend ctx inst prefix (depth + 1) last_unit preemptions;
+      Prefix.pop prefix
+    end
+    else begin
+      let within cost =
+        match ctx.preemption_bound with
+        | None -> true
+        | Some b -> preemptions + cost <= b
+      in
+      (* Child 0 is explored in-place (no replay); siblings replay. *)
+      for i = 0 to n - 1 do
+        let tr = Machine.tbuf_get buf i in
+        let cost = preemption_cost_buf ~last_unit buf tr in
+        if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
+        else begin
+          Prefix.push prefix i tr;
+          let inst' =
+            if i = 0 then begin
+              Machine.apply m tr;
+              inst
+            end
+            else Prefix.replay ~mk:ctx.mk prefix
+          in
+          let last_unit' =
+            match unit_of tr with U_memory -> last_unit | u -> Some u
+          in
+          extend ctx inst' prefix (depth + 1) last_unit' (preemptions + cost);
+          Prefix.pop prefix
+        end
+      done
+    end
+  end
 
 let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
     ?(max_failures = 5) ?(memo = false) ~mk () =
@@ -268,6 +335,7 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
         (fun a ->
           a.runs <- a.runs + 1;
           if a.runs >= max_runs then raise Stop);
+      pool = pool_create ();
     }
   in
   (try extend ctx (mk ()) (Prefix.create ()) 0 None 0 with Stop -> ());
@@ -285,14 +353,14 @@ let replay_choices ~mk steps =
       | ts ->
           if i >= List.length ts then
             invalid_arg "Explore.replay_choices: bad choice index";
-          ignore (Machine.apply m (List.nth ts i)))
+          Machine.apply m (List.nth ts i))
     steps;
   (* Drive any forced suffix to quiescence. *)
   let rec finish () =
     match Machine.enabled m with
     | [] -> ()
     | tr :: _ ->
-        ignore (Machine.apply m tr);
+        Machine.apply m tr;
         finish ()
   in
   finish ();
@@ -315,11 +383,15 @@ module Internal = struct
   module Prefix = Prefix
 
   type nonrec memo = memo = {
-    seen : string -> depth_rem:int -> preempt_rem:int -> bool;
+    seen : int -> depth_rem:int -> preempt_rem:int -> bool;
   }
 
   let memo_create = memo_create
   let memo_tbl_check = memo_tbl_check
+
+  type nonrec pool = pool
+
+  let pool_create = pool_create
 
   type nonrec ctx = ctx = {
     mk : unit -> instance;
@@ -329,6 +401,7 @@ module Internal = struct
     memo : memo option;
     acc : acc;
     on_run : acc -> unit;
+    pool : pool;
   }
 
   let extend = extend

@@ -111,21 +111,27 @@ module Internal : sig
     val replay : mk:(unit -> instance) -> t -> instance
   end
 
-  type memo = { seen : string -> depth_rem:int -> preempt_rem:int -> bool }
-      (** Visited-state cache: [seen fp ~depth_rem ~preempt_rem] returns
-          [true] (prune) iff [fp] was already explored with at least as much
-          remaining budget, recording the visit otherwise. *)
+  type memo = { seen : int -> depth_rem:int -> preempt_rem:int -> bool }
+      (** Visited-state cache keyed by the structural {!Machine.fingerprint}:
+          [seen fp ~depth_rem ~preempt_rem] returns [true] (prune) iff [fp]
+          was already explored with at least as much remaining budget,
+          recording the visit otherwise. *)
 
   val memo_create : unit -> memo
 
   val memo_tbl_check :
-    (string, (int * int) list) Hashtbl.t ->
-    string ->
+    (int, (int * int) list) Hashtbl.t ->
+    int ->
     depth_rem:int ->
     preempt_rem:int ->
     bool
   (** The Pareto-dominance check over one table; building block for sharded
       caches. *)
+
+  type pool
+  (** Per-depth reusable enabled-set buffers for the in-place DFS. *)
+
+  val pool_create : unit -> pool
 
   type ctx = {
     mk : unit -> instance;
@@ -135,6 +141,7 @@ module Internal : sig
     memo : memo option;
     acc : acc;
     on_run : acc -> unit;
+    pool : pool;
   }
 
   val extend : ctx -> instance -> Prefix.t -> int -> unit_id option -> int -> unit

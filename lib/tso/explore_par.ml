@@ -33,6 +33,7 @@ let make_ctx cfg acc =
     memo = cfg.memo;
     acc;
     on_run = cfg.on_run;
+    pool = pool_create ();
   }
 
 (* One visited-state cache shared by every domain, sharded by fingerprint
@@ -52,7 +53,9 @@ let shared_memo () =
   {
     seen =
       (fun fp ~depth_rem ~preempt_rem ->
-        let lock, tbl = shards.(Hashtbl.hash fp land (n_shards - 1)) in
+        (* The fingerprint is already a mixed hash; its low bits pick the
+           shard directly. *)
+        let lock, tbl = shards.(fp land (n_shards - 1)) in
         Mutex.lock lock;
         let hit = memo_tbl_check tbl fp ~depth_rem ~preempt_rem in
         Mutex.unlock lock;
@@ -78,7 +81,7 @@ let expand cfg task =
     | [] -> terminal depth last_unit
     | _ when depth >= cfg.max_depth -> terminal depth last_unit
     | [ tr ] ->
-        ignore (Machine.apply m tr);
+        Machine.apply m tr;
         Prefix.push prefix 0 tr;
         let last_unit =
           match Explore.unit_of tr with

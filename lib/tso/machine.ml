@@ -13,6 +13,11 @@ let pso_config ~sb_capacity = { sb_capacity; buffer_model = Store_buffer.Pso }
 
 type tid = int
 
+type transition =
+  | Step of tid
+  | Drain of tid * int
+  | Flush of tid
+
 type thread = {
   tid : tid;
   name : string;
@@ -24,6 +29,12 @@ type thread = {
      "program position" component of {!fingerprint}, which effect-based
      continuations cannot expose directly. *)
   mutable hist : int;
+  (* Preallocated transition values, so computing the enabled set allocates
+     nothing in steady state. [drain_trs.(l)] is [Drain (tid, l)]; lanes
+     beyond 0 only exist under PSO and are grown on demand. *)
+  step_tr : transition;
+  flush_tr : transition;
+  mutable drain_trs : transition array;
 }
 
 type event =
@@ -35,9 +46,10 @@ type event =
 type t = {
   mem : Memory.t;
   cfg : config;
+  (* Growable arrays (spare slots are filler): amortised O(1) registration
+     for threads and listeners alike. *)
   mutable threads : thread array;
-  (* Growable array: amortised O(1) registration, allocation-free emission
-     in registration order ([apply] fires listeners on every transition). *)
+  mutable n_threads : int;
   mutable listeners : (event -> unit) array;
   mutable n_listeners : int;
   mutable steps : int;
@@ -45,44 +57,75 @@ type t = {
 
 let create ?mem cfg =
   let mem = match mem with Some m -> m | None -> Memory.create () in
-  { mem; cfg; threads = [||]; listeners = [||]; n_listeners = 0; steps = 0 }
+  {
+    mem;
+    cfg;
+    threads = [||];
+    n_threads = 0;
+    listeners = [||];
+    n_listeners = 0;
+    steps = 0;
+  }
 
 let memory t = t.mem
 let config t = t.cfg
 
 let spawn t ~name body =
-  let tid = Array.length t.threads in
+  let tid = t.n_threads in
   let buf =
     Store_buffer.create ~capacity:t.cfg.sb_capacity ~model:t.cfg.buffer_model
   in
-  let th = { tid; name; buf; status = Program.start body; hist = 0 } in
-  t.threads <- Array.append t.threads [| th |];
+  let th =
+    {
+      tid;
+      name;
+      buf;
+      status = Program.start body;
+      hist = 0;
+      step_tr = Step tid;
+      flush_tr = Flush tid;
+      drain_trs = [| Drain (tid, 0) |];
+    }
+  in
+  if tid = Array.length t.threads then begin
+    let grown = Array.make (max 4 (2 * tid)) th in
+    Array.blit t.threads 0 grown 0 tid;
+    t.threads <- grown
+  end;
+  t.threads.(tid) <- th;
+  t.n_threads <- tid + 1;
   tid
 
 let thread t tid =
-  if tid < 0 || tid >= Array.length t.threads then
-    invalid_arg "Machine: no such thread";
+  if tid < 0 || tid >= t.n_threads then invalid_arg "Machine: no such thread";
   t.threads.(tid)
 
-let thread_count t = Array.length t.threads
+let thread_count t = t.n_threads
 let thread_name t tid = (thread t tid).name
 
 let thread_done t tid =
   match (thread t tid).status with Program.Done -> true | Program.Paused _ -> false
 
 let status_done = function Program.Done -> true | Program.Paused _ -> false
-let all_done t = Array.for_all (fun th -> status_done th.status) t.threads
+
+let all_done t =
+  let rec go i =
+    i >= t.n_threads || (status_done t.threads.(i).status && go (i + 1))
+  in
+  go 0
+
 let buffered_stores t tid = Store_buffer.pending (thread t tid).buf
 
 let quiescent t =
-  all_done t && Array.for_all (fun th -> Store_buffer.is_empty th.buf) t.threads
+  let rec go i =
+    i >= t.n_threads
+    || (status_done t.threads.(i).status
+        && Store_buffer.is_empty t.threads.(i).buf
+        && go (i + 1))
+  in
+  go 0
 
 let steps t = t.steps
-
-type transition =
-  | Step of tid
-  | Drain of tid * int
-  | Flush of tid
 
 let request_enabled th (type a) (req : a Program.request) =
   match req with
@@ -97,19 +140,94 @@ let request_enabled th (type a) (req : a Program.request) =
          memory states other threads can observe. *)
       Store_buffer.is_empty th.buf
 
+let drain_tr th lane =
+  let n = Array.length th.drain_trs in
+  if lane >= n then begin
+    let grown = Array.make (max (lane + 1) (2 * n)) th.step_tr in
+    Array.blit th.drain_trs 0 grown 0 n;
+    for l = n to Array.length grown - 1 do
+      grown.(l) <- Drain (th.tid, l)
+    done;
+    th.drain_trs <- grown
+  end;
+  th.drain_trs.(lane)
+
+(* The enabled set, in the deterministic order every driver depends on:
+   threads by tid; per thread [Flush], then [Drain] lanes ascending, then
+   [Step]. The FIFO models (the hot path) go through the preallocated
+   per-thread transitions; only PSO's per-address lane enumeration
+   allocates. *)
+let enabled_iter t f =
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    if Store_buffer.can_flush_egress th.buf then f th.flush_tr;
+    (match t.cfg.buffer_model with
+    | Store_buffer.Abstract | Store_buffer.Realistic _ ->
+        if Store_buffer.can_drain th.buf then f th.drain_trs.(0)
+    | Store_buffer.Pso ->
+        List.iter
+          (fun lane -> f (drain_tr th lane))
+          (Store_buffer.drain_lanes th.buf));
+    match th.status with
+    | Program.Done -> ()
+    | Program.Paused (Program.Paused_at (req, _)) ->
+        if request_enabled th req then f th.step_tr
+  done
+
+type tbuf = {
+  mutable trs : transition array;
+  mutable len : int;
+}
+
+let tbuf_create () = { trs = Array.make 16 (Step (-1)); len = 0 }
+let tbuf_length b = b.len
+
+let tbuf_get b i =
+  if i < 0 || i >= b.len then invalid_arg "Machine.tbuf_get: out of bounds";
+  b.trs.(i)
+
+let tbuf_set b i tr =
+  if i < 0 || i >= b.len then invalid_arg "Machine.tbuf_set: out of bounds";
+  b.trs.(i) <- tr
+
+let tbuf_truncate b n =
+  if n < 0 || n > b.len then invalid_arg "Machine.tbuf_truncate: bad length";
+  b.len <- n
+
+let tbuf_add b tr =
+  let n = b.len in
+  if n = Array.length b.trs then begin
+    let grown = Array.make (2 * n) tr in
+    Array.blit b.trs 0 grown 0 n;
+    b.trs <- grown
+  end;
+  b.trs.(n) <- tr;
+  b.len <- n + 1
+
+(* Same loop as {!enabled_iter}, open-coded so refilling a reused buffer
+   allocates nothing (passing [tbuf_add b] as a closure would). *)
+let enabled_into t b =
+  b.len <- 0;
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    if Store_buffer.can_flush_egress th.buf then tbuf_add b th.flush_tr;
+    (match t.cfg.buffer_model with
+    | Store_buffer.Abstract | Store_buffer.Realistic _ ->
+        if Store_buffer.can_drain th.buf then tbuf_add b th.drain_trs.(0)
+    | Store_buffer.Pso ->
+        List.iter
+          (fun lane -> tbuf_add b (drain_tr th lane))
+          (Store_buffer.drain_lanes th.buf));
+    match th.status with
+    | Program.Done -> ()
+    | Program.Paused (Program.Paused_at (req, _)) ->
+        if request_enabled th req then tbuf_add b th.step_tr
+  done;
+  b.len
+
 let enabled t =
   let acc = ref [] in
-  Array.iter
-    (fun th ->
-      if Store_buffer.can_flush_egress th.buf then acc := Flush th.tid :: !acc;
-      List.iter
-        (fun lane -> acc := Drain (th.tid, lane) :: !acc)
-        (List.rev (Store_buffer.drain_lanes th.buf));
-      match th.status with
-      | Program.Done -> ()
-      | Program.Paused (Program.Paused_at (req, _)) ->
-          if request_enabled th req then acc := Step th.tid :: !acc)
-    t.threads;
+  enabled_iter t (fun tr -> acc := tr :: !acc);
   List.rev !acc
 
 let pending_request t tid =
@@ -190,6 +308,26 @@ let exec_request t th (type a) (req : a Program.request) : a =
   | Program.Req_label _ -> ()
   | Program.Req_pause -> ()
 
+(* FNV-1a-style mixing over native ints. The multiplier is the 64-bit FNV
+   prime; products wrap mod 2^63, which is fine for a non-cryptographic
+   structural hash. *)
+let fnv_prime = 0x100000001b3
+let[@inline] mix h k = (h lxor k) * fnv_prime
+
+(* Structural encoding of a pending request: constructor tag plus operands.
+   Replaces the formatted [Program.describe] string everywhere hashing is
+   concerned — same partition of requests, no allocation. *)
+let encode_request : type a. a Program.request -> int = function
+  | Program.Req_load a -> mix 1 (Addr.to_index a)
+  | Program.Req_store (a, v) -> mix (mix 2 (Addr.to_index a)) v
+  | Program.Req_cas (a, expect, replace) ->
+      mix (mix (mix 3 (Addr.to_index a)) expect) replace
+  | Program.Req_fetch_add (a, d) -> mix (mix 4 (Addr.to_index a)) d
+  | Program.Req_fence -> 5
+  | Program.Req_work n -> mix 6 n
+  | Program.Req_label s -> mix 7 (Hashtbl.hash s)
+  | Program.Req_pause -> 8
+
 (* Encode a request's response as an int for the history hash. Only loads,
    CAS and fetch-add return data a program can branch on. *)
 let encode_response : type a. a Program.request -> a -> int =
@@ -212,28 +350,62 @@ let apply t tr =
       | Program.Paused (Program.Paused_at (req, resume)) ->
           if not (request_enabled th req) then
             invalid_arg "Machine.apply: instruction not enabled";
-          let instr = Program.describe_named (Memory.name t.mem) req in
           let v = exec_request t th req in
-          th.hist <- Hashtbl.hash (th.hist, instr, encode_response req v);
+          th.hist <- mix (mix th.hist (encode_request req)) (encode_response req v);
           th.status <- resume v;
-          let ev = Ev_exec { tid; instr } in
-          emit t ev;
-          if status_done th.status then emit t (Ev_done tid);
-          ev)
+          (* The formatted instruction string exists only for listeners;
+             without any registered, the step allocates nothing here. *)
+          if t.n_listeners > 0 then begin
+            let instr = Program.describe_named (Memory.name t.mem) req in
+            emit t (Ev_exec { tid; instr });
+            if status_done th.status then emit t (Ev_done tid)
+          end)
   | Drain (tid, lane) ->
       let th = thread t tid in
       let result = Store_buffer.drain_lane th.buf lane t.mem in
-      let ev = Ev_drain { tid; result } in
-      emit t ev;
-      ev
+      if t.n_listeners > 0 then emit t (Ev_drain { tid; result })
   | Flush tid ->
       let th = thread t tid in
       let addr, value = Store_buffer.flush_egress th.buf t.mem in
-      let ev = Ev_flush { tid; addr; value } in
-      emit t ev;
-      ev
+      if t.n_listeners > 0 then emit t (Ev_flush { tid; addr; value })
 
 let fingerprint t =
+  let h = ref 0x811c9dc5 in
+  let mem = t.mem in
+  let n_cells = Memory.size mem in
+  h := mix !h n_cells;
+  for i = 0 to n_cells - 1 do
+    h := mix !h (Memory.cell mem i)
+  done;
+  (* One closure shared by the egress slot and the buffer-proper walk; the
+     tuples it receives are the queue's own entries (no per-entry boxing). *)
+  let add_entry (a, v) = h := mix (mix !h (Addr.to_index a + 2)) v in
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    (* Control state: done/paused, the pending instruction, and the
+       response-history hash (program position). *)
+    (match th.status with
+    | Program.Done -> h := mix !h 0xD0
+    | Program.Paused (Program.Paused_at (req, _)) ->
+        h := mix (mix !h 0xBA) (encode_request req));
+    h := mix !h th.hist;
+    (* The egress slot B is hashed separately from the buffer proper: a
+       store staged in B and the same store still queued are different
+       states (they enable different transitions). *)
+    (match Store_buffer.egress_entry th.buf with
+    | None -> h := mix !h 0x0E
+    | Some e ->
+        h := mix !h 0x1E;
+        add_entry e);
+    h := mix !h (Store_buffer.entries th.buf);
+    Store_buffer.iter_entries th.buf add_entry
+  done;
+  !h
+
+(* The pre-optimisation digest, kept as a debug cross-check: the alcotest
+   suite differential-tests {!fingerprint}'s equality classes against it
+   over the classic litmus programs. *)
+let fingerprint_digest t =
   let b = Buffer.create 256 in
   let add_entry (a, v) =
     Buffer.add_string b (string_of_int (Addr.to_index a));
@@ -243,26 +415,21 @@ let fingerprint t =
   in
   Array.iter (fun v -> Buffer.add_string b (string_of_int v); Buffer.add_char b ',')
     (Memory.snapshot t.mem);
-  Array.iter
-    (fun th ->
-      Buffer.add_char b '|';
-      (* Control state: done/paused, the pending instruction, and the
-         response-history hash (program position). *)
-      (match th.status with
-      | Program.Done -> Buffer.add_char b 'D'
-      | Program.Paused (Program.Paused_at (req, _)) ->
-          Buffer.add_char b 'P';
-          Buffer.add_string b (Program.describe req));
-      Buffer.add_char b '#';
-      Buffer.add_string b (string_of_int th.hist);
-      (* The egress slot B is hashed separately from the buffer proper: a
-         store staged in B and the same store still queued are different
-         states (they enable different transitions). *)
-      Buffer.add_char b '@';
-      (match Store_buffer.egress_entry th.buf with
-      | None -> Buffer.add_char b '-'
-      | Some e -> add_entry e);
-      Buffer.add_char b '!';
-      List.iter add_entry (Store_buffer.buffered th.buf))
-    t.threads;
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    Buffer.add_char b '|';
+    (match th.status with
+    | Program.Done -> Buffer.add_char b 'D'
+    | Program.Paused (Program.Paused_at (req, _)) ->
+        Buffer.add_char b 'P';
+        Buffer.add_string b (Program.describe req));
+    Buffer.add_char b '#';
+    Buffer.add_string b (string_of_int th.hist);
+    Buffer.add_char b '@';
+    (match Store_buffer.egress_entry th.buf with
+    | None -> Buffer.add_char b '-'
+    | Some e -> add_entry e);
+    Buffer.add_char b '!';
+    List.iter add_entry (Store_buffer.buffered th.buf)
+  done;
   Digest.to_hex (Digest.string (Buffer.contents b))

@@ -63,7 +63,30 @@ type transition =
 val enabled : t -> transition list
 (** All transitions enabled in the current state, in a deterministic order
     (threads by tid; per thread [Flush], then [Drain] lanes, then [Step]).
-    Empty iff the machine is quiescent or deadlocked. *)
+    Empty iff the machine is quiescent or deadlocked. Allocates a fresh
+    list; the drivers on the hot path use {!enabled_into} instead. *)
+
+val enabled_iter : t -> (transition -> unit) -> unit
+(** Apply a function to every enabled transition, in {!enabled} order,
+    without materialising a list. *)
+
+type tbuf
+(** A reusable buffer of transitions, so a driver taking millions of steps
+    can recompute the enabled set without allocating per step. Transitions
+    handed out through it are the machine's preallocated per-thread values. *)
+
+val tbuf_create : unit -> tbuf
+val tbuf_length : tbuf -> int
+val tbuf_get : tbuf -> int -> transition
+val tbuf_set : tbuf -> int -> transition -> unit
+
+val tbuf_truncate : tbuf -> int -> unit
+(** Shorten the buffer (used by the explorer's in-place no-op filter). *)
+
+val enabled_into : t -> tbuf -> int
+(** Refill [tbuf] with the enabled set (in {!enabled} order), returning its
+    length. The previous contents are discarded. Steady-state refills are
+    allocation-free for the FIFO buffer models. *)
 
 val pending_request : t -> tid -> string option
 (** Description of the instruction a paused thread waits to execute. *)
@@ -74,8 +97,11 @@ type event =
   | Ev_flush of { tid : tid; addr : Addr.t; value : int }
   | Ev_done of tid
 
-val apply : t -> transition -> event
-(** Fire one enabled transition. @raise Invalid_argument if not enabled. *)
+val apply : t -> transition -> unit
+(** Fire one enabled transition. @raise Invalid_argument if not enabled.
+    Events (including their formatted instruction strings) are only
+    constructed when at least one listener is registered, so driving an
+    unobserved machine allocates nothing per transition. *)
 
 val on_event : t -> (event -> unit) -> unit
 (** Register a trace listener, called after every {!apply}. Listeners fire
@@ -97,14 +123,22 @@ val pending_class : t -> tid -> request_class option
 val store_blocked : t -> tid -> bool
 (** The thread's pending instruction is a store and the buffer is full. *)
 
-val fingerprint : t -> string
-(** A digest of the complete machine state: memory contents and, per thread,
-    the control state (done/paused plus the pending instruction), the
-    program position (a rolling hash of every response the thread has
-    received — a deterministic thread program is a function of its response
-    history), the egress slot B, and the buffer proper. Equal fingerprints
-    imply equal machine states (modulo hash collisions), which is what lets
-    {!Explore.search}'s memoization prune converged interleavings soundly.
-    Host-side effects performed by thread bodies are covered exactly when
-    they are a function of the response history and commute across threads
-    (true for per-thread result registers and commutative counters). *)
+val fingerprint : t -> int
+(** An incremental structural hash (FNV-style over ints, no allocation
+    beyond two scratch cells) of the complete machine state: memory
+    contents and, per thread, the control state (done/paused plus the
+    pending instruction), the program position (a rolling hash of every
+    response the thread has received — a deterministic thread program is a
+    function of its response history), the egress slot B, and the buffer
+    proper. Equal fingerprints imply equal machine states (modulo hash
+    collisions), which is what lets {!Explore.search}'s memoization prune
+    converged interleavings soundly. Host-side effects performed by thread
+    bodies are covered exactly when they are a function of the response
+    history and commute across threads (true for per-thread result
+    registers and commutative counters). *)
+
+val fingerprint_digest : t -> string
+(** The pre-optimisation MD5 digest of the same state components, kept as a
+    debug cross-check: the test suite asserts that {!fingerprint} and this
+    digest induce the same equality classes over explored states. Slow;
+    not used by the explorer. *)

@@ -48,6 +48,10 @@ let size t = t.used
 let name t a = t.names.(check t a)
 let snapshot t = Array.sub t.cells 0 t.used
 
+let cell t i =
+  if i < 0 || i >= t.used then invalid_arg "Memory.cell: index out of bounds";
+  t.cells.(i)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   for i = 0 to t.used - 1 do

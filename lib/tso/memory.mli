@@ -31,4 +31,8 @@ val snapshot : t -> int array
 (** Copy of the current contents (used by the explorer to compare states and
     by tests to assert final memory). *)
 
+val cell : t -> int -> int
+(** Contents of cell [i] (0 ≤ i < {!size}) without copying — the
+    allocation-free read {!Machine.fingerprint} folds over. *)
+
 val pp : Format.formatter -> t -> unit

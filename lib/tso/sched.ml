@@ -3,48 +3,57 @@ type outcome =
   | Max_steps
   | Deadlock
 
-type policy = Machine.t -> Machine.transition list -> Machine.transition
+type policy = Machine.t -> Machine.tbuf -> Machine.transition
 
 let run ?(max_steps = 2_000_000) m policy =
+  let buf = Machine.tbuf_create () in
   let rec loop budget =
     if budget <= 0 then Max_steps
-    else
-      match Machine.enabled m with
-      | [] -> if Machine.quiescent m then Quiescent else Deadlock
-      | ts ->
-          let tr = policy m ts in
-          ignore (Machine.apply m tr);
-          loop (budget - 1)
+    else if Machine.enabled_into m buf = 0 then
+      if Machine.quiescent m then Quiescent else Deadlock
+    else begin
+      Machine.apply m (policy m buf);
+      loop (budget - 1)
+    end
   in
   loop max_steps
 
 let round_robin () =
   let counter = ref 0 in
   fun _m ts ->
-    let n = List.length ts in
+    let n = Machine.tbuf_length ts in
     let i = !counter mod n in
     incr counter;
-    List.nth ts i
+    Machine.tbuf_get ts i
 
-let uniform rng _m ts = List.nth ts (Random.State.int rng (List.length ts))
+let uniform rng _m ts =
+  Machine.tbuf_get ts (Random.State.int rng (Machine.tbuf_length ts))
 
 let weighted rng ~drain_weight _m ts =
+  let n = Machine.tbuf_length ts in
   let weight = function
     | Machine.Step _ -> 1.0
     | Machine.Drain _ | Machine.Flush _ -> drain_weight
   in
-  let total = List.fold_left (fun acc tr -> acc +. weight tr) 0.0 ts in
-  if total <= 0.0 then List.nth ts (Random.State.int rng (List.length ts))
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. weight (Machine.tbuf_get ts i)
+  done;
+  if !total <= 0.0 then Machine.tbuf_get ts (Random.State.int rng n)
   else begin
-    let x = Random.State.float rng total in
-    let rec pick acc = function
-      | [] -> assert false
-      | [ tr ] -> tr
-      | tr :: rest ->
-          let acc = acc +. weight tr in
-          if x < acc then tr else pick acc rest
-    in
-    pick 0.0 ts
+    let x = Random.State.float rng !total in
+    let acc = ref 0.0 in
+    let chosen = ref (Machine.tbuf_get ts (n - 1)) in
+    (try
+       for i = 0 to n - 1 do
+         acc := !acc +. weight (Machine.tbuf_get ts i);
+         if x < !acc then begin
+           chosen := Machine.tbuf_get ts i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !chosen
   end
 
 let replay choices ~fallback =
@@ -54,15 +63,18 @@ let replay choices ~fallback =
     | [] -> fallback m ts
     | i :: rest ->
         remaining := rest;
-        let n = List.length ts in
-        if i >= n then invalid_arg "Sched.replay: choice index out of range";
-        List.nth ts i
+        if i >= Machine.tbuf_length ts then
+          invalid_arg "Sched.replay: choice index out of range";
+        Machine.tbuf_get ts i
 
 let record report policy m ts =
   let tr = policy m ts in
-  let rec index i = function
-    | [] -> invalid_arg "Sched.record: policy returned a non-enabled transition"
-    | t :: rest -> if t = tr then i else index (i + 1) rest
+  let n = Machine.tbuf_length ts in
+  let rec index i =
+    if i >= n then
+      invalid_arg "Sched.record: policy returned a non-enabled transition"
+    else if Machine.tbuf_get ts i = tr then i
+    else index (i + 1)
   in
-  report (index 0 ts);
+  report (index 0);
   tr

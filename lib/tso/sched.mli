@@ -11,12 +11,16 @@ type outcome =
   | Max_steps  (** the step budget ran out first *)
   | Deadlock  (** no transition enabled but the machine is not quiescent *)
 
-type policy = Machine.t -> Machine.transition list -> Machine.transition
-(** Invoked only on non-empty transition lists. *)
+type policy = Machine.t -> Machine.tbuf -> Machine.transition
+(** Invoked only on non-empty transition buffers. The buffer is
+    {!run}'s reusable enabled-set buffer (see {!Machine.enabled_into});
+    policies must not retain it across invocations. *)
 
 val run : ?max_steps:int -> Machine.t -> policy -> outcome
 (** Drive the machine with a policy until quiescence or the step budget
-    (default [2_000_000]) is exhausted. *)
+    (default [2_000_000]) is exhausted. The enabled set is recomputed into
+    one reusable buffer per step, so the loop allocates nothing in steady
+    state. *)
 
 val round_robin : unit -> policy
 (** Deterministic baseline: cycles fairly over transitions. *)

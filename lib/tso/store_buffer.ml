@@ -119,6 +119,7 @@ let flush_egress t mem =
 
 let egress_entry t = t.egress
 let buffered t = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev
+let iter_entries t f = Queue.iter f t.buf
 
 let to_list t =
   let tail = buffered t in

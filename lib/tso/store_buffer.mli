@@ -90,4 +90,9 @@ val egress_entry : t -> (Addr.t * int) option
 val buffered : t -> (Addr.t * int) list
 (** The buffer proper only, oldest-first (excludes B). *)
 
+val iter_entries : t -> (Addr.t * int -> unit) -> unit
+(** Iterate the buffer proper oldest-first without building a list; the
+    callback receives the buffer's own entries (no per-entry allocation).
+    Used by {!Machine.fingerprint}'s hot path. *)
+
 val pp : Memory.t -> Format.formatter -> t -> unit

@@ -49,13 +49,19 @@ type core = {
   mutable work_cycles : int;
 }
 
-let global_now = ref 0
-let current_time () = !global_now
+(* Simulated "now", threaded through the run instead of a module-global ref:
+   each run owns (or is given) its clock, so timed runs in different domains
+   cannot corrupt each other's notion of time. *)
+type clock = { mutable now : int }
 
-let run ?(max_steps = 50_000_000) m costs =
+let clock () = { now = 0 }
+let now c = c.now
+
+let run ?(max_steps = 50_000_000) ?clock:clk m costs =
   (match Machine.config m with
   | { buffer_model = Store_buffer.Abstract; _ } -> ()
   | _ -> invalid_arg "Timing.run: requires the Abstract buffer model");
+  let clk = match clk with Some c -> c | None -> { now = 0 } in
   let n = Machine.thread_count m in
   let cores =
     Array.init n (fun _ ->
@@ -73,96 +79,111 @@ let run ?(max_steps = 50_000_000) m costs =
           work_cycles = 0;
         })
   in
+  (* [-1] encodes "no event" below, so the selection loop handles ints only
+     (no option/tuple allocation per simulated event). *)
   let next_drain_time tid =
     let c = cores.(tid) in
-    match Queue.peek_opt c.issue_times with
-    | None -> None
-    | Some issued -> Some (max c.drain_free issued + costs.drain_latency)
+    if Queue.is_empty c.issue_times then -1
+    else max c.drain_free (Queue.peek c.issue_times) + costs.drain_latency
   in
-  (* Time at which the instruction pending on [tid] can execute, or None if
+  (* Time at which the instruction pending on [tid] can execute, or -1 if
      it must wait for a drain (full buffer / fence / RMW). *)
   let feasible_time tid =
     let c = cores.(tid) in
     match Machine.pending_class m tid with
-    | None -> None
+    | None -> -1
     | Some cls -> (
         match cls with
-        | Machine.C_load | Machine.C_work _ | Machine.C_free -> Some c.clock
-        | Machine.C_store ->
-            if Machine.store_blocked m tid then None else Some c.clock
+        | Machine.C_load | Machine.C_work _ | Machine.C_free -> c.clock
+        | Machine.C_store -> if Machine.store_blocked m tid then -1 else c.clock
         | Machine.C_rmw | Machine.C_fence ->
-            if Queue.is_empty c.issue_times then
-              Some (max c.clock c.buffer_emptied_at)
-            else None)
+            if Queue.is_empty c.issue_times then max c.clock c.buffer_emptied_at
+            else -1)
   in
   let steps = ref 0 in
   let outcome = ref Sched.Quiescent in
+  let best_time = ref (-1) in
+  let best_kind = ref 0 in
+  let best_tid = ref 0 in
+  let better time kind tid =
+    !best_time < 0
+    || time < !best_time
+    || time = !best_time
+       && (kind < !best_kind || (kind = !best_kind && tid < !best_tid))
+  in
   (try
      while not (Machine.quiescent m) do
        if !steps >= max_steps then begin
          outcome := Sched.Max_steps;
          raise Exit
        end;
-       (* Select the earliest event; drains beat instructions on ties so a
-          load at time t sees every store that reached memory by t. *)
-       let best = ref None in
-       let consider time kind tid =
-         let candidate = (time, kind, tid) in
-         match !best with
-         | None -> best := Some candidate
-         | Some cur -> if candidate < cur then best := Some candidate
-       in
+       (* Select the lexicographically least (time, kind, tid) event; drains
+          (kind 0) beat instructions on ties so a load at time t sees every
+          store that reached memory by t. *)
+       best_time := -1;
        for tid = 0 to n - 1 do
-         (match next_drain_time tid with
-         | Some t -> consider t 0 tid
-         | None -> ());
-         match feasible_time tid with
-         | Some t -> consider t 1 tid
-         | None -> ()
+         let dt = next_drain_time tid in
+         if dt >= 0 && better dt 0 tid then begin
+           best_time := dt;
+           best_kind := 0;
+           best_tid := tid
+         end;
+         let ft = feasible_time tid in
+         if ft >= 0 && better ft 1 tid then begin
+           best_time := ft;
+           best_kind := 1;
+           best_tid := tid
+         end
        done;
-       (match !best with
-       | None ->
-           outcome := Sched.Deadlock;
-           raise Exit
-       | Some (time, 0, tid) ->
-           (* drain *)
-           global_now := time;
-           let c = cores.(tid) in
-           ignore (Machine.apply m (Machine.Drain (tid, 0)));
-           ignore (Queue.pop c.issue_times);
-           c.drain_free <- time;
-           if Queue.is_empty c.issue_times then c.buffer_emptied_at <- time
-       | Some (time, _, tid) ->
-           global_now := time;
-           let c = cores.(tid) in
-           let cls =
-             match Machine.pending_class m tid with
-             | Some cls -> cls
-             | None -> assert false
-           in
-           let clock_before = c.clock in
-           ignore (Machine.apply m (Machine.Step tid));
-           c.instructions <- c.instructions + 1;
-           (match cls with
-           | Machine.C_load ->
-               c.loads <- c.loads + 1;
-               c.clock <- time + costs.load_cost
-           | Machine.C_store ->
-               c.stores <- c.stores + 1;
-               c.clock <- time + costs.store_cost;
-               Queue.push c.clock c.issue_times
-           | Machine.C_rmw ->
-               c.rmws <- c.rmws + 1;
-               c.fence_stall <- c.fence_stall + (time - clock_before);
-               c.clock <- time + costs.rmw_cost
-           | Machine.C_fence ->
-               c.fences <- c.fences + 1;
-               c.fence_stall <- c.fence_stall + (time - clock_before);
-               c.clock <- time + costs.fence_cost
-           | Machine.C_work w ->
-               c.work_cycles <- c.work_cycles + w;
-               c.clock <- time + w
-           | Machine.C_free -> c.clock <- time + costs.pause_cost));
+       (if !best_time < 0 then begin
+          outcome := Sched.Deadlock;
+          raise Exit
+        end
+        else if !best_kind = 0 then begin
+          (* drain *)
+          let time = !best_time in
+          let tid = !best_tid in
+          clk.now <- time;
+          let c = cores.(tid) in
+          Machine.apply m (Machine.Drain (tid, 0));
+          ignore (Queue.pop c.issue_times);
+          c.drain_free <- time;
+          if Queue.is_empty c.issue_times then c.buffer_emptied_at <- time
+        end
+        else begin
+          let time = !best_time in
+          let tid = !best_tid in
+          clk.now <- time;
+          let c = cores.(tid) in
+          let cls =
+            match Machine.pending_class m tid with
+            | Some cls -> cls
+            | None -> assert false
+          in
+          let clock_before = c.clock in
+          Machine.apply m (Machine.Step tid);
+          c.instructions <- c.instructions + 1;
+          match cls with
+          | Machine.C_load ->
+              c.loads <- c.loads + 1;
+              c.clock <- time + costs.load_cost
+          | Machine.C_store ->
+              c.stores <- c.stores + 1;
+              c.clock <- time + costs.store_cost;
+              Queue.push c.clock c.issue_times
+          | Machine.C_rmw ->
+              c.rmws <- c.rmws + 1;
+              c.fence_stall <- c.fence_stall + (time - clock_before);
+              c.clock <- time + costs.rmw_cost
+          | Machine.C_fence ->
+              c.fences <- c.fences + 1;
+              c.fence_stall <- c.fence_stall + (time - clock_before);
+              c.clock <- time + costs.fence_cost
+          | Machine.C_work w ->
+              c.work_cycles <- c.work_cycles + w;
+              c.clock <- time + w
+          | Machine.C_free -> c.clock <- time + costs.pause_cost
+        end);
        incr steps
      done
    with Exit -> ());

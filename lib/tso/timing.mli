@@ -44,11 +44,22 @@ type report = {
   threads : thread_stats array;
 }
 
-val run : ?max_steps:int -> Machine.t -> cost_model -> report
-(** Drive a machine (with all threads spawned) to quiescence under the
-    timing model. Deterministic: ties are broken by (kind, thread id). *)
+type clock
+(** A run's simulated "now". Formerly a module-global ref, which made any
+    two concurrent timed runs corrupt each other's time; each run now owns
+    (or is handed) its clock, so {!run} is safe to call from several
+    domains at once. *)
 
-val current_time : unit -> int
-(** The global simulated time while a {!run} is in progress. Host-level code
-    embedded in thread programs may call this to timestamp events (e.g. the
-    runtime's metrics). Meaningless outside a run. *)
+val clock : unit -> clock
+(** A fresh clock at time 0. *)
+
+val now : clock -> int
+(** The simulated time the clock has reached. Host-level code embedded in
+    thread programs may read the clock it passed to {!run} to timestamp
+    events (e.g. the runtime's metrics). *)
+
+val run : ?max_steps:int -> ?clock:clock -> Machine.t -> cost_model -> report
+(** Drive a machine (with all threads spawned) to quiescence under the
+    timing model. Deterministic: ties are broken by (kind, thread id).
+    [clock] defaults to a fresh private clock; pass one explicitly when
+    thread programs need to observe simulated time mid-run. *)

@@ -259,12 +259,18 @@ let fig1_names =
 
 let find name = List.find (fun b -> String.equal b.name name) all
 
+(* The memoized DAGs are shared across domains when the harness fans runs
+   out with [Par_runner]; the lock keeps the table itself safe. Builds run
+   under the lock — a duplicate elaboration would be wasteful but harmless,
+   whereas a torn [Hashtbl.add] is not. *)
 let cache : (string, Dag.t) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
 
 let dag b =
-  match Hashtbl.find_opt cache b.name with
-  | Some d -> d
-  | None ->
-      let d = Dag.of_comp (b.comp ()) in
-      Hashtbl.add cache b.name d;
-      d
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache b.name with
+      | Some d -> d
+      | None ->
+          let d = Dag.of_comp (b.comp ()) in
+          Hashtbl.add cache b.name d;
+          d)

@@ -435,6 +435,55 @@ let test_ablation_fence_sweep () =
         (forty.Exp_ablation.the_makespan > zero.Exp_ablation.the_makespan)
   | _ -> Alcotest.fail "two rows expected"
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel figure regeneration                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig10_jobs_byte_identical () =
+  (* the whole contract of --jobs: rendered output must not depend on it *)
+  let render jobs =
+    Exp_fig10.render Machine_config.haswell
+      (Exp_fig10.compute Machine_config.haswell ~repeats:2
+         ~benches:[ "Fib" ] ~jobs ())
+  in
+  let seq = render 1 in
+  Alcotest.check Alcotest.string "jobs=3 output" seq (render 3);
+  Alcotest.check Alcotest.string "jobs=8 (more domains than points)" seq
+    (render 8)
+
+let test_fig8_jobs_byte_identical () =
+  let render jobs =
+    let t =
+      Exp_fig8.compute ~sb_capacity:8 ~runs_per_l:4 ~tasks:96 ~max_l:6
+        ~seed:11 ~jobs ~s_assumed:9 ()
+    in
+    Exp_fig8.render t ^ Exp_fig8.render_grid t
+  in
+  Alcotest.check Alcotest.string "jobs=4 output" (render 1) (render 4)
+
+let test_par_runner_semantics () =
+  (* order preservation and first-error propagation in grid order *)
+  let sq = Par_runner.map ~jobs:4 (fun x -> x * x) (List.init 100 Fun.id) in
+  Alcotest.(check (list int)) "order preserved"
+    (List.init 100 (fun i -> i * i))
+    sq;
+  Alcotest.(check (list int)) "jobs > items"
+    [ 1; 2; 3 ]
+    (Par_runner.map ~jobs:16 (fun x -> x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "jobs=0 clamps to sequential"
+    [ 4; 5 ]
+    (Par_runner.map ~jobs:0 (fun x -> x) [ 4; 5 ]);
+  match
+    Par_runner.map ~jobs:4
+      (fun x -> if x mod 7 = 3 then failwith (string_of_int x) else x)
+      (List.init 40 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker's exception to propagate"
+  | exception Failure msg ->
+      (* 3 is the first failing item in grid order, even if a later failing
+         item (10, 17, ...) finished first on another domain *)
+      Alcotest.check Alcotest.string "first error in grid order" "3" msg
+
 let () =
   Alcotest.run "harness"
     [
@@ -470,6 +519,14 @@ let () =
           Alcotest.test_case "fig11 miniature" `Slow test_fig11_mini;
           Alcotest.test_case "table1 renders" `Quick test_table1_renders;
           Alcotest.test_case "fig7 detection" `Quick test_fig7_render;
+        ] );
+      ( "par-runner",
+        [
+          Alcotest.test_case "map semantics" `Quick test_par_runner_semantics;
+          Alcotest.test_case "fig10 --jobs byte-identical" `Slow
+            test_fig10_jobs_byte_identical;
+          Alcotest.test_case "fig8 --jobs byte-identical" `Slow
+            test_fig8_jobs_byte_identical;
         ] );
       ( "scenarios",
         [

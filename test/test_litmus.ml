@@ -228,11 +228,61 @@ let test_classic_exhaustive_coverage () =
         Alcotest.failf "%s: schedule space not exhausted" r.Classic.test.Classic.name)
     (Classic.run_all ())
 
+let test_fingerprint_digest_differential () =
+  (* Differential check of the incremental int fingerprint against the full
+     MD5 digest: walk each classic litmus program down several deterministic
+     schedules, snapshotting both hashes at every reached state. The two
+     must induce the same equivalence classes — a digest collision with
+     distinct fingerprints means the fingerprint reads state the digest
+     doesn't (a determinism bug), and the converse would be an int-hash
+     collision (astronomically unlikely on this few thousand states). *)
+  let by_fp : (int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let by_digest : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let snap name m =
+    let fp = Tso.Machine.fingerprint m in
+    let dg = Tso.Machine.fingerprint_digest m in
+    (match Hashtbl.find_opt by_fp fp with
+    | Some dg' when dg' <> dg ->
+        Alcotest.failf "%s: fingerprint collision across distinct digests" name
+    | Some _ -> ()
+    | None -> Hashtbl.add by_fp fp dg);
+    match Hashtbl.find_opt by_digest dg with
+    | Some fp' when fp' <> fp ->
+        Alcotest.failf "%s: same digest, different fingerprints" name
+    | Some _ -> ()
+    | None -> Hashtbl.add by_digest dg fp
+  in
+  List.iter
+    (fun (t : Classic.t) ->
+      List.iter
+        (fun stride ->
+          let inst = t.Classic.mk () in
+          let m = inst.Tso.Explore.machine in
+          snap t.Classic.name m;
+          let k = ref 0 in
+          let steps = ref 0 in
+          let continue = ref true in
+          while !continue && !steps < 5_000 do
+            match Tso.Explore.next_choices m with
+            | [] -> continue := false
+            | ts ->
+                Tso.Machine.apply m (List.nth ts (!k mod List.length ts));
+                k := !k + stride;
+                incr steps;
+                snap t.Classic.name m
+          done)
+        [ 1; 2; 3 ])
+    Classic.all;
+  if Hashtbl.length by_fp < 100 then
+    Alcotest.fail "differential walk visited suspiciously few states"
+
 let () =
   Alcotest.run "litmus"
     [
       ( "classic-x86-tso",
         Alcotest.test_case "all exhaustive" `Quick test_classic_exhaustive_coverage
+        :: Alcotest.test_case "fingerprint = digest equivalence classes" `Quick
+             test_fingerprint_digest_differential
         :: List.map
              (fun t ->
                Alcotest.test_case

@@ -395,7 +395,7 @@ let test_fingerprint_distinguishes_egress () =
   in
   let m_queued, _ = mk () in
   let m_staged, tid = mk () in
-  check Alcotest.string "identical states share a fingerprint"
+  check Alcotest.int "identical states share a fingerprint"
     (Machine.fingerprint m_queued)
     (Machine.fingerprint m_staged);
   ignore (Machine.apply m_staged (Machine.Drain (tid, 0))) (* stage into B *);
@@ -450,7 +450,7 @@ let test_sched_replay_roundtrip () =
   | Sched.Quiescent -> ()
   | _ -> Alcotest.fail "q2");
   checki "replayed run reproduces outcome" !r1 !r2;
-  check Alcotest.string "replayed run reproduces memory" (Machine.fingerprint m1)
+  check Alcotest.int "replayed run reproduces memory" (Machine.fingerprint m1)
     (Machine.fingerprint m2)
 
 let test_sched_deadlock_detection () =
@@ -558,6 +558,47 @@ let test_timing_stats () =
   checki "loads" 1 t.Timing.loads;
   checki "rmws" 1 t.Timing.rmws;
   checki "work" 11 t.Timing.work_cycles
+
+let test_timing_domain_isolation () =
+  (* two domains running [Timing.run] concurrently must not perturb each
+     other's clocks — each run owns a private clock, with no module-global
+     time left anywhere *)
+  let mk extra =
+    let m = Machine.create (Machine.abstract_config ~sb_capacity:4) in
+    let mem = Machine.memory m in
+    let x = Memory.alloc mem ~name:"x" ~init:0 in
+    let y = Memory.alloc mem ~name:"y" ~init:0 in
+    let _ =
+      Machine.spawn m ~name:"a" (fun () ->
+          Program.work (10_000 * extra);
+          for i = 1 to 40 do
+            Program.store x i;
+            ignore (Program.load y)
+          done)
+    in
+    let _ =
+      Machine.spawn m ~name:"b" (fun () ->
+          for i = 1 to 40 do
+            Program.store y i;
+            ignore (Program.load x);
+            Program.fence ()
+          done)
+    in
+    m
+  in
+  let seq0 = Timing.run (mk 0) costs in
+  let seq9 = Timing.run (mk 9) costs in
+  let d0 = Domain.spawn (fun () -> Timing.run (mk 0) costs) in
+  let d9 = Domain.spawn (fun () -> Timing.run (mk 9) costs) in
+  let par0 = Domain.join d0 and par9 = Domain.join d9 in
+  checki "short run makespan unchanged" seq0.Timing.makespan
+    par0.Timing.makespan;
+  checki "long run makespan unchanged" seq9.Timing.makespan
+    par9.Timing.makespan;
+  checki "fence stalls unchanged" seq0.Timing.threads.(1).Timing.fence_stall
+    par0.Timing.threads.(1).Timing.fence_stall;
+  checkb "the two grids differ (test is not vacuous)" true
+    (seq0.Timing.makespan <> seq9.Timing.makespan)
 
 (* ------------------------------------------------------------------ *)
 (* Explore                                                             *)
@@ -1012,6 +1053,8 @@ let () =
             test_timing_no_fence_no_stall;
           Alcotest.test_case "deterministic" `Quick test_timing_deterministic;
           Alcotest.test_case "instruction stats" `Quick test_timing_stats;
+          Alcotest.test_case "concurrent domains are isolated" `Quick
+            test_timing_domain_isolation;
         ] );
       ( "explore",
         [
