@@ -229,11 +229,13 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v1"
+let bench_schema = "wsrepro-bench/v2"
 
 let bench_fields =
   [
     "sim_batch_steps_per_sec";
+    "sim_batch_steps_per_sec_telemetry";
+    "telemetry_overhead_pct";
     "explorer_runs_per_sec";
     "fig10_wall_s";
     "fingerprint_ns";
@@ -246,13 +248,19 @@ let wall f =
   (r, Unix.gettimeofday () -. t0)
 
 (* Simulator step throughput through [Sched.run]: the number the
-   allocation-free enabled-set path is accountable for. *)
-let measure_sim_steps ~batches () =
+   allocation-free enabled-set path is accountable for. With
+   [~telemetry:true] a sink is attached to every machine, so the same loop
+   measures the fully-instrumented stepping rate; the default (no sink)
+   exercises the disabled guard that must stay free. *)
+let measure_sim_steps ?(telemetry = false) ~batches () =
   let steps = ref 0 in
+  let sink = if telemetry then Some (Telemetry.Sink.create ()) else None in
   let (), dt =
     wall (fun () ->
         for _ = 1 to batches do
-          run_sim ~steps (sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 ())
+          let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+          (match sink with Some s -> Tso.Machine.set_sink m s | None -> ());
+          run_sim ~steps m
         done)
   in
   float_of_int !steps /. dt
@@ -331,9 +339,13 @@ let run_json ~smoke ~out () =
   let batches, max_runs, fp_iters, repeats =
     if smoke then (20, 500, 2_000, 1) else (2_000, 20_000, 200_000, 3)
   in
+  let disabled = measure_sim_steps ~batches () in
+  let enabled = measure_sim_steps ~telemetry:true ~batches () in
   let metrics =
     [
-      ("sim_batch_steps_per_sec", measure_sim_steps ~batches ());
+      ("sim_batch_steps_per_sec", disabled);
+      ("sim_batch_steps_per_sec_telemetry", enabled);
+      ("telemetry_overhead_pct", 100.0 *. (disabled -. enabled) /. disabled);
       ("explorer_runs_per_sec", measure_explorer ~max_runs ());
       ("fig10_wall_s", measure_fig10 ~repeats ());
       ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
@@ -362,31 +374,66 @@ let run_json ~smoke ~out () =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
+(* Validator for --check. Two contracts:
 
-(* Schema validator for --check: fails (exit 1) when the schema id or any
-   required metric is missing, which is what the CI smoke job keys on. *)
+   1. Schema: the file parses as JSON (the in-tree strict parser), carries
+      the schema id, and has every required metric — the CI smoke job keys
+      on this so drift fails the build.
+
+   2. Pay-for-use: stepping with no sink attached must not regress more
+      than 5% against the rate recorded in the file. The live probe takes
+      the best of three short runs (downward noise hides a regression less
+      than upward noise fakes one); the recorded baseline was a single
+      long measurement on the same machine. *)
+let overhead_budget_pct = 5.0
+
 let run_check file =
-  let ic = open_in_bin file in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  let schema_ok = contains s (Printf.sprintf "\"schema\": %S" bench_schema) in
-  let missing =
-    List.filter (fun f -> not (contains s (Printf.sprintf "%S:" f))) bench_fields
+  let doc =
+    match Telemetry.Json.parse_file file with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "%s: not valid JSON: %s\n" file e;
+        exit 1
   in
-  if schema_ok && missing = [] then
-    Printf.printf "%s: schema %s OK (%d metrics)\n" file bench_schema
-      (List.length bench_fields)
-  else begin
+  let str_field k =
+    match Telemetry.Json.member k doc with
+    | Some (Telemetry.Json.Str s) -> Some s
+    | _ -> None
+  in
+  let schema_ok = str_field "schema" = Some bench_schema in
+  let metric k =
+    match Telemetry.Json.member "metrics" doc with
+    | Some m -> (
+        match Telemetry.Json.member k m with
+        | Some (Telemetry.Json.Float f) -> Some f
+        | Some (Telemetry.Json.Int i) -> Some (float_of_int i)
+        | _ -> None)
+    | None -> None
+  in
+  let missing = List.filter (fun f -> metric f = None) bench_fields in
+  if (not schema_ok) || missing <> [] then begin
     if not schema_ok then
       Printf.eprintf "%s: missing or wrong schema id (want %s)\n" file
         bench_schema;
     List.iter (fun f -> Printf.eprintf "%s: missing metric %S\n" file f) missing;
     exit 1
-  end
+  end;
+  Printf.printf "%s: schema %s OK (%d metrics)\n" file bench_schema
+    (List.length bench_fields);
+  let recorded = Option.get (metric "sim_batch_steps_per_sec") in
+  ignore (measure_sim_steps ~batches:5 ()) (* warm up *);
+  let live =
+    List.fold_left max 0.0
+      (List.init 3 (fun _ -> measure_sim_steps ~batches:60 ()))
+  in
+  let delta_pct = 100.0 *. (recorded -. live) /. recorded in
+  let ok = delta_pct <= overhead_budget_pct in
+  Printf.printf
+    "%s: telemetry-disabled stepping %.2f Msteps/s (recorded %.2f, delta \
+     %+.1f%%) %s\n"
+    file (live /. 1e6) (recorded /. 1e6) delta_pct
+    (if ok then "OK" else "REGRESSED");
+  if not ok then exit 1
 
 let () =
   let argv = Sys.argv in

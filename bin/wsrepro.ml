@@ -73,10 +73,18 @@ let fig_jobs_arg =
           "Fan the experiment's run grid across N OCaml domains. Output is \
            byte-identical to $(b,--jobs 1); only wall-clock time changes.")
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Maintain a live progress line on stderr. Stdout (tables, \
+           verdicts) is byte-identical with or without this flag.")
+
 (* fig8 *)
 let fig8_cmd =
-  let run runs tasks jobs =
-    Ws_harness.Exp_fig8.run ~runs_per_l:runs ~tasks ~jobs ()
+  let run runs tasks jobs progress =
+    Ws_harness.Exp_fig8.run ~runs_per_l:runs ~tasks ~jobs ~progress ()
   in
   let runs =
     Arg.(
@@ -90,13 +98,36 @@ let fig8_cmd =
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"TSO[S] litmus campaign (Figures 8 and 9)")
-    Term.(const run $ runs $ tasks $ fig_jobs_arg)
+    Term.(const run $ runs $ tasks $ fig_jobs_arg $ progress_arg)
 
 (* fig10 *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable wsrepro-metrics/v1 JSON sidecar: per \
+           (bench, variant), telemetry counters merged over the seeds plus \
+           derived rates (fence-stall cycles per take, steal abort rate, \
+           delta-checks per steal attempt).")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Record one timed run per variant of the first benchmark as a \
+           Chrome trace-event JSON file (load it in Perfetto or \
+           chrome://tracing): per-core instruction spans, fence-stall \
+           intervals, store-buffer residency of every store.")
+
 let fig10_cmd =
-  let run machine repeats jobs benches =
+  let run machine repeats jobs benches metrics trace progress =
     let benches = match benches with [] -> None | l -> Some l in
-    Ws_harness.Exp_fig10.run machine ~repeats ?benches ~jobs ()
+    Ws_harness.Exp_fig10.run machine ~repeats ?benches ~jobs
+      ?metrics_file:metrics ?trace_file:trace ~progress ()
   in
   let benches =
     Arg.(
@@ -105,11 +136,13 @@ let fig10_cmd =
   in
   Cmd.v
     (Cmd.info "fig10" ~doc:"CilkPlus suite vs fence-free variants (Figure 10)")
-    Term.(const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ benches)
+    Term.(
+      const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ benches
+      $ metrics_arg $ trace_json_arg $ progress_arg)
 
 (* fig11 *)
 let fig11_cmd =
-  let run machine repeats jobs spanning =
+  let run machine repeats jobs spanning progress =
     if spanning then begin
       (* the paper reports spanning-tree results "are similar"; verify that *)
       print_endline "== Figure 11 workload: spanning tree ==";
@@ -118,7 +151,7 @@ let fig11_cmd =
            (Ws_harness.Exp_fig11.compute ~machine ~repeats
               ~workload:`Spanning_tree ~jobs ()))
     end
-    else Ws_harness.Exp_fig11.run ~machine ~repeats ~jobs ()
+    else Ws_harness.Exp_fig11.run ~machine ~repeats ~jobs ~progress ()
   in
   let spanning =
     Arg.(
@@ -129,7 +162,9 @@ let fig11_cmd =
   Cmd.v
     (Cmd.info "fig11"
        ~doc:"Graph benchmarks vs idempotent work stealing (Figure 11)")
-    Term.(const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ spanning)
+    Term.(
+      const run $ machine_arg $ repeats_arg $ fig_jobs_arg $ spanning
+      $ progress_arg)
 
 (* table1 *)
 let table1_cmd =
@@ -249,11 +284,13 @@ let check_cmd =
       }
     in
     let failures = ref 0 in
+    let totals = Ws_runtime.Metrics.create workers in
     for seed = 1 to seeds do
       let wl =
         Ws_runtime.Workload.uniform ~name:"check" ~tasks:64 ~work:10 ()
       in
       let r = Ws_runtime.Engine.run_random { cfg with seed } wl in
+      Ws_runtime.Metrics.merge ~into:totals r.Ws_runtime.Engine.metrics;
       let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find qname in
       let bad =
         r.Ws_runtime.Engine.outcome <> Tso.Sched.Quiescent
@@ -272,6 +309,7 @@ let check_cmd =
     done;
     Printf.printf "%s: %d failures in %d adversarial random runs\n" qname
       !failures seeds;
+    Format.printf "aggregate: %a@." Ws_runtime.Metrics.pp totals;
     if !failures > 0 then exit 1
   in
   let workers = Arg.(value & opt int 3 & info [ "workers"; "w" ] ~docv:"N" ~doc:"Workers.") in
@@ -353,7 +391,8 @@ let trace_cmd =
 
 (* explore: bounded exhaustive model checking *)
 let explore_cmd =
-  let run qname sb delta preloaded steals max_runs pb fence jobs memo =
+  let run qname sb delta preloaded steals max_runs pb fence jobs memo progress
+      =
     let spec =
       {
         Ws_harness.Scenarios.default_spec with
@@ -367,12 +406,17 @@ let explore_cmd =
     in
     let st, _clean =
       Ws_harness.Runner.exhaustive_check spec ~max_runs
-        ~preemption_bound:(Some pb) ~jobs ~memo ()
+        ~preemption_bound:(Some pb) ~jobs ~memo ~progress ()
     in
     Printf.printf
-      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches%s\n"
+      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches%s, \
+       peak depth %d\n"
       qname st.Tso.Explore.runs st.truncated st.deadlocks st.pruned
-      (if memo then Printf.sprintf ", %d memo hits" st.memo_hits else "");
+      (if memo then
+         Printf.sprintf ", %d memo hits (%.1f%% hit rate)" st.memo_hits
+           (100.0 *. Tso.Explore.memo_hit_rate st)
+       else "")
+      st.Tso.Explore.peak_depth;
     match st.failures with
     | [] -> print_endline "no safety violation found"
     | (choices, msg) :: _ ->
@@ -409,7 +453,36 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Bounded exhaustive model checking of a queue")
     Term.(
       const run $ queue_arg $ sb $ delta $ preloaded $ steals $ max_runs $ pb
-      $ fence $ jobs_arg $ memo_arg)
+      $ fence $ jobs_arg $ memo_arg $ progress_arg)
+
+(* json-check: validate telemetry sidecars and traces without external tools *)
+let json_check_cmd =
+  let run file =
+    match Telemetry.Json.parse_file file with
+    | Ok j ->
+        let schema =
+          match Telemetry.Json.member "schema" j with
+          | Some (Telemetry.Json.Str s) -> Printf.sprintf " (schema %s)" s
+          | _ -> ""
+        in
+        Printf.printf "%s: valid JSON%s\n" file schema
+    | Error e ->
+        Printf.printf "%s: INVALID: %s\n" file e;
+        exit 1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSON file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:
+         "Parse a JSON file (e.g. a $(b,--metrics) sidecar or \
+          $(b,--trace-json) trace) with the in-tree strict parser; exit 1 \
+          if it is malformed")
+    Term.(const run $ file)
 
 let main =
   Cmd.group
@@ -420,7 +493,7 @@ let main =
     [
       fig1_cmd; fig7_cmd; fig8_cmd; fig10_cmd; fig11_cmd; table1_cmd; all_cmd;
       ablation_cmd; scaling_cmd; litmus_cmd; tso_litmus_cmd; check_cmd;
-      explore_cmd; trace_cmd; delta_cmd;
+      explore_cmd; trace_cmd; delta_cmd; json_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

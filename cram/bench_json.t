@@ -7,29 +7,36 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric:
+with one fixed-format float per metric. v2 records the telemetry-enabled
+stepping rate next to the plain one, plus their ratio as a percentage:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v1"
+  "schema": "wsrepro-bench/v2"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
   "sim_batch_steps_per_sec":
+  "sim_batch_steps_per_sec_telemetry":
+  "telemetry_overhead_pct":
   "explorer_runs_per_sec":
   "fig10_wall_s":
   "fingerprint_ns":
   "memo_lookup_ns":
 
 `--check` validates that contract (CI runs it against the tracked baseline
-so schema drift fails the build):
+so schema drift fails the build) and then measures the live
+telemetry-disabled stepping rate against the recorded one — if the
+no-sink guard ever stops being free, the second line says REGRESSED and
+the check exits 1. The numbers are machine-dependent, so normalize them:
 
-  $ wsbench --check bench.json
-  bench.json: schema wsrepro-bench/v1 OK (5 metrics)
+  $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
+  bench.json: schema wsrepro-bench/vN OK (N metrics)
+  bench.json: telemetry-disabled stepping N Msteps/s (recorded N, delta N%) OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v1|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v2|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v1)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v2)
   drifted.json: missing metric "fingerprint_ns"
   [1]

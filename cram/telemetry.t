@@ -1,0 +1,53 @@
+Telemetry sidecars ride along a Fig. 10 run without touching its stdout:
+`--metrics` writes the wsrepro-metrics/v1 perf-attribution document (per
+(bench, variant): counters merged over the seeds plus derived rates) and
+`--trace-json` records one timed run per variant as a Chrome trace-event
+file. The tables must be byte-identical with and without the sidecars:
+
+  $ wsrepro fig10 -r 1 Fib > plain.out
+  $ wsrepro fig10 -r 1 Fib --metrics metrics.json --trace-json trace.json > sidecar.out
+  $ diff plain.out sidecar.out
+
+Both documents carry fixed schemas and validate with the in-tree strict
+JSON parser (no external tooling needed):
+
+  $ grep -o '"schema": "[^"]*"' metrics.json
+  "schema": "wsrepro-metrics/v1"
+  $ wsrepro json-check metrics.json
+  metrics.json: valid JSON (schema wsrepro-metrics/v1)
+  $ wsrepro json-check trace.json
+  trace.json: valid JSON
+
+The sidecar tells the fence-stall story behind the figure: every variant
+ran the same workload, so the group list is one entry per variant with the
+counters that separate them:
+
+  $ grep -c '"fence_stall_cycles":' metrics.json
+  6
+  $ grep -o '"variant": "[^"]*"' metrics.json
+  "variant": "THE"
+  "variant": "FF-THE"
+  "variant": "FF-THE d=4"
+  "variant": "THEP d=inf"
+  "variant": "THEP"
+  "variant": "THEP d=4"
+
+The simulation is deterministic, so the trace is byte-stable — rerunning
+the same scenario emits the same file:
+
+  $ wsrepro fig10 -r 1 Fib --trace-json trace2.json > /dev/null
+  $ cmp trace.json trace2.json
+
+json-check fails loudly on malformed input:
+
+  $ head -c 100 trace.json > broken.json
+  $ wsrepro json-check broken.json
+  broken.json: INVALID: offset 100: expected ':'
+  [1]
+
+`--progress` paints a live status line on stderr only; stdout of the
+explorer (and the figures) is unchanged by it:
+
+  $ wsrepro explore -q ff-the --memo --progress > prog.out 2> prog.err
+  $ wsrepro explore -q ff-the --memo > noprog.out
+  $ diff prog.out noprog.out

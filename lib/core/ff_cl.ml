@@ -11,6 +11,7 @@ open Tso
 type t = {
   c : Base.cells;
   delta : int;
+  machine : Machine.t;  (* for telemetry: δ-check accounting *)
 }
 
 let name = "ff-cl"
@@ -20,7 +21,7 @@ let worker_fence_free = true
 
 let create m (p : Queue_intf.params) =
   if p.delta < 1 then invalid_arg "ff-cl: delta must be >= 1";
-  { c = Base.alloc m p; delta = p.delta }
+  { c = Base.alloc m p; delta = p.delta; machine = m }
 
 let preload q items = Base.preload q.c items
 
@@ -48,7 +49,10 @@ let steal q : Queue_intf.steal_result =
     let h = Program.load q.c.h in
     let t = Program.load q.c.t in
     if h >= t then `Empty
-    else if t - q.delta <= h then `Abort
+    else if
+      Machine.count_delta_check q.machine;
+      t - q.delta <= h
+    then `Abort
     else begin
       let task = Base.read_task q.c h in
       if Program.cas q.c.h ~expect:h ~replace:(h + 1) then `Task task

@@ -15,6 +15,7 @@ type t = {
   c : Base.cells;
   lock : Sync.t;
   delta : int;
+  machine : Machine.t;  (* for telemetry: δ-check accounting *)
 }
 
 let name = "ff-the"
@@ -28,6 +29,7 @@ let create m (p : Queue_intf.params) =
     c = Base.alloc m p;
     lock = Sync.create m ~name:(p.tag ^ ".lock");
     delta = p.delta;
+    machine = m;
   }
 
 let preload q items = Base.preload q.c items
@@ -67,6 +69,7 @@ let steal q : Queue_intf.steal_result =
        worker's store buffer has not reached task h. Note δ >= 1 means the
        thief can never be certain the queue is non-empty, so ABORT subsumes
        EMPTY (§4). *)
+    Machine.count_delta_check q.machine;
     if t - q.delta > h then `Task (Base.read_task q.c h)
     else begin
       Program.store q.c.h h;

@@ -13,7 +13,12 @@ val find : string -> impl
 (** @raise Not_found on unknown names. *)
 
 val create : impl -> Tso.Machine.t -> Queue_intf.params -> Queue_intf.packed
-(** Instantiate a queue and pack it with its module. *)
+(** Instantiate a queue and pack it with its module, wrapped in a telemetry
+    shim: while a {!Telemetry.Sink.t} is attached to the machine, every
+    [put]/[take]/[steal] through the packed value is accounted in the
+    sink's queue-operation counters (puts, takes, take-empties, steal
+    attempts/successes/empties/aborts). Costs one field read per operation
+    when no sink is attached. *)
 
 val strict : impl -> bool
 (** Meets the strict deque specification: never aborts, never duplicates. *)

@@ -12,6 +12,7 @@ type t = {
   capacity : int;
   lock : Sync.t;
   delta : int;
+  machine : Machine.t;  (* for telemetry: δ-check accounting *)
 }
 
 let name = "thep-sep"
@@ -34,6 +35,7 @@ let create m (p : Queue_intf.params) =
     capacity = p.capacity;
     lock = Sync.create m ~name:(p.tag ^ ".lock");
     delta = p.delta;
+    machine = m;
   }
 
 let task_addr q i =
@@ -98,6 +100,7 @@ let steal q : Queue_intf.steal_result =
     `Empty
   in
   let t0 = Program.load q.t in
+  Machine.count_delta_check q.machine;
   let ret =
     if t0 - q.delta <= h then begin
       let rec wait () : Queue_intf.steal_result =

@@ -4,13 +4,25 @@ type row = {
   cells : (string * float) list;
 }
 
-let compute machine ?(repeats = 3) ?benches ?(jobs = 1) () =
-  let benches =
-    match benches with
-    | Some names -> List.map Ws_workloads.Cilk_suite.find names
-    | None -> Ws_workloads.Cilk_suite.all
-  in
-  let seeds = List.init repeats (fun i -> 11 + (100 * i)) in
+type point_metrics = {
+  pm_bench : string;
+  pm_variant : string;
+  pm_seed : int;
+  pm_makespan : float;
+  pm_sink : Telemetry.Sink.t;
+}
+
+let bench_list benches =
+  match benches with
+  | Some names -> List.map Ws_workloads.Cilk_suite.find names
+  | None -> Ws_workloads.Cilk_suite.all
+
+let seeds_of repeats = List.init repeats (fun i -> 11 + (100 * i))
+
+let compute_ex machine ?(repeats = 3) ?benches ?(jobs = 1) ?(collect = false)
+    ?on_progress () =
+  let benches = bench_list benches in
+  let seeds = seeds_of repeats in
   let variants = Variants.the_baseline :: Variants.fig10 in
   (* One grid point per (bench, variant, seed), each an independent timed
      run on a fresh machine. DAGs are forced here, before the fan-out, so
@@ -24,35 +36,61 @@ let compute machine ?(repeats = 3) ?benches ?(jobs = 1) () =
           variants)
       benches
   in
-  let results =
+  let point_results =
     Array.of_list
-      (Par_runner.map ~jobs
+      (Par_runner.map ~jobs ?on_progress
          (fun ((b : Ws_workloads.Cilk_suite.bench), dag, v, seed) ->
-           match Runner.run_dag machine v ~seeds:[ seed ] dag ~name:b.name with
-           | [ m ] -> m
+           let sink = if collect then Some (Telemetry.Sink.create ()) else None in
+           match
+             Runner.run_dag machine v ~seeds:[ seed ] ?sink dag ~name:b.name
+           with
+           | [ m ] ->
+               ( m,
+                 Option.map
+                   (fun s ->
+                     {
+                       pm_bench = b.name;
+                       pm_variant = v.Variants.label;
+                       pm_seed = seed;
+                       pm_makespan = m;
+                       pm_sink = s;
+                     })
+                   sink )
            | _ -> assert false)
          points)
   in
+  let results = Array.map fst point_results in
   (* Fold back in grid order: medians (and therefore the rendered table)
      are exactly the sequential ones. *)
   let n_seeds = List.length seeds in
   let n_variants = List.length variants in
-  List.mapi
-    (fun bi (b : Ws_workloads.Cilk_suite.bench) ->
-      let median_of vi =
-        Stats.median
-          (List.init n_seeds (fun si ->
-               results.(((bi * n_variants) + vi) * n_seeds + si)))
-      in
-      let baseline = median_of 0 in
-      let cells =
-        List.mapi
-          (fun i v ->
-            (v.Variants.label, 100.0 *. median_of (i + 1) /. baseline))
-          Variants.fig10
-      in
-      { bench = b.name; baseline; cells })
-    benches
+  let rows =
+    List.mapi
+      (fun bi (b : Ws_workloads.Cilk_suite.bench) ->
+        let median_of vi =
+          Stats.median
+            (List.init n_seeds (fun si ->
+                 results.(((bi * n_variants) + vi) * n_seeds + si)))
+        in
+        let baseline = median_of 0 in
+        let cells =
+          List.mapi
+            (fun i v ->
+              (v.Variants.label, 100.0 *. median_of (i + 1) /. baseline))
+            Variants.fig10
+        in
+        { bench = b.name; baseline; cells })
+      benches
+  in
+  let metrics =
+    if collect then
+      List.filter_map snd (Array.to_list point_results)
+    else []
+  in
+  (rows, metrics)
+
+let compute machine ?repeats ?benches ?jobs () =
+  fst (compute_ex machine ?repeats ?benches ?jobs ())
 
 let geomean_row rows =
   match rows with
@@ -86,8 +124,124 @@ let render machine rows =
     (Machine_config.default_delta machine)
   ^ Tablefmt.render ~header (body @ [ geo ])
 
-let run machine ?repeats ?benches ?jobs () =
+(* The machine-readable sidecar (--metrics): per (bench, variant) group,
+   counters merged over the seeds plus the derived rates the paper's
+   argument runs on — most importantly fence-stall cycles per take, which
+   is ~0 for the fence-free variants (their take path issues no fence; the
+   residual stalls come from the thieves' locked steal path). *)
+let metrics_schema = "wsrepro-metrics/v1"
+
+let metrics_json machine ~repeats rows metrics =
+  let module J = Telemetry.Json in
+  let module S = Telemetry.Sink in
+  let variants = Variants.the_baseline :: Variants.fig10 in
+  let benches = List.map (fun r -> r.bench) rows in
+  let groups =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun (v : Variants.t) ->
+            let pts =
+              List.filter
+                (fun p -> p.pm_bench = bench && p.pm_variant = v.Variants.label)
+                metrics
+            in
+            let merged = S.create () in
+            List.iter (fun p -> S.merge ~into:merged p.pm_sink) pts;
+            let makespans = List.map (fun p -> p.pm_makespan) pts in
+            let per count cycles =
+              if count = 0 then 0.0
+              else float_of_int cycles /. float_of_int count
+            in
+            let pct num den =
+              if den = 0 then 0.0
+              else 100.0 *. float_of_int num /. float_of_int den
+            in
+            J.Obj
+              [
+                ("bench", J.Str bench);
+                ("variant", J.Str v.Variants.label);
+                ("runs", J.Int (List.length pts));
+                ("makespan_median", J.Float (Stats.median makespans));
+                ("counters", S.to_json merged);
+                ( "derived",
+                  J.Obj
+                    [
+                      ( "fence_stall_cycles_per_take",
+                        J.Float (per merged.S.takes merged.S.fence_stall_cycles)
+                      );
+                      ( "drain_stall_cycles_per_store",
+                        J.Float
+                          (per merged.S.stores merged.S.drain_stall_cycles) );
+                      ( "steal_abort_rate_pct",
+                        J.Float (pct merged.S.steal_aborts merged.S.steal_attempts)
+                      );
+                      ( "stolen_task_pct",
+                        J.Float (pct merged.S.tasks_stolen merged.S.tasks_run)
+                      );
+                      ( "delta_checks_per_steal_attempt",
+                        J.Float (per merged.S.steal_attempts merged.S.delta_checks)
+                      );
+                    ] );
+              ])
+          variants)
+      benches
+  in
+  J.Obj
+    [
+      ("schema", J.Str metrics_schema);
+      ("experiment", J.Str "fig10");
+      ("machine", J.Str machine.Machine_config.name);
+      ("workers", J.Int machine.Machine_config.workers);
+      ("reorder_bound", J.Int machine.Machine_config.reorder_bound);
+      ("repeats", J.Int repeats);
+      ("groups", J.List groups);
+    ]
+
+(* The Chrome trace (--trace-json): one timed run per variant of the first
+   selected benchmark, overlaid in a single trace with one process per
+   variant (pid = variant index, named after its label), so Perfetto shows
+   the fenced baseline's take-path stalls next to the fence-free variants'
+   stall-free worker tracks. *)
+let chrome_trace machine ?benches () =
+  let b =
+    match bench_list benches with b :: _ -> b | [] -> assert false
+  in
+  let dag = Ws_workloads.Cilk_suite.dag b in
+  let tracer = Telemetry.Chrome_trace.create () in
+  let seed = List.hd (seeds_of 1) in
+  List.iteri
+    (fun pid (v : Variants.t) ->
+      Telemetry.Chrome_trace.set_process_name tracer ~pid
+        (Printf.sprintf "%s %s" b.name v.Variants.label);
+      ignore
+        (Runner.run_dag machine v ~seeds:[ seed ] ~tracer ~trace_pid:pid dag
+           ~name:b.name))
+    (Variants.the_baseline :: Variants.fig10);
+  tracer
+
+let run machine ?(repeats = 3) ?benches ?jobs ?metrics_file ?trace_file
+    ?(progress = false) () =
   Printf.printf
     "== Figure 10 (%s): CilkPlus suite, normalized to the THE baseline ==\n"
     machine.Machine_config.name;
-  print_string (render machine (compute machine ?repeats ?benches ?jobs ()))
+  let on_progress, finish =
+    if progress then
+      let cb, fin = Par_runner.grid_progress ~label:"fig10" in
+      (Some cb, fin)
+    else (None, fun () -> ())
+  in
+  let collect = metrics_file <> None in
+  let rows, metrics =
+    compute_ex machine ~repeats ?benches ?jobs ~collect ?on_progress ()
+  in
+  finish ();
+  print_string (render machine rows);
+  (match metrics_file with
+  | None -> ()
+  | Some file ->
+      Telemetry.Json.write_file file (metrics_json machine ~repeats rows metrics));
+  match trace_file with
+  | None -> ()
+  | Some file ->
+      Telemetry.Chrome_trace.write (chrome_trace machine ?benches ()) file

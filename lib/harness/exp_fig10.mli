@@ -30,10 +30,25 @@ val geomean_row : row list -> (string * float) list
 
 val render : Machine_config.t -> row list -> string
 
+val metrics_schema : string
+(** ["wsrepro-metrics/v1"], the schema tag of the [--metrics] sidecar. *)
+
 val run :
   Machine_config.t ->
   ?repeats:int ->
   ?benches:string list ->
   ?jobs:int ->
+  ?metrics_file:string ->
+  ?trace_file:string ->
+  ?progress:bool ->
   unit ->
   unit
+(** Print the Figure 10 table (stdout bytes are unchanged by every option).
+    [metrics_file] additionally collects a {!Telemetry.Sink.t} per grid
+    point and writes a [wsrepro-metrics/v1] JSON sidecar: per
+    (bench, variant), counters merged over the seeds plus derived rates
+    (fence-stall cycles per take — ~0 for the fence-free variants — steal
+    abort rate, δ-checks per steal attempt). [trace_file] records one timed
+    run per variant of the first benchmark into a Chrome trace-event JSON
+    file (one process per variant), loadable in Perfetto. [progress]
+    maintains a live grid status line on stderr. *)

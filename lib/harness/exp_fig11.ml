@@ -36,7 +36,7 @@ let default_cases () =
   ]
 
 let compute ?(machine = Machine_config.haswell) ?(repeats = 3) ?cases
-    ?(workload = `Transitive_closure) ?(jobs = 1) () =
+    ?(workload = `Transitive_closure) ?(jobs = 1) ?on_progress () =
   let cases = match cases with Some c -> c | None -> default_cases () in
   let seeds = List.init repeats (fun i -> 21 + (10 * i)) in
   (* One grid point per (case, variant, seed); [mk] builds a fresh checked
@@ -51,7 +51,7 @@ let compute ?(machine = Machine_config.haswell) ?(repeats = 3) ?cases
   in
   let results =
     Array.of_list
-      (Par_runner.map ~jobs
+      (Par_runner.map ~jobs ?on_progress
          (fun (case, v, seed) ->
            let mk () =
              match workload with
@@ -133,7 +133,15 @@ let render rows =
   "(a) run time, normalized to Chase-Lev\n" ^ time_table
   ^ "(b) % of tasks executed by a thief\n" ^ stolen_table
 
-let run ?machine ?repeats ?jobs () =
+let run ?machine ?repeats ?jobs ?(progress = false) () =
   print_endline
     "== Figure 11: transitive closure vs idempotent work stealing ==";
-  print_string (render (compute ?machine ?repeats ?jobs ()))
+  let on_progress, finish =
+    if progress then
+      let cb, fin = Par_runner.grid_progress ~label:"fig11" in
+      (Some cb, fin)
+    else (None, fun () -> ())
+  in
+  let rows = compute ?machine ?repeats ?jobs ?on_progress () in
+  finish ();
+  print_string (render rows)

@@ -30,13 +30,20 @@ val compute :
   ?cases:graph_case list ->
   ?workload:[ `Transitive_closure | `Spanning_tree ] ->
   ?jobs:int ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
   unit ->
   row list
 (** [jobs] fans the (case × variant × seed) grid across OCaml 5 domains via
     {!Par_runner.map}; rows are folded back in grid order, byte-identical
-    to a sequential run. Default 1. *)
+    to a sequential run. Default 1. [on_progress] as in {!Par_runner.map}. *)
 
 val render : row list -> string
 
 val run :
-  ?machine:Machine_config.t -> ?repeats:int -> ?jobs:int -> unit -> unit
+  ?machine:Machine_config.t ->
+  ?repeats:int ->
+  ?jobs:int ->
+  ?progress:bool ->
+  unit ->
+  unit
+(** [progress] maintains a live status line on stderr (stdout unchanged). *)

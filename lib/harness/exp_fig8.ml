@@ -11,7 +11,7 @@ let real_bound sb_capacity = sb_capacity + 1
 let ceil_div a b = (a + b - 1) / b
 
 let compute ?(sb_capacity = 32) ?(runs_per_l = 40) ?(tasks = 192) ?(max_l = 32)
-    ?(seed = 7) ?(jobs = 1) ~s_assumed () =
+    ?(seed = 7) ?(jobs = 1) ?on_progress ~s_assumed () =
   (* The same (α, δ) cell enumeration as {!Ws_litmus.Grid.campaign}, but
      with each cell as an independent grid point for {!Par_runner.map}:
      every litmus run builds its own machine and RNG from the cell's seed,
@@ -28,7 +28,7 @@ let compute ?(sb_capacity = 32) ?(runs_per_l = 40) ?(tasks = 192) ?(max_l = 32)
       (Ws_litmus.Grid.alpha_groups ~s_assumed ~max_l)
   in
   let cells =
-    Par_runner.map ~jobs
+    Par_runner.map ~jobs ?on_progress
       (fun (alpha, l_values, delta) ->
         Ws_litmus.Grid.run_cell ~tasks ~runs_per_l ~sb_capacity ~coalesce:true
           ~s_assumed ~alpha ~l_values ~delta ~seed ())
@@ -116,13 +116,23 @@ let render_grid t =
     offsets;
   Buffer.contents buf
 
-let run ?runs_per_l ?tasks ?jobs () =
+let run ?runs_per_l ?tasks ?jobs ?(progress = false) () =
   print_endline "== Figure 8: litmus campaign against the bounded-TSO model ==";
   print_endline
     "(machine under test: 32-entry store buffer + coalescing egress entry B)";
   List.iter
     (fun s_assumed ->
-      let t = compute ?runs_per_l ?tasks ?jobs ~s_assumed () in
+      let on_progress, finish =
+        if progress then
+          let cb, fin =
+            Par_runner.grid_progress
+              ~label:(Printf.sprintf "fig8 S=%d" s_assumed)
+          in
+          (Some cb, fin)
+        else (None, fun () -> ())
+      in
+      let t = compute ?runs_per_l ?tasks ?jobs ?on_progress ~s_assumed () in
+      finish ();
       print_string (render t);
       print_endline "(# = incorrect execution found, . = none)";
       print_string (render_grid t))

@@ -20,12 +20,13 @@ val compute :
   ?max_l:int ->
   ?seed:int ->
   ?jobs:int ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
   s_assumed:int ->
   unit ->
   t
 (** [jobs] fans the grid's (α, δ) cells across OCaml 5 domains via
     {!Par_runner.map}; cell order and contents match the sequential
-    campaign exactly. Default 1. *)
+    campaign exactly. Default 1. [on_progress] as in {!Par_runner.map}. *)
 
 val render : t -> string
 
@@ -36,5 +37,7 @@ val expected_incorrect : t -> Ws_litmus.Grid.cell -> bool
 (** The paper's prediction for a cell, used both in rendering (to flag
     mismatches) and by the test suite. *)
 
-val run : ?runs_per_l:int -> ?tasks:int -> ?jobs:int -> unit -> unit
-(** Both campaigns (8a then 8b). *)
+val run :
+  ?runs_per_l:int -> ?tasks:int -> ?jobs:int -> ?progress:bool -> unit -> unit
+(** Both campaigns (8a then 8b). [progress] maintains a live status line
+    on stderr (stdout is unchanged). *)

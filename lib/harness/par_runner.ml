@@ -8,15 +8,34 @@
    output is byte-identical to a sequential run — parallelism changes wall
    time only. *)
 
-let map ?(jobs = 1) f xs =
+let map ?(jobs = 1) ?on_progress f xs =
   let n = List.length xs in
   let jobs = max 1 (min jobs n) in
-  if jobs = 1 then List.map f xs
+  if jobs = 1 then
+    let done_ = ref 0 in
+    List.map
+      (fun x ->
+        let v = f x in
+        incr done_;
+        (match on_progress with
+        | None -> ()
+        | Some g -> g ~done_count:!done_ ~total:n);
+        v)
+      xs
   else begin
     let inputs = Array.of_list xs in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let completed = Atomic.make 0 in
+    (* Progress is reported only from the calling domain (the callback need
+       not be thread-safe); the completion counter it reads is global, so
+       the report covers all domains' work. *)
+    let report =
+      match on_progress with
+      | None -> fun () -> ()
+      | Some g -> fun () -> g ~done_count:(Atomic.get completed) ~total:n
+    in
+    let worker ~main () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -27,13 +46,17 @@ let map ?(jobs = 1) f xs =
              (match f inputs.(i) with
              | v -> Some (Ok v)
              | exception e -> Some (Error e)));
+          Atomic.incr completed;
+          if main then report ();
           loop ()
         end
       in
       loop ()
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains =
+      List.init (jobs - 1) (fun _ -> Domain.spawn (worker ~main:false))
+    in
+    worker ~main:true ();
     List.iter Domain.join domains;
     Array.to_list
       (Array.map
@@ -43,3 +66,14 @@ let map ?(jobs = 1) f xs =
            | None -> assert false)
          results)
   end
+
+(* Shared status-line plumbing for the figure grids: a reporter suitable
+   for [map]'s [on_progress], plus the finisher that terminates the stderr
+   line. Stdout is never touched. *)
+let grid_progress ~label =
+  let rep = Telemetry.Progress.create ~label () in
+  let on_progress ~done_count ~total =
+    Telemetry.Progress.sample rep ~count:done_count (fun ~rate ->
+        Printf.sprintf "%d/%d runs (%.1f/s)" done_count total rate)
+  in
+  (on_progress, fun () -> Telemetry.Progress.finish rep)

@@ -2,11 +2,27 @@
     independent grid points of an experiment (workload × variant × seed)
     across cores. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs] domains
     (the caller's included). Results keep list order, so output assembled
     from them is byte-identical to the sequential run; each [f] must be
     self-contained (the experiment runners build a fresh machine per grid
     point). [jobs <= 1] runs sequentially with no domain spawned. If some
     [f] raises, the first failure in list order is re-raised after all
-    domains join. *)
+    domains join.
+
+    [on_progress] is invoked only on the calling domain (after each grid
+    point {e it} completes), with the globally completed count — the hook
+    for a live status line; it need not be thread-safe. *)
+
+val grid_progress :
+  label:string ->
+  (done_count:int -> total:int -> unit) * (unit -> unit)
+(** A ready-made [on_progress] callback maintaining a "done/total (rate)"
+    status line on stderr (throttled, via {!Telemetry.Progress}), and the
+    finisher that terminates the line. One pair per grid. *)

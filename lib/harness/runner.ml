@@ -22,12 +22,12 @@ let makespan (r : Ws_runtime.Engine.result) =
   | Some t -> float_of_int t.Tso.Timing.makespan
   | None -> invalid_arg "Runner.makespan: not a timed run"
 
-let run_dag m v ?workers ~seeds dag ~name =
+let run_dag m v ?workers ~seeds ?sink ?tracer ?trace_pid dag ~name =
   List.map
     (fun seed ->
       let cfg = config m v ?workers ~seed () in
       let wl = Ws_runtime.Dag.instantiate dag ~name in
-      let r = Ws_runtime.Engine.run_timed cfg wl in
+      let r = Ws_runtime.Engine.run_timed ?sink ?tracer ?trace_pid cfg wl in
       let label = Printf.sprintf "%s/%s/%s" m.name v.Variants.label name in
       check_result label r;
       if r.duplicates > 0 then
@@ -35,11 +35,11 @@ let run_dag m v ?workers ~seeds dag ~name =
       makespan r)
     seeds
 
-let exhaustive_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo ()
-    =
+let exhaustive_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo
+    ?progress () =
   let st =
     Scenarios.explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs
-      ?memo ()
+      ?memo ?progress ()
   in
   (st, st.Tso.Explore.failures = [] && st.Tso.Explore.truncated = 0)
 

@@ -17,12 +17,17 @@ val run_dag :
   Variants.t ->
   ?workers:int ->
   seeds:int list ->
+  ?sink:Telemetry.Sink.t ->
+  ?tracer:Telemetry.Chrome_trace.t ->
+  ?trace_pid:int ->
   Ws_runtime.Dag.t ->
   name:string ->
   float list
 (** Makespans (cycles) over the seeds. Raises [Failure] if a run does not
     reach quiescence or loses/duplicates a task — the experiments must only
-    report numbers from provably-complete runs. *)
+    report numbers from provably-complete runs. [sink] accumulates counters
+    over every seed's run; [tracer]/[trace_pid] record Chrome-trace spans
+    (see {!Ws_runtime.Engine.run_timed}). *)
 
 val exhaustive_check :
   Scenarios.spec ->
@@ -31,12 +36,14 @@ val exhaustive_check :
   ?preemption_bound:int option ->
   ?jobs:int ->
   ?memo:bool ->
+  ?progress:bool ->
   unit ->
   Tso.Explore.stats * bool
 (** Bounded exhaustive model checking of a queue scenario, optionally
-    memoized ([memo]) and fanned out across domains ([jobs]). Returns the
-    explorer statistics and a clean-verdict flag: no failure found and no
-    run truncated by the depth bound. *)
+    memoized ([memo]) and fanned out across domains ([jobs]). With
+    [progress], a live nodes-per-second status line is maintained on
+    stderr. Returns the explorer statistics and a clean-verdict flag: no
+    failure found and no run truncated by the depth bound. *)
 
 val run_checked :
   Machine_config.t ->

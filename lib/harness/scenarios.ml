@@ -115,8 +115,39 @@ let random_check spec ~seeds ?(drain_weight = 0.1) () =
   go seeds
 
 let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
-    ?(memo = false) () =
-  if jobs > 1 then
-    Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~jobs
-      ~mk:(instance spec) ()
-  else Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ~mk:(instance spec) ()
+    ?(memo = false) ?(progress = false) () =
+  let reporter =
+    if progress then Some (Telemetry.Progress.create ~label:"explore" ())
+    else None
+  in
+  let st =
+    if jobs > 1 then
+      let on_progress =
+        Option.map
+          (fun rep (p : Explore_par.progress) ->
+            Telemetry.Progress.sample rep ~count:p.Explore_par.total_runs
+              (fun ~rate ->
+                Printf.sprintf "%d runs (%.0f/s), subtree %d/%d, %d domains"
+                  p.Explore_par.total_runs rate p.Explore_par.tasks_done
+                  p.Explore_par.tasks_total p.Explore_par.domains))
+          reporter
+      in
+      Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~jobs
+        ?on_progress ~mk:(instance spec) ()
+    else
+      let on_progress =
+        Option.map
+          (fun rep (s : Explore.stats) ->
+            Telemetry.Progress.sample rep ~count:s.Explore.runs (fun ~rate ->
+                Printf.sprintf
+                  "%d runs (%.0f/s), depth frontier %d, %d memo hits \
+                   (%.1f%% hit rate)"
+                  s.Explore.runs rate s.Explore.peak_depth s.Explore.memo_hits
+                  (100.0 *. Explore.memo_hit_rate s)))
+          reporter
+      in
+      Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ?on_progress
+        ~mk:(instance spec) ()
+  in
+  Option.iter (fun rep -> Telemetry.Progress.finish rep) reporter;
+  st

@@ -39,8 +39,12 @@ val explore_check :
   ?preemption_bound:int option ->
   ?jobs:int ->
   ?memo:bool ->
+  ?progress:bool ->
   unit ->
   Tso.Explore.stats
 (** Bounded exhaustive exploration of the scenario. [jobs > 1] fans the
     search out across domains ({!Tso.Explore_par}); [memo] enables the
-    visited-state cache. Defaults: [jobs = 1], [memo = false]. *)
+    visited-state cache. With [progress] a live status line (runs/s, depth
+    frontier, memo hit rate; per-domain subtree balance when parallel) is
+    maintained on stderr. Defaults: [jobs = 1], [memo = false],
+    [progress = false]. *)

@@ -214,9 +214,15 @@ let summarize st outcome timing =
     lost;
   }
 
-let run_timed cfg wl =
+let run_timed ?sink ?tracer ?trace_pid cfg wl =
   let machine, st = setup cfg wl ~buffer_model:Store_buffer.Abstract in
-  let report = Timing.run ~max_steps:cfg.max_steps machine cfg.costs in
+  let report =
+    Timing.run ~max_steps:cfg.max_steps ?sink ?tracer ?trace_pid machine
+      cfg.costs
+  in
+  (match sink with
+  | None -> ()
+  | Some s -> Metrics.fold_into_sink st.metrics s);
   summarize st report.Timing.outcome (Some report)
 
 let run_random ?(drain_weight = 0.1) cfg wl =

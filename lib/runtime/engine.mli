@@ -42,9 +42,17 @@ type result = {
   lost : int;  (** expected tasks never executed (needs [expected_total]) *)
 }
 
-val run_timed : config -> Workload.t -> result
+val run_timed :
+  ?sink:Telemetry.Sink.t ->
+  ?tracer:Telemetry.Chrome_trace.t ->
+  ?trace_pid:int ->
+  config ->
+  Workload.t ->
+  result
 (** Deterministic discrete-event run under the timing model; this is what
-    the performance figures use. *)
+    the performance figures use. [sink]/[tracer]/[trace_pid] are passed to
+    {!Tso.Timing.run}; additionally, with a sink attached the run's
+    {!Metrics} task aggregates are folded into it on completion. *)
 
 val run_random : ?drain_weight:float -> config -> Workload.t -> result
 (** Adversarially scheduled run on the abstract machine (drains delayed with

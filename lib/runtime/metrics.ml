@@ -33,14 +33,49 @@ let sum t f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers
 let total_tasks t = sum t (fun w -> w.tasks_run)
 let total_steals t = sum t (fun w -> w.steals)
 let total_aborts t = sum t (fun w -> w.steal_aborts)
+let total_steal_attempts t = sum t (fun w -> w.steal_attempts)
 
 let stolen_task_pct t =
   let total = total_tasks t in
   if total = 0 then 0.0
   else 100.0 *. float_of_int (sum t (fun w -> w.tasks_run_stolen)) /. float_of_int total
 
+let steal_abort_rate t =
+  let attempts = total_steal_attempts t in
+  if attempts = 0 then 0.0
+  else 100.0 *. float_of_int (total_aborts t) /. float_of_int attempts
+
+let merge ~into t =
+  if Array.length into.workers <> Array.length t.workers then
+    invalid_arg "Metrics.merge: worker counts differ";
+  Array.iteri
+    (fun i w ->
+      let d = into.workers.(i) in
+      d.tasks_run <- d.tasks_run + w.tasks_run;
+      d.tasks_run_stolen <- d.tasks_run_stolen + w.tasks_run_stolen;
+      d.puts <- d.puts + w.puts;
+      d.takes <- d.takes + w.takes;
+      d.take_empties <- d.take_empties + w.take_empties;
+      d.steal_attempts <- d.steal_attempts + w.steal_attempts;
+      d.steals <- d.steals + w.steals;
+      d.steal_empties <- d.steal_empties + w.steal_empties;
+      d.steal_aborts <- d.steal_aborts + w.steal_aborts)
+    t.workers
+
+(* Only the task-level counters transfer: the queue-operation counters
+   (puts/takes/steals/aborts) are already accounted by the registry's
+   telemetry shim at the moment each operation completes — copying them
+   here too would double-count. *)
+let fold_into_sink t (s : Telemetry.Sink.t) =
+  s.Telemetry.Sink.tasks_run <- s.Telemetry.Sink.tasks_run + total_tasks t;
+  s.Telemetry.Sink.tasks_stolen <-
+    s.Telemetry.Sink.tasks_stolen + sum t (fun w -> w.tasks_run_stolen)
+
 let pp ppf t =
   Format.fprintf ppf
-    "@[tasks=%d stolen=%.2f%% steals=%d aborts=%d empties=%d@]" (total_tasks t)
-    (stolen_task_pct t) (total_steals t) (total_aborts t)
+    "@[tasks=%d stolen=%.2f%% steals=%d/%d empties=%d aborts=%d \
+     (abort-rate=%.2f%%)@]"
+    (total_tasks t) (stolen_task_pct t) (total_steals t)
+    (total_steal_attempts t)
     (sum t (fun w -> w.steal_empties))
+    (total_aborts t) (steal_abort_rate t)

@@ -19,7 +19,26 @@ val create : int -> t
 val total_tasks : t -> int
 val total_steals : t -> int
 val total_aborts : t -> int
+val total_steal_attempts : t -> int
+
 val stolen_task_pct : t -> float
 (** Percentage of executed tasks that were obtained by stealing. *)
 
+val steal_abort_rate : t -> float
+(** Percentage of steal attempts that returned [`Abort] (the relaxed
+    specification's refusals), 0 when no steal was attempted. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate another run's per-worker counters (worker-wise). Used to
+    aggregate repeated runs of the same configuration (e.g. across seeds).
+    @raise Invalid_argument if the worker counts differ. *)
+
+val fold_into_sink : t -> Telemetry.Sink.t -> unit
+(** Add the task-level aggregates ([tasks_run], [tasks_stolen]) to a
+    telemetry sink. Queue-operation counts are {e not} copied: those are
+    accounted by {!Ws_core.Registry}'s telemetry shim as the operations
+    happen, and copying them again would double-count. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line summary: tasks, stolen %, steals/attempts, empties, aborts
+    and the abort rate. *)

@@ -1,0 +1,127 @@
+(* Chrome trace-event JSON recorder (the "JSON Array Format" consumed by
+   chrome://tracing and Perfetto). Timestamps are simulated cycles reported
+   as microseconds — absolute units are meaningless for a simulator, the
+   relative layout is what the viewer is for.
+
+   Events are accumulated in memory (deterministic record order, ints only)
+   and written in one go, so a trace of the same run is byte-stable. A
+   configurable event limit keeps figure-scale runs from emitting
+   multi-gigabyte files: past the limit events are counted but dropped, and
+   the metadata records how many. *)
+
+type event = {
+  ph : char;  (* X = complete, i = instant, b/e = async begin/end, C = counter *)
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  ts : int;
+  dur : int;  (* complete events only *)
+  id : int;  (* async events only; -1 = absent *)
+  args : (string * int) list;
+}
+
+type t = {
+  limit : int;
+  mutable events : event list;  (* newest first *)
+  mutable recorded : int;
+  mutable dropped : int;
+  mutable names : (string * int * int) list;  (* metadata: name, pid, tid(-1 = process) *)
+}
+
+let create ?(limit = 200_000) () =
+  { limit; events = []; recorded = 0; dropped = 0; names = [] }
+
+let add t ev =
+  if t.recorded >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- ev :: t.events;
+    t.recorded <- t.recorded + 1
+  end
+
+let complete t ~name ?(cat = "sim") ?(pid = 0) ~tid ~ts ~dur () =
+  add t { ph = 'X'; name; cat; pid; tid; ts; dur; id = -1; args = [] }
+
+let instant t ~name ?(cat = "sim") ?(pid = 0) ~tid ~ts () =
+  add t { ph = 'i'; name; cat; pid; tid; ts; dur = 0; id = -1; args = [] }
+
+let async_begin t ~name ?(cat = "sb") ?(pid = 0) ~tid ~ts ~id () =
+  add t { ph = 'b'; name; cat; pid; tid; ts; dur = 0; id; args = [] }
+
+let async_end t ~name ?(cat = "sb") ?(pid = 0) ~tid ~ts ~id () =
+  add t { ph = 'e'; name; cat; pid; tid; ts; dur = 0; id; args = [] }
+
+let counter t ~name ?(cat = "sim") ?(pid = 0) ~tid ~ts ~values () =
+  add t { ph = 'C'; name; cat; pid; tid; ts; dur = 0; id = -1; args = values }
+
+let set_thread_name t ~pid ~tid name = t.names <- (name, pid, tid) :: t.names
+let set_process_name t ~pid name = t.names <- (name, pid, -1) :: t.names
+
+let length t = t.recorded
+let dropped t = t.dropped
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (String.make 1 ev.ph));
+      ("pid", Json.Int ev.pid);
+      ("tid", Json.Int ev.tid);
+      ("ts", Json.Int ev.ts);
+    ]
+  in
+  let base = if ev.ph = 'X' then base @ [ ("dur", Json.Int ev.dur) ] else base in
+  let base = if ev.id >= 0 then base @ [ ("id", Json.Int ev.id) ] else base in
+  let base =
+    match ev.args with
+    | [] -> base
+    | args ->
+        base
+        @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) args)) ]
+  in
+  Json.Obj base
+
+let metadata_json (name, pid, tid) =
+  if tid < 0 then
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  else
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map metadata_json (List.rev t.names)
+          @ List.rev_map event_json t.events) );
+      ("displayTimeUnit", Json.Str "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("generator", Json.Str "wsrepro");
+            ("recorded", Json.Int t.recorded);
+            ("dropped", Json.Int t.dropped);
+          ] );
+    ]
+
+let to_string t = Json.to_string ~indent:false (to_json t)
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc

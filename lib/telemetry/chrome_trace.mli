@@ -1,0 +1,48 @@
+(** Chrome trace-event recorder: emits the JSON Array Format that
+    [chrome://tracing] and Perfetto load directly.
+
+    Timestamps and durations are simulated cycles (reported in the format's
+    microsecond field). Events accumulate in memory in deterministic order —
+    a trace of the same run renders to identical bytes. Recording stops at
+    [limit] events (default 200k); overflow is counted in the document's
+    [otherData.dropped] so a truncated trace is detectable. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+
+val complete :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> dur:int ->
+  unit -> unit
+(** A span [ts, ts+dur) on thread [tid] (phase "X"). *)
+
+val instant :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> unit -> unit
+
+val async_begin :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> id:int ->
+  unit -> unit
+(** Open an async interval (phase "b"); close it with {!async_end} and the
+    same [id]/[name]/[cat]. Used for store-buffer residency of stores. *)
+
+val async_end :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> id:int ->
+  unit -> unit
+
+val counter :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int ->
+  values:(string * int) list -> unit -> unit
+(** A counter-track sample (phase "C"). *)
+
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+val set_process_name : t -> pid:int -> string -> unit
+
+val length : t -> int
+(** Events recorded (excluding metadata). *)
+
+val dropped : t -> int
+(** Events discarded after the limit was reached. *)
+
+val to_json : t -> Json.value
+val to_string : t -> string
+val write : t -> string -> unit

@@ -1,0 +1,92 @@
+(* Power-of-two bucketed histogram over non-negative ints. Bucket 0 counts
+   the value 0; bucket i (i >= 1) counts values in [2^(i-1), 2^i). 63
+   buckets cover the whole non-negative int range, so [observe] never needs
+   to grow or clamp. *)
+
+let n_buckets = 63
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_value : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; sum = 0; max_value = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 in
+    let v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    !i
+  end
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
+let bucket_hi i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe t v =
+  let v = max v 0 in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_value then t.max_value <- v
+
+let total t = t.total
+let sum t = t.sum
+let max_value t = t.max_value
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+let count t i = t.counts.(i)
+
+let merge ~into src =
+  for i = 0 to n_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum + src.sum;
+  if src.max_value > into.max_value then into.max_value <- src.max_value
+
+let reset t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.max_value <- 0
+
+(* Non-empty buckets as [(lo, hi, count)], lowest first. *)
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_lo i, bucket_hi i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let to_json t =
+  Json.Obj
+    [
+      ("total", Json.Int t.total);
+      ("sum", Json.Int t.sum);
+      ("max", Json.Int t.max_value);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.Obj
+                 [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int c) ])
+             (buckets t)) );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>total=%d mean=%.2f max=%d [" t.total (mean t)
+    t.max_value;
+  List.iteri
+    (fun i (lo, hi, c) ->
+      if i > 0 then Format.fprintf ppf " ";
+      if lo = hi then Format.fprintf ppf "%d:%d" lo c
+      else Format.fprintf ppf "%d-%d:%d" lo hi c)
+    (buckets t);
+  Format.fprintf ppf "]@]"

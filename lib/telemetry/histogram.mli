@@ -1,0 +1,32 @@
+(** Power-of-two bucketed histogram over non-negative ints (store-buffer
+    occupancy, egress depth, span lengths). Bucket 0 holds the value 0;
+    bucket [i >= 1] holds values in [[2^(i-1), 2^i)]. All operations are
+    allocation-free. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+(** Record one sample. Negative values are clamped to 0. *)
+
+val total : t -> int
+val sum : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val bucket_of : int -> int
+(** Bucket index a value falls into (exposed for tests). *)
+
+val count : t -> int -> int
+(** Samples in bucket [i]. *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s samples into [into]; [src] is unchanged. *)
+
+val reset : t -> unit
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], lowest first. *)
+
+val to_json : t -> Json.value
+val pp : Format.formatter -> t -> unit

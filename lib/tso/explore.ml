@@ -9,8 +9,13 @@ type stats = {
   deadlocks : int;
   pruned : int;
   memo_hits : int;
+  peak_depth : int;
   failures : (int list * string) list;
 }
+
+let memo_hit_rate s =
+  let visits = s.runs + s.memo_hits in
+  if visits = 0 then 0.0 else float_of_int s.memo_hits /. float_of_int visits
 
 (* The unit performing a transition, for preemption accounting. Drains and
    flushes belong to the memory subsystem and never count as preemptions. *)
@@ -145,6 +150,7 @@ type acc = {
   mutable deadlocks : int;
   mutable pruned : int;
   mutable memo_hits : int;
+  mutable peak_depth : int;
   mutable failures_rev : (int list * string) list;
   mutable failure_count : int;
 }
@@ -156,6 +162,7 @@ let make_acc () =
     deadlocks = 0;
     pruned = 0;
     memo_hits = 0;
+    peak_depth = 0;
     failures_rev = [];
     failure_count = 0;
   }
@@ -167,6 +174,7 @@ let stats_of_acc a =
     deadlocks = a.deadlocks;
     pruned = a.pruned;
     memo_hits = a.memo_hits;
+    peak_depth = a.peak_depth;
     failures = List.rev a.failures_rev;
   }
 
@@ -244,6 +252,7 @@ let preemption_cost_buf ~last_unit buf tr =
    prefix is restored to its entry length. *)
 let rec extend ctx inst prefix depth last_unit preemptions =
   let m = inst.machine in
+  if depth > ctx.acc.peak_depth then ctx.acc.peak_depth <- depth;
   let memo_hit =
     match ctx.memo with
     | None -> false
@@ -321,8 +330,10 @@ let rec extend ctx inst prefix depth last_unit preemptions =
   end
 
 let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ~mk () =
+    ?(max_failures = 5) ?(memo = false) ?on_progress ?(progress_every = 4096)
+    ~mk () =
   let acc = make_acc () in
+  let progress_every = max 1 progress_every in
   let ctx =
     {
       mk;
@@ -334,6 +345,9 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
       on_run =
         (fun a ->
           a.runs <- a.runs + 1;
+          (match on_progress with
+          | Some f when a.runs mod progress_every = 0 -> f (stats_of_acc a)
+          | _ -> ());
           if a.runs >= max_runs then raise Stop);
       pool = pool_create ();
     }
@@ -373,6 +387,7 @@ module Internal = struct
     mutable deadlocks : int;
     mutable pruned : int;
     mutable memo_hits : int;
+    mutable peak_depth : int;
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
   }

@@ -42,10 +42,16 @@ type stats = {
   pruned : int;  (** branches skipped by the preemption bound *)
   memo_hits : int;
       (** subtrees pruned by the visited-state cache (0 unless [memo]) *)
+  peak_depth : int;
+      (** deepest node reached by the search (the depth frontier) *)
   failures : (int list * string) list;
       (** failing runs: replayable choice sequence and message (at most
           [max_failures], newest last) *)
 }
+
+val memo_hit_rate : stats -> float
+(** Fraction of visited nodes pruned by the visited-state cache:
+    [memo_hits / (runs + memo_hits)], 0 when nothing was explored. *)
 
 val search :
   ?max_depth:int ->
@@ -53,12 +59,18 @@ val search :
   ?preemption_bound:int option ->
   ?max_failures:int ->
   ?memo:bool ->
+  ?on_progress:(stats -> unit) ->
+  ?progress_every:int ->
   mk:(unit -> instance) ->
   unit ->
   stats
 (** Defaults: [max_depth = 400], [max_runs = 200_000],
     [preemption_bound = None] (unbounded), [max_failures = 5],
-    [memo = false]. *)
+    [memo = false].
+
+    [on_progress], if given, receives a snapshot of the running statistics
+    every [progress_every] completed runs (default 4096) — the hook for
+    live progress reporting. It must not mutate the search. *)
 
 val replay_choices : mk:(unit -> instance) -> int list -> (unit, string) result
 (** Re-run one recorded choice sequence (from {!stats.failures}) and return
@@ -92,6 +104,7 @@ module Internal : sig
     mutable deadlocks : int;
     mutable pruned : int;
     mutable memo_hits : int;
+    mutable peak_depth : int;
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
   }

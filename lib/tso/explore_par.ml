@@ -91,6 +91,10 @@ let expand cfg task =
         walk (depth + 1) last_unit
     | ts ->
         let pruned = make_acc () in
+        (* This branching node is visited here, not by [extend]; account its
+           depth so the merged depth frontier matches the sequential search
+           even when every child is pruned by the preemption bound. *)
+        pruned.peak_depth <- depth;
         let children =
           List.concat
             (List.mapi
@@ -162,45 +166,88 @@ let run_task cfg task =
    with Explore.Stop -> ());
   acc
 
-let merge ~max_runs ~max_failures accs =
+let merge ~max_failures accs =
   let merged = make_acc () in
   List.iter
     (fun (a : acc) ->
-      (* Once the run budget is spent, later subtrees are dropped whole —
-         when the budget binds, totals are an approximation of the
-         sequential cut-off (which stops mid-subtree); when it does not
-         bind, nothing is dropped and totals are exact. *)
-      if merged.runs < max_runs then begin
-        merged.runs <- merged.runs + a.runs;
-        merged.truncated <- merged.truncated + a.truncated;
-        merged.deadlocks <- merged.deadlocks + a.deadlocks;
-        merged.pruned <- merged.pruned + a.pruned;
-        merged.memo_hits <- merged.memo_hits + a.memo_hits;
-        List.iter
-          (fun f ->
-            if merged.failure_count < max_failures then begin
-              merged.failures_rev <- f :: merged.failures_rev;
-              merged.failure_count <- merged.failure_count + 1
-            end)
-          (List.rev a.failures_rev)
-      end)
+      (* Every per-subtree accumulator is folded in full. The former code
+         dropped whole accumulators once the run budget was reached, so
+         with [--jobs N] a binding budget silently discarded the statistics
+         (and recorded failures!) of entire explored subtrees. The global
+         budget is enforced during the search by the shared run counter;
+         the merge only has to report what was actually explored — which
+         may slightly exceed [max_runs], exactly as the caller's domains
+         did. When the budget does not bind, totals are exact and
+         byte-identical to the sequential search. *)
+      merged.runs <- merged.runs + a.runs;
+      merged.truncated <- merged.truncated + a.truncated;
+      merged.deadlocks <- merged.deadlocks + a.deadlocks;
+      merged.pruned <- merged.pruned + a.pruned;
+      merged.memo_hits <- merged.memo_hits + a.memo_hits;
+      merged.peak_depth <- max merged.peak_depth a.peak_depth;
+      List.iter
+        (fun f ->
+          if merged.failure_count < max_failures then begin
+            merged.failures_rev <- f :: merged.failures_rev;
+            merged.failure_count <- merged.failure_count + 1
+          end)
+        (List.rev a.failures_rev))
     accs;
   merged
 
+type progress = {
+  tasks_done : int;
+  tasks_total : int;
+  total_runs : int;
+  domains : int;
+}
+
 let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ?jobs ~mk () =
+    ?(max_failures = 5) ?(memo = false) ?jobs ?on_progress
+    ?(progress_every = 4096) ~mk () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
   if jobs = 1 then
     Explore.search ~max_depth ~max_runs ~preemption_bound ~max_failures ~memo
-      ~mk ()
+      ?on_progress:
+        (Option.map
+           (fun f (s : Explore.stats) ->
+             f
+               {
+                 tasks_done = 0;
+                 tasks_total = 1;
+                 total_runs = s.Explore.runs;
+                 domains = 1;
+               })
+           on_progress)
+      ~progress_every ~mk ()
   else begin
     let total_runs = Atomic.make 0 in
+    let tasks_done = Atomic.make 0 in
+    let tasks_total = ref 0 in
+    let progress_every = max 1 progress_every in
+    (* Progress is observed only from the initial domain (the one that
+       called [search]): the reporter callback is not required to be
+       thread-safe. The counters it reads are global atomics, so the
+       snapshot covers every domain's work, sampled at the granularity of
+       the initial domain's own completed runs. *)
+    let main_domain = Domain.self () in
     let on_run (a : acc) =
       a.runs <- a.runs + 1;
-      if Atomic.fetch_and_add total_runs 1 + 1 >= max_runs then
-        raise Explore.Stop
+      let total = Atomic.fetch_and_add total_runs 1 + 1 in
+      (match on_progress with
+      | Some f
+        when Domain.self () = main_domain && total mod progress_every = 0 ->
+          f
+            {
+              tasks_done = Atomic.get tasks_done;
+              tasks_total = !tasks_total;
+              total_runs = total;
+              domains = jobs;
+            }
+      | _ -> ());
+      if total >= max_runs then raise Explore.Stop
     in
     let cfg =
       {
@@ -220,6 +267,7 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
            items)
     in
     let results = Array.make (Array.length tasks) None in
+    tasks_total := Array.length tasks;
     (* The shared work queue: domains claim the next unclaimed subtree until
        none remain — the checker work-steals, like the queues it checks. *)
     let next = Atomic.make 0 in
@@ -228,6 +276,7 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
         let i = Atomic.fetch_and_add next 1 in
         if i < Array.length tasks then begin
           results.(i) <- Some (run_task cfg tasks.(i));
+          Atomic.incr tasks_done;
           loop ()
         end
       in
@@ -252,5 +301,5 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
               a)
         items
     in
-    stats_of_acc (merge ~max_runs ~max_failures accs)
+    stats_of_acc (merge ~max_failures accs)
   end

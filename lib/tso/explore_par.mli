@@ -11,8 +11,11 @@
     budget not binding the merged statistics and failure traces are
     byte-identical to a sequential search. When the run budget does bind,
     the parallel search may explore slightly more than the sequential one
-    before stopping (the budget is shared through an atomic counter), and
-    whole subtrees past the budget are dropped from the report.
+    before stopping (the budget is shared through an atomic counter); the
+    merge reports {e everything} that was explored — counters and recorded
+    failures from every subtree, so [runs] may slightly exceed [max_runs].
+    (Earlier versions dropped whole per-domain accumulators once the budget
+    was reached, losing their statistics and failures.)
 
     Memoization ([memo = true]) uses a single visited-state cache shared by
     all domains (sharded by fingerprint hash, one mutex per shard), so
@@ -22,6 +25,13 @@
     parallel statistics are {e not} byte-identical to the sequential
     memoized search (non-memoized parallel search remains deterministic). *)
 
+type progress = {
+  tasks_done : int;  (** frontier subtrees fully explored *)
+  tasks_total : int;  (** frontier subtrees in the shared work queue *)
+  total_runs : int;  (** completed runs across all domains *)
+  domains : int;  (** worker domains in use *)
+}
+
 val search :
   ?max_depth:int ->
   ?max_runs:int ->
@@ -29,6 +39,8 @@ val search :
   ?max_failures:int ->
   ?memo:bool ->
   ?jobs:int ->
+  ?on_progress:(progress -> unit) ->
+  ?progress_every:int ->
   mk:(unit -> Explore.instance) ->
   unit ->
   Explore.stats
@@ -36,4 +48,9 @@ val search :
     [Domain.recommended_domain_count ()]; [jobs = 1] falls back to the
     sequential search. [mk] must be safe to call from multiple domains
     (each call builds a fresh, unshared instance — true of every instance
-    builder in this repository). *)
+    builder in this repository).
+
+    [on_progress] is invoked only on the domain that called [search] (the
+    callback need not be thread-safe), roughly every [progress_every]
+    (default 4096) globally completed runs; the snapshot's counters are
+    read from shared atomics so they cover all domains' work. *)

@@ -53,6 +53,10 @@ type t = {
   mutable listeners : (event -> unit) array;
   mutable n_listeners : int;
   mutable steps : int;
+  (* Telemetry counter sink. [None] (the default) keeps the hot path to a
+     single physical-equality check per transition, mirroring the
+     [n_listeners > 0] guard on event strings. *)
+  mutable sink : Telemetry.Sink.t option;
 }
 
 let create ?mem cfg =
@@ -65,10 +69,23 @@ let create ?mem cfg =
     listeners = [||];
     n_listeners = 0;
     steps = 0;
+    sink = None;
   }
 
 let memory t = t.mem
 let config t = t.cfg
+let set_sink t s = t.sink <- Some s
+let clear_sink t = t.sink <- None
+let sink t = t.sink
+
+(* Queue-layer hook: the fence-free thieves count each delta certification
+   they attempt ([t - delta > h]) against the machine's sink. Host-side and
+   deterministic — it fires exactly when the simulated steal path executes
+   the comparison. *)
+let count_delta_check t =
+  match t.sink with
+  | None -> ()
+  | Some s -> s.Telemetry.Sink.delta_checks <- s.Telemetry.Sink.delta_checks + 1
 
 let spawn t ~name body =
   let tid = t.n_threads in
@@ -340,8 +357,34 @@ let encode_response : type a. a Program.request -> a -> int =
   | Program.Req_label _ | Program.Req_pause ->
       0
 
+(* Telemetry accounting for one executed instruction. Out of line from
+   {!apply} so the sink-attached branch costs a call only when a sink is
+   actually present. *)
+let count_exec (s : Telemetry.Sink.t) th (type a) (req : a Program.request) =
+  match req with
+  | Program.Req_load _ -> s.loads <- s.loads + 1
+  | Program.Req_store _ ->
+      s.stores <- s.stores + 1;
+      (* Occupancy after the push: the store just issued is included. *)
+      Telemetry.Histogram.observe s.sb_occupancy (Store_buffer.entries th.buf)
+  | Program.Req_cas _ -> s.cas <- s.cas + 1
+  | Program.Req_fetch_add _ -> s.fetch_adds <- s.fetch_adds + 1
+  | Program.Req_fence -> s.fences <- s.fences + 1
+  | Program.Req_work _ | Program.Req_label _ | Program.Req_pause -> ()
+
+let count_drain (s : Telemetry.Sink.t) th result =
+  s.drains <- s.drains + 1;
+  (match result with
+  | Store_buffer.Coalesced _ -> s.coalesces <- s.coalesces + 1
+  | Store_buffer.Wrote _ | Store_buffer.Staged _ -> ());
+  Telemetry.Histogram.observe s.egress_depth
+    (match Store_buffer.egress_entry th.buf with None -> 0 | Some _ -> 1)
+
 let apply t tr =
   t.steps <- t.steps + 1;
+  (match t.sink with
+  | None -> ()
+  | Some s -> s.Telemetry.Sink.steps <- s.Telemetry.Sink.steps + 1);
   match tr with
   | Step tid -> (
       let th = thread t tid in
@@ -353,6 +396,7 @@ let apply t tr =
           let v = exec_request t th req in
           th.hist <- mix (mix th.hist (encode_request req)) (encode_response req v);
           th.status <- resume v;
+          (match t.sink with None -> () | Some s -> count_exec s th req);
           (* The formatted instruction string exists only for listeners;
              without any registered, the step allocates nothing here. *)
           if t.n_listeners > 0 then begin
@@ -363,10 +407,14 @@ let apply t tr =
   | Drain (tid, lane) ->
       let th = thread t tid in
       let result = Store_buffer.drain_lane th.buf lane t.mem in
+      (match t.sink with None -> () | Some s -> count_drain s th result);
       if t.n_listeners > 0 then emit t (Ev_drain { tid; result })
   | Flush tid ->
       let th = thread t tid in
       let addr, value = Store_buffer.flush_egress th.buf t.mem in
+      (match t.sink with
+      | None -> ()
+      | Some s -> s.Telemetry.Sink.flushes <- s.Telemetry.Sink.flushes + 1);
       if t.n_listeners > 0 then emit t (Ev_flush { tid; addr; value })
 
 let fingerprint t =

@@ -107,6 +107,22 @@ val on_event : t -> (event -> unit) -> unit
 (** Register a trace listener, called after every {!apply}. Listeners fire
     in registration order; registration is amortised O(1). *)
 
+(** {1 Telemetry} *)
+
+val set_sink : t -> Telemetry.Sink.t -> unit
+(** Attach a counter sink. While attached, every {!apply} updates the
+    sink's machine-level counters (loads, stores, cas, fences, drains,
+    flushes, coalesces, store-buffer occupancy, ...). Mirrors the listener
+    laziness: with no sink attached the per-transition cost is one mutable
+    field read. *)
+
+val clear_sink : t -> unit
+val sink : t -> Telemetry.Sink.t option
+
+val count_delta_check : t -> unit
+(** Bump the sink's δ-check counter (fence-free steal-side bound checks);
+    no-op when no sink is attached. Called by the deque implementations. *)
+
 (** {1 Introspection for the timing engine} *)
 
 type request_class =

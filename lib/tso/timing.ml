@@ -40,6 +40,8 @@ type core = {
   mutable drain_free : int;  (* when the drain engine can start its next write *)
   mutable buffer_emptied_at : int;  (* time of the drain that last emptied the buffer *)
   issue_times : int Queue.t;  (* completion times of buffered stores, oldest first *)
+  store_ids : int Queue.t;  (* trace ids of buffered stores, parallel to issue_times *)
+  mutable store_was_blocked : bool;  (* pending store has waited on a full buffer *)
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -57,12 +59,25 @@ type clock = { mutable now : int }
 let clock () = { now = 0 }
 let now c = c.now
 
-let run ?(max_steps = 50_000_000) ?clock:clk m costs =
+let run ?(max_steps = 50_000_000) ?clock:clk ?sink ?tracer ?(trace_pid = 0) m
+    costs =
   (match Machine.config m with
   | { buffer_model = Store_buffer.Abstract; _ } -> ()
   | _ -> invalid_arg "Timing.run: requires the Abstract buffer model");
   let clk = match clk with Some c -> c | None -> { now = 0 } in
   let n = Machine.thread_count m in
+  (* One knob for counter collection: attaching the sink here also turns on
+     the machine-level counters (loads/stores/occupancy/...); this function
+     adds the stall attribution the machine cannot see. *)
+  (match sink with None -> () | Some s -> Machine.set_sink m s);
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      for tid = 0 to n - 1 do
+        Telemetry.Chrome_trace.set_thread_name tr ~pid:trace_pid ~tid
+          (Machine.thread_name m tid)
+      done);
+  let next_store_id = ref 0 in
   let cores =
     Array.init n (fun _ ->
         {
@@ -70,6 +85,8 @@ let run ?(max_steps = 50_000_000) ?clock:clk m costs =
           drain_free = 0;
           buffer_emptied_at = 0;
           issue_times = Queue.create ();
+          store_ids = Queue.create ();
+          store_was_blocked = false;
           instructions = 0;
           loads = 0;
           stores = 0;
@@ -95,7 +112,12 @@ let run ?(max_steps = 50_000_000) ?clock:clk m costs =
     | Some cls -> (
         match cls with
         | Machine.C_load | Machine.C_work _ | Machine.C_free -> c.clock
-        | Machine.C_store -> if Machine.store_blocked m tid then -1 else c.clock
+        | Machine.C_store ->
+            if Machine.store_blocked m tid then begin
+              c.store_was_blocked <- true;
+              -1
+            end
+            else c.clock
         | Machine.C_rmw | Machine.C_fence ->
             if Queue.is_empty c.issue_times then max c.clock c.buffer_emptied_at
             else -1)
@@ -148,7 +170,17 @@ let run ?(max_steps = 50_000_000) ?clock:clk m costs =
           Machine.apply m (Machine.Drain (tid, 0));
           ignore (Queue.pop c.issue_times);
           c.drain_free <- time;
-          if Queue.is_empty c.issue_times then c.buffer_emptied_at <- time
+          if Queue.is_empty c.issue_times then c.buffer_emptied_at <- time;
+          match tracer with
+          | None -> ()
+          | Some tr ->
+              let id = Queue.pop c.store_ids in
+              Telemetry.Chrome_trace.async_end tr ~name:"sb-store" ~cat:"sb"
+                ~pid:trace_pid ~tid ~ts:time ~id ();
+              Telemetry.Chrome_trace.counter tr ~name:"sb-entries" ~cat:"sb"
+                ~pid:trace_pid ~tid ~ts:time
+                ~values:[ ("entries", Queue.length c.issue_times) ]
+                ()
         end
         else begin
           let time = !best_time in
@@ -160,17 +192,35 @@ let run ?(max_steps = 50_000_000) ?clock:clk m costs =
             | Some cls -> cls
             | None -> assert false
           in
+          (* Grab the description before [apply] consumes the instruction;
+             only when tracing — it allocates a string per instruction. *)
+          let descr =
+            match tracer with
+            | None -> None
+            | Some _ -> Machine.pending_request m tid
+          in
           let clock_before = c.clock in
           Machine.apply m (Machine.Step tid);
           c.instructions <- c.instructions + 1;
-          match cls with
+          (match cls with
           | Machine.C_load ->
               c.loads <- c.loads + 1;
               c.clock <- time + costs.load_cost
           | Machine.C_store ->
               c.stores <- c.stores + 1;
               c.clock <- time + costs.store_cost;
-              Queue.push c.clock c.issue_times
+              Queue.push c.clock c.issue_times;
+              (* If the store sat on a full buffer, the wait ended when the
+                 drain engine freed a slot at [drain_free]. *)
+              if c.store_was_blocked then begin
+                c.store_was_blocked <- false;
+                match sink with
+                | None -> ()
+                | Some s ->
+                    s.Telemetry.Sink.drain_stall_cycles <-
+                      s.Telemetry.Sink.drain_stall_cycles
+                      + max 0 (c.drain_free - clock_before)
+              end
           | Machine.C_rmw ->
               c.rmws <- c.rmws + 1;
               c.fence_stall <- c.fence_stall + (time - clock_before);
@@ -182,7 +232,50 @@ let run ?(max_steps = 50_000_000) ?clock:clk m costs =
           | Machine.C_work w ->
               c.work_cycles <- c.work_cycles + w;
               c.clock <- time + w
-          | Machine.C_free -> c.clock <- time + costs.pause_cost
+          | Machine.C_free -> c.clock <- time + costs.pause_cost);
+          (match cls, sink with
+          | (Machine.C_rmw | Machine.C_fence), Some s ->
+              s.Telemetry.Sink.fence_stall_cycles <-
+                s.Telemetry.Sink.fence_stall_cycles + (time - clock_before)
+          | _ -> ());
+          match tracer with
+          | None -> ()
+          | Some tr ->
+              let stall = time - clock_before in
+              (match cls with
+              | (Machine.C_rmw | Machine.C_fence) when stall > 0 ->
+                  Telemetry.Chrome_trace.complete tr ~name:"fence-stall"
+                    ~cat:"stall" ~pid:trace_pid ~tid ~ts:clock_before
+                    ~dur:stall ()
+              | _ -> ());
+              let name =
+                match descr with Some d -> d | None -> "instr"
+              in
+              let cat =
+                match cls with
+                | Machine.C_load -> "load"
+                | Machine.C_store -> "store"
+                | Machine.C_rmw -> "rmw"
+                | Machine.C_fence -> "fence"
+                | Machine.C_work _ -> "work"
+                | Machine.C_free -> "free"
+              in
+              Telemetry.Chrome_trace.complete tr ~name ~cat ~pid:trace_pid
+                ~tid ~ts:time
+                ~dur:(max 0 (c.clock - time))
+                ();
+              match cls with
+              | Machine.C_store ->
+                  let id = !next_store_id in
+                  incr next_store_id;
+                  Queue.push id c.store_ids;
+                  Telemetry.Chrome_trace.async_begin tr ~name:"sb-store"
+                    ~cat:"sb" ~pid:trace_pid ~tid ~ts:time ~id ();
+                  Telemetry.Chrome_trace.counter tr ~name:"sb-entries"
+                    ~cat:"sb" ~pid:trace_pid ~tid ~ts:time
+                    ~values:[ ("entries", Queue.length c.issue_times) ]
+                    ()
+              | _ -> ()
         end);
        incr steps
      done

@@ -58,8 +58,28 @@ val now : clock -> int
     thread programs may read the clock it passed to {!run} to timestamp
     events (e.g. the runtime's metrics). *)
 
-val run : ?max_steps:int -> ?clock:clock -> Machine.t -> cost_model -> report
+val run :
+  ?max_steps:int ->
+  ?clock:clock ->
+  ?sink:Telemetry.Sink.t ->
+  ?tracer:Telemetry.Chrome_trace.t ->
+  ?trace_pid:int ->
+  Machine.t ->
+  cost_model ->
+  report
 (** Drive a machine (with all threads spawned) to quiescence under the
     timing model. Deterministic: ties are broken by (kind, thread id).
     [clock] defaults to a fresh private clock; pass one explicitly when
-    thread programs need to observe simulated time mid-run. *)
+    thread programs need to observe simulated time mid-run.
+
+    [sink], if given, is attached to the machine (so its per-instruction
+    counters fill in) and additionally receives the stall attribution only
+    the timing engine can compute: [fence_stall_cycles] (drain waits before
+    fences/RMWs) and [drain_stall_cycles] (stores waiting on a full
+    buffer). [tracer] records a Chrome trace of the run — one span per
+    instruction on its simulated core's track, "fence-stall" spans for the
+    drain waits, async "sb-store" intervals for each store's residency in
+    the store buffer, and an "sb-entries" counter track. [trace_pid]
+    (default 0) labels the process id of every traced event, letting a
+    harness overlay several runs in one trace. Neither option costs
+    anything when omitted. *)

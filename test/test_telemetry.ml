@@ -1,0 +1,298 @@
+(* Telemetry unit tests: histogram bucketing, sink merge/reset semantics,
+   the strict JSON parser, and the Chrome-trace exporter (span nesting for a
+   known two-thread interleaving, byte-stable output). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+module H = Telemetry.Histogram
+module S = Telemetry.Sink
+module J = Telemetry.Json
+module CT = Telemetry.Chrome_trace
+
+(* --- histogram -------------------------------------------------------- *)
+
+let test_bucket_of () =
+  check int "0 -> bucket 0" 0 (H.bucket_of 0);
+  check int "negative clamps to bucket 0" 0 (H.bucket_of (-7));
+  check int "1 -> bucket 1" 1 (H.bucket_of 1);
+  check int "2 -> bucket 2" 2 (H.bucket_of 2);
+  check int "3 -> bucket 2" 2 (H.bucket_of 3);
+  check int "4 -> bucket 3" 3 (H.bucket_of 4);
+  check int "7 -> bucket 3" 3 (H.bucket_of 7);
+  check int "8 -> bucket 4" 4 (H.bucket_of 8);
+  (* bucket i >= 1 holds [2^(i-1), 2^i): check both edges for a few i *)
+  for i = 1 to 20 do
+    let lo = 1 lsl (i - 1) in
+    check int (Printf.sprintf "lo edge of bucket %d" i) i (H.bucket_of lo);
+    check int
+      (Printf.sprintf "hi edge of bucket %d" i)
+      i
+      (H.bucket_of ((2 * lo) - 1))
+  done
+
+let test_histogram_observe () =
+  let h = H.create () in
+  List.iter (H.observe h) [ 0; 0; 1; 2; 3; 8; 1000 ];
+  check int "total" 7 (H.total h);
+  check int "sum" (0 + 0 + 1 + 2 + 3 + 8 + 1000) (H.sum h);
+  check int "max" 1000 (H.max_value h);
+  check int "bucket 0 count" 2 (H.count h 0);
+  check int "bucket 1 count" 1 (H.count h 1);
+  check int "bucket 2 count" 2 (H.count h 2);
+  check int "bucket 4 count" 1 (H.count h (H.bucket_of 8));
+  check bool "buckets are (lo, hi, count), lowest first"
+    true
+    (H.buckets h
+    = [ (0, 0, 2); (1, 1, 1); (2, 3, 2); (8, 15, 1); (1024, 2047, 1) ]
+      (* 1000 falls in [512, 1024) *)
+    || H.buckets h
+       = [ (0, 0, 2); (1, 1, 1); (2, 3, 2); (8, 15, 1); (512, 1023, 1) ])
+
+let test_histogram_merge_reset () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.observe a) [ 1; 5 ];
+  List.iter (H.observe b) [ 0; 5; 900 ];
+  H.merge ~into:a b;
+  check int "merged total" 5 (H.total a);
+  check int "merged sum" (1 + 5 + 0 + 5 + 900) (H.sum a);
+  check int "merged max" 900 (H.max_value a);
+  check int "src total unchanged" 3 (H.total b);
+  check int "src sum unchanged" 905 (H.sum b);
+  H.reset a;
+  check int "reset total" 0 (H.total a);
+  check int "reset sum" 0 (H.sum a);
+  check int "reset max" 0 (H.max_value a);
+  check bool "reset buckets empty" true (H.buckets a = [])
+
+(* --- sink ------------------------------------------------------------- *)
+
+let filled_sink () =
+  let s = S.create () in
+  s.S.loads <- 10;
+  s.S.stores <- 20;
+  s.S.fences <- 3;
+  s.S.fence_stall_cycles <- 120;
+  s.S.steal_attempts <- 5;
+  s.S.steal_aborts <- 2;
+  s.S.tasks_run <- 64;
+  H.observe (S.sb_occupancy s) 4;
+  H.observe (S.egress_depth s) 1;
+  s
+
+let test_sink_merge () =
+  let a = filled_sink () and b = filled_sink () in
+  S.merge ~into:a b;
+  check int "loads add" 20 a.S.loads;
+  check int "stores add" 40 a.S.stores;
+  check int "fence stall adds" 240 a.S.fence_stall_cycles;
+  check int "steal aborts add" 4 a.S.steal_aborts;
+  check int "histograms merge too" 2 (H.total (S.sb_occupancy a));
+  (* src unchanged *)
+  check int "src loads unchanged" 10 b.S.loads;
+  check int "src histogram unchanged" 1 (H.total (S.sb_occupancy b));
+  (* every scalar doubles: fields of a = 2 * fields of b *)
+  List.iter2
+    (fun (k, va) (k', vb) ->
+      check string "field order stable" k k';
+      check int (k ^ " doubled") (2 * vb) va)
+    (S.fields a) (S.fields b)
+
+let test_sink_reset () =
+  let s = filled_sink () in
+  S.reset s;
+  List.iter (fun (k, v) -> check int (k ^ " zero after reset") 0 v) (S.fields s);
+  check int "histogram cleared" 0 (H.total (S.sb_occupancy s));
+  check int "egress histogram cleared" 0 (H.total (S.egress_depth s))
+
+(* --- json ------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("schema", J.Str "test/v1");
+        ("n", J.Int 42);
+        ("x", J.Float 1.5);
+        ("flag", J.Bool true);
+        ("nothing", J.Null);
+        ("list", J.List [ J.Int 1; J.Int 2; J.Str "a\"b\\c\n" ]);
+        ("nested", J.Obj [ ("k", J.Int (-7)) ]);
+      ]
+  in
+  (match J.parse (J.to_string v) with
+  | Ok v' -> check bool "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e);
+  (match J.parse (J.to_string ~indent:false v) with
+  | Ok v' -> check bool "compact roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "compact roundtrip failed: %s" e);
+  check bool "member" true (J.member "n" v = Some (J.Int 42));
+  check bool "member missing" true (J.member "zzz" v = None)
+
+let test_json_rejects () =
+  let bad =
+    [
+      "";
+      "{";
+      "[1, 2";
+      "{\"a\": }";
+      "{\"a\": 1,}";
+      "tru";
+      "\"unterminated";
+      "{\"a\": 1} trailing";
+      "nan";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    bad
+
+(* --- chrome trace ----------------------------------------------------- *)
+
+(* A known 2-thread interleaving: two cores, each storing to its own flag
+   then fencing and reading the other's — the classic SB shape, which gives
+   the timing engine stores, drains, fence stalls and loads on both
+   tracks. *)
+let traced_run () =
+  let m =
+    Tso.Machine.create
+      (Tso.Machine.abstract_config ~sb_capacity:2)
+  in
+  let mem = Tso.Machine.memory m in
+  let x = Tso.Memory.alloc mem ~name:"x" ~init:0 in
+  let y = Tso.Memory.alloc mem ~name:"y" ~init:0 in
+  let r0 = ref (-1) and r1 = ref (-1) in
+  let _ =
+    Tso.Machine.spawn m ~name:"t0" (fun () ->
+        Tso.Program.store x 1;
+        Tso.Program.fence ();
+        r0 := Tso.Program.load y)
+  in
+  let _ =
+    Tso.Machine.spawn m ~name:"t1" (fun () ->
+        Tso.Program.store y 1;
+        Tso.Program.fence ();
+        r1 := Tso.Program.load x)
+  in
+  let tracer = CT.create () in
+  let report = Tso.Timing.run ~tracer m Tso.Timing.default_costs in
+  (tracer, report)
+
+type span = { ts : int; dur : int; tid : int }
+
+let spans_of_json j =
+  match J.member "traceEvents" j with
+  | Some (J.List evs) ->
+      List.filter_map
+        (fun e ->
+          let field k =
+            match J.member k e with Some (J.Int i) -> Some i | _ -> None
+          in
+          match (J.member "ph" e, field "ts", field "tid") with
+          | Some (J.Str "X"), Some ts, Some tid ->
+              let dur = Option.value ~default:0 (field "dur") in
+              Some { ts; dur; tid }
+          | _ -> None)
+        evs
+  | _ -> Alcotest.fail "trace has no traceEvents list"
+
+let test_trace_spans_nest () =
+  let tracer, report = traced_run () in
+  check bool "run quiesced" true (report.Tso.Timing.outcome = Tso.Sched.Quiescent);
+  let j = CT.to_json tracer in
+  let spans = spans_of_json j in
+  check bool "spans recorded" true (List.length spans > 0);
+  check bool "both threads have spans" true
+    (List.exists (fun s -> s.tid = 0) spans
+    && List.exists (fun s -> s.tid = 1) spans);
+  (* Spans on one core's track must nest: for any two, either disjoint or
+     one contains the other. The timing engine only emits sequential,
+     adjacent spans per core, so we check the stronger property. *)
+  List.iter
+    (fun tid ->
+      let mine =
+        List.sort
+          (fun a b -> compare (a.ts, a.dur) (b.ts, b.dur))
+          (List.filter (fun s -> s.tid = tid) spans)
+      in
+      ignore
+        (List.fold_left
+           (fun prev_end s ->
+             check bool
+               (Printf.sprintf "tid %d span at %d starts after previous end"
+                  tid s.ts)
+               true (s.ts >= prev_end);
+             s.ts + s.dur)
+           0 mine))
+    [ 0; 1 ];
+  (* every async sb-store interval closes exactly once, same id *)
+  match J.member "traceEvents" j with
+  | Some (J.List evs) ->
+      let ids ph =
+        List.filter_map
+          (fun e ->
+            match (J.member "ph" e, J.member "id" e) with
+            | Some (J.Str p), Some (J.Int id) when p = ph -> Some id
+            | _ -> None)
+          evs
+      in
+      let sort = List.sort compare in
+      check bool "async begins pair with ends" true
+        (sort (ids "b") = sort (ids "e"))
+  | _ -> Alcotest.fail "trace has no traceEvents list"
+
+let test_trace_deterministic () =
+  let t1, _ = traced_run () in
+  let t2, _ = traced_run () in
+  check string "same run, same bytes" (CT.to_string t1) (CT.to_string t2);
+  (match J.parse (CT.to_string t1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trace is not valid JSON: %s" e);
+  check int "nothing dropped" 0 (CT.dropped t1)
+
+let test_trace_limit () =
+  let t = CT.create ~limit:3 () in
+  for i = 0 to 9 do
+    CT.complete t ~name:"e" ~tid:0 ~ts:i ~dur:1 ()
+  done;
+  check int "capped at limit" 3 (CT.length t);
+  check int "overflow counted" 7 (CT.dropped t);
+  match J.parse (CT.to_string t) with
+  | Ok j ->
+      check bool "dropped recorded in document" true
+        (match J.member "otherData" j with
+        | Some od -> J.member "dropped" od = Some (J.Int 7)
+        | None -> false)
+  | Error e -> Alcotest.failf "capped trace invalid: %s" e
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket_of" `Quick test_bucket_of;
+          Alcotest.test_case "observe" `Quick test_histogram_observe;
+          Alcotest.test_case "merge/reset" `Quick test_histogram_merge_reset;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "merge" `Quick test_sink_merge;
+          Alcotest.test_case "reset" `Quick test_sink_reset;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "spans nest" `Quick test_trace_spans_nest;
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "event limit" `Quick test_trace_limit;
+        ] );
+    ]
