@@ -229,7 +229,7 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v2"
+let bench_schema = "wsrepro-bench/v3"
 
 let bench_fields =
   [
@@ -237,6 +237,8 @@ let bench_fields =
     "sim_batch_steps_per_sec_telemetry";
     "telemetry_overhead_pct";
     "explorer_runs_per_sec";
+    "explorer_por_runs_per_sec";
+    "snapshot_restore_ns";
     "fig10_wall_s";
     "fingerprint_ns";
     "memo_lookup_ns";
@@ -265,8 +267,12 @@ let measure_sim_steps ?(telemetry = false) ~batches () =
   in
   float_of_int !steps /. dt
 
-(* Explorer throughput on a small FF-THE scenario (complete runs/sec). *)
-let measure_explorer ~max_runs () =
+(* Explorer throughput on a small FF-THE scenario (complete runs/sec).
+   With [por] the sleep-set reduction is on: the same verdict is reached
+   from far fewer runs, so the rate divides completed runs (not skipped
+   siblings) by the wall time — it answers "how fast does one verdict
+   arrive", not "how fast does the machine step". *)
+let measure_explorer ?(por = false) ?(snapshots = true) ~max_runs () =
   let spec =
     {
       Ws_harness.Scenarios.default_spec with
@@ -280,9 +286,43 @@ let measure_explorer ~max_runs () =
   let (st, _), dt =
     wall (fun () ->
         Ws_harness.Runner.exhaustive_check spec ~max_runs
-          ~preemption_bound:(Some 3) ~jobs:1 ~memo:false ())
+          ~preemption_bound:(Some 3) ~jobs:1 ~memo:false ~por ~snapshots ())
   in
   float_of_int st.Tso.Explore.runs /. dt
+
+(* Incremental cost of [Machine.restore_into] — what one sibling branch
+   pays on the explorer's snapshot path, beyond building the fresh
+   instance both paths share (the replay path it replaced paid one
+   [Machine.apply] per prefix step on top of the same instance build).
+   Measured by subtracting a build-only loop from a build+restore loop. *)
+let measure_snapshot_restore ~iters () =
+  let mk =
+    Tso.Explore.Internal.recording_mk
+      (Ws_harness.Scenarios.instance Ws_harness.Scenarios.default_spec)
+  in
+  let inst = mk () in
+  (match
+     Tso.Sched.run ~max_steps:40 inst.Tso.Explore.machine
+       (Tso.Sched.round_robin ())
+   with
+  | Tso.Sched.Max_steps -> ()
+  | _ -> failwith "snapshot probe ran to completion; deepen the scenario");
+  let snap = Tso.Machine.snapshot_create () in
+  Tso.Machine.snapshot inst.Tso.Explore.machine snap;
+  let (), dt_build =
+    wall (fun () ->
+        for _ = 1 to iters do
+          ignore (Sys.opaque_identity (mk ()))
+        done)
+  in
+  let (), dt_both =
+    wall (fun () ->
+        for _ = 1 to iters do
+          let i = mk () in
+          Tso.Machine.restore_into snap i.Tso.Explore.machine
+        done)
+  in
+  1e9 *. Float.max 0.0 (dt_both -. dt_build) /. float_of_int iters
 
 (* Cost of one [Machine.fingerprint] of a mid-run machine state — the memo
    key computation on the explorer's hot path. *)
@@ -336,8 +376,9 @@ let measure_fig10 ~repeats () =
   dt
 
 let run_json ~smoke ~out () =
-  let batches, max_runs, fp_iters, repeats =
-    if smoke then (20, 500, 2_000, 1) else (2_000, 20_000, 200_000, 3)
+  let batches, max_runs, fp_iters, snap_iters, repeats =
+    if smoke then (20, 500, 2_000, 500, 1)
+    else (2_000, 20_000, 200_000, 20_000, 3)
   in
   let disabled = measure_sim_steps ~batches () in
   let enabled = measure_sim_steps ~telemetry:true ~batches () in
@@ -347,6 +388,8 @@ let run_json ~smoke ~out () =
       ("sim_batch_steps_per_sec_telemetry", enabled);
       ("telemetry_overhead_pct", 100.0 *. (disabled -. enabled) /. disabled);
       ("explorer_runs_per_sec", measure_explorer ~max_runs ());
+      ("explorer_por_runs_per_sec", measure_explorer ~por:true ~max_runs ());
+      ("snapshot_restore_ns", measure_snapshot_restore ~iters:snap_iters ());
       ("fig10_wall_s", measure_fig10 ~repeats ());
       ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
       ("memo_lookup_ns", measure_memo_lookup ~iters:fp_iters ());
@@ -374,7 +417,7 @@ let run_json ~smoke ~out () =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-(* Validator for --check. Two contracts:
+(* Validator for --check. Four contracts:
 
    1. Schema: the file parses as JSON (the in-tree strict parser), carries
       the schema id, and has every required metric — the CI smoke job keys
@@ -384,8 +427,28 @@ let run_json ~smoke ~out () =
       than 5% against the rate recorded in the file. The live probe takes
       the best of three short runs (downward noise hides a regression less
       than upward noise fakes one); the recorded baseline was a single
-      long measurement on the same machine. *)
+      long measurement on the same machine.
+
+   3. The recorded telemetry_overhead_pct must stay under an absolute
+      ceiling: the sink-attached stepping rate paying more than ~30% over
+      plain stepping means a counter crept onto a path it shouldn't be on.
+      Smoke-mode documents use a much looser ceiling — their probes run
+      for milliseconds, so the recorded ratio is mostly scheduler noise.
+
+   4. The live snapshot-restore probe must stay within a generous factor
+      of the recorded one. Restore skips the per-transition machinery the
+      replay path pays; the only way to blow the factor is an algorithmic
+      regression (e.g. the restore path quietly re-acquiring an O(depth)
+      replay), which this catches even through CI machine-speed noise. *)
 let overhead_budget_pct = 5.0
+
+(* recorded telemetry_overhead_pct ceiling (absolute, machine-independent) *)
+let telemetry_overhead_ceiling_pct ~smoke = if smoke then 100.0 else 30.0
+
+(* live snapshot_restore_ns vs recorded: factor + absolute slack, sized for
+   cross-machine noise and the subtraction-based probe *)
+let snapshot_factor = 3.0
+let snapshot_slack_ns = 2000.0
 
 let run_check file =
   let doc =
@@ -433,7 +496,53 @@ let run_check file =
      %+.1f%%) %s\n"
     file (live /. 1e6) (recorded /. 1e6) delta_pct
     (if ok then "OK" else "REGRESSED");
-  if not ok then exit 1
+  let recorded_ovh = Option.get (metric "telemetry_overhead_pct") in
+  let ceiling =
+    telemetry_overhead_ceiling_pct ~smoke:(str_field "mode" = Some "smoke")
+  in
+  let ovh_ok = recorded_ovh <= ceiling in
+  Printf.printf "%s: recorded telemetry overhead %.1f%% (ceiling %.0f%%) %s\n"
+    file recorded_ovh ceiling
+    (if ovh_ok then "OK" else "OVER BUDGET");
+  let recorded_snap = Option.get (metric "snapshot_restore_ns") in
+  let live_snap =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> measure_snapshot_restore ~iters:300 ()))
+  in
+  let snap_budget = (recorded_snap *. snapshot_factor) +. snapshot_slack_ns in
+  let snap_ok = live_snap <= snap_budget in
+  Printf.printf
+    "%s: snapshot restore %.0f ns (recorded %.0f, budget %.0f) %s\n" file
+    live_snap recorded_snap snap_budget
+    (if snap_ok then "OK" else "REGRESSED");
+  if not (ok && ovh_ok && snap_ok) then exit 1
+
+let usage () =
+  print_string
+    ("usage: bench [--micro | --figures]\n\
+     \       bench --json [--smoke] [--out FILE]\n\
+     \       bench --check FILE\n\n\
+      Default: Bechamel micro-benchmarks, then the full figure/table\n\
+      regeneration. --micro / --figures run only one half.\n\n\
+      --json emits the " ^ bench_schema
+   ^ " baseline document (--smoke: tiny\n\
+      iteration counts — the shape is the contract, the numbers are\n\
+      meaningless). --check validates a baseline file and gates the live\n\
+      stepping rate, the recorded telemetry overhead, and the live\n\
+      snapshot-restore cost.\n\n\
+      Probe shapes (numbers are only comparable for identical probes):\n\
+     \  fingerprint_ns / memo_lookup_ns  one Machine.fingerprint of a THEP\n\
+     \      worker machine stopped 200 steps into its run (~137 live memory\n\
+     \      cells; fingerprint cost is O(live cells), so a 2-thread litmus\n\
+     \      machine fingerprints ~5x faster — see EXPERIMENTS.md).\n\
+     \  explorer_runs_per_sec            bounded FF-THE scenario, sb=1,\n\
+     \      preemption bound 3, memo off, snapshot-based siblings.\n\
+     \  explorer_por_runs_per_sec        same scenario with sleep-set POR:\n\
+     \      completed runs per second, so fewer runs to the same verdict\n\
+     \      lowers it even as the verdict arrives sooner.\n\
+     \  snapshot_restore_ns              Machine.restore_into of a 40-step\n\
+     \      default-scenario snapshot, minus the fresh-instance build both\n\
+     \      explorer sibling paths share.\n")
 
 let () =
   let argv = Sys.argv in
@@ -445,7 +554,8 @@ let () =
       argv;
     !r
   in
-  if has "--check" then
+  if has "--help" || has "-h" then usage ()
+  else if has "--check" then
     match value_of "--check" with
     | Some f -> run_check f
     | None ->

@@ -7,11 +7,11 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v2 records the telemetry-enabled
-stepping rate next to the plain one, plus their ratio as a percentage:
+with one fixed-format float per metric. v3 adds the sleep-set-POR explorer
+rate and the snapshot-restore cost next to the v2 telemetry pair:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v2"
+  "schema": "wsrepro-bench/v3"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
@@ -19,24 +19,36 @@ stepping rate next to the plain one, plus their ratio as a percentage:
   "sim_batch_steps_per_sec_telemetry":
   "telemetry_overhead_pct":
   "explorer_runs_per_sec":
+  "explorer_por_runs_per_sec":
+  "snapshot_restore_ns":
   "fig10_wall_s":
   "fingerprint_ns":
   "memo_lookup_ns":
 
+The probe shapes behind each number are documented in `--help` (they are
+what makes values comparable across commits):
+
+  $ wsbench --help | grep -c 'Probe shapes'
+  1
+
 `--check` validates that contract (CI runs it against the tracked baseline
-so schema drift fails the build) and then measures the live
-telemetry-disabled stepping rate against the recorded one — if the
-no-sink guard ever stops being free, the second line says REGRESSED and
-the check exits 1. The numbers are machine-dependent, so normalize them:
+so schema drift fails the build) and then gates three live/recorded
+numbers: the telemetry-disabled stepping rate against the recorded one
+(the no-sink guard must stay free), the recorded telemetry overhead
+against an absolute ceiling, and the live snapshot-restore cost against
+the recorded one (the snapshot path must not quietly re-acquire an
+O(depth) replay). The numbers are machine-dependent, so normalize them:
 
   $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
   bench.json: schema wsrepro-bench/vN OK (N metrics)
   bench.json: telemetry-disabled stepping N Msteps/s (recorded N, delta N%) OK
+  bench.json: recorded telemetry overhead N% (ceiling N%) OK
+  bench.json: snapshot restore N ns (recorded N, budget N) OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v2|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v3|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v2)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v3)
   drifted.json: missing metric "fingerprint_ns"
   [1]

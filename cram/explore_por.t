@@ -1,0 +1,55 @@
+Sleep-set partial-order reduction skips interleavings that merely commute
+independent transitions of ones already explored: once a subtree is done,
+its root transition goes to sleep in later siblings until a dependent
+transition (same thread, or overlapping memory footprint) wakes it. On the
+classic x86-TSO litmus suite the verdicts are identical to the unreduced
+search from a fraction of the runs — compare tso_litmus.t (3301 runs in
+total) with the reduced suite (97):
+
+  $ wsrepro tso-litmus --por
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed          14 runs (exhaustive)  OK
+  SB+fences          forbidden not observed       3 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed       3 runs (exhaustive)  OK
+  MP                 forbidden not observed       6 runs (exhaustive)  OK
+  LB                 forbidden not observed       3 runs (exhaustive)  OK
+  n6                 allowed   observed          26 runs (exhaustive)  OK
+  n5                 forbidden not observed      18 runs (exhaustive)  OK
+  IRIW               forbidden not observed      15 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       5 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       4 runs (exhaustive)  OK
+
+Without a preemption bound, parallel POR explores exactly the same reduced
+tree (the sleep sets travel with the frontier tasks):
+
+  $ wsrepro tso-litmus --por > seq.out
+  $ wsrepro tso-litmus --por --jobs 4 > par.out
+  $ diff seq.out par.out
+
+Snapshot-based sibling exploration is a per-node cost optimisation, not a
+reduction: `--snapshots=false` reaches siblings by replaying the schedule
+prefix from the root instead, and must produce the same bytes:
+
+  $ wsrepro tso-litmus --por --snapshots=false > replay.out
+  $ diff seq.out replay.out
+
+POR composes with memoization — the sleep set is part of the memo key, so
+prunes only fire against visits with the same reduction in force. The
+memoized ff-the proof of explore_memo.t shrinks a little further, and the
+output now reports the skipped siblings:
+
+  $ wsrepro explore -q ff-the --memo --por
+  ff-the: 171 complete runs, 0 truncated, 0 deadlocks, 164 pruned branches, 3494 memo hits (95.3% hit rate), 113 sleep-set skips, peak depth 52
+  no safety violation found
+
+The reduced search still catches real bugs, with a replayable prefix:
+
+  $ wsrepro explore -q the --fence=false --memo --por --tasks=2 --steals=1 2>&1 | head -n 2
+  the: 110 complete runs, 0 truncated, 0 deadlocks, 139 pruned branches, 2013 memo hits (94.8% hit rate), 128 sleep-set skips, peak depth 52
+  VIOLATION: task 0 extracted 2 times
+
+Parallel memoized statistics are schedule-dependent (whichever domain
+reaches a state first records it), so only the verdict is stable:
+
+  $ wsrepro explore -q ff-the --memo --por --jobs 2 | tail -n 1
+  no safety violation found

@@ -36,10 +36,10 @@ let run_dag m v ?workers ~seeds ?sink ?tracer ?trace_pid dag ~name =
     seeds
 
 let exhaustive_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo
-    ?progress () =
+    ?por ?snapshots ?progress () =
   let st =
     Scenarios.explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs
-      ?memo ?progress ()
+      ?memo ?por ?snapshots ?progress ()
   in
   (st, st.Tso.Explore.failures = [] && st.Tso.Explore.truncated = 0)
 

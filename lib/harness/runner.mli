@@ -36,11 +36,15 @@ val exhaustive_check :
   ?preemption_bound:int option ->
   ?jobs:int ->
   ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
   ?progress:bool ->
   unit ->
   Tso.Explore.stats * bool
 (** Bounded exhaustive model checking of a queue scenario, optionally
-    memoized ([memo]) and fanned out across domains ([jobs]). With
+    memoized ([memo]), reduced with sleep sets ([por]), and fanned out
+    across domains ([jobs]). [snapshots] selects snapshot-based sibling
+    exploration (default) vs replay-from-root. With
     [progress], a live nodes-per-second status line is maintained on
     stderr. Returns the explorer statistics and a clean-verdict flag: no
     failure found and no run truncated by the depth bound. *)

@@ -115,7 +115,7 @@ let random_check spec ~seeds ?(drain_weight = 0.1) () =
   go seeds
 
 let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
-    ?(memo = false) ?(progress = false) () =
+    ?(memo = false) ?(por = false) ?(snapshots = true) ?(progress = false) () =
   let reporter =
     if progress then Some (Telemetry.Progress.create ~label:"explore" ())
     else None
@@ -132,8 +132,8 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
                   p.Explore_par.tasks_total p.Explore_par.domains))
           reporter
       in
-      Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~jobs
-        ?on_progress ~mk:(instance spec) ()
+      Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~por
+        ~snapshots ~jobs ?on_progress ~mk:(instance spec) ()
     else
       let on_progress =
         Option.map
@@ -146,8 +146,8 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
                   (100.0 *. Explore.memo_hit_rate s)))
           reporter
       in
-      Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ?on_progress
-        ~mk:(instance spec) ()
+      Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ~por
+        ~snapshots ?on_progress ~mk:(instance spec) ()
   in
   Option.iter (fun rep -> Telemetry.Progress.finish rep) reporter;
   st

@@ -39,12 +39,17 @@ val explore_check :
   ?preemption_bound:int option ->
   ?jobs:int ->
   ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
   ?progress:bool ->
   unit ->
   Tso.Explore.stats
 (** Bounded exhaustive exploration of the scenario. [jobs > 1] fans the
     search out across domains ({!Tso.Explore_par}); [memo] enables the
-    visited-state cache. With [progress] a live status line (runs/s, depth
+    visited-state cache; [por] enables sleep-set partial-order reduction
+    (same verdicts and failure prefixes, far fewer runs); [snapshots]
+    selects snapshot-based sibling exploration (default) vs
+    replay-from-root. With [progress] a live status line (runs/s, depth
     frontier, memo hit rate; per-domain subtree balance when parallel) is
     maintained on stderr. Defaults: [jobs = 1], [memo = false],
-    [progress = false]. *)
+    [por = false], [snapshots = true], [progress = false]. *)

@@ -239,10 +239,12 @@ type result = {
   ok : bool;
 }
 
-let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) test =
+let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) ?(por = false)
+    ?(snapshots = true) test =
   let st =
-    if jobs > 1 then Explore_par.search ~max_runs ~memo ~jobs ~mk:test.mk ()
-    else Explore.search ~max_runs ~memo ~mk:test.mk ()
+    if jobs > 1 then
+      Explore_par.search ~max_runs ~memo ~por ~snapshots ~jobs ~mk:test.mk ()
+    else Explore.search ~max_runs ~memo ~por ~snapshots ~mk:test.mk ()
   in
   let observed = st.Explore.failures <> [] in
   let exhausted = st.Explore.runs < max_runs && st.Explore.truncated = 0 in
@@ -253,8 +255,8 @@ let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) test =
   in
   { test; observed; runs = st.Explore.runs; exhausted; ok }
 
-let run_all ?max_runs ?jobs ?memo () =
-  List.map (fun t -> run ?max_runs ?jobs ?memo t) all
+let run_all ?max_runs ?jobs ?memo ?por ?snapshots () =
+  List.map (fun t -> run ?max_runs ?jobs ?memo ?por ?snapshots t) all
 
 let pp_result ppf r =
   Format.fprintf ppf "%-18s %-9s %-12s %7d runs%s  %s" r.test.name

@@ -36,11 +36,28 @@ type result = {
                   only meaningful when [exhausted]) *)
 }
 
-val run : ?max_runs:int -> ?jobs:int -> ?memo:bool -> t -> result
+val run :
+  ?max_runs:int ->
+  ?jobs:int ->
+  ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
+  t ->
+  result
 (** Decide one test's verdict by bounded exhaustive search. [jobs > 1] uses
     the multicore explorer (byte-identical results); [memo] prunes
-    converged interleavings, shrinking [runs] without changing [observed].
-    Defaults: [jobs = 1], [memo = false]. *)
+    converged interleavings, shrinking [runs] without changing [observed];
+    [por] applies sleep-set partial-order reduction (same verdicts, far
+    fewer [runs]); [snapshots] selects snapshot-based sibling exploration
+    (default) vs replay-from-root. Defaults: [jobs = 1], [memo = false],
+    [por = false], [snapshots = true]. *)
 
-val run_all : ?max_runs:int -> ?jobs:int -> ?memo:bool -> unit -> result list
+val run_all :
+  ?max_runs:int ->
+  ?jobs:int ->
+  ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
+  unit ->
+  result list
 val pp_result : Format.formatter -> result -> unit

@@ -39,6 +39,9 @@ type t = {
   (* runtime layer *)
   mutable tasks_run : int;
   mutable tasks_stolen : int;
+  (* explorer layer *)
+  mutable por_sleep_skips : int;  (* transitions skipped by sleep-set POR *)
+  mutable snapshot_restores : int;  (* Machine.restore_into calls *)
 }
 
 let create () =
@@ -66,6 +69,8 @@ let create () =
     delta_checks = 0;
     tasks_run = 0;
     tasks_stolen = 0;
+    por_sleep_skips = 0;
+    snapshot_restores = 0;
   }
 
 let reset t =
@@ -91,7 +96,9 @@ let reset t =
   t.steal_aborts <- 0;
   t.delta_checks <- 0;
   t.tasks_run <- 0;
-  t.tasks_stolen <- 0
+  t.tasks_stolen <- 0;
+  t.por_sleep_skips <- 0;
+  t.snapshot_restores <- 0
 
 let merge ~into src =
   into.loads <- into.loads + src.loads;
@@ -116,7 +123,9 @@ let merge ~into src =
   into.steal_aborts <- into.steal_aborts + src.steal_aborts;
   into.delta_checks <- into.delta_checks + src.delta_checks;
   into.tasks_run <- into.tasks_run + src.tasks_run;
-  into.tasks_stolen <- into.tasks_stolen + src.tasks_stolen
+  into.tasks_stolen <- into.tasks_stolen + src.tasks_stolen;
+  into.por_sleep_skips <- into.por_sleep_skips + src.por_sleep_skips;
+  into.snapshot_restores <- into.snapshot_restores + src.snapshot_restores
 
 (* The canonical field order of every export; extend here and every
    consumer (JSON sidecars, pp, the metrics schema test) follows. *)
@@ -143,6 +152,8 @@ let fields t =
     ("delta_checks", t.delta_checks);
     ("tasks_run", t.tasks_run);
     ("tasks_stolen", t.tasks_stolen);
+    ("por_sleep_skips", t.por_sleep_skips);
+    ("snapshot_restores", t.snapshot_restores);
   ]
 
 let sb_occupancy t = t.sb_occupancy

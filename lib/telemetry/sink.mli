@@ -38,6 +38,10 @@ type t = {
       (** [t - delta > h] certifications attempted by fence-free thieves *)
   mutable tasks_run : int;
   mutable tasks_stolen : int;
+  mutable por_sleep_skips : int;
+      (** transitions the explorer's sleep-set POR refused to explore *)
+  mutable snapshot_restores : int;
+      (** {!Machine.restore_into} calls (snapshot-based sibling exploration) *)
 }
 
 val create : unit -> t

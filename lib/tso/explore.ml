@@ -9,6 +9,7 @@ type stats = {
   deadlocks : int;
   pruned : int;
   memo_hits : int;
+  sleep_skips : int;
   peak_depth : int;
   failures : (int list * string) list;
 }
@@ -70,6 +71,49 @@ let choices_into m buf =
     !j
   end
 
+(* FNV-style mixing, as in {!Machine.fingerprint}; used to fold a sleep
+   set into the memoization key. *)
+let fnv_prime = 0x100000001b3
+let[@inline] mix h k = (h lxor k) * fnv_prime
+
+(* {2 Sleep sets}
+
+   Sleep-set partial-order reduction (Godefroid). After a branch node's
+   child [tr] has been fully explored, every execution from a later sibling
+   that schedules only transitions independent of [tr] before eventually
+   firing [tr] is a commuted copy of one already explored under [tr] — so
+   [tr] is put to sleep for the later siblings and skipped wherever it
+   stays asleep. A sleeping transition wakes (is dropped) as soon as a
+   dependent transition fires; since any transition of the same thread is
+   dependent, a sleeping transition's footprint (taken when it went to
+   sleep) stays valid for as long as it sleeps.
+
+   Interaction with the bounds (DESIGN.md §10):
+   - the depth bound is commutation-invariant (reordering preserves length),
+     so truncated subtrees still justify sleep insertion;
+   - the preemption count is NOT commutation-invariant, so under a CHESS
+     bound a sibling only enters the sleep set if its subtree was explored
+     without a single preemption prune or memo hit (a memo hit hides
+     whether the earlier visit pruned) — otherwise some execution the
+     sleeping transition is supposed to cover may have been cut;
+   - with memoization, the sleep set is folded into the cache key, so a
+     state is only pruned against a previous visit that had the same
+     reductions applied. *)
+type sleep_entry = { sl_tr : Machine.transition; sl_fp : Machine.footprint }
+
+let sleep_mem sleep tr = List.exists (fun e -> e.sl_tr = tr) sleep
+let sleep_filter sleep fp =
+  List.filter (fun e -> Machine.independent e.sl_fp fp) sleep
+
+let tr_hash = function
+  | Machine.Step t -> mix 0x57 t
+  | Machine.Drain (t, l) -> mix (mix 0xD5 t) l
+  | Machine.Flush t -> mix 0xF1 t
+
+(* Order-independent (xor-folded): a sleep set is a set. *)
+let sleep_hash sleep =
+  List.fold_left (fun h e -> h lxor tr_hash e.sl_tr) 0 sleep
+
 (* One enabled-set buffer per search depth, grown on demand: the DFS at
    depth [d] iterates its siblings from buffer [d] while the recursion
    below uses deeper buffers, so no buffer is ever clobbered while live. *)
@@ -88,6 +132,27 @@ let pool_get pool depth =
     pool.bufs <- grown
   end;
   pool.bufs.(depth)
+
+(* Likewise one machine snapshot per branch depth: the scratch stays live
+   while the node iterates its siblings, and deeper branch nodes use deeper
+   slots. Reusing the slots means steady-state capture allocates nothing. *)
+type spool = { mutable snaps : Machine.snapshot array }
+
+let spool_create () = { snaps = [||] }
+
+let spool_get spool depth =
+  let n = Array.length spool.snaps in
+  if depth >= n then begin
+    let grown =
+      Array.make (max (depth + 1) (max 16 (2 * n))) (Machine.snapshot_create ())
+    in
+    Array.blit spool.snaps 0 grown 0 n;
+    for i = n to Array.length grown - 1 do
+      grown.(i) <- Machine.snapshot_create ()
+    done;
+    spool.snaps <- grown
+  end;
+  spool.snaps.(depth)
 
 (* Growable array-backed choice prefix. Alongside each choice index we keep
    the chosen transition itself: transitions are plain values (thread ids
@@ -150,6 +215,7 @@ type acc = {
   mutable deadlocks : int;
   mutable pruned : int;
   mutable memo_hits : int;
+  mutable sleep_skips : int;
   mutable peak_depth : int;
   mutable failures_rev : (int list * string) list;
   mutable failure_count : int;
@@ -162,6 +228,7 @@ let make_acc () =
     deadlocks = 0;
     pruned = 0;
     memo_hits = 0;
+    sleep_skips = 0;
     peak_depth = 0;
     failures_rev = [];
     failure_count = 0;
@@ -174,6 +241,7 @@ let stats_of_acc a =
     deadlocks = a.deadlocks;
     pruned = a.pruned;
     memo_hits = a.memo_hits;
+    sleep_skips = a.sleep_skips;
     peak_depth = a.peak_depth;
     failures = List.rev a.failures_rev;
   }
@@ -216,7 +284,19 @@ type ctx = {
   acc : acc;
   on_run : acc -> unit;  (** called once per completed run; may raise {!Stop} *)
   pool : pool;  (** per-depth enabled-set buffers for the in-place DFS *)
+  por : bool;  (** sleep-set partial-order reduction *)
+  use_snapshots : bool;
+      (** sibling exploration by snapshot/restore; [false] falls back to
+          prefix replay (the differential oracle) *)
+  spool : spool;  (** per-depth snapshot scratch *)
 }
+
+let sleep_skip ctx m =
+  ctx.acc.sleep_skips <- ctx.acc.sleep_skips + 1;
+  match Machine.sink m with
+  | None -> ()
+  | Some s ->
+      s.Telemetry.Sink.por_sleep_skips <- s.Telemetry.Sink.por_sleep_skips + 1
 
 let fail ctx prefix msg =
   if ctx.acc.failure_count < ctx.max_failures then begin
@@ -247,10 +327,12 @@ let preemption_cost_buf ~last_unit buf tr =
 
 (* Continue a run in-place from the current machine state. [prefix] holds
    the choices that reached this state; [last_unit]/[preemptions] summarise
-   the prefix for the CHESS bound. Siblings of the choices made here are
-   explored by replaying their prefix on a fresh instance. On return the
-   prefix is restored to its entry length. *)
-let rec extend ctx inst prefix depth last_unit preemptions =
+   the prefix for the CHESS bound; [sleep] is the sleep set this node
+   inherited (always [[]] unless [ctx.por]). Siblings of the choices made
+   here are explored on a fresh instance — restored from a snapshot of this
+   node when [ctx.use_snapshots], replayed from the root otherwise. On
+   return the prefix is restored to its entry length. *)
+let rec extend ctx inst prefix depth last_unit preemptions sleep =
   let m = inst.machine in
   if depth > ctx.acc.peak_depth then ctx.acc.peak_depth <- depth;
   let memo_hit =
@@ -262,8 +344,13 @@ let rec extend ctx inst prefix depth last_unit preemptions =
           | None -> max_int
           | Some b -> b - preemptions
         in
-        memo.seen (Machine.fingerprint m) ~depth_rem:(ctx.max_depth - depth)
-          ~preempt_rem
+        let key =
+          let fp = Machine.fingerprint m in
+          (* The sleep set is part of the key: a visit with a different
+             sleep set explores a different reduced subtree. *)
+          if ctx.por then mix fp (sleep_hash sleep) else fp
+        in
+        memo.seen key ~depth_rem:(ctx.max_depth - depth) ~preempt_rem
   in
   if memo_hit then ctx.acc.memo_hits <- ctx.acc.memo_hits + 1
   else begin
@@ -290,14 +377,26 @@ let rec extend ctx inst prefix depth last_unit preemptions =
     end
     else if n = 1 then begin
       let tr = Machine.tbuf_get buf 0 in
-      Machine.apply m tr;
-      let last_unit =
-        (* memory-subsystem transitions do not change whose turn it is *)
-        match unit_of tr with U_memory -> last_unit | u -> Some u
-      in
-      Prefix.push prefix 0 tr;
-      extend ctx inst prefix (depth + 1) last_unit preemptions;
-      Prefix.pop prefix
+      if ctx.por && sleep_mem sleep tr then
+        (* The whole continuation is a commuted copy of an explored one:
+           backtrack without completing (or counting) a run — this silent
+           cut is where the run reduction comes from. *)
+        sleep_skip ctx m
+      else begin
+        let sleep' =
+          if ctx.por && sleep <> [] then
+            sleep_filter sleep (Machine.footprint m tr)
+          else sleep
+        in
+        Machine.apply m tr;
+        let last_unit =
+          (* memory-subsystem transitions do not change whose turn it is *)
+          match unit_of tr with U_memory -> last_unit | u -> Some u
+        in
+        Prefix.push prefix 0 tr;
+        extend ctx inst prefix (depth + 1) last_unit preemptions sleep';
+        Prefix.pop prefix
+      end
     end
     else begin
       let within cost =
@@ -305,33 +404,102 @@ let rec extend ctx inst prefix depth last_unit preemptions =
         | None -> true
         | Some b -> preemptions + cost <= b
       in
-      (* Child 0 is explored in-place (no replay); siblings replay. *)
+      (* Footprints are a function of the machine state at this node (a
+         drain's target address is the current buffer head), so they are
+         taken for every child before child 0 advances the machine. *)
+      let fps =
+        if ctx.por then
+          Array.init n (fun i -> Machine.footprint m (Machine.tbuf_get buf i))
+        else [||]
+      in
+      (* Capture this node's state once, before child 0 mutates it — but
+         only if some sibling (i > 0) will actually be explored. Additions
+         to the sleep set during the loop only remove that need. *)
+      let snap =
+        if not ctx.use_snapshots then None
+        else begin
+          let need = ref false in
+          let i = ref 1 in
+          while (not !need) && !i < n do
+            let tr = Machine.tbuf_get buf !i in
+            if
+              (not (ctx.por && sleep_mem sleep tr))
+              && within (preemption_cost_buf ~last_unit buf tr)
+            then need := true;
+            incr i
+          done;
+          if !need then begin
+            let s = spool_get ctx.spool depth in
+            Machine.snapshot m s;
+            Some s
+          end
+          else None
+        end
+      in
+      (* Child 0 is explored in-place; siblings restore (or replay). As
+         children complete, they enter the running sleep set for their
+         later siblings (subject to the CHESS-bound rule above). *)
+      let sleep_now = ref sleep in
       for i = 0 to n - 1 do
         let tr = Machine.tbuf_get buf i in
-        let cost = preemption_cost_buf ~last_unit buf tr in
-        if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
+        if ctx.por && sleep_mem !sleep_now tr then sleep_skip ctx m
         else begin
-          Prefix.push prefix i tr;
-          let inst' =
-            if i = 0 then begin
-              Machine.apply m tr;
-              inst
+          let cost = preemption_cost_buf ~last_unit buf tr in
+          if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
+          else begin
+            let child_sleep =
+              if ctx.por then sleep_filter !sleep_now fps.(i) else []
+            in
+            let pruned0 = ctx.acc.pruned and memo0 = ctx.acc.memo_hits in
+            Prefix.push prefix i tr;
+            let inst' =
+              if i = 0 then begin
+                Machine.apply m tr;
+                inst
+              end
+              else
+                match snap with
+                | Some s ->
+                    let inst' = ctx.mk () in
+                    Machine.restore_into s inst'.machine;
+                    Machine.apply inst'.machine tr;
+                    inst'
+                | None -> Prefix.replay ~mk:ctx.mk prefix
+            in
+            let last_unit' =
+              match unit_of tr with U_memory -> last_unit | u -> Some u
+            in
+            extend ctx inst' prefix (depth + 1) last_unit' (preemptions + cost)
+              child_sleep;
+            Prefix.pop prefix;
+            if ctx.por then begin
+              let clean =
+                match ctx.preemption_bound with
+                | None -> true
+                | Some _ ->
+                    ctx.acc.pruned = pruned0 && ctx.acc.memo_hits = memo0
+              in
+              if clean then
+                sleep_now := { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now
             end
-            else Prefix.replay ~mk:ctx.mk prefix
-          in
-          let last_unit' =
-            match unit_of tr with U_memory -> last_unit | u -> Some u
-          in
-          extend ctx inst' prefix (depth + 1) last_unit' (preemptions + cost);
-          Prefix.pop prefix
+          end
         end
       done
     end
   end
 
+(* Every instance the snapshot-based search touches must record responses
+   from birth (root, restore targets, and oracle replays alike), so the
+   wrapper is applied to [mk] itself. *)
+let recording_mk mk () =
+  let inst = mk () in
+  Machine.set_record_responses inst.machine true;
+  inst
+
 let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ?on_progress ?(progress_every = 4096)
-    ~mk () =
+    ?(max_failures = 5) ?(memo = false) ?(por = false) ?(snapshots = true)
+    ?on_progress ?(progress_every = 4096) ~mk () =
+  let mk = if snapshots then recording_mk mk else mk in
   let acc = make_acc () in
   let progress_every = max 1 progress_every in
   let ctx =
@@ -350,9 +518,12 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
           | _ -> ());
           if a.runs >= max_runs then raise Stop);
       pool = pool_create ();
+      por;
+      use_snapshots = snapshots;
+      spool = spool_create ();
     }
   in
-  (try extend ctx (mk ()) (Prefix.create ()) 0 None 0 with Stop -> ());
+  (try extend ctx (mk ()) (Prefix.create ()) 0 None 0 [] with Stop -> ());
   stats_of_acc acc
 
 let next_choices = choices
@@ -360,22 +531,25 @@ let next_choices = choices
 let replay_choices ~mk steps =
   let inst = mk () in
   let m = inst.machine in
+  (* One reusable buffer; [choices_into] yields exactly the sequence
+     [choices] would, so recorded indices keep their meaning — but each
+     step is O(enabled set) instead of the former List.nth/List.length
+     O(n²)-over-the-run pattern. *)
+  let buf = Machine.tbuf_create () in
   List.iter
     (fun i ->
-      match choices m with
-      | [] -> invalid_arg "Explore.replay_choices: run ended early"
-      | ts ->
-          if i >= List.length ts then
-            invalid_arg "Explore.replay_choices: bad choice index";
-          Machine.apply m (List.nth ts i))
+      let n = choices_into m buf in
+      if n = 0 then invalid_arg "Explore.replay_choices: run ended early";
+      if i < 0 || i >= n then
+        invalid_arg "Explore.replay_choices: bad choice index";
+      Machine.apply m (Machine.tbuf_get buf i))
     steps;
   (* Drive any forced suffix to quiescence. *)
   let rec finish () =
-    match Machine.enabled m with
-    | [] -> ()
-    | tr :: _ ->
-        Machine.apply m tr;
-        finish ()
+    if Machine.enabled_into m buf > 0 then begin
+      Machine.apply m (Machine.tbuf_get buf 0);
+      finish ()
+    end
   in
   finish ();
   inst.check ()
@@ -387,6 +561,7 @@ module Internal = struct
     mutable deadlocks : int;
     mutable pruned : int;
     mutable memo_hits : int;
+    mutable sleep_skips : int;
     mutable peak_depth : int;
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
@@ -408,6 +583,19 @@ module Internal = struct
 
   let pool_create = pool_create
 
+  type nonrec spool = spool
+
+  let spool_create = spool_create
+
+  type nonrec sleep_entry = sleep_entry = {
+    sl_tr : Machine.transition;
+    sl_fp : Machine.footprint;
+  }
+
+  let sleep_mem = sleep_mem
+  let sleep_filter = sleep_filter
+  let sleep_hash = sleep_hash
+
   type nonrec ctx = ctx = {
     mk : unit -> instance;
     max_depth : int;
@@ -417,9 +605,14 @@ module Internal = struct
     acc : acc;
     on_run : acc -> unit;
     pool : pool;
+    por : bool;
+    use_snapshots : bool;
+    spool : spool;
   }
 
+  let recording_mk = recording_mk
   let extend = extend
   let fail = fail
   let preemption_cost = preemption_cost
+  let sleep_skip = sleep_skip
 end

@@ -23,6 +23,25 @@
     Under a preemption bound the cache only prunes a revisit whose remaining
     budget is covered by an earlier visit, so bounding stays exact.
 
+    With [por = true] the search applies sleep-set partial-order reduction
+    over {!Machine.independent} transition footprints: once a branch
+    node's child has been fully explored, later siblings refuse to
+    schedule that child's transition until a dependent transition fires,
+    cutting the commuted copies of explored interleavings (counted in
+    [sleep_skips]; DESIGN.md §10 has the soundness argument under the
+    CHESS bound and the memo cache — the sleep set is part of the memo
+    key, and a child whose subtree saw bound prunes or memo hits never
+    enters a sleep set while a preemption bound is active). Verdicts and
+    recorded failure prefixes are preserved; [runs] typically drops by
+    5–100×.
+
+    By default ([snapshots = true]) sibling subtrees are started by
+    restoring a {!Machine.snapshot} of the branch node onto a fresh
+    instance — O(state) — instead of replaying the whole prefix from the
+    root — O(depth) machine transitions. [snapshots = false] keeps the
+    replay path as a differential oracle; results are identical either
+    way.
+
     Used by the test suite to verify, over {e all} interleavings of small
     configurations, the safety properties of every queue algorithm: no task
     lost, no task duplicated (idempotent queues excepted), ABORT only when
@@ -42,6 +61,8 @@ type stats = {
   pruned : int;  (** branches skipped by the preemption bound *)
   memo_hits : int;
       (** subtrees pruned by the visited-state cache (0 unless [memo]) *)
+  sleep_skips : int;
+      (** transitions refused by sleep-set POR (0 unless [por]) *)
   peak_depth : int;
       (** deepest node reached by the search (the depth frontier) *)
   failures : (int list * string) list;
@@ -59,6 +80,8 @@ val search :
   ?preemption_bound:int option ->
   ?max_failures:int ->
   ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
   ?on_progress:(stats -> unit) ->
   ?progress_every:int ->
   mk:(unit -> instance) ->
@@ -66,7 +89,9 @@ val search :
   stats
 (** Defaults: [max_depth = 400], [max_runs = 200_000],
     [preemption_bound = None] (unbounded), [max_failures = 5],
-    [memo = false].
+    [memo = false], [por = false] (sleep-set partial-order reduction),
+    [snapshots = true] (snapshot-based sibling exploration; [false] uses
+    replay-from-root, the differential oracle).
 
     [on_progress], if given, receives a snapshot of the running statistics
     every [progress_every] completed runs (default 4096) — the hook for
@@ -104,6 +129,7 @@ module Internal : sig
     mutable deadlocks : int;
     mutable pruned : int;
     mutable memo_hits : int;
+    mutable sleep_skips : int;
     mutable peak_depth : int;
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
@@ -146,6 +172,27 @@ module Internal : sig
 
   val pool_create : unit -> pool
 
+  type spool
+  (** Per-depth reusable machine-snapshot scratch. *)
+
+  val spool_create : unit -> spool
+
+  type sleep_entry = {
+    sl_tr : Machine.transition;
+    sl_fp : Machine.footprint;
+        (** taken when the transition went to sleep; stays valid while it
+            sleeps, because any same-thread transition is dependent and
+            would have woken it *)
+  }
+
+  val sleep_mem : sleep_entry list -> Machine.transition -> bool
+  val sleep_filter : sleep_entry list -> Machine.footprint -> sleep_entry list
+  (** Keep only the entries independent of the footprint of the transition
+      being executed. *)
+
+  val sleep_hash : sleep_entry list -> int
+  (** Order-independent, for the memoization key. *)
+
   type ctx = {
     mk : unit -> instance;
     max_depth : int;
@@ -155,9 +202,25 @@ module Internal : sig
     acc : acc;
     on_run : acc -> unit;
     pool : pool;
+    por : bool;
+    use_snapshots : bool;
+    spool : spool;
   }
 
-  val extend : ctx -> instance -> Prefix.t -> int -> unit_id option -> int -> unit
+  val recording_mk : (unit -> instance) -> unit -> instance
+  (** Wrap an instance builder so every instance records responses (the
+      precondition of {!Machine.snapshot}). *)
+
+  val extend :
+    ctx ->
+    instance ->
+    Prefix.t ->
+    int ->
+    unit_id option ->
+    int ->
+    sleep_entry list ->
+    unit
+
   val fail : ctx -> Prefix.t -> string -> unit
 
   val preemption_cost :
@@ -165,4 +228,7 @@ module Internal : sig
     choices:Machine.transition list ->
     Machine.transition ->
     int
+
+  val sleep_skip : ctx -> Machine.t -> unit
+  (** Account one sleeping transition skipped (stats + sink). *)
 end

@@ -1,12 +1,14 @@
 open Explore.Internal
 
 (* A pending subtree: the prefix that reaches it plus the CHESS summary of
-   that prefix. *)
+   that prefix and the sleep set it inherited (always [] unless POR is
+   on) — sleep sets travel with frontier tasks. *)
 type task = {
   prefix : Prefix.t;
   depth : int;
   last_unit : Explore.unit_id option;
   preemptions : int;
+  sleep : sleep_entry list;
 }
 
 (* The frontier is an ordered list of items in lexicographic (= sequential
@@ -22,6 +24,8 @@ type cfg = {
   max_failures : int;
   memo : memo option;
   on_run : acc -> unit;
+  por : bool;
+  snapshots : bool;
 }
 
 let make_ctx cfg acc =
@@ -34,6 +38,9 @@ let make_ctx cfg acc =
     acc;
     on_run = cfg.on_run;
     pool = pool_create ();
+    por = cfg.por;
+    use_snapshots = cfg.snapshots;
+    spool = spool_create ();
   }
 
 (* One visited-state cache shared by every domain, sharded by fingerprint
@@ -62,6 +69,15 @@ let shared_memo () =
         hit);
   }
 
+(* Sleep-skip accounting outside a ctx (frontier expansion): mirror
+   [Explore.Internal.sleep_skip]. *)
+let skip_one (acc : acc) m =
+  acc.sleep_skips <- acc.sleep_skips + 1;
+  match Machine.sink m with
+  | None -> ()
+  | Some s ->
+      s.Telemetry.Sink.por_sleep_skips <- s.Telemetry.Sink.por_sleep_skips + 1
+
 (* Expand one task by one branching level: replay its prefix, walk forced
    (singleton-choice) steps in place, and split at the first node with a
    real choice. Terminal nodes are settled through [extend] itself so their
@@ -69,100 +85,159 @@ let shared_memo () =
 let expand cfg task =
   let inst = Prefix.replay ~mk:cfg.mk task.prefix in
   let prefix = task.prefix in
-  let terminal depth last_unit =
+  let terminal depth last_unit sleep =
     let acc = make_acc () in
-    (try extend (make_ctx cfg acc) inst prefix depth last_unit task.preemptions
+    (try
+       extend (make_ctx cfg acc) inst prefix depth last_unit task.preemptions
+         sleep
      with Explore.Stop -> ());
     [ Settled acc ]
   in
-  let rec walk depth last_unit =
+  let rec walk depth last_unit sleep =
     let m = inst.Explore.machine in
     match Explore.next_choices m with
-    | [] -> terminal depth last_unit
-    | _ when depth >= cfg.max_depth -> terminal depth last_unit
+    | [] -> terminal depth last_unit sleep
+    | _ when depth >= cfg.max_depth -> terminal depth last_unit sleep
     | [ tr ] ->
-        Machine.apply m tr;
-        Prefix.push prefix 0 tr;
-        let last_unit =
-          match Explore.unit_of tr with
-          | U_memory -> last_unit
-          | u -> Some u
-        in
-        walk (depth + 1) last_unit
+        if cfg.por && sleep_mem sleep tr then begin
+          (* The sequential search backtracks here without completing a
+             run; settle the subtree with exactly that accounting. *)
+          let acc = make_acc () in
+          acc.peak_depth <- depth;
+          skip_one acc m;
+          [ Settled acc ]
+        end
+        else begin
+          let sleep =
+            if cfg.por && sleep <> [] then
+              sleep_filter sleep (Machine.footprint m tr)
+            else sleep
+          in
+          Machine.apply m tr;
+          Prefix.push prefix 0 tr;
+          let last_unit =
+            match Explore.unit_of tr with
+            | U_memory -> last_unit
+            | u -> Some u
+          in
+          walk (depth + 1) last_unit sleep
+        end
     | ts ->
-        let pruned = make_acc () in
+        let node = make_acc () in
         (* This branching node is visited here, not by [extend]; account its
            depth so the merged depth frontier matches the sequential search
            even when every child is pruned by the preemption bound. *)
-        pruned.peak_depth <- depth;
-        let children =
-          List.concat
-            (List.mapi
-               (fun i tr ->
-                 let cost = preemption_cost ~last_unit ~choices:ts tr in
-                 let within =
-                   match cfg.preemption_bound with
-                   | None -> true
-                   | Some b -> task.preemptions + cost <= b
-                 in
-                 if not within then begin
-                   pruned.pruned <- pruned.pruned + 1;
-                   []
-                 end
-                 else begin
-                   Prefix.push prefix i tr;
-                   let child_prefix = Prefix.copy prefix in
-                   Prefix.pop prefix;
-                   [
-                     Subtree
-                       {
-                         prefix = child_prefix;
-                         depth = depth + 1;
-                         last_unit =
-                           (match Explore.unit_of tr with
-                           | U_memory -> last_unit
-                           | u -> Some u);
-                         preemptions = task.preemptions + cost;
-                       };
-                   ]
-                 end)
-               ts)
+        node.peak_depth <- depth;
+        (* Footprints are a function of this node's state; take them before
+           building children. *)
+        let fps =
+          if cfg.por then Array.of_list (List.map (Machine.footprint m) ts)
+          else [||]
         in
-        if pruned.pruned > 0 then Settled pruned :: children else children
+        let sleep_now = ref sleep in
+        let children = ref [] in
+        List.iteri
+          (fun i tr ->
+            if cfg.por && sleep_mem !sleep_now tr then skip_one node m
+            else begin
+              let cost = preemption_cost ~last_unit ~choices:ts tr in
+              let within =
+                match cfg.preemption_bound with
+                | None -> true
+                | Some b -> task.preemptions + cost <= b
+              in
+              if not within then node.pruned <- node.pruned + 1
+              else begin
+                Prefix.push prefix i tr;
+                let child_prefix = Prefix.copy prefix in
+                Prefix.pop prefix;
+                let child_sleep =
+                  if cfg.por then sleep_filter !sleep_now fps.(i) else []
+                in
+                children :=
+                  Subtree
+                    {
+                      prefix = child_prefix;
+                      depth = depth + 1;
+                      last_unit =
+                        (match Explore.unit_of tr with
+                        | U_memory -> last_unit
+                        | u -> Some u);
+                      preemptions = task.preemptions + cost;
+                      sleep = child_sleep;
+                    }
+                  :: !children;
+                (* Under no preemption bound a fully explored child always
+                   enters the sleep set, so the insertion can happen at
+                   expansion time, before the subtree runs — the frontier
+                   split applies byte-identical reductions to the
+                   sequential search's. Under a bound the sequential rule
+                   depends on the subtree's outcome, unknown here, so
+                   nothing is inserted at frontier branch nodes: verdicts
+                   are unaffected, but [runs]/[sleep_skips] can exceed the
+                   sequential POR search's. *)
+                if cfg.por && cfg.preemption_bound = None then
+                  sleep_now := { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now
+              end
+            end)
+          ts;
+        let children = List.rev !children in
+        if node.pruned > 0 || node.sleep_skips > 0 then Settled node :: children
+        else children
   in
-  walk task.depth task.last_unit
+  walk task.depth task.last_unit task.sleep
 
-(* Grow the frontier breadth-first until it holds enough subtrees to feed
-   every domain, replacing each subtree by its children in place (which
-   preserves lexicographic order). *)
+(* Grow the frontier until it holds enough subtrees to feed every domain,
+   replacing each subtree by its children in place (which preserves
+   lexicographic order). The task count is carried incrementally across
+   rounds — each expansion adjusts it by (children - 1) — and a round stops
+   scanning as soon as the running count reaches [target], leaving the rest
+   of the frontier untouched (the former version re-counted the whole list
+   with a fold every round and always rebuilt it end to end). *)
 let build_frontier cfg ~target =
-  let rec grow items rounds =
-    let n_tasks =
-      List.fold_left
-        (fun n -> function Subtree _ -> n + 1 | Settled _ -> n)
-        0 items
-    in
+  let count_tasks items =
+    List.fold_left
+      (fun n -> function Subtree _ -> n + 1 | Settled _ -> n)
+      0 items
+  in
+  let rec grow items n_tasks rounds =
     if n_tasks = 0 || n_tasks >= target || rounds >= 64 then items
-    else
-      grow
-        (List.concat_map
-           (function Settled _ as s -> [ s ] | Subtree t -> expand cfg t)
-           items)
-        (rounds + 1)
+    else begin
+      let count = ref n_tasks in
+      let rec step = function
+        | [] -> []
+        | (Settled _ as s) :: rest -> s :: step rest
+        | (Subtree t as st) :: rest ->
+            if !count >= target then st :: rest
+            else begin
+              let children = expand cfg t in
+              count := !count - 1 + count_tasks children;
+              children @ step rest
+            end
+      in
+      let items = step items in
+      grow items !count (rounds + 1)
+    end
   in
   grow
     [
       Subtree
-        { prefix = Prefix.create (); depth = 0; last_unit = None; preemptions = 0 };
+        {
+          prefix = Prefix.create ();
+          depth = 0;
+          last_unit = None;
+          preemptions = 0;
+          sleep = [];
+        };
     ]
-    0
+    1 0
 
 let run_task cfg task =
   let acc = make_acc () in
   (try
      let inst = Prefix.replay ~mk:cfg.mk task.prefix in
      extend (make_ctx cfg acc) inst task.prefix task.depth task.last_unit
-       task.preemptions
+       task.preemptions task.sleep
    with Explore.Stop -> ());
   acc
 
@@ -184,6 +259,7 @@ let merge ~max_failures accs =
       merged.deadlocks <- merged.deadlocks + a.deadlocks;
       merged.pruned <- merged.pruned + a.pruned;
       merged.memo_hits <- merged.memo_hits + a.memo_hits;
+      merged.sleep_skips <- merged.sleep_skips + a.sleep_skips;
       merged.peak_depth <- max merged.peak_depth a.peak_depth;
       List.iter
         (fun f ->
@@ -203,13 +279,14 @@ type progress = {
 }
 
 let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ?jobs ?on_progress
-    ?(progress_every = 4096) ~mk () =
+    ?(max_failures = 5) ?(memo = false) ?(por = false) ?(snapshots = true)
+    ?jobs ?on_progress ?(progress_every = 4096) ~mk () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
   if jobs = 1 then
     Explore.search ~max_depth ~max_runs ~preemption_bound ~max_failures ~memo
+      ~por ~snapshots
       ?on_progress:
         (Option.map
            (fun f (s : Explore.stats) ->
@@ -251,12 +328,14 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
     in
     let cfg =
       {
-        mk;
+        mk = (if snapshots then recording_mk mk else mk);
         max_depth;
         preemption_bound;
         max_failures;
         memo = (if memo then Some (shared_memo ()) else None);
         on_run;
+        por;
+        snapshots;
       }
     in
     let items = build_frontier cfg ~target:(4 * jobs) in

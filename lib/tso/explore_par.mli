@@ -23,7 +23,22 @@
     Verdicts are unchanged, but [runs]/[memo_hits] become schedule-dependent
     — whichever domain reaches a state first records it — so memoized
     parallel statistics are {e not} byte-identical to the sequential
-    memoized search (non-memoized parallel search remains deterministic). *)
+    memoized search (non-memoized parallel search remains deterministic).
+
+    Sleep-set POR ([por = true]) travels with the frontier: each subtree
+    task carries the sleep set it inherited, and frontier expansion applies
+    the same skip/filter/insert rules as the sequential reduction. With no
+    preemption bound the parallel POR statistics stay byte-identical to the
+    sequential POR search. Under a CHESS bound the sequential rule inserts
+    a sibling into the sleep set only after seeing its subtree's outcome,
+    which frontier expansion cannot know, so expansion inserts nothing at
+    its branch nodes: verdicts are identical, but [runs]/[sleep_skips] may
+    exceed the sequential POR search's.
+
+    Snapshot-based sibling exploration ([snapshots], default [true]) works
+    unchanged inside each domain: every frontier task replays its prefix
+    once and the search below it restores siblings from per-depth snapshot
+    scratch. *)
 
 type progress = {
   tasks_done : int;  (** frontier subtrees fully explored *)
@@ -38,6 +53,8 @@ val search :
   ?preemption_bound:int option ->
   ?max_failures:int ->
   ?memo:bool ->
+  ?por:bool ->
+  ?snapshots:bool ->
   ?jobs:int ->
   ?on_progress:(progress -> unit) ->
   ?progress_every:int ->

@@ -35,6 +35,14 @@ type thread = {
   step_tr : transition;
   flush_tr : transition;
   mutable drain_trs : transition array;
+  (* Decoded response log: one [encode_response] int per executed
+     instruction, appended only while the machine is recording. A
+     deterministic thread program is a function of its response history, so
+     replaying this log through a fresh continuation reconstructs the
+     thread's control state — the basis of {!snapshot}/{!restore_into},
+     which effect-based one-shot continuations cannot support by copying. *)
+  mutable resp_log : int array;
+  mutable resp_len : int;
 }
 
 type event =
@@ -57,6 +65,10 @@ type t = {
      single physical-equality check per transition, mirroring the
      [n_listeners > 0] guard on event strings. *)
   mutable sink : Telemetry.Sink.t option;
+  (* Response recording for {!snapshot}/{!restore_into}. Off by default so
+     the simulator hot path pays one boolean test per executed
+     instruction. *)
+  mutable record : bool;
 }
 
 let create ?mem cfg =
@@ -70,6 +82,7 @@ let create ?mem cfg =
     n_listeners = 0;
     steps = 0;
     sink = None;
+    record = false;
   }
 
 let memory t = t.mem
@@ -102,6 +115,8 @@ let spawn t ~name body =
       step_tr = Step tid;
       flush_tr = Flush tid;
       drain_trs = [| Drain (tid, 0) |];
+      resp_log = [||];
+      resp_len = 0;
     }
   in
   if tid = Array.length t.threads then begin
@@ -357,6 +372,31 @@ let encode_response : type a. a Program.request -> a -> int =
   | Program.Req_label _ | Program.Req_pause ->
       0
 
+(* Response recording (snapshot support). *)
+
+let set_record_responses t b =
+  if b && (not t.record) && t.steps > 0 then
+    invalid_arg
+      "Machine.set_record_responses: recording must start before the machine \
+       is driven (earlier responses were not captured)";
+  if not b then
+    for i = 0 to t.n_threads - 1 do
+      t.threads.(i).resp_len <- 0
+    done;
+  t.record <- b
+
+let record_responses t = t.record
+
+let log_response th r =
+  let n = th.resp_len in
+  if n = Array.length th.resp_log then begin
+    let grown = Array.make (max 64 (2 * n)) 0 in
+    Array.blit th.resp_log 0 grown 0 n;
+    th.resp_log <- grown
+  end;
+  th.resp_log.(n) <- r;
+  th.resp_len <- n + 1
+
 (* Telemetry accounting for one executed instruction. Out of line from
    {!apply} so the sink-attached branch costs a call only when a sink is
    actually present. *)
@@ -395,6 +435,7 @@ let apply t tr =
             invalid_arg "Machine.apply: instruction not enabled";
           let v = exec_request t th req in
           th.hist <- mix (mix th.hist (encode_request req)) (encode_response req v);
+          if t.record then log_response th (encode_response req v);
           th.status <- resume v;
           (match t.sink with None -> () | Some s -> count_exec s th req);
           (* The formatted instruction string exists only for listeners;
@@ -449,6 +490,222 @@ let fingerprint t =
     Store_buffer.iter_entries th.buf add_entry
   done;
   !h
+
+(* {1 Transition footprints} *)
+
+type footprint = {
+  f_tid : tid;
+  f_read : int;  (* address index read from memory, or [no_addr] *)
+  f_write : int;  (* address index written to memory, or [no_addr] *)
+}
+
+let no_addr = -1
+let footprint_tid f = f.f_tid
+let footprint_read f = f.f_read
+let footprint_write f = f.f_write
+
+(* Every machine transition touches at most one shared address, so a
+   footprint is two optional address indices. The TSO-specific leverage: a
+   [Step] of a store touches no shared address at all — the store only
+   enters the issuing thread's private buffer; memory changes later, at the
+   [Drain]/[Flush] that propagates it, and that transition carries the
+   write. [Drain]/[Flush] conservatively claim a memory write even when the
+   realistic model merely stages into B (staging changes what a subsequent
+   same-address [Flush] writes, so treating it as a write keeps dependent
+   pairs dependent). *)
+let footprint t tr =
+  match tr with
+  | Step tid -> (
+      let th = thread t tid in
+      match th.status with
+      | Program.Done -> { f_tid = tid; f_read = no_addr; f_write = no_addr }
+      | Program.Paused (Program.Paused_at (req, _)) -> (
+          match req with
+          | Program.Req_load a ->
+              { f_tid = tid; f_read = Addr.to_index a; f_write = no_addr }
+          | Program.Req_cas (a, _, _) ->
+              let i = Addr.to_index a in
+              { f_tid = tid; f_read = i; f_write = i }
+          | Program.Req_fetch_add (a, _) ->
+              let i = Addr.to_index a in
+              { f_tid = tid; f_read = i; f_write = i }
+          | Program.Req_store _ | Program.Req_fence | Program.Req_work _
+          | Program.Req_label _ | Program.Req_pause ->
+              { f_tid = tid; f_read = no_addr; f_write = no_addr }))
+  | Drain (tid, lane) ->
+      let th = thread t tid in
+      let w =
+        match t.cfg.buffer_model with
+        | Store_buffer.Pso -> lane (* PSO lanes are address indices *)
+        | Store_buffer.Abstract | Store_buffer.Realistic _ -> (
+            match Store_buffer.oldest th.buf with
+            | Some (a, _) -> Addr.to_index a
+            | None -> no_addr)
+      in
+      { f_tid = tid; f_read = no_addr; f_write = w }
+  | Flush tid -> (
+      let th = thread t tid in
+      match Store_buffer.egress_entry th.buf with
+      | Some (a, _) ->
+          { f_tid = tid; f_read = no_addr; f_write = Addr.to_index a }
+      | None -> { f_tid = tid; f_read = no_addr; f_write = no_addr })
+
+let[@inline] conflict x y = x >= 0 && x = y
+
+let independent f1 f2 =
+  f1.f_tid <> f2.f_tid
+  && (not (conflict f1.f_write f2.f_read))
+  && (not (conflict f1.f_write f2.f_write))
+  && not (conflict f1.f_read f2.f_write)
+
+(* {1 Snapshot / restore}
+
+   One-shot effect continuations cannot be cloned, so a snapshot does not
+   copy thread control state directly. Instead it copies everything else
+   (memory, store buffers, hashes) plus each thread's decoded response log;
+   [restore_into] then rebuilds control state by resuming a *fresh*
+   instance's continuations with the recorded responses. Host-side effects
+   a thread body performs (check closures writing result cells) re-execute
+   identically because the program is a deterministic function of its
+   response history. *)
+
+type thread_snap = {
+  mutable s_hist : int;
+  mutable s_done : bool;
+  mutable s_resp : int array;
+  mutable s_resp_len : int;
+  (* buffer-proper entries, interleaved [addr_index; value] pairs *)
+  mutable s_entries : int array;
+  mutable s_n_entries : int;
+  mutable s_egress_a : int;  (* no_addr = B empty *)
+  mutable s_egress_v : int;
+}
+
+type snapshot = {
+  mutable s_mem : int array;
+  mutable s_mem_len : int;
+  mutable s_steps : int;
+  mutable s_threads : thread_snap array;
+  mutable s_n_threads : int;
+}
+
+let snapshot_create () =
+  { s_mem = [||]; s_mem_len = 0; s_steps = 0; s_threads = [||]; s_n_threads = 0 }
+
+let thread_snap_create () =
+  {
+    s_hist = 0;
+    s_done = false;
+    s_resp = [||];
+    s_resp_len = 0;
+    s_entries = [||];
+    s_n_entries = 0;
+    s_egress_a = no_addr;
+    s_egress_v = 0;
+  }
+
+let ensure_int_array a n = if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
+
+let snapshot t snap =
+  if not t.record then
+    invalid_arg "Machine.snapshot: machine is not recording responses";
+  let n_cells = Memory.size t.mem in
+  snap.s_mem <- ensure_int_array snap.s_mem n_cells;
+  Memory.blit_to t.mem snap.s_mem;
+  snap.s_mem_len <- n_cells;
+  snap.s_steps <- t.steps;
+  if Array.length snap.s_threads < t.n_threads then begin
+    let grown =
+      Array.init (max t.n_threads (2 * Array.length snap.s_threads)) (fun i ->
+          if i < Array.length snap.s_threads then snap.s_threads.(i)
+          else thread_snap_create ())
+    in
+    snap.s_threads <- grown
+  end;
+  snap.s_n_threads <- t.n_threads;
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    let ts = snap.s_threads.(i) in
+    ts.s_hist <- th.hist;
+    ts.s_done <- status_done th.status;
+    ts.s_resp <- ensure_int_array ts.s_resp th.resp_len;
+    Array.blit th.resp_log 0 ts.s_resp 0 th.resp_len;
+    ts.s_resp_len <- th.resp_len;
+    let n_entries = Store_buffer.entries th.buf in
+    ts.s_entries <- ensure_int_array ts.s_entries (2 * n_entries);
+    let k = ref 0 in
+    Store_buffer.iter_entries th.buf (fun (a, v) ->
+        ts.s_entries.(2 * !k) <- Addr.to_index a;
+        ts.s_entries.((2 * !k) + 1) <- v;
+        incr k);
+    ts.s_n_entries <- n_entries;
+    (match Store_buffer.egress_entry th.buf with
+    | None ->
+        ts.s_egress_a <- no_addr;
+        ts.s_egress_v <- 0
+    | Some (a, v) ->
+        ts.s_egress_a <- Addr.to_index a;
+        ts.s_egress_v <- v)
+  done
+
+(* Decode a recorded response back to the value the request's continuation
+   expects — the exact inverse of [encode_response]. *)
+let decode_response : type a. a Program.request -> int -> a =
+ fun req r ->
+  match req with
+  | Program.Req_load _ -> r
+  | Program.Req_cas _ -> r <> 0
+  | Program.Req_fetch_add _ -> r
+  | Program.Req_store _ -> ()
+  | Program.Req_fence -> ()
+  | Program.Req_work _ -> ()
+  | Program.Req_label _ -> ()
+  | Program.Req_pause -> ()
+
+let restore_into snap t =
+  if t.steps <> 0 then
+    invalid_arg "Machine.restore_into: target must be a fresh instance";
+  if t.n_threads <> snap.s_n_threads then
+    invalid_arg "Machine.restore_into: thread count differs from snapshot";
+  if Memory.size t.mem <> snap.s_mem_len then
+    invalid_arg "Machine.restore_into: memory layout differs from snapshot";
+  Memory.restore_from t.mem snap.s_mem ~len:snap.s_mem_len;
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    let ts = snap.s_threads.(i) in
+    (* Fast-forward the fresh continuation through the recorded responses;
+       memory/buffer side effects of [exec_request] are NOT re-run — the
+       snapshot already holds the resulting data state. *)
+    for k = 0 to ts.s_resp_len - 1 do
+      match th.status with
+      | Program.Done ->
+          invalid_arg "Machine.restore_into: thread diverged from snapshot"
+      | Program.Paused (Program.Paused_at (req, resume)) ->
+          th.status <- resume (decode_response req ts.s_resp.(k))
+    done;
+    if status_done th.status <> ts.s_done then
+      invalid_arg "Machine.restore_into: thread diverged from snapshot";
+    th.hist <- ts.s_hist;
+    th.resp_log <- ensure_int_array th.resp_log ts.s_resp_len;
+    Array.blit ts.s_resp 0 th.resp_log 0 ts.s_resp_len;
+    th.resp_len <- ts.s_resp_len;
+    Store_buffer.clear th.buf;
+    for k = 0 to ts.s_n_entries - 1 do
+      Store_buffer.push th.buf
+        (Addr.of_index ts.s_entries.(2 * k))
+        ts.s_entries.((2 * k) + 1)
+    done;
+    Store_buffer.set_egress th.buf
+      (if ts.s_egress_a >= 0 then
+         Some (Addr.of_index ts.s_egress_a, ts.s_egress_v)
+       else None)
+  done;
+  t.steps <- snap.s_steps;
+  t.record <- true;
+  match t.sink with
+  | None -> ()
+  | Some s ->
+      s.Telemetry.Sink.snapshot_restores <- s.Telemetry.Sink.snapshot_restores + 1
 
 (* The pre-optimisation digest, kept as a debug cross-check: the alcotest
    suite differential-tests {!fingerprint}'s equality classes against it

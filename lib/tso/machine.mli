@@ -158,3 +158,90 @@ val fingerprint_digest : t -> string
     debug cross-check: the test suite asserts that {!fingerprint} and this
     digest induce the same equality classes over explored states. Slow;
     not used by the explorer. *)
+
+(** {1 Transition footprints}
+
+    The dependence structure sleep-set partial-order reduction
+    ({!Explore.search} [~por:true]) is built on. Every machine transition
+    reads and/or writes at most one shared-memory address:
+
+    - a [Step] of a load reads its address; a [Step] of a CAS / fetch-add
+      reads and writes its address; a [Step] of a {e store} touches no
+      shared address at all — the store only enters the issuing thread's
+      private buffer (the memory write happens at the later [Drain]/[Flush]
+      that propagates it, and that transition carries the write);
+    - a [Drain] writes the address of the oldest buffered store (per-lane
+      under PSO); in the realistic model a drain that merely stages into B
+      still claims the write, conservatively — staging changes what a
+      subsequent same-address [Flush] writes;
+    - a [Flush] writes the address held in B.
+
+    Two transitions are {!independent} iff they belong to different threads
+    and no write of one conflicts with a read or write of the other.
+    Independent transitions commute: applying them in either order reaches
+    the same machine state, and neither enables nor disables the other
+    (enabledness of a thread's transitions depends only on that thread's
+    own status and buffer, which the other thread's transition cannot
+    touch). *)
+
+type footprint
+
+val footprint : t -> transition -> footprint
+(** The footprint of an {e enabled} transition {e in the current state}
+    (a drain's target address is the buffer head now; it changes as the
+    buffer moves, so footprints must be taken at the state where the
+    transition is enabled). *)
+
+val independent : footprint -> footprint -> bool
+(** Symmetric; [false] for two transitions of the same thread. *)
+
+val footprint_tid : footprint -> tid
+val footprint_read : footprint -> int
+(** Memory address index the transition reads, or [-1] for none. *)
+
+val footprint_write : footprint -> int
+(** Memory address index the transition writes (conservatively including
+    staging into B), or [-1] for none. *)
+
+(** {1 Snapshot / restore}
+
+    One-shot effect continuations cannot be cloned, so machine states
+    cannot be saved by copying alone. Instead, a {e recording} machine
+    keeps each thread's decoded response log; {!snapshot} copies that log
+    together with memory, buffers and hashes into preallocated scratch, and
+    {!restore_into} rebuilds the state onto a {e fresh} machine built by
+    the same deterministic constructor — fast-forwarding each new
+    continuation through the recorded responses (no memory or buffer
+    effects re-run; the snapshot already holds the data state). This turns
+    the explorer's sibling exploration from an O(depth) replay of machine
+    transitions from the root into an O(state + instructions-executed)
+    restore with no enabled-set recomputation, no drain/flush re-execution
+    and no scheduling. *)
+
+val set_record_responses : t -> bool -> unit
+(** Turn response recording on or off. Recording must be enabled before the
+    machine executes its first instruction (@raise Invalid_argument
+    otherwise); while off, {!apply} pays a single boolean test. Turning
+    recording off discards the logs. *)
+
+val record_responses : t -> bool
+
+type snapshot
+(** Growable scratch for one captured state; reusable across {!snapshot}
+    calls (capture into an already-sized snapshot allocates nothing). *)
+
+val snapshot_create : unit -> snapshot
+
+val snapshot : t -> snapshot -> unit
+(** Capture the machine's complete state ([t] must be recording:
+    @raise Invalid_argument otherwise). The snapshot shares no mutable
+    structure with the machine. *)
+
+val restore_into : snapshot -> t -> unit
+(** [restore_into snap t] rebuilds the captured state onto [t], which must
+    be a {e fresh, undriven} machine built by the same deterministic
+    constructor as the snapshotted one (same threads, same memory layout:
+    @raise Invalid_argument otherwise, or if a thread's replayed program
+    diverges from the recorded status). [t] is left recording, so it can
+    itself be snapshotted. Bumps the sink's [snapshot_restores] counter
+    when one is attached. *)

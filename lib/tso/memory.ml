@@ -48,6 +48,15 @@ let size t = t.used
 let name t a = t.names.(check t a)
 let snapshot t = Array.sub t.cells 0 t.used
 
+let blit_to t dst =
+  if Array.length dst < t.used then
+    invalid_arg "Memory.blit_to: destination too small";
+  Array.blit t.cells 0 dst 0 t.used
+
+let restore_from t src ~len =
+  if len <> t.used then invalid_arg "Memory.restore_from: size mismatch";
+  Array.blit src 0 t.cells 0 len
+
 let cell t i =
   if i < 0 || i >= t.used then invalid_arg "Memory.cell: index out of bounds";
   t.cells.(i)

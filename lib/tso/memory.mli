@@ -31,6 +31,16 @@ val snapshot : t -> int array
 (** Copy of the current contents (used by the explorer to compare states and
     by tests to assert final memory). *)
 
+val blit_to : t -> int array -> unit
+(** Copy the contents into the first {!size} slots of an existing array
+    (the allocation-free capture {!Machine.snapshot} uses).
+    @raise Invalid_argument if the destination is shorter than {!size}. *)
+
+val restore_from : t -> int array -> len:int -> unit
+(** Overwrite the contents with the first [len] values of [src]; the cell
+    layout (names, allocation order) is untouched. Used by
+    {!Machine.restore_into}. @raise Invalid_argument if [len <> size t]. *)
+
 val cell : t -> int -> int
 (** Contents of cell [i] (0 ≤ i < {!size}) without copying — the
     allocation-free read {!Machine.fingerprint} folds over. *)

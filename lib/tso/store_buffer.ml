@@ -118,6 +118,12 @@ let flush_egress t mem =
       (a, v)
 
 let egress_entry t = t.egress
+
+let clear t =
+  Queue.clear t.buf;
+  t.egress <- None
+
+let set_egress t e = t.egress <- e
 let buffered t = Queue.fold (fun acc e -> e :: acc) [] t.buf |> List.rev
 let iter_entries t f = Queue.iter f t.buf
 

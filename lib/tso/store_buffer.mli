@@ -87,6 +87,19 @@ val egress_entry : t -> (Addr.t * int) option
     proper matters for state fingerprints: a store staged in B and the same
     store still queued enable different transitions. *)
 
+val oldest : t -> (Addr.t * int) option
+(** The oldest entry of the buffer proper — the store the next FIFO drain
+    will propagate. The explorer's transition footprints use it to name the
+    address a [Drain] writes. *)
+
+val clear : t -> unit
+(** Empty the buffer proper and B. Snapshot-restore support for the
+    explorer; not a machine transition. *)
+
+val set_egress : t -> (Addr.t * int) option -> unit
+(** Overwrite B. Snapshot-restore support for the explorer; not a machine
+    transition. *)
+
 val buffered : t -> (Addr.t * int) list
 (** The buffer proper only, oldest-first (excludes B). *)
 

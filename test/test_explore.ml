@@ -85,6 +85,141 @@ let test_scenario_memo_completes () =
   checkb "parallel memoized verdict agrees" true (par_clean = clean);
   checkb "parallel memoized also completes" true (par.Explore.runs < 10_000)
 
+(* --- sleep-set partial-order reduction -------------------------------- *)
+
+let test_por_classic_differential () =
+  (* POR must preserve every verdict and every recorded failure prefix
+     while exploring (in aggregate, substantially) fewer runs; without a
+     preemption bound, parallel POR is byte-identical to sequential *)
+  let total_plain = ref 0 and total_por = ref 0 in
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let plain = Explore.search ~max_runs ~mk:t.mk () in
+      let por = Explore.search ~max_runs ~por:true ~mk:t.mk () in
+      checkb (t.name ^ ": verdict unchanged")
+        (plain.Explore.failures <> [])
+        (por.Explore.failures <> []);
+      checkb (t.name ^ ": POR never explores more") true
+        (por.Explore.runs <= plain.Explore.runs);
+      checkb (t.name ^ ": POR still exhausts") true (por.Explore.truncated = 0);
+      total_plain := !total_plain + plain.Explore.runs;
+      total_por := !total_por + por.Explore.runs;
+      List.iter
+        (fun (choices, _) ->
+          match Explore.replay_choices ~mk:t.mk choices with
+          | Error _ -> () (* the reduced search's sighting reproduces *)
+          | Ok () ->
+              Alcotest.failf "%s: POR failure prefix did not replay" t.name)
+        por.Explore.failures;
+      let par = Explore_par.search ~max_runs ~por:true ~jobs:4 ~mk:t.mk () in
+      Alcotest.check stats (t.name ^ ": POR jobs=4 equals sequential") por par)
+    Ws_litmus.Classic.all;
+  checkb "POR cuts the classic suite by at least 5x" true
+    (!total_por * 5 <= !total_plain)
+
+let test_por_capacity_sweep () =
+  (* the same differential across store-buffer capacities of a queue
+     scenario: capacity moves where the reordering lives, so the
+     independence relation is exercised with short and long drain chains *)
+  List.iter
+    (fun sb_capacity ->
+      let spec =
+        {
+          Ws_harness.Scenarios.default_spec with
+          sb_capacity;
+          preloaded = 2;
+          steal_attempts = 1;
+        }
+      in
+      let go ?(jobs = 1) por =
+        Ws_harness.Runner.exhaustive_check spec ~max_runs:40_000
+          ~preemption_bound:(Some 3) ~jobs ~por ()
+      in
+      let plain, plain_clean = go false in
+      let por, por_clean = go true in
+      checkb
+        (Printf.sprintf "sb=%d: clean verdict agrees" sb_capacity)
+        plain_clean por_clean;
+      checkb
+        (Printf.sprintf "sb=%d: POR never explores more" sb_capacity)
+        true
+        (por.Explore.runs <= plain.Explore.runs);
+      let _, par_clean = go ~jobs:4 true in
+      checkb
+        (Printf.sprintf "sb=%d: parallel POR verdict agrees" sb_capacity)
+        plain_clean par_clean)
+    [ 1; 2; 3 ]
+
+let test_por_delta_scenarios () =
+  (* the §4 delta-soundness pair: POR must still sight the delta=1
+     duplication (with a replayable prefix) and still prove delta=2 clean *)
+  let spec delta =
+    {
+      Ws_harness.Scenarios.default_spec with
+      queue = "ff-cl";
+      sb_capacity = 2;
+      delta;
+      worker_fence = false;
+      preloaded = 3;
+      puts = 0;
+      steal_attempts = 2;
+      client_stores = 0;
+    }
+  in
+  (* the unmemoized space is ~800k runs with the duplication deep in DFS
+     order; memoization collapses it to ~100 runs and memoized failure
+     prefixes stay replayable, so sight through the cache *)
+  let sight por =
+    fst
+      (Ws_harness.Runner.exhaustive_check (spec 1) ~preemption_bound:(Some 3)
+         ~memo:true ~por ())
+  in
+  let plain = sight false and por = sight true in
+  checkb "delta=1: unreduced search sights the duplication" true
+    (plain.Explore.failures <> []);
+  checkb "delta=1: POR sights the duplication" true (por.Explore.failures <> []);
+  (match por.Explore.failures with
+  | (choices, _) :: _ -> (
+      match
+        Explore.replay_choices ~mk:(Ws_harness.Scenarios.instance (spec 1)) choices
+      with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "POR duplication prefix did not replay")
+  | [] -> ());
+  (* delta=2 is a proof, so it must exhaust: memoization makes that cheap,
+     and POR must compose with it (the sleep set is part of the memo key) *)
+  let prove ?(jobs = 1) por =
+    Ws_harness.Runner.exhaustive_check (spec 2) ~preemption_bound:(Some 3)
+      ~memo:true ~jobs ~por ()
+  in
+  let p, p_clean = prove false in
+  let q, q_clean = prove true in
+  checkb "delta=2: both memoized proofs are clean" true (p_clean && q_clean);
+  checkb "delta=2: both proofs complete under budget" true
+    (p.Explore.runs < 200_000 && q.Explore.runs < 200_000);
+  let _, par_clean = prove ~jobs:4 true in
+  checkb "delta=2: parallel POR+memo proof agrees" true par_clean
+
+(* --- snapshot-based sibling exploration -------------------------------- *)
+
+let test_snapshot_replay_oracle () =
+  (* replay-from-root is the differential oracle for the snapshot path:
+     both must produce byte-identical statistics and failures *)
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let replay = Explore.search ~max_runs ~snapshots:false ~mk:t.mk () in
+      let snap = Explore.search ~max_runs ~mk:t.mk () in
+      Alcotest.check stats (t.name ^ ": snapshots equal replay") replay snap)
+    Ws_litmus.Classic.all;
+  (* and on a queue scenario with memo + POR + preemption bound stacked *)
+  let go snapshots =
+    fst
+      (Ws_harness.Runner.exhaustive_check Ws_harness.Scenarios.default_spec
+         ~preemption_bound:(Some 3) ~memo:true ~por:true ~snapshots ())
+  in
+  Alcotest.check stats "scenario: snapshots equal replay under memo+POR"
+    (go false) (go true)
+
 let () =
   Alcotest.run "explore"
     [
@@ -103,5 +238,18 @@ let () =
             test_memo_parallel_verdicts;
           Alcotest.test_case "scenario proof under budget" `Quick
             test_scenario_memo_completes;
+        ] );
+      ( "por",
+        [
+          Alcotest.test_case "classic suite differential" `Quick
+            test_por_classic_differential;
+          Alcotest.test_case "capacity sweep differential" `Quick
+            test_por_capacity_sweep;
+          Alcotest.test_case "delta scenarios differential" `Quick
+            test_por_delta_scenarios;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "replay oracle" `Quick test_snapshot_replay_oracle;
         ] );
     ]

@@ -660,6 +660,190 @@ let test_explore_memo_equivalence () =
   checkb "weak outcome found at bound 0 with memo" true
     (bounded.Explore.failures <> [])
 
+(* ------------------------------------------------------------------ *)
+(* Transition footprints                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_footprint_independence () =
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let mem = Machine.memory m in
+  let x = Memory.alloc mem ~name:"x" ~init:0 in
+  let y = Memory.alloc mem ~name:"y" ~init:0 in
+  let t0 = Machine.spawn m ~name:"t0" (fun () -> Program.store x 1) in
+  let t1 =
+    Machine.spawn m ~name:"t1" (fun () ->
+        ignore (Program.load x);
+        ignore (Program.load y))
+  in
+  let indep = Machine.independent in
+  let f_store = Machine.footprint m (Machine.Step t0) in
+  let f_load_x = Machine.footprint m (Machine.Step t1) in
+  (* a store step only enters the issuing thread's buffer — no shared
+     address — so it commutes with the other thread's load even of the
+     same cell (TSO in one line: the reordering lives in the drain) *)
+  checkb "buffered store || load of same cell" true (indep f_store f_load_x);
+  checkb "independence is symmetric" true
+    (indep f_load_x f_store = indep f_store f_load_x);
+  (* transitions of the same thread never commute *)
+  checkb "same thread is dependent" false (indep f_store f_store);
+  ignore (Machine.apply m (Machine.Step t0)) (* x=1 now queued in t0's SB *);
+  let f_drain = Machine.footprint m (Machine.Drain (t0, 0)) in
+  let f_load_x = Machine.footprint m (Machine.Step t1) in
+  (* the drain is the memory write of x: it must not commute with a load
+     of x... *)
+  checkb "drain x || load x" false (indep f_drain f_load_x);
+  checkb "dependence is symmetric" false (indep f_load_x f_drain);
+  checki "drain footprint writes x" (Addr.to_index x)
+    (Machine.footprint_write f_drain);
+  ignore (Machine.apply m (Machine.Step t1)) (* t1 consumed its load of x *);
+  let f_load_y = Machine.footprint m (Machine.Step t1) in
+  (* ...but it commutes with a load of a different cell *)
+  checkb "drain x || load y" true (indep f_drain f_load_y)
+
+let test_footprint_rmw_and_flush () =
+  (* CAS reads and writes its cell, so two CASes on the same cell conflict
+     write/write, and a drain of that cell conflicts with either *)
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let mem = Machine.memory m in
+  let x = Memory.alloc mem ~name:"x" ~init:0 in
+  let t0 = Machine.spawn m ~name:"t0" (fun () -> Program.store x 1) in
+  let t1 =
+    Machine.spawn m ~name:"t1" (fun () ->
+        ignore (Program.cas x ~expect:0 ~replace:2))
+  in
+  let t2 =
+    Machine.spawn m ~name:"t2" (fun () ->
+        ignore (Program.cas x ~expect:0 ~replace:3))
+  in
+  let f_cas1 = Machine.footprint m (Machine.Step t1) in
+  let f_cas2 = Machine.footprint m (Machine.Step t2) in
+  checkb "cas x || cas x" false (Machine.independent f_cas1 f_cas2);
+  checki "cas reads x" (Addr.to_index x) (Machine.footprint_read f_cas1);
+  checki "cas writes x" (Addr.to_index x) (Machine.footprint_write f_cas1);
+  ignore (Machine.apply m (Machine.Step t0));
+  let f_drain = Machine.footprint m (Machine.Drain (t0, 0)) in
+  checkb "drain x || cas x" false (Machine.independent f_drain f_cas1);
+  (* realistic model: a drain stages into B, and the flush out of B carries
+     the memory write — both claim the address *)
+  let m2 = Machine.create (Machine.realistic_config ~sb_capacity:2 ~coalesce:false) in
+  let mem2 = Machine.memory m2 in
+  let a = Memory.alloc mem2 ~name:"a" ~init:0 in
+  let b = Memory.alloc mem2 ~name:"b" ~init:0 in
+  let u0 = Machine.spawn m2 ~name:"u0" (fun () -> Program.store a 1) in
+  let u1 =
+    Machine.spawn m2 ~name:"u1" (fun () ->
+        ignore (Program.load a);
+        ignore (Program.load b))
+  in
+  ignore (Machine.apply m2 (Machine.Step u0));
+  let f_stage = Machine.footprint m2 (Machine.Drain (u0, 0)) in
+  checki "staging drain claims the write" (Addr.to_index a)
+    (Machine.footprint_write f_stage);
+  ignore (Machine.apply m2 (Machine.Drain (u0, 0))) (* a=1 staged in B *);
+  let f_flush = Machine.footprint m2 (Machine.Flush u0) in
+  let f_load_a = Machine.footprint m2 (Machine.Step u1) in
+  checkb "flush a || load a" false (Machine.independent f_flush f_load_a);
+  ignore (Machine.apply m2 (Machine.Step u1));
+  let f_load_b = Machine.footprint m2 (Machine.Step u1) in
+  checkb "flush a || load b" true (Machine.independent f_flush f_load_b)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic two-thread instance with enough variety to exercise the
+   whole snapshot payload: buffered stores, a load response, a CAS. *)
+let snap_mk () =
+  let m = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let mem = Machine.memory m in
+  let x = Memory.alloc mem ~name:"x" ~init:0 in
+  let y = Memory.alloc mem ~name:"y" ~init:0 in
+  let _ =
+    Machine.spawn m ~name:"t0" (fun () ->
+        Program.store x 1;
+        let v = Program.load y in
+        Program.store x (v + 2))
+  in
+  let _ =
+    Machine.spawn m ~name:"t1" (fun () ->
+        Program.store y 7;
+        ignore (Program.cas x ~expect:0 ~replace:9))
+  in
+  Machine.set_record_responses m true;
+  m
+
+let rec drive m n =
+  if n > 0 then
+    match Machine.enabled m with
+    | [] -> ()
+    | tr :: _ ->
+        ignore (Machine.apply m tr);
+        drive m (n - 1)
+
+let quiesce m = drive m max_int
+
+let test_snapshot_restore_fingerprint () =
+  let m1 = snap_mk () in
+  drive m1 5;
+  let fp = Machine.fingerprint m1 in
+  let snap = Machine.snapshot_create () in
+  Machine.snapshot m1 snap;
+  (* the snapshot must share nothing with the source: driving the source
+     on must not disturb what was captured *)
+  quiesce m1;
+  checkb "source moved past the captured state" true
+    (Machine.fingerprint m1 <> fp);
+  let m2 = snap_mk () in
+  Machine.restore_into snap m2;
+  checki "restored fingerprint equals the captured one" fp
+    (Machine.fingerprint m2);
+  checkb "restored machine keeps recording" true (Machine.record_responses m2);
+  (* the restored continuations are live: the same deterministic schedule
+     converges to the same final state as the source *)
+  quiesce m2;
+  checki "restored machine converges with the source" (Machine.fingerprint m1)
+    (Machine.fingerprint m2);
+  (* and the snapshot also shares nothing with machines it was restored
+     into: a second restore lands on the captured state again *)
+  let m3 = snap_mk () in
+  Machine.restore_into snap m3;
+  checki "second restore from the same snapshot" fp (Machine.fingerprint m3)
+
+let test_snapshot_preconditions () =
+  (* recording must start before the first instruction *)
+  let m = snap_mk () in
+  drive m 1;
+  (try
+     Machine.set_record_responses m true;
+     (* already recording: toggling on again is a no-op, so force the
+        error path via a non-recording machine below *)
+     ()
+   with Invalid_argument _ -> Alcotest.fail "re-enabling while recording");
+  let plain = Machine.create (Machine.abstract_config ~sb_capacity:2) in
+  let mem = Machine.memory plain in
+  let x = Memory.alloc mem ~name:"x" ~init:0 in
+  let tid = Machine.spawn plain ~name:"t" (fun () -> Program.store x 1) in
+  ignore (Machine.apply plain (Machine.Step tid));
+  (try
+     Machine.set_record_responses plain true;
+     Alcotest.fail "enabling recording mid-run must raise"
+   with Invalid_argument _ -> ());
+  (* snapshotting a non-recording machine must raise *)
+  let snap = Machine.snapshot_create () in
+  (try
+     Machine.snapshot plain snap;
+     Alcotest.fail "snapshot of a non-recording machine must raise"
+   with Invalid_argument _ -> ());
+  (* restoring onto a driven machine must raise *)
+  let src = snap_mk () in
+  drive src 3;
+  Machine.snapshot src snap;
+  let used = snap_mk () in
+  drive used 1;
+  try
+    Machine.restore_into snap used;
+    Alcotest.fail "restore onto a driven machine must raise"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* PSO (the §10 future-work model)                                     *)
@@ -1063,6 +1247,20 @@ let () =
             test_explore_counts_preemptions;
           Alcotest.test_case "memoization equivalence" `Quick
             test_explore_memo_equivalence;
+        ] );
+      ( "footprint",
+        [
+          Alcotest.test_case "independence of loads, stores, drains" `Quick
+            test_footprint_independence;
+          Alcotest.test_case "rmw and flush dependence" `Quick
+            test_footprint_rmw_and_flush;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "restore reproduces the fingerprint" `Quick
+            test_snapshot_restore_fingerprint;
+          Alcotest.test_case "preconditions raise" `Quick
+            test_snapshot_preconditions;
         ] );
       ( "api-corners",
         [
