@@ -411,8 +411,8 @@ let trace_cmd =
 
 (* explore: bounded exhaustive model checking *)
 let explore_cmd =
-  let run qname sb delta preloaded steals max_runs pb fence jobs memo por
-      snapshots progress =
+  let run qname sb delta preloaded steals client_stores max_runs pb fence jobs
+      memo por snapshots progress forensics trace_failure =
     let spec =
       {
         Ws_harness.Scenarios.default_spec with
@@ -421,6 +421,7 @@ let explore_cmd =
         delta;
         preloaded;
         steal_attempts = steals;
+        client_stores;
         worker_fence = fence;
       }
     in
@@ -438,30 +439,61 @@ let explore_cmd =
        else "")
       (if por then Printf.sprintf ", %d sleep-set skips" st.sleep_skips else "")
       st.Tso.Explore.peak_depth;
-    match st.failures with
+    match Tso.Explore.failures_in_replay_order st with
     | [] -> print_endline "no safety violation found"
     | (choices, msg) :: _ ->
-        Printf.printf "VIOLATION: %s\nreplayable choice prefix: [%s]\n\n" msg
+        Printf.printf "VIOLATION: %s\nreplayable choice prefix: [%s]\n" msg
           (String.concat "; " (List.map string_of_int choices));
-        (* replay the schedule with a trace attached *)
-        let inst = Ws_harness.Scenarios.instance spec () in
-        let trace = Tso.Trace.attach inst.Tso.Explore.machine in
-        List.iter
-          (fun i ->
-            match Tso.Explore.next_choices inst.Tso.Explore.machine with
-            | [] -> ()
-            | ts ->
-                ignore
-                  (Tso.Machine.apply inst.Tso.Explore.machine (List.nth ts i)))
-          choices;
-        print_endline "interleaving:";
-        print_string (Tso.Trace.render trace);
+        (if forensics <> None || trace_failure then begin
+           match
+             Ws_harness.Runner.forensics_report spec ~progress ~choices
+               ~message:msg ()
+           with
+           | Error e -> Printf.printf "forensics failed: %s\n" e
+           | Ok report ->
+               print_newline ();
+               print_string (Forensics.Report.summary report);
+               if trace_failure then begin
+                 print_endline "minimized interleaving:";
+                 print_string report.Forensics.Report.replay.Forensics.Witness.timeline
+               end;
+               Option.iter
+                 (fun file ->
+                   Forensics.Report.write report file;
+                   Printf.printf "forensics report: %s\n" file)
+                 forensics
+         end
+         else begin
+           (* no forensics requested: show the raw failing interleaving *)
+           let inst = Ws_harness.Scenarios.instance spec () in
+           let trace = Tso.Trace.attach inst.Tso.Explore.machine in
+           List.iter
+             (fun i ->
+               match Tso.Explore.next_choices inst.Tso.Explore.machine with
+               | [] -> ()
+               | ts ->
+                   ignore
+                     (Tso.Machine.apply inst.Tso.Explore.machine (List.nth ts i)))
+             choices;
+           print_newline ();
+           print_endline "interleaving:";
+           print_string (Tso.Trace.render trace)
+         end);
         exit 1
   in
   let sb = Arg.(value & opt int 1 & info [ "sb" ] ~docv:"S" ~doc:"Store buffer entries.") in
   let delta = Arg.(value & opt int 2 & info [ "delta"; "d" ] ~docv:"D" ~doc:"Delta.") in
   let preloaded = Arg.(value & opt int 2 & info [ "tasks" ] ~docv:"N" ~doc:"Preloaded tasks.") in
   let steals = Arg.(value & opt int 1 & info [ "steals" ] ~docv:"N" ~doc:"Thief attempts.") in
+  let client_stores =
+    Arg.(
+      value & opt int 1
+      & info [ "client-stores" ] ~docv:"N"
+          ~doc:
+            "Client stores the worker issues after each take. Fewer stores \
+             between takes raise the delta a given buffer capacity needs \
+             (delta = ceil(S / (stores + 1))).")
+  in
   let max_runs = Arg.(value & opt int 200_000 & info [ "max-runs" ] ~docv:"N" ~doc:"Run budget.") in
   let pb = Arg.(value & opt int 3 & info [ "preemptions" ] ~docv:"N" ~doc:"CHESS preemption bound.") in
   let fence =
@@ -470,17 +502,46 @@ let explore_cmd =
       & info [ "fence" ] ~docv:"BOOL"
           ~doc:"Worker fence for the fenced baselines (set false to watch the checker catch the bug).")
   in
+  let forensics_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "forensics.json") (some string) None
+      & info [ "forensics" ] ~docv:"FILE"
+          ~doc:
+            "On a violation, minimize the failing schedule (ddmin), extract \
+             reorder witnesses, and write a $(b,wsrepro-forensics/v1) JSON \
+             report to FILE (default $(b,forensics.json)).")
+  in
+  let trace_failure_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-failure" ]
+          ~doc:
+            "On a violation, print the minimized failing interleaving \
+             (implies the forensics pass; combine with $(b,--forensics) to \
+             also save the report).")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive model checking of a queue")
     Term.(
-      const run $ queue_arg $ sb $ delta $ preloaded $ steals $ max_runs $ pb
-      $ fence $ jobs_arg $ memo_arg $ por_arg $ snapshots_arg $ progress_arg)
+      const run $ queue_arg $ sb $ delta $ preloaded $ steals $ client_stores
+      $ max_runs $ pb $ fence $ jobs_arg $ memo_arg $ por_arg $ snapshots_arg
+      $ progress_arg $ forensics_arg $ trace_failure_arg)
 
 (* json-check: validate telemetry sidecars and traces without external tools *)
 let json_check_cmd =
   let run file =
     match Telemetry.Json.parse_file file with
     | Ok j ->
+        (* forensics reports get the full structural check, not just parsing *)
+        (match Telemetry.Json.member "schema" j with
+        | Some (Telemetry.Json.Str "wsrepro-forensics/v1") -> (
+            match Forensics.Report.validate j with
+            | Ok () -> ()
+            | Error e ->
+                Printf.printf "%s: INVALID: %s\n" file e;
+                exit 1)
+        | _ -> ());
         let schema =
           match Telemetry.Json.member "schema" j with
           | Some (Telemetry.Json.Str s) -> Printf.sprintf " (schema %s)" s

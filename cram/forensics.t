@@ -1,0 +1,61 @@
+Counterexample forensics. The scenario is the delta argument's edge: FF-THE
+with S = 2 and no client stores between takes needs delta = ceil(S/1) = 2,
+so delta = 1 lets the thief certify a stale tail and a task is extracted
+twice. A violation makes `explore` exit nonzero; `--forensics` then
+minimizes the failing schedule with ddmin, extracts the reorder witnesses
+(the loads that committed with program-order-earlier stores still
+buffered), and writes the wsrepro-forensics/v1 report:
+
+  $ wsrepro explore -q ff-the --sb 2 -d 1 --client-stores 0 --tasks 3 --steals 1 --memo --forensics=report.json
+  ff-the: 218 complete runs, 0 truncated, 0 deadlocks, 444 pruned branches, 6232 memo hits (96.6% hit rate), peak depth 51
+  VIOLATION: task 0 extracted 2 times
+  replayable choice prefix: [0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0]
+  
+  forensics: minimized schedule 46 -> 39 choices (123 shrink replays)
+  forensics: 6 reorder witness(es), max observed reorder depth 2
+    step 18 worker: load q.H = 0 with 1 pending store(s): q.T:=1
+    step 19 worker: load q.tasks[1] = 1 with 1 pending store(s): q.T:=1
+    step 20 worker: load q.T = 1 with 1 pending store(s): q.T:=1
+    step 22 worker: load q.H = 0 with 2 pending store(s): q.T:=1, q.T:=0
+    step 23 worker: load q.tasks[0] = 0 with 2 pending store(s): q.T:=1, q.T:=0
+    step 24 worker: load q.T = 0 with 2 pending store(s): q.T:=1, q.T:=0
+  forensics report: report.json
+  [1]
+
+`--trace-failure` renders the minimized interleaving inline (the witness
+steps 18-24 are the worker's takes racing its own buffered tail updates;
+the thief's certify at step 30 reads the stale T the buffer still hides):
+
+  $ wsrepro explore -q ff-the --sb 2 -d 1 --client-stores 0 --tasks 3 --steals 1 --memo --trace-failure 2>&1 | sed -n '/minimized interleaving:/,$p' | head -n 12
+  minimized interleaving:
+  step  worker                  thief1                  
+  ------------------------------------------------------
+     1  load q.T                                        
+     2  store q.tasks[3] := 3                           
+     3  ~ drain q.tasks[3]=3                            
+     4  store q.T := 4                                  
+     5  ~ drain q.T=4                                   
+     6  load q.T                                        
+     7  store q.T := 3                                  
+     8  ~ drain q.T=3                                   
+     9  load q.H                                        
+
+The report passes the in-tree structural validator (json-check runs the
+full wsrepro-forensics/v1 schema check, not just the parser):
+
+  $ wsrepro json-check report.json
+  report.json: valid JSON (schema wsrepro-forensics/v1)
+
+Forensics is deterministic end to end: a second run of the same failing
+scenario renders the report to identical bytes:
+
+  $ wsrepro explore -q ff-the --sb 2 -d 1 --client-stores 0 --tasks 3 --steals 1 --memo --forensics=report2.json > /dev/null
+  [1]
+  $ cmp report.json report2.json
+
+The paired configuration delta = 2 is sound at S = 2 — same machine, same
+schedule universe, no violation, exit 0:
+
+  $ wsrepro explore -q ff-the --sb 2 -d 2 --client-stores 0 --tasks 3 --steals 1 --memo
+  ff-the: 271 complete runs, 0 truncated, 0 deadlocks, 483 pruned branches, 7967 memo hits (96.7% hit rate), peak depth 51
+  no safety violation found

@@ -1,0 +1,287 @@
+module J = Telemetry.Json
+
+type t = {
+  config : (string * J.value) list;
+  message : string;
+  original : int list;
+  minimized : int list;
+  shrink_iterations : int;
+  replay : Witness.replay;
+}
+
+let build ?sink ?progress ~mk ~config ~choices ~message () =
+  match Shrink.minimize ?sink ?progress ~mk ~choices ~message () with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok sh -> (
+      let replay = Witness.replay ?sink ~mk sh.Shrink.choices in
+      match replay.Witness.verdict with
+      | Error m when m = message ->
+          Ok
+            {
+              config;
+              message;
+              original = choices;
+              minimized = sh.Shrink.choices;
+              shrink_iterations = sh.Shrink.iterations;
+              replay;
+            }
+      | Error m ->
+          Error
+            (Printf.sprintf
+               "minimized schedule diverged on witness replay: %S, expected %S"
+               m message)
+      | Ok () ->
+          Error "minimized schedule replayed clean on witness replay")
+
+let max_reorder_depth t = t.replay.Witness.max_depth
+
+let summary t =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "forensics: minimized schedule %d -> %d choices (%d shrink replays)\n"
+    (List.length t.original) (List.length t.minimized) t.shrink_iterations;
+  Printf.bprintf b "forensics: %d reorder witness(es), max observed reorder depth %d\n"
+    (List.length t.replay.Witness.witnesses)
+    t.replay.Witness.max_depth;
+  List.iter
+    (fun (w : Witness.t) ->
+      Printf.bprintf b "  step %d %s: %s = %d with %d pending store(s): %s\n"
+        w.Witness.step w.Witness.thread w.Witness.instr w.Witness.value
+        w.Witness.depth
+        (String.concat ", "
+           (List.map
+              (fun (p : Witness.pending_store) ->
+                Printf.sprintf "%s:=%d" p.Witness.addr p.Witness.value)
+              w.Witness.pending)))
+    t.replay.Witness.witnesses;
+  Buffer.contents b
+
+(* The Chrome trace of the minimized run: one 1-cycle span per event on the
+   owning thread's track (category "step" / "memory" / "witness"), an
+   instant marking each witness load's observed depth, and a per-thread
+   store-buffer counter track. Event steps are the deterministic trace
+   numbering, so the export is byte-stable. *)
+let chrome_trace t =
+  let r = t.replay in
+  let ct = Telemetry.Chrome_trace.create () in
+  Telemetry.Chrome_trace.set_process_name ct ~pid:0 "wsrepro forensics";
+  List.iteri
+    (fun tid name -> Telemetry.Chrome_trace.set_thread_name ct ~pid:0 ~tid name)
+    r.Witness.threads;
+  let witness_depth =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (w : Witness.t) -> Hashtbl.replace tbl w.Witness.step w.Witness.depth)
+      r.Witness.witnesses;
+    fun step -> Hashtbl.find_opt tbl step
+  in
+  List.iter
+    (fun (step, tid, text) ->
+      if text = "(done)" then
+        Telemetry.Chrome_trace.instant ct ~name:"done" ~cat:"thread" ~tid
+          ~ts:step ()
+      else begin
+        let is_memory = String.length text > 0 && text.[0] = '~' in
+        match witness_depth step with
+        | Some depth ->
+            Telemetry.Chrome_trace.complete ct ~name:text ~cat:"witness" ~tid
+              ~ts:step ~dur:1 ();
+            Telemetry.Chrome_trace.instant ct
+              ~name:(Printf.sprintf "reorder depth %d" depth)
+              ~cat:"witness" ~tid ~ts:step ()
+        | None ->
+            Telemetry.Chrome_trace.complete ct ~name:text
+              ~cat:(if is_memory then "memory" else "step")
+              ~tid ~ts:step ~dur:1 ()
+      end)
+    r.Witness.events;
+  List.iter
+    (fun (step, tid, pending) ->
+      Telemetry.Chrome_trace.counter ct ~name:"store-buffer" ~cat:"sb" ~tid
+        ~ts:step
+        ~values:[ ("pending", pending) ]
+        ())
+    r.Witness.occupancy;
+  ct
+
+let schema = "wsrepro-forensics/v1"
+
+let schedule_json choices =
+  J.Obj
+    [
+      ("length", J.Int (List.length choices));
+      ("choices", J.List (List.map (fun i -> J.Int i) choices));
+    ]
+
+let witness_json (w : Witness.t) =
+  J.Obj
+    [
+      ("step", J.Int w.Witness.step);
+      ("tid", J.Int w.Witness.tid);
+      ("thread", J.Str w.Witness.thread);
+      ("instr", J.Str w.Witness.instr);
+      ("value", J.Int w.Witness.value);
+      ("forwarded", J.Bool w.Witness.forwarded);
+      ("depth", J.Int w.Witness.depth);
+      ( "pending",
+        J.List
+          (List.map
+             (fun (p : Witness.pending_store) ->
+               J.Obj
+                 [
+                   ("addr", J.Str p.Witness.addr);
+                   ("addr_index", J.Int p.Witness.addr_index);
+                   ("value", J.Int p.Witness.value);
+                 ])
+             w.Witness.pending) );
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("config", J.Obj t.config);
+      ("verdict", J.Str t.message);
+      ("original", schedule_json t.original);
+      ("minimized", schedule_json t.minimized);
+      ( "shrink",
+        J.Obj
+          [
+            ("iterations", J.Int t.shrink_iterations);
+            ( "removed_choices",
+              J.Int (List.length t.original - List.length t.minimized) );
+          ] );
+      ( "witnesses",
+        J.List (List.map witness_json t.replay.Witness.witnesses) );
+      ("max_reorder_depth", J.Int t.replay.Witness.max_depth);
+      ("timeline", J.Str t.replay.Witness.timeline);
+      ("chrome_trace", Telemetry.Chrome_trace.to_json (chrome_trace t));
+    ]
+
+let to_string ?sink t =
+  let s = J.to_string (to_json t) in
+  (match sink with
+  | Some k ->
+      k.Telemetry.Sink.forensics_report_bytes <-
+        k.Telemetry.Sink.forensics_report_bytes + String.length s
+  | None -> ());
+  s
+
+let write ?sink t file =
+  let oc = open_out file in
+  output_string oc (to_string ?sink t);
+  close_out oc
+
+(* {2 Schema validation} *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int name = function
+  | J.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let as_str name = function
+  | J.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let as_list name = function
+  | J.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let int_field name j =
+  let* v = field name j in
+  as_int name v
+
+let str_field name j =
+  let* v = field name j in
+  as_str name v
+
+let list_field name j =
+  let* v = field name j in
+  as_list name v
+
+let check_schedule name j =
+  let* sched = field name j in
+  let* len = int_field "length" sched in
+  let* choices = list_field "choices" sched in
+  if List.length choices <> len then
+    Error (Printf.sprintf "%s: length %d but %d choices" name len
+             (List.length choices))
+  else if
+    List.exists (function J.Int i -> i < 0 | _ -> true) choices
+  then Error (name ^ ": choices must be non-negative integers")
+  else Ok len
+
+let check_witness i w =
+  let at fmt = Printf.ksprintf (fun s -> Printf.sprintf "witness %d: %s" i s) fmt in
+  let* _ = Result.map_error (at "%s") (int_field "step" w) in
+  let* _ = Result.map_error (at "%s") (int_field "tid" w) in
+  let* _ = Result.map_error (at "%s") (str_field "thread" w) in
+  let* _ = Result.map_error (at "%s") (str_field "instr" w) in
+  let* _ = Result.map_error (at "%s") (int_field "value" w) in
+  let* _ =
+    match J.member "forwarded" w with
+    | Some (J.Bool _) -> Ok ()
+    | _ -> Error (at "forwarded must be a boolean")
+  in
+  let* depth = Result.map_error (at "%s") (int_field "depth" w) in
+  let* pending = Result.map_error (at "%s") (list_field "pending" w) in
+  if depth <> List.length pending then
+    Error (at "depth %d but %d pending stores" depth (List.length pending))
+  else if depth < 1 then Error (at "witness with empty pending set")
+  else
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        let* _ = Result.map_error (at "pending: %s") (str_field "addr" p) in
+        let* _ = Result.map_error (at "pending: %s") (int_field "value" p) in
+        Ok ())
+      (Ok ()) pending
+    |> Result.map (fun () -> depth)
+
+let validate j =
+  let* s = str_field "schema" j in
+  if s <> schema then
+    Error (Printf.sprintf "schema %S, expected %S" s schema)
+  else
+    let* _ = field "config" j in
+    let* _ = str_field "verdict" j in
+    let* orig_len = check_schedule "original" j in
+    let* min_len = check_schedule "minimized" j in
+    if min_len > orig_len then
+      Error
+        (Printf.sprintf "minimized schedule (%d) longer than original (%d)"
+           min_len orig_len)
+    else
+      let* shrink = field "shrink" j in
+      let* _ = int_field "iterations" shrink in
+      let* witnesses = list_field "witnesses" j in
+      let* max_depth = int_field "max_reorder_depth" j in
+      let* observed =
+        List.fold_left
+          (fun acc (i, w) ->
+            let* m = acc in
+            let* d = check_witness i w in
+            Ok (max m d))
+          (Ok 0)
+          (List.mapi (fun i w -> (i, w)) witnesses)
+      in
+      if observed <> max_depth then
+        Error
+          (Printf.sprintf "max_reorder_depth %d but witnesses reach %d"
+             max_depth observed)
+      else
+        let* timeline = str_field "timeline" j in
+        if timeline = "" then Error "empty timeline"
+        else
+          let* trace = field "chrome_trace" j in
+          let* _ = list_field "traceEvents" trace in
+          Ok ()
+
+let validate_file file =
+  let* j = J.parse_file file in
+  validate j

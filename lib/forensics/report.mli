@@ -1,0 +1,68 @@
+(** The [wsrepro-forensics/v1] failure report: one byte-stable JSON
+    artifact per explorer failure, containing the original and minimized
+    schedules, shrink statistics, every reorder witness, a human-readable
+    timeline, and a Chrome trace of the failing run.
+
+    Everything in the document derives from the deterministic simulator —
+    no wall-clock timestamps, no iteration-order dependence — so building
+    the same failure twice renders to identical bytes, and a report can be
+    diffed across commits to see {e how} a regression's interleaving
+    changed. The schema is validated (structurally, field by field) by
+    {!validate}, built on the in-tree strict {!Telemetry.Json} parser;
+    tests and CI check emitted documents without external tooling. *)
+
+type t = {
+  config : (string * Telemetry.Json.value) list;
+      (** caller-supplied scenario/machine description (queue, S, δ, ...) *)
+  message : string;  (** the verdict both schedules replay to *)
+  original : int list;  (** the recorded failing schedule, root-first *)
+  minimized : int list;  (** the ddmin result, root-first *)
+  shrink_iterations : int;
+  replay : Witness.replay;  (** instrumented replay of [minimized] *)
+}
+
+val build :
+  ?sink:Telemetry.Sink.t ->
+  ?progress:Telemetry.Progress.t ->
+  mk:(unit -> Tso.Explore.instance) ->
+  config:(string * Telemetry.Json.value) list ->
+  choices:int list ->
+  message:string ->
+  unit ->
+  (t, string) Stdlib.result
+(** Shrink the failure ({!Shrink.minimize}), then replay the minimized
+    schedule with witness extraction ({!Witness.replay}). [Error _] if the
+    original schedule does not reproduce the verdict, or if the minimized
+    schedule's replayed verdict diverges from it (both indicate a stale
+    failure record or a non-deterministic scenario). *)
+
+val max_reorder_depth : t -> int
+(** Greatest observed reorder depth across the witnesses; 0 when the
+    failure needed no store-buffer reordering at all. *)
+
+val summary : t -> string
+(** A few human-readable lines (shrink ratio, witness count and depths)
+    for CLI output; deterministic. *)
+
+val to_json : t -> Telemetry.Json.value
+(** The full [wsrepro-forensics/v1] document, including the rendered
+    timeline and the embedded Chrome trace ([chrome_trace] field — extract
+    it to its own file to load in Perfetto). *)
+
+val to_string : ?sink:Telemetry.Sink.t -> t -> string
+(** Rendered document. [sink]'s [forensics_report_bytes] counter is bumped
+    by the byte length. *)
+
+val write : ?sink:Telemetry.Sink.t -> t -> string -> unit
+(** [write t file] saves {!to_string} to [file]. *)
+
+val validate : Telemetry.Json.value -> (unit, string) Stdlib.result
+(** Structural schema check of a parsed document: schema tag, both
+    schedules (with consistent lengths, minimized no longer than
+    original), per-witness field types with [depth] equal to the pending
+    list's length, [max_reorder_depth] consistent with the witnesses, a
+    non-empty timeline, and an embedded Chrome trace with a [traceEvents]
+    list. *)
+
+val validate_file : string -> (unit, string) Stdlib.result
+(** Parse with {!Telemetry.Json.parse_file}, then {!validate}. *)

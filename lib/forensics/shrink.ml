@@ -1,0 +1,82 @@
+type result = {
+  choices : int list;
+  message : string;
+  original : int list;
+  iterations : int;
+}
+
+let reproduces ~mk ~message cs =
+  (* Generous but finite suffix budget: a truncated candidate can park the
+     machine where the greedy suffix driver would spin forever (see
+     {!Tso.Explore.replay_choices}); full schedules quiesce well within a
+     few hundred steps in every scenario we explore. *)
+  let max_steps = (4 * List.length cs) + 1_000 in
+  match Tso.Explore.replay_choices ~max_steps ~mk cs with
+  | Error m -> m = message
+  | Ok () -> false
+  | exception Invalid_argument _ ->
+      (* The candidate ran off the end of the schedule, picked an index
+         outside the enabled set of the state it reached, or livelocked the
+         suffix driver — dropping earlier choices re-interprets the later
+         ones, so these are expected outcomes for a candidate, not
+         errors. *)
+      false
+
+(* Split [arr] into [n] chunks of near-equal length and return the
+   complement of chunk [i] (everything except it), as a list. *)
+let complement arr n i =
+  let len = Array.length arr in
+  let lo = i * len / n and hi = (i + 1) * len / n in
+  let out = ref [] in
+  for k = len - 1 downto 0 do
+    if k < lo || k >= hi then out := arr.(k) :: !out
+  done;
+  !out
+
+let minimize ?sink ?progress ~mk ~choices ~message () =
+  let iterations = ref 0 in
+  let test cs =
+    incr iterations;
+    (match sink with
+    | Some s ->
+        s.Telemetry.Sink.shrink_iterations <-
+          s.Telemetry.Sink.shrink_iterations + 1
+    | None -> ());
+    (match progress with
+    | Some p ->
+        Telemetry.Progress.sample p ~count:!iterations (fun ~rate ->
+            Printf.sprintf "%d shrink replays (%.0f/s), candidate length %d"
+              !iterations rate (List.length cs))
+    | None -> ());
+    reproduces ~mk ~message cs
+  in
+  if not (test choices) then
+    Error
+      "original choice sequence does not replay to the recorded verdict \
+       message"
+  else begin
+    (* ddmin, complement-only variant: at granularity [n], try removing
+       each of the [n] chunks; on success restart from the shortened
+       sequence at granularity [max (n-1) 2]; when nothing can be removed,
+       double the granularity, and stop once single choices (n = length)
+       survive removal — the sequence is then 1-minimal. *)
+    let rec go current n =
+      let arr = Array.of_list current in
+      let len = Array.length arr in
+      if len <= 1 then current
+      else begin
+        let rec try_chunk i =
+          if i >= n then None
+          else
+            let cand = complement arr n i in
+            if List.length cand < len && test cand then Some cand
+            else try_chunk (i + 1)
+        in
+        match try_chunk 0 with
+        | Some cand -> go cand (max (n - 1) 2)
+        | None -> if n < len then go current (min (2 * n) len) else current
+      end
+    in
+    let minimized = go choices 2 in
+    Ok { choices = minimized; message; original = choices; iterations = !iterations }
+  end

@@ -1,0 +1,47 @@
+(** ddmin-style minimization of failing explorer schedules.
+
+    A recorded failure ({!Tso.Explore.stats.failures}) is a root-first
+    choice sequence that {!Tso.Explore.replay_choices} drives back to the
+    same verdict. Those sequences record {e every} scheduling decision of
+    the violating run — forced steps, irrelevant drains, the other
+    threads' unrelated progress — so they are far longer than the actual
+    reordering that broke the invariant. This module shrinks them with
+    the classic delta-debugging minimization (ddmin, Zeller & Hildebrandt):
+    repeatedly try dropping chunks of the sequence, keeping any shortened
+    candidate that still replays to the {e same verdict message}, and
+    refine the chunk granularity until no single choice can be removed.
+
+    Dropped choices change the meaning of the indices after them (a choice
+    is an index into the enabled set of the state it executes in), so a
+    candidate is never assumed valid: the oracle replays it, and a
+    candidate that runs off the schedule or picks an out-of-range index
+    simply does not reproduce. The final sequence is 1-minimal: removing
+    any single remaining choice loses the failure. *)
+
+type result = {
+  choices : int list;  (** the minimized schedule, root-first *)
+  message : string;  (** the preserved verdict *)
+  original : int list;  (** the schedule the shrink started from *)
+  iterations : int;  (** oracle replays performed *)
+}
+
+val reproduces :
+  mk:(unit -> Tso.Explore.instance) -> message:string -> int list -> bool
+(** The shrink oracle: does the candidate replay to exactly [message]?
+    A candidate that replays clean, fails with a different message, ends
+    early, or indexes outside an enabled set answers [false]. *)
+
+val minimize :
+  ?sink:Telemetry.Sink.t ->
+  ?progress:Telemetry.Progress.t ->
+  mk:(unit -> Tso.Explore.instance) ->
+  choices:int list ->
+  message:string ->
+  unit ->
+  (result, string) Stdlib.result
+(** Shrink [choices] to a 1-minimal schedule that still replays to
+    [message]. [Error _] if the original sequence itself does not
+    reproduce (a stale or mis-oriented failure record). [sink]'s
+    [shrink_iterations] counter is bumped once per oracle replay;
+    [progress], if given, is sampled at the same points (long shrinks get
+    a live stderr line, stdout is untouched). *)

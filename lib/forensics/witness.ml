@@ -1,0 +1,132 @@
+open Tso
+
+type pending_store = {
+  addr : string;
+  addr_index : int;
+  value : int;
+}
+
+type t = {
+  step : int;
+  tid : int;
+  thread : string;
+  instr : string;
+  value : int;
+  forwarded : bool;
+  pending : pending_store list;
+  depth : int;
+}
+
+type replay = {
+  witnesses : t list;
+  max_depth : int;
+  timeline : string;
+  events : (int * int * string) list;
+  occupancy : (int * int * int) list;
+  threads : string list;
+  verdict : (unit, string) Stdlib.result;
+}
+
+let replay ?sink ~mk choices =
+  let inst = mk () in
+  let m = inst.Explore.machine in
+  let mem = Machine.memory m in
+  (* The trace provides the timeline and the event list; a second listener
+     samples per-thread buffer occupancy after every event. Both listeners
+     see events in the same order, so step numbers align. *)
+  let trace = Trace.attach m in
+  let occ_rev = ref [] in
+  let evno = ref 0 in
+  Machine.on_event m (fun ev ->
+      incr evno;
+      let tid =
+        match ev with
+        | Machine.Ev_exec { tid; _ }
+        | Machine.Ev_drain { tid; _ }
+        | Machine.Ev_flush { tid; _ }
+        | Machine.Ev_done tid ->
+            tid
+      in
+      occ_rev := (!evno, tid, Machine.buffered_stores m tid) :: !occ_rev);
+  let witnesses_rev = ref [] in
+  (* Capture just before the transition fires: a load's witness is the
+     buffer contents at commit time, and a load leaves the buffer
+     untouched, so pre-apply and post-apply states agree — but the pending
+     instruction (and its forwarded value) only exists pre-apply. *)
+  let consider tr =
+    match tr with
+    | Machine.Step tid -> (
+        match Machine.pending_load m tid with
+        | Some (a, v, forwarded) -> (
+            match Machine.buffered_entries m tid with
+            | [] -> ()
+            | pend ->
+                let w =
+                  {
+                    step = !evno + 1;  (* the Ev_exec this load emits *)
+                    tid;
+                    thread = Machine.thread_name m tid;
+                    instr = Printf.sprintf "load %s" (Memory.name mem a);
+                    value = v;
+                    forwarded;
+                    pending =
+                      List.map
+                        (fun (pa, pv) ->
+                          {
+                            addr = Memory.name mem pa;
+                            addr_index = Addr.to_index pa;
+                            value = pv;
+                          })
+                        pend;
+                    depth = List.length pend;
+                  }
+                in
+                witnesses_rev := w :: !witnesses_rev;
+                (match sink with
+                | Some s ->
+                    s.Telemetry.Sink.witness_events <-
+                      s.Telemetry.Sink.witness_events + 1
+                | None -> ()))
+        | None -> ())
+    | Machine.Drain _ | Machine.Flush _ -> ()
+  in
+  (* Drive the recorded schedule through the same choice universe the
+     search used ({!Explore.next_choices}), then any forced suffix to
+     quiescence — mirroring {!Explore.replay_choices}. *)
+  List.iter
+    (fun i ->
+      match Explore.next_choices m with
+      | [] -> invalid_arg "Forensics.Witness.replay: run ended early"
+      | ts ->
+          if i < 0 || i >= List.length ts then
+            invalid_arg "Forensics.Witness.replay: bad choice index";
+          let tr = List.nth ts i in
+          consider tr;
+          Machine.apply m tr)
+    choices;
+  (* Same suffix budget rationale as {!Shrink.reproduces}: the input is
+     normally a minimized schedule that already quiesced under the oracle,
+     but a caller-supplied sequence gets the same livelock protection. *)
+  let rec finish budget =
+    match Machine.enabled m with
+    | [] -> ()
+    | tr :: _ ->
+        if budget = 0 then
+          invalid_arg "Forensics.Witness.replay: suffix did not quiesce";
+        consider tr;
+        Machine.apply m tr;
+        finish (budget - 1)
+  in
+  finish ((4 * List.length choices) + 1_000);
+  let verdict = inst.Explore.check () in
+  let witnesses = List.rev !witnesses_rev in
+  {
+    witnesses;
+    max_depth = List.fold_left (fun acc w -> max acc w.depth) 0 witnesses;
+    timeline = Trace.render trace;
+    events = Trace.entries trace;
+    occupancy = List.rev !occ_rev;
+    threads =
+      List.init (Machine.thread_count m) (fun tid -> Machine.thread_name m tid);
+    verdict;
+  }

@@ -1,0 +1,68 @@
+(** Reorder witnesses: the concrete TSO[S] reordering inside a failing
+    schedule, made visible per load.
+
+    On TSO the only observable reordering is load-before-earlier-store: a
+    load commits while program-order-earlier stores of the same thread are
+    still sitting in its store buffer (and, in the realistic model, the
+    egress slot B). The paper's δ argument (§4) is exactly a bound on how
+    many such stores can be pending when the worker's [take] reads [H] —
+    so when a δ-soundness scenario fails, the proof of {e why} is the load
+    that committed with more than δ stores pending. This module replays a
+    (typically minimized, see {!Shrink}) schedule on a fresh machine and
+    captures, for every plain load that commits with a non-empty buffer,
+    the full set of pending stores: the witness. The number of pending
+    stores is the {e observed reorder depth} — the store-buffer capacity
+    the violation actually needed, i.e. the observed S of TSO[S].
+
+    Atomic RMWs and fences only execute on an empty buffer, so plain loads
+    are the only instructions that can witness a reordering. A load whose
+    value forwards from its own buffer is still recorded (with
+    [forwarded = true]): it is reordered with respect to the {e other}
+    pending stores, which other threads have not seen. *)
+
+type pending_store = {
+  addr : string;  (** symbolic cell name, e.g. ["q.T"] *)
+  addr_index : int;
+  value : int;
+}
+
+type t = {
+  step : int;
+      (** event number of the load in the replayed trace (aligns with the
+          step column of {!Tso.Trace.render} and with [events] below) *)
+  tid : int;
+  thread : string;
+  instr : string;  (** e.g. ["load q.H"] *)
+  value : int;  (** the value the load observed *)
+  forwarded : bool;  (** satisfied from the thread's own buffer *)
+  pending : pending_store list;
+      (** program-order-earlier stores still buffered when the load
+          committed, oldest-first (egress slot B first when occupied) *)
+  depth : int;  (** [List.length pending] — the observed reorder depth *)
+}
+
+type replay = {
+  witnesses : t list;  (** in commit order *)
+  max_depth : int;  (** greatest witness depth, 0 when no witness *)
+  timeline : string;  (** columns-per-thread rendering of the whole run *)
+  events : (int * int * string) list;
+      (** every trace event as [(step, tid, text)], execution order *)
+  occupancy : (int * int * int) list;
+      (** [(step, tid, pending_stores)] sampled after every event — the
+          store-buffer counter track of the Chrome trace export *)
+  threads : string list;  (** thread names by tid *)
+  verdict : (unit, string) Stdlib.result;  (** the replayed run's check *)
+}
+
+val replay :
+  ?sink:Telemetry.Sink.t ->
+  mk:(unit -> Tso.Explore.instance) ->
+  int list ->
+  replay
+(** Replay a root-first choice sequence (the orientation of
+    {!Tso.Explore.failures_in_replay_order}) on a fresh instance with a
+    trace attached, driving any forced suffix to quiescence exactly like
+    {!Tso.Explore.replay_choices}, and extract every reorder witness along
+    the way. [sink]'s [witness_events] counter is bumped once per witness.
+    @raise Invalid_argument if the sequence does not fit the scenario (bad
+    index or early end) — minimize against the same [mk] first. *)

@@ -43,6 +43,20 @@ let exhaustive_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo
   in
   (st, st.Tso.Explore.failures = [] && st.Tso.Explore.truncated = 0)
 
+let forensics_report spec ?(progress = false) ?sink ~choices ~message () =
+  let reporter =
+    if progress then Some (Telemetry.Progress.create ~label:"shrink" ())
+    else None
+  in
+  let r =
+    Forensics.Report.build ?sink ?progress:reporter
+      ~mk:(Scenarios.instance spec)
+      ~config:(Scenarios.spec_json spec)
+      ~choices ~message ()
+  in
+  Option.iter (fun rep -> Telemetry.Progress.finish rep) reporter;
+  r
+
 let run_checked m v ?workers ~seed mk =
   let cfg = config m v ?workers ~seed () in
   let checked = mk () in

@@ -49,6 +49,21 @@ val exhaustive_check :
     stderr. Returns the explorer statistics and a clean-verdict flag: no
     failure found and no run truncated by the depth bound. *)
 
+val forensics_report :
+  Scenarios.spec ->
+  ?progress:bool ->
+  ?sink:Telemetry.Sink.t ->
+  choices:int list ->
+  message:string ->
+  unit ->
+  (Forensics.Report.t, string) result
+(** Full counterexample forensics for one recorded failure of a scenario:
+    ddmin-minimize the choice sequence (oracle: replay on a fresh
+    {!Scenarios.instance} must reproduce [message]), then replay the
+    minimized schedule with reorder-witness extraction. The report's
+    [config] is {!Scenarios.spec_json}. With [progress], a live shrink
+    status line is maintained on stderr. *)
+
 val run_checked :
   Machine_config.t ->
   Variants.t ->

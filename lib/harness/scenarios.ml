@@ -27,6 +27,27 @@ let default_spec =
     client_stores = 1;
   }
 
+let spec_json spec =
+  let model =
+    match spec.buffer_model with
+    | Store_buffer.Abstract -> "abstract"
+    | Store_buffer.Realistic { coalesce = true } -> "realistic+coalesce"
+    | Store_buffer.Realistic { coalesce = false } -> "realistic"
+    | Store_buffer.Pso -> "pso"
+  in
+  [
+    ("queue", Telemetry.Json.Str spec.queue);
+    ("sb_capacity", Telemetry.Json.Int spec.sb_capacity);
+    ("buffer_model", Telemetry.Json.Str model);
+    ("delta", Telemetry.Json.Int spec.delta);
+    ("worker_fence", Telemetry.Json.Bool spec.worker_fence);
+    ("preloaded", Telemetry.Json.Int spec.preloaded);
+    ("puts", Telemetry.Json.Int spec.puts);
+    ("steal_attempts", Telemetry.Json.Int spec.steal_attempts);
+    ("thieves", Telemetry.Json.Int spec.thieves);
+    ("client_stores", Telemetry.Json.Int spec.client_stores);
+  ]
+
 let instance spec () =
   let (module Q : Ws_core.Queue_intf.S) = Ws_core.Registry.find spec.queue in
   let machine =

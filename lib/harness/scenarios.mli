@@ -21,6 +21,10 @@ val default_spec : spec
 (** ff-the on TSO[2], δ=1, 2 preloaded, 1 put, 1 thief with 2 attempts —
     small enough to explore exhaustively. *)
 
+val spec_json : spec -> (string * Telemetry.Json.value) list
+(** The spec as JSON fields, for embedding in a forensics report's
+    [config] object. Deterministic field order. *)
+
 val instance : spec -> unit -> Tso.Explore.instance
 (** Fresh machine + threads + safety check. The check verifies, at
     quiescence: no task extracted twice (unless the queue is idempotent), no

@@ -42,6 +42,10 @@ type t = {
   (* explorer layer *)
   mutable por_sleep_skips : int;  (* transitions skipped by sleep-set POR *)
   mutable snapshot_restores : int;  (* Machine.restore_into calls *)
+  (* forensics layer *)
+  mutable shrink_iterations : int;  (* ddmin oracle replays *)
+  mutable witness_events : int;  (* reorder witnesses extracted *)
+  mutable forensics_report_bytes : int;  (* bytes of emitted reports *)
 }
 
 let create () =
@@ -71,6 +75,9 @@ let create () =
     tasks_stolen = 0;
     por_sleep_skips = 0;
     snapshot_restores = 0;
+    shrink_iterations = 0;
+    witness_events = 0;
+    forensics_report_bytes = 0;
   }
 
 let reset t =
@@ -98,7 +105,10 @@ let reset t =
   t.tasks_run <- 0;
   t.tasks_stolen <- 0;
   t.por_sleep_skips <- 0;
-  t.snapshot_restores <- 0
+  t.snapshot_restores <- 0;
+  t.shrink_iterations <- 0;
+  t.witness_events <- 0;
+  t.forensics_report_bytes <- 0
 
 let merge ~into src =
   into.loads <- into.loads + src.loads;
@@ -125,7 +135,11 @@ let merge ~into src =
   into.tasks_run <- into.tasks_run + src.tasks_run;
   into.tasks_stolen <- into.tasks_stolen + src.tasks_stolen;
   into.por_sleep_skips <- into.por_sleep_skips + src.por_sleep_skips;
-  into.snapshot_restores <- into.snapshot_restores + src.snapshot_restores
+  into.snapshot_restores <- into.snapshot_restores + src.snapshot_restores;
+  into.shrink_iterations <- into.shrink_iterations + src.shrink_iterations;
+  into.witness_events <- into.witness_events + src.witness_events;
+  into.forensics_report_bytes <-
+    into.forensics_report_bytes + src.forensics_report_bytes
 
 (* The canonical field order of every export; extend here and every
    consumer (JSON sidecars, pp, the metrics schema test) follows. *)
@@ -154,6 +168,9 @@ let fields t =
     ("tasks_stolen", t.tasks_stolen);
     ("por_sleep_skips", t.por_sleep_skips);
     ("snapshot_restores", t.snapshot_restores);
+    ("shrink_iterations", t.shrink_iterations);
+    ("witness_events", t.witness_events);
+    ("forensics_report_bytes", t.forensics_report_bytes);
   ]
 
 let sb_occupancy t = t.sb_occupancy

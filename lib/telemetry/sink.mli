@@ -42,6 +42,12 @@ type t = {
       (** transitions the explorer's sleep-set POR refused to explore *)
   mutable snapshot_restores : int;
       (** {!Machine.restore_into} calls (snapshot-based sibling exploration) *)
+  mutable shrink_iterations : int;
+      (** oracle replays performed by the forensics ddmin shrinker *)
+  mutable witness_events : int;
+      (** reorder witnesses extracted from replayed failing schedules *)
+  mutable forensics_report_bytes : int;
+      (** total bytes of rendered forensics reports *)
 }
 
 val create : unit -> t

@@ -14,6 +14,11 @@ type stats = {
   failures : (int list * string) list;
 }
 
+(* [stats_of_acc] already reverses both the failure list (sighting order)
+   and, via [Prefix.to_list], leaves each choice sequence root-first, so
+   the replay orientation is the stored one. *)
+let failures_in_replay_order s = s.failures
+
 let memo_hit_rate s =
   let visits = s.runs + s.memo_hits in
   if visits = 0 then 0.0 else float_of_int s.memo_hits /. float_of_int visits
@@ -528,7 +533,7 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
 
 let next_choices = choices
 
-let replay_choices ~mk steps =
+let replay_choices ?(max_steps = max_int) ~mk steps =
   let inst = mk () in
   let m = inst.machine in
   (* One reusable buffer; [choices_into] yields exactly the sequence
@@ -544,14 +549,18 @@ let replay_choices ~mk steps =
         invalid_arg "Explore.replay_choices: bad choice index";
       Machine.apply m (Machine.tbuf_get buf i))
     steps;
-  (* Drive any forced suffix to quiescence. *)
-  let rec finish () =
+  (* Drive any forced suffix to quiescence. The greedy always-transition-0
+     policy can livelock from states only a truncated candidate reaches
+     (spin loop on a never-scheduled peer), hence the budget. *)
+  let rec finish budget =
     if Machine.enabled_into m buf > 0 then begin
+      if budget = 0 then
+        invalid_arg "Explore.replay_choices: suffix exceeded max_steps";
       Machine.apply m (Machine.tbuf_get buf 0);
-      finish ()
+      finish (budget - 1)
     end
   in
-  finish ();
+  finish max_steps;
   inst.check ()
 
 module Internal = struct

@@ -66,9 +66,25 @@ type stats = {
   peak_depth : int;
       (** deepest node reached by the search (the depth frontier) *)
   failures : (int list * string) list;
-      (** failing runs: replayable choice sequence and message (at most
-          [max_failures], newest last) *)
+      (** Failing runs, in sighting order (first-sighted first, at most
+          [max_failures]). Each failure is a choice sequence plus the
+          verdict message. {b Orientation:} the choice sequence is
+          {e root-first} — element 0 is the index taken at the root of the
+          search tree, the last element is the choice at the failing leaf —
+          which is exactly the order {!replay_choices} consumes. (The
+          search accumulates both the per-run prefix and the failure list
+          newest-first internally; both are reversed before they reach
+          this record, so no caller-side reversal is ever needed.) Prefer
+          {!failures_in_replay_order} over pattern-matching this field:
+          the accessor's name states the contract. *)
 }
+
+val failures_in_replay_order : stats -> (int list * string) list
+(** The recorded failures, first-sighted first, each choice sequence
+    root-first — the exact orientation {!replay_choices} (and the
+    forensics shrinker built on it) consumes. Today this is the identity
+    on [stats.failures]; go through the accessor so the contract survives
+    representation changes. *)
 
 val memo_hit_rate : stats -> float
 (** Fraction of visited nodes pruned by the visited-state cache:
@@ -97,9 +113,19 @@ val search :
     every [progress_every] completed runs (default 4096) — the hook for
     live progress reporting. It must not mutate the search. *)
 
-val replay_choices : mk:(unit -> instance) -> int list -> (unit, string) result
+val replay_choices :
+  ?max_steps:int -> mk:(unit -> instance) -> int list -> (unit, string) result
 (** Re-run one recorded choice sequence (from {!stats.failures}) and return
-    its check result; useful to shrink or debug a failure. *)
+    its check result; useful to shrink or debug a failure. After the
+    recorded choices, any forced suffix is driven greedily (always
+    transition 0) to quiescence. [max_steps] (default unbounded) caps that
+    suffix: a {e truncated} sequence — as the forensics shrinker's ddmin
+    candidates are — can park the machine in a state where the greedy
+    driver spins forever (e.g. a thread retrying a CAS on a lock a
+    never-scheduled thread holds), and the cap turns that livelock into
+    [Invalid_argument] like any other malformed candidate. Recorded
+    full-length failure prefixes never hit the cap: their suffix contains
+    only forced steps. *)
 
 val next_choices : Machine.t -> Machine.transition list
 (** The choice universe the explorer branches over at the machine's current

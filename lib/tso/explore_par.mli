@@ -15,7 +15,12 @@
     merge reports {e everything} that was explored — counters and recorded
     failures from every subtree, so [runs] may slightly exceed [max_runs].
     (Earlier versions dropped whole per-domain accumulators once the budget
-    was reached, losing their statistics and failures.)
+    was reached, losing their statistics and failures.) Merged failures
+    keep {!Explore.stats.failures}'s orientation contract: the list is in
+    sighting order and every choice sequence is root-first — each subtree's
+    frontier prefix is prepended before the merge — so
+    {!Explore.failures_in_replay_order} and the forensics shrinker consume
+    parallel results unchanged.
 
     Memoization ([memo = true]) uses a single visited-state cache shared by
     all domains (sharded by fingerprint hash, one mutex per shard), so

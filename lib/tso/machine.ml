@@ -147,6 +147,7 @@ let all_done t =
   go 0
 
 let buffered_stores t tid = Store_buffer.pending (thread t tid).buf
+let buffered_entries t tid = Store_buffer.to_list (thread t tid).buf
 
 let quiescent t =
   let rec go i =
@@ -288,6 +289,15 @@ let pending_class t tid =
         | Program.Req_fence -> C_fence
         | Program.Req_work n -> C_work n
         | Program.Req_label _ | Program.Req_pause -> C_free)
+
+let pending_load t tid =
+  let th = thread t tid in
+  match th.status with
+  | Program.Paused (Program.Paused_at (Program.Req_load a, _)) -> (
+      match Store_buffer.lookup th.buf a with
+      | Some v -> Some (a, v, true)
+      | None -> Some (a, Memory.get t.mem a, false))
+  | _ -> None
 
 let store_blocked t tid =
   let th = thread t tid in

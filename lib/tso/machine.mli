@@ -44,6 +44,13 @@ val all_done : t -> bool
 val buffered_stores : t -> tid -> int
 (** Stores of thread [tid] not yet globally visible (buffer proper plus B). *)
 
+val buffered_entries : t -> tid -> (Addr.t * int) list
+(** The stores of thread [tid] not yet globally visible, oldest-first (the
+    egress slot B first when occupied, then the buffer proper). These are
+    exactly the program-order-earlier stores a load committing {e now}
+    would be reordered ahead of — the raw material of the forensics
+    layer's reorder witnesses. Cold path; allocates. *)
+
 val quiescent : t -> bool
 (** All threads finished and all store buffers drained. *)
 
@@ -135,6 +142,15 @@ type request_class =
 
 val pending_class : t -> tid -> request_class option
 (** Classification of the pending instruction, [None] if the thread is done. *)
+
+val pending_load : t -> tid -> (Addr.t * int * bool) option
+(** If the thread's pending instruction is a plain load: its address, the
+    value it would observe if it committed in the current state, and
+    whether that value forwards from the thread's own store buffer rather
+    than memory. [None] for every other instruction class (atomic RMWs
+    read memory too, but they only execute on an empty buffer, so they can
+    never be reordered with earlier stores). Used by the forensics layer
+    to capture reorder witnesses just before a recorded load commits. *)
 
 val store_blocked : t -> tid -> bool
 (** The thread's pending instruction is a store and the buffer is full. *)
@@ -244,4 +260,18 @@ val restore_into : snapshot -> t -> unit
     @raise Invalid_argument otherwise, or if a thread's replayed program
     diverges from the recorded status). [t] is left recording, so it can
     itself be snapshotted. Bumps the sink's [snapshot_restores] counter
-    when one is attached. *)
+    when one is attached.
+
+    {b Attached listeners and sinks survive the restore} — they belong to
+    the target machine [t], not to the snapshot, and restoring neither
+    detaches nor re-registers them. But the fast-forward is {e silent}:
+    the recorded responses are fed straight to the continuations without
+    going through {!apply}, so no {!event} is emitted and no sink counter
+    (other than [snapshot_restores]) is bumped for the instructions being
+    replayed. A {!Trace} attached to [t] before the restore therefore
+    records only the transitions applied {e after} it — by design: the
+    explorer restores mid-schedule states whose prefixes were already
+    observed once, and re-emitting them would double-count every counter.
+    To obtain a complete event stream of a recorded schedule, replay it
+    from the root with the listener attached (what the forensics layer
+    does) instead of restoring into an observed machine. *)

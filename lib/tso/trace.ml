@@ -42,6 +42,9 @@ let clear t =
 
 let length t = t.count
 
+let entries t =
+  List.rev_map (fun e -> (e.step, e.tid, e.text)) t.entries
+
 let render ?last t =
   let entries = List.rev t.entries in
   let entries =

@@ -21,6 +21,14 @@ val attach : Machine.t -> t
 val clear : t -> unit
 val length : t -> int
 
+val entries : t -> (int * int * string) list
+(** The recorded events as [(step, tid, text)] triples in execution order,
+    with the same per-event numbering and rendering the columns of
+    {!render} use. Step numbers count {e events}, not machine transitions
+    (a thread's final instruction emits its exec event and a [(done)]
+    marker as two consecutive entries). The forensics layer builds its
+    Chrome-trace export of a failing schedule from these. *)
+
 val render : ?last:int -> t -> string
 (** The recorded trace; [last] keeps only the final n events. *)
 

@@ -200,6 +200,44 @@ let test_por_delta_scenarios () =
   let _, par_clean = prove ~jobs:4 true in
   checkb "delta=2: parallel POR+memo proof agrees" true par_clean
 
+(* --- failure orientation ----------------------------------------------- *)
+
+(* S = delta + 1 with no client stores between takes: delta = ceil(S/1) = 2,
+   so delta = 1 is unsound and the search records real violations *)
+let violating_spec =
+  {
+    Ws_harness.Scenarios.default_spec with
+    sb_capacity = 2;
+    delta = 1;
+    client_stores = 0;
+    preloaded = 3;
+    steal_attempts = 1;
+  }
+
+let test_failures_replay_order () =
+  (* the orientation contract: every recorded failure, consumed exactly as
+     returned (root-first, first-sighted first), replays to its verdict *)
+  let mk = Ws_harness.Scenarios.instance violating_spec in
+  let exercise label st =
+    let fs = Explore.failures_in_replay_order st in
+    checkb (label ^ ": identity on stats.failures") true
+      (fs = st.Explore.failures);
+    checkb (label ^ ": violations recorded") true (fs <> []);
+    List.iter
+      (fun (choices, msg) ->
+        match Explore.replay_choices ~mk choices with
+        | Error m -> Alcotest.(check string) (label ^ ": replay verdict") msg m
+        | Ok () -> Alcotest.fail (label ^ ": failure prefix replayed clean")
+        | exception Invalid_argument e ->
+            Alcotest.fail (label ^ ": failure prefix did not replay: " ^ e))
+      fs
+  in
+  exercise "seq"
+    (Explore.search ~max_runs ~preemption_bound:(Some 3) ~memo:true ~mk ());
+  exercise "par jobs=4"
+    (Explore_par.search ~max_runs ~preemption_bound:(Some 3) ~memo:true
+       ~jobs:4 ~mk ())
+
 (* --- snapshot-based sibling exploration -------------------------------- *)
 
 let test_snapshot_replay_oracle () =
@@ -247,6 +285,11 @@ let () =
             test_por_capacity_sweep;
           Alcotest.test_case "delta scenarios differential" `Quick
             test_por_delta_scenarios;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "replay order contract" `Quick
+            test_failures_replay_order;
         ] );
       ( "snapshots",
         [

@@ -78,9 +78,31 @@ let filled_sink () =
   s.S.steal_attempts <- 5;
   s.S.steal_aborts <- 2;
   s.S.tasks_run <- 64;
+  s.S.shrink_iterations <- 7;
+  s.S.witness_events <- 4;
+  s.S.forensics_report_bytes <- 2048;
   H.observe (S.sb_occupancy s) 4;
   H.observe (S.egress_depth s) 1;
   s
+
+let test_forensics_counters () =
+  (* the forensics layer's counters ride the generic sink plumbing: they
+     must be exported by [fields] (so sidecars pick them up) and obey the
+     same merge/reset laws as every other scalar *)
+  let s = filled_sink () in
+  let field k = List.assoc k (S.fields s) in
+  check int "shrink_iterations exported" 7 (field "shrink_iterations");
+  check int "witness_events exported" 4 (field "witness_events");
+  check int "forensics_report_bytes exported" 2048
+    (field "forensics_report_bytes");
+  S.merge ~into:s (filled_sink ());
+  check int "shrink_iterations merges" 14 s.S.shrink_iterations;
+  check int "witness_events merges" 8 s.S.witness_events;
+  check int "forensics_report_bytes merges" 4096 s.S.forensics_report_bytes;
+  S.reset s;
+  check int "shrink_iterations resets" 0 s.S.shrink_iterations;
+  check int "witness_events resets" 0 s.S.witness_events;
+  check int "forensics_report_bytes resets" 0 s.S.forensics_report_bytes
 
 let test_sink_merge () =
   let a = filled_sink () and b = filled_sink () in
@@ -283,6 +305,8 @@ let () =
         [
           Alcotest.test_case "merge" `Quick test_sink_merge;
           Alcotest.test_case "reset" `Quick test_sink_reset;
+          Alcotest.test_case "forensics counters" `Quick
+            test_forensics_counters;
         ] );
       ( "json",
         [

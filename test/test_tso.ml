@@ -809,6 +809,32 @@ let test_snapshot_restore_fingerprint () =
   Machine.restore_into snap m3;
   checki "second restore from the same snapshot" fp (Machine.fingerprint m3)
 
+let test_snapshot_restore_listeners () =
+  (* the machine.mli contract: listeners attached to the restore target
+     survive the restore, but the fast-forward itself is silent — no event
+     is emitted for the replayed prefix, and a Trace attached before the
+     restore records only what runs afterwards *)
+  let m1 = snap_mk () in
+  drive m1 5;
+  let snap = Machine.snapshot_create () in
+  Machine.snapshot m1 snap;
+  let m2 = snap_mk () in
+  let trace = Trace.attach m2 in
+  let events = ref 0 in
+  Machine.on_event m2 (fun _ -> incr events);
+  Machine.restore_into snap m2;
+  checki "fast-forward emits no event" 0 !events;
+  checkb "trace saw nothing during the restore" true
+    (Trace.entries trace = []);
+  (* the listeners were not detached: the first post-restore transition
+     reaches both of them *)
+  (match Machine.enabled m2 with
+  | [] -> Alcotest.fail "restored machine should not be quiescent"
+  | tr :: _ -> ignore (Machine.apply m2 tr));
+  checkb "listener fires after the restore" true (!events > 0);
+  checkb "trace records post-restore transitions" true
+    (Trace.entries trace <> [])
+
 let test_snapshot_preconditions () =
   (* recording must start before the first instruction *)
   let m = snap_mk () in
@@ -1261,6 +1287,8 @@ let () =
             test_snapshot_restore_fingerprint;
           Alcotest.test_case "preconditions raise" `Quick
             test_snapshot_preconditions;
+          Alcotest.test_case "listeners survive, fast-forward is silent"
+            `Quick test_snapshot_restore_listeners;
         ] );
       ( "api-corners",
         [
