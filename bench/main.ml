@@ -229,7 +229,7 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v3"
+let bench_schema = "wsrepro-bench/v4"
 
 let bench_fields =
   [
@@ -242,6 +242,10 @@ let bench_fields =
     "fig10_wall_s";
     "fingerprint_ns";
     "memo_lookup_ns";
+    "native_fib_tasks_per_sec";
+    "native_graph_tasks_per_sec";
+    "native_service_rps";
+    "native_service_p99_ns";
   ]
 
 let wall f =
@@ -375,6 +379,32 @@ let measure_fig10 ~repeats () =
   in
   dt
 
+(* The native pool on real silicon: throughput of the two parity workloads
+   (tasks/s) and the open-system service benchmark (achieved rps, p99
+   sojourn ns). Absolute numbers are machine-dependent; the contract the
+   check enforces is positivity and schema shape — the parity analysis
+   lives in `wsrepro native` / EXPERIMENTS.md. *)
+let measure_native ~smoke () =
+  let domains = 3 in
+  let fib_n, nodes, requests, rate, work =
+    if smoke then (16, 400, 200, 2000., 500) else (24, 2000, 1000, 5000., 2000)
+  in
+  let fib =
+    Ws_harness.Exp_native.native_fib ~domains ~n:fib_n ()
+  in
+  let graph =
+    Ws_harness.Exp_native.native_graph ~domains ~nodes ~edges:(4 * nodes)
+      ~seed:23 ()
+  in
+  let svc =
+    Ws_harness.Exp_native.service ~domains ~rate ~requests ~chain:4 ~work
+      ~seed:23 ()
+  in
+  ( fib.Ws_harness.Exp_native.tasks_per_sec,
+    graph.Ws_harness.Exp_native.tasks_per_sec,
+    svc.Ws_harness.Exp_native.throughput_rps,
+    float_of_int svc.Ws_harness.Exp_native.p99_ns )
+
 let run_json ~smoke ~out () =
   let batches, max_runs, fp_iters, snap_iters, repeats =
     if smoke then (20, 500, 2_000, 500, 1)
@@ -382,6 +412,9 @@ let run_json ~smoke ~out () =
   in
   let disabled = measure_sim_steps ~batches () in
   let enabled = measure_sim_steps ~telemetry:true ~batches () in
+  let native_fib, native_graph, native_rps, native_p99 =
+    measure_native ~smoke ()
+  in
   let metrics =
     [
       ("sim_batch_steps_per_sec", disabled);
@@ -393,6 +426,10 @@ let run_json ~smoke ~out () =
       ("fig10_wall_s", measure_fig10 ~repeats ());
       ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
       ("memo_lookup_ns", measure_memo_lookup ~iters:fp_iters ());
+      ("native_fib_tasks_per_sec", native_fib);
+      ("native_graph_tasks_per_sec", native_graph);
+      ("native_service_rps", native_rps);
+      ("native_service_p99_ns", native_p99);
     ]
   in
   assert (List.map fst metrics = bench_fields);
@@ -515,7 +552,23 @@ let run_check file =
     "%s: snapshot restore %.0f ns (recorded %.0f, budget %.0f) %s\n" file
     live_snap recorded_snap snap_budget
     (if snap_ok then "OK" else "REGRESSED");
-  if not (ok && ovh_ok && snap_ok) then exit 1
+  (* Native metrics are machine-dependent wallclock numbers; the recorded
+     values must at least be live measurements (strictly positive — a zero
+     means the probe silently produced nothing, e.g. a hung pool whose run
+     was killed or a histogram that never saw an observation). *)
+  let native_ok =
+    List.for_all
+      (fun f -> Option.get (metric f) > 0.0)
+      [
+        "native_fib_tasks_per_sec";
+        "native_graph_tasks_per_sec";
+        "native_service_rps";
+        "native_service_p99_ns";
+      ]
+  in
+  Printf.printf "%s: native metrics %s\n" file
+    (if native_ok then "all positive OK" else "NOT POSITIVE");
+  if not (ok && ovh_ok && snap_ok && native_ok) then exit 1
 
 let usage () =
   print_string
@@ -542,7 +595,11 @@ let usage () =
      \      lowers it even as the verdict arrives sooner.\n\
      \  snapshot_restore_ns              Machine.restore_into of a 40-step\n\
      \      default-scenario snapshot, minus the fresh-instance build both\n\
-     \      explorer sibling paths share.\n")
+     \      explorer sibling paths share.\n\
+     \  native_*                         the OCaml 5 pool on real silicon,\n\
+     \      3 worker domains: fib/graph task throughput and the Poisson\n\
+     \      service benchmark (achieved rps, p99 sojourn). Wallclock — the\n\
+     \      check gates positivity, not speed.\n")
 
 let () =
   let argv = Sys.argv in

@@ -528,6 +528,108 @@ let explore_cmd =
       $ max_runs $ pb $ fence $ jobs_arg $ memo_arg $ por_arg $ snapshots_arg
       $ progress_arg $ forensics_arg $ trace_failure_arg)
 
+(* native: the pool on real silicon — sim-vs-native parity + service bench *)
+let native_cmd =
+  let backend_conv =
+    Arg.enum
+      [
+        ("cl", Ws_native.Pool.Chase_lev_deques);
+        ("the", Ws_native.Pool.The_deques);
+      ]
+  in
+  let policy_conv =
+    Arg.enum
+      [
+        ("random", Ws_native.Pool.Random_victim);
+        ("round-robin", Ws_native.Pool.Round_robin_victim);
+      ]
+  in
+  let run machine domains backend policy steal_half smoke fib_n graph_nodes
+      rate requests chain work seed =
+    (* smoke shrinks every knob so CI finishes in seconds *)
+    let pick full small = if smoke then small else full in
+    Ws_harness.Exp_native.run ~machine ?domains ~backend ~policy ~steal_half
+      ~fib_n:(pick fib_n (min fib_n 16))
+      ~graph_nodes:(pick graph_nodes (min graph_nodes 400))
+      ~rate ~requests:(pick requests (min requests 200))
+      ~chain ~work:(pick work (min work 500))
+      ~seed ()
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: recommended_domain_count - 1).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Ws_native.Pool.Chase_lev_deques
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Deque backend: $(b,cl) (Chase-Lev) or $(b,the) (THE).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Ws_native.Pool.Random_victim
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Victim selection: $(b,random) or $(b,round-robin).")
+  in
+  let steal_half =
+    Arg.(
+      value & flag
+      & info [ "steal-half" ]
+          ~doc:
+            "Thieves take up to half the victim's queue per steal (requires \
+             $(b,--backend the)).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Shrink all sizes for a seconds-long CI smoke run.")
+  in
+  let fib_n =
+    Arg.(value & opt int 24 & info [ "fib" ] ~docv:"N" ~doc:"Fib input.")
+  in
+  let graph_nodes =
+    Arg.(
+      value & opt int 2000
+      & info [ "graph-nodes" ] ~docv:"N"
+          ~doc:"Graph nodes (edges default to 4x).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 5000.
+      & info [ "rate" ] ~docv:"R" ~doc:"Poisson arrival rate, requests/s.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N" ~doc:"Service-bench requests.")
+  in
+  let chain =
+    Arg.(
+      value & opt int 4
+      & info [ "chain" ] ~docv:"K" ~doc:"Dependent stages per request.")
+  in
+  let work =
+    Arg.(
+      value & opt int 2000
+      & info [ "work" ] ~docv:"W" ~doc:"Spin iterations per stage.")
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:
+         "Run the fib/graph workloads on the native OCaml 5 work-stealing \
+          pool and cross-check against the simulator, then an open-system \
+          Poisson service benchmark with sojourn-latency percentiles")
+    Term.(
+      const run $ machine_arg $ domains $ backend $ policy $ steal_half
+      $ smoke $ fib_n $ graph_nodes $ rate $ requests $ chain $ work
+      $ seed_arg)
+
 (* json-check: validate telemetry sidecars and traces without external tools *)
 let json_check_cmd =
   let run file =
@@ -575,7 +677,7 @@ let main =
     [
       fig1_cmd; fig7_cmd; fig8_cmd; fig10_cmd; fig11_cmd; table1_cmd; all_cmd;
       ablation_cmd; scaling_cmd; litmus_cmd; tso_litmus_cmd; check_cmd;
-      explore_cmd; trace_cmd; delta_cmd; json_check_cmd;
+      explore_cmd; trace_cmd; delta_cmd; native_cmd; json_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -7,11 +7,12 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v3 adds the sleep-set-POR explorer
-rate and the snapshot-restore cost next to the v2 telemetry pair:
+with one fixed-format float per metric. v4 adds the native pool's silicon
+numbers (fib/graph task throughput, the Poisson service benchmark's
+achieved rate and p99 sojourn) next to the v3 explorer metrics:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v3"
+  "schema": "wsrepro-bench/v4"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
@@ -24,6 +25,10 @@ rate and the snapshot-restore cost next to the v2 telemetry pair:
   "fig10_wall_s":
   "fingerprint_ns":
   "memo_lookup_ns":
+  "native_fib_tasks_per_sec":
+  "native_graph_tasks_per_sec":
+  "native_service_rps":
+  "native_service_p99_ns":
 
 The probe shapes behind each number are documented in `--help` (they are
 what makes values comparable across commits):
@@ -32,23 +37,26 @@ what makes values comparable across commits):
   1
 
 `--check` validates that contract (CI runs it against the tracked baseline
-so schema drift fails the build) and then gates three live/recorded
-numbers: the telemetry-disabled stepping rate against the recorded one
-(the no-sink guard must stay free), the recorded telemetry overhead
-against an absolute ceiling, and the live snapshot-restore cost against
-the recorded one (the snapshot path must not quietly re-acquire an
-O(depth) replay). The numbers are machine-dependent, so normalize them:
+so schema drift fails the build) and then gates the live/recorded numbers:
+the telemetry-disabled stepping rate against the recorded one (the no-sink
+guard must stay free), the recorded telemetry overhead against an absolute
+ceiling, the live snapshot-restore cost against the recorded one (the
+snapshot path must not quietly re-acquire an O(depth) replay), and the
+recorded native metrics for positivity (a zero means a probe silently
+produced nothing — e.g. a hung pool or an unobserved histogram). The
+numbers are machine-dependent, so normalize them:
 
   $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
   bench.json: schema wsrepro-bench/vN OK (N metrics)
   bench.json: telemetry-disabled stepping N Msteps/s (recorded N, delta N%) OK
   bench.json: recorded telemetry overhead N% (ceiling N%) OK
   bench.json: snapshot restore N ns (recorded N, budget N) OK
+  bench.json: native metrics all positive OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v3|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v4|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v3)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v4)
   drifted.json: missing metric "fingerprint_ns"
   [1]

@@ -1,0 +1,47 @@
+`wsrepro native` runs the fib/graph workloads on the real OCaml 5
+work-stealing pool and cross-checks the shape against the simulator, then
+drives the pool as an open system (Poisson arrivals through the injector).
+Wallclock numbers and the ratio line are machine-dependent, so the test
+pins the structure: both section headers, the parity table's column set
+and workload rows, and the service line's fields.
+
+  $ wsrepro native --smoke --domains 3 --seed 23 > out.txt
+  $ grep -c '== Native vs simulated' out.txt
+  1
+  $ grep -c '== Native service benchmark' out.txt
+  1
+  $ grep -o 'workload\|sim tasks\|native ktasks/s' out.txt | sort -u
+  native ktasks/s
+  sim tasks
+  workload
+  $ grep -c '^fib(16)' out.txt
+  1
+  $ grep -c '^graph(400,1600)' out.txt
+  1
+  $ grep -c 'relative throughput shape' out.txt
+  1
+
+The graph row's native run is only reported after its visited set is
+verified against a host BFS, and the sim rows come from checked runs, so
+a parity table at all means both executions were correct. The service
+section reports completion, latency percentiles from the telemetry
+histogram, and the pool counters (every request enters through the
+injector, so injector_runs equals the request count):
+
+  $ grep 'requests=' out.txt | sed -E 's/[0-9][0-9.]*/N/g'
+  requests=N completed=N offered=N/s achieved=N/s elapsed=Ns
+  $ grep 'sojourn' out.txt | sed -E 's/[0-9][0-9.]*/N/g'
+  sojourn pN=Nns pN=Nns pN=Nns
+  $ grep 'pool:' out.txt | sed -E 's/[0-9][0-9.]*/N/g'
+  pool: steals=N injector_runs=N parks=N
+
+steal-half needs the THE backend — the pool rejects the combination up
+front rather than corrupting a Chase-Lev deque:
+
+  $ wsrepro native --smoke --steal-half 2>&1 | grep -o 'steal_half requires the THE backend'
+  steal_half requires the THE backend
+
+and with the THE backend the same smoke run goes through end to end:
+
+  $ wsrepro native --smoke --domains 3 --backend the --steal-half --policy round-robin | grep -c 'relative throughput shape'
+  1

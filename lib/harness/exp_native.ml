@@ -1,0 +1,284 @@
+(* Silicon cross-check for the simulator, in two parts.
+
+   Parity: the same fib / graph-reachability workloads run (a) through the
+   discrete-event simulator (cycles) and (b) on the native OCaml 5 pool
+   (wallclock). The absolute units differ by construction; what must agree
+   is the shape — which workload is throughput-heavier, and by roughly what
+   factor — so the table reports normalized tasks-per-unit-time for both
+   and their fib/graph ratios side by side.
+
+   Service: an open-system benchmark the simulator cannot run — Poisson
+   arrivals submitted from a non-worker domain (exercising the injector
+   path), each request a chain of dependent stages, sojourn latency
+   recorded into a telemetry histogram for p50/p99/p999. *)
+
+type native_point = { tasks : int; seconds : float; tasks_per_sec : float }
+
+type parity_row = {
+  workload : string;
+  sim_tasks : int;
+  sim_makespan : float;  (* cycles *)
+  sim_tasks_per_mcycle : float;
+  native : native_point;
+}
+
+type service_result = {
+  requests : int;
+  completed : int;
+  rate : float;  (* offered load, requests/s *)
+  elapsed : float;
+  throughput_rps : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  sojourn : Telemetry.Histogram.t;
+  steals : int;
+  injector_runs : int;
+  parks : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Native measurements                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_pool ?domains ?backend ?policy ?steal_half ?(telemetry = false) () =
+  Ws_native.Pool.create ?domains ?backend ?policy ?steal_half ~telemetry ()
+
+let timed_point pool f =
+  let before = Ws_native.Pool.tasks_run pool in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let seconds = Unix.gettimeofday () -. t0 in
+  let tasks = Ws_native.Pool.tasks_run pool - before in
+  let seconds = if seconds <= 0. then 1e-9 else seconds in
+  { tasks; seconds; tasks_per_sec = float_of_int tasks /. seconds }
+
+let native_fib ?domains ?backend ?policy ?steal_half ~n () =
+  let pool = mk_pool ?domains ?backend ?policy ?steal_half () in
+  let point =
+    timed_point pool (fun () -> ignore (Ws_native.Pool.fib pool n))
+  in
+  Ws_native.Pool.shutdown pool;
+  point
+
+(* Native single-source reachability, the pool-side twin of the simulated
+   transitive-closure workload: "visit u" CASes each neighbour's visited
+   flag and spawns the winners, so each node is visited exactly once. *)
+let native_graph ?domains ?backend ?policy ?steal_half ~nodes ~edges ~seed ()
+    =
+  let g = Ws_workloads.Graph.random_graph ~nodes ~edges ~seed in
+  let pool = mk_pool ?domains ?backend ?policy ?steal_half () in
+  let visited = Array.init nodes (fun _ -> Atomic.make false) in
+  let rec visit u () =
+    Array.iter
+      (fun v ->
+        if
+          (not (Atomic.get visited.(v)))
+          && Atomic.compare_and_set visited.(v) false true
+        then Ws_native.Pool.spawn pool (visit v))
+      g.Ws_workloads.Graph.adj.(u)
+  in
+  Atomic.set visited.(0) true;
+  let point =
+    timed_point pool (fun () -> Ws_native.Pool.parallel_run pool [ visit 0 ])
+  in
+  Ws_native.Pool.shutdown pool;
+  (* cross-check against a host BFS before trusting the numbers *)
+  let expect = Ws_workloads.Graph.reachable_from g 0 in
+  Array.iteri
+    (fun i e ->
+      if e <> Atomic.get visited.(i) then
+        failwith
+          (Printf.sprintf "native_graph: node %d visited=%b, BFS says %b" i
+             (Atomic.get visited.(i)) e))
+    expect;
+  point
+
+(* ------------------------------------------------------------------ *)
+(* Simulated measurements                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sim_fib ~machine ~n ~seed =
+  let dag = Ws_runtime.Dag.of_comp (Ws_workloads.Cilk_suite.fib n) in
+  let makespan =
+    List.hd
+      (Runner.run_dag machine Variants.the_baseline ~seeds:[ seed ] dag
+         ~name:"native-parity-fib")
+  in
+  (Ws_runtime.Dag.size dag, makespan)
+
+let sim_graph ~machine ~nodes ~edges ~seed =
+  let g = Ws_workloads.Graph.random_graph ~nodes ~edges ~seed in
+  let makespan, metrics =
+    Runner.run_checked machine Variants.the_baseline ~seed (fun () ->
+        Ws_workloads.Graph_workloads.transitive_closure g ~src:0 ())
+  in
+  (Ws_runtime.Metrics.total_tasks metrics, makespan)
+
+(* ------------------------------------------------------------------ *)
+(* Parity                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parity_row ~workload ~sim:(sim_tasks, sim_makespan) ~native =
+  {
+    workload;
+    sim_tasks;
+    sim_makespan;
+    sim_tasks_per_mcycle = float_of_int sim_tasks /. (sim_makespan /. 1e6);
+    native;
+  }
+
+let parity ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
+    ?steal_half ?(fib_n = 20) ?(graph_nodes = 2000) ?graph_edges ?(seed = 23)
+    () =
+  let graph_edges = Option.value graph_edges ~default:(4 * graph_nodes) in
+  [
+    parity_row ~workload:(Printf.sprintf "fib(%d)" fib_n)
+      ~sim:(sim_fib ~machine ~n:fib_n ~seed)
+      ~native:(native_fib ?domains ?backend ?policy ?steal_half ~n:fib_n ());
+    parity_row
+      ~workload:(Printf.sprintf "graph(%d,%d)" graph_nodes graph_edges)
+      ~sim:(sim_graph ~machine ~nodes:graph_nodes ~edges:graph_edges ~seed)
+      ~native:
+        (native_graph ?domains ?backend ?policy ?steal_half ~nodes:graph_nodes
+           ~edges:graph_edges ~seed ());
+  ]
+
+let render_parity rows =
+  let table =
+    Tablefmt.render
+      ~header:
+        [
+          "workload";
+          "sim tasks";
+          "sim cycles";
+          "sim tasks/Mcyc";
+          "native tasks";
+          "native ms";
+          "native ktasks/s";
+        ]
+      (List.map
+         (fun r ->
+           [
+             r.workload;
+             string_of_int r.sim_tasks;
+             Printf.sprintf "%.0f" r.sim_makespan;
+             Tablefmt.f1 r.sim_tasks_per_mcycle;
+             string_of_int r.native.tasks;
+             Printf.sprintf "%.2f" (r.native.seconds *. 1e3);
+             Tablefmt.f1 (r.native.tasks_per_sec /. 1e3);
+           ])
+         rows)
+  in
+  match rows with
+  | [ a; b ] when b.sim_tasks_per_mcycle > 0. && b.native.tasks_per_sec > 0.
+    ->
+      table
+      ^ Printf.sprintf
+          "ratio %s : %s — simulated %.2f, native %.2f (relative throughput \
+           shape)\n"
+          a.workload b.workload
+          (a.sim_tasks_per_mcycle /. b.sim_tasks_per_mcycle)
+          (a.native.tasks_per_sec /. b.native.tasks_per_sec)
+  | _ -> table
+
+(* ------------------------------------------------------------------ *)
+(* Open-system service benchmark                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spin_work iters =
+  let x = ref 0 in
+  for i = 1 to iters do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let service ?domains ?backend ?policy ?steal_half ?(rate = 5000.)
+    ?(requests = 1000) ?(chain = 4) ?(work = 2000) ?(seed = 23) () =
+  if rate <= 0. then invalid_arg "Exp_native.service: rate must be positive";
+  let pool = mk_pool ?domains ?backend ?policy ?steal_half () in
+  let sojourn = Telemetry.Histogram.create () in
+  let hist_lock = Mutex.create () in
+  let completed = Atomic.make 0 in
+  let rng = Random.State.make [| seed; 0x5e47 |] in
+  let t0 = Unix.gettimeofday () in
+  (* Absolute Poisson schedule: if the generator falls behind it submits
+     immediately, keeping the offered load open-system (arrivals do not
+     wait for service). *)
+  let next = ref t0 in
+  for _ = 1 to requests do
+    next :=
+      !next +. (-.log (1. -. Random.State.float rng 1.) /. rate);
+    let delay = !next -. Unix.gettimeofday () in
+    if delay > 0. then Unix.sleepf delay;
+    let born = Unix.gettimeofday () in
+    let rec stage k () =
+      spin_work work;
+      if k > 1 then Ws_native.Pool.spawn pool (stage (k - 1))
+      else begin
+        let ns = int_of_float ((Unix.gettimeofday () -. born) *. 1e9) in
+        Mutex.lock hist_lock;
+        Telemetry.Histogram.observe sojourn ns;
+        Mutex.unlock hist_lock;
+        Atomic.incr completed
+      end
+    in
+    (* submitted from this non-worker domain: goes through the injector *)
+    Ws_native.Pool.spawn pool (stage chain)
+  done;
+  while Atomic.get completed < requests do
+    Domain.cpu_relax ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats = Ws_native.Pool.worker_stats pool in
+  Ws_native.Pool.shutdown pool;
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
+  {
+    requests;
+    completed = Atomic.get completed;
+    rate;
+    elapsed;
+    throughput_rps = float_of_int requests /. elapsed;
+    p50_ns = Telemetry.Histogram.percentile sojourn 0.5;
+    p99_ns = Telemetry.Histogram.percentile sojourn 0.99;
+    p999_ns = Telemetry.Histogram.percentile sojourn 0.999;
+    sojourn;
+    steals = sum (fun st -> st.Ws_native.Pool.steals);
+    injector_runs = sum (fun st -> st.Ws_native.Pool.injector_runs);
+    parks = sum (fun st -> st.Ws_native.Pool.parks);
+  }
+
+let render_service r =
+  Printf.sprintf
+    "requests=%d completed=%d offered=%.0f/s achieved=%.0f/s elapsed=%.3fs\n\
+     sojourn p50=%dns p99=%dns p999=%dns\n\
+     pool: steals=%d injector_runs=%d parks=%d\n"
+    r.requests r.completed r.rate r.throughput_rps r.elapsed r.p50_ns
+    r.p99_ns r.p999_ns r.steals r.injector_runs r.parks
+
+(* ------------------------------------------------------------------ *)
+(* Entry point (the `wsrepro native` subcommand body)                  *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
+    ?steal_half ?fib_n ?graph_nodes ?graph_edges ?rate ?requests ?chain ?work
+    ?(seed = 23) () =
+  let d =
+    match domains with
+    | Some d -> d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  Printf.printf
+    "== Native vs simulated: same workloads, silicon cross-check (%d worker \
+     domains) ==\n"
+    d;
+  print_string
+    (render_parity
+       (parity ~machine ~domains:d ?backend ?policy ?steal_half ?fib_n
+          ?graph_nodes ?graph_edges ~seed ()));
+  Printf.printf
+    "== Native service benchmark: open-system Poisson arrivals ==\n";
+  print_string
+    (render_service
+       (service ~domains:d ?backend ?policy ?steal_half ?rate ?requests
+          ?chain ?work ~seed ()))

@@ -1,0 +1,108 @@
+(** Silicon cross-check: the simulator's fib / graph workloads re-run on
+    the native OCaml 5 work-stealing pool ({!Ws_native.Pool}), plus an
+    open-system service benchmark (Poisson arrivals through the injector,
+    request chains, sojourn-latency percentiles) that only the native pool
+    can host. Surfaced as [wsrepro native]. *)
+
+type native_point = {
+  tasks : int;
+  seconds : float;
+  tasks_per_sec : float;
+}
+
+type parity_row = {
+  workload : string;
+  sim_tasks : int;
+  sim_makespan : float;  (** simulated cycles *)
+  sim_tasks_per_mcycle : float;
+  native : native_point;
+}
+
+type service_result = {
+  requests : int;
+  completed : int;
+  rate : float;  (** offered load, requests/s *)
+  elapsed : float;
+  throughput_rps : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  sojourn : Telemetry.Histogram.t;
+  steals : int;
+  injector_runs : int;
+  parks : int;
+}
+
+val native_fib :
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  n:int ->
+  unit ->
+  native_point
+
+val native_graph :
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  nodes:int ->
+  edges:int ->
+  seed:int ->
+  unit ->
+  native_point
+(** Pool-side single-source reachability; the visited set is verified
+    against a host BFS before the timing is returned. *)
+
+val parity :
+  ?machine:Machine_config.t ->
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  ?fib_n:int ->
+  ?graph_nodes:int ->
+  ?graph_edges:int ->
+  ?seed:int ->
+  unit ->
+  parity_row list
+
+val render_parity : parity_row list -> string
+
+val service :
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  ?rate:float ->
+  ?requests:int ->
+  ?chain:int ->
+  ?work:int ->
+  ?seed:int ->
+  unit ->
+  service_result
+(** Submits [requests] request chains from the calling (non-worker) domain
+    on an absolute Poisson schedule at [rate] arrivals/s; each request is a
+    chain of [chain] dependent stages of [work] spin iterations. Sojourn
+    time (arrival to last stage) feeds the returned histogram. *)
+
+val render_service : service_result -> string
+
+val run :
+  ?machine:Machine_config.t ->
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  ?fib_n:int ->
+  ?graph_nodes:int ->
+  ?graph_edges:int ->
+  ?rate:float ->
+  ?requests:int ->
+  ?chain:int ->
+  ?work:int ->
+  ?seed:int ->
+  unit ->
+  unit
+(** Print both sections (parity table, then service benchmark). *)

@@ -1,0 +1,47 @@
+(* Multi-producer multi-consumer submission queue for work entering the
+   pool from outside its worker domains.
+
+   Chase-Lev's push is single-owner: only the domain that owns a deque may
+   ever call it. External submitters therefore cannot be handed a deque —
+   they enqueue here, and workers drain this queue when their own deque is
+   empty. Throughput of this path is deliberately not the point (it is the
+   pool's front door, not its hot loop), so a mutex around a plain FIFO is
+   the right trade: the steal path keeps all the cleverness, exactly as the
+   paper keeps the owner path synchronization-free by pushing coordination
+   onto the thieves.
+
+   [size] is kept in an atomic outside the lock so the worker fast path
+   ("is there anything to drain?") is a single load, and so a parked
+   worker's wakeup predicate can read it without acquiring the lock. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  q : 'a Queue.t;
+  size : int Atomic.t;
+}
+
+let create () = { lock = Mutex.create (); q = Queue.create (); size = Atomic.make 0 }
+
+let push t v =
+  Mutex.lock t.lock;
+  Queue.push v t.q;
+  Atomic.incr t.size;
+  Mutex.unlock t.lock
+
+let pop t =
+  if Atomic.get t.size = 0 then None
+  else begin
+    Mutex.lock t.lock;
+    let r =
+      if Queue.is_empty t.q then None
+      else begin
+        Atomic.decr t.size;
+        Some (Queue.pop t.q)
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+  end
+
+let size t = Atomic.get t.size
+let is_empty t = Atomic.get t.size = 0

@@ -1,0 +1,21 @@
+(** Multi-producer multi-consumer FIFO for external task submission.
+
+    The pool's deques are single-owner on the push side (Chase-Lev), so
+    domains that are not pool workers must not touch them; they submit
+    here instead, and workers drain the injector when their own deque runs
+    dry. Mutex-protected: this is the pool's front door, not its hot
+    loop. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue from any domain. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from any domain; [None] when empty. The empty fast path is a
+    single atomic load (no lock). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,81 +1,451 @@
+(* Work-stealing runtime over the native deques.
+
+   The shape follows the paper's discipline (and Rito & Paulino's
+   low-synchronization scheduler): the owner path is as close to
+   synchronization-free as OCaml's SC atomics allow — a worker pushes and
+   pops its own deque with no lock and no CAS on the common path — and all
+   coordination lives on the cold paths: the steal path (CAS / the THE
+   conflict lock), the external-submission injector (mutex FIFO), and the
+   parking lot (mutex + condition, entered only after a full failed hunt).
+
+   Correctness invariants, each of which an earlier version violated:
+
+   - Exceptions: a task that raises must still decrement [in_flight]
+     (otherwise [parallel_run] waits forever for a count that can never
+     reach zero) and must not kill its worker domain. The first failure is
+     captured (with its backtrace) and re-raised at the join point.
+
+   - Single-owner push: only the domain that owns a deque may push to it.
+     Non-worker domains submit through [injector]; in debug mode every
+     push asserts the caller is the recorded owner.
+
+   - [pending] counts cells sitting in some queue (deques + injector). It
+     is the parking predicate: a worker only sleeps while [pending = 0],
+     and every enqueue increments [pending] before checking for sleepers,
+     so the classic store-buffering argument (both sides are SC atomics)
+     rules out lost wakeups.
+
+   - Shutdown first drains all queued work (it used to drop it), then
+     stops and joins the workers; it is idempotent. *)
+
 type task = unit -> unit
 
-type t = {
-  deques : task Chase_lev.t array;
-  in_flight : int Atomic.t;
-  stop : bool Atomic.t;
-  domains : unit Domain.t list;
-  worker_id : int option Domain.DLS.key;
+type backend = Chase_lev_deques | The_deques
+type victim_policy = Random_victim | Round_robin_victim
+
+type worker_stats = {
+  mutable spawns : int;
+  mutable tasks_run : int;
+  mutable tasks_stolen : int;
+  mutable injector_runs : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable parks : int;
 }
 
-let rec run_one pool me rng =
-  match Chase_lev.pop pool.deques.(me) with
-  | Some task ->
-      task ();
-      ignore (Atomic.fetch_and_add pool.in_flight (-1));
-      true
-  | None ->
-      let n = Array.length pool.deques in
-      if n <= 1 then false
-      else begin
-        let victim =
-          let v = Random.State.int rng (n - 1) in
-          if v >= me then v + 1 else v
-        in
-        match Chase_lev.steal pool.deques.(victim) with
-        | Some task ->
-            task ();
-            ignore (Atomic.fetch_and_add pool.in_flight (-1));
-            true
-        | None -> false
-      end
+let stats_create () =
+  {
+    spawns = 0;
+    tasks_run = 0;
+    tasks_stolen = 0;
+    injector_runs = 0;
+    steal_attempts = 0;
+    steals = 0;
+    parks = 0;
+  }
 
-and worker_loop pool me =
+(* [born] is a wallclock timestamp taken at spawn when telemetry is on
+   (0. when off), so completion can observe the spawn-to-finish latency. *)
+type cell = { f : task; born : float }
+
+type deque = Cl of cell Chase_lev.t | The of cell The_queue.t
+
+type t = {
+  deques : deque array;  (* slot 0: the coordinator; slots 1..n: workers *)
+  owners : int array;  (* Domain id owning each deque; -1 when unclaimed *)
+  injector : cell Injector.t;
+  in_flight : int Atomic.t;  (* spawned and not yet finished *)
+  pending : int Atomic.t;  (* enqueued and not yet dequeued *)
+  stop : bool Atomic.t;
+  error : (exn * Printexc.raw_backtrace) option Atomic.t;
+  mutable domains : unit Domain.t list;
+  worker_id : int option Domain.DLS.key;
+  policy : victim_policy;
+  steal_half : bool;
+  debug : bool;
+  telemetry : bool;
+  lock : Mutex.t;
+  cond : Condition.t;
+  sleepers : int Atomic.t;
+  stats : worker_stats array;
+  latencies : Telemetry.Histogram.t array;  (* per worker, telemetry only *)
+  running : bool Atomic.t;  (* a parallel_run is in progress *)
+  shut : bool Atomic.t;
+}
+
+let spin_rounds = 32
+
+let now () = Unix.gettimeofday ()
+
+let make_cell pool f =
+  if pool.telemetry then { f; born = now () } else { f; born = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Parking lot                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let wake_all pool =
+  if Atomic.get pool.sleepers > 0 then begin
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.lock
+  end
+
+(* The no-lost-wakeup argument: the parker publishes [sleepers] (atomic
+   increment) before testing the predicate; the waker publishes the state
+   change ([pending], [stop], [in_flight]) before reading [sleepers].
+   Under OCaml's SC atomics at least one side observes the other, so
+   either the parker sees the new state and refuses to sleep, or the
+   waker sees the sleeper and broadcasts (and the broadcast cannot be
+   missed: the parker holds the mutex from its predicate test until
+   [Condition.wait] releases it). *)
+let park pool st ~should_sleep =
+  Mutex.lock pool.lock;
+  Atomic.incr pool.sleepers;
+  if should_sleep () then begin
+    st.parks <- st.parks + 1;
+    while should_sleep () do
+      Condition.wait pool.cond pool.lock
+    done
+  end;
+  Atomic.decr pool.sleepers;
+  Mutex.unlock pool.lock
+
+(* ------------------------------------------------------------------ *)
+(* Deque dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let assert_owner pool me =
+  if pool.debug then begin
+    let self = (Domain.self () :> int) in
+    let owner = pool.owners.(me) in
+    if owner <> self then
+      invalid_arg
+        (Printf.sprintf
+           "Pool: single-owner violation: deque %d is owned by domain %d \
+            but domain %d pushed to it"
+           me owner self)
+  end
+
+let push_own pool me cell =
+  assert_owner pool me;
+  match pool.deques.(me) with
+  | Cl q -> Chase_lev.push q cell
+  | The q -> (
+      (* THE is fixed-capacity; overflow spills to the unbounded injector
+         rather than raising into the middle of a task *)
+      try The_queue.push q cell
+      with Failure _ -> Injector.push pool.injector cell)
+
+let pop_own pool me =
+  match pool.deques.(me) with
+  | Cl q -> Chase_lev.pop q
+  | The q -> The_queue.pop q
+
+(* [me < 0] means the caller owns no deque (shutdown's drain): batched
+   steals are disabled because the surplus could not be re-pushed
+   anywhere the caller owns. *)
+let steal_from pool me victim =
+  match pool.deques.(victim) with
+  | Cl q -> Chase_lev.steal q
+  | The q ->
+      if pool.steal_half && me >= 0 then
+        match The_queue.steal_half q with
+        | [] -> None
+        | c :: rest ->
+            (* the surplus stays queued (and counted in [pending]) — it
+               just moves to our own deque *)
+            List.iter (fun c -> push_own pool me c) rest;
+            Some c
+      else The_queue.steal q
+
+(* ------------------------------------------------------------------ *)
+(* Task execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let record_error pool e bt =
+  ignore (Atomic.compare_and_set pool.error None (Some (e, bt)))
+
+(* The decrement of [in_flight] is unconditional: a raising task counts
+   as finished (its failure is captured for the join point), so the run
+   can terminate and report instead of spinning forever. *)
+let exec_cell pool me cell =
+  (try cell.f ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     record_error pool e bt);
+  let st = pool.stats.(me) in
+  st.tasks_run <- st.tasks_run + 1;
+  if pool.telemetry && cell.born > 0. then
+    Telemetry.Histogram.observe pool.latencies.(me)
+      (int_of_float ((now () -. cell.born) *. 1e9));
+  if Atomic.fetch_and_add pool.in_flight (-1) = 1 then
+    (* the count reached zero: a parked coordinator is waiting for this *)
+    wake_all pool
+
+let pick_victim pool me rng rr =
+  let n = Array.length pool.deques in
+  match pool.policy with
+  | Random_victim ->
+      let v = Random.State.int rng (n - 1) in
+      if v >= me then v + 1 else v
+  | Round_robin_victim ->
+      rr := (!rr + 1) mod n;
+      if !rr = me then rr := (!rr + 1) mod n;
+      !rr
+
+(* One full hunt: own deque, then the injector, then one steal attempt
+   per other deque. *)
+let find_task pool me rng rr =
+  let st = pool.stats.(me) in
+  match pop_own pool me with
+  | Some c ->
+      Atomic.decr pool.pending;
+      Some c
+  | None -> (
+      match Injector.pop pool.injector with
+      | Some c ->
+          Atomic.decr pool.pending;
+          st.injector_runs <- st.injector_runs + 1;
+          Some c
+      | None ->
+          let n = Array.length pool.deques in
+          let found = ref None in
+          let attempts = ref 0 in
+          while Option.is_none !found && !attempts < n - 1 do
+            incr attempts;
+            st.steal_attempts <- st.steal_attempts + 1;
+            let victim = pick_victim pool me rng rr in
+            (match steal_from pool me victim with
+            | Some c ->
+                Atomic.decr pool.pending;
+                st.steals <- st.steals + 1;
+                st.tasks_stolen <- st.tasks_stolen + 1;
+                found := Some c
+            | None -> Domain.cpu_relax ())
+          done;
+          !found)
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop pool me =
   Domain.DLS.set pool.worker_id (Some me);
+  pool.owners.(me) <- (Domain.self () :> int);
   let rng = Random.State.make [| 0x9e3779b9; me |] in
+  let rr = ref me in
+  let spins = ref 0 in
   while not (Atomic.get pool.stop) do
-    if not (run_one pool me rng) then Domain.cpu_relax ()
+    match find_task pool me rng rr with
+    | Some cell ->
+        spins := 0;
+        exec_cell pool me cell
+    | None ->
+        incr spins;
+        if !spins < spin_rounds then Domain.cpu_relax ()
+        else begin
+          spins := 0;
+          park pool pool.stats.(me) ~should_sleep:(fun () ->
+              (not (Atomic.get pool.stop)) && Atomic.get pool.pending = 0)
+        end
   done
 
-let create ?domains () =
+(* ------------------------------------------------------------------ *)
+(* API                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
+    ?(steal_half = false) ?(telemetry = false) ?(debug = false)
+    ?(queue_capacity = 1 lsl 13) () =
+  if steal_half && backend <> The_deques then
+    invalid_arg "Pool.create: steal_half requires the THE backend";
   let n =
     match domains with
     | Some d -> max 1 d
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
+  let mk_deque () =
+    match backend with
+    | Chase_lev_deques -> Cl (Chase_lev.create ~capacity:64 ())
+    | The_deques -> The (The_queue.create ~capacity:queue_capacity ())
+  in
   let worker_id = Domain.DLS.new_key (fun () -> None) in
+  (* One record, created once and shared with every worker: [domains] is a
+     mutable field filled in below, so the workers, the coordinator and
+     [shutdown] all see the same state (the previous [{ pool with domains }]
+     copy handed the workers a record whose domain list stayed []). *)
   let pool =
     {
-      deques = Array.init (n + 1) (fun _ -> Chase_lev.create ());
+      deques = Array.init (n + 1) (fun _ -> mk_deque ());
+      owners = Array.make (n + 1) (-1);
+      injector = Injector.create ();
       in_flight = Atomic.make 0;
+      pending = Atomic.make 0;
       stop = Atomic.make false;
+      error = Atomic.make None;
       domains = [];
       worker_id;
+      policy;
+      steal_half;
+      debug;
+      telemetry;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      sleepers = Atomic.make 0;
+      stats = Array.init (n + 1) (fun _ -> stats_create ());
+      latencies = Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      running = Atomic.make false;
+      shut = Atomic.make false;
     }
   in
-  let domains =
-    List.init n (fun i ->
-        Domain.spawn (fun () -> worker_loop pool (i + 1)))
-  in
-  { pool with domains }
+  pool.domains <-
+    List.init n (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
 
-let my_id pool = Option.value ~default:0 (Domain.DLS.get pool.worker_id)
-
-let spawn pool task =
+let spawn pool f =
+  if Atomic.get pool.shut then invalid_arg "Pool.spawn: pool is shut down";
+  let cell = make_cell pool f in
   ignore (Atomic.fetch_and_add pool.in_flight 1);
-  Chase_lev.push pool.deques.(my_id pool) task
+  ignore (Atomic.fetch_and_add pool.pending 1);
+  (match Domain.DLS.get pool.worker_id with
+  | Some me ->
+      pool.stats.(me).spawns <- pool.stats.(me).spawns + 1;
+      push_own pool me cell
+  | None ->
+      (* not a pool domain: Chase-Lev push is single-owner, so external
+         submissions go through the MPMC injector *)
+      Injector.push pool.injector cell);
+  wake_all pool
+
+let raise_pending_error pool =
+  match Atomic.exchange pool.error None with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let parallel_run pool tasks =
+  if Atomic.get pool.shut then
+    invalid_arg "Pool.parallel_run: pool is shut down";
+  if not (Atomic.compare_and_set pool.running false true) then
+    invalid_arg "Pool.parallel_run: not reentrant";
+  (* claim the coordinator slot for the calling domain *)
   Domain.DLS.set pool.worker_id (Some 0);
-  List.iter (fun t -> spawn pool t) tasks;
+  pool.owners.(0) <- (Domain.self () :> int);
+  List.iter (fun f -> spawn pool f) tasks;
   let rng = Random.State.make [| 0xab1e |] in
+  let rr = ref 0 in
+  let spins = ref 0 in
   while Atomic.get pool.in_flight > 0 do
-    if not (run_one pool 0 rng) then Domain.cpu_relax ()
-  done
+    match find_task pool 0 rng rr with
+    | Some cell ->
+        spins := 0;
+        exec_cell pool 0 cell
+    | None ->
+        incr spins;
+        if !spins < spin_rounds then Domain.cpu_relax ()
+        else begin
+          spins := 0;
+          park pool pool.stats.(0) ~should_sleep:(fun () ->
+              Atomic.get pool.pending = 0 && Atomic.get pool.in_flight > 0)
+        end
+  done;
+  (* release the coordinator slot: spawns from this domain outside a
+     parallel_run go through the injector like any other external caller *)
+  Domain.DLS.set pool.worker_id None;
+  pool.owners.(0) <- -1;
+  Atomic.set pool.running false;
+  raise_pending_error pool
+
+(* Shutdown's drain: the caller owns no deque, so it may only consume the
+   injector and steal — both safe from any domain. *)
+let drain_find pool rr =
+  match Injector.pop pool.injector with
+  | Some c ->
+      Atomic.decr pool.pending;
+      Some c
+  | None ->
+      let n = Array.length pool.deques in
+      let found = ref None in
+      let attempts = ref 0 in
+      while Option.is_none !found && !attempts < n do
+        incr attempts;
+        rr := (!rr + 1) mod n;
+        (match steal_from pool (-1) !rr with
+        | Some c ->
+            Atomic.decr pool.pending;
+            found := Some c
+        | None -> ())
+      done;
+      !found
 
 let shutdown pool =
-  Atomic.set pool.stop true;
-  List.iter Domain.join pool.domains
+  if Atomic.compare_and_set pool.shut false true then begin
+    (* Drain before stopping: queued tasks are executed, not dropped. The
+       caller helps from outside (injector + steals) while the workers
+       keep running; [in_flight] reaching zero means every spawned task
+       has finished. *)
+    let rr = ref 0 in
+    while Atomic.get pool.in_flight > 0 do
+      match drain_find pool rr with
+      | Some cell ->
+          (try cell.f ()
+           with e -> record_error pool e (Printexc.get_raw_backtrace ()));
+          if Atomic.fetch_and_add pool.in_flight (-1) = 1 then wake_all pool
+      | None -> Domain.cpu_relax ()
+    done;
+    Atomic.set pool.stop true;
+    wake_all pool;
+    List.iter Domain.join pool.domains;
+    pool.domains <- [];
+    raise_pending_error pool
+  end
+
+let worker_count pool = Array.length pool.deques - 1
+
+let worker_stats pool =
+  Array.map
+    (fun st ->
+      {
+        spawns = st.spawns;
+        tasks_run = st.tasks_run;
+        tasks_stolen = st.tasks_stolen;
+        injector_runs = st.injector_runs;
+        steal_attempts = st.steal_attempts;
+        steals = st.steals;
+        parks = st.parks;
+      })
+    pool.stats
+
+let tasks_run pool =
+  Array.fold_left (fun acc st -> acc + st.tasks_run) 0 pool.stats
+
+let latency pool =
+  let h = Telemetry.Histogram.create () in
+  Array.iter (fun l -> Telemetry.Histogram.merge ~into:h l) pool.latencies;
+  h
+
+let fold_into_sink pool sink =
+  Array.iter
+    (fun st ->
+      sink.Telemetry.Sink.puts <- sink.Telemetry.Sink.puts + st.spawns;
+      sink.Telemetry.Sink.tasks_run <-
+        sink.Telemetry.Sink.tasks_run + st.tasks_run;
+      sink.Telemetry.Sink.tasks_stolen <-
+        sink.Telemetry.Sink.tasks_stolen + st.tasks_stolen;
+      sink.Telemetry.Sink.steal_attempts <-
+        sink.Telemetry.Sink.steal_attempts + st.steal_attempts;
+      sink.Telemetry.Sink.steals <- sink.Telemetry.Sink.steals + st.steals)
+    pool.stats
 
 let fib pool n =
   let acc = Atomic.make 0 in

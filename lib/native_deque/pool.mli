@@ -1,24 +1,83 @@
-(** A minimal work-stealing thread pool over the native deques: each domain
-    owns a {!Chase_lev} deque of thunks, pops locally, and steals from
-    random victims when empty. Demonstrates the deques under real
-    parallelism (and powers the native benchmarks and examples). *)
+(** A work-stealing pool over the native deques: each domain owns a
+    {!Chase_lev} (or {!The_queue}) deque of thunks, pops locally, steals
+    when empty, and parks on a condition variable when the whole pool runs
+    dry. External domains submit through an {!Injector} queue, preserving
+    the deques' single-owner push discipline. Tasks that raise do not kill
+    their worker: the first failure is re-raised at the join point. *)
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** Default: [Domain.recommended_domain_count () - 1] worker domains plus
-    the caller. *)
+type backend =
+  | Chase_lev_deques  (** CAS-based steals, growing deques (default) *)
+  | The_deques  (** THE/Cilk-5 mutex conflict path; enables [steal_half] *)
+
+type victim_policy = Random_victim | Round_robin_victim
+
+type worker_stats = {
+  mutable spawns : int;  (** tasks pushed by this worker *)
+  mutable tasks_run : int;  (** tasks this worker executed *)
+  mutable tasks_stolen : int;  (** of those, how many came from a steal *)
+  mutable injector_runs : int;  (** of those, how many came from the injector *)
+  mutable steal_attempts : int;
+  mutable steals : int;  (** successful steal operations *)
+  mutable parks : int;  (** times this worker went to sleep *)
+}
+
+val create :
+  ?domains:int ->
+  ?backend:backend ->
+  ?policy:victim_policy ->
+  ?steal_half:bool ->
+  ?telemetry:bool ->
+  ?debug:bool ->
+  ?queue_capacity:int ->
+  unit ->
+  t
+(** [domains] defaults to [Domain.recommended_domain_count () - 1] worker
+    domains plus the caller. [steal_half] (THE backend only; [Invalid_argument]
+    otherwise) makes thieves take up to half a victim's queue per steal.
+    [telemetry] enables per-task latency timestamps (see {!latency}).
+    [debug] asserts the single-owner push discipline on every push.
+    [queue_capacity] bounds the fixed-size THE deques (overflow spills to
+    the injector). *)
 
 val parallel_run : t -> (unit -> unit) list -> unit
-(** Execute the thunks to completion. Each thunk may {!spawn} more work.
-    Returns when every spawned task has finished. Not reentrant. *)
+(** Execute the thunks to completion; each may {!spawn} more work. Returns
+    when every spawned task has finished. If any task raised, the first
+    exception (in completion order) is re-raised here with its backtrace —
+    the run still drains fully and the pool remains usable. Not
+    reentrant. *)
 
 val spawn : t -> (unit -> unit) -> unit
-(** Enqueue a task on the calling worker's deque. Must be called from inside
-    a task run by {!parallel_run} (or before it, for seeding). *)
+(** Enqueue a task from any domain. Pool workers (and the domain inside
+    {!parallel_run}) push onto their own deque; any other domain goes
+    through the injector queue, so spawning from external domains is
+    safe. *)
 
 val shutdown : t -> unit
-(** Join the worker domains. The pool cannot be reused afterwards. *)
+(** Drain all queued work (executing it, not dropping it), then stop and
+    join the worker domains. Idempotent: later calls return immediately.
+    The pool cannot be reused afterwards ({!spawn}/{!parallel_run} raise
+    [Invalid_argument]). Re-raises the first captured task exception, if
+    any run left one behind. *)
+
+val worker_count : t -> int
+(** Number of worker domains (excluding the coordinator slot). *)
+
+val worker_stats : t -> worker_stats array
+(** Snapshot of per-slot counters; index 0 is the coordinator, 1..n the
+    workers. Values are copies. *)
+
+val tasks_run : t -> int
+(** Total tasks executed across all slots. *)
+
+val latency : t -> Telemetry.Histogram.t
+(** Merged spawn-to-completion latency histogram (nanoseconds). Empty
+    unless the pool was created with [~telemetry:true]. *)
+
+val fold_into_sink : t -> Telemetry.Sink.t -> unit
+(** Accumulate pool counters into a telemetry sink: spawns into [puts],
+    plus [tasks_run], [tasks_stolen], [steal_attempts] and [steals]. *)
 
 val fib : t -> int -> int
 (** The inevitable demo: parallel naive Fibonacci on the pool (used by

@@ -13,4 +13,12 @@ val create : ?capacity:int -> unit -> 'a t
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 val steal : 'a t -> 'a option
+
+val steal_half : ?max_batch:int -> 'a t -> 'a list
+(** Any domain: take up to half the queue (at least one element when
+    non-empty, at most [max_batch]) in one lock acquisition, oldest first.
+    The THE conflict lock makes a multi-element reservation safe here; the
+    Chase-Lev deque deliberately has no such operation (its unfenced owner
+    pop assumes thieves take exactly one element at the head). *)
+
 val size : 'a t -> int

@@ -1,7 +1,13 @@
 (* Power-of-two bucketed histogram over non-negative ints. Bucket 0 counts
    the value 0; bucket i (i >= 1) counts values in [2^(i-1), 2^i). 63
    buckets cover the whole non-negative int range, so [observe] never needs
-   to grow or clamp. *)
+   to grow or clamp.
+
+   Negative samples are a caller bug (a cycle count or an occupancy can
+   never be negative); they used to be silently clamped to bucket 0, which
+   hid e.g. a clock going backwards under a pile of legitimate zeros. They
+   are now counted apart in [negative] and excluded from every statistic,
+   so a nonzero [negative] is an unmissable signal in any export. *)
 
 let n_buckets = 63
 
@@ -10,10 +16,17 @@ type t = {
   mutable total : int;
   mutable sum : int;
   mutable max_value : int;
+  mutable negative : int;
 }
 
 let create () =
-  { counts = Array.make n_buckets 0; total = 0; sum = 0; max_value = 0 }
+  {
+    counts = Array.make n_buckets 0;
+    total = 0;
+    sum = 0;
+    max_value = 0;
+    negative = 0;
+  }
 
 let bucket_of v =
   if v <= 0 then 0
@@ -30,16 +43,25 @@ let bucket_of v =
 let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
 let bucket_hi i = if i = 0 then 0 else (1 lsl i) - 1
 
+(* Both operands are >= 0 here, so wraparound shows up as a negative
+   result; pin the sum to max_int instead of letting it wrap. *)
+let sat_add a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
 let observe t v =
-  let v = max v 0 in
-  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
-  t.total <- t.total + 1;
-  t.sum <- t.sum + v;
-  if v > t.max_value then t.max_value <- v
+  if v < 0 then t.negative <- t.negative + 1
+  else begin
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.total <- t.total + 1;
+    t.sum <- sat_add t.sum v;
+    if v > t.max_value then t.max_value <- v
+  end
 
 let total t = t.total
 let sum t = t.sum
 let max_value t = t.max_value
+let negative t = t.negative
 let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
 let count t i = t.counts.(i)
 
@@ -48,14 +70,34 @@ let merge ~into src =
     into.counts.(i) <- into.counts.(i) + src.counts.(i)
   done;
   into.total <- into.total + src.total;
-  into.sum <- into.sum + src.sum;
-  if src.max_value > into.max_value then into.max_value <- src.max_value
+  into.sum <- sat_add into.sum src.sum;
+  if src.max_value > into.max_value then into.max_value <- src.max_value;
+  into.negative <- into.negative + src.negative
 
 let reset t =
   Array.fill t.counts 0 n_buckets 0;
   t.total <- 0;
   t.sum <- 0;
-  t.max_value <- 0
+  t.max_value <- 0;
+  t.negative <- 0
+
+(* Upper bound of the bucket holding the q-quantile sample (so the answer
+   is exact to within the 2x bucket width), capped at the observed max.
+   q <= 0 returns the smallest bucket's bound, q >= 1 the max value. *)
+let percentile t q =
+  if t.total = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < n_buckets do
+      seen := !seen + t.counts.(!i);
+      if !seen < rank then incr i
+    done;
+    min (bucket_hi !i) t.max_value
+  end
 
 (* Non-empty buckets as [(lo, hi, count)], lowest first. *)
 let buckets t =
@@ -71,6 +113,7 @@ let to_json t =
       ("total", Json.Int t.total);
       ("sum", Json.Int t.sum);
       ("max", Json.Int t.max_value);
+      ("negative", Json.Int t.negative);
       ( "buckets",
         Json.List
           (List.map
@@ -81,8 +124,10 @@ let to_json t =
     ]
 
 let pp ppf t =
-  Format.fprintf ppf "@[<h>total=%d mean=%.2f max=%d [" t.total (mean t)
+  Format.fprintf ppf "@[<h>total=%d mean=%.2f max=%d" t.total (mean t)
     t.max_value;
+  if t.negative > 0 then Format.fprintf ppf " negative=%d" t.negative;
+  Format.fprintf ppf " [";
   List.iteri
     (fun i (lo, hi, c) ->
       if i > 0 then Format.fprintf ppf " ";

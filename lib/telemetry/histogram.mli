@@ -1,24 +1,41 @@
 (** Power-of-two bucketed histogram over non-negative ints (store-buffer
-    occupancy, egress depth, span lengths). Bucket 0 holds the value 0;
-    bucket [i >= 1] holds values in [[2^(i-1), 2^i)]. All operations are
-    allocation-free. *)
+    occupancy, egress depth, span lengths, task latencies). Bucket 0 holds
+    the value 0; bucket [i >= 1] holds values in [[2^(i-1), 2^i)]. All
+    operations are allocation-free. *)
 
 type t
 
 val create : unit -> t
+
 val observe : t -> int -> unit
-(** Record one sample. Negative values are clamped to 0. *)
+(** Record one sample. Negative values are counted in {!negative} and
+    excluded from every other statistic ([total], [sum], [max_value],
+    buckets) — a nonzero negative count means the caller fed the histogram
+    something that cannot be a length, a depth or a latency. The running
+    [sum] saturates at [max_int] instead of wrapping. *)
 
 val total : t -> int
+(** Non-negative samples recorded. *)
+
 val sum : t -> int
+(** Sum of the non-negative samples, saturating at [max_int]. *)
+
 val max_value : t -> int
 val mean : t -> float
+
+val negative : t -> int
+(** Negative samples rejected by {!observe}. *)
 
 val bucket_of : int -> int
 (** Bucket index a value falls into (exposed for tests). *)
 
 val count : t -> int -> int
 (** Samples in bucket [i]. *)
+
+val percentile : t -> float -> int
+(** [percentile t q] (with [q] in [[0, 1]], e.g. [0.99]) returns the upper
+    bound of the bucket containing the q-quantile sample, capped at
+    {!max_value} — exact to within the 2x bucket width. 0 when empty. *)
 
 val merge : into:t -> t -> unit
 (** Add [src]'s samples into [into]; [src] is unchanged. *)

@@ -184,6 +184,59 @@ let test_the_concurrent_conservation () =
   checki "no duplicates" 0 dups;
   checki "no losses" 0 lost
 
+let test_the_steal_half () =
+  let q = The_queue.create ~capacity:16 () in
+  List.iter (The_queue.push q) [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check (list int))
+    "takes ceil(n/2), oldest first" [ 1; 2; 3 ] (The_queue.steal_half q);
+  Alcotest.(check (list int)) "then half the rest" [ 4; 5 ] (The_queue.steal_half q);
+  Alcotest.(check (list int)) "then the last" [ 6 ] (The_queue.steal_half q);
+  Alcotest.(check (list int)) "then nothing" [] (The_queue.steal_half q);
+  List.iter (The_queue.push q) [ 7; 8; 9; 10 ];
+  Alcotest.(check (list int))
+    "max_batch caps the bite" [ 7 ] (The_queue.steal_half ~max_batch:1 q);
+  checki "rest still queued" 3 (The_queue.size q)
+
+let test_the_steal_half_concurrent () =
+  (* owner pushes and pops; one thief uses only steal_half; conservation *)
+  let n = 20_000 in
+  let q = The_queue.create ~capacity:(1 lsl 15) () in
+  let counts = Array.make n 0 in
+  let stop = Atomic.make false in
+  let thief =
+    Domain.spawn (fun () ->
+        let acc = ref [] in
+        while not (Atomic.get stop) do
+          match The_queue.steal_half ~max_batch:8 q with
+          | [] -> Domain.cpu_relax ()
+          | batch -> acc := List.rev_append batch !acc
+        done;
+        !acc)
+  in
+  let mine = ref [] in
+  for i = 0 to n - 1 do
+    The_queue.push q i;
+    if i land 1 = 0 then
+      match The_queue.pop q with Some v -> mine := v :: !mine | None -> ()
+  done;
+  let rec drain () =
+    match The_queue.pop q with
+    | Some v ->
+        mine := v :: !mine;
+        drain ()
+    | None -> if The_queue.size q > 0 then drain ()
+  in
+  drain ();
+  Unix.sleepf 0.05;
+  Atomic.set stop true;
+  let stolen = Domain.join thief in
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) !mine;
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) stolen;
+  let dups = Array.fold_left (fun a c -> if c > 1 then a + 1 else a) 0 counts in
+  let lost = Array.fold_left (fun a c -> if c = 0 then a + 1 else a) 0 counts in
+  checki "no duplicates" 0 dups;
+  checki "no losses" 0 lost
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -215,6 +268,118 @@ let test_pool_nested_spawn () =
     ];
   Pool.shutdown pool;
   checki "nested spawns all ran" 10 (Atomic.get acc)
+
+exception Boom of int
+
+(* Headline bug 1: a raising task used to kill its worker domain and leak
+   the in_flight count, hanging parallel_run forever. Now the run must
+   complete, re-raise the first failure at the join point, and leave the
+   pool usable. *)
+let test_pool_raising_tasks () =
+  let pool = Pool.create ~domains:3 () in
+  let ran = Atomic.make 0 in
+  let tasks =
+    List.init 500 (fun i () ->
+        ignore (Atomic.fetch_and_add ran 1);
+        (* ~10% of tasks raise, spread across all workers *)
+        if i mod 10 = 3 then raise (Boom i))
+  in
+  (match Pool.parallel_run pool tasks with
+  | () -> Alcotest.fail "expected parallel_run to re-raise a task failure"
+  | exception Boom _ -> ());
+  checki "every task ran despite the failures" 500 (Atomic.get ran);
+  (* the pool survived: a clean run still works *)
+  checki "pool reusable after failure" 75025 (Pool.fib pool 25);
+  Pool.shutdown pool
+
+let test_pool_nested_raise () =
+  (* the failure can come from a nested spawn on a worker domain, not just
+     a root task *)
+  let pool = Pool.create ~domains:2 () in
+  (match
+     Pool.parallel_run pool
+       [
+         (fun () ->
+           for i = 1 to 50 do
+             Pool.spawn pool (fun () -> if i = 25 then raise (Boom i))
+           done);
+       ]
+   with
+  | () -> Alcotest.fail "expected the nested failure to surface"
+  | exception Boom _ -> ());
+  Pool.shutdown pool
+
+(* Headline bug 2: spawn from a non-worker domain used to push onto deque 0
+   concurrently with the coordinator — a Chase-Lev single-owner violation.
+   Now external spawns go through the injector; hammer it from several
+   domains at once (debug mode turns any ownership violation into a hard
+   failure). *)
+let test_pool_external_spawns () =
+  let pool = Pool.create ~domains:3 ~debug:true () in
+  let per_domain = 2_000 and spawners = 3 in
+  let acc = Atomic.make 0 in
+  let externals =
+    List.init spawners (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Pool.spawn pool (fun () -> ignore (Atomic.fetch_and_add acc 1))
+            done))
+  in
+  List.iter Domain.join externals;
+  (* shutdown drains everything still queued *)
+  Pool.shutdown pool;
+  checki "every external spawn executed" (per_domain * spawners)
+    (Atomic.get acc)
+
+let test_pool_shutdown_drains () =
+  (* tasks spawned but never joined by a parallel_run must still run *)
+  let pool = Pool.create ~domains:2 () in
+  let acc = Atomic.make 0 in
+  for _ = 1 to 1_000 do
+    Pool.spawn pool (fun () -> ignore (Atomic.fetch_and_add acc 1))
+  done;
+  Pool.shutdown pool;
+  checki "shutdown executed the queued tasks" 1_000 (Atomic.get acc);
+  (* idempotent: a second shutdown is a no-op, and use-after-shutdown is
+     an error rather than a hang *)
+  Pool.shutdown pool;
+  (match Pool.spawn pool (fun () -> ()) with
+  | () -> Alcotest.fail "spawn after shutdown should raise"
+  | exception Invalid_argument _ -> ())
+
+let test_pool_the_backend_steal_half () =
+  let pool =
+    Pool.create ~domains:3 ~backend:Pool.The_deques ~steal_half:true ()
+  in
+  checki "fib on THE + steal-half" 6765 (Pool.fib pool 20);
+  Pool.shutdown pool;
+  match Pool.create ~domains:1 ~steal_half:true () with
+  | _ -> Alcotest.fail "steal_half without THE backend should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_round_robin () =
+  let pool = Pool.create ~domains:2 ~policy:Pool.Round_robin_victim () in
+  checki "fib under round-robin victims" 6765 (Pool.fib pool 20);
+  Pool.shutdown pool
+
+let test_pool_stats_and_latency () =
+  let pool = Pool.create ~domains:2 ~telemetry:true () in
+  ignore (Pool.fib pool 18);
+  let total = Pool.tasks_run pool in
+  let stats = Pool.worker_stats pool in
+  checki "stats length = workers + coordinator" (Pool.worker_count pool + 1)
+    (Array.length stats);
+  checki "per-slot counters sum to tasks_run" total
+    (Array.fold_left (fun a st -> a + st.Pool.tasks_run) 0 stats);
+  let h = Pool.latency pool in
+  checki "latency histogram saw every task" total (Telemetry.Histogram.total h);
+  Alcotest.(check bool)
+    "p99 is a positive latency" true
+    (Telemetry.Histogram.percentile h 0.99 > 0);
+  let sink = Telemetry.Sink.create () in
+  Pool.fold_into_sink pool sink;
+  checki "sink tasks_run" total sink.Telemetry.Sink.tasks_run;
+  Pool.shutdown pool
 
 (* qcheck: random sequential op sequences vs a reference deque *)
 let cl_matches_reference =
@@ -268,11 +433,29 @@ let () =
           Alcotest.test_case "sequential" `Quick test_the_sequential;
           Alcotest.test_case "concurrent conservation" `Slow
             test_the_concurrent_conservation;
+          Alcotest.test_case "steal-half sequential" `Quick
+            test_the_steal_half;
+          Alcotest.test_case "steal-half concurrent conservation" `Slow
+            test_the_steal_half_concurrent;
         ] );
       ( "pool",
         [
           Alcotest.test_case "fib" `Slow test_pool_fib;
           Alcotest.test_case "parallel sum" `Quick test_pool_parallel_sum;
           Alcotest.test_case "nested spawn" `Quick test_pool_nested_spawn;
+          Alcotest.test_case "raising tasks do not hang the run" `Slow
+            test_pool_raising_tasks;
+          Alcotest.test_case "nested raise surfaces" `Quick
+            test_pool_nested_raise;
+          Alcotest.test_case "external-domain spawn hammer" `Slow
+            test_pool_external_spawns;
+          Alcotest.test_case "shutdown drains and is idempotent" `Quick
+            test_pool_shutdown_drains;
+          Alcotest.test_case "THE backend with steal-half" `Slow
+            test_pool_the_backend_steal_half;
+          Alcotest.test_case "round-robin victims" `Quick
+            test_pool_round_robin;
+          Alcotest.test_case "stats and latency histogram" `Quick
+            test_pool_stats_and_latency;
         ] );
     ]

@@ -67,6 +67,50 @@ let test_histogram_merge_reset () =
   check int "reset max" 0 (H.max_value a);
   check bool "reset buckets empty" true (H.buckets a = [])
 
+let test_histogram_negative () =
+  (* negative observations used to be clamped into bucket 0, silently
+     inflating the smallest bucket; now they are counted apart and leave
+     every positive-domain statistic untouched *)
+  let h = H.create () in
+  List.iter (H.observe h) [ 5; -1; 7; -100 ];
+  check int "negative counted" 2 (H.negative h);
+  check int "total excludes negatives" 2 (H.total h);
+  check int "sum excludes negatives" 12 (H.sum h);
+  check int "bucket 0 not polluted" 0 (H.count h 0);
+  let b = H.create () in
+  H.observe b (-3);
+  H.merge ~into:h b;
+  check int "negative merges" 3 (H.negative h);
+  H.reset h;
+  check int "negative resets" 0 (H.negative h)
+
+let test_histogram_saturating_sum () =
+  let h = H.create () in
+  H.observe h max_int;
+  H.observe h max_int;
+  check int "sum saturates instead of wrapping negative" max_int (H.sum h);
+  check int "total still counts" 2 (H.total h);
+  let b = H.create () in
+  H.observe b max_int;
+  H.merge ~into:h b;
+  check int "merge saturates too" max_int (H.sum h)
+
+let test_histogram_percentile () =
+  let h = H.create () in
+  check int "empty percentile" 0 (H.percentile h 0.5);
+  (* 100 observations of 10, one of 1000: p50 sits in 10's bucket, p999
+     in 1000's — and no percentile exceeds the observed max *)
+  for _ = 1 to 100 do
+    H.observe h 10
+  done;
+  H.observe h 1000;
+  check int "p50 in the bulk bucket" (H.bucket_of 10)
+    (H.bucket_of (H.percentile h 0.5));
+  check int "p999 capped at the observed max" 1000 (H.percentile h 0.999);
+  check bool "p0 clamps to first rank" true (H.percentile h 0.0 >= 10);
+  H.observe h (-5);
+  check int "negatives do not shift percentiles" 1000 (H.percentile h 0.999)
+
 (* --- sink ------------------------------------------------------------- *)
 
 let filled_sink () =
@@ -300,6 +344,11 @@ let () =
           Alcotest.test_case "bucket_of" `Quick test_bucket_of;
           Alcotest.test_case "observe" `Quick test_histogram_observe;
           Alcotest.test_case "merge/reset" `Quick test_histogram_merge_reset;
+          Alcotest.test_case "negative observations" `Quick
+            test_histogram_negative;
+          Alcotest.test_case "saturating sum" `Quick
+            test_histogram_saturating_sum;
+          Alcotest.test_case "percentile" `Quick test_histogram_percentile;
         ] );
       ( "sink",
         [
