@@ -229,7 +229,7 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v4"
+let bench_schema = "wsrepro-bench/v5"
 
 let bench_fields =
   [
@@ -238,10 +238,16 @@ let bench_fields =
     "telemetry_overhead_pct";
     "explorer_runs_per_sec";
     "explorer_por_runs_per_sec";
+    "explorer_dpor_runs_per_sec";
+    "por_reduction_factor";
+    "dpor_reduction_factor";
+    "frontier_steal_rate";
     "snapshot_restore_ns";
     "fig10_wall_s";
+    "fingerprint_probe_cells";
     "fingerprint_ns";
     "memo_lookup_ns";
+    "memo_store_lookup_ns";
     "native_fib_tasks_per_sec";
     "native_graph_tasks_per_sec";
     "native_service_rps";
@@ -272,27 +278,75 @@ let measure_sim_steps ?(telemetry = false) ~batches () =
   float_of_int !steps /. dt
 
 (* Explorer throughput on a small FF-THE scenario (complete runs/sec).
-   With [por] the sleep-set reduction is on: the same verdict is reached
-   from far fewer runs, so the rate divides completed runs (not skipped
-   siblings) by the wall time — it answers "how fast does one verdict
-   arrive", not "how fast does the machine step". *)
-let measure_explorer ?(por = false) ?(snapshots = true) ~max_runs () =
-  let spec =
-    {
-      Ws_harness.Scenarios.default_spec with
-      queue = "ff-the";
-      sb_capacity = 1;
-      delta = 2;
-      preloaded = 2;
-      steal_attempts = 1;
-    }
-  in
+   With [por] the sleep-set reduction is on (and with [dpor] source-DPOR on
+   top of it): the same verdict is reached from far fewer runs, so the rate
+   divides completed runs (not skipped siblings) by the wall time — it
+   answers "how fast does one verdict arrive", not "how fast does the
+   machine step". *)
+let explorer_spec =
+  {
+    Ws_harness.Scenarios.default_spec with
+    queue = "ff-the";
+    sb_capacity = 1;
+    delta = 2;
+    preloaded = 2;
+    steal_attempts = 1;
+  }
+
+let measure_explorer ?(por = false) ?(dpor = false) ?(snapshots = true)
+    ~max_runs () =
   let (st, _), dt =
     wall (fun () ->
-        Ws_harness.Runner.exhaustive_check spec ~max_runs
-          ~preemption_bound:(Some 3) ~jobs:1 ~memo:false ~por ~snapshots ())
+        Ws_harness.Runner.exhaustive_check explorer_spec ~max_runs
+          ~preemption_bound:(Some 3) ~jobs:1 ~memo:false ~por ~dpor ~snapshots
+          ())
   in
   float_of_int st.Tso.Explore.runs /. dt
+
+(* POR/DPOR reduction factors: completed runs of the reduced searches vs a
+   run-capped plain search of the same scenario. The scenario is the
+   minimal unbounded FF-THE instance (one preloaded task, one steal
+   attempt, no client stores): the reduced searches exhaust it in a few
+   hundred runs — deterministically, so the factors are exact and
+   reproducible — while plain exploration exceeds any practical cap
+   (store-buffer drain nondeterminism multiplies every step), so the plain
+   baseline is the cap itself and both factors are lower bounds. *)
+let reduction_spec =
+  {
+    Ws_harness.Scenarios.default_spec with
+    queue = "ff-the";
+    sb_capacity = 1;
+    delta = 1;
+    preloaded = 1;
+    puts = 0;
+    steal_attempts = 1;
+    client_stores = 0;
+  }
+
+let measure_reduction ~max_runs () =
+  let runs ~por ~dpor =
+    let st, _ =
+      Ws_harness.Runner.exhaustive_check reduction_spec ~max_runs
+        ~preemption_bound:None ~por ~dpor ()
+    in
+    st.Tso.Explore.runs
+  in
+  let plain = runs ~por:false ~dpor:false in
+  let por = runs ~por:true ~dpor:false in
+  let dpor = runs ~por:false ~dpor:true in
+  ( float_of_int plain /. float_of_int por,
+    float_of_int plain /. float_of_int dpor )
+
+(* Work-stealing frontier shape: steals per frontier task when the explorer
+   scenario is fanned out over 4 domains. Scheduling-dependent (unlike the
+   reduction factors), so the check gates positivity, not a value. *)
+let measure_frontier ~max_runs () =
+  let _, fr, _ =
+    Ws_harness.Runner.exhaustive_check_full explorer_spec ~max_runs
+      ~preemption_bound:(Some 3) ~jobs:4 ()
+  in
+  float_of_int fr.Tso.Explore_par.fr_steals
+  /. float_of_int (max 1 fr.Tso.Explore_par.fr_tasks)
 
 (* Incremental cost of [Machine.restore_into] — what one sibling branch
    pays on the explorer's snapshot path, beyond building the fresh
@@ -328,11 +382,34 @@ let measure_snapshot_restore ~iters () =
   in
   1e9 *. Float.max 0.0 (dt_both -. dt_build) /. float_of_int iters
 
+(* The fingerprint/memo probe machine, pinned: a single-worker THEP
+   machine stopped exactly 200 round-robin steps into its run. Fingerprint
+   cost is O(live memory cells), so the cell count IS the probe shape —
+   it is recorded in the baseline as [fingerprint_probe_cells] and
+   [--check] verifies the live probe builds a machine with exactly the
+   recorded count before comparing ns numbers. (This is why the tracked
+   ~550 ns differs from the "108 ns" in DESIGN.md §8's before/after table:
+   that one-off fingerprinted a 2-thread SB litmus machine with far fewer
+   live cells. Same code path, different pinned shape.) A scenario change
+   that lets the machine quiesce before 200 steps would silently shrink
+   the fingerprinted state, so quiescing early is a probe failure. *)
+let fingerprint_probe_machine () =
+  let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+  (match Tso.Sched.run ~max_steps:200 m (Tso.Sched.round_robin ()) with
+  | Tso.Sched.Max_steps -> ()
+  | _ ->
+      failwith
+        "fingerprint probe shape changed: the probe machine quiesced before \
+         200 steps");
+  m
+
+let fingerprint_probe_cells () =
+  Tso.Memory.size (Tso.Machine.memory (fingerprint_probe_machine ()))
+
 (* Cost of one [Machine.fingerprint] of a mid-run machine state — the memo
    key computation on the explorer's hot path. *)
 let measure_fingerprint ~iters () =
-  let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
-  ignore (Tso.Sched.run ~max_steps:200 m (Tso.Sched.round_robin ()));
+  let m = fingerprint_probe_machine () in
   let acc = ref 0 in
   let (), dt =
     wall (fun () ->
@@ -346,8 +423,7 @@ let measure_fingerprint ~iters () =
 (* Fingerprint + Pareto-dominance probe against a populated memo table:
    what one memoized-explorer node pays before recursing. *)
 let measure_memo_lookup ~iters () =
-  let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
-  ignore (Tso.Sched.run ~max_steps:200 m (Tso.Sched.round_robin ()));
+  let m = fingerprint_probe_machine () in
   let tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
   (* deterministic LCG fill — a realistic load factor without Random *)
   let x = ref 0x9E3779B9 in
@@ -363,6 +439,49 @@ let measure_memo_lookup ~iters () =
           let fp = Tso.Machine.fingerprint m in
           if Tso.Explore.Internal.memo_tbl_check tbl fp ~depth_rem:4 ~preempt_rem:1
           then incr hits
+        done)
+  in
+  Sys.opaque_identity !hits |> ignore;
+  1e9 *. dt /. float_of_int iters
+
+(* Same probe shape against the persistent memo store's [seen] (atomic
+   lookup counter + shard mutex + the shared Pareto check), so
+   memo_store_lookup_ns - memo_lookup_ns isolates the synchronization
+   cost one disk-backed-memo node pays over the in-memory table. The
+   store is opened at a nonexistent path and never committed, so the
+   probe touches no disk. *)
+let measure_memo_store_lookup ~iters () =
+  let m = fingerprint_probe_machine () in
+  let store =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wsrepro-bench-memo-probe-%d" (Unix.getpid ()))
+    in
+    match
+      Tso.Memo_store.open_ ~path ~config:"bench-probe"
+        ~max_depth:Tso.Explore.default_max_depth ~preemption_bound:(Some 3)
+        ~por:false ~dpor:false ()
+    with
+    | Ok s -> s
+    | Error e -> failwith ("memo store probe: " ^ e)
+  in
+  let x = ref 0x9E3779B9 in
+  for _ = 1 to 4096 do
+    x := (!x lxor (!x lsr 17)) * 0x2545F4914F6CDD1D land max_int;
+    ignore (Tso.Memo_store.seen store !x ~depth_rem:8 ~preempt_rem:2)
+  done;
+  ignore
+    (Tso.Memo_store.seen store
+       (Tso.Machine.fingerprint m)
+       ~depth_rem:8 ~preempt_rem:2);
+  let hits = ref 0 in
+  let (), dt =
+    wall (fun () ->
+        for _ = 1 to iters do
+          let fp = Tso.Machine.fingerprint m in
+          if Tso.Memo_store.seen store fp ~depth_rem:4 ~preempt_rem:1 then
+            incr hits
         done)
   in
   Sys.opaque_identity !hits |> ignore;
@@ -415,6 +534,7 @@ let run_json ~smoke ~out () =
   let native_fib, native_graph, native_rps, native_p99 =
     measure_native ~smoke ()
   in
+  let por_factor, dpor_factor = measure_reduction ~max_runs () in
   let metrics =
     [
       ("sim_batch_steps_per_sec", disabled);
@@ -422,10 +542,16 @@ let run_json ~smoke ~out () =
       ("telemetry_overhead_pct", 100.0 *. (disabled -. enabled) /. disabled);
       ("explorer_runs_per_sec", measure_explorer ~max_runs ());
       ("explorer_por_runs_per_sec", measure_explorer ~por:true ~max_runs ());
+      ("explorer_dpor_runs_per_sec", measure_explorer ~dpor:true ~max_runs ());
+      ("por_reduction_factor", por_factor);
+      ("dpor_reduction_factor", dpor_factor);
+      ("frontier_steal_rate", measure_frontier ~max_runs ());
       ("snapshot_restore_ns", measure_snapshot_restore ~iters:snap_iters ());
       ("fig10_wall_s", measure_fig10 ~repeats ());
+      ("fingerprint_probe_cells", float_of_int (fingerprint_probe_cells ()));
       ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
       ("memo_lookup_ns", measure_memo_lookup ~iters:fp_iters ());
+      ("memo_store_lookup_ns", measure_memo_store_lookup ~iters:fp_iters ());
       ("native_fib_tasks_per_sec", native_fib);
       ("native_graph_tasks_per_sec", native_graph);
       ("native_service_rps", native_rps);
@@ -454,7 +580,7 @@ let run_json ~smoke ~out () =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-(* Validator for --check. Four contracts:
+(* Validator for --check. The contracts, in print order:
 
    1. Schema: the file parses as JSON (the in-tree strict parser), carries
       the schema id, and has every required metric — the CI smoke job keys
@@ -476,7 +602,25 @@ let run_json ~smoke ~out () =
       of the recorded one. Restore skips the per-transition machinery the
       replay path pays; the only way to blow the factor is an algorithmic
       regression (e.g. the restore path quietly re-acquiring an O(depth)
-      replay), which this catches even through CI machine-speed noise. *)
+      replay), which this catches even through CI machine-speed noise.
+
+   5. The fingerprint probe shape must match exactly (live-cell count =
+      recorded fingerprint_probe_cells) and the live fingerprint must stay
+      within a factor of the recorded one — the pinned shape is what makes
+      the ns series comparable across commits.
+
+   6. The live memo-store lookup must stay within a factor of the recorded
+      one (a blown factor means the shard path grew synchronization or the
+      Pareto check regressed).
+
+   7. The recorded reduction factors must satisfy dpor >= por >= 1 — run
+      counts are deterministic, so this is exact, and a source-DPOR change
+      that falls behind plain sleep sets on the probe scenario is a
+      regression even if verdicts still agree.
+
+   8. explorer_dpor_runs_per_sec and (in full mode) frontier_steal_rate
+      must be positive, like the native metrics: a zero means the probe
+      produced nothing. *)
 let overhead_budget_pct = 5.0
 
 (* recorded telemetry_overhead_pct ceiling (absolute, machine-independent) *)
@@ -486,6 +630,17 @@ let telemetry_overhead_ceiling_pct ~smoke = if smoke then 100.0 else 30.0
    cross-machine noise and the subtraction-based probe *)
 let snapshot_factor = 3.0
 let snapshot_slack_ns = 2000.0
+
+(* live fingerprint_ns / memo_store_lookup_ns vs recorded. The fingerprint
+   ceiling only means something because the probe shape is pinned: the
+   check first requires the live probe machine's live-cell count to equal
+   the recorded fingerprint_probe_cells exactly (cell count is the shape —
+   fingerprint cost is O(live cells)), then applies the factor. The
+   memo-store slack absorbs mutex contention noise on loaded CI runners. *)
+let fingerprint_factor = 3.0
+let fingerprint_slack_ns = 300.0
+let memo_store_factor = 3.0
+let memo_store_slack_ns = 2000.0
 
 let run_check file =
   let doc =
@@ -552,6 +707,56 @@ let run_check file =
     "%s: snapshot restore %.0f ns (recorded %.0f, budget %.0f) %s\n" file
     live_snap recorded_snap snap_budget
     (if snap_ok then "OK" else "REGRESSED");
+  let recorded_cells = Option.get (metric "fingerprint_probe_cells") in
+  let live_cells = float_of_int (fingerprint_probe_cells ()) in
+  let cells_ok = live_cells = recorded_cells in
+  Printf.printf "%s: fingerprint probe shape %.0f live cells (recorded %.0f) %s\n"
+    file live_cells recorded_cells
+    (if cells_ok then "OK" else "SHAPE CHANGED");
+  let recorded_fp = Option.get (metric "fingerprint_ns") in
+  let live_fp =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> measure_fingerprint ~iters:2_000 ()))
+  in
+  let fp_budget = (recorded_fp *. fingerprint_factor) +. fingerprint_slack_ns in
+  let fp_ok = live_fp <= fp_budget in
+  Printf.printf "%s: fingerprint %.0f ns (recorded %.0f, budget %.0f) %s\n"
+    file live_fp recorded_fp fp_budget
+    (if fp_ok then "OK" else "REGRESSED");
+  let recorded_ms = Option.get (metric "memo_store_lookup_ns") in
+  let live_ms =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> measure_memo_store_lookup ~iters:2_000 ()))
+  in
+  let ms_budget = (recorded_ms *. memo_store_factor) +. memo_store_slack_ns in
+  let ms_ok = live_ms <= ms_budget in
+  Printf.printf
+    "%s: memo-store lookup %.0f ns (recorded %.0f, budget %.0f) %s\n" file
+    live_ms recorded_ms ms_budget
+    (if ms_ok then "OK" else "REGRESSED");
+  (* The reduction factors are ratios of deterministic run counts, so they
+     are exact: sleep sets must reduce (>= 1) and source-DPOR must never
+     fall behind sleep sets alone on the probe scenario. *)
+  let por_factor = Option.get (metric "por_reduction_factor") in
+  let dpor_factor = Option.get (metric "dpor_reduction_factor") in
+  let red_ok = por_factor >= 1.0 && dpor_factor >= por_factor in
+  Printf.printf
+    "%s: reduction factors por %.1fx, dpor %.1fx (want dpor >= por >= 1) %s\n"
+    file por_factor dpor_factor
+    (if red_ok then "OK" else "REGRESSED");
+  (* frontier_steal_rate is scheduling-dependent: a full-mode recording
+     with zero steals means the frontier never distributed work; smoke
+     recordings run for milliseconds and may legitimately see none. *)
+  let steal_rate = Option.get (metric "frontier_steal_rate") in
+  let dpor_rate = Option.get (metric "explorer_dpor_runs_per_sec") in
+  let frontier_ok =
+    dpor_rate > 0.0
+    && if str_field "mode" = Some "smoke" then steal_rate >= 0.0
+       else steal_rate > 0.0
+  in
+  Printf.printf "%s: dpor rate %.0f runs/s, frontier steal rate %.3f %s\n" file
+    dpor_rate steal_rate
+    (if frontier_ok then "OK" else "NOT POSITIVE");
   (* Native metrics are machine-dependent wallclock numbers; the recorded
      values must at least be live measurements (strictly positive — a zero
      means the probe silently produced nothing, e.g. a hung pool whose run
@@ -568,7 +773,11 @@ let run_check file =
   in
   Printf.printf "%s: native metrics %s\n" file
     (if native_ok then "all positive OK" else "NOT POSITIVE");
-  if not (ok && ovh_ok && snap_ok && native_ok) then exit 1
+  if
+    not
+      (ok && ovh_ok && snap_ok && cells_ok && fp_ok && ms_ok && red_ok
+     && frontier_ok && native_ok)
+  then exit 1
 
 let usage () =
   print_string
@@ -581,18 +790,36 @@ let usage () =
    ^ " baseline document (--smoke: tiny\n\
       iteration counts — the shape is the contract, the numbers are\n\
       meaningless). --check validates a baseline file and gates the live\n\
-      stepping rate, the recorded telemetry overhead, and the live\n\
-      snapshot-restore cost.\n\n\
+      stepping rate, the recorded telemetry overhead, the live snapshot-\n\
+      restore / fingerprint / memo-store-lookup costs, the fingerprint\n\
+      probe shape, and the recorded reduction factors (dpor >= por >= 1).\n\n\
       Probe shapes (numbers are only comparable for identical probes):\n\
-     \  fingerprint_ns / memo_lookup_ns  one Machine.fingerprint of a THEP\n\
-     \      worker machine stopped 200 steps into its run (~137 live memory\n\
-     \      cells; fingerprint cost is O(live cells), so a 2-thread litmus\n\
-     \      machine fingerprints ~5x faster — see EXPERIMENTS.md).\n\
+     \  fingerprint_ns / memo_lookup_ns / memo_store_lookup_ns\n\
+     \      one Machine.fingerprint of a THEP worker machine stopped\n\
+     \      exactly 200 steps into its run; the machine's live-cell count\n\
+     \      is recorded as fingerprint_probe_cells and --check requires it\n\
+     \      to match exactly (fingerprint cost is O(live cells) — the\n\
+     \      pinned count is the probe shape; a 2-thread litmus machine\n\
+     \      fingerprints ~5x faster, see EXPERIMENTS.md). memo_lookup adds\n\
+     \      the in-memory Pareto table probe, memo_store_lookup the\n\
+     \      persistent store's seen() (atomic counter + shard mutex +\n\
+     \      the same Pareto check; no disk on the lookup path).\n\
      \  explorer_runs_per_sec            bounded FF-THE scenario, sb=1,\n\
      \      preemption bound 3, memo off, snapshot-based siblings.\n\
      \  explorer_por_runs_per_sec        same scenario with sleep-set POR:\n\
      \      completed runs per second, so fewer runs to the same verdict\n\
      \      lowers it even as the verdict arrives sooner.\n\
+     \  explorer_dpor_runs_per_sec       same scenario with source-DPOR\n\
+     \      (race-reversal backtracking on top of sleep sets).\n\
+     \  por_reduction_factor /           plain runs / reduced runs on the\n\
+     \  dpor_reduction_factor            minimal unbounded FF-THE scenario\n\
+     \      (1 preloaded task, 1 steal attempt, no client stores). The\n\
+     \      reduced searches exhaust it deterministically; plain cannot\n\
+     \      (store-buffer drains), so plain is capped at the run budget\n\
+     \      and both factors are lower bounds.\n\
+     \  frontier_steal_rate              steals per frontier task, explorer\n\
+     \      scenario fanned over 4 domains. Scheduling-dependent: gated\n\
+     \      for positivity (full mode), not value.\n\
      \  snapshot_restore_ns              Machine.restore_into of a 40-step\n\
      \      default-scenario snapshot, minus the fresh-instance build both\n\
      \      explorer sibling paths share.\n\

@@ -233,6 +233,32 @@ let por_arg =
            Verdicts and replayable failure prefixes are unchanged; the run \
            count typically drops by 5-100x.")
 
+let dpor_arg =
+  Arg.(
+    value & flag
+    & info [ "dpor" ]
+        ~doc:
+          "Source-DPOR (implies $(b,--por)): on top of sleep sets, track \
+           races between executed transitions via their memory footprints \
+           and backtrack only into interleavings that reverse an observed \
+           race, instead of enumerating every non-sleeping sibling. \
+           Verdicts and failure sets are unchanged; the run count and \
+           (especially) the sleep-set skip work drop further.")
+
+let memo_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "memo-file" ] ~docv:"PATH"
+        ~doc:
+          "Persistent visited-state store (implies $(b,--memo)): a \
+           directory of fingerprint-sharded append-only entry files plus a \
+           header pinning the scenario, bounds and reduction flags. A \
+           missing PATH starts cold and is created on a completed search; \
+           a PATH whose header does not match this run's configuration is \
+           rejected. Warm reruns prune at every stored state and report \
+           the stored failure set.")
+
 let snapshots_arg =
   Arg.(
     value & opt bool true
@@ -245,17 +271,54 @@ let snapshots_arg =
 
 (* classic x86-TSO litmus suite *)
 let tso_litmus_cmd =
-  let run jobs memo por snapshots =
+  let run jobs memo por dpor memo_file snapshots =
     print_endline
       "== Classic x86-TSO litmus tests against the abstract machine ==";
-    let results = Ws_litmus.Classic.run_all ~jobs ~memo ~por ~snapshots () in
+    let memo = memo || memo_file <> None in
+    let results =
+      try
+        Ws_litmus.Classic.run_all ~jobs ~memo ~por ~dpor ?memo_dir:memo_file
+          ~snapshots ()
+      with Failure e ->
+        (* keep stdout (the banner, any completed rows) ahead of the error
+           even when both land in one pipe *)
+        flush stdout;
+        prerr_endline e;
+        exit 2
+    in
     List.iter (fun r -> Format.printf "%a@." Ws_litmus.Classic.pp_result r) results;
+    (match memo_file with
+    | Some dir ->
+        let lookups, hits =
+          List.fold_left
+            (fun (l, h) (r : Ws_litmus.Classic.result) ->
+              (l + r.memo_lookups, h + r.memo_hits))
+            (0, 0) results
+        in
+        Printf.printf "memo store %s: %d lookups, %d hits (hit rate %.3f)\n"
+          dir lookups hits
+          (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups)
+    | None -> ());
     if List.exists (fun r -> not r.Ws_litmus.Classic.ok) results then exit 1
+  in
+  let memo_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "memo-file" ] ~docv:"PATH"
+          ~doc:
+            "Persistent visited-state store directory (implies \
+             $(b,--memo)); each litmus test keeps its own store under \
+             PATH, pinned to the test and this run's reduction flags. A \
+             warm rerun prunes at every stored state; a mismatched or \
+             corrupt store is rejected.")
   in
   Cmd.v
     (Cmd.info "tso-litmus"
        ~doc:"Validate the machine against the classic x86-TSO litmus tests")
-    Term.(const run $ jobs_arg $ memo_arg $ por_arg $ snapshots_arg)
+    Term.(
+      const run $ jobs_arg $ memo_arg $ por_arg $ dpor_arg $ memo_file
+      $ snapshots_arg)
 
 (* ablation *)
 let ablation_cmd =
@@ -412,7 +475,8 @@ let trace_cmd =
 (* explore: bounded exhaustive model checking *)
 let explore_cmd =
   let run qname sb delta preloaded steals client_stores max_runs pb fence jobs
-      memo por snapshots progress forensics trace_failure =
+      memo por dpor memo_file metrics snapshots progress forensics
+      trace_failure =
     let spec =
       {
         Ws_harness.Scenarios.default_spec with
@@ -425,20 +489,128 @@ let explore_cmd =
         worker_fence = fence;
       }
     in
-    let st, _clean =
-      Ws_harness.Runner.exhaustive_check spec ~max_runs
-        ~preemption_bound:(Some pb) ~jobs ~memo ~por ~snapshots ~progress ()
+    let memo = memo || memo_file <> None in
+    let memo_store =
+      match memo_file with
+      | None -> None
+      | Some path -> (
+          (* the header pins everything that shapes the reduced tree: the
+             scenario itself plus bounds and reduction flags *)
+          let config =
+            "explore "
+            ^ Telemetry.Json.to_string ~indent:false
+                (Telemetry.Json.Obj (Ws_harness.Scenarios.spec_json spec))
+          in
+          match
+            Tso.Memo_store.open_ ~path ~config
+              ~max_depth:Tso.Explore.default_max_depth
+              ~preemption_bound:(Some pb) ~por ~dpor ()
+          with
+          | Ok store -> Some store
+          | Error e ->
+              (* the store's own diagnostics already carry the path *)
+              Printf.eprintf "memo store: %s\n" e;
+              exit 2)
+    in
+    let sink = Telemetry.Sink.create () in
+    let st, frontier, _clean =
+      Ws_harness.Runner.exhaustive_check_full spec ~max_runs
+        ~preemption_bound:(Some pb) ~jobs ~memo ~por ~dpor ?memo_store ~sink
+        ~snapshots ~progress ()
     in
     Printf.printf
-      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches%s%s, \
+      "%s: %d complete runs, %d truncated, %d deadlocks, %d pruned branches%s%s%s, \
        peak depth %d\n"
       qname st.Tso.Explore.runs st.truncated st.deadlocks st.pruned
       (if memo then
          Printf.sprintf ", %d memo hits (%.1f%% hit rate)" st.memo_hits
            (100.0 *. Tso.Explore.memo_hit_rate st)
        else "")
-      (if por then Printf.sprintf ", %d sleep-set skips" st.sleep_skips else "")
+      (if por || dpor then
+         Printf.sprintf ", %d sleep-set skips" st.sleep_skips
+       else "")
+      (match memo_store with
+      | Some store ->
+          Printf.sprintf ", memo store %d/%d warm hits"
+            (Tso.Memo_store.hits store)
+            (Tso.Memo_store.lookups store)
+      | None -> "")
       st.Tso.Explore.peak_depth;
+    Option.iter
+      (fun file ->
+        let module J = Telemetry.Json in
+        let doc =
+          J.Obj
+            [
+              ("schema", J.Str "wsrepro-explore/v1");
+              ("scenario", J.Obj (Ws_harness.Scenarios.spec_json spec));
+              ( "bounds",
+                J.Obj
+                  [
+                    ("max_runs", J.Int max_runs);
+                    ("preemption_bound", J.Int pb);
+                    ("jobs", J.Int jobs);
+                    ("memo", J.Bool memo);
+                    ("por", J.Bool (por || dpor));
+                    ("dpor", J.Bool dpor);
+                    ("snapshots", J.Bool snapshots);
+                  ] );
+              ( "stats",
+                J.Obj
+                  [
+                    ("runs", J.Int st.Tso.Explore.runs);
+                    ("truncated", J.Int st.truncated);
+                    ("deadlocks", J.Int st.deadlocks);
+                    ("pruned", J.Int st.pruned);
+                    ("memo_hits", J.Int st.memo_hits);
+                    ("sleep_skips", J.Int st.sleep_skips);
+                    ("peak_depth", J.Int st.peak_depth);
+                    ("failures", J.Int (List.length st.failures));
+                  ] );
+              ( "frontier",
+                J.Obj
+                  [
+                    ("domains", J.Int frontier.Tso.Explore_par.fr_domains);
+                    ("tasks", J.Int frontier.fr_tasks);
+                    ("splits", J.Int frontier.fr_splits);
+                    ("steals", J.Int frontier.fr_steals);
+                    ("steal_attempts", J.Int frontier.fr_steal_attempts);
+                    ( "runs_per_domain",
+                      J.List
+                        (Array.to_list
+                           (Array.map (fun n -> J.Int n)
+                              frontier.fr_runs_per_domain)) );
+                    ( "tasks_per_domain",
+                      J.List
+                        (Array.to_list
+                           (Array.map (fun n -> J.Int n)
+                              frontier.fr_tasks_per_domain)) );
+                  ] );
+              ( "memo_store",
+                match memo_store with
+                | None -> J.Null
+                | Some store ->
+                    let lookups = Tso.Memo_store.lookups store in
+                    let hits = Tso.Memo_store.hits store in
+                    J.Obj
+                      [
+                        ("loaded_entries",
+                         J.Int (Tso.Memo_store.loaded_entries store));
+                        ("pending_entries",
+                         J.Int (Tso.Memo_store.pending_entries store));
+                        ("lookups", J.Int lookups);
+                        ("hits", J.Int hits);
+                        ( "hit_rate",
+                          J.Float
+                            (if lookups = 0 then 0.0
+                             else float_of_int hits /. float_of_int lookups) );
+                      ] );
+              ("counters", Telemetry.Sink.to_json sink);
+            ]
+        in
+        J.write_file file doc;
+        Printf.printf "metrics: %s\n" file)
+      metrics;
     match Tso.Explore.failures_in_replay_order st with
     | [] -> print_endline "no safety violation found"
     | (choices, msg) :: _ ->
@@ -521,12 +693,25 @@ let explore_cmd =
              (implies the forensics pass; combine with $(b,--forensics) to \
              also save the report).")
   in
+  let explore_metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable $(b,wsrepro-explore/v1) JSON sidecar: \
+             the scenario and bounds, explorer statistics, the \
+             work-stealing frontier distribution (per-domain run/task \
+             counts, steal counters), persistent memo-store counters when \
+             $(b,--memo-file) is set, and the merged telemetry counters.")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive model checking of a queue")
     Term.(
       const run $ queue_arg $ sb $ delta $ preloaded $ steals $ client_stores
-      $ max_runs $ pb $ fence $ jobs_arg $ memo_arg $ por_arg $ snapshots_arg
-      $ progress_arg $ forensics_arg $ trace_failure_arg)
+      $ max_runs $ pb $ fence $ jobs_arg $ memo_arg $ por_arg $ dpor_arg
+      $ memo_file_arg $ explore_metrics $ snapshots_arg $ progress_arg
+      $ forensics_arg $ trace_failure_arg)
 
 (* native: the pool on real silicon — sim-vs-native parity + service bench *)
 let native_cmd =

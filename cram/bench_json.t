@@ -7,12 +7,13 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v4 adds the native pool's silicon
-numbers (fib/graph task throughput, the Poisson service benchmark's
-achieved rate and p99 sojourn) next to the v3 explorer metrics:
+with one fixed-format float per metric. v5 adds the source-DPOR explorer
+rate, the POR/DPOR reduction factors, the work-stealing frontier's steal
+rate, the pinned fingerprint probe shape, and the persistent memo-store
+lookup cost next to v4's native-pool silicon numbers:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v4"
+  "schema": "wsrepro-bench/v5"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
@@ -21,10 +22,16 @@ achieved rate and p99 sojourn) next to the v3 explorer metrics:
   "telemetry_overhead_pct":
   "explorer_runs_per_sec":
   "explorer_por_runs_per_sec":
+  "explorer_dpor_runs_per_sec":
+  "por_reduction_factor":
+  "dpor_reduction_factor":
+  "frontier_steal_rate":
   "snapshot_restore_ns":
   "fig10_wall_s":
+  "fingerprint_probe_cells":
   "fingerprint_ns":
   "memo_lookup_ns":
+  "memo_store_lookup_ns":
   "native_fib_tasks_per_sec":
   "native_graph_tasks_per_sec":
   "native_service_rps":
@@ -51,12 +58,17 @@ numbers are machine-dependent, so normalize them:
   bench.json: telemetry-disabled stepping N Msteps/s (recorded N, delta N%) OK
   bench.json: recorded telemetry overhead N% (ceiling N%) OK
   bench.json: snapshot restore N ns (recorded N, budget N) OK
+  bench.json: fingerprint probe shape N live cells (recorded N) OK
+  bench.json: fingerprint N ns (recorded N, budget N) OK
+  bench.json: memo-store lookup N ns (recorded N, budget N) OK
+  bench.json: reduction factors por Nx, dpor Nx (want dpor >= por >= N) OK
+  bench.json: dpor rate N runs/s, frontier steal rate N OK
   bench.json: native metrics all positive OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v4|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v5|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v4)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v5)
   drifted.json: missing metric "fingerprint_ns"
   [1]

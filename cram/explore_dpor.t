@@ -1,0 +1,124 @@
+Source-DPOR replaces sleep-set POR's blind sibling enumeration with
+race-directed backtracking: as a run executes, the explorer tracks which
+transitions raced (dependent footprints, not ordered by happens-before)
+and plants backtrack points only where reversing an observed race could
+reach a new trace. Sleep sets stay on (they are what makes the planted
+points sufficient), so `--dpor` implies `--por`.
+
+On the classic x86-TSO litmus suite the verdicts are identical to both
+the unreduced suite (tso_litmus.t, 3301 runs) and the sleep-set suite
+(explore_por.t, 97 runs), from slightly fewer runs again (91) — the
+litmus programs are conflict-saturated, so sleep sets are already near
+trace-optimal and the honest headline is the work per run, not the run
+count: DPOR enumerates only planted siblings, so the suite's sleep-set
+skip work collapses (9327 skips under --por on the minimal unbounded
+FF-THE scenario become 1410, a 5.7x verdict-time win measured in
+BENCH_simulator.json's dpor_reduction_factor probe):
+
+  $ wsrepro tso-litmus --dpor
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed          12 runs (exhaustive)  OK
+  SB+fences          forbidden not observed       3 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed       3 runs (exhaustive)  OK
+  MP                 forbidden not observed       6 runs (exhaustive)  OK
+  LB                 forbidden not observed       3 runs (exhaustive)  OK
+  n6                 allowed   observed          24 runs (exhaustive)  OK
+  n5                 forbidden not observed      18 runs (exhaustive)  OK
+  IRIW               forbidden not observed      13 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       5 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       4 runs (exhaustive)  OK
+
+The three searches must agree on every verdict — the unreduced suite is
+the differential oracle:
+
+  $ wsrepro tso-litmus --dpor > dpor.out
+  $ wsrepro tso-litmus --por | awk '{print $1, $2, $3}' > por.verdicts
+  $ wsrepro tso-litmus | awk '{print $1, $2, $3}' > plain.verdicts
+  $ awk '{print $1, $2, $3}' dpor.out > dpor.verdicts
+  $ diff plain.verdicts por.verdicts
+  $ diff por.verdicts dpor.verdicts
+
+Snapshot-based sibling exploration is byte-identical under DPOR (replay
+from the root is the differential oracle for the snapshot path):
+
+  $ wsrepro tso-litmus --dpor --snapshots=false > replay.out
+  $ diff dpor.out replay.out
+
+Parallel DPOR keeps the verdict and failure-set contract but not the run
+counts: frontier split nodes enumerate all their children (the unreduced
+sound baseline, which also covers any race against a task's prefix), so
+each subtree's fresh DPOR state gives up the split nodes' share of the
+reduction. Verdict columns are stable:
+
+  $ wsrepro tso-litmus --dpor --jobs 4 | awk '{print $1, $2, $3}' > par.verdicts
+  $ diff dpor.verdicts par.verdicts
+
+DPOR composes with memoization the same way sleep sets do, with one more
+conservatism: a memo hit hides which races the pruned subtree would have
+observed, so the branch falls back to full sibling enumeration there:
+
+  $ wsrepro explore -q ff-the --memo --dpor
+  ff-the: 171 complete runs, 0 truncated, 0 deadlocks, 164 pruned branches, 3494 memo hits (95.3% hit rate), 64 sleep-set skips, peak depth 52
+  no safety violation found
+
+The persistent store (`--memo-file`) makes that cache survive the
+process: a cold run populates one store per litmus test under the given
+directory and commits on completed searches only. The cold run's own
+convergent interleavings already hit the store:
+
+  $ wsrepro tso-litmus --dpor --memo-file stores | tail -n 1
+  memo store stores: 353 lookups, 44 hits (hit rate 0.125)
+
+A warm rerun finds every root state already explored with full budget, so
+each test's whole reduced tree prunes at the first lookup — same
+verdicts, stored failure sets, hit rate 1:
+
+  $ wsrepro tso-litmus --dpor --memo-file stores
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  SB                 allowed   observed           0 runs (exhaustive)  OK
+  SB+fences          forbidden not observed       0 runs (exhaustive)  OK
+  SB+rmw             forbidden not observed       0 runs (exhaustive)  OK
+  MP                 forbidden not observed       0 runs (exhaustive)  OK
+  LB                 forbidden not observed       0 runs (exhaustive)  OK
+  n6                 allowed   observed           0 runs (exhaustive)  OK
+  n5                 forbidden not observed       0 runs (exhaustive)  OK
+  IRIW               forbidden not observed       0 runs (exhaustive)  OK
+  store-forwarding   forbidden not observed       0 runs (exhaustive)  OK
+  rmw-atomic         forbidden not observed       0 runs (exhaustive)  OK
+  memo store stores: 10 lookups, 10 hits (hit rate 1.000)
+
+An entry is only valid for the configuration that wrote it, so the header
+pins the test, bounds and reduction flags, and a mismatch is a clean
+rejection, not a silently wrong proof:
+
+  $ wsrepro tso-litmus --por --memo-file stores
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  stores/SB: memo store was built with por = false; this run uses true
+  [2]
+
+Corruption is rejected the same way — a mangled entry shard and a
+rewritten header are both diagnosed, never silently trusted:
+
+  $ echo 'not a number' > stores/MP/shard-0.dat
+  $ wsrepro tso-litmus --dpor --memo-file stores
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  stores/MP/shard-0.dat: malformed entry not a number
+  [2]
+
+  $ echo '{"schema":"bogus"}' > stores/SB/header.json
+  $ wsrepro tso-litmus --dpor --memo-file stores
+  == Classic x86-TSO litmus tests against the abstract machine ==
+  stores/SB: memo store has schema "bogus"; this build expects "wsrepro-memo/v1"
+  [2]
+
+`wsrepro explore` takes the same flags; its store additionally pins the
+scenario spec and preemption bound, and the warm-hit counters surface in
+the summary line:
+
+  $ wsrepro explore -q ff-the --dpor --memo-file ff.store | tail -n 1
+  no safety violation found
+  $ wsrepro explore -q ff-the --dpor --memo-file ff.store | head -n 1
+  ff-the: 0 complete runs, 0 truncated, 0 deadlocks, 0 pruned branches, 1 memo hits (100.0% hit rate), 0 sleep-set skips, memo store 1/1 warm hits, peak depth 0
+  $ wsrepro explore -q ff-the --dpor --preemptions 2 --memo-file ff.store
+  memo store: ff.store: memo store was built with preemption_bound = 3; this run uses 2
+  [2]

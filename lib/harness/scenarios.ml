@@ -135,13 +135,14 @@ let random_check spec ~seeds ?(drain_weight = 0.1) () =
   in
   go seeds
 
-let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
-    ?(memo = false) ?(por = false) ?(snapshots = true) ?(progress = false) () =
+let explore_check_full spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
+    ?(memo = false) ?(por = false) ?(dpor = false) ?memo_store ?sink
+    ?(snapshots = true) ?(progress = false) () =
   let reporter =
     if progress then Some (Telemetry.Progress.create ~label:"explore" ())
     else None
   in
-  let st =
+  let st, frontier =
     if jobs > 1 then
       let on_progress =
         Option.map
@@ -153,8 +154,9 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
                   p.Explore_par.tasks_total p.Explore_par.domains))
           reporter
       in
-      Explore_par.search ?max_runs ?max_depth ?preemption_bound ~memo ~por
-        ~snapshots ~jobs ?on_progress ~mk:(instance spec) ()
+      Explore_par.search_with_frontier ?max_runs ?max_depth ?preemption_bound
+        ~memo ~por ~dpor ?memo_store ~snapshots ~jobs ?on_progress
+        ~mk:(instance spec) ()
     else
       let on_progress =
         Option.map
@@ -167,8 +169,29 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?(jobs = 1)
                   (100.0 *. Explore.memo_hit_rate s)))
           reporter
       in
-      Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ~por
-        ~snapshots ?on_progress ~mk:(instance spec) ()
+      let st =
+        Explore.search ?max_runs ?max_depth ?preemption_bound ~memo ~por ~dpor
+          ?memo_store ~snapshots ?on_progress ~mk:(instance spec) ()
+      in
+      ( st,
+        {
+          Explore_par.fr_domains = 1;
+          fr_tasks = 1;
+          fr_splits = 0;
+          fr_steals = 0;
+          fr_steal_attempts = 0;
+          fr_runs_per_domain = [| st.Explore.runs |];
+          fr_tasks_per_domain = [| 1 |];
+        } )
   in
   Option.iter (fun rep -> Telemetry.Progress.finish rep) reporter;
-  st
+  (match sink with
+  | None -> ()
+  | Some s -> Explore_par.frontier_to_sink frontier s);
+  (st, frontier)
+
+let explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo ?por
+    ?dpor ?memo_store ?sink ?snapshots ?progress () =
+  fst
+    (explore_check_full spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo
+       ?por ?dpor ?memo_store ?sink ?snapshots ?progress ())

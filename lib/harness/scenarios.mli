@@ -44,6 +44,9 @@ val explore_check :
   ?jobs:int ->
   ?memo:bool ->
   ?por:bool ->
+  ?dpor:bool ->
+  ?memo_store:Tso.Memo_store.t ->
+  ?sink:Telemetry.Sink.t ->
   ?snapshots:bool ->
   ?progress:bool ->
   unit ->
@@ -51,9 +54,30 @@ val explore_check :
 (** Bounded exhaustive exploration of the scenario. [jobs > 1] fans the
     search out across domains ({!Tso.Explore_par}); [memo] enables the
     visited-state cache; [por] enables sleep-set partial-order reduction
-    (same verdicts and failure prefixes, far fewer runs); [snapshots]
-    selects snapshot-based sibling exploration (default) vs
-    replay-from-root. With [progress] a live status line (runs/s, depth
-    frontier, memo hit rate; per-domain subtree balance when parallel) is
-    maintained on stderr. Defaults: [jobs = 1], [memo = false],
-    [por = false], [snapshots = true], [progress = false]. *)
+    (same verdicts and failure prefixes, far fewer runs); [dpor] adds
+    source-DPOR race reversal on top ([dpor] implies [por]); [memo_store]
+    backs the memo cache with a persistent on-disk store; [sink] receives
+    the frontier counters; [snapshots] selects snapshot-based sibling
+    exploration (default) vs replay-from-root. With [progress] a live
+    status line (runs/s, depth frontier, memo hit rate; per-domain subtree
+    balance when parallel) is maintained on stderr. Defaults: [jobs = 1],
+    [memo = false], [por = false], [dpor = false], [snapshots = true],
+    [progress = false]. *)
+
+val explore_check_full :
+  spec ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  ?preemption_bound:int option ->
+  ?jobs:int ->
+  ?memo:bool ->
+  ?por:bool ->
+  ?dpor:bool ->
+  ?memo_store:Tso.Memo_store.t ->
+  ?sink:Telemetry.Sink.t ->
+  ?snapshots:bool ->
+  ?progress:bool ->
+  unit ->
+  Tso.Explore.stats * Tso.Explore_par.frontier_stats
+(** {!explore_check} plus the work-stealing frontier distribution record
+    (trivial single-domain record when [jobs = 1]). *)

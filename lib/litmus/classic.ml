@@ -237,14 +237,34 @@ type result = {
   runs : int;
   exhausted : bool;
   ok : bool;
+  memo_lookups : int;
+  memo_hits : int;
 }
 
 let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) ?(por = false)
-    ?(snapshots = true) test =
+    ?(dpor = false) ?memo_dir ?(snapshots = true) test =
+  let memo_store =
+    match memo_dir with
+    | None -> None
+    | Some dir -> (
+        (* One store per test, under [dir]: every test is its own machine
+           configuration, so each pins its own header. *)
+        let path = Filename.concat dir test.name in
+        match
+          Tso.Memo_store.open_ ~path ~config:("tso-litmus/" ^ test.name)
+            ~max_depth:Explore.default_max_depth ~preemption_bound:None ~por
+            ~dpor ()
+        with
+        | Ok store -> Some store
+        | Error e -> failwith e)
+  in
   let st =
     if jobs > 1 then
-      Explore_par.search ~max_runs ~memo ~por ~snapshots ~jobs ~mk:test.mk ()
-    else Explore.search ~max_runs ~memo ~por ~snapshots ~mk:test.mk ()
+      Explore_par.search ~max_runs ~memo ~por ~dpor ?memo_store ~snapshots
+        ~jobs ~mk:test.mk ()
+    else
+      Explore.search ~max_runs ~memo ~por ~dpor ?memo_store ~snapshots
+        ~mk:test.mk ()
   in
   let observed = st.Explore.failures <> [] in
   let exhausted = st.Explore.runs < max_runs && st.Explore.truncated = 0 in
@@ -253,10 +273,17 @@ let run ?(max_runs = 400_000) ?(jobs = 1) ?(memo = false) ?(por = false)
     | Allowed -> observed
     | Forbidden -> (not observed) && exhausted
   in
-  { test; observed; runs = st.Explore.runs; exhausted; ok }
+  let memo_lookups, memo_hits =
+    match memo_store with
+    | None -> (0, 0)
+    | Some store -> (Tso.Memo_store.lookups store, Tso.Memo_store.hits store)
+  in
+  { test; observed; runs = st.Explore.runs; exhausted; ok; memo_lookups; memo_hits }
 
-let run_all ?max_runs ?jobs ?memo ?por ?snapshots () =
-  List.map (fun t -> run ?max_runs ?jobs ?memo ?por ?snapshots t) all
+let run_all ?max_runs ?jobs ?memo ?por ?dpor ?memo_dir ?snapshots () =
+  List.map
+    (fun t -> run ?max_runs ?jobs ?memo ?por ?dpor ?memo_dir ?snapshots t)
+    all
 
 let pp_result ppf r =
   Format.fprintf ppf "%-18s %-9s %-12s %7d runs%s  %s" r.test.name

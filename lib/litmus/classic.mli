@@ -34,6 +34,11 @@ type result = {
   exhausted : bool;  (** the schedule space was fully explored *)
   ok : bool;  (** observed matches the verdict (for Forbidden outcomes,
                   only meaningful when [exhausted]) *)
+  memo_lookups : int;
+      (** persistent-store lookups (0 unless [memo_dir] was given) *)
+  memo_hits : int;
+      (** persistent-store hits — nonzero on a warm rerun, since the
+          store already holds the whole reduced tree *)
 }
 
 val run :
@@ -41,6 +46,8 @@ val run :
   ?jobs:int ->
   ?memo:bool ->
   ?por:bool ->
+  ?dpor:bool ->
+  ?memo_dir:string ->
   ?snapshots:bool ->
   t ->
   result
@@ -48,15 +55,21 @@ val run :
     the multicore explorer (byte-identical results); [memo] prunes
     converged interleavings, shrinking [runs] without changing [observed];
     [por] applies sleep-set partial-order reduction (same verdicts, far
-    fewer [runs]); [snapshots] selects snapshot-based sibling exploration
-    (default) vs replay-from-root. Defaults: [jobs = 1], [memo = false],
-    [por = false], [snapshots = true]. *)
+    fewer [runs]); [dpor] upgrades to source-DPOR (implies [por], fewer
+    [runs] again); [memo_dir] persists the visited-state cache under
+    [memo_dir/<test name>] across invocations ({!Tso.Memo_store}; raises
+    [Failure] with the store's diagnostic on a header mismatch);
+    [snapshots] selects snapshot-based sibling exploration (default) vs
+    replay-from-root. Defaults: [jobs = 1], [memo = false], [por = false],
+    [dpor = false], [snapshots = true]. *)
 
 val run_all :
   ?max_runs:int ->
   ?jobs:int ->
   ?memo:bool ->
   ?por:bool ->
+  ?dpor:bool ->
+  ?memo_dir:string ->
   ?snapshots:bool ->
   unit ->
   result list

@@ -119,6 +119,224 @@ let tr_hash = function
 let sleep_hash sleep =
   List.fold_left (fun h e -> h lxor tr_hash e.sl_tr) 0 sleep
 
+(* {2 Source-DPOR}
+
+   Dynamic partial-order reduction (Flanagan-Godefroid, with the source-set
+   refinement): instead of enumerating every child of a branch node, start
+   from ONE choice and let the execution itself demand the others. While an
+   event executes, it is checked against the last accesses to the addresses
+   it touches; each such earlier access by a different thread that is not
+   already ordered before it by happens-before is a reversible race, and the
+   reversal is requested by planting a backtrack point at the branch node
+   where the earlier access was chosen. A node therefore only explores the
+   choices some observed race demanded — on programs whose threads touch
+   disjoint data this collapses the tree to a single interleaving.
+
+   The happens-before relation is tracked with per-thread vector clocks over
+   the footprint relation ({!Machine.footprint} / {!Machine.independent}).
+   Footprints already encode the store-buffer split: a [Step] of a store
+   touches no shared address (it only fills the private buffer) while the
+   matching [Drain]/[Flush] carries the write — so a buffered store races
+   with a concurrent load only when its drain does, exactly the TSO-aware
+   independence the reduction needs. A thread and its buffer share one
+   clock index: footprints of the same thread are always dependent
+   (program order / FIFO order), matching [Machine.independent].
+
+   Two sources of internal nondeterminism make this coarser than textbook
+   DPOR over thread ids alone, and both are handled by treating "all
+   choices of a unit at a node" as one schedulable entity: a thread may
+   offer [Step]/[Drain]/[Flush] alternatives at the same node (which of
+   them runs is not resolved by scheduling the thread), so the initial
+   selection and every planted backtrack point take ALL of the unit's
+   choice indices together.
+
+   Composition (the same discipline as sleep sets, DESIGN.md §13):
+   - a subtree cut by the CHESS bound or pruned by a memo hit may hide the
+     race that would have demanded a sibling, so an unclean child degrades
+     its node to full enumeration ([nd_all]) — under a preemption bound or
+     memoization the reduction is best-effort but the bounded verdict is
+     preserved;
+   - sleep sets compose unchanged: a demanded-but-sleeping choice is a
+     commuted copy of an explored one and is skipped with the usual
+     accounting, and explored children enter the running sleep set under
+     the usual clean-subtree rule. *)
+
+type dpor_node = {
+  nd_units : int array;  (** footprint thread of each choice index *)
+  nd_backtrack : bool array;
+  nd_done : bool array;
+  mutable nd_all : bool;
+      (** degraded to full enumeration (bound prune / memo hit below, or no
+          backtrack-set member was available for a demanded reversal) *)
+}
+
+(* Per-address access summary: the last write (its event index and clock)
+   and the reads since it (their indices and joined clock). Records are
+   immutable so backtracking restores by keeping the old record. *)
+type dpor_addr = {
+  a_widx : int;
+  a_wclock : int array;
+  a_reads : int list;
+  a_rclock : int array;
+}
+
+type dpor_undo = {
+  u_proc : int;
+  u_pclock : int array;
+  u_read : (int * dpor_addr) option;
+  u_write : (int * dpor_addr) option;
+}
+
+type dpor = {
+  d_bottom : int array;  (** all -1; shared and never mutated *)
+  d_pclock : int array array;  (** clock of each thread's last event *)
+  d_addrs : (int, dpor_addr) Hashtbl.t;
+  mutable d_units : int array;  (** executing thread of the event at depth *)
+  mutable d_nodes : dpor_node option array;  (** branch node at depth *)
+  mutable d_undo : dpor_undo option array;
+}
+
+let dpor_create ~nthreads =
+  let n = max nthreads 1 in
+  let bottom = Array.make n (-1) in
+  {
+    d_bottom = bottom;
+    d_pclock = Array.make n bottom;
+    d_addrs = Hashtbl.create 64;
+    d_units = [||];
+    d_nodes = [||];
+    d_undo = [||];
+  }
+
+let dpor_depth_room ds depth =
+  let n = Array.length ds.d_units in
+  if depth >= n then begin
+    let m = max (depth + 1) (max 16 (2 * n)) in
+    let units = Array.make m (-1) in
+    Array.blit ds.d_units 0 units 0 n;
+    ds.d_units <- units;
+    let nodes = Array.make m None in
+    Array.blit ds.d_nodes 0 nodes 0 n;
+    ds.d_nodes <- nodes;
+    let undo = Array.make m None in
+    Array.blit ds.d_undo 0 undo 0 n;
+    ds.d_undo <- undo
+  end
+
+let dpor_addr ds a =
+  match Hashtbl.find_opt ds.d_addrs a with
+  | Some e -> e
+  | None ->
+      { a_widx = -1; a_wclock = ds.d_bottom; a_reads = []; a_rclock = ds.d_bottom }
+
+let[@inline] dpor_join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+(* Request the reversal of a race between the event at branch node [i] and
+   the event thread [p] is about to execute ([pc] = p's clock BEFORE it).
+   E is the set of threads with a choice at [i] that either are [p] or ran
+   an event after [i] that happens-before p's event (any of them reaches
+   the race from node [i]); if a member of E is already scheduled there,
+   nothing is needed; else one member's choices are planted (all of its
+   indices — internal nondeterminism); else nothing in the node's choice
+   universe can reach the race and the node degrades to full enumeration. *)
+let dpor_plant ds i ~p ~pc =
+  match ds.d_nodes.(i) with
+  | None -> () (* singleton node: its only choice already runs *)
+  | Some node ->
+      if not node.nd_all then begin
+        let n = Array.length node.nd_units in
+        let in_e q = q = p || pc.(q) > i in
+        let covered = ref false in
+        for j = 0 to n - 1 do
+          if
+            (node.nd_backtrack.(j) || node.nd_done.(j))
+            && in_e node.nd_units.(j)
+          then covered := true
+        done;
+        if not !covered then begin
+          let chosen = ref (-1) in
+          for j = n - 1 downto 0 do
+            let q = node.nd_units.(j) in
+            if q = p || (!chosen < 0 && in_e q) then chosen := q
+          done;
+          if !chosen >= 0 then begin
+            let c = !chosen in
+            Array.iteri
+              (fun j q -> if q = c then node.nd_backtrack.(j) <- true)
+              node.nd_units
+          end
+          else node.nd_all <- true
+        end
+      end
+
+(* Record the event at [depth] with footprint [fp]: detect races against
+   the per-address indices (planting reversals), advance the executing
+   thread's clock, and update the address records — remembering enough to
+   undo on backtrack. Must run on the pre-state footprint, before
+   [Machine.apply]. *)
+let dpor_push ds depth fp =
+  dpor_depth_room ds depth;
+  let p = Machine.footprint_tid fp in
+  let r = Machine.footprint_read fp and w = Machine.footprint_write fp in
+  let pc = ds.d_pclock.(p) in
+  let plant i =
+    if i >= 0 && ds.d_units.(i) <> p && pc.(ds.d_units.(i)) < i then
+      dpor_plant ds i ~p ~pc
+  in
+  let er = if r >= 0 then Some (dpor_addr ds r) else None in
+  let ew = if w >= 0 then Some (dpor_addr ds w) else None in
+  (match er with Some e -> plant e.a_widx | None -> ());
+  (match ew with
+  | Some e ->
+      if w <> r then plant e.a_widx;
+      List.iter plant e.a_reads
+  | None -> ());
+  let c = Array.copy pc in
+  c.(p) <- depth;
+  (match er with Some e -> dpor_join c e.a_wclock | None -> ());
+  (match ew with
+  | Some e ->
+      dpor_join c e.a_wclock;
+      dpor_join c e.a_rclock
+  | None -> ());
+  let u_read =
+    match er with
+    | Some e when r <> w ->
+        let rc = Array.copy e.a_rclock in
+        dpor_join rc c;
+        Hashtbl.replace ds.d_addrs r
+          { e with a_reads = depth :: e.a_reads; a_rclock = rc };
+        Some (r, e)
+    | _ -> None
+  in
+  let u_write =
+    match ew with
+    | Some e ->
+        Hashtbl.replace ds.d_addrs w
+          { a_widx = depth; a_wclock = c; a_reads = []; a_rclock = ds.d_bottom };
+        Some (w, e)
+    | None -> None
+  in
+  ds.d_undo.(depth) <- Some { u_proc = p; u_pclock = pc; u_read; u_write };
+  ds.d_units.(depth) <- p;
+  ds.d_pclock.(p) <- c
+
+let dpor_pop ds depth =
+  match ds.d_undo.(depth) with
+  | None -> ()
+  | Some u ->
+      ds.d_undo.(depth) <- None;
+      ds.d_pclock.(u.u_proc) <- u.u_pclock;
+      (match u.u_read with
+      | Some (a, e) -> Hashtbl.replace ds.d_addrs a e
+      | None -> ());
+      (match u.u_write with
+      | Some (a, e) -> Hashtbl.replace ds.d_addrs a e
+      | None -> ())
+
 (* One enabled-set buffer per search depth, grown on demand: the DFS at
    depth [d] iterates its siblings from buffer [d] while the recursion
    below uses deeper buffers, so no buffer is ever clobbered while live. *)
@@ -261,20 +479,9 @@ let stats_of_acc a =
    across domains. *)
 type memo = { seen : int -> depth_rem:int -> preempt_rem:int -> bool }
 
-let memo_tbl_check tbl fp ~depth_rem ~preempt_rem =
-  let entries = Option.value ~default:[] (Hashtbl.find_opt tbl fp) in
-  if List.exists (fun (d, p) -> d >= depth_rem && p >= preempt_rem) entries
-  then true
-  else begin
-    let entries =
-      (depth_rem, preempt_rem)
-      :: List.filter
-           (fun (d, p) -> not (d <= depth_rem && p <= preempt_rem))
-           entries
-    in
-    Hashtbl.replace tbl fp entries;
-    false
-  end
+(* The frontier rule itself lives in {!Memo_store} so the persistent store
+   and the in-memory table cannot drift. *)
+let memo_tbl_check = Memo_store.tbl_check
 
 let memo_create () =
   let tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
@@ -290,6 +497,8 @@ type ctx = {
   on_run : acc -> unit;  (** called once per completed run; may raise {!Stop} *)
   pool : pool;  (** per-depth enabled-set buffers for the in-place DFS *)
   por : bool;  (** sleep-set partial-order reduction *)
+  dpor : dpor option;
+      (** source-DPOR state; implies [por] (sleep sets stay composed) *)
   use_snapshots : bool;
       (** sibling exploration by snapshot/restore; [false] falls back to
           prefix replay (the differential oracle) *)
@@ -388,11 +597,24 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
            cut is where the run reduction comes from. *)
         sleep_skip ctx m
       else begin
-        let sleep' =
-          if ctx.por && sleep <> [] then
-            sleep_filter sleep (Machine.footprint m tr)
-          else sleep
+        let fp_opt =
+          if ctx.dpor <> None || (ctx.por && sleep <> []) then
+            Some (Machine.footprint m tr)
+          else None
         in
+        let sleep' =
+          match fp_opt with
+          | Some fp when sleep <> [] -> sleep_filter sleep fp
+          | _ -> sleep
+        in
+        (match (ctx.dpor, fp_opt) with
+        | Some ds, Some fp ->
+            (* A forced step still participates in race detection and
+               happens-before; the node itself offers no reversal. *)
+            dpor_depth_room ds depth;
+            ds.d_nodes.(depth) <- None;
+            dpor_push ds depth fp
+        | _ -> ());
         Machine.apply m tr;
         let last_unit =
           (* memory-subsystem transitions do not change whose turn it is *)
@@ -400,7 +622,8 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
         in
         Prefix.push prefix 0 tr;
         extend ctx inst prefix (depth + 1) last_unit preemptions sleep';
-        Prefix.pop prefix
+        Prefix.pop prefix;
+        match ctx.dpor with Some ds -> dpor_pop ds depth | None -> ()
       end
     end
     else begin
@@ -424,15 +647,27 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
         if not ctx.use_snapshots then None
         else begin
           let need = ref false in
-          let i = ref 1 in
-          while (not !need) && !i < n do
-            let tr = Machine.tbuf_get buf !i in
-            if
-              (not (ctx.por && sleep_mem sleep tr))
-              && within (preemption_cost_buf ~last_unit buf tr)
-            then need := true;
-            incr i
-          done;
+          (if ctx.dpor <> None then begin
+             (* Which siblings will be demanded is only known as races are
+                sighted; capture whenever more than one child could run. *)
+             let awake = ref 0 in
+             for i = 0 to n - 1 do
+               if not (sleep_mem sleep (Machine.tbuf_get buf i)) then
+                 incr awake
+             done;
+             need := !awake > 1
+           end
+           else begin
+             let i = ref 1 in
+             while (not !need) && !i < n do
+               let tr = Machine.tbuf_get buf !i in
+               if
+                 (not (ctx.por && sleep_mem sleep tr))
+                 && within (preemption_cost_buf ~last_unit buf tr)
+               then need := true;
+               incr i
+             done
+           end);
           if !need then begin
             let s = spool_get ctx.spool depth in
             Machine.snapshot m s;
@@ -441,55 +676,164 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
           else None
         end
       in
-      (* Child 0 is explored in-place; siblings restore (or replay). As
-         children complete, they enter the running sleep set for their
-         later siblings (subject to the CHESS-bound rule above). *)
-      let sleep_now = ref sleep in
-      for i = 0 to n - 1 do
-        let tr = Machine.tbuf_get buf i in
-        if ctx.por && sleep_mem !sleep_now tr then sleep_skip ctx m
-        else begin
-          let cost = preemption_cost_buf ~last_unit buf tr in
-          if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
-          else begin
-            let child_sleep =
-              if ctx.por then sleep_filter !sleep_now fps.(i) else []
-            in
-            let pruned0 = ctx.acc.pruned and memo0 = ctx.acc.memo_hits in
-            Prefix.push prefix i tr;
-            let inst' =
-              if i = 0 then begin
-                Machine.apply m tr;
-                inst
+      match ctx.dpor with
+      | Some ds ->
+          (* Source-DPOR node: explore one unit's choices, then whatever
+             the races observed below demand. The first explored child
+             advances [m] in place; later demanded children restore. *)
+          dpor_depth_room ds depth;
+          let node =
+            {
+              nd_units = Array.map Machine.footprint_tid fps;
+              nd_backtrack = Array.make n false;
+              nd_done = Array.make n false;
+              nd_all = false;
+            }
+          in
+          ds.d_nodes.(depth) <- Some node;
+          let init = ref (-1) in
+          for i = n - 1 downto 0 do
+            if not (sleep_mem sleep (Machine.tbuf_get buf i)) then init := i
+          done;
+          (if !init < 0 then
+             (* every choice is a commuted copy of an explored execution *)
+             for _ = 1 to n do
+               sleep_skip ctx m
+             done
+           else begin
+             let u0 = node.nd_units.(!init) in
+             Array.iteri
+               (fun j q -> if q = u0 then node.nd_backtrack.(j) <- true)
+               node.nd_units;
+             let sleep_now = ref sleep in
+             let in_place = ref false in
+             let running = ref true in
+             while !running do
+               let next = ref (-1) in
+               let j = ref 0 in
+               while !next < 0 && !j < n do
+                 if
+                   (not node.nd_done.(!j))
+                   && (node.nd_all || node.nd_backtrack.(!j))
+                 then next := !j;
+                 incr j
+               done;
+               if !next < 0 then running := false
+               else begin
+                 let i = !next in
+                 node.nd_done.(i) <- true;
+                 let tr = Machine.tbuf_get buf i in
+                 if sleep_mem !sleep_now tr then sleep_skip ctx m
+                 else begin
+                   let cost = preemption_cost_buf ~last_unit buf tr in
+                   if not (within cost) then begin
+                     ctx.acc.pruned <- ctx.acc.pruned + 1;
+                     (* the bound cut a demanded child; races below it are
+                        unknown, so enumerate as the bounded search does *)
+                     node.nd_all <- true
+                   end
+                   else begin
+                     let child_sleep = sleep_filter !sleep_now fps.(i) in
+                     let pruned0 = ctx.acc.pruned
+                     and memo0 = ctx.acc.memo_hits in
+                     Prefix.push prefix i tr;
+                     dpor_push ds depth fps.(i);
+                     let inst' =
+                       if not !in_place then begin
+                         in_place := true;
+                         Machine.apply m tr;
+                         inst
+                       end
+                       else
+                         match snap with
+                         | Some s ->
+                             let inst' = ctx.mk () in
+                             Machine.restore_into s inst'.machine;
+                             Machine.apply inst'.machine tr;
+                             inst'
+                         | None -> Prefix.replay ~mk:ctx.mk prefix
+                     in
+                     let last_unit' =
+                       match unit_of tr with
+                       | U_memory -> last_unit
+                       | u -> Some u
+                     in
+                     extend ctx inst' prefix (depth + 1) last_unit'
+                       (preemptions + cost) child_sleep;
+                     Prefix.pop prefix;
+                     dpor_pop ds depth;
+                     let clean =
+                       ctx.acc.pruned = pruned0 && ctx.acc.memo_hits = memo0
+                     in
+                     (* sleep insertion follows the usual clean-subtree
+                        rule; unlike sleep sets alone, a memoized subtree
+                        also degrades the node — the cached visit may have
+                        sighted races this path never replays. *)
+                     if
+                       match ctx.preemption_bound with
+                       | None -> true
+                       | Some _ -> clean
+                     then
+                       sleep_now :=
+                         { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now;
+                     if not clean then node.nd_all <- true
+                   end
+                 end
+               end
+             done
+           end);
+          ds.d_nodes.(depth) <- None
+      | None ->
+          (* Child 0 is explored in-place; siblings restore (or replay).
+             As children complete, they enter the running sleep set for
+             their later siblings (subject to the CHESS-bound rule
+             above). *)
+          let sleep_now = ref sleep in
+          for i = 0 to n - 1 do
+            let tr = Machine.tbuf_get buf i in
+            if ctx.por && sleep_mem !sleep_now tr then sleep_skip ctx m
+            else begin
+              let cost = preemption_cost_buf ~last_unit buf tr in
+              if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
+              else begin
+                let child_sleep =
+                  if ctx.por then sleep_filter !sleep_now fps.(i) else []
+                in
+                let pruned0 = ctx.acc.pruned and memo0 = ctx.acc.memo_hits in
+                Prefix.push prefix i tr;
+                let inst' =
+                  if i = 0 then begin
+                    Machine.apply m tr;
+                    inst
+                  end
+                  else
+                    match snap with
+                    | Some s ->
+                        let inst' = ctx.mk () in
+                        Machine.restore_into s inst'.machine;
+                        Machine.apply inst'.machine tr;
+                        inst'
+                    | None -> Prefix.replay ~mk:ctx.mk prefix
+                in
+                let last_unit' =
+                  match unit_of tr with U_memory -> last_unit | u -> Some u
+                in
+                extend ctx inst' prefix (depth + 1) last_unit'
+                  (preemptions + cost) child_sleep;
+                Prefix.pop prefix;
+                if ctx.por then begin
+                  let clean =
+                    match ctx.preemption_bound with
+                    | None -> true
+                    | Some _ ->
+                        ctx.acc.pruned = pruned0 && ctx.acc.memo_hits = memo0
+                  in
+                  if clean then
+                    sleep_now := { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now
+                end
               end
-              else
-                match snap with
-                | Some s ->
-                    let inst' = ctx.mk () in
-                    Machine.restore_into s inst'.machine;
-                    Machine.apply inst'.machine tr;
-                    inst'
-                | None -> Prefix.replay ~mk:ctx.mk prefix
-            in
-            let last_unit' =
-              match unit_of tr with U_memory -> last_unit | u -> Some u
-            in
-            extend ctx inst' prefix (depth + 1) last_unit' (preemptions + cost)
-              child_sleep;
-            Prefix.pop prefix;
-            if ctx.por then begin
-              let clean =
-                match ctx.preemption_bound with
-                | None -> true
-                | Some _ ->
-                    ctx.acc.pruned = pruned0 && ctx.acc.memo_hits = memo0
-              in
-              if clean then
-                sleep_now := { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now
             end
-          end
-        end
-      done
+          done
     end
   end
 
@@ -501,19 +845,35 @@ let recording_mk mk () =
   Machine.set_record_responses inst.machine true;
   inst
 
-let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ?(por = false) ?(snapshots = true)
-    ?on_progress ?(progress_every = 4096) ~mk () =
+let default_max_depth = 400
+
+let search ?(max_depth = default_max_depth) ?(max_runs = 200_000)
+    ?(preemption_bound = None) ?(max_failures = 5) ?(memo = false)
+    ?(por = false) ?(dpor = false) ?memo_store ?(snapshots = true) ?on_progress
+    ?(progress_every = 4096) ~mk () =
+  let por = por || dpor in
   let mk = if snapshots then recording_mk mk else mk in
   let acc = make_acc () in
   let progress_every = max 1 progress_every in
+  let memo_impl =
+    match memo_store with
+    | Some store ->
+        Some
+          {
+            seen =
+              (fun fp ~depth_rem ~preempt_rem ->
+                Memo_store.seen store fp ~depth_rem ~preempt_rem);
+          }
+    | None -> if memo then Some (memo_create ()) else None
+  in
+  let root = mk () in
   let ctx =
     {
       mk;
       max_depth;
       preemption_bound;
       max_failures;
-      memo = (if memo then Some (memo_create ()) else None);
+      memo = memo_impl;
       acc;
       on_run =
         (fun a ->
@@ -524,12 +884,37 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
           if a.runs >= max_runs then raise Stop);
       pool = pool_create ();
       por;
+      dpor =
+        (if dpor then
+           Some (dpor_create ~nthreads:(Machine.thread_count root.machine))
+         else None);
       use_snapshots = snapshots;
       spool = spool_create ();
     }
   in
-  (try extend ctx (mk ()) (Prefix.create ()) 0 None 0 [] with Stop -> ());
-  stats_of_acc acc
+  let completed =
+    try
+      extend ctx root (Prefix.create ()) 0 None 0 [];
+      true
+    with Stop -> false
+  in
+  let st = stats_of_acc acc in
+  match memo_store with
+  | None -> st
+  | Some store ->
+      (* Warm runs may sight nothing live (everything memoized): the
+         stored failure set keeps the verdict; only completed searches
+         are merged back (a partial failure set is not the
+         configuration's). *)
+      let failures =
+        Memo_store.merge_failures store ~max_failures st.failures
+      in
+      if completed then begin
+        match Memo_store.commit store ~failures with
+        | Ok () -> ()
+        | Error e -> failwith ("memo store commit failed: " ^ e)
+      end;
+      { st with failures }
 
 let next_choices = choices
 
@@ -605,6 +990,10 @@ module Internal = struct
   let sleep_filter = sleep_filter
   let sleep_hash = sleep_hash
 
+  type nonrec dpor = dpor
+
+  let dpor_create = dpor_create
+
   type nonrec ctx = ctx = {
     mk : unit -> instance;
     max_depth : int;
@@ -615,6 +1004,7 @@ module Internal = struct
     on_run : acc -> unit;
     pool : pool;
     por : bool;
+    dpor : dpor option;
     use_snapshots : bool;
     spool : spool;
   }

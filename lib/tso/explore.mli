@@ -35,6 +35,28 @@
     recorded failure prefixes are preserved; [runs] typically drops by
     5–100×.
 
+    With [dpor = true] the search upgrades to {e source dynamic
+    partial-order reduction} (Flanagan–Godefroid with source sets), layered
+    on the same footprint relation: a branch node initially explores just
+    one unit's choices, and further siblings are only explored when an
+    actual race observed below — two dependent accesses by different
+    threads not ordered by happens-before — demands their reversal via a
+    planted backtrack point. Store-buffer awareness comes for free from
+    footprints: a buffered store's [Step] touches no shared address, so it
+    races with a concurrent load only where its [Drain]/[Flush] does.
+    Sleep sets stay composed ([dpor] implies [por]); under a CHESS bound
+    or on a memo hit, a node whose child subtree was cut degrades to full
+    enumeration, keeping bounded verdicts exact (DESIGN.md §13). Verdicts
+    and failure sets match [por]'s; [runs] drops further wherever threads
+    touch disjoint data.
+
+    With [memo_store] (a {!Memo_store.t}) the visited-state cache is
+    additionally backed by an on-disk store that persists across runs:
+    states explored by earlier searches of the same configuration are
+    pruned immediately, and novel states (plus the merged failure set) are
+    committed back when the search completes. A fully-warm search does no
+    re-exploration and still reports the stored failures.
+
     By default ([snapshots = true]) sibling subtrees are started by
     restoring a {!Machine.snapshot} of the branch node onto a fresh
     instance — O(state) — instead of replaying the whole prefix from the
@@ -90,6 +112,10 @@ val memo_hit_rate : stats -> float
 (** Fraction of visited nodes pruned by the visited-state cache:
     [memo_hits / (runs + memo_hits)], 0 when nothing was explored. *)
 
+val default_max_depth : int
+(** The [max_depth] {!search} uses when none is given (400) — exported so
+    memo-store headers built by callers pin the same value. *)
+
 val search :
   ?max_depth:int ->
   ?max_runs:int ->
@@ -97,6 +123,8 @@ val search :
   ?max_failures:int ->
   ?memo:bool ->
   ?por:bool ->
+  ?dpor:bool ->
+  ?memo_store:Memo_store.t ->
   ?snapshots:bool ->
   ?on_progress:(stats -> unit) ->
   ?progress_every:int ->
@@ -106,8 +134,15 @@ val search :
 (** Defaults: [max_depth = 400], [max_runs = 200_000],
     [preemption_bound = None] (unbounded), [max_failures = 5],
     [memo = false], [por = false] (sleep-set partial-order reduction),
+    [dpor = false] (source-DPOR; implies [por]), [memo_store = None]
+    (persistent visited-state store; implies memoization),
     [snapshots = true] (snapshot-based sibling exploration; [false] uses
     replay-from-root, the differential oracle).
+
+    With [memo_store], the store is committed (novel entries appended,
+    failure set merged) only if the search ran to completion — a
+    [max_runs]-interrupted search never poisons the store's failure set.
+    @raise Failure if that commit fails at the filesystem level.
 
     [on_progress], if given, receives a snapshot of the running statistics
     every [progress_every] completed runs (default 4096) — the hook for
@@ -219,6 +254,12 @@ module Internal : sig
   val sleep_hash : sleep_entry list -> int
   (** Order-independent, for the memoization key. *)
 
+  type dpor
+  (** Per-search source-DPOR state: vector clocks, per-address access
+      records, and the stack of branch nodes with their backtrack sets. *)
+
+  val dpor_create : nthreads:int -> dpor
+
   type ctx = {
     mk : unit -> instance;
     max_depth : int;
@@ -229,6 +270,7 @@ module Internal : sig
     on_run : acc -> unit;
     pool : pool;
     por : bool;
+    dpor : dpor option;
     use_snapshots : bool;
     spool : spool;
   }

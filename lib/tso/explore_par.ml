@@ -11,10 +11,10 @@ type task = {
   sleep : sleep_entry list;
 }
 
-(* The frontier is an ordered list of items in lexicographic (= sequential
-   DFS) order: outcomes already decided during expansion, and subtrees still
-   to explore. Keeping the order is what makes the merged result
-   byte-identical to the sequential search. *)
+(* The immediate outcomes of expanding a task by one branching level, in
+   lexicographic (= sequential DFS) order: outcomes already decided during
+   expansion, and subtrees still to explore. Keeping the order is what
+   makes the merged result byte-identical to the sequential search. *)
 type item = Settled of acc | Subtree of task
 
 type cfg = {
@@ -25,10 +25,11 @@ type cfg = {
   memo : memo option;
   on_run : acc -> unit;
   por : bool;
+  dpor : bool;
   snapshots : bool;
 }
 
-let make_ctx cfg acc =
+let make_ctx cfg acc inst =
   {
     mk = cfg.mk;
     max_depth = cfg.max_depth;
@@ -39,6 +40,16 @@ let make_ctx cfg acc =
     on_run = cfg.on_run;
     pool = pool_create ();
     por = cfg.por;
+    dpor =
+      (* Each task gets fresh DPOR state: races between a task's subtree
+         and its prefix need no tracking because every frontier split node
+         enumerates all of its children (the unreduced sound baseline), so
+         the reversals those races would demand are explored anyway. *)
+      (if cfg.dpor then
+         Some
+           (dpor_create
+              ~nthreads:(Machine.thread_count inst.Explore.machine))
+       else None);
     use_snapshots = cfg.snapshots;
     spool = spool_create ();
   }
@@ -88,8 +99,9 @@ let expand cfg task =
   let terminal depth last_unit sleep =
     let acc = make_acc () in
     (try
-       extend (make_ctx cfg acc) inst prefix depth last_unit task.preemptions
-         sleep
+       extend
+         (make_ctx cfg acc inst)
+         inst prefix depth last_unit task.preemptions sleep
      with Explore.Stop -> ());
     [ Settled acc ]
   in
@@ -175,7 +187,9 @@ let expand cfg task =
                    depends on the subtree's outcome, unknown here, so
                    nothing is inserted at frontier branch nodes: verdicts
                    are unaffected, but [runs]/[sleep_skips] can exceed the
-                   sequential POR search's. *)
+                   sequential POR search's. (With [dpor] the split node is
+                   the unreduced baseline either way: all children are
+                   kept, and the reduction happens inside each subtree.) *)
                 if cfg.por && cfg.preemption_bound = None then
                   sleep_now := { sl_tr = tr; sl_fp = fps.(i) } :: !sleep_now
               end
@@ -187,57 +201,13 @@ let expand cfg task =
   in
   walk task.depth task.last_unit task.sleep
 
-(* Grow the frontier until it holds enough subtrees to feed every domain,
-   replacing each subtree by its children in place (which preserves
-   lexicographic order). The task count is carried incrementally across
-   rounds — each expansion adjusts it by (children - 1) — and a round stops
-   scanning as soon as the running count reaches [target], leaving the rest
-   of the frontier untouched (the former version re-counted the whole list
-   with a fold every round and always rebuilt it end to end). *)
-let build_frontier cfg ~target =
-  let count_tasks items =
-    List.fold_left
-      (fun n -> function Subtree _ -> n + 1 | Settled _ -> n)
-      0 items
-  in
-  let rec grow items n_tasks rounds =
-    if n_tasks = 0 || n_tasks >= target || rounds >= 64 then items
-    else begin
-      let count = ref n_tasks in
-      let rec step = function
-        | [] -> []
-        | (Settled _ as s) :: rest -> s :: step rest
-        | (Subtree t as st) :: rest ->
-            if !count >= target then st :: rest
-            else begin
-              let children = expand cfg t in
-              count := !count - 1 + count_tasks children;
-              children @ step rest
-            end
-      in
-      let items = step items in
-      grow items !count (rounds + 1)
-    end
-  in
-  grow
-    [
-      Subtree
-        {
-          prefix = Prefix.create ();
-          depth = 0;
-          last_unit = None;
-          preemptions = 0;
-          sleep = [];
-        };
-    ]
-    1 0
-
 let run_task cfg task =
   let acc = make_acc () in
   (try
      let inst = Prefix.replay ~mk:cfg.mk task.prefix in
-     extend (make_ctx cfg acc) inst task.prefix task.depth task.last_unit
-       task.preemptions task.sleep
+     extend
+       (make_ctx cfg acc inst)
+       inst task.prefix task.depth task.last_unit task.preemptions task.sleep
    with Explore.Stop -> ());
   acc
 
@@ -278,31 +248,85 @@ type progress = {
   domains : int;
 }
 
-let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
-    ?(max_failures = 5) ?(memo = false) ?(por = false) ?(snapshots = true)
-    ?jobs ?on_progress ?(progress_every = 4096) ~mk () =
+type frontier_stats = {
+  fr_domains : int;
+  fr_tasks : int;
+  fr_splits : int;
+  fr_steals : int;
+  fr_steal_attempts : int;
+  fr_runs_per_domain : int array;
+  fr_tasks_per_domain : int array;
+}
+
+let sequential_frontier_stats runs =
+  {
+    fr_domains = 1;
+    fr_tasks = 1;
+    fr_splits = 0;
+    fr_steals = 0;
+    fr_steal_attempts = 0;
+    fr_runs_per_domain = [| runs |];
+    fr_tasks_per_domain = [| 1 |];
+  }
+
+(* The dynamic frontier is a tree of tasks. A node with split budget left
+   is expanded by one branching level and its subtree children become new
+   nodes (budget - 1); a node without budget is explored in place by the
+   sequential core. The tree records every outcome at the position the
+   sequential DFS would visit it, so the merge — a lexicographic walk of
+   the tree — is independent of which domain ran what in which order:
+   the byte-identical contracts carry over from the static frontier. *)
+type tnode = {
+  t_task : task;
+  t_budget : int;
+  mutable t_items : titem list;  (** set once, by the processing domain *)
+  mutable t_acc : acc option;  (** set once, if explored as a leaf *)
+}
+
+and titem = T_settled of acc | T_child of tnode
+
+(* ceil(log2 (4 * jobs)) branch levels of splitting gives at least 4
+   subtrees per domain under any branching >= 2 — enough slack for the
+   deques to balance uneven subtree sizes. *)
+let split_budget jobs =
+  let target = 4 * jobs in
+  let rec go b c = if c >= target then b else go (b + 1) (2 * c) in
+  go 0 1
+
+let search_with_frontier ?(max_depth = Explore.default_max_depth)
+    ?(max_runs = 200_000) ?(preemption_bound = None) ?(max_failures = 5)
+    ?(memo = false) ?(por = false) ?(dpor = false) ?memo_store
+    ?(snapshots = true) ?jobs ?on_progress ?(progress_every = 4096) ~mk () =
   let jobs =
-    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
   in
-  if jobs = 1 then
-    Explore.search ~max_depth ~max_runs ~preemption_bound ~max_failures ~memo
-      ~por ~snapshots
-      ?on_progress:
-        (Option.map
-           (fun f (s : Explore.stats) ->
-             f
-               {
-                 tasks_done = 0;
-                 tasks_total = 1;
-                 total_runs = s.Explore.runs;
-                 domains = 1;
-               })
-           on_progress)
-      ~progress_every ~mk ()
+  if jobs = 1 then begin
+    let st =
+      Explore.search ~max_depth ~max_runs ~preemption_bound ~max_failures
+        ~memo ~por ~dpor ?memo_store ~snapshots
+        ?on_progress:
+          (Option.map
+             (fun f (s : Explore.stats) ->
+               f
+                 {
+                   tasks_done = 0;
+                   tasks_total = 1;
+                   total_runs = s.Explore.runs;
+                   domains = 1;
+                 })
+             on_progress)
+        ~progress_every ~mk ()
+    in
+    (st, sequential_frontier_stats st.Explore.runs)
+  end
   else begin
+    let por = por || dpor in
     let total_runs = Atomic.make 0 in
     let tasks_done = Atomic.make 0 in
-    let tasks_total = ref 0 in
+    let tasks_total = Atomic.make 1 in
+    let stopped = Atomic.make false in
     let progress_every = max 1 progress_every in
     (* Progress is observed only from the initial domain (the one that
        called [search]): the reporter callback is not required to be
@@ -319,12 +343,26 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
           f
             {
               tasks_done = Atomic.get tasks_done;
-              tasks_total = !tasks_total;
+              tasks_total = Atomic.get tasks_total;
               total_runs = total;
               domains = jobs;
             }
       | _ -> ());
-      if total >= max_runs then raise Explore.Stop
+      if total >= max_runs then begin
+        Atomic.set stopped true;
+        raise Explore.Stop
+      end
+    in
+    let memo_impl =
+      match memo_store with
+      | Some store ->
+          Some
+            {
+              seen =
+                (fun fp ~depth_rem ~preempt_rem ->
+                  Memo_store.seen store fp ~depth_rem ~preempt_rem);
+            }
+      | None -> if memo then Some (shared_memo ()) else None
     in
     let cfg =
       {
@@ -332,53 +370,177 @@ let search ?(max_depth = 400) ?(max_runs = 200_000) ?(preemption_bound = None)
         max_depth;
         preemption_bound;
         max_failures;
-        memo = (if memo then Some (shared_memo ()) else None);
+        memo = memo_impl;
         on_run;
         por;
+        dpor;
         snapshots;
       }
     in
-    let items = build_frontier cfg ~target:(4 * jobs) in
-    let tasks =
-      Array.of_list
-        (List.filter_map
-           (function Subtree t -> Some t | Settled _ -> None)
-           items)
+    let root =
+      {
+        t_task =
+          {
+            prefix = Prefix.create ();
+            depth = 0;
+            last_unit = None;
+            preemptions = 0;
+            sleep = [];
+          };
+        t_budget = split_budget jobs;
+        t_items = [];
+        t_acc = None;
+      }
     in
-    let results = Array.make (Array.length tasks) None in
-    tasks_total := Array.length tasks;
-    (* The shared work queue: domains claim the next unclaimed subtree until
-       none remain — the checker work-steals, like the queues it checks. *)
-    let next = Atomic.make 0 in
-    let worker () =
+    (* One work-stealing deque per domain (the repo's own Chase–Lev): each
+       owner pushes the children it creates and pops LIFO; an idle domain
+       steals FIFO from the others round-robin. [outstanding] counts nodes
+       created but not fully processed — children are added before their
+       parent is retired, so it only reaches 0 when the whole tree is
+       done. *)
+    let deques =
+      Array.init jobs (fun _ -> Ws_native.Chase_lev.create ())
+    in
+    let outstanding = Atomic.make 1 in
+    let steals = Array.make jobs 0 in
+    let steal_attempts = Array.make jobs 0 in
+    let splits = Array.make jobs 0 in
+    let runs_d = Array.make jobs 0 in
+    let tasks_d = Array.make jobs 0 in
+    Ws_native.Chase_lev.push deques.(0) root;
+    let process k node =
+      tasks_d.(k) <- tasks_d.(k) + 1;
+      if node.t_budget > 0 then begin
+        splits.(k) <- splits.(k) + 1;
+        let titems =
+          List.map
+            (function
+              | Settled a ->
+                  runs_d.(k) <- runs_d.(k) + a.runs;
+                  T_settled a
+              | Subtree t ->
+                  T_child
+                    {
+                      t_task = t;
+                      t_budget = node.t_budget - 1;
+                      t_items = [];
+                      t_acc = None;
+                    })
+            (expand cfg node.t_task)
+        in
+        node.t_items <- titems;
+        let children =
+          List.filter_map
+            (function T_child c -> Some c | T_settled _ -> None)
+            titems
+        in
+        (match children with
+        | [] -> ()
+        | _ ->
+            let nc = List.length children in
+            ignore (Atomic.fetch_and_add outstanding nc);
+            ignore (Atomic.fetch_and_add tasks_total nc);
+            List.iter (fun c -> Ws_native.Chase_lev.push deques.(k) c) children)
+      end
+      else begin
+        let a = run_task cfg node.t_task in
+        runs_d.(k) <- runs_d.(k) + a.runs;
+        node.t_acc <- Some a
+      end;
+      Atomic.incr tasks_done
+    in
+    let worker k =
+      let grab () =
+        match Ws_native.Chase_lev.pop deques.(k) with
+        | Some _ as r -> r
+        | None ->
+            let rec from d =
+              if d >= jobs then None
+              else begin
+                let v = (k + d) mod jobs in
+                steal_attempts.(k) <- steal_attempts.(k) + 1;
+                match Ws_native.Chase_lev.steal_retry deques.(v) with
+                | Some _ as r ->
+                    steals.(k) <- steals.(k) + 1;
+                    r
+                | None -> from (d + 1)
+              end
+            in
+            from 1
+      in
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length tasks then begin
-          results.(i) <- Some (run_task cfg tasks.(i));
-          Atomic.incr tasks_done;
+        if Atomic.get outstanding > 0 then begin
+          (match grab () with
+          | Some node ->
+              process k node;
+              (* After [process]: any children are already counted, so the
+                 counter cannot dip to 0 with work still pending. *)
+              Atomic.decr outstanding
+          | None -> Domain.cpu_relax ());
           loop ()
         end
       in
       loop ()
     in
     let domains =
-      List.init (min (jobs - 1) (Array.length tasks)) (fun _ ->
-          Domain.spawn worker)
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
     in
-    worker ();
+    worker 0;
     List.iter Domain.join domains;
-    (* Deterministic merge: walk the frontier in lexicographic order,
-       substituting each subtree's explored result. *)
-    let ordinal = ref 0 in
-    let accs =
-      List.map
-        (function
-          | Settled a -> a
-          | Subtree _ ->
-              let a = Option.get results.(!ordinal) in
-              incr ordinal;
-              a)
-        items
+    (* Deterministic merge: a lexicographic walk of the task tree yields
+       every accumulator in sequential DFS order, whatever the domain
+       schedule was. *)
+    let rec collect node =
+      match node.t_acc with
+      | Some a -> [ a ]
+      | None ->
+          List.concat_map
+            (function T_settled a -> [ a ] | T_child c -> collect c)
+            node.t_items
     in
-    stats_of_acc (merge ~max_failures accs)
+    let st = stats_of_acc (merge ~max_failures (collect root)) in
+    let st =
+      match memo_store with
+      | None -> st
+      | Some store ->
+          let failures =
+            Memo_store.merge_failures store ~max_failures st.Explore.failures
+          in
+          if not (Atomic.get stopped) then begin
+            match Memo_store.commit store ~failures with
+            | Ok () -> ()
+            | Error e -> failwith ("memo store commit failed: " ^ e)
+          end;
+          { st with Explore.failures }
+    in
+    let sum = Array.fold_left ( + ) 0 in
+    ( st,
+      {
+        fr_domains = jobs;
+        fr_tasks = sum tasks_d;
+        fr_splits = sum splits;
+        fr_steals = sum steals;
+        fr_steal_attempts = sum steal_attempts;
+        fr_runs_per_domain = runs_d;
+        fr_tasks_per_domain = tasks_d;
+      } )
   end
+
+let frontier_to_sink fr (sink : Telemetry.Sink.t) =
+  sink.Telemetry.Sink.frontier_tasks <-
+    sink.Telemetry.Sink.frontier_tasks + fr.fr_tasks;
+  sink.Telemetry.Sink.frontier_steals <-
+    sink.Telemetry.Sink.frontier_steals + fr.fr_steals;
+  sink.Telemetry.Sink.frontier_steal_attempts <-
+    sink.Telemetry.Sink.frontier_steal_attempts + fr.fr_steal_attempts
+
+let search ?max_depth ?max_runs ?preemption_bound ?max_failures ?memo ?por
+    ?dpor ?memo_store ?snapshots ?jobs ?sink ?on_progress ?progress_every ~mk
+    () =
+  let st, fr =
+    search_with_frontier ?max_depth ?max_runs ?preemption_bound ?max_failures
+      ?memo ?por ?dpor ?memo_store ?snapshots ?jobs ?on_progress
+      ?progress_every ~mk ()
+  in
+  (match sink with None -> () | Some s -> frontier_to_sink fr s);
+  st

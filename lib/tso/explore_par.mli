@@ -1,26 +1,26 @@
 (** Multicore bounded model checking: {!Explore.search} fanned out across
-    OCaml 5 [Domain]s.
+    OCaml 5 [Domain]s over a work-stealing frontier.
 
-    The top-level choice frontier is expanded breadth-first (in lexicographic
-    order, walking forced steps in place) until it holds roughly [4 * jobs]
-    independent subtrees; the subtrees then form a shared work queue that
-    domains claim with an atomic cursor — the checker itself work-steals,
-    like the queues it checks. Each claimed subtree is explored with the
-    {e same} sequential core as {!Explore.search} ([Explore.Internal]), and
-    per-domain results are merged back in frontier order, so with the run
-    budget not binding the merged statistics and failure traces are
-    byte-identical to a sequential search. When the run budget does bind,
-    the parallel search may explore slightly more than the sequential one
-    before stopping (the budget is shared through an atomic counter); the
-    merge reports {e everything} that was explored — counters and recorded
-    failures from every subtree, so [runs] may slightly exceed [max_runs].
-    (Earlier versions dropped whole per-domain accumulators once the budget
-    was reached, losing their statistics and failures.) Merged failures
-    keep {!Explore.stats.failures}'s orientation contract: the list is in
-    sighting order and every choice sequence is root-first — each subtree's
-    frontier prefix is prepended before the merge — so
-    {!Explore.failures_in_replay_order} and the forensics shrinker consume
-    parallel results unchanged.
+    The choice tree is split into a dynamic frontier of subtree tasks,
+    scheduled by one of the repository's own Chase–Lev deques per domain
+    (the checker work-steals, like the queues it checks): a claimed task
+    with split budget left is expanded by one branching level (walking
+    forced steps in place) and its children are pushed on the expanding
+    domain's deque; idle domains steal round-robin. The root carries
+    [ceil(log2 (4 * jobs))] levels of split budget, so the tree fans out
+    to at least ~4 subtrees per domain before leaves are explored with the
+    {e same} sequential core as {!Explore.search} ([Explore.Internal]).
+
+    Determinism: every outcome is recorded at its position in the task
+    tree, and the merge is a lexicographic walk of that tree — independent
+    of which domain ran what in which order. With the run budget not
+    binding, merged statistics and failure traces are byte-identical to a
+    sequential search. When the budget does bind, the parallel search may
+    explore slightly more than the sequential one before stopping (the
+    budget is shared through an atomic counter); the merge reports
+    {e everything} that was explored, so [runs] may slightly exceed
+    [max_runs]. Merged failures keep {!Explore.stats.failures}'s
+    orientation contract (sighting order, root-first choice sequences).
 
     Memoization ([memo = true]) uses a single visited-state cache shared by
     all domains (sharded by fingerprint hash, one mutex per shard), so
@@ -29,6 +29,9 @@
     — whichever domain reaches a state first records it — so memoized
     parallel statistics are {e not} byte-identical to the sequential
     memoized search (non-memoized parallel search remains deterministic).
+    [memo_store] behaves like {!Explore.search}'s: lookups are safe from
+    every domain, and the store commits once, after the merge, only if the
+    search ran to completion.
 
     Sleep-set POR ([por = true]) travels with the frontier: each subtree
     task carries the sleep set it inherited, and frontier expansion applies
@@ -40,17 +43,36 @@
     its branch nodes: verdicts are identical, but [runs]/[sleep_skips] may
     exceed the sequential POR search's.
 
+    Source-DPOR ([dpor = true]) runs inside each subtree task with fresh
+    per-task race-tracking state; frontier split nodes enumerate {e all}
+    their children (the unreduced sound baseline), which also covers every
+    reversal a race between a task's subtree and its prefix could demand.
+    Verdicts and failure sets match the sequential [dpor] search; [runs]
+    may exceed it (the split nodes give up their share of the reduction).
+
     Snapshot-based sibling exploration ([snapshots], default [true]) works
     unchanged inside each domain: every frontier task replays its prefix
     once and the search below it restores siblings from per-depth snapshot
     scratch. *)
 
 type progress = {
-  tasks_done : int;  (** frontier subtrees fully explored *)
-  tasks_total : int;  (** frontier subtrees in the shared work queue *)
+  tasks_done : int;  (** frontier tasks fully processed (splits + leaves) *)
+  tasks_total : int;  (** frontier tasks created so far (grows dynamically) *)
   total_runs : int;  (** completed runs across all domains *)
   domains : int;  (** worker domains in use *)
 }
+
+type frontier_stats = {
+  fr_domains : int;
+  fr_tasks : int;  (** tasks processed (splits + leaves) *)
+  fr_splits : int;  (** tasks expanded rather than explored *)
+  fr_steals : int;  (** successful steals across all domains *)
+  fr_steal_attempts : int;  (** steal probes, successful or not *)
+  fr_runs_per_domain : int array;  (** completed runs per domain *)
+  fr_tasks_per_domain : int array;  (** tasks processed per domain *)
+}
+(** How the work-stealing frontier distributed the search. For [jobs = 1]
+    (or the sequential fallback) this is the trivial single-domain record. *)
 
 val search :
   ?max_depth:int ->
@@ -59,8 +81,11 @@ val search :
   ?max_failures:int ->
   ?memo:bool ->
   ?por:bool ->
+  ?dpor:bool ->
+  ?memo_store:Memo_store.t ->
   ?snapshots:bool ->
   ?jobs:int ->
+  ?sink:Telemetry.Sink.t ->
   ?on_progress:(progress -> unit) ->
   ?progress_every:int ->
   mk:(unit -> Explore.instance) ->
@@ -70,9 +95,34 @@ val search :
     [Domain.recommended_domain_count ()]; [jobs = 1] falls back to the
     sequential search. [mk] must be safe to call from multiple domains
     (each call builds a fresh, unshared instance — true of every instance
-    builder in this repository).
+    builder in this repository). [sink], if given, receives the frontier
+    counters ([frontier_tasks]/[frontier_steals]/[frontier_steal_attempts])
+    once the search completes.
 
     [on_progress] is invoked only on the domain that called [search] (the
     callback need not be thread-safe), roughly every [progress_every]
     (default 4096) globally completed runs; the snapshot's counters are
     read from shared atomics so they cover all domains' work. *)
+
+val frontier_to_sink : frontier_stats -> Telemetry.Sink.t -> unit
+(** Add the frontier counters ([frontier_tasks], [frontier_steals],
+    [frontier_steal_attempts]) into a telemetry sink. *)
+
+val search_with_frontier :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int option ->
+  ?max_failures:int ->
+  ?memo:bool ->
+  ?por:bool ->
+  ?dpor:bool ->
+  ?memo_store:Memo_store.t ->
+  ?snapshots:bool ->
+  ?jobs:int ->
+  ?on_progress:(progress -> unit) ->
+  ?progress_every:int ->
+  mk:(unit -> Explore.instance) ->
+  unit ->
+  Explore.stats * frontier_stats
+(** {!search} plus the frontier distribution record, for callers that
+    report work-stealing behaviour ([--metrics], the benchmark suite). *)

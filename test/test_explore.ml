@@ -258,6 +258,241 @@ let test_snapshot_replay_oracle () =
   Alcotest.check stats "scenario: snapshots equal replay under memo+POR"
     (go false) (go true)
 
+(* --- source-DPOR -------------------------------------------------------- *)
+
+let test_dpor_classic_differential () =
+  (* DPOR must preserve every verdict (and replayable failure prefixes)
+     while never exploring more runs than the unreduced search, and in
+     aggregate no more than sleep sets alone; snapshot-based sibling
+     exploration must stay byte-identical to replay-from-root under it *)
+  let total_por = ref 0 and total_dpor = ref 0 in
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let plain = Explore.search ~max_runs ~mk:t.mk () in
+      let por = Explore.search ~max_runs ~por:true ~mk:t.mk () in
+      let dpor = Explore.search ~max_runs ~dpor:true ~mk:t.mk () in
+      checkb (t.name ^ ": verdict unchanged")
+        (plain.Explore.failures <> [])
+        (dpor.Explore.failures <> []);
+      checkb (t.name ^ ": DPOR never explores more") true
+        (dpor.Explore.runs <= plain.Explore.runs);
+      checkb (t.name ^ ": DPOR still exhausts") true
+        (dpor.Explore.truncated = 0);
+      total_por := !total_por + por.Explore.runs;
+      total_dpor := !total_dpor + dpor.Explore.runs;
+      List.iter
+        (fun (choices, _) ->
+          match Explore.replay_choices ~mk:t.mk choices with
+          | Error _ -> ()
+          | Ok () ->
+              Alcotest.failf "%s: DPOR failure prefix did not replay" t.name)
+        dpor.Explore.failures;
+      let replay =
+        Explore.search ~max_runs ~dpor:true ~snapshots:false ~mk:t.mk ()
+      in
+      Alcotest.check stats (t.name ^ ": DPOR snapshots equal replay") replay
+        dpor)
+    Ws_litmus.Classic.all;
+  checkb "DPOR does not fall behind sleep sets across the suite" true
+    (!total_dpor <= !total_por)
+
+let test_dpor_parallel_verdicts () =
+  (* frontier split nodes enumerate all children (they give up their share
+     of the reduction), so only the verdict/failure contract carries over *)
+  List.iter
+    (fun (t : Ws_litmus.Classic.t) ->
+      let seq = Explore.search ~max_runs ~dpor:true ~mk:t.mk () in
+      let par = Explore_par.search ~max_runs ~dpor:true ~jobs:4 ~mk:t.mk () in
+      checkb (t.name ^ ": DPOR jobs=4 verdict agrees")
+        (seq.Explore.failures <> [])
+        (par.Explore.failures <> []);
+      checkb (t.name ^ ": DPOR jobs=4 still exhausts") true
+        (par.Explore.truncated = 0))
+    Ws_litmus.Classic.all
+
+let test_dpor_delta_scenarios () =
+  (* the §4 delta-soundness pair under DPOR: the delta=1 duplication is
+     still sighted (with a replayable prefix), delta=2 still proves clean *)
+  let spec delta =
+    {
+      Ws_harness.Scenarios.default_spec with
+      queue = "ff-cl";
+      sb_capacity = 2;
+      delta;
+      worker_fence = false;
+      preloaded = 3;
+      puts = 0;
+      steal_attempts = 2;
+      client_stores = 0;
+    }
+  in
+  let sighted =
+    fst
+      (Ws_harness.Runner.exhaustive_check (spec 1) ~preemption_bound:(Some 3)
+         ~memo:true ~dpor:true ())
+  in
+  checkb "delta=1: DPOR sights the duplication" true
+    (sighted.Explore.failures <> []);
+  (match sighted.Explore.failures with
+  | (choices, _) :: _ -> (
+      match
+        Explore.replay_choices
+          ~mk:(Ws_harness.Scenarios.instance (spec 1))
+          choices
+      with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "DPOR duplication prefix did not replay")
+  | [] -> ());
+  let proof, clean =
+    Ws_harness.Runner.exhaustive_check (spec 2) ~preemption_bound:(Some 3)
+      ~memo:true ~dpor:true ()
+  in
+  checkb "delta=2: DPOR+memo proof is clean" true clean;
+  checkb "delta=2: DPOR+memo proof completes under budget" true
+    (proof.Explore.runs < 200_000)
+
+(* --- persistent memo store ---------------------------------------------- *)
+
+let fresh_store_path name =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wsrepro-test-store-%d-%s" (Unix.getpid ()) name)
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists path then rm path;
+  path
+
+let open_store ?(config = "test") ?(preemption_bound = None) ?(por = false)
+    ?(dpor = false) path =
+  Memo_store.open_ ~path ~config ~max_depth:Explore.default_max_depth
+    ~preemption_bound ~por ~dpor ()
+
+let test_memo_store_roundtrip () =
+  (* cold search populates and commits; a warm reopen prunes the whole
+     reduced tree at the root and reports the stored failure set *)
+  let t = Ws_litmus.Classic.find "SB" in
+  let path = fresh_store_path "roundtrip" in
+  let cold_store =
+    match open_store ~dpor:true path with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let cold =
+    Explore.search ~max_runs ~dpor:true ~memo_store:cold_store ~mk:t.mk ()
+  in
+  checkb "cold search explores" true (cold.Explore.runs > 0);
+  checkb "cold search sights SB" true (cold.Explore.failures <> []);
+  checkb "commit flushed the write-back buffer" true
+    (Memo_store.pending_entries cold_store = 0);
+  let warm_store =
+    match open_store ~dpor:true path with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  checkb "warm reopen loads the committed entries" true
+    (Memo_store.loaded_entries warm_store > 0);
+  let warm =
+    Explore.search ~max_runs ~dpor:true ~memo_store:warm_store ~mk:t.mk ()
+  in
+  checkb "warm search prunes at the root" true (warm.Explore.runs = 0);
+  checkb "warm lookup hit" true (Memo_store.hits warm_store > 0);
+  checkb "stored failure set carries the verdict" true
+    (warm.Explore.failures = cold.Explore.failures)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_memo_store_header_mismatch () =
+  (* every pinned header field must reject a mismatched open *)
+  let t = Ws_litmus.Classic.find "MP" in
+  let path = fresh_store_path "mismatch" in
+  (match open_store ~dpor:true path with
+  | Ok s -> ignore (Explore.search ~max_runs ~dpor:true ~memo_store:s ~mk:t.mk ())
+  | Error e -> Alcotest.fail e);
+  let expect_error what = function
+    | Ok _ -> Alcotest.failf "mismatched %s accepted" what
+    | Error e ->
+        checkb
+          (Printf.sprintf "%s error mentions the field (%s)" what e)
+          true
+          (contains ~needle:what e)
+  in
+  expect_error "por" (open_store ~por:true path);
+  expect_error "config" (open_store ~config:"other" ~dpor:true path);
+  expect_error "preemption_bound"
+    (open_store ~preemption_bound:(Some 2) ~dpor:true path);
+  (* matching header still opens *)
+  match open_store ~dpor:true path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_memo_store_corruption () =
+  let t = Ws_litmus.Classic.find "MP" in
+  let path = fresh_store_path "corrupt" in
+  (match open_store path with
+  | Ok s -> ignore (Explore.search ~max_runs ~memo_store:s ~mk:t.mk ())
+  | Error e -> Alcotest.fail e);
+  let oc = open_out (Filename.concat path "shard-0.dat") in
+  output_string oc "not a number\n";
+  close_out oc;
+  match open_store path with
+  | Ok _ -> Alcotest.fail "corrupted shard accepted"
+  | Error e ->
+      checkb ("corruption diagnosed: " ^ e) true
+        (contains ~needle:"malformed entry" e)
+
+(* --- work-stealing frontier --------------------------------------------- *)
+
+let test_frontier_accounting () =
+  (* the frontier record must account for every run and every task, and the
+     steal counters must be consistent *)
+  let spec =
+    {
+      Ws_harness.Scenarios.default_spec with
+      sb_capacity = 2;
+      preloaded = 2;
+      steal_attempts = 1;
+    }
+  in
+  let st, fr, clean =
+    Ws_harness.Runner.exhaustive_check_full spec ~preemption_bound:(Some 3)
+      ~jobs:4 ()
+  in
+  checkb "scenario is clean" true clean;
+  Alcotest.(check int) "four domains" 4 fr.Explore_par.fr_domains;
+  Alcotest.(check int)
+    "per-domain runs sum to the total" st.Explore.runs
+    (Array.fold_left ( + ) 0 fr.Explore_par.fr_runs_per_domain);
+  Alcotest.(check int)
+    "per-domain tasks sum to the total" fr.Explore_par.fr_tasks
+    (Array.fold_left ( + ) 0 fr.Explore_par.fr_tasks_per_domain);
+  checkb "the root split happened" true (fr.Explore_par.fr_splits > 0);
+  checkb "attempts bound steals" true
+    (fr.Explore_par.fr_steals <= fr.Explore_par.fr_steal_attempts)
+
+let test_frontier_trivial_when_sequential () =
+  let spec = Ws_harness.Scenarios.default_spec in
+  let st, fr, _ =
+    Ws_harness.Runner.exhaustive_check_full spec ~preemption_bound:(Some 3)
+      ~memo:true ~jobs:1 ()
+  in
+  Alcotest.(check int) "one domain" 1 fr.Explore_par.fr_domains;
+  Alcotest.(check int) "one task" 1 fr.Explore_par.fr_tasks;
+  Alcotest.(check int) "no splits" 0 fr.Explore_par.fr_splits;
+  Alcotest.(check int) "no steals" 0 fr.Explore_par.fr_steals;
+  Alcotest.(check int)
+    "the single domain owns every run" st.Explore.runs
+    fr.Explore_par.fr_runs_per_domain.(0)
+
 let () =
   Alcotest.run "explore"
     [
@@ -285,6 +520,31 @@ let () =
             test_por_capacity_sweep;
           Alcotest.test_case "delta scenarios differential" `Quick
             test_por_delta_scenarios;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "classic suite differential" `Quick
+            test_dpor_classic_differential;
+          Alcotest.test_case "parallel verdicts unchanged" `Quick
+            test_dpor_parallel_verdicts;
+          Alcotest.test_case "delta scenarios differential" `Quick
+            test_dpor_delta_scenarios;
+        ] );
+      ( "memo-store",
+        [
+          Alcotest.test_case "cold/warm roundtrip" `Quick
+            test_memo_store_roundtrip;
+          Alcotest.test_case "header mismatch rejected" `Quick
+            test_memo_store_header_mismatch;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_memo_store_corruption;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "parallel accounting" `Quick
+            test_frontier_accounting;
+          Alcotest.test_case "trivial when sequential" `Quick
+            test_frontier_trivial_when_sequential;
         ] );
       ( "failures",
         [
