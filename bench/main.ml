@@ -229,7 +229,7 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v5"
+let bench_schema = "wsrepro-bench/v6"
 
 let bench_fields =
   [
@@ -252,6 +252,8 @@ let bench_fields =
     "native_graph_tasks_per_sec";
     "native_service_rps";
     "native_service_p99_ns";
+    "flight_recorder_event_ns";
+    "flight_overhead_pct";
   ]
 
 let wall f =
@@ -524,6 +526,43 @@ let measure_native ~smoke () =
     svc.Ws_harness.Exp_native.throughput_rps,
     float_of_int svc.Ws_harness.Exp_native.p99_ns )
 
+(* Hot-path cost of one flight-recorder event: four plain int stores plus
+   one monotonic clock read, on the single-writer path every recorded pool
+   transition pays. The ring is sized so the loop wraps many times — the
+   drop-oldest overwrite is the same unconditional store, so wraparound is
+   free and deliberately included. The ceiling the check enforces is what
+   makes [--flight] cheap enough to leave on. *)
+let measure_flight_event ~iters () =
+  let r = Telemetry.Flight_recorder.create ~capacity:4096 ~slots:1 () in
+  let (), dt =
+    wall (fun () ->
+        for i = 1 to iters do
+          Telemetry.Flight_recorder.record r ~slot:0
+            Telemetry.Flight_recorder.Spawn ~task:i ~arg:(i - 1)
+        done)
+  in
+  Sys.opaque_identity (Telemetry.Flight_recorder.wrote r ~slot:0) |> ignore;
+  1e9 *. dt /. float_of_int iters
+
+(* End-to-end recorder tax: the service benchmark run twice — recorder off,
+   then on — and the achieved-rps delta as a percentage of the off run.
+   The service is an open system (throughput tracks the offered rate while
+   the pool keeps up), so any sustained positive overhead here means the
+   recorder ate real capacity; negative values are scheduler noise. *)
+let measure_flight_overhead ~smoke () =
+  let domains = 3 in
+  let requests, rate, work =
+    if smoke then (200, 2000., 500) else (1000, 5000., 2000)
+  in
+  let rps flight =
+    (Ws_harness.Exp_native.service ~domains ~flight ~rate ~requests ~chain:4
+       ~work ~seed:23 ())
+      .Ws_harness.Exp_native.throughput_rps
+  in
+  let off = rps false in
+  let on = rps true in
+  100.0 *. (off -. on) /. off
+
 let run_json ~smoke ~out () =
   let batches, max_runs, fp_iters, snap_iters, repeats =
     if smoke then (20, 500, 2_000, 500, 1)
@@ -556,6 +595,8 @@ let run_json ~smoke ~out () =
       ("native_graph_tasks_per_sec", native_graph);
       ("native_service_rps", native_rps);
       ("native_service_p99_ns", native_p99);
+      ("flight_recorder_event_ns", measure_flight_event ~iters:fp_iters ());
+      ("flight_overhead_pct", measure_flight_overhead ~smoke ());
     ]
   in
   assert (List.map fst metrics = bench_fields);
@@ -620,7 +661,16 @@ let run_json ~smoke ~out () =
 
    8. explorer_dpor_runs_per_sec and (in full mode) frontier_steal_rate
       must be positive, like the native metrics: a zero means the probe
-      produced nothing. *)
+      produced nothing.
+
+   9. The flight recorder must stay cheap enough to leave on: the recorded
+      flight_recorder_event_ns must sit under an absolute ceiling (the
+      single-writer record path is four int stores plus a clock read — in
+      full mode anything over ~50 ns means a CAS, fence, or allocation
+      crept in), a live re-measure must stay within a factor of the
+      recorded value, and the recorded flight_overhead_pct (recorder-on vs
+      recorder-off service rps) must stay under 10% in full mode. Smoke
+      ceilings are loose — those probes run for microseconds. *)
 let overhead_budget_pct = 5.0
 
 (* recorded telemetry_overhead_pct ceiling (absolute, machine-independent) *)
@@ -641,6 +691,16 @@ let fingerprint_factor = 3.0
 let fingerprint_slack_ns = 300.0
 let memo_store_factor = 3.0
 let memo_store_slack_ns = 2000.0
+
+(* recorded flight_recorder_event_ns ceiling (absolute) plus the live
+   re-measure budget (factor + slack, like the other ns probes) *)
+let flight_event_ceiling_ns ~smoke = if smoke then 500.0 else 50.0
+let flight_event_factor = 3.0
+let flight_event_slack_ns = 100.0
+
+(* recorded flight_overhead_pct ceiling: recorder-on service throughput
+   within 10% of recorder-off (full mode; smoke runs are all noise) *)
+let flight_overhead_ceiling_pct ~smoke = if smoke then 75.0 else 10.0
 
 let run_check file =
   let doc =
@@ -773,10 +833,32 @@ let run_check file =
   in
   Printf.printf "%s: native metrics %s\n" file
     (if native_ok then "all positive OK" else "NOT POSITIVE");
+  let smoke = str_field "mode" = Some "smoke" in
+  let recorded_fe = Option.get (metric "flight_recorder_event_ns") in
+  let fe_ceiling = flight_event_ceiling_ns ~smoke in
+  let live_fe =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> measure_flight_event ~iters:20_000 ()))
+  in
+  let fe_budget =
+    (recorded_fe *. flight_event_factor) +. flight_event_slack_ns
+  in
+  let fe_ok = recorded_fe <= fe_ceiling && live_fe <= fe_budget in
+  Printf.printf
+    "%s: flight-recorder event %.1f ns live (recorded %.1f, ceiling %.0f, \
+     budget %.0f) %s\n"
+    file live_fe recorded_fe fe_ceiling fe_budget
+    (if fe_ok then "OK" else "OVER BUDGET");
+  let recorded_fo = Option.get (metric "flight_overhead_pct") in
+  let fo_ceiling = flight_overhead_ceiling_pct ~smoke in
+  let fo_ok = recorded_fo <= fo_ceiling in
+  Printf.printf "%s: recorded flight overhead %.1f%% (ceiling %.0f%%) %s\n"
+    file recorded_fo fo_ceiling
+    (if fo_ok then "OK" else "OVER BUDGET");
   if
     not
       (ok && ovh_ok && snap_ok && cells_ok && fp_ok && ms_ok && red_ok
-     && frontier_ok && native_ok)
+     && frontier_ok && native_ok && fe_ok && fo_ok)
   then exit 1
 
 let usage () =
@@ -791,8 +873,9 @@ let usage () =
       iteration counts — the shape is the contract, the numbers are\n\
       meaningless). --check validates a baseline file and gates the live\n\
       stepping rate, the recorded telemetry overhead, the live snapshot-\n\
-      restore / fingerprint / memo-store-lookup costs, the fingerprint\n\
-      probe shape, and the recorded reduction factors (dpor >= por >= 1).\n\n\
+      restore / fingerprint / memo-store-lookup / flight-recorder costs,\n\
+      the fingerprint probe shape, the recorded reduction factors\n\
+      (dpor >= por >= 1), and the recorded flight-recorder overhead.\n\n\
       Probe shapes (numbers are only comparable for identical probes):\n\
      \  fingerprint_ns / memo_lookup_ns / memo_store_lookup_ns\n\
      \      one Machine.fingerprint of a THEP worker machine stopped\n\
@@ -823,6 +906,13 @@ let usage () =
      \  snapshot_restore_ns              Machine.restore_into of a 40-step\n\
      \      default-scenario snapshot, minus the fresh-instance build both\n\
      \      explorer sibling paths share.\n\
+     \  flight_recorder_event_ns         one single-writer ring record\n\
+     \      (four int stores + one monotonic clock read) in a 1-slot\n\
+     \      recorder; the ring wraps many times, so drop-oldest overwrite\n\
+     \      is included. --check gates the recorded value under an\n\
+     \      absolute ceiling (50 ns full mode) and re-measures live.\n\
+     \  flight_overhead_pct              achieved service rps recorder-off\n\
+     \      vs recorder-on, as %% of the off run; gated <= 10%% (full).\n\
      \  native_*                         the OCaml 5 pool on real silicon,\n\
      \      3 worker domains: fib/graph task throughput and the Poisson\n\
      \      service benchmark (achieved rps, p99 sojourn). Wallclock — the\n\

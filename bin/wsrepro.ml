@@ -714,23 +714,23 @@ let explore_cmd =
       $ forensics_arg $ trace_failure_arg)
 
 (* native: the pool on real silicon — sim-vs-native parity + service bench *)
+let backend_conv =
+  Arg.enum
+    [
+      ("cl", Ws_native.Pool.Chase_lev_deques);
+      ("the", Ws_native.Pool.The_deques);
+    ]
+
+let policy_conv =
+  Arg.enum
+    [
+      ("random", Ws_native.Pool.Random_victim);
+      ("round-robin", Ws_native.Pool.Round_robin_victim);
+    ]
+
 let native_cmd =
-  let backend_conv =
-    Arg.enum
-      [
-        ("cl", Ws_native.Pool.Chase_lev_deques);
-        ("the", Ws_native.Pool.The_deques);
-      ]
-  in
-  let policy_conv =
-    Arg.enum
-      [
-        ("random", Ws_native.Pool.Random_victim);
-        ("round-robin", Ws_native.Pool.Round_robin_victim);
-      ]
-  in
   let run machine domains backend policy steal_half smoke fib_n graph_nodes
-      rate requests chain work seed =
+      rate requests chain work serve_metrics flight seed =
     (* smoke shrinks every knob so CI finishes in seconds *)
     let pick full small = if smoke then small else full in
     Ws_harness.Exp_native.run ~machine ?domains ~backend ~policy ~steal_half
@@ -738,7 +738,7 @@ let native_cmd =
       ~graph_nodes:(pick graph_nodes (min graph_nodes 400))
       ~rate ~requests:(pick requests (min requests 200))
       ~chain ~work:(pick work (min work 500))
-      ~seed ()
+      ?serve_metrics ?flight_file:flight ~seed ()
   in
   let domains =
     Arg.(
@@ -804,6 +804,26 @@ let native_cmd =
       value & opt int 2000
       & info [ "work" ] ~docv:"W" ~doc:"Spin iterations per stage.")
   in
+  let serve_metrics =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve-metrics" ] ~docv:"PORT"
+          ~doc:
+            "Serve live OpenMetrics scrapes of the service-bench pool on \
+             http://127.0.0.1:PORT/metrics for the duration of the bench \
+             (0 picks a free port; the endpoint is printed to stderr).")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt ~vopt:(Some "flight.json") (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Run the steal-forcing flight-recorder probe and write its \
+             wsrepro-flight/v1 report to $(docv) (default flight.json), \
+             plus a Chrome trace alongside.")
+  in
   Cmd.v
     (Cmd.info "native"
        ~doc:
@@ -813,7 +833,87 @@ let native_cmd =
     Term.(
       const run $ machine_arg $ domains $ backend $ policy $ steal_half
       $ smoke $ fib_n $ graph_nodes $ rate $ requests $ chain $ work
-      $ seed_arg)
+      $ serve_metrics $ flight $ seed_arg)
+
+(* top: the service bench under a live per-slot dashboard *)
+let top_cmd =
+  let run domains backend policy steal_half rate requests chain work
+      serve_metrics interval seed =
+    Ws_harness.Exp_native.top ?domains ~backend ~policy ~steal_half ~rate
+      ~requests ~chain ~work ?serve_metrics ~interval ~seed ()
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: recommended_domain_count - 1).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Ws_native.Pool.Chase_lev_deques
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Deque backend: $(b,cl) (Chase-Lev) or $(b,the) (THE).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Ws_native.Pool.Random_victim
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Victim selection: $(b,random) or $(b,round-robin).")
+  in
+  let steal_half =
+    Arg.(
+      value & flag
+      & info [ "steal-half" ]
+          ~doc:"Batched steals (requires $(b,--backend the)).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2000.
+      & info [ "rate" ] ~docv:"R" ~doc:"Poisson arrival rate, requests/s.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 10_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve before exit.")
+  in
+  let chain =
+    Arg.(
+      value & opt int 4
+      & info [ "chain" ] ~docv:"K" ~doc:"Dependent stages per request.")
+  in
+  let work =
+    Arg.(
+      value & opt int 2000
+      & info [ "work" ] ~docv:"W" ~doc:"Spin iterations per stage.")
+  in
+  let serve_metrics =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve-metrics" ] ~docv:"PORT"
+          ~doc:
+            "Also serve OpenMetrics scrapes on \
+             http://127.0.0.1:PORT/metrics while the dashboard runs.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.25
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Dashboard refresh interval.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the open-system service benchmark under a live, refreshing \
+          per-slot dashboard (tasks run/stolen/injected, steal attempts \
+          and aborts, parks, queue gauges) drawn on stderr; stdout gets \
+          the final summary only")
+    Term.(
+      const run $ domains $ backend $ policy $ steal_half $ rate $ requests
+      $ chain $ work $ serve_metrics $ interval $ seed_arg)
 
 (* json-check: validate telemetry sidecars and traces without external tools *)
 let json_check_cmd =
@@ -824,6 +924,12 @@ let json_check_cmd =
         (match Telemetry.Json.member "schema" j with
         | Some (Telemetry.Json.Str "wsrepro-forensics/v1") -> (
             match Forensics.Report.validate j with
+            | Ok () -> ()
+            | Error e ->
+                Printf.printf "%s: INVALID: %s\n" file e;
+                exit 1)
+        | Some (Telemetry.Json.Str "wsrepro-flight/v1") -> (
+            match Telemetry.Flight_recorder.validate j with
             | Ok () -> ()
             | Error e ->
                 Printf.printf "%s: INVALID: %s\n" file e;
@@ -862,7 +968,7 @@ let main =
     [
       fig1_cmd; fig7_cmd; fig8_cmd; fig10_cmd; fig11_cmd; table1_cmd; all_cmd;
       ablation_cmd; scaling_cmd; litmus_cmd; tso_litmus_cmd; check_cmd;
-      explore_cmd; trace_cmd; delta_cmd; native_cmd; json_check_cmd;
+      explore_cmd; trace_cmd; delta_cmd; native_cmd; top_cmd; json_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

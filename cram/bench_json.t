@@ -7,13 +7,12 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v5 adds the source-DPOR explorer
-rate, the POR/DPOR reduction factors, the work-stealing frontier's steal
-rate, the pinned fingerprint probe shape, and the persistent memo-store
-lookup cost next to v4's native-pool silicon numbers:
+with one fixed-format float per metric. v6 adds the flight-recorder
+hot-path cost and the recorder-on vs recorder-off service overhead next
+to v5's explorer-reduction and native-pool silicon numbers:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v5"
+  "schema": "wsrepro-bench/v6"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
@@ -36,6 +35,8 @@ lookup cost next to v4's native-pool silicon numbers:
   "native_graph_tasks_per_sec":
   "native_service_rps":
   "native_service_p99_ns":
+  "flight_recorder_event_ns":
+  "flight_overhead_pct":
 
 The probe shapes behind each number are documented in `--help` (they are
 what makes values comparable across commits):
@@ -50,8 +51,11 @@ guard must stay free), the recorded telemetry overhead against an absolute
 ceiling, the live snapshot-restore cost against the recorded one (the
 snapshot path must not quietly re-acquire an O(depth) replay), and the
 recorded native metrics for positivity (a zero means a probe silently
-produced nothing — e.g. a hung pool or an unobserved histogram). The
-numbers are machine-dependent, so normalize them:
+produced nothing — e.g. a hung pool or an unobserved histogram). v6 also
+gates the flight recorder: the recorded per-event cost under an absolute
+ceiling plus a live re-measure, and the recorded recorder-on service
+overhead under its ceiling. The numbers are machine-dependent, so
+normalize them:
 
   $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
   bench.json: schema wsrepro-bench/vN OK (N metrics)
@@ -64,11 +68,13 @@ numbers are machine-dependent, so normalize them:
   bench.json: reduction factors por Nx, dpor Nx (want dpor >= por >= N) OK
   bench.json: dpor rate N runs/s, frontier steal rate N OK
   bench.json: native metrics all positive OK
+  bench.json: flight-recorder event N ns live (recorded N, ceiling N, budget N) OK
+  bench.json: recorded flight overhead N% (ceiling N%) OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v5|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v6|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v5)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v6)
   drifted.json: missing metric "fingerprint_ns"
   [1]

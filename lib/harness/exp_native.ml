@@ -193,10 +193,20 @@ let spin_work iters =
   done;
   ignore (Sys.opaque_identity !x)
 
-let service ?domains ?backend ?policy ?steal_half ?(rate = 5000.)
-    ?(requests = 1000) ?(chain = 4) ?(work = 2000) ?(seed = 23) () =
+let service ?domains ?backend ?policy ?steal_half ?(telemetry = false)
+    ?(flight = false) ?monitor ?(rate = 5000.) ?(requests = 1000) ?(chain = 4)
+    ?(work = 2000) ?(seed = 23) () =
   if rate <= 0. then invalid_arg "Exp_native.service: rate must be positive";
-  let pool = mk_pool ?domains ?backend ?policy ?steal_half () in
+  let pool =
+    Ws_native.Pool.create ?domains ?backend ?policy ?steal_half ~telemetry
+      ~flight ()
+  in
+  (* The monitor (metrics server, live dashboard) attaches to the running
+     pool and returns its own teardown, invoked after the last request
+     completes but before the pool shuts down. *)
+  let stop_monitor =
+    match monitor with Some m -> m pool | None -> fun () -> ()
+  in
   let sojourn = Telemetry.Histogram.create () in
   let hist_lock = Mutex.create () in
   let completed = Atomic.make 0 in
@@ -230,6 +240,7 @@ let service ?domains ?backend ?policy ?steal_half ?(rate = 5000.)
     Domain.cpu_relax ()
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
+  stop_monitor ();
   let stats = Ws_native.Pool.worker_stats pool in
   Ws_native.Pool.shutdown pool;
   let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
@@ -257,12 +268,220 @@ let render_service r =
     r.p99_ns r.p999_ns r.steals r.injector_runs r.parks
 
 (* ------------------------------------------------------------------ *)
+(* Live metrics plane: scrape -> OpenMetrics                           *)
+(* ------------------------------------------------------------------ *)
+
+let pool_metrics pool =
+  let open Telemetry.Openmetrics in
+  let snap = Ws_native.Pool.scrape pool in
+  let stats = snap.Ws_native.Pool.slot_stats in
+  let per_slot f =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           sample ~labels:[ ("slot", string_of_int i) ] (float_of_int (f st)))
+         stats)
+  in
+  let g name help v =
+    gauge ~name ~help [ sample (float_of_int v) ]
+  in
+  let counters =
+    [
+      counter ~name:"ws_pool_spawns" ~help:"Tasks pushed by each slot"
+        (per_slot (fun st -> st.Ws_native.Pool.spawns));
+      counter ~name:"ws_pool_tasks_run" ~help:"Tasks executed by each slot"
+        (per_slot (fun st -> st.Ws_native.Pool.tasks_run));
+      counter ~name:"ws_pool_tasks_stolen"
+        ~help:"Executed tasks that arrived by steal"
+        (per_slot (fun st -> st.Ws_native.Pool.tasks_stolen));
+      counter ~name:"ws_pool_injector_runs"
+        ~help:"Executed tasks that arrived through the injector"
+        (per_slot (fun st -> st.Ws_native.Pool.injector_runs));
+      counter ~name:"ws_pool_steal_attempts" ~help:"Steal probes"
+        (per_slot (fun st -> st.Ws_native.Pool.steal_attempts));
+      counter ~name:"ws_pool_steals" ~help:"Successful steal operations"
+        (per_slot (fun st -> st.Ws_native.Pool.steals));
+      counter ~name:"ws_pool_take_empties"
+        ~help:"Own-deque pops that found nothing"
+        (per_slot (fun st -> st.Ws_native.Pool.take_empties));
+      counter ~name:"ws_pool_steal_empties"
+        ~help:"Steal attempts on an empty victim"
+        (per_slot (fun st -> st.Ws_native.Pool.steal_empties));
+      counter ~name:"ws_pool_steal_aborts"
+        ~help:"Steal attempts that lost a live race"
+        (per_slot (fun st -> st.Ws_native.Pool.steal_aborts));
+      counter ~name:"ws_pool_parks" ~help:"Worker park episodes"
+        (per_slot (fun st -> st.Ws_native.Pool.parks));
+      g "ws_pool_pending" "Cells enqueued and not yet dequeued"
+        snap.Ws_native.Pool.snap_pending;
+      g "ws_pool_in_flight" "Tasks spawned and not yet finished"
+        snap.Ws_native.Pool.snap_in_flight;
+      g "ws_pool_sleepers" "Workers parked at the instant of the scrape"
+        snap.Ws_native.Pool.snap_sleepers;
+      g "ws_pool_injector_queue"
+        "Cells waiting in the external-submission FIFO"
+        snap.Ws_native.Pool.snap_injector;
+    ]
+  in
+  let lats = snap.Ws_native.Pool.slot_latencies in
+  if not (Array.exists (fun h -> Telemetry.Histogram.total h > 0) lats) then
+    counters
+  else
+    counters
+    @ [
+        gauge ~name:"ws_pool_task_latency_ns"
+          ~help:
+            "Per-slot spawn-to-completion latency quantiles (telemetry \
+             pools)"
+          (List.concat_map
+             (fun (q, qlbl) ->
+               Array.to_list
+                 (Array.mapi
+                    (fun i h ->
+                      sample
+                        ~labels:
+                          [ ("slot", string_of_int i); ("quantile", qlbl) ]
+                        (float_of_int (Telemetry.Histogram.percentile h q)))
+                    lats))
+             [ (0.5, "0.5"); (0.99, "0.99"); (0.999, "0.999") ]);
+      ]
+
+let metrics_body pool () = Telemetry.Openmetrics.render (pool_metrics pool)
+
+let serve_metrics_monitor ?(quiet = false) ~port pool =
+  let srv =
+    Telemetry.Metrics_server.start ~port ~body:(metrics_body pool) ()
+  in
+  if not quiet then
+    Printf.eprintf "serving OpenMetrics on http://127.0.0.1:%d/metrics\n%!"
+      (Telemetry.Metrics_server.port srv);
+  fun () -> Telemetry.Metrics_server.stop srv
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder probe                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A workload that forces genuine steals deterministically: each round the
+   probe task spawns a child onto its own deque and then busy-waits on a
+   flag only the child sets. The probe's slot never pops (it is spinning),
+   so the child can only ever run by being stolen — every round yields at
+   least one Steal event with a reconstructable victim/thief pair. *)
+let flight_probe ?domains ?backend ?(rounds = 8) ?(flight_capacity = 16384)
+    () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    Ws_native.Pool.create ~domains ?backend ~flight:true ~flight_capacity ()
+  in
+  let probe () =
+    for _ = 1 to rounds do
+      let flag = Atomic.make false in
+      Ws_native.Pool.spawn pool (fun () -> Atomic.set flag true);
+      while not (Atomic.get flag) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  Ws_native.Pool.parallel_run pool [ probe ];
+  let recorder = Option.get (Ws_native.Pool.flight pool) in
+  Ws_native.Pool.shutdown pool;
+  recorder
+
+let flight_section ~file ?domains ?backend ?rounds () =
+  let recorder = flight_probe ?domains ?backend ?rounds () in
+  Telemetry.Flight_recorder.write_report recorder file;
+  let trace_file = Filename.remove_extension file ^ ".trace.json" in
+  Telemetry.Chrome_trace.write
+    (Telemetry.Flight_recorder.to_chrome recorder)
+    trace_file;
+  let lineages, unresolved = Telemetry.Flight_recorder.reconstruct recorder in
+  let stolen =
+    List.length
+      (List.filter
+         (fun l ->
+           match l.Telemetry.Flight_recorder.origin with
+           | Telemetry.Flight_recorder.Stolen _ -> true
+           | _ -> false)
+         lineages)
+  in
+  Printf.printf
+    "flight: %d tasks reconstructed (%d stolen, %d unresolved), report %s, \
+     chrome trace %s\n"
+    (List.length lineages) stolen unresolved file trace_file
+
+(* ------------------------------------------------------------------ *)
+(* Live dashboard (`wsrepro top`)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dashboard_lines pool =
+  let snap = Ws_native.Pool.scrape pool in
+  let header =
+    Printf.sprintf "%4s %8s %8s %8s %8s %8s %8s %8s %6s" "slot" "run"
+      "stolen" "inject" "steals" "attempt" "empty" "abort" "parks"
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           Printf.sprintf "%4d %8d %8d %8d %8d %8d %8d %8d %6d" i
+             st.Ws_native.Pool.tasks_run st.Ws_native.Pool.tasks_stolen
+             st.Ws_native.Pool.injector_runs st.Ws_native.Pool.steals
+             st.Ws_native.Pool.steal_attempts
+             (st.Ws_native.Pool.take_empties
+             + st.Ws_native.Pool.steal_empties)
+             st.Ws_native.Pool.steal_aborts st.Ws_native.Pool.parks)
+         snap.Ws_native.Pool.slot_stats)
+  in
+  let gauges =
+    Printf.sprintf "pending %d | in-flight %d | sleepers %d | injector %d"
+      snap.Ws_native.Pool.snap_pending snap.Ws_native.Pool.snap_in_flight
+      snap.Ws_native.Pool.snap_sleepers snap.Ws_native.Pool.snap_injector
+  in
+  (header :: rows) @ [ gauges ]
+
+let top ?domains ?backend ?policy ?steal_half ?rate ?requests ?chain ?work
+    ?serve_metrics ?(interval = 0.25) ?seed () =
+  let rep = Telemetry.Progress.create ~interval ~label:"top" () in
+  let monitor pool =
+    let stop_serving =
+      match serve_metrics with
+      | Some port -> serve_metrics_monitor ~port pool
+      | None -> fun () -> ()
+    in
+    let stop = Atomic.make false in
+    let t =
+      Thread.create
+        (fun () ->
+          Telemetry.Progress.redraw_now rep (dashboard_lines pool);
+          while not (Atomic.get stop) do
+            Telemetry.Progress.redraw rep (dashboard_lines pool);
+            Thread.delay (interval /. 2.)
+          done)
+        ()
+    in
+    fun () ->
+      Atomic.set stop true;
+      Thread.join t;
+      Telemetry.Progress.redraw_now rep (dashboard_lines pool);
+      stop_serving ()
+  in
+  let r =
+    service ?domains ?backend ?policy ?steal_half ~telemetry:true ~monitor
+      ?rate ?requests ?chain ?work ?seed ()
+  in
+  Telemetry.Progress.finish rep;
+  print_string (render_service r)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point (the `wsrepro native` subcommand body)                  *)
 (* ------------------------------------------------------------------ *)
 
 let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
     ?steal_half ?fib_n ?graph_nodes ?graph_edges ?rate ?requests ?chain ?work
-    ?(seed = 23) () =
+    ?serve_metrics ?flight_file ?(seed = 23) () =
   let d =
     match domains with
     | Some d -> d
@@ -278,7 +497,16 @@ let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
           ?graph_nodes ?graph_edges ~seed ()));
   Printf.printf
     "== Native service benchmark: open-system Poisson arrivals ==\n";
+  let monitor =
+    Option.map (fun port pool -> serve_metrics_monitor ~port pool)
+      serve_metrics
+  in
   print_string
     (render_service
-       (service ~domains:d ?backend ?policy ?steal_half ?rate ?requests
-          ?chain ?work ~seed ()))
+       (service ~domains:d ?backend ?policy ?steal_half ?monitor ?rate
+          ?requests ?chain ?work ~seed ()));
+  match flight_file with
+  | None -> ()
+  | Some file ->
+      Printf.printf "== Flight recorder: steal-forcing probe ==\n";
+      flight_section ~file ~domains:d ?backend ()

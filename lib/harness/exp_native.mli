@@ -75,6 +75,9 @@ val service :
   ?backend:Ws_native.Pool.backend ->
   ?policy:Ws_native.Pool.victim_policy ->
   ?steal_half:bool ->
+  ?telemetry:bool ->
+  ?flight:bool ->
+  ?monitor:(Ws_native.Pool.t -> unit -> unit) ->
   ?rate:float ->
   ?requests:int ->
   ?chain:int ->
@@ -85,9 +88,74 @@ val service :
 (** Submits [requests] request chains from the calling (non-worker) domain
     on an absolute Poisson schedule at [rate] arrivals/s; each request is a
     chain of [chain] dependent stages of [work] spin iterations. Sojourn
-    time (arrival to last stage) feeds the returned histogram. *)
+    time (arrival to last stage) feeds the returned histogram.
+
+    [telemetry]/[flight] forward to {!Ws_native.Pool.create}. [monitor], if
+    given, is called with the running pool before the first request and
+    must return a teardown thunk, invoked after the last request completes
+    but before the pool shuts down — the hook the metrics server and the
+    [wsrepro top] dashboard attach through. *)
 
 val render_service : service_result -> string
+
+val pool_metrics : Ws_native.Pool.t -> Telemetry.Openmetrics.metric list
+(** One live {!Ws_native.Pool.scrape} rendered as OpenMetrics families:
+    per-slot counters (labelled [slot="i"]), pool gauges, and — on
+    [~telemetry] pools with observations — per-slot latency quantiles. *)
+
+val metrics_body : Ws_native.Pool.t -> unit -> string
+(** [pool_metrics] composed with {!Telemetry.Openmetrics.render}; the
+    [body] callback for {!Telemetry.Metrics_server.start} (fresh scrape per
+    HTTP request). *)
+
+val serve_metrics_monitor :
+  ?quiet:bool -> port:int -> Ws_native.Pool.t -> unit -> unit
+(** Start a metrics server scraping the pool and return its stop thunk
+    (a {!service}-compatible monitor). Prints the bound endpoint to stderr
+    unless [quiet]. *)
+
+val flight_probe :
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?rounds:int ->
+  ?flight_capacity:int ->
+  unit ->
+  Telemetry.Flight_recorder.t
+(** Run the deterministic steal-forcing workload on a flight-recording
+    pool and return the recorder (pool already shut down). Each of the
+    [rounds] (default 8) spawns a child the spinning owner cannot pop, so
+    the child arrives at its executor by a genuine steal — the recording
+    is guaranteed to contain stolen lineage. *)
+
+val flight_section :
+  file:string ->
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?rounds:int ->
+  unit ->
+  unit
+(** {!flight_probe}, then write the wsrepro-flight/v1 report to [file] and
+    a Chrome trace next to it ([file] with extension [.trace.json]), and
+    print a one-line summary to stdout. *)
+
+val top :
+  ?domains:int ->
+  ?backend:Ws_native.Pool.backend ->
+  ?policy:Ws_native.Pool.victim_policy ->
+  ?steal_half:bool ->
+  ?rate:float ->
+  ?requests:int ->
+  ?chain:int ->
+  ?work:int ->
+  ?serve_metrics:int ->
+  ?interval:float ->
+  ?seed:int ->
+  unit ->
+  unit
+(** The service benchmark under a refreshing per-slot dashboard
+    (stderr, ANSI block redraw via {!Telemetry.Progress}); stdout gets
+    only the final {!render_service} summary. [serve_metrics] additionally
+    serves OpenMetrics on that port for the duration. *)
 
 val run :
   ?machine:Machine_config.t ->
@@ -102,7 +170,14 @@ val run :
   ?requests:int ->
   ?chain:int ->
   ?work:int ->
+  ?serve_metrics:int ->
+  ?flight_file:string ->
   ?seed:int ->
   unit ->
   unit
-(** Print both sections (parity table, then service benchmark). *)
+(** Print both sections (parity table, then service benchmark).
+    [serve_metrics] serves live OpenMetrics scrapes of the service-bench
+    pool on the given port (0 picks a free one; endpoint printed to
+    stderr). [flight_file] appends a third section: the steal-forcing
+    flight-recorder probe, its wsrepro-flight/v1 report written to the
+    given path (Chrome trace alongside). *)

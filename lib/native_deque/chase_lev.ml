@@ -80,6 +80,21 @@ let steal q =
     if Atomic.compare_and_set q.head h (h + 1) then v else None
   end
 
+(* [steal] collapses "nothing there" and "lost the CAS race" into [None];
+   contention accounting needs them apart (an abort means a live conflict
+   with the owner or another thief, an empty means a mistargeted hunt). *)
+let steal_detail q =
+  let h = Atomic.get q.head in
+  let t = Atomic.get q.tail in
+  if h >= t then `Empty
+  else begin
+    let b = Atomic.get q.buf in
+    let v = buffer_get b h in
+    if Atomic.compare_and_set q.head h (h + 1) then
+      match v with Some x -> `Task x | None -> `Empty
+    else `Abort
+  end
+
 let rec steal_retry q =
   let h = Atomic.get q.head in
   let t = Atomic.get q.tail in

@@ -27,6 +27,12 @@ val pop : 'a t -> 'a option
 val steal : 'a t -> 'a option
 (** Any domain: dequeue from the head; [None] when empty or lost a race. *)
 
+val steal_detail : 'a t -> [ `Task of 'a | `Empty | `Abort ]
+(** Like {!steal} but distinguishes the two [None] cases, in the simulated
+    queues' outcome vocabulary: [`Empty] when [head >= tail] at the read,
+    [`Abort] when the head CAS lost a race with the owner or another
+    thief. *)
+
 val steal_retry : 'a t -> 'a option
 (** Like {!steal} but retries CAS races until it gets an element or sees an
     empty queue. *)

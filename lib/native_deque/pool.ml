@@ -40,6 +40,9 @@ type worker_stats = {
   mutable injector_runs : int;
   mutable steal_attempts : int;
   mutable steals : int;
+  mutable take_empties : int;
+  mutable steal_empties : int;
+  mutable steal_aborts : int;
   mutable parks : int;
 }
 
@@ -51,12 +54,43 @@ let stats_create () =
     injector_runs = 0;
     steal_attempts = 0;
     steals = 0;
+    take_empties = 0;
+    steal_empties = 0;
+    steal_aborts = 0;
     parks = 0;
   }
 
+let stats_copy st =
+  {
+    spawns = st.spawns;
+    tasks_run = st.tasks_run;
+    tasks_stolen = st.tasks_stolen;
+    injector_runs = st.injector_runs;
+    steal_attempts = st.steal_attempts;
+    steals = st.steals;
+    take_empties = st.take_empties;
+    steal_empties = st.steal_empties;
+    steal_aborts = st.steal_aborts;
+    parks = st.parks;
+  }
+
+let stats_equal a b =
+  a.spawns = b.spawns && a.tasks_run = b.tasks_run
+  && a.tasks_stolen = b.tasks_stolen
+  && a.injector_runs = b.injector_runs
+  && a.steal_attempts = b.steal_attempts
+  && a.steals = b.steals
+  && a.take_empties = b.take_empties
+  && a.steal_empties = b.steal_empties
+  && a.steal_aborts = b.steal_aborts
+  && a.parks = b.parks
+
 (* [born] is a wallclock timestamp taken at spawn when telemetry is on
-   (0. when off), so completion can observe the spawn-to-finish latency. *)
-type cell = { f : task; born : float }
+   (0. when off), so completion can observe the spawn-to-finish latency.
+   [id]/[parent] are flight-recorder task identities (-1 when the recorder
+   is off): [parent] is the id of the task whose body called [spawn], which
+   is what lets the reconstructor walk steal ancestries. *)
+type cell = { f : task; id : int; parent : int; born : float }
 
 type deque = Cl of cell Chase_lev.t | The of cell The_queue.t
 
@@ -79,6 +113,9 @@ type t = {
   sleepers : int Atomic.t;
   stats : worker_stats array;
   latencies : Telemetry.Histogram.t array;  (* per worker, telemetry only *)
+  recorder : Telemetry.Flight_recorder.t option;
+  current : int array;  (* per slot: id of the task being executed, -1 idle *)
+  next_task_id : int Atomic.t;
   running : bool Atomic.t;  (* a parallel_run is in progress *)
   shut : bool Atomic.t;
 }
@@ -87,8 +124,13 @@ let spin_rounds = 32
 
 let now () = Unix.gettimeofday ()
 
-let make_cell pool f =
-  if pool.telemetry then { f; born = now () } else { f; born = 0. }
+module FR = Telemetry.Flight_recorder
+
+let make_cell pool ~parent f =
+  let born = if pool.telemetry then now () else 0. in
+  match pool.recorder with
+  | None -> { f; id = -1; parent = -1; born }
+  | Some _ -> { f; id = Atomic.fetch_and_add pool.next_task_id 1; parent; born }
 
 (* ------------------------------------------------------------------ *)
 (* Parking lot                                                         *)
@@ -109,14 +151,20 @@ let wake_all pool =
    waker sees the sleeper and broadcasts (and the broadcast cannot be
    missed: the parker holds the mutex from its predicate test until
    [Condition.wait] releases it). *)
-let park pool st ~should_sleep =
+let park pool me ~should_sleep =
   Mutex.lock pool.lock;
   Atomic.incr pool.sleepers;
   if should_sleep () then begin
-    st.parks <- st.parks + 1;
+    pool.stats.(me).parks <- pool.stats.(me).parks + 1;
+    (match pool.recorder with
+    | Some r -> FR.record r ~slot:me FR.Park ~task:FR.no_task ~arg:FR.no_arg
+    | None -> ());
     while should_sleep () do
       Condition.wait pool.cond pool.lock
-    done
+    done;
+    match pool.recorder with
+    | Some r -> FR.record r ~slot:me FR.Unpark ~task:FR.no_task ~arg:FR.no_arg
+    | None -> ()
   end;
   Atomic.decr pool.sleepers;
   Mutex.unlock pool.lock
@@ -154,20 +202,21 @@ let pop_own pool me =
 
 (* [me < 0] means the caller owns no deque (shutdown's drain): batched
    steals are disabled because the surplus could not be re-pushed
-   anywhere the caller owns. *)
+   anywhere the caller owns. The detailed outcome feeds the contention
+   counters: [`Empty] is a mistargeted hunt, [`Abort] a live conflict. *)
 let steal_from pool me victim =
   match pool.deques.(victim) with
-  | Cl q -> Chase_lev.steal q
+  | Cl q -> Chase_lev.steal_detail q
   | The q ->
       if pool.steal_half && me >= 0 then
         match The_queue.steal_half q with
-        | [] -> None
+        | [] -> `Empty
         | c :: rest ->
             (* the surplus stays queued (and counted in [pending]) — it
                just moves to our own deque *)
             List.iter (fun c -> push_own pool me c) rest;
-            Some c
-      else The_queue.steal q
+            `Task c
+      else The_queue.steal_detail q
 
 (* ------------------------------------------------------------------ *)
 (* Task execution                                                      *)
@@ -178,12 +227,16 @@ let record_error pool e bt =
 
 (* The decrement of [in_flight] is unconditional: a raising task counts
    as finished (its failure is captured for the join point), so the run
-   can terminate and report instead of spinning forever. *)
+   can terminate and report instead of spinning forever. [current] is set
+   for the duration of the task body so that nested [spawn]s can name
+   their parent; only this slot's domain touches [current.(me)]. *)
 let exec_cell pool me cell =
+  pool.current.(me) <- cell.id;
   (try cell.f ()
    with e ->
      let bt = Printexc.get_raw_backtrace () in
      record_error pool e bt);
+  pool.current.(me) <- -1;
   let st = pool.stats.(me) in
   st.tasks_run <- st.tasks_run + 1;
   if pool.telemetry && cell.born > 0. then
@@ -204,6 +257,14 @@ let pick_victim pool me rng rr =
       if !rr = me then rr := (!rr + 1) mod n;
       !rr
 
+(* A Run event is recorded at dequeue time (execution follows immediately
+   in the worker loop), with the provenance in [arg] — that pairing with
+   the task's Spawn/Inject record is the whole lineage story. *)
+let record_run pool me cell ~arg =
+  match pool.recorder with
+  | Some r -> FR.record r ~slot:me FR.Run ~task:cell.id ~arg
+  | None -> ()
+
 (* One full hunt: own deque, then the injector, then one steal attempt
    per other deque. *)
 let find_task pool me rng rr =
@@ -211,12 +272,15 @@ let find_task pool me rng rr =
   match pop_own pool me with
   | Some c ->
       Atomic.decr pool.pending;
+      record_run pool me c ~arg:FR.origin_pop;
       Some c
   | None -> (
+      st.take_empties <- st.take_empties + 1;
       match Injector.pop pool.injector with
       | Some c ->
           Atomic.decr pool.pending;
           st.injector_runs <- st.injector_runs + 1;
+          record_run pool me c ~arg:FR.origin_inject;
           Some c
       | None ->
           let n = Array.length pool.deques in
@@ -227,12 +291,27 @@ let find_task pool me rng rr =
             st.steal_attempts <- st.steal_attempts + 1;
             let victim = pick_victim pool me rng rr in
             (match steal_from pool me victim with
-            | Some c ->
+            | `Task c ->
                 Atomic.decr pool.pending;
                 st.steals <- st.steals + 1;
                 st.tasks_stolen <- st.tasks_stolen + 1;
+                (match pool.recorder with
+                | Some r ->
+                    FR.record r ~slot:me FR.Steal ~task:c.id ~arg:victim
+                | None -> ());
+                record_run pool me c ~arg:victim;
                 found := Some c
-            | None -> Domain.cpu_relax ())
+            | `Empty ->
+                st.steal_empties <- st.steal_empties + 1;
+                Domain.cpu_relax ()
+            | `Abort ->
+                st.steal_aborts <- st.steal_aborts + 1;
+                (match pool.recorder with
+                | Some r ->
+                    FR.record r ~slot:me FR.Steal_abort ~task:FR.no_task
+                      ~arg:victim
+                | None -> ());
+                Domain.cpu_relax ())
           done;
           !found)
 
@@ -256,7 +335,7 @@ let worker_loop pool me =
         if !spins < spin_rounds then Domain.cpu_relax ()
         else begin
           spins := 0;
-          park pool pool.stats.(me) ~should_sleep:(fun () ->
+          park pool me ~should_sleep:(fun () ->
               (not (Atomic.get pool.stop)) && Atomic.get pool.pending = 0)
         end
   done
@@ -267,7 +346,8 @@ let worker_loop pool me =
 
 let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
     ?(steal_half = false) ?(telemetry = false) ?(debug = false)
-    ?(queue_capacity = 1 lsl 13) () =
+    ?(queue_capacity = 1 lsl 13) ?(flight = false)
+    ?(flight_capacity = 16384) () =
   if steal_half && backend <> The_deques then
     invalid_arg "Pool.create: steal_half requires the THE backend";
   let n =
@@ -305,6 +385,12 @@ let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
       sleepers = Atomic.make 0;
       stats = Array.init (n + 1) (fun _ -> stats_create ());
       latencies = Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      recorder =
+        (if flight then
+           Some (FR.create ~capacity:flight_capacity ~slots:(n + 1) ())
+         else None);
+      current = Array.make (n + 1) (-1);
+      next_task_id = Atomic.make 0;
       running = Atomic.make false;
       shut = Atomic.make false;
     }
@@ -315,16 +401,25 @@ let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
 
 let spawn pool f =
   if Atomic.get pool.shut then invalid_arg "Pool.spawn: pool is shut down";
-  let cell = make_cell pool f in
   ignore (Atomic.fetch_and_add pool.in_flight 1);
   ignore (Atomic.fetch_and_add pool.pending 1);
   (match Domain.DLS.get pool.worker_id with
   | Some me ->
+      let cell = make_cell pool ~parent:pool.current.(me) f in
       pool.stats.(me).spawns <- pool.stats.(me).spawns + 1;
+      (* The Spawn event lands before the push: the cell must be on record
+         before a thief can emit the matching Steal/Run. *)
+      (match pool.recorder with
+      | Some r -> FR.record r ~slot:me FR.Spawn ~task:cell.id ~arg:cell.parent
+      | None -> ());
       push_own pool me cell
   | None ->
       (* not a pool domain: Chase-Lev push is single-owner, so external
          submissions go through the MPMC injector *)
+      let cell = make_cell pool ~parent:(-1) f in
+      (match pool.recorder with
+      | Some r -> FR.record_external r FR.Inject ~task:cell.id ~arg:FR.no_arg
+      | None -> ());
       Injector.push pool.injector cell);
   wake_all pool
 
@@ -355,7 +450,7 @@ let parallel_run pool tasks =
         if !spins < spin_rounds then Domain.cpu_relax ()
         else begin
           spins := 0;
-          park pool pool.stats.(0) ~should_sleep:(fun () ->
+          park pool 0 ~should_sleep:(fun () ->
               Atomic.get pool.pending = 0 && Atomic.get pool.in_flight > 0)
         end
   done;
@@ -372,6 +467,9 @@ let drain_find pool rr =
   match Injector.pop pool.injector with
   | Some c ->
       Atomic.decr pool.pending;
+      (match pool.recorder with
+      | Some r -> FR.record_external r FR.Run ~task:c.id ~arg:FR.origin_inject
+      | None -> ());
       Some c
   | None ->
       let n = Array.length pool.deques in
@@ -381,10 +479,13 @@ let drain_find pool rr =
         incr attempts;
         rr := (!rr + 1) mod n;
         (match steal_from pool (-1) !rr with
-        | Some c ->
+        | `Task c ->
             Atomic.decr pool.pending;
+            (match pool.recorder with
+            | Some r -> FR.record_external r FR.Run ~task:c.id ~arg:!rr
+            | None -> ());
             found := Some c
-        | None -> ())
+        | `Empty | `Abort -> ())
       done;
       !found
 
@@ -412,19 +513,49 @@ let shutdown pool =
 
 let worker_count pool = Array.length pool.deques - 1
 
+(* Stable-read snapshot of one slot's counters: copy, re-copy, and accept
+   only when two successive copies agree (the writer was quiet in between,
+   so the copy is a consistent cut of that slot's history). The writer is
+   never slowed down — all the cost is on the reader, bounded by [tries]:
+   under sustained writes the last copy is returned, torn by at most the
+   events in flight during the final copy. See pool.mli for the precise
+   tolerance statement. *)
+let scrape_slot pool i =
+  let rec go prev tries =
+    let cur = stats_copy pool.stats.(i) in
+    if tries = 0 || stats_equal prev cur then cur else go cur (tries - 1)
+  in
+  go (stats_copy pool.stats.(i)) 3
+
+type snapshot = {
+  slot_stats : worker_stats array;
+  slot_latencies : Telemetry.Histogram.t array;
+  snap_pending : int;
+  snap_in_flight : int;
+  snap_sleepers : int;
+  snap_injector : int;
+}
+
+let scrape pool =
+  {
+    slot_stats = Array.init (Array.length pool.stats) (scrape_slot pool);
+    slot_latencies =
+      Array.map
+        (fun l ->
+          let h = Telemetry.Histogram.create () in
+          Telemetry.Histogram.merge ~into:h l;
+          h)
+        pool.latencies;
+    snap_pending = Atomic.get pool.pending;
+    snap_in_flight = Atomic.get pool.in_flight;
+    snap_sleepers = Atomic.get pool.sleepers;
+    snap_injector = Injector.size pool.injector;
+  }
+
 let worker_stats pool =
-  Array.map
-    (fun st ->
-      {
-        spawns = st.spawns;
-        tasks_run = st.tasks_run;
-        tasks_stolen = st.tasks_stolen;
-        injector_runs = st.injector_runs;
-        steal_attempts = st.steal_attempts;
-        steals = st.steals;
-        parks = st.parks;
-      })
-    pool.stats
+  Array.init (Array.length pool.stats) (scrape_slot pool)
+
+let flight pool = pool.recorder
 
 let tasks_run pool =
   Array.fold_left (fun acc st -> acc + st.tasks_run) 0 pool.stats
@@ -444,7 +575,14 @@ let fold_into_sink pool sink =
         sink.Telemetry.Sink.tasks_stolen + st.tasks_stolen;
       sink.Telemetry.Sink.steal_attempts <-
         sink.Telemetry.Sink.steal_attempts + st.steal_attempts;
-      sink.Telemetry.Sink.steals <- sink.Telemetry.Sink.steals + st.steals)
+      sink.Telemetry.Sink.steals <- sink.Telemetry.Sink.steals + st.steals;
+      sink.Telemetry.Sink.take_empties <-
+        sink.Telemetry.Sink.take_empties + st.take_empties;
+      sink.Telemetry.Sink.steal_empties <-
+        sink.Telemetry.Sink.steal_empties + st.steal_empties;
+      sink.Telemetry.Sink.steal_aborts <-
+        sink.Telemetry.Sink.steal_aborts + st.steal_aborts;
+      sink.Telemetry.Sink.parks <- sink.Telemetry.Sink.parks + st.parks)
     pool.stats
 
 let fib pool n =

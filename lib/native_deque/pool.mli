@@ -20,6 +20,9 @@ type worker_stats = {
   mutable injector_runs : int;  (** of those, how many came from the injector *)
   mutable steal_attempts : int;
   mutable steals : int;  (** successful steal operations *)
+  mutable take_empties : int;  (** own-deque pops that found nothing *)
+  mutable steal_empties : int;  (** steal attempts on an empty victim *)
+  mutable steal_aborts : int;  (** steal attempts that lost a live race *)
   mutable parks : int;  (** times this worker went to sleep *)
 }
 
@@ -31,6 +34,8 @@ val create :
   ?telemetry:bool ->
   ?debug:bool ->
   ?queue_capacity:int ->
+  ?flight:bool ->
+  ?flight_capacity:int ->
   unit ->
   t
 (** [domains] defaults to [Domain.recommended_domain_count () - 1] worker
@@ -39,7 +44,13 @@ val create :
     [telemetry] enables per-task latency timestamps (see {!latency}).
     [debug] asserts the single-owner push discipline on every push.
     [queue_capacity] bounds the fixed-size THE deques (overflow spills to
-    the injector). *)
+    the injector). [flight] attaches a {!Telemetry.Flight_recorder} — one
+    ring of [flight_capacity] events per slot (default 16384) — recording
+    spawn/run/steal/steal-abort/inject/park/unpark events with task
+    lineage; retrieve it with {!flight}. With [steal_half], only the first
+    task of a stolen batch records a [Steal] event; the surplus moves to
+    the thief's own deque and its later runs record as own pops (their
+    lineage still shows the original spawner slot). *)
 
 val parallel_run : t -> (unit -> unit) list -> unit
 (** Execute the thunks to completion; each may {!spawn} more work. Returns
@@ -66,7 +77,40 @@ val worker_count : t -> int
 
 val worker_stats : t -> worker_stats array
 (** Snapshot of per-slot counters; index 0 is the coordinator, 1..n the
-    workers. Values are copies. *)
+    workers. Values are copies, taken with the stable-read protocol of
+    {!scrape} — see the consistency model there. *)
+
+type snapshot = {
+  slot_stats : worker_stats array;  (** per-slot counter copies *)
+  slot_latencies : Telemetry.Histogram.t array;
+      (** per-slot latency histogram copies (empty unless [~telemetry]) *)
+  snap_pending : int;  (** cells enqueued and not yet dequeued *)
+  snap_in_flight : int;  (** tasks spawned and not yet finished *)
+  snap_sleepers : int;  (** workers parked at the instant of the scrape *)
+  snap_injector : int;  (** cells waiting in the external-submission FIFO *)
+}
+
+val scrape : t -> snapshot
+(** Live scrape without stopping workers.
+
+    {b Consistency model.} Writers are never slowed: each slot's counters
+    are copied and re-copied until two successive copies agree (at most 4
+    copies), which certifies the returned record as a consistent cut of
+    that slot's history — a state the slot actually passed through.
+    Under sustained writes the retries can exhaust; the last copy is then
+    returned and may tear {e across fields only}, by at most the handful
+    of events that slot processed during one copy. Each individual field
+    is always exact at some instant during the call: every counter is a
+    single word written by one domain, so a field read is never torn,
+    and all counters are monotone. No consistency holds {e between}
+    slots — slot A's copy and slot B's copy are taken at different
+    instants. The scalar gauges ([snap_pending], [snap_in_flight],
+    [snap_sleepers], [snap_injector]) are independent atomic reads, each
+    exact at its own instant. *)
+
+val flight : t -> Telemetry.Flight_recorder.t option
+(** The flight recorder attached at creation ([?flight:true]), for
+    post-run lineage reconstruction and reporting. *)
 
 val tasks_run : t -> int
 (** Total tasks executed across all slots. *)
@@ -77,7 +121,9 @@ val latency : t -> Telemetry.Histogram.t
 
 val fold_into_sink : t -> Telemetry.Sink.t -> unit
 (** Accumulate pool counters into a telemetry sink: spawns into [puts],
-    plus [tasks_run], [tasks_stolen], [steal_attempts] and [steals]. *)
+    plus [tasks_run], [tasks_stolen], [steal_attempts], [steals],
+    [take_empties], [steal_empties], [steal_aborts] and [parks] — the
+    full contention picture, not just the happy path. *)
 
 val fib : t -> int -> int
 (** The inevitable demo: parallel naive Fibonacci on the pool (used by

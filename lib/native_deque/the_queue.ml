@@ -61,6 +61,31 @@ let steal q =
   Mutex.unlock q.lock;
   r
 
+(* Same protocol as [steal], but the two failure modes stay apart: a queue
+   already empty on entry is [`Empty]; a failed certification after the
+   head advance — the owner popped the contested element between our two
+   reads — is a genuine THE conflict, [`Abort]. *)
+let steal_detail q =
+  Mutex.lock q.lock;
+  let h = Atomic.get q.head in
+  let r =
+    if Atomic.get q.tail - h <= 0 then `Empty
+    else begin
+      Atomic.set q.head (h + 1);
+      let t = Atomic.get q.tail in
+      if h + 1 <= t then
+        match q.elems.(h land q.mask) with
+        | Some x -> `Task x
+        | None -> `Empty
+      else begin
+        Atomic.set q.head h;
+        `Abort
+      end
+    end
+  in
+  Mutex.unlock q.lock;
+  r
+
 (* Batched steal: take up to half the queue (at least one) in one lock
    acquisition. Same protocol as [steal] — advance the head first, then
    re-read the tail and shrink if the owner popped concurrently. While we

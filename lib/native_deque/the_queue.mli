@@ -14,6 +14,11 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 val steal : 'a t -> 'a option
 
+val steal_detail : 'a t -> [ `Task of 'a | `Empty | `Abort ]
+(** Like {!steal} but distinguishes the two [None] cases: [`Empty] when the
+    queue held nothing on entry, [`Abort] when the post-advance tail read
+    failed to certify the element (the owner's conflict path won it). *)
+
 val steal_half : ?max_batch:int -> 'a t -> 'a list
 (** Any domain: take up to half the queue (at least one element when
     non-empty, at most [max_batch]) in one lock acquisition, oldest first.

@@ -54,6 +54,12 @@ let async_end t ~name ?(cat = "sb") ?(pid = 0) ~tid ~ts ~id () =
 let counter t ~name ?(cat = "sim") ?(pid = 0) ~tid ~ts ~values () =
   add t { ph = 'C'; name; cat; pid; tid; ts; dur = 0; id = -1; args = values }
 
+let flow_start t ~name ?(cat = "flow") ?(pid = 0) ~tid ~ts ~id () =
+  add t { ph = 's'; name; cat; pid; tid; ts; dur = 0; id; args = [] }
+
+let flow_finish t ~name ?(cat = "flow") ?(pid = 0) ~tid ~ts ~id () =
+  add t { ph = 'f'; name; cat; pid; tid; ts; dur = 0; id; args = [] }
+
 let set_thread_name t ~pid ~tid name = t.names <- (name, pid, tid) :: t.names
 let set_process_name t ~pid name = t.names <- (name, pid, -1) :: t.names
 
@@ -73,6 +79,9 @@ let event_json ev =
   in
   let base = if ev.ph = 'X' then base @ [ ("dur", Json.Int ev.dur) ] else base in
   let base = if ev.id >= 0 then base @ [ ("id", Json.Int ev.id) ] else base in
+  (* Flow-finish events bind to the enclosing slice ("bp": "e"); without it
+     viewers attach the arrow head to the next slice instead. *)
+  let base = if ev.ph = 'f' then base @ [ ("bp", Json.Str "e") ] else base in
   let base =
     match ev.args with
     | [] -> base

@@ -34,6 +34,17 @@ val counter :
   values:(string * int) list -> unit -> unit
 (** A counter-track sample (phase "C"). *)
 
+val flow_start :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> id:int ->
+  unit -> unit
+(** Open a flow arrow (phase "s"); terminate it with {!flow_finish} and the
+    same [id]/[name]/[cat]. Used for victim-push → thief-run steal arrows. *)
+
+val flow_finish :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts:int -> id:int ->
+  unit -> unit
+(** Arrow head (phase "f", binding point "e"). *)
+
 val set_thread_name : t -> pid:int -> tid:int -> string -> unit
 val set_process_name : t -> pid:int -> string -> unit
 

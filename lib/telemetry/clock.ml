@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "ws_telemetry_now_ns" [@@noalloc]

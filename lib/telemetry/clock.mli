@@ -1,0 +1,10 @@
+(** Monotonic clock, nanosecond resolution.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a [@@noalloc] C
+    stub, so a reading costs one vDSO call and allocates nothing — cheap
+    enough for per-event timestamps on the flight-recorder hot path.
+    The epoch is arbitrary (boot time on Linux); only differences between
+    two readings are meaningful. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin, monotone non-decreasing. *)

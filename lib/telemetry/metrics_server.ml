@@ -1,0 +1,100 @@
+(* Minimal HTTP/1.1 scrape endpoint on a plain Unix socket.
+
+   One listener thread accepts loopback connections and serves GET / or
+   GET /metrics by calling the [body] thunk at request time (so every
+   scrape sees fresh counters); anything else is a 404. Requests are
+   read with a single bounded [read] — a scrape request line fits in one
+   segment and we never trust the peer for more — and every response
+   closes the connection, so there is no keep-alive state to manage.
+
+   [stop] closes the listening socket, which forces the blocked [accept]
+   to fail; the thread checks the stop flag and exits, and [stop] joins
+   it before returning. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let handle_client fd body =
+  let buf = Bytes.create 4096 in
+  (match Unix.read fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error _ -> ()
+  | 0 -> ()
+  | n ->
+      let req = Bytes.sub_string buf 0 n in
+      let path =
+        match String.split_on_char ' ' req with
+        | _meth :: path :: _ -> path
+        | _ -> "/"
+      in
+      let resp =
+        if path = "/" || path = "/metrics" then
+          http_response ~status:"200 OK" ~content_type:Openmetrics.content_type
+            (body ())
+        else
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n"
+      in
+      let rec write_all off len =
+        if len > 0 then
+          match Unix.write_substring fd resp off len with
+          | exception Unix.Unix_error _ -> ()
+          | w -> write_all (off + w) (len - w)
+      in
+      write_all 0 (String.length resp));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop t body =
+  match Unix.accept t.sock with
+  | exception Unix.Unix_error _ -> if not t.stopped then accept_loop t body
+  | client, _addr ->
+      if t.stopped then (try Unix.close client with Unix.Unix_error _ -> ())
+      else begin
+        handle_client client body;
+        accept_loop t body
+      end
+
+let start ?(host = "127.0.0.1") ~port ~body () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind sock addr
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 16;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { sock; port; stopped = false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t body) ());
+  t
+
+let port t = t.port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* Closing the listener does not wake a thread blocked in accept(2) on
+       Linux; poke it with a throwaway loopback connection instead, then
+       close once the thread has exited. *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+        with Unix.Unix_error _ -> ());
+       try Unix.close fd with Unix.Unix_error _ -> ()
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.thread;
+    (try Unix.close t.sock with Unix.Unix_error _ -> ())
+  end

@@ -1,0 +1,20 @@
+(** Minimal HTTP/1.1 metrics endpoint on a plain [Unix] socket.
+
+    A single listener thread serves [GET /] and [GET /metrics] by calling
+    the [body] thunk per request (every scrape renders fresh data) and
+    closes each connection after the response — no keep-alive, no
+    dependencies beyond [unix] and [threads.posix]. Intended for the
+    live-scrape path of [wsrepro native --serve-metrics]. *)
+
+type t
+
+val start : ?host:string -> port:int -> body:(unit -> string) -> unit -> t
+(** Bind [host] (default loopback) at [port] and start serving. [port = 0]
+    binds an ephemeral port; read it back with {!port}. Raises
+    [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Close the listener and join the serving thread. Idempotent. *)

@@ -1,0 +1,18 @@
+/* Monotonic nanosecond clock for the flight recorder's hot path.
+ *
+ * CLOCK_MONOTONIC via the vDSO costs ~20 ns and never jumps backwards,
+ * which is what a single-writer event ring needs: Unix.gettimeofday is
+ * wall-clock (NTP can step it) and returns a boxed float. The result is
+ * returned as an unboxed OCaml int: 63 bits of nanoseconds is ~146 years
+ * of uptime, so truncation is not a concern.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ws_telemetry_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,71 @@
+(* OpenMetrics text exposition (the Prometheus scrape format, as pinned by
+   the OpenMetrics 1.0 spec). The renderer is deliberately byte-stable:
+   metrics render in caller order, samples in caller order, and values with
+   a fixed deterministic format — the cram/CI contract greps and diffs the
+   output, so "same data, same bytes" is part of the interface. *)
+
+type sample = { labels : (string * string) list; value : float }
+type metric_type = Counter | Gauge
+
+type metric = {
+  name : string;
+  help : string;
+  mtype : metric_type;
+  samples : sample list;
+}
+
+let counter ~name ~help samples = { name; help; mtype = Counter; samples }
+let gauge ~name ~help samples = { name; help; mtype = Gauge; samples }
+let sample ?(labels = []) value = { labels; value }
+
+(* Label values: escape backslash, double-quote and newline per spec. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Deterministic value rendering: integral values (the common case — every
+   pool counter) print with no fractional part, everything else with a
+   fixed six digits. *)
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+      ^ "}"
+
+let render metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let tname = match m.mtype with Counter -> "counter" | Gauge -> "gauge" in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m.name tname);
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+      (* OpenMetrics requires counter sample names to carry the _total
+         suffix while the metric family keeps the bare name. *)
+      let sname =
+        match m.mtype with Counter -> m.name ^ "_total" | Gauge -> m.name
+      in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" sname (render_labels s.labels)
+               (render_value s.value)))
+        m.samples)
+    metrics;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"

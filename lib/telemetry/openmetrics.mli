@@ -1,0 +1,26 @@
+(** OpenMetrics text exposition (Prometheus scrape format).
+
+    The renderer is byte-stable: metric families render in caller order,
+    samples in caller order, values in a fixed deterministic format.
+    Counter families automatically get the spec-required [_total] suffix on
+    their sample lines, and the document ends with the [# EOF] terminator. *)
+
+type sample = { labels : (string * string) list; value : float }
+type metric_type = Counter | Gauge
+
+type metric = {
+  name : string;
+  help : string;
+  mtype : metric_type;
+  samples : sample list;
+}
+
+val counter : name:string -> help:string -> sample list -> metric
+val gauge : name:string -> help:string -> sample list -> metric
+val sample : ?labels:(string * string) list -> float -> sample
+
+val render : metric list -> string
+(** Full exposition document, [# EOF]-terminated. *)
+
+val content_type : string
+(** The HTTP [Content-Type] an OpenMetrics endpoint must serve. *)

@@ -39,6 +39,7 @@ type t = {
   (* runtime layer *)
   mutable tasks_run : int;
   mutable tasks_stolen : int;
+  mutable parks : int;  (* worker park episodes (native pool sleepers) *)
   (* explorer layer *)
   mutable por_sleep_skips : int;  (* transitions skipped by sleep-set POR *)
   mutable snapshot_restores : int;  (* Machine.restore_into calls *)
@@ -76,6 +77,7 @@ let create () =
     delta_checks = 0;
     tasks_run = 0;
     tasks_stolen = 0;
+    parks = 0;
     por_sleep_skips = 0;
     snapshot_restores = 0;
     frontier_tasks = 0;
@@ -110,6 +112,7 @@ let reset t =
   t.delta_checks <- 0;
   t.tasks_run <- 0;
   t.tasks_stolen <- 0;
+  t.parks <- 0;
   t.por_sleep_skips <- 0;
   t.snapshot_restores <- 0;
   t.frontier_tasks <- 0;
@@ -143,6 +146,7 @@ let merge ~into src =
   into.delta_checks <- into.delta_checks + src.delta_checks;
   into.tasks_run <- into.tasks_run + src.tasks_run;
   into.tasks_stolen <- into.tasks_stolen + src.tasks_stolen;
+  into.parks <- into.parks + src.parks;
   into.por_sleep_skips <- into.por_sleep_skips + src.por_sleep_skips;
   into.snapshot_restores <- into.snapshot_restores + src.snapshot_restores;
   into.frontier_tasks <- into.frontier_tasks + src.frontier_tasks;
@@ -179,6 +183,7 @@ let fields t =
     ("delta_checks", t.delta_checks);
     ("tasks_run", t.tasks_run);
     ("tasks_stolen", t.tasks_stolen);
+    ("parks", t.parks);
     ("por_sleep_skips", t.por_sleep_skips);
     ("snapshot_restores", t.snapshot_restores);
     ("frontier_tasks", t.frontier_tasks);

@@ -38,6 +38,8 @@ type t = {
       (** [t - delta > h] certifications attempted by fence-free thieves *)
   mutable tasks_run : int;
   mutable tasks_stolen : int;
+  mutable parks : int;
+      (** worker park episodes (native pool sleepers protocol) *)
   mutable por_sleep_skips : int;
       (** transitions the explorer's sleep-set POR refused to explore *)
   mutable snapshot_restores : int;

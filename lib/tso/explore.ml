@@ -11,6 +11,7 @@ type stats = {
   memo_hits : int;
   sleep_skips : int;
   peak_depth : int;
+  covered : float;
   failures : (int list * string) list;
 }
 
@@ -440,6 +441,7 @@ type acc = {
   mutable memo_hits : int;
   mutable sleep_skips : int;
   mutable peak_depth : int;
+  mutable covered : float;
   mutable failures_rev : (int list * string) list;
   mutable failure_count : int;
 }
@@ -453,6 +455,7 @@ let make_acc () =
     memo_hits = 0;
     sleep_skips = 0;
     peak_depth = 0;
+    covered = 0.0;
     failures_rev = [];
     failure_count = 0;
   }
@@ -466,6 +469,7 @@ let stats_of_acc a =
     memo_hits = a.memo_hits;
     sleep_skips = a.sleep_skips;
     peak_depth = a.peak_depth;
+    covered = min 1.0 a.covered;
     failures = List.rev a.failures_rev;
   }
 
@@ -503,7 +507,22 @@ type ctx = {
       (** sibling exploration by snapshot/restore; [false] falls back to
           prefix replay (the differential oracle) *)
   spool : spool;  (** per-depth snapshot scratch *)
+  mutable mass : float;
+      (** Knuth-style tree-mass register: the probability mass of the
+          subtree [extend] is about to enter. The root carries 1.0; an
+          n-ary branch splits its mass evenly among its children. Every
+          way a subtree is disposed of without recursing — leaf, deadlock,
+          depth truncation, memo hit, sleep skip, bound prune, DPOR
+          never-demanded sibling — credits its mass to [acc.covered], so
+          covered sums to exactly 1.0 over a completed search and the
+          covered fraction of an interrupted one estimates the fraction of
+          the tree explored (and [runs /. covered] its total size). The
+          caller sets this field immediately before each [extend] call;
+          [extend] reads it once on entry. *)
 }
+
+(* Account a disposed-of subtree's mass as covered. *)
+let credit ctx mass = ctx.acc.covered <- ctx.acc.covered +. mass
 
 let sleep_skip ctx m =
   ctx.acc.sleep_skips <- ctx.acc.sleep_skips + 1;
@@ -548,6 +567,10 @@ let preemption_cost_buf ~last_unit buf tr =
    return the prefix is restored to its entry length. *)
 let rec extend ctx inst prefix depth last_unit preemptions sleep =
   let m = inst.machine in
+  (* This node's subtree mass, staged by the caller (1.0 at the root). The
+     register is clobbered by deeper recursion, so it is read exactly once,
+     here. *)
+  let mass = ctx.mass in
   if depth > ctx.acc.peak_depth then ctx.acc.peak_depth <- depth;
   let memo_hit =
     match ctx.memo with
@@ -566,13 +589,17 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
         in
         memo.seen key ~depth_rem:(ctx.max_depth - depth) ~preempt_rem
   in
-  if memo_hit then ctx.acc.memo_hits <- ctx.acc.memo_hits + 1
+  if memo_hit then begin
+    ctx.acc.memo_hits <- ctx.acc.memo_hits + 1;
+    credit ctx mass
+  end
   else begin
     (* Depth [depth]'s buffer stays live while this node iterates its
        children; the recursion below only touches deeper buffers. *)
     let buf = pool_get ctx.pool depth in
     let n = choices_into m buf in
     if n = 0 then begin
+      credit ctx mass;
       if Machine.quiescent m then begin
         (match inst.check () with
         | Ok () -> ()
@@ -586,16 +613,19 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
       end
     end
     else if depth >= ctx.max_depth then begin
+      credit ctx mass;
       ctx.acc.truncated <- ctx.acc.truncated + 1;
       ctx.on_run ctx.acc
     end
     else if n = 1 then begin
       let tr = Machine.tbuf_get buf 0 in
-      if ctx.por && sleep_mem sleep tr then
+      if ctx.por && sleep_mem sleep tr then begin
         (* The whole continuation is a commuted copy of an explored one:
            backtrack without completing (or counting) a run — this silent
            cut is where the run reduction comes from. *)
+        credit ctx mass;
         sleep_skip ctx m
+      end
       else begin
         let fp_opt =
           if ctx.dpor <> None || (ctx.por && sleep <> []) then
@@ -621,6 +651,7 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
           match unit_of tr with U_memory -> last_unit | u -> Some u
         in
         Prefix.push prefix 0 tr;
+        ctx.mass <- mass;
         extend ctx inst prefix (depth + 1) last_unit preemptions sleep';
         Prefix.pop prefix;
         match ctx.dpor with Some ds -> dpor_pop ds depth | None -> ()
@@ -632,6 +663,10 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
         | None -> true
         | Some b -> preemptions + cost <= b
       in
+      (* Knuth split: each of the n children carries an equal share of this
+         node's mass, however it is disposed of (explored, slept, pruned,
+         or never demanded). *)
+      let cmass = mass /. float_of_int n in
       (* Footprints are a function of the machine state at this node (a
          drain's target address is the current buffer head), so they are
          taken for every child before child 0 advances the machine. *)
@@ -698,6 +733,7 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
           (if !init < 0 then
              (* every choice is a commuted copy of an explored execution *)
              for _ = 1 to n do
+               credit ctx cmass;
                sleep_skip ctx m
              done
            else begin
@@ -723,10 +759,14 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
                  let i = !next in
                  node.nd_done.(i) <- true;
                  let tr = Machine.tbuf_get buf i in
-                 if sleep_mem !sleep_now tr then sleep_skip ctx m
+                 if sleep_mem !sleep_now tr then begin
+                   credit ctx cmass;
+                   sleep_skip ctx m
+                 end
                  else begin
                    let cost = preemption_cost_buf ~last_unit buf tr in
                    if not (within cost) then begin
+                     credit ctx cmass;
                      ctx.acc.pruned <- ctx.acc.pruned + 1;
                      (* the bound cut a demanded child; races below it are
                         unknown, so enumerate as the bounded search does *)
@@ -758,6 +798,7 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
                        | U_memory -> last_unit
                        | u -> Some u
                      in
+                     ctx.mass <- cmass;
                      extend ctx inst' prefix (depth + 1) last_unit'
                        (preemptions + cost) child_sleep;
                      Prefix.pop prefix;
@@ -780,6 +821,12 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
                    end
                  end
                end
+             done;
+             (* Siblings no race ever demanded are covered by the source-set
+                reduction — their subtrees are commuted copies of explored
+                ones. Credit their share so [covered] still sums to 1. *)
+             for j = 0 to n - 1 do
+               if not node.nd_done.(j) then credit ctx cmass
              done
            end);
           ds.d_nodes.(depth) <- None
@@ -791,10 +838,16 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
           let sleep_now = ref sleep in
           for i = 0 to n - 1 do
             let tr = Machine.tbuf_get buf i in
-            if ctx.por && sleep_mem !sleep_now tr then sleep_skip ctx m
+            if ctx.por && sleep_mem !sleep_now tr then begin
+              credit ctx cmass;
+              sleep_skip ctx m
+            end
             else begin
               let cost = preemption_cost_buf ~last_unit buf tr in
-              if not (within cost) then ctx.acc.pruned <- ctx.acc.pruned + 1
+              if not (within cost) then begin
+                credit ctx cmass;
+                ctx.acc.pruned <- ctx.acc.pruned + 1
+              end
               else begin
                 let child_sleep =
                   if ctx.por then sleep_filter !sleep_now fps.(i) else []
@@ -818,6 +871,7 @@ let rec extend ctx inst prefix depth last_unit preemptions sleep =
                 let last_unit' =
                   match unit_of tr with U_memory -> last_unit | u -> Some u
                 in
+                ctx.mass <- cmass;
                 extend ctx inst' prefix (depth + 1) last_unit'
                   (preemptions + cost) child_sleep;
                 Prefix.pop prefix;
@@ -890,6 +944,7 @@ let search ?(max_depth = default_max_depth) ?(max_runs = 200_000)
          else None);
       use_snapshots = snapshots;
       spool = spool_create ();
+      mass = 1.0;
     }
   in
   let completed =
@@ -898,6 +953,9 @@ let search ?(max_depth = default_max_depth) ?(max_runs = 200_000)
       true
     with Stop -> false
   in
+  (* A completed search covered the whole tree by construction; snap the
+     float accumulation to the exact answer. *)
+  if completed then acc.covered <- 1.0;
   let st = stats_of_acc acc in
   match memo_store with
   | None -> st
@@ -957,6 +1015,7 @@ module Internal = struct
     mutable memo_hits : int;
     mutable sleep_skips : int;
     mutable peak_depth : int;
+    mutable covered : float;
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
   }
@@ -1007,6 +1066,7 @@ module Internal = struct
     dpor : dpor option;
     use_snapshots : bool;
     spool : spool;
+    mutable mass : float;
   }
 
   let recording_mk = recording_mk

@@ -87,6 +87,20 @@ type stats = {
       (** transitions refused by sleep-set POR (0 unless [por]) *)
   peak_depth : int;
       (** deepest node reached by the search (the depth frontier) *)
+  covered : float;
+      (** Knuth-style covered tree-mass estimate in [0, 1]. The root of
+          the choice tree carries mass 1; an n-ary branch splits its mass
+          evenly among its children; every subtree disposed of without
+          further recursion — completed run, deadlock, depth truncation,
+          memo hit, sleep skip, bound prune, DPOR never-demanded sibling —
+          credits its mass. A search that ran to completion reports exactly
+          [1.0]; an interrupted one ([max_runs], {!Stop}) reports the
+          fraction of the tree it got through, making
+          [runs /. covered] an unbiased-flavoured estimate of the total
+          run count and [elapsed *. (1 -. covered) /. covered] an ETA.
+          The estimate assumes sibling subtrees have comparable mass
+          (the classic Knuth estimator assumption); skewed trees make it
+          noisy early and self-correcting as coverage grows. *)
   failures : (int list * string) list;
       (** Failing runs, in sighting order (first-sighted first, at most
           [max_failures]). Each failure is a choice sequence plus the
@@ -192,6 +206,7 @@ module Internal : sig
     mutable memo_hits : int;
     mutable sleep_skips : int;
     mutable peak_depth : int;
+    mutable covered : float;  (** see {!stats.covered} *)
     mutable failures_rev : (int list * string) list;
     mutable failure_count : int;
   }
@@ -273,6 +288,9 @@ module Internal : sig
     dpor : dpor option;
     use_snapshots : bool;
     spool : spool;
+    mutable mass : float;
+        (** subtree mass for the next [extend] call; set it to the task's
+            mass before entering a frontier subtree (see {!stats.covered}) *)
   }
 
   val recording_mk : (unit -> instance) -> unit -> instance

@@ -9,6 +9,10 @@ type task = {
   last_unit : Explore.unit_id option;
   preemptions : int;
   sleep : sleep_entry list;
+  mass : float;
+      (** Knuth tree-mass share of this subtree (root task = 1.0); split
+          evenly among children at frontier branch nodes, exactly as the
+          sequential search splits it at its own branch nodes *)
 }
 
 (* The immediate outcomes of expanding a task by one branching level, in
@@ -52,6 +56,7 @@ let make_ctx cfg acc inst =
        else None);
     use_snapshots = cfg.snapshots;
     spool = spool_create ();
+    mass = 1.0;
   }
 
 (* One visited-state cache shared by every domain, sharded by fingerprint
@@ -98,10 +103,9 @@ let expand cfg task =
   let prefix = task.prefix in
   let terminal depth last_unit sleep =
     let acc = make_acc () in
-    (try
-       extend
-         (make_ctx cfg acc inst)
-         inst prefix depth last_unit task.preemptions sleep
+    let ctx = make_ctx cfg acc inst in
+    ctx.mass <- task.mass;
+    (try extend ctx inst prefix depth last_unit task.preemptions sleep
      with Explore.Stop -> ());
     [ Settled acc ]
   in
@@ -116,6 +120,7 @@ let expand cfg task =
              run; settle the subtree with exactly that accounting. *)
           let acc = make_acc () in
           acc.peak_depth <- depth;
+          acc.covered <- task.mass;
           skip_one acc m;
           [ Settled acc ]
         end
@@ -140,6 +145,11 @@ let expand cfg task =
            depth so the merged depth frontier matches the sequential search
            even when every child is pruned by the preemption bound. *)
         node.peak_depth <- depth;
+        (* The frontier split node is a branch node of the sequential tree:
+           its mass splits evenly among the children, and children settled
+           here (slept, pruned) credit their share to the split node's
+           accumulator. *)
+        let cmass = task.mass /. float_of_int (List.length ts) in
         (* Footprints are a function of this node's state; take them before
            building children. *)
         let fps =
@@ -150,7 +160,10 @@ let expand cfg task =
         let children = ref [] in
         List.iteri
           (fun i tr ->
-            if cfg.por && sleep_mem !sleep_now tr then skip_one node m
+            if cfg.por && sleep_mem !sleep_now tr then begin
+              node.covered <- node.covered +. cmass;
+              skip_one node m
+            end
             else begin
               let cost = preemption_cost ~last_unit ~choices:ts tr in
               let within =
@@ -158,7 +171,10 @@ let expand cfg task =
                 | None -> true
                 | Some b -> task.preemptions + cost <= b
               in
-              if not within then node.pruned <- node.pruned + 1
+              if not within then begin
+                node.covered <- node.covered +. cmass;
+                node.pruned <- node.pruned + 1
+              end
               else begin
                 Prefix.push prefix i tr;
                 let child_prefix = Prefix.copy prefix in
@@ -177,6 +193,7 @@ let expand cfg task =
                         | u -> Some u);
                       preemptions = task.preemptions + cost;
                       sleep = child_sleep;
+                      mass = cmass;
                     }
                   :: !children;
                 (* Under no preemption bound a fully explored child always
@@ -205,9 +222,10 @@ let run_task cfg task =
   let acc = make_acc () in
   (try
      let inst = Prefix.replay ~mk:cfg.mk task.prefix in
-     extend
-       (make_ctx cfg acc inst)
-       inst task.prefix task.depth task.last_unit task.preemptions task.sleep
+     let ctx = make_ctx cfg acc inst in
+     ctx.mass <- task.mass;
+     extend ctx inst task.prefix task.depth task.last_unit task.preemptions
+       task.sleep
    with Explore.Stop -> ());
   acc
 
@@ -231,6 +249,7 @@ let merge ~max_failures accs =
       merged.memo_hits <- merged.memo_hits + a.memo_hits;
       merged.sleep_skips <- merged.sleep_skips + a.sleep_skips;
       merged.peak_depth <- max merged.peak_depth a.peak_depth;
+      merged.covered <- merged.covered +. a.covered;
       List.iter
         (fun f ->
           if merged.failure_count < max_failures then begin
@@ -246,6 +265,7 @@ type progress = {
   tasks_total : int;
   total_runs : int;
   domains : int;
+  covered : float;
 }
 
 type frontier_stats = {
@@ -315,6 +335,7 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
                    tasks_total = 1;
                    total_runs = s.Explore.runs;
                    domains = 1;
+                   covered = s.Explore.covered;
                  })
              on_progress)
         ~progress_every ~mk ()
@@ -327,6 +348,16 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
     let tasks_done = Atomic.make 0 in
     let tasks_total = Atomic.make 1 in
     let stopped = Atomic.make false in
+    (* Live covered-mass accumulator, as a fixed-point integer so every
+       domain can add its retired tasks' shares atomically. Coarser than
+       the sequential estimate (tasks credit only on retirement), but the
+       split budget guarantees >= 4*jobs tasks, so it moves. *)
+    let covered_scale = 1073741824.0 (* 2^30 *) in
+    let covered_fp = Atomic.make 0 in
+    let credit_live (a : acc) =
+      let fp = int_of_float (a.covered *. covered_scale) in
+      if fp > 0 then ignore (Atomic.fetch_and_add covered_fp fp)
+    in
     let progress_every = max 1 progress_every in
     (* Progress is observed only from the initial domain (the one that
        called [search]): the reporter callback is not required to be
@@ -346,6 +377,8 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
               tasks_total = Atomic.get tasks_total;
               total_runs = total;
               domains = jobs;
+              covered =
+                min 1.0 (float_of_int (Atomic.get covered_fp) /. covered_scale);
             }
       | _ -> ());
       if total >= max_runs then begin
@@ -386,6 +419,7 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
             last_unit = None;
             preemptions = 0;
             sleep = [];
+            mass = 1.0;
           };
         t_budget = split_budget jobs;
         t_items = [];
@@ -417,6 +451,7 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
             (function
               | Settled a ->
                   runs_d.(k) <- runs_d.(k) + a.runs;
+                  credit_live a;
                   T_settled a
               | Subtree t ->
                   T_child
@@ -445,6 +480,7 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
       else begin
         let a = run_task cfg node.t_task in
         runs_d.(k) <- runs_d.(k) + a.runs;
+        credit_live a;
         node.t_acc <- Some a
       end;
       Atomic.incr tasks_done
@@ -499,6 +535,11 @@ let search_with_frontier ?(max_depth = Explore.default_max_depth)
             node.t_items
     in
     let st = stats_of_acc (merge ~max_failures (collect root)) in
+    (* As in the sequential search: a run that was never stopped covered
+       the whole tree; snap the float accumulation to the exact answer. *)
+    let st =
+      if Atomic.get stopped then st else { st with Explore.covered = 1.0 }
+    in
     let st =
       match memo_store with
       | None -> st

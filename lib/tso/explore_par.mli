@@ -60,6 +60,12 @@ type progress = {
   tasks_total : int;  (** frontier tasks created so far (grows dynamically) *)
   total_runs : int;  (** completed runs across all domains *)
   domains : int;  (** worker domains in use *)
+  covered : float;
+      (** live Knuth covered-mass estimate in [0, 1] (see
+          {!Explore.stats.covered}); in parallel mode each frontier task
+          credits its share only when it retires, so the estimate moves in
+          task-sized steps (the split budget guarantees at least ~4 tasks
+          per domain) *)
 }
 
 type frontier_stats = {

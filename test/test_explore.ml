@@ -450,6 +450,37 @@ let test_memo_store_corruption () =
       checkb ("corruption diagnosed: " ^ e) true
         (contains ~needle:"malformed entry" e)
 
+(* --- Knuth covered-mass estimate ---------------------------------------- *)
+
+let test_covered_estimate () =
+  (* a completed search reports exactly 1.0; an interrupted one reports the
+     fraction it got through, and runs/covered estimates the total size *)
+  let t = Ws_litmus.Classic.find "SB" in
+  let full = Explore.search ~max_runs ~mk:t.mk () in
+  Alcotest.(check (float 0.0))
+    "complete search covers 1.0" 1.0 full.Explore.covered;
+  let partial =
+    Explore.search ~max_runs:(max 1 (full.Explore.runs / 2)) ~mk:t.mk ()
+  in
+  checkb "interrupted search covers a proper fraction" true
+    (partial.Explore.covered > 0.0 && partial.Explore.covered < 1.0);
+  let est = float_of_int partial.Explore.runs /. partial.Explore.covered in
+  let actual = float_of_int full.Explore.runs in
+  checkb "size estimate lands within 10x of the truth" true
+    (est > actual /. 10.0 && est < actual *. 10.0);
+  (* every disposal path must conserve mass: reduced, memoized, bounded and
+     parallel searches that run to completion all still sum to 1.0 *)
+  let dpor = Explore.search ~max_runs ~dpor:true ~mk:t.mk () in
+  Alcotest.(check (float 0.0)) "DPOR covers 1.0" 1.0 dpor.Explore.covered;
+  let memo = Explore.search ~max_runs ~memo:true ~mk:t.mk () in
+  Alcotest.(check (float 0.0)) "memoized covers 1.0" 1.0 memo.Explore.covered;
+  let bounded =
+    Explore.search ~max_runs ~preemption_bound:(Some 2) ~mk:t.mk ()
+  in
+  Alcotest.(check (float 0.0)) "bounded covers 1.0" 1.0 bounded.Explore.covered;
+  let par = Explore_par.search ~max_runs ~jobs:4 ~mk:t.mk () in
+  Alcotest.(check (float 0.0)) "parallel covers 1.0" 1.0 par.Explore.covered
+
 (* --- work-stealing frontier --------------------------------------------- *)
 
 let test_frontier_accounting () =
@@ -538,6 +569,11 @@ let () =
             test_memo_store_header_mismatch;
           Alcotest.test_case "corruption rejected" `Quick
             test_memo_store_corruption;
+        ] );
+      ( "covered",
+        [
+          Alcotest.test_case "estimate and conservation" `Quick
+            test_covered_estimate;
         ] );
       ( "frontier",
         [

@@ -381,6 +381,79 @@ let test_pool_stats_and_latency () =
   checki "sink tasks_run" total sink.Telemetry.Sink.tasks_run;
   Pool.shutdown pool
 
+(* Forced-steal schedule on the live pool: each round the probe task spawns
+   a child onto its own deque and spins (never popping) until the child
+   flips a flag — the child can only arrive at an executor by a genuine
+   steal, so the flight recording must reconstruct stolen lineage. *)
+let test_pool_flight_lineage () =
+  let module FR = Telemetry.Flight_recorder in
+  let pool = Pool.create ~domains:2 ~flight:true () in
+  Pool.parallel_run pool
+    [
+      (fun () ->
+        for _ = 1 to 4 do
+          let flag = Atomic.make false in
+          Pool.spawn pool (fun () -> Atomic.set flag true);
+          while not (Atomic.get flag) do
+            Domain.cpu_relax ()
+          done
+        done);
+    ];
+  Pool.shutdown pool;
+  let r =
+    match Pool.flight pool with
+    | Some r -> r
+    | None -> Alcotest.fail "flight pool returned no recorder"
+  in
+  let lineages, unresolved = FR.reconstruct r in
+  checki "every run resolved to its spawn" 0 unresolved;
+  let stolen =
+    List.filter
+      (fun (l : FR.lineage) ->
+        match l.origin with FR.Stolen _ -> true | _ -> false)
+      lineages
+  in
+  Alcotest.(check bool)
+    "the spinning owner forced at least one steal" true
+    (List.length stolen >= 1);
+  List.iter
+    (fun (l : FR.lineage) ->
+      match l.origin with
+      | FR.Stolen victim ->
+          Alcotest.(check bool)
+            "thief is not its own victim" true (victim <> l.run_slot);
+          checki "victim is the spawning slot" l.spawn_slot victim;
+          Alcotest.(check bool)
+            "stolen lineage has positive depth" true (l.steal_depth >= 1)
+      | _ -> ())
+    lineages;
+  match FR.validate (FR.report r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "live-pool report failed validation: %s" e
+
+(* Post-quiescence scrape: with no writers left, the stable-read protocol
+   must return exact totals that agree with the pool's own accounting. *)
+let test_pool_scrape () =
+  let pool = Pool.create ~domains:2 ~telemetry:true () in
+  ignore (Pool.fib pool 16);
+  let snap = Pool.scrape pool in
+  let total = Pool.tasks_run pool in
+  checki "slot stats cover coordinator + workers"
+    (Pool.worker_count pool + 1)
+    (Array.length snap.Pool.slot_stats);
+  checki "scrape totals agree with tasks_run" total
+    (Array.fold_left
+       (fun a st -> a + st.Pool.tasks_run)
+       0 snap.Pool.slot_stats);
+  checki "quiescent pool has nothing in flight" 0 snap.Pool.snap_in_flight;
+  checki "quiescent pool has nothing pending" 0 snap.Pool.snap_pending;
+  checki "quiescent pool has an empty injector" 0 snap.Pool.snap_injector;
+  checki "per-slot latency histograms saw every task" total
+    (Array.fold_left
+       (fun a h -> a + Telemetry.Histogram.total h)
+       0 snap.Pool.slot_latencies);
+  Pool.shutdown pool
+
 (* qcheck: random sequential op sequences vs a reference deque *)
 let cl_matches_reference =
   QCheck.Test.make ~name:"native chase-lev matches reference deque (sequential)"
@@ -457,5 +530,9 @@ let () =
             test_pool_round_robin;
           Alcotest.test_case "stats and latency histogram" `Quick
             test_pool_stats_and_latency;
+          Alcotest.test_case "flight recorder stolen lineage" `Quick
+            test_pool_flight_lineage;
+          Alcotest.test_case "live scrape is exact at quiescence" `Quick
+            test_pool_scrape;
         ] );
     ]

@@ -336,6 +336,123 @@ let test_trace_limit () =
         | None -> false)
   | Error e -> Alcotest.failf "capped trace invalid: %s" e
 
+(* --- flight recorder -------------------------------------------------- *)
+
+module FR = Telemetry.Flight_recorder
+module OM = Telemetry.Openmetrics
+
+let test_flight_wraparound () =
+  let r = FR.create ~capacity:8 ~slots:1 () in
+  check int "capacity is a power of two" 8 (FR.capacity r);
+  for i = 1 to 13 do
+    FR.record r ~slot:0 FR.Spawn ~task:i ~arg:(i - 1)
+  done;
+  check int "wrote is monotone, not capped" 13 (FR.wrote r ~slot:0);
+  check
+    Alcotest.(array int)
+    "dropped is exact per ring" [| 5; 0 |] (FR.dropped r);
+  let evs = FR.events_of_slot r 0 in
+  check int "ring retains exactly capacity events" 8 (List.length evs);
+  check
+    Alcotest.(list int)
+    "the 5 oldest were overwritten, order preserved"
+    [ 6; 7; 8; 9; 10; 11; 12; 13 ]
+    (List.map (fun (e : FR.event) -> e.task) evs);
+  let rec mono = function
+    | (a : FR.event) :: (b :: _ as tl) -> a.ts <= b.ts && mono tl
+    | _ -> true
+  in
+  check bool "timestamps nondecreasing" true (mono evs)
+
+let test_flight_capacity_rounding () =
+  let r = FR.create ~capacity:5 ~slots:2 () in
+  check int "5 rounds up to 8" 8 (FR.capacity r);
+  check int "slots as requested" 2 (FR.slots r)
+
+(* A hand-written two-slot schedule: slot 0 spawns and pops task 0, spawns
+   task 1, which slot 1 steals and runs — the minimal recording with one
+   stolen lineage. *)
+let forced_steal_recorder () =
+  let r = FR.create ~capacity:64 ~slots:2 () in
+  FR.record r ~slot:0 FR.Spawn ~task:0 ~arg:(-1);
+  FR.record r ~slot:0 FR.Run ~task:0 ~arg:FR.origin_pop;
+  FR.record r ~slot:0 FR.Spawn ~task:1 ~arg:0;
+  FR.record r ~slot:1 FR.Steal ~task:1 ~arg:0;
+  FR.record r ~slot:1 FR.Run ~task:1 ~arg:0;
+  r
+
+let test_flight_lineage_reconstruct () =
+  let r = forced_steal_recorder () in
+  let lineages, unresolved = FR.reconstruct r in
+  check int "no unresolved runs" 0 unresolved;
+  check int "two tasks reconstructed" 2 (List.length lineages);
+  let l0 = List.find (fun (l : FR.lineage) -> l.id = 0) lineages in
+  check bool "task 0 was popped locally" true (l0.origin = FR.Pop);
+  check int "task 0 has no stolen ancestry" 0 l0.steal_depth;
+  let l1 = List.find (fun (l : FR.lineage) -> l.id = 1) lineages in
+  check bool "task 1 stolen from slot 0" true (l1.origin = FR.Stolen 0);
+  check int "thief ran it on slot 1" 1 l1.run_slot;
+  check int "spawned on slot 0" 0 l1.spawn_slot;
+  check int "parent is task 0" 0 l1.parent;
+  check int "one stolen link on the ancestry path" 1 l1.steal_depth
+
+let test_flight_report_validate_reject () =
+  let r = forced_steal_recorder () in
+  let s1 = FR.report_string r in
+  check string "report is byte-stable" s1 (FR.report_string r);
+  let doc =
+    match J.parse s1 with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  in
+  (match FR.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid report rejected: %s" e);
+  (* the same document under a drifted schema id must be rejected *)
+  let drifted =
+    match doc with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (function
+               | "schema", _ -> ("schema", J.Str "wsrepro-flight/v0")
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "report did not parse as an object"
+  in
+  check bool "drifted schema rejected" true
+    (Result.is_error (FR.validate drifted));
+  check bool "structurally empty document rejected" true
+    (Result.is_error (FR.validate (J.Obj [ ("schema", J.Str FR.schema_id) ])))
+
+(* --- openmetrics ------------------------------------------------------ *)
+
+let test_openmetrics_render () =
+  let doc () =
+    OM.render
+      [
+        OM.counter ~name:"ws_pool_tasks_run" ~help:"tasks executed"
+          [
+            OM.sample ~labels:[ ("slot", "0") ] 12.;
+            OM.sample ~labels:[ ("slot", "1") ] 30.;
+          ];
+        OM.gauge ~name:"ws_pool_sleepers" ~help:"parked workers"
+          [ OM.sample 2. ];
+      ]
+  in
+  let s = doc () in
+  check string "byte-stable across renders" s (doc ());
+  check string "exact exposition format"
+    "# TYPE ws_pool_tasks_run counter\n\
+     # HELP ws_pool_tasks_run tasks executed\n\
+     ws_pool_tasks_run_total{slot=\"0\"} 12\n\
+     ws_pool_tasks_run_total{slot=\"1\"} 30\n\
+     # TYPE ws_pool_sleepers gauge\n\
+     # HELP ws_pool_sleepers parked workers\n\
+     ws_pool_sleepers 2\n\
+     # EOF\n"
+    s
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -367,5 +484,21 @@ let () =
           Alcotest.test_case "spans nest" `Quick test_trace_spans_nest;
           Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
           Alcotest.test_case "event limit" `Quick test_trace_limit;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "wraparound with exact dropped" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "capacity rounding" `Quick
+            test_flight_capacity_rounding;
+          Alcotest.test_case "lineage reconstruction" `Quick
+            test_flight_lineage_reconstruct;
+          Alcotest.test_case "report validate/reject" `Quick
+            test_flight_report_validate_reject;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "byte-stable exposition" `Quick
+            test_openmetrics_render;
         ] );
     ]
