@@ -229,13 +229,16 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v6"
+let bench_schema = "wsrepro-bench/v7"
 
 let bench_fields =
   [
     "sim_batch_steps_per_sec";
     "sim_batch_steps_per_sec_telemetry";
+    "sim_steps_per_sec_jobs4";
+    "sim_steps_per_sec_jobs4_telemetry";
     "telemetry_overhead_pct";
+    "registry_op_overhead_ns";
     "explorer_runs_per_sec";
     "explorer_por_runs_per_sec";
     "explorer_dpor_runs_per_sec";
@@ -244,6 +247,7 @@ let bench_fields =
     "frontier_steal_rate";
     "snapshot_restore_ns";
     "fig10_wall_s";
+    "open_sim_p99_ticks";
     "fingerprint_probe_cells";
     "fingerprint_ns";
     "memo_lookup_ns";
@@ -278,6 +282,97 @@ let measure_sim_steps ?(telemetry = false) ~batches () =
         done)
   in
   float_of_int !steps /. dt
+
+(* The same stepping probe fanned over domains through the sharded plane:
+   each domain gets a private [Telemetry.Sink] shard (Par_runner.map_sharded)
+   and attaches it to every machine it builds, so the accounting path never
+   writes a counter another domain reads; shards are batch-merged at the
+   join. The telemetry_overhead_pct the baseline records is the ratio of
+   this rate to the same fan-out with no sink attached — the number the
+   sharding work is accountable for: multi-domain instrumented stepping
+   must cost no more than single-domain did. *)
+let measure_sim_steps_jobs ?(telemetry = false) ~jobs ~batches () =
+  let chunk = (batches + jobs - 1) / jobs in
+  let items = List.init jobs (fun _ -> chunk) in
+  let run_chunk sink_opt n =
+    let steps = ref 0 in
+    for _ = 1 to n do
+      let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+      (match sink_opt with Some s -> Tso.Machine.set_sink m s | None -> ());
+      run_sim ~steps m
+    done;
+    !steps
+  in
+  let counts, dt =
+    wall (fun () ->
+        if telemetry then
+          let into = Telemetry.Sink.create () in
+          Ws_harness.Par_runner.map_sharded ~jobs ~into
+            (fun shard n -> run_chunk (Some shard) n)
+            items
+        else Ws_harness.Par_runner.map ~jobs (fun n -> run_chunk None n) items)
+  in
+  float_of_int (List.fold_left ( + ) 0 counts) /. dt
+
+(* Per-queue-op cost of the fully attached sharded plane: one batch is 64
+   puts + 65 takes through Core.Registry's Counted shim (plus the machine
+   transitions implementing them, whose per-event counters ride the same
+   plane), so (attached - detached) / (batches * 129) amortizes the whole
+   accounting path onto the ops that drive it. Attached means
+   [Machine.set_sharded_sink] with a 1-shard ring — the exact hot path a
+   per-worker shard pays, including the shard-routing table lookup. *)
+let registry_ops_per_batch = 129
+
+let measure_registry_op_overhead ~batches () =
+  let run ~attach =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt =
+        wall (fun () ->
+            for _ = 1 to batches do
+              let m = sim_machine ~queue:"thep" ~worker_fence:false ~delta:4 () in
+              if attach then
+                Tso.Machine.set_sharded_sink m
+                  (Telemetry.Sink.create ())
+                  (Telemetry.Shards.create ~n:1);
+              run_sim m
+            done)
+      in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  ignore (run ~attach:false) (* warm up *);
+  let dt_off = run ~attach:false in
+  let dt_on = run ~attach:true in
+  1e9 *. Float.max 0.0 (dt_on -. dt_off)
+  /. float_of_int (batches * registry_ops_per_batch)
+
+(* Open-system smoke: the default heavy-traffic scenario (3 ff-the
+   workers, Poisson arrivals, exponential services in 3 stages) shrunk to
+   200 requests. The timing engine is deterministic — pre-drawn plan,
+   seeded victim choice, lexicographic tie-break — so the p99 sojourn is
+   exact and reproducible: --check re-runs the probe live and requires the
+   recorded value to match to the tick. Any drift is a behavioural change
+   in the timing model, the queues, or the load generator, not noise. *)
+let open_probe_config =
+  {
+    Ws_runtime.Open_system.default_config with
+    requests = 200;
+    seed = 42;
+    max_steps = 50_000_000;
+  }
+
+let measure_open_probe () =
+  let r = Ws_runtime.Open_system.run open_probe_config in
+  (match r.Ws_runtime.Open_system.outcome with
+  | Tso.Sched.Quiescent -> ()
+  | _ -> failwith "open-system probe did not quiesce");
+  if
+    r.Ws_runtime.Open_system.completed
+    <> r.Ws_runtime.Open_system.injected
+  then failwith "open-system probe lost requests";
+  float_of_int r.Ws_runtime.Open_system.p99
 
 (* Explorer throughput on a small FF-THE scenario (complete runs/sec).
    With [por] the sleep-set reduction is on (and with [dpor] source-DPOR on
@@ -570,6 +665,8 @@ let run_json ~smoke ~out () =
   in
   let disabled = measure_sim_steps ~batches () in
   let enabled = measure_sim_steps ~telemetry:true ~batches () in
+  let j4_off = measure_sim_steps_jobs ~jobs:4 ~batches () in
+  let j4_on = measure_sim_steps_jobs ~telemetry:true ~jobs:4 ~batches () in
   let native_fib, native_graph, native_rps, native_p99 =
     measure_native ~smoke ()
   in
@@ -578,7 +675,10 @@ let run_json ~smoke ~out () =
     [
       ("sim_batch_steps_per_sec", disabled);
       ("sim_batch_steps_per_sec_telemetry", enabled);
-      ("telemetry_overhead_pct", 100.0 *. (disabled -. enabled) /. disabled);
+      ("sim_steps_per_sec_jobs4", j4_off);
+      ("sim_steps_per_sec_jobs4_telemetry", j4_on);
+      ("telemetry_overhead_pct", 100.0 *. (j4_off -. j4_on) /. j4_off);
+      ("registry_op_overhead_ns", measure_registry_op_overhead ~batches ());
       ("explorer_runs_per_sec", measure_explorer ~max_runs ());
       ("explorer_por_runs_per_sec", measure_explorer ~por:true ~max_runs ());
       ("explorer_dpor_runs_per_sec", measure_explorer ~dpor:true ~max_runs ());
@@ -587,6 +687,7 @@ let run_json ~smoke ~out () =
       ("frontier_steal_rate", measure_frontier ~max_runs ());
       ("snapshot_restore_ns", measure_snapshot_restore ~iters:snap_iters ());
       ("fig10_wall_s", measure_fig10 ~repeats ());
+      ("open_sim_p99_ticks", measure_open_probe ());
       ("fingerprint_probe_cells", float_of_int (fingerprint_probe_cells ()));
       ("fingerprint_ns", measure_fingerprint ~iters:fp_iters ());
       ("memo_lookup_ns", measure_memo_lookup ~iters:fp_iters ());
@@ -633,11 +734,16 @@ let run_json ~smoke ~out () =
       than upward noise fakes one); the recorded baseline was a single
       long measurement on the same machine.
 
-   3. The recorded telemetry_overhead_pct must stay under an absolute
-      ceiling: the sink-attached stepping rate paying more than ~30% over
-      plain stepping means a counter crept onto a path it shouldn't be on.
-      Smoke-mode documents use a much looser ceiling — their probes run
-      for milliseconds, so the recorded ratio is mostly scheduler noise.
+   3. The recorded telemetry_overhead_pct — now measured across 4 domains
+      through the sharded plane — must stay under the single-domain budget
+      it replaced (~3.1%): sharding exists precisely so that fanning the
+      instrumented stepping out over domains costs no more than one domain
+      paid, and more than that means a counter write started crossing
+      domains again. The recorded registry_op_overhead_ns (the whole
+      attached accounting path amortized per Counted queue op) must stay
+      under an absolute ceiling for the same reason. Smoke-mode documents
+      use much looser ceilings — their probes run for milliseconds, so the
+      recorded ratios are mostly scheduler noise.
 
    4. The live snapshot-restore probe must stay within a generous factor
       of the recorded one. Restore skips the per-transition machinery the
@@ -663,7 +769,18 @@ let run_json ~smoke ~out () =
       must be positive, like the native metrics: a zero means the probe
       produced nothing.
 
-   9. The flight recorder must stay cheap enough to leave on: the recorded
+   9. The open-system probe is deterministic (pre-drawn plan, seeded
+      victim choice, lexicographic tie-break), so the live re-run must
+      reproduce the recorded open_sim_p99_ticks exactly — a one-tick drift
+      is a behavioural change in the timing model, the queues, or the load
+      generator, never noise.
+
+   10. fig10_wall_s must not regress: a live single-repeat Fig. 10 column
+      must finish within a generous factor of the recorded wall time
+      (sized for CI machine spread; it catches the order-of-magnitude
+      regressions a serializing measurement plane would cause).
+
+   11. The flight recorder must stay cheap enough to leave on: the recorded
       flight_recorder_event_ns must sit under an absolute ceiling (the
       single-writer record path is four int stores plus a clock read — in
       full mode anything over ~50 ns means a CAS, fence, or allocation
@@ -673,8 +790,19 @@ let run_json ~smoke ~out () =
       ceilings are loose — those probes run for microseconds. *)
 let overhead_budget_pct = 5.0
 
-(* recorded telemetry_overhead_pct ceiling (absolute, machine-independent) *)
-let telemetry_overhead_ceiling_pct ~smoke = if smoke then 100.0 else 30.0
+(* recorded telemetry_overhead_pct ceiling (absolute, machine-independent):
+   the jobs-4 sharded-plane measurement must hold the single-domain 3.1%
+   line the pre-shard sink recorded *)
+let telemetry_overhead_ceiling_pct ~smoke = if smoke then 100.0 else 3.1
+
+(* recorded registry_op_overhead_ns ceiling (absolute): the attached
+   accounting path amortized per Counted queue op *)
+let registry_op_ceiling_ns ~smoke = if smoke then 10_000.0 else 400.0
+
+(* live fig10 single-repeat wall time vs recorded: factor + slack sized
+   for CI machine spread (the recorded full-mode number used 3 repeats) *)
+let fig10_factor = 3.0
+let fig10_slack_s = 1.0
 
 (* live snapshot_restore_ns vs recorded: factor + absolute slack, sized for
    cross-machine noise and the subtraction-based probe *)
@@ -753,9 +881,18 @@ let run_check file =
     telemetry_overhead_ceiling_pct ~smoke:(str_field "mode" = Some "smoke")
   in
   let ovh_ok = recorded_ovh <= ceiling in
-  Printf.printf "%s: recorded telemetry overhead %.1f%% (ceiling %.0f%%) %s\n"
+  Printf.printf "%s: recorded telemetry overhead %.1f%% (ceiling %.1f%%) %s\n"
     file recorded_ovh ceiling
     (if ovh_ok then "OK" else "OVER BUDGET");
+  let recorded_reg = Option.get (metric "registry_op_overhead_ns") in
+  let reg_ceiling =
+    registry_op_ceiling_ns ~smoke:(str_field "mode" = Some "smoke")
+  in
+  let reg_ok = recorded_reg <= reg_ceiling in
+  Printf.printf
+    "%s: recorded registry op overhead %.1f ns (ceiling %.0f) %s\n" file
+    recorded_reg reg_ceiling
+    (if reg_ok then "OK" else "OVER BUDGET");
   let recorded_snap = Option.get (metric "snapshot_restore_ns") in
   let live_snap =
     List.fold_left min infinity
@@ -833,6 +970,23 @@ let run_check file =
   in
   Printf.printf "%s: native metrics %s\n" file
     (if native_ok then "all positive OK" else "NOT POSITIVE");
+  (* The open-system probe is deterministic, so the live re-run must
+     reproduce the recorded p99 sojourn exactly. *)
+  let recorded_open = Option.get (metric "open_sim_p99_ticks") in
+  let live_open = measure_open_probe () in
+  let open_ok = live_open = recorded_open in
+  Printf.printf
+    "%s: open-system probe p99 %.0f ticks (recorded %.0f, want exact) %s\n"
+    file live_open recorded_open
+    (if open_ok then "OK" else "DRIFTED");
+  let recorded_f10 = Option.get (metric "fig10_wall_s") in
+  let live_f10 = measure_fig10 ~repeats:1 () in
+  let f10_budget = (recorded_f10 *. fig10_factor) +. fig10_slack_s in
+  let f10_ok = live_f10 <= f10_budget in
+  Printf.printf
+    "%s: fig10 column %.2f s live (recorded %.2f, budget %.2f) %s\n" file
+    live_f10 recorded_f10 f10_budget
+    (if f10_ok then "OK" else "REGRESSED");
   let smoke = str_field "mode" = Some "smoke" in
   let recorded_fe = Option.get (metric "flight_recorder_event_ns") in
   let fe_ceiling = flight_event_ceiling_ns ~smoke in
@@ -857,8 +1011,9 @@ let run_check file =
     (if fo_ok then "OK" else "OVER BUDGET");
   if
     not
-      (ok && ovh_ok && snap_ok && cells_ok && fp_ok && ms_ok && red_ok
-     && frontier_ok && native_ok && fe_ok && fo_ok)
+      (ok && ovh_ok && reg_ok && snap_ok && cells_ok && fp_ok && ms_ok
+     && red_ok && frontier_ok && native_ok && open_ok && f10_ok && fe_ok
+     && fo_ok)
   then exit 1
 
 let usage () =
@@ -872,11 +1027,27 @@ let usage () =
    ^ " baseline document (--smoke: tiny\n\
       iteration counts — the shape is the contract, the numbers are\n\
       meaningless). --check validates a baseline file and gates the live\n\
-      stepping rate, the recorded telemetry overhead, the live snapshot-\n\
-      restore / fingerprint / memo-store-lookup / flight-recorder costs,\n\
-      the fingerprint probe shape, the recorded reduction factors\n\
-      (dpor >= por >= 1), and the recorded flight-recorder overhead.\n\n\
+      stepping rate, the recorded telemetry overhead (jobs-4 sharded\n\
+      plane, <= 3.1%% full mode), the recorded per-op registry accounting\n\
+      cost, the live snapshot-restore / fingerprint / memo-store-lookup /\n\
+      flight-recorder costs, the fingerprint probe shape, the recorded\n\
+      reduction factors (dpor >= por >= 1), the deterministic open-system\n\
+      p99 (exact match on a live re-run), a live fig10 column against the\n\
+      recorded wall time, and the recorded flight-recorder overhead.\n\n\
       Probe shapes (numbers are only comparable for identical probes):\n\
+     \  sim_steps_per_sec_jobs4[_telemetry]  the stepping probe fanned\n\
+     \      over 4 domains via Par_runner; the telemetry variant gives\n\
+     \      each domain a private sink shard (map_sharded) merged at the\n\
+     \      join. telemetry_overhead_pct is the pair's ratio — the cost\n\
+     \      of the fully-sharded measurement plane under parallel load.\n\
+     \  registry_op_overhead_ns          (attached - detached) batch time\n\
+     \      over 129 Counted queue ops per batch, with a 1-shard\n\
+     \      set_sharded_sink attached: the whole accounting path\n\
+     \      (shard routing included) amortized per queue op.\n\
+     \  open_sim_p99_ticks               p99 sojourn of the default\n\
+     \      open-system scenario at 200 requests (3 ff-the workers,\n\
+     \      Poisson 2.0/ktick, exponential 400-tick services, seed 42).\n\
+     \      Deterministic: --check re-runs it and requires equality.\n\
      \  fingerprint_ns / memo_lookup_ns / memo_store_lookup_ns\n\
      \      one Machine.fingerprint of a THEP worker machine stopped\n\
      \      exactly 200 steps into its run; the machine's live-cell count\n\

@@ -728,9 +728,38 @@ let policy_conv =
       ("round-robin", Ws_native.Pool.Round_robin_victim);
     ]
 
+(* Load a wsrepro-scenario/v1 file, with --seed (when given) overriding
+   the scenario's own seed — the one knob that threads through every
+   arrival and service draw, sim and native alike. *)
+let load_scenario_or_die file seed_override =
+  match Ws_harness.Scenarios.load_open_spec file with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  | Ok spec -> (
+      match seed_override with
+      | Some s -> { spec with Ws_harness.Scenarios.sc_seed = s }
+      | None -> spec)
+
+let seed_override_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "RNG seed; with $(b,--scenario) it overrides the scenario \
+           file's seed (one seed drives every arrival and service draw, \
+           sim and native).")
+
 let native_cmd =
   let run machine domains backend policy steal_half smoke fib_n graph_nodes
-      rate requests chain work serve_metrics flight seed =
+      rate requests chain work serve_metrics flight scenario seed_opt =
+    match scenario with
+    | Some file ->
+        let spec = load_scenario_or_die file seed_opt in
+        Ws_harness.Exp_native.run ~machine ?serve_metrics ~scenario:spec ()
+    | None ->
+    let seed = Option.value seed_opt ~default:1 in
     (* smoke shrinks every knob so CI finishes in seconds *)
     let pick full small = if smoke then small else full in
     Ws_harness.Exp_native.run ~machine ?domains ~backend ~policy ~steal_half
@@ -824,6 +853,17 @@ let native_cmd =
              wsrepro-flight/v1 report to $(docv) (default flight.json), \
              plus a Chrome trace alongside.")
   in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:
+            "Replay a wsrepro-scenario/v1 JSON file on the native pool \
+             (replaces the fixed parity/service sections): same pre-drawn \
+             arrival gaps and service demands the simulator replays, \
+             ticks mapped to wall time via the scenario's tick_ns.")
+  in
   Cmd.v
     (Cmd.info "native"
        ~doc:
@@ -833,7 +873,7 @@ let native_cmd =
     Term.(
       const run $ machine_arg $ domains $ backend $ policy $ steal_half
       $ smoke $ fib_n $ graph_nodes $ rate $ requests $ chain $ work
-      $ serve_metrics $ flight $ seed_arg)
+      $ serve_metrics $ flight $ scenario $ seed_override_arg)
 
 (* top: the service bench under a live per-slot dashboard *)
 let top_cmd =
@@ -915,6 +955,45 @@ let top_cmd =
       const run $ domains $ backend $ policy $ steal_half $ rate $ requests
       $ chain $ work $ serve_metrics $ interval $ seed_arg)
 
+(* scenario: the heavy-traffic overload sweep over a scenario file *)
+let scenario_cmd =
+  let run file native jobs out seed_opt =
+    let spec = load_scenario_or_die file seed_opt in
+    Ws_harness.Exp_overload.section ~native ~jobs ?out spec ()
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"wsrepro-scenario/v1 JSON file.")
+  in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Also replay each overload point on the native pool (one \
+             point at a time) and add its tail latencies to the table.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the wsrepro-overload/v1 report (scenario, per-point \
+             sim/native tails, merged queue counters) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run a scenario's heavy-traffic overload sweep (1x/2x/4x offered \
+          load) on the timing model — and natively with $(b,--native) — \
+          reporting p50/p99/p999 sojourn, drops and peak queue depth per \
+          point")
+    Term.(
+      const run $ file $ native $ fig_jobs_arg $ out $ seed_override_arg)
+
 (* json-check: validate telemetry sidecars and traces without external tools *)
 let json_check_cmd =
   let run file =
@@ -930,6 +1009,18 @@ let json_check_cmd =
                 exit 1)
         | Some (Telemetry.Json.Str "wsrepro-flight/v1") -> (
             match Telemetry.Flight_recorder.validate j with
+            | Ok () -> ()
+            | Error e ->
+                Printf.printf "%s: INVALID: %s\n" file e;
+                exit 1)
+        | Some (Telemetry.Json.Str "wsrepro-scenario/v1") -> (
+            match Ws_harness.Scenarios.open_spec_of_json j with
+            | Ok _ -> ()
+            | Error e ->
+                Printf.printf "%s: INVALID: %s\n" file e;
+                exit 1)
+        | Some (Telemetry.Json.Str "wsrepro-overload/v1") -> (
+            match Ws_harness.Exp_overload.validate j with
             | Ok () -> ()
             | Error e ->
                 Printf.printf "%s: INVALID: %s\n" file e;
@@ -968,7 +1059,8 @@ let main =
     [
       fig1_cmd; fig7_cmd; fig8_cmd; fig10_cmd; fig11_cmd; table1_cmd; all_cmd;
       ablation_cmd; scaling_cmd; litmus_cmd; tso_litmus_cmd; check_cmd;
-      explore_cmd; trace_cmd; delta_cmd; native_cmd; top_cmd; json_check_cmd;
+      explore_cmd; trace_cmd; delta_cmd; native_cmd; top_cmd; scenario_cmd;
+      json_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -7,18 +7,22 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v6 adds the flight-recorder
-hot-path cost and the recorder-on vs recorder-off service overhead next
-to v5's explorer-reduction and native-pool silicon numbers:
+with one fixed-format float per metric. v7 adds the sharded measurement
+plane's numbers — the jobs-4 stepping pair behind telemetry_overhead_pct,
+the per-op registry accounting cost, and the deterministic open-system
+p99 — next to v6's flight-recorder and native-pool silicon numbers:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v6"
+  "schema": "wsrepro-bench/v7"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
   "sim_batch_steps_per_sec":
   "sim_batch_steps_per_sec_telemetry":
+  "sim_steps_per_sec_jobs4":
+  "sim_steps_per_sec_jobs4_telemetry":
   "telemetry_overhead_pct":
+  "registry_op_overhead_ns":
   "explorer_runs_per_sec":
   "explorer_por_runs_per_sec":
   "explorer_dpor_runs_per_sec":
@@ -27,6 +31,7 @@ to v5's explorer-reduction and native-pool silicon numbers:
   "frontier_steal_rate":
   "snapshot_restore_ns":
   "fig10_wall_s":
+  "open_sim_p99_ticks":
   "fingerprint_probe_cells":
   "fingerprint_ns":
   "memo_lookup_ns":
@@ -47,20 +52,24 @@ what makes values comparable across commits):
 `--check` validates that contract (CI runs it against the tracked baseline
 so schema drift fails the build) and then gates the live/recorded numbers:
 the telemetry-disabled stepping rate against the recorded one (the no-sink
-guard must stay free), the recorded telemetry overhead against an absolute
-ceiling, the live snapshot-restore cost against the recorded one (the
-snapshot path must not quietly re-acquire an O(depth) replay), and the
-recorded native metrics for positivity (a zero means a probe silently
-produced nothing — e.g. a hung pool or an unobserved histogram). v6 also
-gates the flight recorder: the recorded per-event cost under an absolute
-ceiling plus a live re-measure, and the recorded recorder-on service
-overhead under its ceiling. The numbers are machine-dependent, so
-normalize them:
+guard must stay free), the recorded jobs-4 telemetry overhead and per-op
+registry accounting cost against absolute ceilings (the sharded plane must
+keep multi-domain instrumentation at single-domain cost), the live
+snapshot-restore cost against the recorded one (the snapshot path must not
+quietly re-acquire an O(depth) replay), the recorded native metrics for
+positivity (a zero means a probe silently produced nothing — e.g. a hung
+pool or an unobserved histogram), the deterministic open-system p99 for
+exact reproduction on a live re-run, and a live fig10 column against the
+recorded wall time. v6's flight-recorder gates carry over: the recorded
+per-event cost under an absolute ceiling plus a live re-measure, and the
+recorded recorder-on service overhead under its ceiling. The numbers are
+machine-dependent, so normalize them:
 
   $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
   bench.json: schema wsrepro-bench/vN OK (N metrics)
   bench.json: telemetry-disabled stepping N Msteps/s (recorded N, delta N%) OK
   bench.json: recorded telemetry overhead N% (ceiling N%) OK
+  bench.json: recorded registry op overhead N ns (ceiling N) OK
   bench.json: snapshot restore N ns (recorded N, budget N) OK
   bench.json: fingerprint probe shape N live cells (recorded N) OK
   bench.json: fingerprint N ns (recorded N, budget N) OK
@@ -68,13 +77,15 @@ normalize them:
   bench.json: reduction factors por Nx, dpor Nx (want dpor >= por >= N) OK
   bench.json: dpor rate N runs/s, frontier steal rate N OK
   bench.json: native metrics all positive OK
+  bench.json: open-system probe pN N ticks (recorded N, want exact) OK
+  bench.json: figN column N s live (recorded N, budget N) OK
   bench.json: flight-recorder event N ns live (recorded N, ceiling N, budget N) OK
   bench.json: recorded flight overhead N% (ceiling N%) OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v6|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v7|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v6)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v7)
   drifted.json: missing metric "fingerprint_ns"
   [1]

@@ -268,6 +268,142 @@ let render_service r =
     r.p99_ns r.p999_ns r.steals r.injector_runs r.parks
 
 (* ------------------------------------------------------------------ *)
+(* Scenario-driven native runs (`wsrepro native --scenario`)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The native half of a scenario: replay the same pre-drawn plan the
+   timing model replays, with ticks mapped to wall time through the
+   scenario's [tick_ns]. Arrivals follow an absolute schedule (a late
+   generator submits immediately rather than shifting the remaining
+   arrivals), service burns wall-clock time, and the injector bound is
+   enforced by [Pool.submit] under the scenario's drop/block policy — so
+   overload shows up exactly where it does in the simulator: drops under
+   Drop, arrival-side delay under Block. *)
+
+type scenario_result = {
+  sn_injected : int;
+  sn_dropped : int;
+  sn_completed : int;
+  sn_elapsed : float;  (* first submission to last completion, seconds *)
+  sn_p50_ns : int;
+  sn_p99_ns : int;
+  sn_p999_ns : int;
+  sn_sojourn : Telemetry.Histogram.t;
+  sn_peak_injector : int;  (* max injector depth seen at submission *)
+  sn_steals : int;
+  sn_injector_runs : int;
+  sn_parks : int;
+}
+
+(* The simulated queue picks the native backend: Chase-Lev-family queues
+   (CAS steals) map to the Chase-Lev deques, everything else to THE. *)
+let backend_of_queue q =
+  match q with
+  | "chase-lev" | "chase-lev-dyn" | "abp" | "ff-cl" ->
+      Ws_native.Pool.Chase_lev_deques
+  | _ -> Ws_native.Pool.The_deques
+
+let native_policy = function
+  | Ws_runtime.Open_load.Drop -> Ws_native.Pool.Drop
+  | Ws_runtime.Open_load.Block -> Ws_native.Pool.Block
+
+(* Busy-wait for [ns] wall nanoseconds: scenario service times are real
+   compute from the scheduler's point of view, so the worker must stay on
+   core (sleeping would park the domain and understate contention). *)
+let spin_ns ns =
+  if ns > 0 then begin
+    let fin = Unix.gettimeofday () +. (float_of_int ns *. 1e-9) in
+    while Unix.gettimeofday () < fin do
+      Domain.cpu_relax ()
+    done
+  end
+
+let scenario_native ?monitor (spec : Scenarios.open_spec) =
+  let open Ws_runtime in
+  let plan =
+    Open_load.plan ~seed:spec.Scenarios.sc_seed
+      ~requests:spec.Scenarios.sc_requests spec.Scenarios.sc_arrival
+      spec.Scenarios.sc_service
+  in
+  let chain = spec.Scenarios.sc_chain in
+  let tick_ns = spec.Scenarios.sc_tick_ns in
+  let policy = native_policy spec.Scenarios.sc_policy in
+  let pool =
+    Ws_native.Pool.create ~domains:spec.Scenarios.sc_workers
+      ~backend:(backend_of_queue spec.Scenarios.sc_queue)
+      ~injector_capacity:spec.Scenarios.sc_capacity ()
+  in
+  let stop_monitor =
+    match monitor with Some m -> m pool | None -> fun () -> ()
+  in
+  let sojourn = Telemetry.Histogram.create () in
+  let hist_lock = Mutex.create () in
+  let injected = ref 0 in
+  let dropped = ref 0 in
+  let peak_injector = ref 0 in
+  let completed = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let next = ref t0 in
+  for i = 0 to spec.Scenarios.sc_requests - 1 do
+    (* Same stage split as the simulator: base + remainder spread over the
+       first stages, so sim and native run identical per-stage demands. *)
+    let s = plan.Open_load.services.(i) in
+    let base = s / chain and rem = s mod chain in
+    next :=
+      !next
+      +. (float_of_int (plan.Open_load.gaps.(i) * tick_ns) *. 1e-9);
+    let delay = !next -. Unix.gettimeofday () in
+    if delay > 0. then Unix.sleepf delay;
+    let born = Unix.gettimeofday () in
+    let rec stage k () =
+      spin_ns ((base + if k < rem then 1 else 0) * tick_ns);
+      if k < chain - 1 then Ws_native.Pool.spawn pool (stage (k + 1))
+      else begin
+        let ns = int_of_float ((Unix.gettimeofday () -. born) *. 1e9) in
+        Mutex.lock hist_lock;
+        Telemetry.Histogram.observe sojourn ns;
+        Mutex.unlock hist_lock;
+        Atomic.incr completed
+      end
+    in
+    let depth = Ws_native.Pool.injector_depth pool in
+    if depth > !peak_injector then peak_injector := depth;
+    if Ws_native.Pool.submit ~policy pool (stage 0) then incr injected
+    else incr dropped
+  done;
+  while Atomic.get completed < !injected do
+    Domain.cpu_relax ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  stop_monitor ();
+  let stats = Ws_native.Pool.worker_stats pool in
+  Ws_native.Pool.shutdown pool;
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
+  {
+    sn_injected = !injected;
+    sn_dropped = !dropped;
+    sn_completed = Atomic.get completed;
+    sn_elapsed = elapsed;
+    sn_p50_ns = Telemetry.Histogram.percentile sojourn 0.5;
+    sn_p99_ns = Telemetry.Histogram.percentile sojourn 0.99;
+    sn_p999_ns = Telemetry.Histogram.percentile sojourn 0.999;
+    sn_sojourn = sojourn;
+    sn_peak_injector = !peak_injector;
+    sn_steals = sum (fun st -> st.Ws_native.Pool.steals);
+    sn_injector_runs = sum (fun st -> st.Ws_native.Pool.injector_runs);
+    sn_parks = sum (fun st -> st.Ws_native.Pool.parks);
+  }
+
+let render_scenario_native (spec : Scenarios.open_spec) r =
+  Printf.sprintf
+    "scenario=%s injected=%d dropped=%d completed=%d elapsed=%.3fs\n\
+     sojourn p50=%dns p99=%dns p999=%dns\n\
+     pool: peak_injector=%d steals=%d injector_runs=%d parks=%d\n"
+    spec.Scenarios.sc_name r.sn_injected r.sn_dropped r.sn_completed
+    r.sn_elapsed r.sn_p50_ns r.sn_p99_ns r.sn_p999_ns r.sn_peak_injector
+    r.sn_steals r.sn_injector_runs r.sn_parks
+
+(* ------------------------------------------------------------------ *)
 (* Live metrics plane: scrape -> OpenMetrics                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,6 +457,9 @@ let pool_metrics pool =
       g "ws_pool_injector_queue"
         "Cells waiting in the external-submission FIFO"
         snap.Ws_native.Pool.snap_injector;
+      counter ~name:"ws_pool_injector_drops"
+        ~help:"Submissions refused at a full injector (Drop policy)"
+        [ sample (float_of_int snap.Ws_native.Pool.snap_injector_drops) ];
     ]
   in
   let lats = snap.Ws_native.Pool.slot_latencies in
@@ -436,9 +575,11 @@ let dashboard_lines pool =
          snap.Ws_native.Pool.slot_stats)
   in
   let gauges =
-    Printf.sprintf "pending %d | in-flight %d | sleepers %d | injector %d"
+    Printf.sprintf
+      "pending %d | in-flight %d | sleepers %d | injector %d | drops %d"
       snap.Ws_native.Pool.snap_pending snap.Ws_native.Pool.snap_in_flight
       snap.Ws_native.Pool.snap_sleepers snap.Ws_native.Pool.snap_injector
+      snap.Ws_native.Pool.snap_injector_drops
   in
   (header :: rows) @ [ gauges ]
 
@@ -481,7 +622,20 @@ let top ?domains ?backend ?policy ?steal_half ?rate ?requests ?chain ?work
 
 let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
     ?steal_half ?fib_n ?graph_nodes ?graph_edges ?rate ?requests ?chain ?work
-    ?serve_metrics ?flight_file ?(seed = 23) () =
+    ?serve_metrics ?flight_file ?scenario ?(seed = 23) () =
+  match scenario with
+  | Some spec ->
+      (* Scenario mode replaces the fixed sections: the file says what to
+         run, and the run must mirror the simulator's replay of it. *)
+      Printf.printf "== Native scenario replay: %s (%d worker domains) ==\n"
+        spec.Scenarios.sc_name spec.Scenarios.sc_workers;
+      let monitor =
+        Option.map
+          (fun port pool -> serve_metrics_monitor ~port pool)
+          serve_metrics
+      in
+      print_string (render_scenario_native spec (scenario_native ?monitor spec))
+  | None ->
   let d =
     match domains with
     | Some d -> d

@@ -98,6 +98,41 @@ val service :
 
 val render_service : service_result -> string
 
+type scenario_result = {
+  sn_injected : int;
+  sn_dropped : int;  (** submissions refused at a full injector (Drop) *)
+  sn_completed : int;
+  sn_elapsed : float;  (** first submission to last completion, seconds *)
+  sn_p50_ns : int;
+  sn_p99_ns : int;
+  sn_p999_ns : int;
+  sn_sojourn : Telemetry.Histogram.t;
+  sn_peak_injector : int;  (** max injector depth seen at submission *)
+  sn_steals : int;
+  sn_injector_runs : int;
+  sn_parks : int;
+}
+
+val backend_of_queue : string -> Ws_native.Pool.backend
+(** Map a simulated-queue registry name to the native backend that models
+    it: the Chase-Lev family (CAS steals) to [Chase_lev_deques], everything
+    else to [The_deques]. *)
+
+val scenario_native :
+  ?monitor:(Ws_native.Pool.t -> unit -> unit) ->
+  Scenarios.open_spec ->
+  scenario_result
+(** Replay a scenario's pre-drawn load plan ({!Ws_runtime.Open_load.plan})
+    on the native pool: the same inter-arrival gaps and per-stage service
+    demands the timing model replays, with ticks mapped to wall time
+    through [sc_tick_ns]. Arrivals follow an absolute schedule and go
+    through {!Ws_native.Pool.submit} under the scenario's injector bound
+    and drop/block policy; sojourn (arrival to last chain stage) feeds the
+    returned histogram. [monitor] is the same attachment hook as in
+    {!service}. *)
+
+val render_scenario_native : Scenarios.open_spec -> scenario_result -> string
+
 val pool_metrics : Ws_native.Pool.t -> Telemetry.Openmetrics.metric list
 (** One live {!Ws_native.Pool.scrape} rendered as OpenMetrics families:
     per-slot counters (labelled [slot="i"]), pool gauges, and — on
@@ -172,6 +207,7 @@ val run :
   ?work:int ->
   ?serve_metrics:int ->
   ?flight_file:string ->
+  ?scenario:Scenarios.open_spec ->
   ?seed:int ->
   unit ->
   unit
@@ -180,4 +216,6 @@ val run :
     pool on the given port (0 picks a free one; endpoint printed to
     stderr). [flight_file] appends a third section: the steal-forcing
     flight-recorder probe, its wsrepro-flight/v1 report written to the
-    given path (Chrome trace alongside). *)
+    given path (Chrome trace alongside). With [scenario] the fixed
+    sections are replaced by a native replay of that scenario
+    ({!scenario_native}); [serve_metrics] still attaches. *)

@@ -1,0 +1,261 @@
+(* Heavy-traffic overload sweep: one scenario run at 1x/2x/4x its offered
+   load, on the timing model and (optionally) on the native pool, with the
+   tail latencies side by side. The sim sweep fans out over domains with a
+   per-domain sink shard (Par_runner.map_sharded), so the queue-operation
+   counters in the report come out of the sharded measurement plane merged
+   at the join — identical totals to a sequential sweep, no shared
+   counter cache line while it runs.
+
+   Sim and native replay the same pre-drawn plan per point (the factor is
+   applied to the arrival process before the plan is drawn, so a 2x point
+   is the same seed under doubled rates, not a resampling). Sojourn units
+   differ by engine — ticks on the timing model, nanoseconds native — and
+   the table prints both rather than pretending one converts into the
+   other; the comparison is of shapes (tail growth, drop onset), not
+   absolute values. *)
+
+module OL = Ws_runtime.Open_load
+module J = Telemetry.Json
+
+let schema = "wsrepro-overload/v1"
+let default_factors = [ 1.0; 2.0; 4.0 ]
+
+type point = {
+  ov_label : string;  (* "1x", "2x", ... *)
+  ov_offered : float;  (* arrivals per 1000 ticks after scaling *)
+  ov_sim : Ws_runtime.Open_system.report;
+  ov_native : Exp_native.scenario_result option;
+}
+
+let scale_arrival factor = function
+  | OL.Poisson { rate } -> OL.Poisson { rate = rate *. factor }
+  | OL.Bursty b ->
+      OL.Bursty
+        {
+          b with
+          rate_lo = b.rate_lo *. factor;
+          rate_hi = b.rate_hi *. factor;
+        }
+
+let scale_spec (spec : Scenarios.open_spec) factor =
+  {
+    spec with
+    Scenarios.sc_arrival = scale_arrival factor spec.Scenarios.sc_arrival;
+  }
+
+let label_of_factor f =
+  if Float.is_integer f then Printf.sprintf "%.0fx" f
+  else Printf.sprintf "%.1fx" f
+
+let sim_point ?sink spec =
+  Ws_runtime.Open_system.run ?sink (Scenarios.open_config spec)
+
+let run ?(factors = default_factors) ?(native = false) ?(jobs = 1) ?sink
+    (spec : Scenarios.open_spec) =
+  let specs = List.map (fun f -> (f, scale_spec spec f)) factors in
+  let sims =
+    match sink with
+    | None -> Par_runner.map ~jobs (fun (_, s) -> sim_point s) specs
+    | Some into ->
+        Par_runner.map_sharded ~jobs ~into
+          (fun shard (_, s) -> sim_point ~sink:shard s)
+          specs
+  in
+  (* Native points run one at a time: each spawns its own worker domains,
+     and overlapping pools would contend for cores and corrupt the very
+     tail latencies being measured. *)
+  List.map2
+    (fun (f, s) sim ->
+      {
+        ov_label = label_of_factor f;
+        ov_offered = OL.mean_rate s.Scenarios.sc_arrival;
+        ov_sim = sim;
+        ov_native =
+          (if native then Some (Exp_native.scenario_native s) else None);
+      })
+    specs sims
+
+(* --- report JSON (byte-stable via Telemetry.Json) -------------------- *)
+
+let outcome_str = function
+  | Tso.Sched.Quiescent -> "quiescent"
+  | Tso.Sched.Deadlock -> "deadlock"
+  | Tso.Sched.Max_steps -> "max-steps"
+
+let sim_json (r : Ws_runtime.Open_system.report) =
+  J.Obj
+    [
+      ("outcome", J.Str (outcome_str r.Ws_runtime.Open_system.outcome));
+      ("injected", J.Int r.Ws_runtime.Open_system.injected);
+      ("dropped", J.Int r.Ws_runtime.Open_system.dropped);
+      ("completed", J.Int r.Ws_runtime.Open_system.completed);
+      ("makespan_ticks", J.Int r.Ws_runtime.Open_system.makespan);
+      ("p50_ticks", J.Int r.Ws_runtime.Open_system.p50);
+      ("p99_ticks", J.Int r.Ws_runtime.Open_system.p99);
+      ("p999_ticks", J.Int r.Ws_runtime.Open_system.p999);
+      ("peak_queue", J.Int r.Ws_runtime.Open_system.peak_queue);
+      ("block_spins", J.Int r.Ws_runtime.Open_system.block_spins);
+      ("achieved_per_ktick", J.Float r.Ws_runtime.Open_system.achieved_rate);
+    ]
+
+let native_json (r : Exp_native.scenario_result) =
+  J.Obj
+    [
+      ("injected", J.Int r.Exp_native.sn_injected);
+      ("dropped", J.Int r.Exp_native.sn_dropped);
+      ("completed", J.Int r.Exp_native.sn_completed);
+      ("elapsed_s", J.Float r.Exp_native.sn_elapsed);
+      ("p50_ns", J.Int r.Exp_native.sn_p50_ns);
+      ("p99_ns", J.Int r.Exp_native.sn_p99_ns);
+      ("p999_ns", J.Int r.Exp_native.sn_p999_ns);
+      ("peak_injector", J.Int r.Exp_native.sn_peak_injector);
+    ]
+
+let point_json p =
+  J.Obj
+    (( [
+         ("label", J.Str p.ov_label);
+         ("offered_per_ktick", J.Float p.ov_offered);
+         ("sim", sim_json p.ov_sim);
+       ]
+     @ match p.ov_native with
+       | None -> []
+       | Some n -> [ ("native", native_json n) ] ))
+
+let report_json ?sink (spec : Scenarios.open_spec) points =
+  J.Obj
+    (( [
+         ("schema", J.Str schema);
+         ("scenario", Scenarios.open_spec_json spec);
+         ("points", J.List (List.map point_json points));
+       ]
+     @ match sink with
+       | None -> []
+       | Some s -> [ ("queue_counters", Telemetry.Sink.to_json s) ] ))
+
+(* --- validation (for `wsrepro json-check`) --------------------------- *)
+
+let ( let* ) = Result.bind
+
+let need_int ctx obj k =
+  match J.member k obj with
+  | Some (J.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "%s: missing integer %S" ctx k)
+
+let check_tail ctx obj =
+  let* p50 = need_int ctx obj "p50_ticks" in
+  let* p99 = need_int ctx obj "p99_ticks" in
+  let* p999 = need_int ctx obj "p999_ticks" in
+  if p50 <= p99 && p99 <= p999 then Ok ()
+  else Error (Printf.sprintf "%s: percentiles not monotone" ctx)
+
+let check_counts ctx obj =
+  let* injected = need_int ctx obj "injected" in
+  let* dropped = need_int ctx obj "dropped" in
+  let* completed = need_int ctx obj "completed" in
+  if completed <> injected then
+    Error
+      (Printf.sprintf "%s: completed %d <> injected %d" ctx completed injected)
+  else if dropped < 0 then Error (Printf.sprintf "%s: negative drops" ctx)
+  else Ok ()
+
+let validate_point i p =
+  let ctx = Printf.sprintf "points[%d]" i in
+  let* () =
+    match J.member "label" p with
+    | Some (J.Str _) -> Ok ()
+    | _ -> Error (ctx ^ ": missing string \"label\"")
+  in
+  let* sim =
+    match J.member "sim" p with
+    | Some (J.Obj _ as o) -> Ok o
+    | _ -> Error (ctx ^ ": missing object \"sim\"")
+  in
+  let* () = check_counts (ctx ^ ".sim") sim in
+  let* () = check_tail (ctx ^ ".sim") sim in
+  match J.member "native" p with
+  | None -> Ok ()
+  | Some (J.Obj _ as n) ->
+      let nctx = ctx ^ ".native" in
+      let* () = check_counts nctx n in
+      let* p50 = need_int nctx n "p50_ns" in
+      let* p99 = need_int nctx n "p99_ns" in
+      let* p999 = need_int nctx n "p999_ns" in
+      if p50 <= p99 && p99 <= p999 then Ok ()
+      else Error (nctx ^ ": percentiles not monotone")
+  | Some _ -> Error (ctx ^ ": \"native\" must be an object")
+
+let validate j =
+  let* () =
+    match J.member "schema" j with
+    | Some (J.Str s) when s = schema -> Ok ()
+    | _ -> Error (Printf.sprintf "\"schema\" must be %S" schema)
+  in
+  let* () =
+    match J.member "scenario" j with
+    | Some sc -> Result.map (fun _ -> ()) (Scenarios.open_spec_of_json sc)
+    | None -> Error "missing \"scenario\""
+  in
+  match J.member "points" j with
+  | Some (J.List (_ :: _ as ps)) ->
+      let rec go i = function
+        | [] -> Ok ()
+        | p :: rest ->
+            let* () = validate_point i p in
+            go (i + 1) rest
+      in
+      go 0 ps
+  | Some (J.List []) -> Error "\"points\" must be non-empty"
+  | _ -> Error "missing array \"points\""
+
+(* --- rendering -------------------------------------------------------- *)
+
+let render points =
+  let header =
+    [
+      "load"; "offered/ktick"; "sim p50"; "sim p99"; "sim p999"; "sim drop";
+      "peak q"; "nat p50us"; "nat p99us"; "nat p999us"; "nat drop";
+    ]
+  in
+  let us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e3) in
+  let rows =
+    List.map
+      (fun p ->
+        let s = p.ov_sim in
+        [
+          p.ov_label;
+          Tablefmt.f1 p.ov_offered;
+          string_of_int s.Ws_runtime.Open_system.p50;
+          string_of_int s.Ws_runtime.Open_system.p99;
+          string_of_int s.Ws_runtime.Open_system.p999;
+          string_of_int s.Ws_runtime.Open_system.dropped;
+          string_of_int s.Ws_runtime.Open_system.peak_queue;
+        ]
+        @
+        match p.ov_native with
+        | None -> [ "-"; "-"; "-"; "-" ]
+        | Some n ->
+            [
+              us n.Exp_native.sn_p50_ns;
+              us n.Exp_native.sn_p99_ns;
+              us n.Exp_native.sn_p999_ns;
+              string_of_int n.Exp_native.sn_dropped;
+            ])
+      points
+  in
+  Tablefmt.render ~header rows
+
+let section ?(factors = default_factors) ?(native = false) ?(jobs = 1) ?out
+    (spec : Scenarios.open_spec) () =
+  let sink = Telemetry.Sink.create () in
+  let points = run ~factors ~native ~jobs ~sink spec in
+  Printf.printf
+    "== Heavy-traffic overload sweep: %s (sim ticks%s) ==\n%s"
+    spec.Scenarios.sc_name
+    (if native then " vs native wall time" else "")
+    (render points);
+  match out with
+  | None -> ()
+  | Some file ->
+      J.write_file file (report_json ~sink spec points);
+      Printf.printf "overload report written to %s\n" file

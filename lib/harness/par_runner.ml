@@ -67,6 +67,64 @@ let map ?(jobs = 1) ?on_progress f xs =
          results)
   end
 
+(* [map] with a sharded measurement plane: each domain gets its own
+   private Sink shard to accumulate into (zero cross-domain counter
+   writes while the grid runs), and the shards are batch-merged into
+   [into] at the join — one of the quiescence points of the sharded
+   plane. Sink merging is field-wise addition, so the merged totals are
+   identical to what a sequential run accumulating straight into [into]
+   would produce, whatever the grid-point partition. *)
+let map_sharded ?(jobs = 1) ?on_progress ~into f xs =
+  let jobs = max 1 (min jobs (List.length xs)) in
+  let shards = Telemetry.Shards.create ~n:jobs in
+  let sinks = Telemetry.Shards.sinks shards in
+  if jobs = 1 then begin
+    let r = map ?on_progress (f sinks.(0)) xs in
+    Telemetry.Shards.merge ~into shards;
+    r
+  end
+  else begin
+    let n = List.length xs in
+    let inputs = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let report =
+      match on_progress with
+      | None -> fun () -> ()
+      | Some g -> fun () -> g ~done_count:(Atomic.get completed) ~total:n
+    in
+    let worker ~main sink () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f sink inputs.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          Atomic.incr completed;
+          if main then report ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (jobs - 1) (fun j ->
+          Domain.spawn (worker ~main:false sinks.(j + 1)))
+    in
+    worker ~main:true sinks.(0) ();
+    List.iter Domain.join domains;
+    Telemetry.Shards.merge ~into shards;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
 (* Shared status-line plumbing for the figure grids: a reporter suitable
    for [map]'s [on_progress], plus the finisher that terminates the stderr
    line. Stdout is never touched. *)

@@ -20,6 +20,21 @@ val map :
     point {e it} completes), with the globally completed count — the hook
     for a live status line; it need not be thread-safe. *)
 
+val map_sharded :
+  ?jobs:int ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
+  into:Telemetry.Sink.t ->
+  (Telemetry.Sink.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map} with a sharded measurement plane: each domain receives its own
+    private {!Telemetry.Sink} shard as [f]'s first argument (attach it to
+    that grid point's machine, or accumulate into it directly), so no
+    counter cache line is ever written from two domains, and the shards
+    are batch-merged into [into] at the join. Sink merging is field-wise
+    addition, so the merged totals equal a sequential run's regardless of
+    how points were distributed. *)
+
 val grid_progress :
   label:string ->
   (done_count:int -> total:int -> unit) * (unit -> unit)

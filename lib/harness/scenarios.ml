@@ -216,3 +216,307 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo ?por
   fst
     (explore_check_full spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo
        ?por ?dpor ?memo_store ?sink ?snapshots ?progress ())
+
+(* ------------------------------------------------------------------ *)
+(* Open-system scenario DSL (wsrepro-scenario/v1)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One description drives both engines: the timing model replays the plan
+   in simulated ticks, the native pool replays the same plan with ticks
+   mapped to wall time through [sc_tick_ns]. The JSON form is strict —
+   unknown fields are rejected, at the top level and inside the nested
+   arrival/service objects — so a typo'd knob fails loudly instead of
+   silently running the default. Emission goes through the byte-stable
+   {!Telemetry.Json} emitter, so emit → parse → emit is the identity on
+   bytes (floats are quantized to the emitter's %.3f grid on first
+   emission). *)
+
+module OL = Ws_runtime.Open_load
+
+type open_spec = {
+  sc_name : string;
+  sc_queue : string;  (* registry name *)
+  sc_workers : int;
+  sc_requests : int;
+  sc_chain : int;
+  sc_seed : int;
+  sc_capacity : int;
+  sc_policy : OL.policy;
+  sc_tick_ns : int;
+  sc_arrival : OL.arrival;
+  sc_service : OL.service;
+}
+
+let open_schema = "wsrepro-scenario/v1"
+
+let default_open_spec =
+  {
+    sc_name = "default";
+    sc_queue = "ff-the";
+    sc_workers = 3;
+    sc_requests = 500;
+    sc_chain = 3;
+    sc_seed = 1;
+    sc_capacity = 64;
+    sc_policy = OL.Block;
+    sc_tick_ns = 50;
+    sc_arrival = OL.Poisson { rate = 2.0 };
+    sc_service = OL.Exponential { mean = 400 };
+  }
+
+module J = Telemetry.Json
+
+let arrival_json = function
+  | OL.Poisson { rate } ->
+      J.Obj [ ("process", J.Str "poisson"); ("rate", J.Float rate) ]
+  | OL.Bursty { rate_lo; rate_hi; switch_lo; switch_hi } ->
+      J.Obj
+        [
+          ("process", J.Str "bursty");
+          ("rate_lo", J.Float rate_lo);
+          ("rate_hi", J.Float rate_hi);
+          ("switch_lo", J.Float switch_lo);
+          ("switch_hi", J.Float switch_hi);
+        ]
+
+let service_json = function
+  | OL.Fixed { ticks } ->
+      J.Obj [ ("dist", J.Str "fixed"); ("ticks", J.Int ticks) ]
+  | OL.Uniform { lo; hi } ->
+      J.Obj [ ("dist", J.Str "uniform"); ("lo", J.Int lo); ("hi", J.Int hi) ]
+  | OL.Exponential { mean } ->
+      J.Obj [ ("dist", J.Str "exponential"); ("mean", J.Int mean) ]
+  | OL.Bimodal { short; long; p_long } ->
+      J.Obj
+        [
+          ("dist", J.Str "bimodal");
+          ("short", J.Int short);
+          ("long", J.Int long);
+          ("p_long", J.Float p_long);
+        ]
+
+let open_spec_json s =
+  J.Obj
+    [
+      ("schema", J.Str open_schema);
+      ("name", J.Str s.sc_name);
+      ("queue", J.Str s.sc_queue);
+      ("workers", J.Int s.sc_workers);
+      ("requests", J.Int s.sc_requests);
+      ("chain", J.Int s.sc_chain);
+      ("seed", J.Int s.sc_seed);
+      ("capacity", J.Int s.sc_capacity);
+      ( "policy",
+        J.Str (match s.sc_policy with OL.Drop -> "drop" | OL.Block -> "block")
+      );
+      ("tick_ns", J.Int s.sc_tick_ns);
+      ("arrival", arrival_json s.sc_arrival);
+      ("service", service_json s.sc_service);
+    ]
+
+(* --- strict parsing -------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let fields ctx = function
+  | J.Obj fs -> Ok fs
+  | _ -> Error (Printf.sprintf "%s: expected an object" ctx)
+
+let reject_unknown ctx allowed fs =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) fs with
+  | Some (k, _) -> Error (Printf.sprintf "%s: unknown field %S" ctx k)
+  | None -> Ok ()
+
+let get_str ctx fs k ~default =
+  match List.assoc_opt k fs with
+  | None -> Ok default
+  | Some (J.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%s: %S must be a string" ctx k)
+
+let get_int ctx fs k ~default =
+  match List.assoc_opt k fs with
+  | None -> Ok default
+  | Some (J.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "%s: %S must be an integer" ctx k)
+
+let get_float ctx fs k ~default =
+  match List.assoc_opt k fs with
+  | None -> Ok default
+  | Some (J.Float f) -> Ok f
+  | Some (J.Int i) -> Ok (float_of_int i)
+  | Some _ -> Error (Printf.sprintf "%s: %S must be a number" ctx k)
+
+let require_pos ctx k v =
+  if v >= 1 then Ok v
+  else Error (Printf.sprintf "%s: %S must be >= 1 (got %d)" ctx k v)
+
+let require_rate ctx k v =
+  if v > 0. then Ok v
+  else Error (Printf.sprintf "%s: %S must be > 0" ctx k)
+
+let require_prob ctx k v =
+  if v >= 0. && v <= 1. then Ok v
+  else Error (Printf.sprintf "%s: %S must be in [0, 1]" ctx k)
+
+let arrival_of_json v =
+  let ctx = "arrival" in
+  let* fs = fields ctx v in
+  let* kind = get_str ctx fs "process" ~default:"" in
+  match kind with
+  | "poisson" ->
+      let* () = reject_unknown ctx [ "process"; "rate" ] fs in
+      let* rate = get_float ctx fs "rate" ~default:2.0 in
+      let* rate = require_rate ctx "rate" rate in
+      Ok (OL.Poisson { rate })
+  | "bursty" ->
+      let* () =
+        reject_unknown ctx
+          [ "process"; "rate_lo"; "rate_hi"; "switch_lo"; "switch_hi" ]
+          fs
+      in
+      let* rate_lo = get_float ctx fs "rate_lo" ~default:1.0 in
+      let* rate_lo = require_rate ctx "rate_lo" rate_lo in
+      let* rate_hi = get_float ctx fs "rate_hi" ~default:4.0 in
+      let* rate_hi = require_rate ctx "rate_hi" rate_hi in
+      let* switch_lo = get_float ctx fs "switch_lo" ~default:0.1 in
+      let* switch_lo = require_prob ctx "switch_lo" switch_lo in
+      let* switch_hi = get_float ctx fs "switch_hi" ~default:0.1 in
+      let* switch_hi = require_prob ctx "switch_hi" switch_hi in
+      Ok (OL.Bursty { rate_lo; rate_hi; switch_lo; switch_hi })
+  | "" -> Error "arrival: missing \"process\""
+  | k ->
+      Error
+        (Printf.sprintf
+           "arrival: unknown process %S (expected poisson or bursty)" k)
+
+let service_of_json v =
+  let ctx = "service" in
+  let* fs = fields ctx v in
+  let* kind = get_str ctx fs "dist" ~default:"" in
+  match kind with
+  | "fixed" ->
+      let* () = reject_unknown ctx [ "dist"; "ticks" ] fs in
+      let* ticks = get_int ctx fs "ticks" ~default:400 in
+      let* ticks = require_pos ctx "ticks" ticks in
+      Ok (OL.Fixed { ticks })
+  | "uniform" ->
+      let* () = reject_unknown ctx [ "dist"; "lo"; "hi" ] fs in
+      let* lo = get_int ctx fs "lo" ~default:100 in
+      let* lo = require_pos ctx "lo" lo in
+      let* hi = get_int ctx fs "hi" ~default:700 in
+      let* hi = require_pos ctx "hi" hi in
+      if hi < lo then Error "service: \"hi\" must be >= \"lo\""
+      else Ok (OL.Uniform { lo; hi })
+  | "exponential" ->
+      let* () = reject_unknown ctx [ "dist"; "mean" ] fs in
+      let* mean = get_int ctx fs "mean" ~default:400 in
+      let* mean = require_pos ctx "mean" mean in
+      Ok (OL.Exponential { mean })
+  | "bimodal" ->
+      let* () = reject_unknown ctx [ "dist"; "short"; "long"; "p_long" ] fs in
+      let* short = get_int ctx fs "short" ~default:100 in
+      let* short = require_pos ctx "short" short in
+      let* long = get_int ctx fs "long" ~default:2000 in
+      let* long = require_pos ctx "long" long in
+      let* p_long = get_float ctx fs "p_long" ~default:0.05 in
+      let* p_long = require_prob ctx "p_long" p_long in
+      Ok (OL.Bimodal { short; long; p_long })
+  | "" -> Error "service: missing \"dist\""
+  | k ->
+      Error
+        (Printf.sprintf
+           "service: unknown dist %S (expected fixed, uniform, exponential \
+            or bimodal)"
+           k)
+
+let open_spec_of_json v =
+  let ctx = "scenario" in
+  let d = default_open_spec in
+  let* fs = fields ctx v in
+  let* () =
+    reject_unknown ctx
+      [
+        "schema"; "name"; "queue"; "workers"; "requests"; "chain"; "seed";
+        "capacity"; "policy"; "tick_ns"; "arrival"; "service";
+      ]
+      fs
+  in
+  let* schema = get_str ctx fs "schema" ~default:"" in
+  let* () =
+    if schema = open_schema then Ok ()
+    else
+      Error
+        (Printf.sprintf "scenario: \"schema\" must be %S (got %S)" open_schema
+           schema)
+  in
+  let* sc_name = get_str ctx fs "name" ~default:d.sc_name in
+  let* sc_queue = get_str ctx fs "queue" ~default:d.sc_queue in
+  let* () =
+    if List.mem sc_queue Ws_core.Registry.names then Ok ()
+    else
+      Error
+        (Printf.sprintf "scenario: unknown queue %S (expected one of %s)"
+           sc_queue
+           (String.concat ", " Ws_core.Registry.names))
+  in
+  let* sc_workers = get_int ctx fs "workers" ~default:d.sc_workers in
+  let* sc_workers = require_pos ctx "workers" sc_workers in
+  let* sc_requests = get_int ctx fs "requests" ~default:d.sc_requests in
+  let* sc_requests = require_pos ctx "requests" sc_requests in
+  let* sc_chain = get_int ctx fs "chain" ~default:d.sc_chain in
+  let* sc_chain = require_pos ctx "chain" sc_chain in
+  let* sc_seed = get_int ctx fs "seed" ~default:d.sc_seed in
+  let* sc_capacity = get_int ctx fs "capacity" ~default:d.sc_capacity in
+  let* sc_capacity = require_pos ctx "capacity" sc_capacity in
+  let* policy_s =
+    get_str ctx fs "policy"
+      ~default:(match d.sc_policy with OL.Drop -> "drop" | OL.Block -> "block")
+  in
+  let* sc_policy =
+    match policy_s with
+    | "drop" -> Ok OL.Drop
+    | "block" -> Ok OL.Block
+    | p ->
+        Error
+          (Printf.sprintf "scenario: unknown policy %S (expected drop or block)"
+             p)
+  in
+  let* sc_tick_ns = get_int ctx fs "tick_ns" ~default:d.sc_tick_ns in
+  let* sc_tick_ns = require_pos ctx "tick_ns" sc_tick_ns in
+  let* sc_arrival =
+    match List.assoc_opt "arrival" fs with
+    | None -> Ok d.sc_arrival
+    | Some v -> arrival_of_json v
+  in
+  let* sc_service =
+    match List.assoc_opt "service" fs with
+    | None -> Ok d.sc_service
+    | Some v -> service_of_json v
+  in
+  Ok
+    {
+      sc_name; sc_queue; sc_workers; sc_requests; sc_chain; sc_seed;
+      sc_capacity; sc_policy; sc_tick_ns; sc_arrival; sc_service;
+    }
+
+let load_open_spec path =
+  match J.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok v -> (
+      match open_spec_of_json v with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok s -> Ok s)
+
+let open_config s =
+  {
+    Ws_runtime.Open_system.default_config with
+    Ws_runtime.Open_system.workers = s.sc_workers;
+    queue = Ws_core.Registry.find s.sc_queue;
+    seed = s.sc_seed;
+    requests = s.sc_requests;
+    chain = s.sc_chain;
+    arrival = s.sc_arrival;
+    service = s.sc_service;
+    capacity = s.sc_capacity;
+    policy = s.sc_policy;
+  }

@@ -64,6 +64,56 @@ val explore_check :
     [memo = false], [por = false], [dpor = false], [snapshots = true],
     [progress = false]. *)
 
+(** {1 Open-system scenarios}
+
+    One JSON description ([wsrepro-scenario/v1]) drives both engines: the
+    timing model replays the pre-drawn load plan in simulated ticks, the
+    native pool replays the {e same} plan with ticks mapped to wall time
+    through [sc_tick_ns]. Parsing is strict: unknown fields are rejected
+    (top level and inside the nested arrival/service objects), so a
+    typo'd knob fails loudly instead of silently running a default. *)
+
+type open_spec = {
+  sc_name : string;
+  sc_queue : string;  (** registry name *)
+  sc_workers : int;
+  sc_requests : int;
+  sc_chain : int;  (** dependent stages per request *)
+  sc_seed : int;
+  sc_capacity : int;  (** injector backpressure bound *)
+  sc_policy : Ws_runtime.Open_load.policy;
+  sc_tick_ns : int;  (** native runner: wall nanoseconds per tick *)
+  sc_arrival : Ws_runtime.Open_load.arrival;
+  sc_service : Ws_runtime.Open_load.service;
+}
+
+val open_schema : string
+(** ["wsrepro-scenario/v1"] *)
+
+val default_open_spec : open_spec
+(** 3 ff-the workers, Poisson 2.0/ktick, exponential 400-tick services in
+    3 stages, capacity 64, block, 50 ns/tick. *)
+
+val open_spec_json : open_spec -> Telemetry.Json.value
+(** Byte-stable emission (deterministic field order, fixed float format):
+    emit → parse → emit is the identity on bytes. *)
+
+val open_spec_of_json :
+  Telemetry.Json.value -> (open_spec, string) result
+(** Strict parse + validation: schema tag must match {!open_schema},
+    unknown fields are rejected everywhere, the queue must exist in the
+    registry, counts must be >= 1, rates > 0 and probabilities in [0, 1].
+    Every field except [schema] is optional and defaults from
+    {!default_open_spec}. *)
+
+val load_open_spec : string -> (open_spec, string) result
+(** {!open_spec_of_json} over a file, with the path prefixed to errors. *)
+
+val open_config : open_spec -> Ws_runtime.Open_system.config
+(** The spec as a timing-model open-system config (native-only fields
+    like [sc_tick_ns] do not appear; engine knobs not in the DSL keep
+    {!Ws_runtime.Open_system.default_config} values). *)
+
 val explore_check_full :
   spec ->
   ?max_runs:int ->

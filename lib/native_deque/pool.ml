@@ -33,6 +33,11 @@ type task = unit -> unit
 type backend = Chase_lev_deques | The_deques
 type victim_policy = Random_victim | Round_robin_victim
 
+(* What [submit] does when the injector already holds [injector_capacity]
+   cells: refuse the task (open-system loss) or spin until a worker makes
+   room (open-system queueing delay). *)
+type backpressure = Drop | Block
+
 type worker_stats = {
   mutable spawns : int;
   mutable tasks_run : int;
@@ -98,6 +103,8 @@ type t = {
   deques : deque array;  (* slot 0: the coordinator; slots 1..n: workers *)
   owners : int array;  (* Domain id owning each deque; -1 when unclaimed *)
   injector : cell Injector.t;
+  injector_capacity : int;  (* soft bound enforced by [submit] only *)
+  injector_drops : int Atomic.t;  (* submissions refused under Drop *)
   in_flight : int Atomic.t;  (* spawned and not yet finished *)
   pending : int Atomic.t;  (* enqueued and not yet dequeued *)
   stop : bool Atomic.t;
@@ -346,8 +353,10 @@ let worker_loop pool me =
 
 let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
     ?(steal_half = false) ?(telemetry = false) ?(debug = false)
-    ?(queue_capacity = 1 lsl 13) ?(flight = false)
-    ?(flight_capacity = 16384) () =
+    ?(queue_capacity = 1 lsl 13) ?(injector_capacity = max_int)
+    ?(flight = false) ?(flight_capacity = 16384) () =
+  if injector_capacity < 1 then
+    invalid_arg "Pool.create: injector_capacity must be >= 1";
   if steal_half && backend <> The_deques then
     invalid_arg "Pool.create: steal_half requires the THE backend";
   let n =
@@ -370,6 +379,8 @@ let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
       deques = Array.init (n + 1) (fun _ -> mk_deque ());
       owners = Array.make (n + 1) (-1);
       injector = Injector.create ();
+      injector_capacity;
+      injector_drops = Atomic.make 0;
       in_flight = Atomic.make 0;
       pending = Atomic.make 0;
       stop = Atomic.make false;
@@ -422,6 +433,42 @@ let spawn pool f =
       | None -> ());
       Injector.push pool.injector cell);
   wake_all pool
+
+(* External submission under the injector bound. [spawn] is the closed-
+   system door and never refuses work (a worker body must be able to fork
+   unconditionally); [submit] is the open-system front door, where load
+   the pool cannot absorb has to be shed or delayed somewhere, and that
+   somewhere is here. The bound is soft: concurrent submitters race the
+   size check, so the depth can transiently exceed capacity by the number
+   of racing callers — fine for backpressure, whose job is to stop an
+   unbounded queue, not to enforce an exact high-water mark. *)
+let inject pool f =
+  ignore (Atomic.fetch_and_add pool.in_flight 1);
+  ignore (Atomic.fetch_and_add pool.pending 1);
+  let cell = make_cell pool ~parent:(-1) f in
+  (match pool.recorder with
+  | Some r -> FR.record_external r FR.Inject ~task:cell.id ~arg:FR.no_arg
+  | None -> ());
+  Injector.push pool.injector cell;
+  wake_all pool
+
+let submit ?(policy = Block) pool f =
+  if Atomic.get pool.shut then invalid_arg "Pool.submit: pool is shut down";
+  if Injector.size pool.injector < pool.injector_capacity then begin
+    inject pool f;
+    true
+  end
+  else
+    match policy with
+    | Drop ->
+        Atomic.incr pool.injector_drops;
+        false
+    | Block ->
+        while Injector.size pool.injector >= pool.injector_capacity do
+          Domain.cpu_relax ()
+        done;
+        inject pool f;
+        true
 
 let raise_pending_error pool =
   match Atomic.exchange pool.error None with
@@ -512,6 +559,9 @@ let shutdown pool =
   end
 
 let worker_count pool = Array.length pool.deques - 1
+let injector_depth pool = Injector.size pool.injector
+let sleeper_count pool = Atomic.get pool.sleepers
+let injector_drops pool = Atomic.get pool.injector_drops
 
 (* Stable-read snapshot of one slot's counters: copy, re-copy, and accept
    only when two successive copies agree (the writer was quiet in between,
@@ -534,6 +584,7 @@ type snapshot = {
   snap_in_flight : int;
   snap_sleepers : int;
   snap_injector : int;
+  snap_injector_drops : int;
 }
 
 let scrape pool =
@@ -550,6 +601,7 @@ let scrape pool =
     snap_in_flight = Atomic.get pool.in_flight;
     snap_sleepers = Atomic.get pool.sleepers;
     snap_injector = Injector.size pool.injector;
+    snap_injector_drops = Atomic.get pool.injector_drops;
   }
 
 let worker_stats pool =

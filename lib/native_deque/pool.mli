@@ -13,6 +13,12 @@ type backend =
 
 type victim_policy = Random_victim | Round_robin_victim
 
+type backpressure =
+  | Drop  (** refuse the task; counted in [snap_injector_drops] *)
+  | Block  (** spin until a worker makes room in the injector *)
+      (** What {!submit} does when the injector already holds
+          [injector_capacity] cells. *)
+
 type worker_stats = {
   mutable spawns : int;  (** tasks pushed by this worker *)
   mutable tasks_run : int;  (** tasks this worker executed *)
@@ -34,6 +40,7 @@ val create :
   ?telemetry:bool ->
   ?debug:bool ->
   ?queue_capacity:int ->
+  ?injector_capacity:int ->
   ?flight:bool ->
   ?flight_capacity:int ->
   unit ->
@@ -44,7 +51,10 @@ val create :
     [telemetry] enables per-task latency timestamps (see {!latency}).
     [debug] asserts the single-owner push discipline on every push.
     [queue_capacity] bounds the fixed-size THE deques (overflow spills to
-    the injector). [flight] attaches a {!Telemetry.Flight_recorder} — one
+    the injector). [injector_capacity] (default unbounded) is the soft
+    bound {!submit} enforces with its backpressure policy; {!spawn} and
+    THE overflow spills ignore it, so a worker can always make progress.
+    [flight] attaches a {!Telemetry.Flight_recorder} — one
     ring of [flight_capacity] events per slot (default 16384) — recording
     spawn/run/steal/steal-abort/inject/park/unpark events with task
     lineage; retrieve it with {!flight}. With [steal_half], only the first
@@ -63,7 +73,19 @@ val spawn : t -> (unit -> unit) -> unit
 (** Enqueue a task from any domain. Pool workers (and the domain inside
     {!parallel_run}) push onto their own deque; any other domain goes
     through the injector queue, so spawning from external domains is
-    safe. *)
+    safe. Never refuses work: the injector bound does not apply (a task
+    body must be able to fork unconditionally). *)
+
+val submit : ?policy:backpressure -> t -> (unit -> unit) -> bool
+(** Open-system front door: enqueue an externally arriving task through
+    the injector, honoring [injector_capacity]. Returns [true] when the
+    task was accepted. With [Drop] (and the injector full) the task is
+    refused, [false] is returned and [snap_injector_drops] is bumped;
+    with [Block] (the default) the caller spins until a worker makes
+    room, so it always returns [true]. The bound is soft — concurrent
+    submitters race the size check, so the depth can transiently exceed
+    capacity by the number of racing callers; backpressure needs a dam,
+    not an exact high-water mark. *)
 
 val shutdown : t -> unit
 (** Drain all queued work (executing it, not dropping it), then stop and
@@ -74,6 +96,15 @@ val shutdown : t -> unit
 
 val worker_count : t -> int
 (** Number of worker domains (excluding the coordinator slot). *)
+
+val injector_depth : t -> int
+(** Current depth of the external-submission FIFO (one atomic read). *)
+
+val sleeper_count : t -> int
+(** Workers parked right now (one atomic read). *)
+
+val injector_drops : t -> int
+(** Submissions refused so far under the [Drop] policy. *)
 
 val worker_stats : t -> worker_stats array
 (** Snapshot of per-slot counters; index 0 is the coordinator, 1..n the
@@ -88,6 +119,7 @@ type snapshot = {
   snap_in_flight : int;  (** tasks spawned and not yet finished *)
   snap_sleepers : int;  (** workers parked at the instant of the scrape *)
   snap_injector : int;  (** cells waiting in the external-submission FIFO *)
+  snap_injector_drops : int;  (** {!submit} refusals under [Drop], ever *)
 }
 
 val scrape : t -> snapshot

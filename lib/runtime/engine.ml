@@ -163,7 +163,7 @@ let setup cfg wl ~buffer_model =
             tag = Printf.sprintf "q%d" w;
           }
         in
-        Ws_core.Registry.create cfg.queue machine params)
+        Ws_core.Registry.create ~shard:w cfg.queue machine params)
   in
   let scratch =
     Array.init cfg.workers (fun w ->
@@ -216,9 +216,16 @@ let summarize st outcome timing =
 
 let run_timed ?sink ?tracer ?trace_pid cfg wl =
   let machine, st = setup cfg wl ~buffer_model:Store_buffer.Abstract in
+  (* Per-worker shards (worker w = simulated thread w = queue w), merged by
+     the timing engine at this run's quiescence point. *)
+  let shards =
+    match sink with
+    | Some _ -> Some (Telemetry.Shards.create ~n:cfg.workers)
+    | None -> None
+  in
   let report =
-    Timing.run ~max_steps:cfg.max_steps ?sink ?tracer ?trace_pid machine
-      cfg.costs
+    Timing.run ~max_steps:cfg.max_steps ?sink ?shards ?tracer ?trace_pid
+      machine cfg.costs
   in
   (match sink with
   | None -> ()

@@ -1,0 +1,101 @@
+(* Open-system load generation, shared by the timing-model engine and the
+   native pool so a scenario's randomness is drawn exactly once per seed:
+   both sides replay the same pre-drawn plan of inter-arrival gaps and
+   service demands, which is what makes `--seed` reproduce a run (and lets
+   a cram test lock the simulated output byte-for-byte).
+
+   The generator is a self-contained SplitMix64 rather than Stdlib.Random:
+   the draws are part of the experiment contract (they appear in locked
+   reports), so they must not depend on the stdlib's generator evolving. *)
+
+type arrival =
+  | Poisson of { rate : float }  (* mean arrivals per 1000 ticks *)
+  | Bursty of {
+      rate_lo : float;  (* arrivals per 1000 ticks in the calm state *)
+      rate_hi : float;  (* arrivals per 1000 ticks in the burst state *)
+      switch_lo : float;  (* P(calm -> burst) evaluated at each arrival *)
+      switch_hi : float;  (* P(burst -> calm) evaluated at each arrival *)
+    }
+
+type service =
+  | Fixed of { ticks : int }
+  | Uniform of { lo : int; hi : int }
+  | Exponential of { mean : int }
+  | Bimodal of { short : int; long : int; p_long : float }
+
+type policy = Drop | Block
+
+type plan = {
+  gaps : int array;  (* inter-arrival gaps, ticks *)
+  services : int array;  (* total service demand per request, ticks *)
+}
+
+(* --- SplitMix64 ----------------------------------------------------- *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+let next r =
+  let open Int64 in
+  r.state <- add r.state 0x9e3779b97f4a7c15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, 1): the top 53 bits, so the float is exact. *)
+let float r =
+  Int64.to_float (Int64.shift_right_logical (next r) 11) *. 0x1p-53
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Open_load.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int bound))
+
+(* --- draws ----------------------------------------------------------- *)
+
+(* Exponential with the given mean, rounded to whole ticks. [1 - u] keeps
+   the argument of log strictly positive. *)
+let exp_draw r ~mean = int_of_float (-.mean *. log (1. -. float r))
+
+let gap_draw r ~rate = exp_draw r ~mean:(1000. /. rate)
+
+let service_draw r = function
+  | Fixed { ticks } -> ticks
+  | Uniform { lo; hi } -> if hi <= lo then lo else lo + int r (hi - lo + 1)
+  | Exponential { mean } -> max 1 (exp_draw r ~mean:(float_of_int mean))
+  | Bimodal { short; long; p_long } ->
+      if float r < p_long then long else short
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Bursty { rate_lo; rate_hi; switch_lo; switch_hi } ->
+      (* Stationary split of the per-arrival two-state chain. *)
+      let p = switch_lo +. switch_hi in
+      if p <= 0. then rate_lo
+      else ((switch_hi *. rate_lo) +. (switch_lo *. rate_hi)) /. p
+
+let mean_service = function
+  | Fixed { ticks } -> float_of_int ticks
+  | Uniform { lo; hi } -> float_of_int (lo + hi) /. 2.
+  | Exponential { mean } -> float_of_int mean
+  | Bimodal { short; long; p_long } ->
+      ((1. -. p_long) *. float_of_int short) +. (p_long *. float_of_int long)
+
+let plan ~seed ~requests arrival service =
+  if requests <= 0 then invalid_arg "Open_load.plan: requests must be positive";
+  let r = rng seed in
+  let gaps = Array.make requests 0 in
+  let services = Array.make requests 0 in
+  let burst = ref false in
+  for i = 0 to requests - 1 do
+    (match arrival with
+    | Poisson { rate } -> gaps.(i) <- gap_draw r ~rate
+    | Bursty { rate_lo; rate_hi; switch_lo; switch_hi } ->
+        gaps.(i) <- gap_draw r ~rate:(if !burst then rate_hi else rate_lo);
+        let u = float r in
+        if !burst then (if u < switch_hi then burst := false)
+        else if u < switch_lo then burst := true);
+    services.(i) <- max 1 (service_draw r service)
+  done;
+  { gaps; services }

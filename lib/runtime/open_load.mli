@@ -1,0 +1,55 @@
+(** Open-system load generation: arrival processes and service-time
+    distributions, pre-drawn into a {!plan} so the timing-model engine and
+    the native pool replay {e the same} randomness for a given seed.
+
+    All durations are in abstract "ticks" — simulator cycles on the timing
+    model; the native runner maps ticks to wall time via the scenario's
+    [tick_ns]. Rates are arrivals per 1000 ticks. The generator is a
+    self-contained SplitMix64, so plans are stable across OCaml versions
+    and platforms (they appear in byte-locked reports). *)
+
+type arrival =
+  | Poisson of { rate : float }
+  | Bursty of {
+      rate_lo : float;
+      rate_hi : float;
+      switch_lo : float;  (** P(calm→burst), evaluated at each arrival *)
+      switch_hi : float;  (** P(burst→calm), evaluated at each arrival *)
+    }
+      (** Markov-modulated Poisson with two states: exponential gaps at
+          [rate_lo] or [rate_hi], the state flipping after each arrival
+          with the given probabilities. *)
+
+type service =
+  | Fixed of { ticks : int }
+  | Uniform of { lo : int; hi : int }
+  | Exponential of { mean : int }
+  | Bimodal of { short : int; long : int; p_long : float }
+      (** [long] ticks with probability [p_long], else [short] — the
+          elephants-and-mice mix that dominates tail latency. *)
+
+type policy = Drop | Block  (** injector backpressure when full *)
+
+type plan = {
+  gaps : int array;  (** inter-arrival gaps, ticks *)
+  services : int array;  (** total service demand per request, ticks, >= 1 *)
+}
+
+type rng
+
+val rng : int -> rng
+val float : rng -> float
+(** Uniform in [[0, 1)]. *)
+
+val int : rng -> int -> int
+(** Uniform in [[0, bound)]; [bound] must be positive. *)
+
+val plan : seed:int -> requests:int -> arrival -> service -> plan
+(** Draw every gap and service demand for [requests] arrivals. Pure in the
+    seed: equal arguments give equal plans. *)
+
+val mean_rate : arrival -> float
+(** Long-run arrivals per 1000 ticks (stationary rate for {!Bursty}). *)
+
+val mean_service : service -> float
+(** Expected service demand in ticks. *)

@@ -1,0 +1,277 @@
+open Tso
+
+(* Open-system mode for the timing model (the paper's benchmarks are
+   closed fork/join DAGs; the heavy-traffic experiments need arrivals).
+
+   Topology: W workers plus one dedicated injector thread, each a
+   simulated core. The injector owns deque W and only ever [put]s into it
+   — single-owner discipline intact — so workers absorb arrivals by
+   {e stealing} from the injector's deque, exactly how the native pool's
+   workers drain its submission queue. Inter-arrival gaps are modelled as
+   [work] instructions on the injector's core, which the timing engine
+   charges cycle-for-cycle, so a plan drawn by {!Open_load} reproduces the
+   same arrival timeline on every run.
+
+   Each request is a chain of [chain] dependent stages; non-final stages
+   re-[put] onto the executing worker's own deque, so the closed-system
+   put/take/steal hot paths stay exercised under open load.
+
+   Backpressure: the injector tracks the depth of its deque host-side
+   (puts minus successful steals — exact, because the simulator
+   interleaves at instruction granularity on one host thread). At
+   [capacity] it either drops the arrival (Drop) or spins until a worker
+   makes room (Block), burning simulated pause cycles that show up in the
+   makespan — an overloaded Block run is visibly slower, not silently
+   lossy. *)
+
+type config = {
+  workers : int;
+  queue : Ws_core.Registry.impl;
+  queue_capacity : int;
+  delta : int;
+  worker_fence : bool;
+  sb_capacity : int;
+  costs : Timing.cost_model;
+  seed : int;
+  requests : int;
+  chain : int;  (* dependent stages per request *)
+  arrival : Open_load.arrival;
+  service : Open_load.service;
+  capacity : int;  (* injector backpressure bound *)
+  policy : Open_load.policy;
+  idle_backoff : int;
+  max_steps : int;
+}
+
+let default_config =
+  {
+    workers = 3;
+    queue = Ws_core.Registry.find "ff-the";
+    queue_capacity = 1 lsl 14;
+    delta = 1;
+    worker_fence = true;
+    sb_capacity = 16;
+    costs = Timing.default_costs;
+    seed = 1;
+    requests = 500;
+    chain = 3;
+    arrival = Open_load.Poisson { rate = 2.0 };
+    service = Open_load.Exponential { mean = 400 };
+    capacity = 64;
+    policy = Open_load.Block;
+    idle_backoff = 64;
+    max_steps = 200_000_000;
+  }
+
+type report = {
+  injected : int;
+  dropped : int;
+  completed : int;
+  makespan : int;
+  steps : int;
+  outcome : Sched.outcome;
+  p50 : int;  (* sojourn percentiles, ticks *)
+  p99 : int;
+  p999 : int;
+  sojourn : Telemetry.Histogram.t;
+  peak_queue : int;  (* max injector deque depth observed *)
+  block_spins : int;  (* injector pause instructions while blocked *)
+  offered_rate : float;  (* configured long-run arrivals per 1000 ticks *)
+  achieved_rate : float;  (* completions per 1000 ticks of makespan *)
+  metrics : Metrics.t;
+}
+
+let run ?sink cfg =
+  if cfg.workers < 1 then invalid_arg "Open_system.run: workers must be >= 1";
+  if cfg.chain < 1 then invalid_arg "Open_system.run: chain must be >= 1";
+  if cfg.capacity < 1 then invalid_arg "Open_system.run: capacity must be >= 1";
+  if cfg.capacity >= cfg.queue_capacity then
+    invalid_arg "Open_system.run: capacity must be below queue_capacity";
+  let plan =
+    Open_load.plan ~seed:cfg.seed ~requests:cfg.requests cfg.arrival
+      cfg.service
+  in
+  let machine =
+    Machine.create
+      { Machine.sb_capacity = cfg.sb_capacity;
+        buffer_model = Store_buffer.Abstract }
+  in
+  let inj = cfg.workers (* thread/queue/shard index of the injector *) in
+  let queues =
+    Array.init (cfg.workers + 1) (fun w ->
+        let params =
+          {
+            Ws_core.Queue_intf.capacity = cfg.queue_capacity;
+            delta = cfg.delta;
+            worker_fence = cfg.worker_fence;
+            tag = (if w = inj then "inj" else Printf.sprintf "q%d" w);
+          }
+        in
+        (* The front door is always the plain lock-based THE queue, like
+           the native pool's mutex FIFO injector — NOT the scenario's
+           worker queue. The δ-relaxed queues (ff-the, thep) can never
+           certify the last item to a thief (ABORT subsumes EMPTY, §4),
+           which is fine for worker deques (the owner's take drains them)
+           but would strand the final arrival forever in a deque whose
+           owner only ever puts. *)
+        let impl = if w = inj then Ws_core.Registry.find "the" else cfg.queue in
+        Ws_core.Registry.create ~shard:w impl machine params)
+  in
+  let clk = Timing.clock () in
+  let metrics = Metrics.create cfg.workers in
+  (* Sojourn latency through the sharded histogram plane: one histogram
+     per worker, written only by its owner, merged at the quiescent end of
+     the run. *)
+  let sojourn_shards =
+    Array.init cfg.workers (fun _ -> Telemetry.Histogram.create ())
+  in
+  let arrive = Array.make cfg.requests 0 in
+  let stage_ticks = Array.make (cfg.requests * cfg.chain) 0 in
+  for i = 0 to cfg.requests - 1 do
+    let s = plan.Open_load.services.(i) in
+    let base = s / cfg.chain and rem = s mod cfg.chain in
+    for k = 0 to cfg.chain - 1 do
+      stage_ticks.((i * cfg.chain) + k) <- (base + if k < rem then 1 else 0)
+    done
+  done;
+  let injected = ref 0 in
+  let dropped = ref 0 in
+  let completed = ref 0 in
+  let in_flight = ref 0 in
+  let in_queue = ref 0 in
+  let peak_queue = ref 0 in
+  let block_spins = ref 0 in
+  let injector_done = ref false in
+  let injector_body () =
+    for i = 0 to cfg.requests - 1 do
+      let gap = plan.Open_load.gaps.(i) in
+      if gap > 0 then Program.work gap;
+      (match cfg.policy with
+      | Open_load.Block ->
+          while !in_queue >= cfg.capacity do
+            incr block_spins;
+            Program.spin_pause ()
+          done
+      | Open_load.Drop -> ());
+      if !in_queue >= cfg.capacity then incr dropped
+      else begin
+        arrive.(i) <- Timing.now clk;
+        incr injected;
+        incr in_flight;
+        incr in_queue;
+        if !in_queue > !peak_queue then peak_queue := !in_queue;
+        Ws_core.Queue_intf.put queues.(inj) (i * cfg.chain)
+      end
+    done;
+    injector_done := true
+  in
+  let exec_task w t =
+    let m = metrics.Metrics.workers.(w) in
+    m.Metrics.tasks_run <- m.Metrics.tasks_run + 1;
+    let ticks = stage_ticks.(t) in
+    if ticks > 0 then Program.work ticks;
+    let stage = t mod cfg.chain in
+    if stage < cfg.chain - 1 then begin
+      m.Metrics.puts <- m.Metrics.puts + 1;
+      Ws_core.Queue_intf.put queues.(w) (t + 1)
+    end
+    else begin
+      let i = t / cfg.chain in
+      Telemetry.Histogram.observe sojourn_shards.(w)
+        (Timing.now clk - arrive.(i));
+      incr completed;
+      decr in_flight
+    end
+  in
+  let worker_body w () =
+    let m = metrics.Metrics.workers.(w) in
+    let rng = Open_load.rng (cfg.seed + ((w + 1) * 0x9e37)) in
+    let live () = !in_flight > 0 || not !injector_done in
+    let rec own_loop () =
+      if live () then begin
+        m.Metrics.takes <- m.Metrics.takes + 1;
+        match Ws_core.Queue_intf.take queues.(w) with
+        | `Task t ->
+            exec_task w t;
+            own_loop ()
+        | `Empty ->
+            m.Metrics.take_empties <- m.Metrics.take_empties + 1;
+            hunt ()
+      end
+    and hunt () =
+      if live () then begin
+        (* Drain the front door first, like the native pool: arrivals wait
+           in the injector's deque and only steals move them on. *)
+        let victim =
+          if !in_queue > 0 then inj
+          else if cfg.workers = 1 then inj
+          else begin
+            let v = Open_load.int rng (cfg.workers - 1) in
+            if v >= w then v + 1 else v
+          end
+        in
+        m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+        match Ws_core.Queue_intf.steal queues.(victim) with
+        | `Task t ->
+            m.Metrics.steals <- m.Metrics.steals + 1;
+            (* Draining the injector is the front-door path, not a steal
+               between workers, so only worker-victim steals count as
+               stolen task executions. *)
+            if victim = inj then decr in_queue
+            else m.Metrics.tasks_run_stolen <- m.Metrics.tasks_run_stolen + 1;
+            exec_task w t;
+            own_loop ()
+        | `Empty ->
+            m.Metrics.steal_empties <- m.Metrics.steal_empties + 1;
+            Program.work cfg.idle_backoff;
+            hunt ()
+        | `Abort ->
+            m.Metrics.steal_aborts <- m.Metrics.steal_aborts + 1;
+            Program.work cfg.idle_backoff;
+            hunt ()
+      end
+    in
+    own_loop ()
+  in
+  for w = 0 to cfg.workers - 1 do
+    ignore
+      (Machine.spawn machine ~name:(Printf.sprintf "worker%d" w)
+         (worker_body w))
+  done;
+  ignore (Machine.spawn machine ~name:"injector" injector_body);
+  let shards =
+    match sink with
+    | Some _ -> Some (Telemetry.Shards.create ~n:(cfg.workers + 1))
+    | None -> None
+  in
+  let timing =
+    Timing.run ~max_steps:cfg.max_steps ~clock:clk ?sink ?shards machine
+      cfg.costs
+  in
+  (match sink with
+  | None -> ()
+  | Some s -> Metrics.fold_into_sink metrics s);
+  let sojourn = Telemetry.Histogram.create () in
+  Array.iter
+    (fun h -> Telemetry.Histogram.merge ~into:sojourn h)
+    sojourn_shards;
+  let makespan = timing.Timing.makespan in
+  {
+    injected = !injected;
+    dropped = !dropped;
+    completed = !completed;
+    makespan;
+    steps = timing.Timing.steps;
+    outcome = timing.Timing.outcome;
+    p50 = Telemetry.Histogram.percentile sojourn 0.5;
+    p99 = Telemetry.Histogram.percentile sojourn 0.99;
+    p999 = Telemetry.Histogram.percentile sojourn 0.999;
+    sojourn;
+    peak_queue = !peak_queue;
+    block_spins = !block_spins;
+    offered_rate = Open_load.mean_rate cfg.arrival;
+    achieved_rate =
+      (if makespan = 0 then 0.
+       else 1000. *. float_of_int !completed /. float_of_int makespan);
+    metrics;
+  }

@@ -484,6 +484,164 @@ let test_par_runner_semantics () =
          item (10, 17, ...) finished first on another domain *)
       Alcotest.check Alcotest.string "first error in grid order" "3" msg
 
+(* ------------------------------------------------------------------ *)
+(* Open-system scenario DSL                                            *)
+(* ------------------------------------------------------------------ *)
+
+module J = Telemetry.Json
+module OL = Ws_runtime.Open_load
+
+(* a spec touching every optional field, including the bursty/bimodal arms *)
+let fancy_spec =
+  {
+    Scenarios.sc_name = "fancy";
+    sc_queue = "chase-lev";
+    sc_workers = 4;
+    sc_requests = 60;
+    sc_chain = 2;
+    sc_seed = 13;
+    sc_capacity = 16;
+    sc_policy = OL.Drop;
+    sc_tick_ns = 25;
+    sc_arrival =
+      OL.Bursty
+        { rate_lo = 0.5; rate_hi = 6.0; switch_lo = 0.1; switch_hi = 0.2 };
+    sc_service = OL.Bimodal { short = 100; long = 1800; p_long = 0.05 };
+  }
+
+let test_open_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Scenarios.open_spec_of_json (Scenarios.open_spec_json spec) with
+      | Ok spec' ->
+          checkb "emit -> parse is the identity" true (spec = spec')
+      | Error e -> Alcotest.fail ("round-trip failed: " ^ e))
+    [ Scenarios.default_open_spec; fancy_spec ]
+
+let test_open_spec_byte_stable () =
+  let emit spec = J.to_string ~indent:true (Scenarios.open_spec_json spec) in
+  let once = emit fancy_spec in
+  (* emit -> parse -> emit must reproduce the bytes (floats included) *)
+  match J.parse once with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Scenarios.open_spec_of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok spec' -> Alcotest.(check string) "byte-stable" once (emit spec'))
+
+let with_field extra spec =
+  match Scenarios.open_spec_json spec with
+  | J.Obj fields -> J.Obj (fields @ [ extra ])
+  | _ -> Alcotest.fail "spec JSON is not an object"
+
+let test_open_spec_rejects_unknown () =
+  (* top-level typo *)
+  checkb "unknown top-level field rejected" true
+    (Result.is_error
+       (Scenarios.open_spec_of_json
+          (with_field ("wrokers", J.Int 3) Scenarios.default_open_spec)));
+  (* nested typo inside the arrival object *)
+  let nested =
+    match Scenarios.open_spec_json Scenarios.default_open_spec with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (function
+               | "arrival", J.Obj a ->
+                   ("arrival", J.Obj (a @ [ ("rte", J.Float 2.0) ]))
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "spec JSON is not an object"
+  in
+  checkb "unknown nested field rejected" true
+    (Result.is_error (Scenarios.open_spec_of_json nested))
+
+let test_open_spec_validates () =
+  let reject label j =
+    checkb label true (Result.is_error (Scenarios.open_spec_of_json j))
+  in
+  reject "wrong schema id"
+    (J.Obj [ ("schema", J.Str "wsrepro-scenario/v9") ]);
+  let base =
+    match Scenarios.open_spec_json Scenarios.default_open_spec with
+    | J.Obj fields -> fields
+    | _ -> Alcotest.fail "spec JSON is not an object"
+  in
+  let override k v =
+    J.Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) base)
+  in
+  reject "unknown queue" (override "queue" (J.Str "no-such-queue"));
+  reject "zero workers" (override "workers" (J.Int 0));
+  reject "negative seed is fine but zero requests is not"
+    (override "requests" (J.Int 0));
+  reject "uniform lo > hi"
+    (override "service"
+       (J.Obj
+          [ ("dist", J.Str "uniform"); ("lo", J.Int 9); ("hi", J.Int 3) ]));
+  reject "probability out of range"
+    (override "service"
+       (J.Obj
+          [
+            ("dist", J.Str "bimodal");
+            ("short", J.Int 10);
+            ("long", J.Int 100);
+            ("p_long", J.Float 1.5);
+          ]));
+  reject "bad policy" (override "policy" (J.Str "shed"))
+
+let test_overload_report_validates () =
+  let spec =
+    {
+      Scenarios.default_open_spec with
+      Scenarios.sc_name = "mini";
+      sc_workers = 2;
+      sc_requests = 40;
+      sc_chain = 2;
+    }
+  in
+  let sink = Telemetry.Sink.create () in
+  let points = Exp_overload.run ~factors:[ 1.0; 2.0 ] ~sink spec in
+  let report = Exp_overload.report_json ~sink spec points in
+  (match Exp_overload.validate report with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fresh report failed validation: " ^ e));
+  (* corrupting a percentile ordering must fail *)
+  let corrupt =
+    match J.parse (J.to_string report) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail e
+  in
+  let corrupt =
+    match corrupt with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (function
+               | "points", J.List (J.Obj p :: rest) ->
+                   ( "points",
+                     J.List
+                       (J.Obj
+                          (List.map
+                             (function
+                               | "sim", J.Obj sim ->
+                                   ( "sim",
+                                     J.Obj
+                                       (List.map
+                                          (function
+                                            | "p50_ticks", _ ->
+                                                ("p50_ticks", J.Int max_int)
+                                            | kv -> kv)
+                                          sim) )
+                               | kv -> kv)
+                             p)
+                       :: rest) )
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "report is not an object"
+  in
+  checkb "non-monotone percentiles rejected" true
+    (Result.is_error (Exp_overload.validate corrupt))
+
 let () =
   Alcotest.run "harness"
     [
@@ -532,6 +690,18 @@ let () =
         [
           Alcotest.test_case "check plumbing" `Quick test_scenario_check_logic;
           Alcotest.test_case "abort accounting" `Quick test_scenario_flags_bad_abort;
+        ] );
+      ( "open-spec-dsl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_open_spec_roundtrip;
+          Alcotest.test_case "byte-stable emit" `Quick
+            test_open_spec_byte_stable;
+          Alcotest.test_case "rejects unknown fields" `Quick
+            test_open_spec_rejects_unknown;
+          Alcotest.test_case "validates values" `Quick
+            test_open_spec_validates;
+          Alcotest.test_case "overload report validates" `Quick
+            test_overload_report_validates;
         ] );
       ( "delta-analysis",
         [

@@ -454,6 +454,44 @@ let test_pool_scrape () =
        0 snap.Pool.slot_latencies);
   Pool.shutdown pool
 
+(* Bounded-injector backpressure: submit is the open-system front door and
+   must honor [injector_capacity]; spawn-side admission is unconditional.
+   One worker is parked on a gate so admissions sit in the injector. *)
+let test_pool_submit_backpressure () =
+  let pool = Pool.create ~domains:1 ~injector_capacity:1 () in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let task () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    Atomic.incr ran
+  in
+  Alcotest.(check bool) "first submit admitted" true (Pool.submit pool task);
+  (* wait for the worker to move it from the injector onto its deque *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Pool.injector_depth pool > 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  checki "injector drained to the busy worker" 0 (Pool.injector_depth pool);
+  Alcotest.(check bool)
+    "second admitted up to capacity" true
+    (Pool.submit ~policy:Pool.Drop pool task);
+  Alcotest.(check bool)
+    "third refused at the full injector" false
+    (Pool.submit ~policy:Pool.Drop pool (fun () -> Atomic.incr ran));
+  checki "refusal counted" 1 (Pool.injector_drops pool);
+  let snap = Pool.scrape pool in
+  checki "scrape exports the drop counter" 1 snap.Pool.snap_injector_drops;
+  Atomic.set gate true;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get ran < 2 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  checki "both admitted tasks ran, the refused one did not" 2
+    (Atomic.get ran);
+  Pool.shutdown pool
+
 (* qcheck: random sequential op sequences vs a reference deque *)
 let cl_matches_reference =
   QCheck.Test.make ~name:"native chase-lev matches reference deque (sequential)"
@@ -534,5 +572,7 @@ let () =
             test_pool_flight_lineage;
           Alcotest.test_case "live scrape is exact at quiescence" `Quick
             test_pool_scrape;
+          Alcotest.test_case "bounded injector backpressure" `Quick
+            test_pool_submit_backpressure;
         ] );
     ]

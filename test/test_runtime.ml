@@ -264,6 +264,93 @@ let random_dag_prop =
       && makespan >= Dag.critical_path dag
       && makespan * cfg.Engine.workers >= Dag.total_work dag)
 
+(* ------------------------------------------------------------------ *)
+(* Open system                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let open_cfg =
+  {
+    Open_system.default_config with
+    Open_system.requests = 120;
+    workers = 2;
+    chain = 2;
+    seed = 3;
+  }
+
+let test_open_system_block_completes_all () =
+  let r = Open_system.run open_cfg in
+  checkb "quiescent" true (r.Open_system.outcome = Tso.Sched.Quiescent);
+  checki "injected all" 120 r.Open_system.injected;
+  checki "no drops under Block" 0 r.Open_system.dropped;
+  checki "completed = injected" r.Open_system.injected r.Open_system.completed;
+  checkb "tail monotone" true
+    (r.Open_system.p50 <= r.Open_system.p99
+    && r.Open_system.p99 <= r.Open_system.p999);
+  checkb "peak queue within capacity" true
+    (r.Open_system.peak_queue <= open_cfg.Open_system.capacity)
+
+let test_open_system_deterministic () =
+  let key (r : Open_system.report) =
+    ( r.Open_system.injected,
+      r.Open_system.completed,
+      r.Open_system.makespan,
+      r.Open_system.steps,
+      (r.Open_system.p50, r.Open_system.p99, r.Open_system.p999) )
+  in
+  checkb "byte-equal reports" true
+    (key (Open_system.run open_cfg) = key (Open_system.run open_cfg));
+  let other = { open_cfg with Open_system.seed = 4 } in
+  checkb "a different seed is a different run" true
+    (key (Open_system.run open_cfg) <> key (Open_system.run other))
+
+let test_open_system_drop_under_overload () =
+  (* tiny injector + arrivals far above service capacity: Drop must shed
+     load, and every admitted request must still complete *)
+  let cfg =
+    {
+      open_cfg with
+      Open_system.capacity = 4;
+      policy = Open_load.Drop;
+      arrival = Open_load.Poisson { rate = 50.0 };
+      service = Open_load.Fixed { ticks = 400 };
+    }
+  in
+  let r = Open_system.run cfg in
+  checkb "quiescent" true (r.Open_system.outcome = Tso.Sched.Quiescent);
+  checkb "drops observed" true (r.Open_system.dropped > 0);
+  checki "admitted + dropped = offered" cfg.Open_system.requests
+    (r.Open_system.injected + r.Open_system.dropped);
+  checki "admitted all complete" r.Open_system.injected
+    r.Open_system.completed;
+  checkb "peak bounded by capacity" true
+    (r.Open_system.peak_queue <= cfg.Open_system.capacity)
+
+let test_open_system_block_backpressure () =
+  (* same overload under Block: nothing is lost, the injector stalls
+     instead (visible as pause cycles) *)
+  let cfg =
+    {
+      open_cfg with
+      Open_system.capacity = 4;
+      arrival = Open_load.Poisson { rate = 50.0 };
+      service = Open_load.Fixed { ticks = 400 };
+    }
+  in
+  let r = Open_system.run cfg in
+  checki "no drops" 0 r.Open_system.dropped;
+  checki "all complete" cfg.Open_system.requests r.Open_system.completed;
+  checkb "injector visibly stalled" true (r.Open_system.block_spins > 0)
+
+let test_open_system_sharded_counters () =
+  (* the sink totals must not depend on the sharded plane's merge order:
+     two identical runs produce byte-identical counter JSON *)
+  let render () =
+    let sink = Telemetry.Sink.create () in
+    ignore (Open_system.run ~sink open_cfg);
+    Telemetry.Json.to_string ~indent:true (Telemetry.Sink.to_json sink)
+  in
+  Alcotest.(check string) "counter JSON reproducible" (render ()) (render ())
+
 let () =
   Alcotest.run "runtime"
     [
@@ -314,4 +401,17 @@ let () =
             Alcotest.test_case "round-robin victims" `Quick test_victim_round_robin;
             QCheck_alcotest.to_alcotest random_dag_prop;
           ] );
+      ( "open-system",
+        [
+          Alcotest.test_case "block completes all" `Quick
+            test_open_system_block_completes_all;
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_open_system_deterministic;
+          Alcotest.test_case "drop sheds under overload" `Quick
+            test_open_system_drop_under_overload;
+          Alcotest.test_case "block backpressure" `Quick
+            test_open_system_block_backpressure;
+          Alcotest.test_case "sharded counters reproducible" `Quick
+            test_open_system_sharded_counters;
+        ] );
     ]

@@ -453,6 +453,62 @@ let test_openmetrics_render () =
      # EOF\n"
     s
 
+(* --- sharded counter plane ------------------------------------------- *)
+
+(* A deterministic op stream: op [i] bumps a scalar counter and observes
+   into both histograms, with enough variety to touch every field class. *)
+let apply_op (s : S.t) i =
+  s.S.loads <- s.S.loads + 1;
+  if i mod 2 = 0 then s.S.stores <- s.S.stores + 1;
+  if i mod 3 = 0 then s.S.puts <- s.S.puts + 1;
+  if i mod 5 = 0 then s.S.steals <- s.S.steals + 1;
+  s.S.steps <- s.S.steps + i;
+  H.observe (S.sb_occupancy s) (i mod 17);
+  H.observe (S.egress_depth s) (i * 7 mod 64)
+
+let test_shards_merge_equals_sequential () =
+  (* one sink sees the whole stream; N shards see it partitioned *)
+  let seq = S.create () in
+  for i = 0 to 999 do
+    apply_op seq i
+  done;
+  let shards = Telemetry.Shards.create ~n:3 in
+  for i = 0 to 999 do
+    apply_op (Telemetry.Shards.shard shards (i mod 7)) i
+  done;
+  let merged = S.create () in
+  Telemetry.Shards.merge ~into:merged shards;
+  check bool "scalar fields equal" true (S.fields merged = S.fields seq);
+  check string "rendered JSON byte-identical (histograms included)"
+    (J.to_string ~indent:true (S.to_json seq))
+    (J.to_string ~indent:true (S.to_json merged))
+
+let test_shards_drain_semantics () =
+  let shards = Telemetry.Shards.create ~n:4 in
+  for i = 0 to 99 do
+    apply_op (Telemetry.Shards.shard shards i) i
+  done;
+  let root = S.create () in
+  Telemetry.Shards.merge ~into:root shards;
+  let once = J.to_string (S.to_json root) in
+  (* merge drains the shards: a second merge must add nothing *)
+  Telemetry.Shards.merge ~into:root shards;
+  check string "second merge is a no-op" once (J.to_string (S.to_json root));
+  Array.iter
+    (fun sh -> check bool "shard reset" true (List.for_all (fun (_, v) -> v = 0) (S.fields sh)))
+    (Telemetry.Shards.sinks shards)
+
+let test_shards_wrap_and_clamp () =
+  let shards = Telemetry.Shards.create ~n:2 in
+  check int "length" 2 (Telemetry.Shards.length shards);
+  (* out-of-range ids wrap rather than raise *)
+  let s5 = Telemetry.Shards.shard shards 5 in
+  s5.S.puts <- 3;
+  check int "id 5 wraps to shard 1" 3
+    (Telemetry.Shards.shard shards 1).S.puts;
+  let clamped = Telemetry.Shards.create ~n:0 in
+  check int "n <= 0 clamps to 1 shard" 1 (Telemetry.Shards.length clamped)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -500,5 +556,12 @@ let () =
         [
           Alcotest.test_case "byte-stable exposition" `Quick
             test_openmetrics_render;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "merge equals sequential sink" `Quick
+            test_shards_merge_equals_sequential;
+          Alcotest.test_case "merge drains" `Quick test_shards_drain_semantics;
+          Alcotest.test_case "wrap and clamp" `Quick test_shards_wrap_and_clamp;
         ] );
     ]

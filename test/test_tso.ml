@@ -600,6 +600,57 @@ let test_timing_domain_isolation () =
   checkb "the two grids differ (test is not vacuous)" true
     (seq0.Timing.makespan <> seq9.Timing.makespan)
 
+let test_timing_sharded_sink_byte_identical () =
+  (* the sharded counter plane is invisible in the totals: a run whose
+     threads accumulate into per-thread shards (merged at quiescence) must
+     render the same sink JSON, byte for byte, as a run writing the plain
+     sink directly — queue-op counters (Counted shim, shard-routed) and
+     machine counters alike *)
+  let build () =
+    let m = Machine.create (Machine.abstract_config ~sb_capacity:4) in
+    let params =
+      {
+        Ws_core.Queue_intf.capacity = 64;
+        delta = 2;
+        worker_fence = false;
+        tag = "q";
+      }
+    in
+    let q =
+      Ws_core.Registry.create ~shard:0 (Ws_core.Registry.find "ff-the") m
+        params
+    in
+    let _ =
+      Machine.spawn m ~name:"owner" (fun () ->
+          for i = 1 to 16 do
+            Ws_core.Queue_intf.put q i
+          done;
+          let rec drain () =
+            match Ws_core.Queue_intf.take q with
+            | `Task _ -> drain ()
+            | `Empty -> ()
+          in
+          drain ())
+    in
+    let _ =
+      Machine.spawn m ~name:"thief" (fun () ->
+          for _ = 1 to 8 do
+            ignore (Ws_core.Queue_intf.steal q)
+          done)
+    in
+    m
+  in
+  let plain = Telemetry.Sink.create () in
+  let r1 = Timing.run ~sink:plain (build ()) costs in
+  let merged = Telemetry.Sink.create () in
+  let shards = Telemetry.Shards.create ~n:2 in
+  let r2 = Timing.run ~sink:merged ~shards (build ()) costs in
+  checki "same makespan" r1.Timing.makespan r2.Timing.makespan;
+  Alcotest.(check string)
+    "sink JSON byte-identical"
+    (Telemetry.Json.to_string ~indent:true (Telemetry.Sink.to_json plain))
+    (Telemetry.Json.to_string ~indent:true (Telemetry.Sink.to_json merged))
+
 (* ------------------------------------------------------------------ *)
 (* Explore                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1265,6 +1316,8 @@ let () =
           Alcotest.test_case "instruction stats" `Quick test_timing_stats;
           Alcotest.test_case "concurrent domains are isolated" `Quick
             test_timing_domain_isolation;
+          Alcotest.test_case "sharded sink byte-identical to plain" `Quick
+            test_timing_sharded_sink_byte_identical;
         ] );
       ( "explore",
         [
