@@ -229,7 +229,7 @@ let run_figures () =
    cram test validate this id and the exact field set, so numbers recorded
    in EXPERIMENTS.md stay comparable across commits; bump the version if a
    field changes meaning. *)
-let bench_schema = "wsrepro-bench/v7"
+let bench_schema = "wsrepro-bench/v8"
 
 let bench_fields =
   [
@@ -258,6 +258,8 @@ let bench_fields =
     "native_service_p99_ns";
     "flight_recorder_event_ns";
     "flight_overhead_pct";
+    "stage_attribution_overhead_pct";
+    "windowed_record_ns";
   ]
 
 let wall f =
@@ -658,6 +660,43 @@ let measure_flight_overhead ~smoke () =
   let on = rps true in
   100.0 *. (off -. on) /. off
 
+(* End-to-end stage-attribution tax, same shape as the recorder probe: the
+   service benchmark run attribution-off then attribution-on, achieved-rps
+   delta as a percentage of the off run. On means every pool cell pays two
+   extra monotonic clock reads plus three stage-histogram observations and
+   one windowed sojourn record; the ceiling is what keeps per-stage
+   latency cheap enough to leave on under production scrapes. *)
+let measure_stage_overhead ~smoke () =
+  let domains = 3 in
+  let requests, rate, work =
+    if smoke then (200, 2000., 500) else (1000, 5000., 2000)
+  in
+  let rps attribution =
+    (Ws_harness.Exp_native.service ~domains ~attribution ~rate ~requests
+       ~chain:4 ~work ~seed:23 ())
+      .Ws_harness.Exp_native.throughput_rps
+  in
+  let off = rps false in
+  let on = rps true in
+  100.0 *. (off -. on) /. off
+
+(* Hot-path cost of one windowed observation: a histogram bucket store
+   plus the ring-slot claim check, on the single-writer path every
+   attributed cell pays at completion. [now] advances so the 16-slot ring
+   rotates many times — eviction resets the displaced histogram, and that
+   amortized cost is deliberately included, exactly as wraparound is in
+   the flight-event probe. *)
+let measure_windowed_record ~iters () =
+  let w = Telemetry.Windowed.create ~slots:16 ~width:1024 () in
+  let (), dt =
+    wall (fun () ->
+        for i = 1 to iters do
+          Telemetry.Windowed.observe w ~now:(i * 4) (i land 4095)
+        done)
+  in
+  Sys.opaque_identity (Telemetry.Windowed.latest w) |> ignore;
+  1e9 *. dt /. float_of_int iters
+
 let run_json ~smoke ~out () =
   let batches, max_runs, fp_iters, snap_iters, repeats =
     if smoke then (20, 500, 2_000, 500, 1)
@@ -698,6 +737,8 @@ let run_json ~smoke ~out () =
       ("native_service_p99_ns", native_p99);
       ("flight_recorder_event_ns", measure_flight_event ~iters:fp_iters ());
       ("flight_overhead_pct", measure_flight_overhead ~smoke ());
+      ("stage_attribution_overhead_pct", measure_stage_overhead ~smoke ());
+      ("windowed_record_ns", measure_windowed_record ~iters:fp_iters ());
     ]
   in
   assert (List.map fst metrics = bench_fields);
@@ -829,6 +870,16 @@ let flight_event_slack_ns = 100.0
 (* recorded flight_overhead_pct ceiling: recorder-on service throughput
    within 10% of recorder-off (full mode; smoke runs are all noise) *)
 let flight_overhead_ceiling_pct ~smoke = if smoke then 75.0 else 10.0
+
+(* recorded stage_attribution_overhead_pct ceiling: attribution-on service
+   throughput within 5% of attribution-off (full mode; smoke is noise) *)
+let stage_overhead_ceiling_pct ~smoke = if smoke then 75.0 else 5.0
+
+(* recorded windowed_record_ns ceiling (absolute) plus the live re-measure
+   budget — same shape as the flight-event gate; eviction amortized in *)
+let windowed_record_ceiling_ns ~smoke = if smoke then 1000.0 else 150.0
+let windowed_record_factor = 3.0
+let windowed_record_slack_ns = 100.0
 
 let run_check file =
   let doc =
@@ -1009,11 +1060,33 @@ let run_check file =
   Printf.printf "%s: recorded flight overhead %.1f%% (ceiling %.0f%%) %s\n"
     file recorded_fo fo_ceiling
     (if fo_ok then "OK" else "OVER BUDGET");
+  let recorded_so = Option.get (metric "stage_attribution_overhead_pct") in
+  let so_ceiling = stage_overhead_ceiling_pct ~smoke in
+  let so_ok = recorded_so <= so_ceiling in
+  Printf.printf
+    "%s: recorded stage-attribution overhead %.1f%% (ceiling %.0f%%) %s\n"
+    file recorded_so so_ceiling
+    (if so_ok then "OK" else "OVER BUDGET");
+  let recorded_wr = Option.get (metric "windowed_record_ns") in
+  let wr_ceiling = windowed_record_ceiling_ns ~smoke in
+  let live_wr =
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> measure_windowed_record ~iters:20_000 ()))
+  in
+  let wr_budget =
+    (recorded_wr *. windowed_record_factor) +. windowed_record_slack_ns
+  in
+  let wr_ok = recorded_wr <= wr_ceiling && live_wr <= wr_budget in
+  Printf.printf
+    "%s: windowed record %.1f ns live (recorded %.1f, ceiling %.0f, budget \
+     %.0f) %s\n"
+    file live_wr recorded_wr wr_ceiling wr_budget
+    (if wr_ok then "OK" else "OVER BUDGET");
   if
     not
       (ok && ovh_ok && reg_ok && snap_ok && cells_ok && fp_ok && ms_ok
      && red_ok && frontier_ok && native_ok && open_ok && f10_ok && fe_ok
-     && fo_ok)
+     && fo_ok && so_ok && wr_ok)
   then exit 1
 
 let usage () =
@@ -1033,7 +1106,9 @@ let usage () =
       flight-recorder costs, the fingerprint probe shape, the recorded\n\
       reduction factors (dpor >= por >= 1), the deterministic open-system\n\
       p99 (exact match on a live re-run), a live fig10 column against the\n\
-      recorded wall time, and the recorded flight-recorder overhead.\n\n\
+      recorded wall time, the recorded flight-recorder overhead, the\n\
+      recorded stage-attribution overhead (<= 5%% full mode), and the\n\
+      windowed-record cost (absolute ceiling + live re-measure).\n\n\
       Probe shapes (numbers are only comparable for identical probes):\n\
      \  sim_steps_per_sec_jobs4[_telemetry]  the stepping probe fanned\n\
      \      over 4 domains via Par_runner; the telemetry variant gives\n\
@@ -1084,6 +1159,14 @@ let usage () =
      \      absolute ceiling (50 ns full mode) and re-measures live.\n\
      \  flight_overhead_pct              achieved service rps recorder-off\n\
      \      vs recorder-on, as %% of the off run; gated <= 10%% (full).\n\
+     \  stage_attribution_overhead_pct   achieved service rps attribution-\n\
+     \      off vs attribution-on (per-cell qwait/dispatch/service stamps\n\
+     \      plus the windowed sojourn record), as %% of the off run;\n\
+     \      gated <= 5%% (full).\n\
+     \  windowed_record_ns               one Windowed.observe into a\n\
+     \      16-slot ring with an advancing clock, so slot eviction (a\n\
+     \      histogram reset) is amortized in; --check gates the recorded\n\
+     \      value under an absolute ceiling and re-measures live.\n\
      \  native_*                         the OCaml 5 pool on real silicon,\n\
      \      3 worker domains: fib/graph task throughput and the Poisson\n\
      \      service benchmark (achieved rps, p99 sojourn). Wallclock — the\n\

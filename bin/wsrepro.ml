@@ -757,17 +757,24 @@ let native_cmd =
     match scenario with
     | Some file ->
         let spec = load_scenario_or_die file seed_opt in
-        Ws_harness.Exp_native.run ~machine ?serve_metrics ~scenario:spec ()
+        (* exit nonzero when the replay violated the scenario's SLO *)
+        if
+          not
+            (Ws_harness.Exp_native.run ~machine ?serve_metrics ~scenario:spec
+               ())
+        then exit 1
     | None ->
     let seed = Option.value seed_opt ~default:1 in
     (* smoke shrinks every knob so CI finishes in seconds *)
     let pick full small = if smoke then small else full in
-    Ws_harness.Exp_native.run ~machine ?domains ~backend ~policy ~steal_half
-      ~fib_n:(pick fib_n (min fib_n 16))
-      ~graph_nodes:(pick graph_nodes (min graph_nodes 400))
-      ~rate ~requests:(pick requests (min requests 200))
-      ~chain ~work:(pick work (min work 500))
-      ?serve_metrics ?flight_file:flight ~seed ()
+    ignore
+      (Ws_harness.Exp_native.run ~machine ?domains ~backend ~policy
+         ~steal_half
+         ~fib_n:(pick fib_n (min fib_n 16))
+         ~graph_nodes:(pick graph_nodes (min graph_nodes 400))
+         ~rate ~requests:(pick requests (min requests 200))
+         ~chain ~work:(pick work (min work 500))
+         ?serve_metrics ?flight_file:flight ~seed ())
   in
   let domains =
     Arg.(
@@ -959,7 +966,8 @@ let top_cmd =
 let scenario_cmd =
   let run file native jobs out seed_opt =
     let spec = load_scenario_or_die file seed_opt in
-    Ws_harness.Exp_overload.section ~native ~jobs ?out spec ()
+    if not (Ws_harness.Exp_overload.section ~native ~jobs ?out spec ()) then
+      exit 1
   in
   let file =
     Arg.(

@@ -7,13 +7,14 @@ writes the file the repo tracks as BENCH_simulator.json:
   wrote bench.json
 
 The emitted document always carries the schema id and the full metric set,
-with one fixed-format float per metric. v7 adds the sharded measurement
-plane's numbers — the jobs-4 stepping pair behind telemetry_overhead_pct,
-the per-op registry accounting cost, and the deterministic open-system
-p99 — next to v6's flight-recorder and native-pool silicon numbers:
+with one fixed-format float per metric. v8 adds the stage-attribution
+pair — the service-throughput tax of per-cell qwait/dispatch/service
+stamps and the per-observation cost of the rotating-window ring — next to
+v7's sharded-plane numbers and v6's flight-recorder and native-pool
+silicon numbers:
 
   $ grep -o '"schema": "[^"]*"' bench.json
-  "schema": "wsrepro-bench/v7"
+  "schema": "wsrepro-bench/v8"
   $ grep -c '"mode": "smoke"' bench.json
   1
   $ grep -o '"[a-z0-9_]*":' bench.json | grep -v schema | grep -v mode | grep -v metrics
@@ -42,6 +43,8 @@ p99 — next to v6's flight-recorder and native-pool silicon numbers:
   "native_service_p99_ns":
   "flight_recorder_event_ns":
   "flight_overhead_pct":
+  "stage_attribution_overhead_pct":
+  "windowed_record_ns":
 
 The probe shapes behind each number are documented in `--help` (they are
 what makes values comparable across commits):
@@ -62,8 +65,10 @@ pool or an unobserved histogram), the deterministic open-system p99 for
 exact reproduction on a live re-run, and a live fig10 column against the
 recorded wall time. v6's flight-recorder gates carry over: the recorded
 per-event cost under an absolute ceiling plus a live re-measure, and the
-recorded recorder-on service overhead under its ceiling. The numbers are
-machine-dependent, so normalize them:
+recorded recorder-on service overhead under its ceiling. v8 adds the
+stage-attribution overhead under its own ceiling (5% full mode) and the
+windowed-record cost (absolute ceiling plus a live re-measure). The
+numbers are machine-dependent, so normalize them:
 
   $ wsbench --check bench.json | sed -E 's/[+-]?[0-9][0-9.]*/N/g'
   bench.json: schema wsrepro-bench/vN OK (N metrics)
@@ -81,11 +86,13 @@ machine-dependent, so normalize them:
   bench.json: figN column N s live (recorded N, budget N) OK
   bench.json: flight-recorder event N ns live (recorded N, ceiling N, budget N) OK
   bench.json: recorded flight overhead N% (ceiling N%) OK
+  bench.json: recorded stage-attribution overhead N% (ceiling N%) OK
+  bench.json: windowed record N ns live (recorded N, ceiling N, budget N) OK
 
 and fails loudly when a metric disappears or the schema id changes:
 
-  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v7|wsrepro-bench/v0|' bench.json > drifted.json
+  $ sed -e 's/fingerprint_ns/fingerprnt_ns/' -e 's|wsrepro-bench/v8|wsrepro-bench/v0|' bench.json > drifted.json
   $ wsbench --check drifted.json
-  drifted.json: missing or wrong schema id (want wsrepro-bench/v7)
+  drifted.json: missing or wrong schema id (want wsrepro-bench/v8)
   drifted.json: missing metric "fingerprint_ns"
   [1]

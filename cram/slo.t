@@ -1,0 +1,128 @@
+An `slo` block turns a scenario from a measurement into a gate: the
+sweep prints a per-window verdict table and the exit status says whether
+every budget held. The sim engine is deterministic, so both the verdict
+table and the exit status are locked byte-for-byte here.
+
+  $ cat > tight.json <<'EOF'
+  > {
+  >   "schema": "wsrepro-scenario/v1",
+  >   "name": "slo-tight",
+  >   "queue": "ff-the",
+  >   "workers": 2,
+  >   "requests": 120,
+  >   "chain": 2,
+  >   "seed": 5,
+  >   "capacity": 32,
+  >   "policy": "block",
+  >   "tick_ns": 50,
+  >   "arrival": { "process": "poisson", "rate": 1.0 },
+  >   "service": { "dist": "exponential", "mean": 300 },
+  >   "slo": {
+  >     "p99_sojourn": 2000,
+  >     "max_drop_rate": 0.010,
+  >     "stage_budgets": { "qwait": 200, "service": 1800 },
+  >     "window": 16384,
+  >     "windows": 8
+  >   }
+  > }
+  > EOF
+
+The tight budgets are violated: the verdict table names every failing
+window and stage, and the command exits nonzero — CI can gate on a
+latency objective exactly like on a test:
+
+  $ wsrepro scenario tight.json --out tight-report.json | sed -e 's/ *$//'
+  == Heavy-traffic overload sweep: slo-tight (sim ticks) ==
+  load  offered/ktick  sim p50  sim p99  sim p999  sim drop  peak q  nat p50us  nat p99us  nat p999us  nat drop
+  -------------------------------------------------------------------------------------------------------------
+  1x    1.0            2047     5022     5022      0         3       -          -          -           -
+  2x    2.0            1023     3151     3151      0         6       -          -          -           -
+  4x    4.0            1023     2675     2675      0         11      -          -          -           -
+  == SLO verdicts: slo-tight (budgets in sim ticks) ==
+  load  window  metric       actual  budget  verdict
+  --------------------------------------------------
+  1x    1       sojourn_p99  3915    2000    FAIL
+  1x    2       sojourn_p99  3047    2000    FAIL
+  1x    3       sojourn_p99  4569    2000    FAIL
+  1x    4       sojourn_p99  5022    2000    FAIL
+  1x    5       sojourn_p99  3691    2000    FAIL
+  1x    6       sojourn_p99  2506    2000    FAIL
+  1x    7       sojourn_p99  4908    2000    FAIL
+  1x    8       sojourn_p99  1704    2000    ok
+  1x    -       qwait_p99    4350    200     FAIL
+  1x    -       service_p99  1023    1800    ok
+  1x    -       drop_rate    0.0000  0.0100  ok
+  2x    0       sojourn_p99  2293    2000    FAIL
+  2x    1       sojourn_p99  2343    2000    FAIL
+  2x    2       sojourn_p99  3151    2000    FAIL
+  2x    3       sojourn_p99  2758    2000    FAIL
+  2x    4       sojourn_p99  1381    2000    ok
+  2x    -       qwait_p99    2176    200     FAIL
+  2x    -       service_p99  1023    1800    ok
+  2x    -       drop_rate    0.0000  0.0100  ok
+  4x    0       sojourn_p99  1905    2000    ok
+  4x    1       sojourn_p99  2675    2000    FAIL
+  4x    2       sojourn_p99  1739    2000    ok
+  4x    -       qwait_p99    1089    200     FAIL
+  4x    -       service_p99  1023    1800    ok
+  4x    -       drop_rate    0.0000  0.0100  ok
+  SLO: FAIL (15 violations)
+  overload report written to tight-report.json
+  $ wsrepro scenario tight.json > /dev/null
+  [1]
+
+A loose variant of the same scenario (same seed, same load, generous
+budgets) passes and exits zero:
+
+  $ sed -e 's/"p99_sojourn": 2000/"p99_sojourn": 60000/' \
+  >     -e 's/"qwait": 200/"qwait": 60000/' \
+  >     -e 's/"service": 1800/"service": 60000/' \
+  >     -e 's/"max_drop_rate": 0.010/"max_drop_rate": 0.050/' \
+  >     tight.json > loose.json
+  $ wsrepro scenario loose.json | tail -n 1
+  SLO: PASS
+
+The report carries the verdict (`slo_ok`) and still validates; the run
+is deterministic, so a second sweep is byte-identical — including the
+windowed series and the verdicts:
+
+  $ wsrepro json-check tight-report.json
+  tight-report.json: valid JSON (schema wsrepro-overload/v1)
+  $ grep -c '"slo_ok": false' tight-report.json
+  1
+  $ wsrepro scenario tight.json --out tight-report2.json > /dev/null
+  [1]
+  $ cmp tight-report.json tight-report2.json
+
+`--seed` re-draws the whole plan but stays deterministic: same seed,
+same verdicts, byte for byte:
+
+  $ wsrepro scenario tight.json --seed 99 --out seed99.json > seed99.txt
+  [1]
+  $ cp seed99.json seed99-first.json
+  $ wsrepro scenario tight.json --seed 99 --out seed99.json > seed99b.txt
+  [1]
+  $ cmp seed99-first.json seed99.json
+  $ cmp seed99.txt seed99b.txt
+
+A scenario without an `slo` block never fails — there is nothing to
+judge:
+
+  $ cat > noslo.json <<'EOF'
+  > {
+  >   "schema": "wsrepro-scenario/v1",
+  >   "name": "slo-tight",
+  >   "queue": "ff-the",
+  >   "workers": 2,
+  >   "requests": 120,
+  >   "chain": 2,
+  >   "seed": 5,
+  >   "capacity": 32,
+  >   "policy": "block",
+  >   "tick_ns": 50,
+  >   "arrival": { "process": "poisson", "rate": 1.0 },
+  >   "service": { "dist": "exponential", "mean": 300 }
+  > }
+  > EOF
+  $ wsrepro scenario noslo.json > /dev/null && echo passed
+  passed

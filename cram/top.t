@@ -1,0 +1,37 @@
+`wsrepro top` draws its refreshing per-slot dashboard on stderr; stdout
+must carry only the final service summary — so it stays pipeable even
+while the dashboard animates. Wallclock numbers are machine-dependent,
+so the test pins the structure of the summary and the cleanliness of
+stdout, not the values.
+
+  $ wsrepro top --requests 150 --rate 20000 --chain 2 --work 500 2>dash.txt > out.txt
+  $ sed -E 's/[0-9][0-9.]*/N/g' out.txt | grep -v 'steal-delay'
+  requests=N completed=N offered=N/s achieved=N/s elapsed=Ns
+  sojourn pN=Nns pN=Nns pN=Nns
+  pool: steals=N injector_runs=N parks=N
+  stages: qwait pN=Nns dispatch pN=Nns service pN=Nns
+
+(the steal-delay line is filtered: it only appears when the run's flight
+recorder saw at least one steal, which a fast run on a small machine may
+not produce)
+
+No ANSI escape or carriage-return redraw bytes may leak onto stdout —
+the dashboard lives entirely on stderr:
+
+  $ LC_ALL=C grep -c '[[:cntrl:]]' out.txt
+  0
+  [1]
+
+The dashboard itself carries the per-slot counter table, the pool
+gauges, and the stage-attribution rows with the per-window p99
+sparkline:
+
+  $ tr '\r' '\n' < dash.txt | sed -e 's/\x1b\[[0-9]*[A-Za-z]//g' > flat.txt
+  $ grep -c 'slot .*run .*stolen' flat.txt | head -1 > /dev/null && grep -m1 -o 'slot' flat.txt
+  slot
+  $ grep -m1 -o 'pending [0-9]* | in-flight' flat.txt | sed -E 's/[0-9]+/N/g'
+  pending N | in-flight
+  $ grep -m1 -o 'qwait' flat.txt
+  qwait
+  $ grep -m1 -o 'sojourn p99/window' flat.txt
+  sojourn p99/window

@@ -35,6 +35,14 @@ type service_result = {
   steals : int;
   injector_runs : int;
   parks : int;
+  (* stage attribution (ns, per cell) — all empty unless ~attribution *)
+  st_qwait : Telemetry.Histogram.t;
+  st_dispatch : Telemetry.Histogram.t;
+  st_service : Telemetry.Histogram.t;
+  st_windows : Telemetry.Windowed.t;
+  (* steal-delay (spawn to stolen run, ns) joined from the flight
+     recorder's lineage — empty unless ~flight *)
+  st_steal_delay : Telemetry.Histogram.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -193,13 +201,29 @@ let spin_work iters =
   done;
   ignore (Sys.opaque_identity !x)
 
+(* The fourth stage the three timestamps cannot see: how long a stolen
+   task sat between its victim-side spawn and its thief-side run. The
+   flight recorder's lineage join recovers it — every [Stolen] lineage
+   pairs the spawn and run events of one migrated task. *)
+let steal_delay_of_flight recorder =
+  let module FR = Telemetry.Flight_recorder in
+  let h = Telemetry.Histogram.create () in
+  let lineages, _unresolved = FR.reconstruct recorder in
+  List.iter
+    (fun l ->
+      match l.FR.origin with
+      | FR.Stolen _ -> Telemetry.Histogram.observe h (l.FR.run_ts - l.FR.spawn_ts)
+      | FR.Pop | FR.Injected -> ())
+    lineages;
+  h
+
 let service ?domains ?backend ?policy ?steal_half ?(telemetry = false)
-    ?(flight = false) ?monitor ?(rate = 5000.) ?(requests = 1000) ?(chain = 4)
-    ?(work = 2000) ?(seed = 23) () =
+    ?(attribution = false) ?(flight = false) ?monitor ?(rate = 5000.)
+    ?(requests = 1000) ?(chain = 4) ?(work = 2000) ?(seed = 23) () =
   if rate <= 0. then invalid_arg "Exp_native.service: rate must be positive";
   let pool =
     Ws_native.Pool.create ?domains ?backend ?policy ?steal_half ~telemetry
-      ~flight ()
+      ~attribution ~flight ()
   in
   (* The monitor (metrics server, live dashboard) attaches to the running
      pool and returns its own teardown, invoked after the last request
@@ -242,7 +266,16 @@ let service ?domains ?backend ?policy ?steal_half ?(telemetry = false)
   let elapsed = Unix.gettimeofday () -. t0 in
   stop_monitor ();
   let stats = Ws_native.Pool.worker_stats pool in
+  let recorder = Ws_native.Pool.flight pool in
   Ws_native.Pool.shutdown pool;
+  (* read the stage planes after the join: every worker has flushed *)
+  let st_qwait, st_dispatch, st_service = Ws_native.Pool.stage_hists pool in
+  let st_windows = Ws_native.Pool.windowed_sojourn pool in
+  let st_steal_delay =
+    match recorder with
+    | Some r -> steal_delay_of_flight r
+    | None -> Telemetry.Histogram.create ()
+  in
   let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
   {
     requests;
@@ -257,15 +290,41 @@ let service ?domains ?backend ?policy ?steal_half ?(telemetry = false)
     steals = sum (fun st -> st.Ws_native.Pool.steals);
     injector_runs = sum (fun st -> st.Ws_native.Pool.injector_runs);
     parks = sum (fun st -> st.Ws_native.Pool.parks);
+    st_qwait;
+    st_dispatch;
+    st_service;
+    st_windows;
+    st_steal_delay;
   }
 
 let render_service r =
-  Printf.sprintf
-    "requests=%d completed=%d offered=%.0f/s achieved=%.0f/s elapsed=%.3fs\n\
-     sojourn p50=%dns p99=%dns p999=%dns\n\
-     pool: steals=%d injector_runs=%d parks=%d\n"
-    r.requests r.completed r.rate r.throughput_rps r.elapsed r.p50_ns
-    r.p99_ns r.p999_ns r.steals r.injector_runs r.parks
+  let module H = Telemetry.Histogram in
+  let base =
+    Printf.sprintf
+      "requests=%d completed=%d offered=%.0f/s achieved=%.0f/s elapsed=%.3fs\n\
+       sojourn p50=%dns p99=%dns p999=%dns\n\
+       pool: steals=%d injector_runs=%d parks=%d\n"
+      r.requests r.completed r.rate r.throughput_rps r.elapsed r.p50_ns
+      r.p99_ns r.p999_ns r.steals r.injector_runs r.parks
+  in
+  let stages =
+    if H.total r.st_qwait = 0 then ""
+    else
+      Printf.sprintf
+        "stages: qwait p99=%dns dispatch p99=%dns service p99=%dns\n"
+        (H.percentile r.st_qwait 0.99)
+        (H.percentile r.st_dispatch 0.99)
+        (H.percentile r.st_service 0.99)
+  in
+  let steal_delay =
+    if H.total r.st_steal_delay = 0 then ""
+    else
+      Printf.sprintf "steal-delay: p50=%dns p99=%dns (%d stolen)\n"
+        (H.percentile r.st_steal_delay 0.5)
+        (H.percentile r.st_steal_delay 0.99)
+        (H.total r.st_steal_delay)
+  in
+  base ^ stages ^ steal_delay
 
 (* ------------------------------------------------------------------ *)
 (* Scenario-driven native runs (`wsrepro native --scenario`)           *)
@@ -293,6 +352,13 @@ type scenario_result = {
   sn_steals : int;
   sn_injector_runs : int;
   sn_parks : int;
+  (* per-cell stage attribution from the pool (ns) *)
+  sn_qwait : Telemetry.Histogram.t;
+  sn_dispatch : Telemetry.Histogram.t;
+  sn_service : Telemetry.Histogram.t;
+  (* request-level rotating sojourn windows, width = slo window (or the
+     default) converted to ns through sc_tick_ns *)
+  sn_windows : Telemetry.Windowed.t;
 }
 
 (* The simulated queue picks the native backend: Chase-Lev-family queues
@@ -328,15 +394,25 @@ let scenario_native ?monitor (spec : Scenarios.open_spec) =
   let chain = spec.Scenarios.sc_chain in
   let tick_ns = spec.Scenarios.sc_tick_ns in
   let policy = native_policy spec.Scenarios.sc_policy in
+  (* the window geometry the SLO block asks for, in wall nanoseconds *)
+  let slo =
+    Option.value spec.Scenarios.sc_slo ~default:Scenarios.default_slo
+  in
+  let window_ns = max 1 (slo.Scenarios.slo_window * tick_ns) in
+  let window_slots = slo.Scenarios.slo_window_slots in
   let pool =
     Ws_native.Pool.create ~domains:spec.Scenarios.sc_workers
       ~backend:(backend_of_queue spec.Scenarios.sc_queue)
-      ~injector_capacity:spec.Scenarios.sc_capacity ()
+      ~injector_capacity:spec.Scenarios.sc_capacity ~attribution:true
+      ~window_ns ~window_slots ()
   in
   let stop_monitor =
     match monitor with Some m -> m pool | None -> fun () -> ()
   in
   let sojourn = Telemetry.Histogram.create () in
+  let windows =
+    Telemetry.Windowed.create ~slots:window_slots ~width:window_ns ()
+  in
   let hist_lock = Mutex.create () in
   let injected = ref 0 in
   let dropped = ref 0 in
@@ -362,6 +438,10 @@ let scenario_native ?monitor (spec : Scenarios.open_spec) =
         let ns = int_of_float ((Unix.gettimeofday () -. born) *. 1e9) in
         Mutex.lock hist_lock;
         Telemetry.Histogram.observe sojourn ns;
+        (* keyed by completion instant: the monotonic clock is system-wide,
+           so the hist_lock-serialized stream is monotone up to inter-core
+           skew (orders of magnitude below the window width) *)
+        Telemetry.Windowed.observe windows ~now:(Telemetry.Clock.now_ns ()) ns;
         Mutex.unlock hist_lock;
         Atomic.incr completed
       end
@@ -378,6 +458,7 @@ let scenario_native ?monitor (spec : Scenarios.open_spec) =
   stop_monitor ();
   let stats = Ws_native.Pool.worker_stats pool in
   Ws_native.Pool.shutdown pool;
+  let sn_qwait, sn_dispatch, sn_service = Ws_native.Pool.stage_hists pool in
   let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
   {
     sn_injected = !injected;
@@ -392,16 +473,94 @@ let scenario_native ?monitor (spec : Scenarios.open_spec) =
     sn_steals = sum (fun st -> st.Ws_native.Pool.steals);
     sn_injector_runs = sum (fun st -> st.Ws_native.Pool.injector_runs);
     sn_parks = sum (fun st -> st.Ws_native.Pool.parks);
+    sn_qwait;
+    sn_dispatch;
+    sn_service;
+    sn_windows = windows;
   }
 
 let render_scenario_native (spec : Scenarios.open_spec) r =
+  let module H = Telemetry.Histogram in
   Printf.sprintf
     "scenario=%s injected=%d dropped=%d completed=%d elapsed=%.3fs\n\
      sojourn p50=%dns p99=%dns p999=%dns\n\
+     stages: qwait p99=%dns dispatch p99=%dns service p99=%dns\n\
      pool: peak_injector=%d steals=%d injector_runs=%d parks=%d\n"
     spec.Scenarios.sc_name r.sn_injected r.sn_dropped r.sn_completed
-    r.sn_elapsed r.sn_p50_ns r.sn_p99_ns r.sn_p999_ns r.sn_peak_injector
-    r.sn_steals r.sn_injector_runs r.sn_parks
+    r.sn_elapsed r.sn_p50_ns r.sn_p99_ns r.sn_p999_ns
+    (H.percentile r.sn_qwait 0.99)
+    (H.percentile r.sn_dispatch 0.99)
+    (H.percentile r.sn_service 0.99)
+    r.sn_peak_injector r.sn_steals r.sn_injector_runs r.sn_parks
+
+(* Judge the native replay against the scenario's SLO. Budgets are stated
+   in ticks; the native engine runs wall time, so each budget converts
+   through sc_tick_ns. Window indices are absolute monotonic-ns values —
+   meaningless across runs — so the table prints them relative to the
+   first retained window. *)
+let native_verdicts (spec : Scenarios.open_spec) (slo : Scenarios.slo) r =
+  let module H = Telemetry.Histogram in
+  let module W = Telemetry.Windowed in
+  let tick_ns = spec.Scenarios.sc_tick_ns in
+  let to_ns ticks = ticks * tick_ns in
+  let row window metric actual budget ok =
+    {
+      Scenarios.vd_load = "native";
+      vd_window = window;
+      vd_metric = metric;
+      vd_actual = actual;
+      vd_budget = budget;
+      vd_ok = ok;
+    }
+  in
+  let window_rows =
+    match slo.Scenarios.slo_p99_sojourn with
+    | None -> []
+    | Some budget_ticks ->
+        let budget = to_ns budget_ticks in
+        let ws = W.windows r.sn_windows in
+        let base = match ws with [] -> 0 | (w, _) :: _ -> w in
+        List.map
+          (fun (w, h) ->
+            let actual = H.percentile h 0.99 in
+            row
+              (string_of_int (w - base))
+              "sojourn_p99" (string_of_int actual) (string_of_int budget)
+              (actual <= budget))
+          ws
+  in
+  let stage_row metric budget h =
+    match budget with
+    | None -> []
+    | Some b ->
+        let budget = to_ns b in
+        let actual = H.percentile h 0.99 in
+        [
+          row "-" metric (string_of_int actual) (string_of_int budget)
+            (actual <= budget);
+        ]
+  in
+  let drop_row =
+    match slo.Scenarios.slo_max_drop_rate with
+    | None -> []
+    | Some budget ->
+        let offered = r.sn_injected + r.sn_dropped in
+        let rate =
+          if offered = 0 then 0.
+          else float_of_int r.sn_dropped /. float_of_int offered
+        in
+        [
+          row "-" "drop_rate"
+            (Printf.sprintf "%.4f" rate)
+            (Printf.sprintf "%.4f" budget)
+            (rate <= budget);
+        ]
+  in
+  window_rows
+  @ stage_row "qwait_p99" slo.Scenarios.slo_qwait_p99 r.sn_qwait
+  @ stage_row "dispatch_p99" slo.Scenarios.slo_dispatch_p99 r.sn_dispatch
+  @ stage_row "service_p99" slo.Scenarios.slo_service_p99 r.sn_service
+  @ drop_row
 
 (* ------------------------------------------------------------------ *)
 (* Live metrics plane: scrape -> OpenMetrics                           *)
@@ -463,11 +622,11 @@ let pool_metrics pool =
     ]
   in
   let lats = snap.Ws_native.Pool.slot_latencies in
-  if not (Array.exists (fun h -> Telemetry.Histogram.total h > 0) lats) then
-    counters
-  else
-    counters
-    @ [
+  let latency_families =
+    if not (Array.exists (fun h -> Telemetry.Histogram.total h > 0) lats)
+    then []
+    else
+      [
         gauge ~name:"ws_pool_task_latency_ns"
           ~help:
             "Per-slot spawn-to-completion latency quantiles (telemetry \
@@ -484,6 +643,31 @@ let pool_metrics pool =
                     lats))
              [ (0.5, "0.5"); (0.99, "0.99"); (0.999, "0.999") ]);
       ]
+  in
+  (* Stage-attribution families (attribution pools): proper OpenMetrics
+     histograms with cumulative buckets, one family per stage. *)
+  let merged a =
+    let h = Telemetry.Histogram.create () in
+    Array.iter (fun x -> Telemetry.Histogram.merge ~into:h x) a;
+    h
+  in
+  let stage_families =
+    let qw = merged snap.Ws_native.Pool.slot_qwait in
+    if Telemetry.Histogram.total qw = 0 then []
+    else
+      [
+        histogram ~name:"ws_pool_stage_qwait_ns"
+          ~help:"Arrival-to-inject latency (submit backpressure included)"
+          qw;
+        histogram ~name:"ws_pool_stage_dispatch_ns"
+          ~help:"Inject-to-dequeue queue residency"
+          (merged snap.Ws_native.Pool.slot_dispatch);
+        histogram ~name:"ws_pool_stage_service_ns"
+          ~help:"Dequeue-to-completion execution time"
+          (merged snap.Ws_native.Pool.slot_service);
+      ]
+  in
+  counters @ latency_families @ stage_families
 
 let metrics_body pool () = Telemetry.Openmetrics.render (pool_metrics pool)
 
@@ -555,6 +739,17 @@ let flight_section ~file ?domains ?backend ?rounds () =
 (* Live dashboard (`wsrepro top`)                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* One glyph per window, scaled against the series max — the classic
+   eight-level block sparkline. *)
+let spark values =
+  let glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+  match values with
+  | [] -> ""
+  | vs ->
+      let hi = List.fold_left max 1 vs in
+      String.concat ""
+        (List.map (fun v -> glyphs.(min 7 (max 0 (v * 7 / hi)))) vs)
+
 let dashboard_lines pool =
   let snap = Ws_native.Pool.scrape pool in
   let header =
@@ -581,7 +776,36 @@ let dashboard_lines pool =
       snap.Ws_native.Pool.snap_sleepers snap.Ws_native.Pool.snap_injector
       snap.Ws_native.Pool.snap_injector_drops
   in
-  (header :: rows) @ [ gauges ]
+  (* Stage-attribution rows (attribution pools only): whole-run stage
+     percentiles plus a per-window p99 sparkline from the rotating ring. *)
+  let module H = Telemetry.Histogram in
+  let module W = Telemetry.Windowed in
+  let merged a =
+    let h = H.create () in
+    Array.iter (fun x -> H.merge ~into:h x) a;
+    h
+  in
+  let stage_rows =
+    let qw = merged snap.Ws_native.Pool.slot_qwait in
+    if H.total qw = 0 then []
+    else
+      let line name h =
+        Printf.sprintf "%-9s p50 %9dns  p99 %9dns  n %d" name
+          (H.percentile h 0.5) (H.percentile h 0.99) (H.total h)
+      in
+      let series =
+        List.map snd (W.series snap.Ws_native.Pool.snap_windows ~q:0.99)
+      in
+      [
+        line "qwait" qw;
+        line "dispatch" (merged snap.Ws_native.Pool.slot_dispatch);
+        line "service" (merged snap.Ws_native.Pool.slot_service);
+        Printf.sprintf "sojourn p99/window %s (%d windows of %dms)"
+          (spark series) (List.length series)
+          (W.width snap.Ws_native.Pool.snap_windows / 1_000_000);
+      ]
+  in
+  (header :: rows) @ [ gauges ] @ stage_rows
 
 let top ?domains ?backend ?policy ?steal_half ?rate ?requests ?chain ?work
     ?serve_metrics ?(interval = 0.25) ?seed () =
@@ -610,8 +834,9 @@ let top ?domains ?backend ?policy ?steal_half ?rate ?requests ?chain ?work
       stop_serving ()
   in
   let r =
-    service ?domains ?backend ?policy ?steal_half ~telemetry:true ~monitor
-      ?rate ?requests ?chain ?work ?seed ()
+    service ?domains ?backend ?policy ?steal_half ~telemetry:true
+      ~attribution:true ~flight:true ~monitor ?rate ?requests ?chain ?work
+      ?seed ()
   in
   Telemetry.Progress.finish rep;
   print_string (render_service r)
@@ -634,7 +859,16 @@ let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
           (fun port pool -> serve_metrics_monitor ~port pool)
           serve_metrics
       in
-      print_string (render_scenario_native spec (scenario_native ?monitor spec))
+      let r = scenario_native ?monitor spec in
+      print_string (render_scenario_native spec r);
+      (match spec.Scenarios.sc_slo with
+      | None -> true
+      | Some slo ->
+          let vs = native_verdicts spec slo r in
+          print_string
+            (Scenarios.render_verdicts ~name:spec.Scenarios.sc_name
+               ~units:"ns" vs);
+          Scenarios.verdicts_ok vs)
   | None ->
   let d =
     match domains with
@@ -659,8 +893,9 @@ let run ?(machine = Machine_config.westmere_ex) ?domains ?backend ?policy
     (render_service
        (service ~domains:d ?backend ?policy ?steal_half ?monitor ?rate
           ?requests ?chain ?work ~seed ()));
-  match flight_file with
+  (match flight_file with
   | None -> ()
   | Some file ->
       Printf.printf "== Flight recorder: steal-forcing probe ==\n";
-      flight_section ~file ~domains:d ?backend ()
+      flight_section ~file ~domains:d ?backend ());
+  true

@@ -31,7 +31,25 @@ type service_result = {
   steals : int;
   injector_runs : int;
   parks : int;
+  st_qwait : Telemetry.Histogram.t;
+      (** arrival-to-inject ns, per cell (empty unless [~attribution]) *)
+  st_dispatch : Telemetry.Histogram.t;
+      (** inject-to-dequeue ns (empty unless [~attribution]) *)
+  st_service : Telemetry.Histogram.t;
+      (** dequeue-to-completion ns (empty unless [~attribution]) *)
+  st_windows : Telemetry.Windowed.t;
+      (** rotating per-cell sojourn windows (empty unless [~attribution]) *)
+  st_steal_delay : Telemetry.Histogram.t;
+      (** spawn-to-stolen-run ns from the flight-recorder lineage join
+          (empty unless [~flight]) *)
 }
+
+val steal_delay_of_flight :
+  Telemetry.Flight_recorder.t -> Telemetry.Histogram.t
+(** Join the recorder's reconstructed lineages with their run records and
+    histogram [run_ts - spawn_ts] over the [Stolen] ones: how long each
+    migrated task waited between its victim-side spawn and its thief-side
+    dequeue. *)
 
 val native_fib :
   ?domains:int ->
@@ -76,6 +94,7 @@ val service :
   ?policy:Ws_native.Pool.victim_policy ->
   ?steal_half:bool ->
   ?telemetry:bool ->
+  ?attribution:bool ->
   ?flight:bool ->
   ?monitor:(Ws_native.Pool.t -> unit -> unit) ->
   ?rate:float ->
@@ -90,7 +109,11 @@ val service :
     chain of [chain] dependent stages of [work] spin iterations. Sojourn
     time (arrival to last stage) feeds the returned histogram.
 
-    [telemetry]/[flight] forward to {!Ws_native.Pool.create}. [monitor], if
+    [telemetry]/[attribution]/[flight] forward to
+    {!Ws_native.Pool.create}; with [attribution] the result additionally
+    carries the qwait/dispatch/service stage histograms and the rotating
+    sojourn window ring, and with [flight] the steal-delay histogram
+    reconstructed from the lineage join. [monitor], if
     given, is called with the running pool before the first request and
     must return a teardown thunk, invoked after the last request completes
     but before the pool shuts down — the hook the metrics server and the
@@ -111,6 +134,12 @@ type scenario_result = {
   sn_steals : int;
   sn_injector_runs : int;
   sn_parks : int;
+  sn_qwait : Telemetry.Histogram.t;  (** per-cell stage histograms, ns *)
+  sn_dispatch : Telemetry.Histogram.t;
+  sn_service : Telemetry.Histogram.t;
+  sn_windows : Telemetry.Windowed.t;
+      (** request-level rotating sojourn windows; width = the SLO block's
+          window (ticks, default geometry when absent) times [sc_tick_ns] *)
 }
 
 val backend_of_queue : string -> Ws_native.Pool.backend
@@ -132,6 +161,16 @@ val scenario_native :
     {!service}. *)
 
 val render_scenario_native : Scenarios.open_spec -> scenario_result -> string
+
+val native_verdicts :
+  Scenarios.open_spec ->
+  Scenarios.slo ->
+  scenario_result ->
+  Scenarios.verdict list
+(** Judge the native replay against the scenario's SLO, tick budgets
+    converted to nanoseconds through [sc_tick_ns]: per-window sojourn p99
+    over the request-level ring (window indices printed relative to the
+    first retained window), whole-run stage p99s, dropped/offered. *)
 
 val pool_metrics : Ws_native.Pool.t -> Telemetry.Openmetrics.metric list
 (** One live {!Ws_native.Pool.scrape} rendered as OpenMetrics families:
@@ -210,7 +249,7 @@ val run :
   ?scenario:Scenarios.open_spec ->
   ?seed:int ->
   unit ->
-  unit
+  bool
 (** Print both sections (parity table, then service benchmark).
     [serve_metrics] serves live OpenMetrics scrapes of the service-bench
     pool on the given port (0 picks a free one; endpoint printed to
@@ -218,4 +257,6 @@ val run :
     flight-recorder probe, its wsrepro-flight/v1 report written to the
     given path (Chrome trace alongside). With [scenario] the fixed
     sections are replaced by a native replay of that scenario
-    ({!scenario_native}); [serve_metrics] still attaches. *)
+    ({!scenario_native}), judged against the scenario's SLO block when it
+    has one (verdict table printed, budgets converted to ns). Returns
+    [false] iff an SLO budget was violated — the CLI exit status. *)

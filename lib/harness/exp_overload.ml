@@ -83,6 +83,7 @@ let outcome_str = function
   | Tso.Sched.Max_steps -> "max-steps"
 
 let sim_json (r : Ws_runtime.Open_system.report) =
+  let module H = Telemetry.Histogram in
   J.Obj
     [
       ("outcome", J.Str (outcome_str r.Ws_runtime.Open_system.outcome));
@@ -93,12 +94,23 @@ let sim_json (r : Ws_runtime.Open_system.report) =
       ("p50_ticks", J.Int r.Ws_runtime.Open_system.p50);
       ("p99_ticks", J.Int r.Ws_runtime.Open_system.p99);
       ("p999_ticks", J.Int r.Ws_runtime.Open_system.p999);
+      (* stage attribution: qwait + dispatch + service = sojourn *)
+      ("qwait_p99_ticks", J.Int (H.percentile r.Ws_runtime.Open_system.qwait 0.99));
+      ( "dispatch_p99_ticks",
+        J.Int (H.percentile r.Ws_runtime.Open_system.dispatch 0.99) );
+      ( "service_p99_ticks",
+        J.Int (H.percentile r.Ws_runtime.Open_system.service 0.99) );
+      ( "sojourn_windows",
+        Telemetry.Windowed.to_json r.Ws_runtime.Open_system.sojourn_windows );
+      ( "qwait_windows",
+        Telemetry.Windowed.to_json r.Ws_runtime.Open_system.qwait_windows );
       ("peak_queue", J.Int r.Ws_runtime.Open_system.peak_queue);
       ("block_spins", J.Int r.Ws_runtime.Open_system.block_spins);
       ("achieved_per_ktick", J.Float r.Ws_runtime.Open_system.achieved_rate);
     ]
 
 let native_json (r : Exp_native.scenario_result) =
+  let module H = Telemetry.Histogram in
   J.Obj
     [
       ("injected", J.Int r.Exp_native.sn_injected);
@@ -108,6 +120,12 @@ let native_json (r : Exp_native.scenario_result) =
       ("p50_ns", J.Int r.Exp_native.sn_p50_ns);
       ("p99_ns", J.Int r.Exp_native.sn_p99_ns);
       ("p999_ns", J.Int r.Exp_native.sn_p999_ns);
+      (* per-cell stage attribution from the pool, in wall nanoseconds *)
+      ("qwait_p99_ns", J.Int (H.percentile r.Exp_native.sn_qwait 0.99));
+      ("dispatch_p99_ns", J.Int (H.percentile r.Exp_native.sn_dispatch 0.99));
+      ("service_p99_ns", J.Int (H.percentile r.Exp_native.sn_service 0.99));
+      ( "sojourn_windows",
+        Telemetry.Windowed.to_json r.Exp_native.sn_windows );
       ("peak_injector", J.Int r.Exp_native.sn_peak_injector);
     ]
 
@@ -122,16 +140,20 @@ let point_json p =
        | None -> []
        | Some n -> [ ("native", native_json n) ] ))
 
-let report_json ?sink (spec : Scenarios.open_spec) points =
+let report_json ?sink ?slo_ok (spec : Scenarios.open_spec) points =
   J.Obj
-    (( [
-         ("schema", J.Str schema);
-         ("scenario", Scenarios.open_spec_json spec);
-         ("points", J.List (List.map point_json points));
-       ]
-     @ match sink with
-       | None -> []
-       | Some s -> [ ("queue_counters", Telemetry.Sink.to_json s) ] ))
+    ([
+       ("schema", J.Str schema);
+       ("scenario", Scenarios.open_spec_json spec);
+       ("points", J.List (List.map point_json points));
+     ]
+    @ (match slo_ok with
+      | None -> []
+      | Some ok -> [ ("slo_ok", J.Bool ok) ])
+    @
+    match sink with
+    | None -> []
+    | Some s -> [ ("queue_counters", Telemetry.Sink.to_json s) ])
 
 (* --- validation (for `wsrepro json-check`) --------------------------- *)
 
@@ -159,6 +181,46 @@ let check_counts ctx obj =
   else if dropped < 0 then Error (Printf.sprintf "%s: negative drops" ctx)
   else Ok ()
 
+(* Each rotating-window series must be an object with a positive width
+   and per-window entries whose indices strictly increase (the emitter
+   sorts oldest-first; equal or descending indices mean a corrupted
+   merge). *)
+let check_windows ctx obj k =
+  match J.member k obj with
+  | Some (J.Obj _ as w) -> (
+      let* width =
+        match J.member "width" w with
+        | Some (J.Int i) when i > 0 -> Ok i
+        | _ -> Error (Printf.sprintf "%s.%s: missing positive \"width\"" ctx k)
+      in
+      ignore width;
+      match J.member "windows" w with
+      | Some (J.List ws) ->
+          let rec go prev = function
+            | [] -> Ok ()
+            | wj :: rest -> (
+                match J.member "window" wj with
+                | Some (J.Int i) when i > prev -> go i rest
+                | Some (J.Int _) ->
+                    Error
+                      (Printf.sprintf "%s.%s: window indices not increasing"
+                         ctx k)
+                | _ ->
+                    Error
+                      (Printf.sprintf "%s.%s: window entry missing index" ctx
+                         k))
+          in
+          go (-1) ws
+      | _ -> Error (Printf.sprintf "%s.%s: missing array \"windows\"" ctx k))
+  | _ -> Error (Printf.sprintf "%s: missing object %S" ctx k)
+
+let check_stages ctx obj =
+  let* q = need_int ctx obj "qwait_p99_ticks" in
+  let* d = need_int ctx obj "dispatch_p99_ticks" in
+  let* s = need_int ctx obj "service_p99_ticks" in
+  if q >= 0 && d >= 0 && s >= 0 then Ok ()
+  else Error (Printf.sprintf "%s: negative stage percentile" ctx)
+
 let validate_point i p =
   let ctx = Printf.sprintf "points[%d]" i in
   let* () =
@@ -173,6 +235,9 @@ let validate_point i p =
   in
   let* () = check_counts (ctx ^ ".sim") sim in
   let* () = check_tail (ctx ^ ".sim") sim in
+  let* () = check_stages (ctx ^ ".sim") sim in
+  let* () = check_windows (ctx ^ ".sim") sim "sojourn_windows" in
+  let* () = check_windows (ctx ^ ".sim") sim "qwait_windows" in
   match J.member "native" p with
   | None -> Ok ()
   | Some (J.Obj _ as n) ->
@@ -181,8 +246,18 @@ let validate_point i p =
       let* p50 = need_int nctx n "p50_ns" in
       let* p99 = need_int nctx n "p99_ns" in
       let* p999 = need_int nctx n "p999_ns" in
-      if p50 <= p99 && p99 <= p999 then Ok ()
-      else Error (nctx ^ ": percentiles not monotone")
+      let* () =
+        if p50 <= p99 && p99 <= p999 then Ok ()
+        else Error (nctx ^ ": percentiles not monotone")
+      in
+      let* q = need_int nctx n "qwait_p99_ns" in
+      let* d = need_int nctx n "dispatch_p99_ns" in
+      let* s = need_int nctx n "service_p99_ns" in
+      let* () =
+        if q >= 0 && d >= 0 && s >= 0 then Ok ()
+        else Error (nctx ^ ": negative stage percentile")
+      in
+      check_windows nctx n "sojourn_windows"
   | Some _ -> Error (ctx ^ ": \"native\" must be an object")
 
 let validate j =
@@ -245,6 +320,83 @@ let render points =
   in
   Tablefmt.render ~header rows
 
+(* --- SLO verdicts ------------------------------------------------------ *)
+
+(* Judge every sweep point against the scenario's SLO: the per-window
+   sojourn p99 budget against each retained window of that point's
+   sojourn ring, the stage budgets against the point's whole-run stage
+   p99s, the drop-rate budget against dropped/offered. All inputs are
+   deterministic sim output, so the verdict rows are cram-lockable. *)
+let verdicts (slo : Scenarios.slo) points =
+  let module H = Telemetry.Histogram in
+  let module W = Telemetry.Windowed in
+  let row load window metric actual budget ok =
+    {
+      Scenarios.vd_load = load;
+      vd_window = window;
+      vd_metric = metric;
+      vd_actual = actual;
+      vd_budget = budget;
+      vd_ok = ok;
+    }
+  in
+  List.concat_map
+    (fun p ->
+      let s = p.ov_sim in
+      let load = p.ov_label in
+      let window_rows =
+        match slo.Scenarios.slo_p99_sojourn with
+        | None -> []
+        | Some budget ->
+            List.map
+              (fun (w, h) ->
+                let actual = H.percentile h 0.99 in
+                row load (string_of_int w) "sojourn_p99"
+                  (string_of_int actual) (string_of_int budget)
+                  (actual <= budget))
+              (W.windows s.Ws_runtime.Open_system.sojourn_windows)
+      in
+      let stage_row metric budget h =
+        match budget with
+        | None -> []
+        | Some b ->
+            let actual = H.percentile h 0.99 in
+            [
+              row load "-" metric (string_of_int actual) (string_of_int b)
+                (actual <= b);
+            ]
+      in
+      let drop_row =
+        match slo.Scenarios.slo_max_drop_rate with
+        | None -> []
+        | Some budget ->
+            let offered =
+              s.Ws_runtime.Open_system.injected
+              + s.Ws_runtime.Open_system.dropped
+            in
+            let rate =
+              if offered = 0 then 0.
+              else
+                float_of_int s.Ws_runtime.Open_system.dropped
+                /. float_of_int offered
+            in
+            [
+              row load "-" "drop_rate"
+                (Printf.sprintf "%.4f" rate)
+                (Printf.sprintf "%.4f" budget)
+                (rate <= budget);
+            ]
+      in
+      window_rows
+      @ stage_row "qwait_p99" slo.Scenarios.slo_qwait_p99
+          s.Ws_runtime.Open_system.qwait
+      @ stage_row "dispatch_p99" slo.Scenarios.slo_dispatch_p99
+          s.Ws_runtime.Open_system.dispatch
+      @ stage_row "service_p99" slo.Scenarios.slo_service_p99
+          s.Ws_runtime.Open_system.service
+      @ drop_row)
+    points
+
 let section ?(factors = default_factors) ?(native = false) ?(jobs = 1) ?out
     (spec : Scenarios.open_spec) () =
   let sink = Telemetry.Sink.create () in
@@ -254,8 +406,20 @@ let section ?(factors = default_factors) ?(native = false) ?(jobs = 1) ?out
     spec.Scenarios.sc_name
     (if native then " vs native wall time" else "")
     (render points);
-  match out with
+  let slo_ok =
+    match spec.Scenarios.sc_slo with
+    | None -> None
+    | Some slo ->
+        let vs = verdicts slo points in
+        print_string
+          (Scenarios.render_verdicts ~name:spec.Scenarios.sc_name
+             ~units:"sim ticks" vs);
+        Some (Scenarios.verdicts_ok vs)
+  in
+  (match out with
   | None -> ()
   | Some file ->
-      J.write_file file (report_json ~sink spec points);
-      Printf.printf "overload report written to %s\n" file
+      J.write_file file (report_json ~sink ?slo_ok spec points);
+      Printf.printf "overload report written to %s\n" file);
+  (* a scenario without an SLO block cannot fail its (absent) objectives *)
+  Option.value ~default:true slo_ok

@@ -44,17 +44,27 @@ val run :
 
 val report_json :
   ?sink:Telemetry.Sink.t ->
+  ?slo_ok:bool ->
   Scenarios.open_spec ->
   point list ->
   Telemetry.Json.value
 (** Byte-stable report: schema tag, the scenario (round-trippable through
-    {!Scenarios.open_spec_of_json}), per-point sim/native blocks, and —
-    with [sink] — the merged queue counters. *)
+    {!Scenarios.open_spec_of_json}), per-point sim/native blocks (the sim
+    block carries stage p99s and the sojourn/qwait window series), the SLO
+    outcome when one was judged, and — with [sink] — the merged queue
+    counters. *)
 
 val validate : Telemetry.Json.value -> (unit, string) result
 (** Structural check for [wsrepro json-check]: schema tag, valid embedded
-    scenario, non-empty points, per-point completed = injected and
-    monotone p50 <= p99 <= p999 (sim and native). *)
+    scenario, non-empty points, per-point completed = injected, monotone
+    p50 <= p99 <= p999 (sim and native), non-negative stage p99s, and
+    window series with strictly increasing window indices. *)
+
+val verdicts : Scenarios.slo -> point list -> Scenarios.verdict list
+(** Judge every sweep point: the per-window sojourn p99 budget against
+    each retained window of the point's sojourn ring, stage budgets
+    against whole-run stage p99s, the drop budget against
+    dropped/offered. Deterministic, hence cram-lockable. *)
 
 val render : point list -> string
 (** The sim-vs-native comparison table. Units stay per-engine (ticks vs
@@ -68,6 +78,8 @@ val section :
   ?out:string ->
   Scenarios.open_spec ->
   unit ->
-  unit
-(** CLI body: run the sweep, print the table, and with [out] write the
-    [wsrepro-overload/v1] report (queue counters included). *)
+  bool
+(** CLI body: run the sweep, print the table (plus the SLO verdict table
+    when the scenario carries an [slo] block), and with [out] write the
+    [wsrepro-overload/v1] report (queue counters included). Returns false
+    iff an SLO budget was violated — the CLI exit status. *)

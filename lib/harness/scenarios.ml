@@ -233,6 +233,31 @@ let explore_check spec ?max_runs ?max_depth ?preemption_bound ?jobs ?memo ?por
 
 module OL = Ws_runtime.Open_load
 
+(* Service-level objective, all budgets in simulated ticks (the native
+   replay converts through [sc_tick_ns]). [slo_p99_sojourn] is judged per
+   retained window of the sojourn ring; the stage budgets are whole-run
+   p99s; [slo_max_drop_rate] is dropped/offered. *)
+type slo = {
+  slo_p99_sojourn : int option;  (* per-window p99 budget, ticks *)
+  slo_max_drop_rate : float option;  (* dropped / offered, in [0, 1] *)
+  slo_qwait_p99 : int option;  (* whole-run stage p99 budgets, ticks *)
+  slo_dispatch_p99 : int option;
+  slo_service_p99 : int option;
+  slo_window : int;  (* window width, ticks *)
+  slo_window_slots : int;  (* windows retained (and judged) *)
+}
+
+let default_slo =
+  {
+    slo_p99_sojourn = None;
+    slo_max_drop_rate = None;
+    slo_qwait_p99 = None;
+    slo_dispatch_p99 = None;
+    slo_service_p99 = None;
+    slo_window = 8192;
+    slo_window_slots = 16;
+  }
+
 type open_spec = {
   sc_name : string;
   sc_queue : string;  (* registry name *)
@@ -245,6 +270,7 @@ type open_spec = {
   sc_tick_ns : int;
   sc_arrival : OL.arrival;
   sc_service : OL.service;
+  sc_slo : slo option;
 }
 
 let open_schema = "wsrepro-scenario/v1"
@@ -262,6 +288,7 @@ let default_open_spec =
     sc_tick_ns = 50;
     sc_arrival = OL.Poisson { rate = 2.0 };
     sc_service = OL.Exponential { mean = 400 };
+    sc_slo = None;
   }
 
 module J = Telemetry.Json
@@ -295,24 +322,43 @@ let service_json = function
           ("p_long", J.Float p_long);
         ]
 
+(* Budget fields that were absent stay absent on re-emission, so
+   emit -> parse -> emit is still the identity on bytes. *)
+let slo_json s =
+  let opt_int k = function Some v -> [ (k, J.Int v) ] | None -> [] in
+  let budgets =
+    opt_int "qwait" s.slo_qwait_p99
+    @ opt_int "dispatch" s.slo_dispatch_p99
+    @ opt_int "service" s.slo_service_p99
+  in
+  J.Obj
+    (opt_int "p99_sojourn" s.slo_p99_sojourn
+    @ (match s.slo_max_drop_rate with
+      | Some r -> [ ("max_drop_rate", J.Float r) ]
+      | None -> [])
+    @ (if budgets = [] then [] else [ ("stage_budgets", J.Obj budgets) ])
+    @ [ ("window", J.Int s.slo_window); ("windows", J.Int s.slo_window_slots) ]
+    )
+
 let open_spec_json s =
   J.Obj
-    [
-      ("schema", J.Str open_schema);
-      ("name", J.Str s.sc_name);
-      ("queue", J.Str s.sc_queue);
-      ("workers", J.Int s.sc_workers);
-      ("requests", J.Int s.sc_requests);
-      ("chain", J.Int s.sc_chain);
-      ("seed", J.Int s.sc_seed);
-      ("capacity", J.Int s.sc_capacity);
-      ( "policy",
-        J.Str (match s.sc_policy with OL.Drop -> "drop" | OL.Block -> "block")
-      );
-      ("tick_ns", J.Int s.sc_tick_ns);
-      ("arrival", arrival_json s.sc_arrival);
-      ("service", service_json s.sc_service);
-    ]
+    ([
+       ("schema", J.Str open_schema);
+       ("name", J.Str s.sc_name);
+       ("queue", J.Str s.sc_queue);
+       ("workers", J.Int s.sc_workers);
+       ("requests", J.Int s.sc_requests);
+       ("chain", J.Int s.sc_chain);
+       ("seed", J.Int s.sc_seed);
+       ("capacity", J.Int s.sc_capacity);
+       ( "policy",
+         J.Str (match s.sc_policy with OL.Drop -> "drop" | OL.Block -> "block")
+       );
+       ("tick_ns", J.Int s.sc_tick_ns);
+       ("arrival", arrival_json s.sc_arrival);
+       ("service", service_json s.sc_service);
+     ]
+    @ match s.sc_slo with None -> [] | Some slo -> [ ("slo", slo_json slo) ])
 
 (* --- strict parsing -------------------------------------------------- *)
 
@@ -357,6 +403,59 @@ let require_rate ctx k v =
 let require_prob ctx k v =
   if v >= 0. && v <= 1. then Ok v
   else Error (Printf.sprintf "%s: %S must be in [0, 1]" ctx k)
+
+(* Optional-budget variants: absent stays [None] (no default kicks in). *)
+let get_int_opt ctx fs k =
+  match List.assoc_opt k fs with
+  | None -> Ok None
+  | Some (J.Int i) ->
+      if i >= 1 then Ok (Some i)
+      else Error (Printf.sprintf "%s: %S must be >= 1 (got %d)" ctx k i)
+  | Some _ -> Error (Printf.sprintf "%s: %S must be an integer" ctx k)
+
+let get_prob_opt ctx fs k =
+  match List.assoc_opt k fs with
+  | None -> Ok None
+  | Some (J.Float f) ->
+      let* f = require_prob ctx k f in
+      Ok (Some f)
+  | Some (J.Int i) ->
+      let* f = require_prob ctx k (float_of_int i) in
+      Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "%s: %S must be a number" ctx k)
+
+let slo_of_json v =
+  let ctx = "slo" in
+  let d = default_slo in
+  let* fs = fields ctx v in
+  let* () =
+    reject_unknown ctx
+      [ "p99_sojourn"; "max_drop_rate"; "stage_budgets"; "window"; "windows" ]
+      fs
+  in
+  let* slo_p99_sojourn = get_int_opt ctx fs "p99_sojourn" in
+  let* slo_max_drop_rate = get_prob_opt ctx fs "max_drop_rate" in
+  let* slo_qwait_p99, slo_dispatch_p99, slo_service_p99 =
+    match List.assoc_opt "stage_budgets" fs with
+    | None -> Ok (None, None, None)
+    | Some v ->
+        let ctx = "slo.stage_budgets" in
+        let* fs = fields ctx v in
+        let* () = reject_unknown ctx [ "qwait"; "dispatch"; "service" ] fs in
+        let* q = get_int_opt ctx fs "qwait" in
+        let* di = get_int_opt ctx fs "dispatch" in
+        let* s = get_int_opt ctx fs "service" in
+        Ok (q, di, s)
+  in
+  let* slo_window = get_int ctx fs "window" ~default:d.slo_window in
+  let* slo_window = require_pos ctx "window" slo_window in
+  let* slo_window_slots = get_int ctx fs "windows" ~default:d.slo_window_slots in
+  let* slo_window_slots = require_pos ctx "windows" slo_window_slots in
+  Ok
+    {
+      slo_p99_sojourn; slo_max_drop_rate; slo_qwait_p99; slo_dispatch_p99;
+      slo_service_p99; slo_window; slo_window_slots;
+    }
 
 let arrival_of_json v =
   let ctx = "arrival" in
@@ -437,7 +536,7 @@ let open_spec_of_json v =
     reject_unknown ctx
       [
         "schema"; "name"; "queue"; "workers"; "requests"; "chain"; "seed";
-        "capacity"; "policy"; "tick_ns"; "arrival"; "service";
+        "capacity"; "policy"; "tick_ns"; "arrival"; "service"; "slo";
       ]
       fs
   in
@@ -493,11 +592,53 @@ let open_spec_of_json v =
     | None -> Ok d.sc_service
     | Some v -> service_of_json v
   in
+  let* sc_slo =
+    match List.assoc_opt "slo" fs with
+    | None -> Ok None
+    | Some v ->
+        let* slo = slo_of_json v in
+        Ok (Some slo)
+  in
   Ok
     {
       sc_name; sc_queue; sc_workers; sc_requests; sc_chain; sc_seed;
-      sc_capacity; sc_policy; sc_tick_ns; sc_arrival; sc_service;
+      sc_capacity; sc_policy; sc_tick_ns; sc_arrival; sc_service; sc_slo;
     }
+
+(* --- SLO verdicts ---------------------------------------------------- *)
+
+(* One judged budget: a per-window sojourn row, a whole-run stage row, or
+   the drop-rate row. The row form is shared by the sim sweep (budgets in
+   ticks) and the native replay (converted to ns), so both print the same
+   table shape. *)
+type verdict = {
+  vd_load : string;  (* sweep point label, "-" for a single run *)
+  vd_window : string;  (* window index, "-" for whole-run budgets *)
+  vd_metric : string;
+  vd_actual : string;
+  vd_budget : string;
+  vd_ok : bool;
+}
+
+let verdicts_ok vs = List.for_all (fun v -> v.vd_ok) vs
+
+let render_verdicts ~name ~units vs =
+  let header = [ "load"; "window"; "metric"; "actual"; "budget"; "verdict" ] in
+  let rows =
+    List.map
+      (fun v ->
+        [
+          v.vd_load; v.vd_window; v.vd_metric; v.vd_actual; v.vd_budget;
+          (if v.vd_ok then "ok" else "FAIL");
+        ])
+      vs
+  in
+  let violations = List.length (List.filter (fun v -> not v.vd_ok) vs) in
+  Printf.sprintf "== SLO verdicts: %s (budgets in %s) ==\n%s%s\n" name units
+    (Tablefmt.render ~header rows)
+    (if violations = 0 then "SLO: PASS"
+     else Printf.sprintf "SLO: FAIL (%d violation%s)" violations
+         (if violations = 1 then "" else "s"))
 
 let load_open_spec path =
   match J.parse_file path with
@@ -508,6 +649,7 @@ let load_open_spec path =
       | Ok s -> Ok s)
 
 let open_config s =
+  let slo = Option.value ~default:default_slo s.sc_slo in
   {
     Ws_runtime.Open_system.default_config with
     Ws_runtime.Open_system.workers = s.sc_workers;
@@ -519,4 +661,6 @@ let open_config s =
     service = s.sc_service;
     capacity = s.sc_capacity;
     policy = s.sc_policy;
+    window = slo.slo_window;
+    window_slots = slo.slo_window_slots;
   }

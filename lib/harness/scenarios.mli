@@ -73,6 +73,27 @@ val explore_check :
     (top level and inside the nested arrival/service objects), so a
     typo'd knob fails loudly instead of silently running a default. *)
 
+(** Service-level objective for a scenario, all budgets in simulated
+    ticks (the native replay converts through [sc_tick_ns]).
+    [slo_p99_sojourn] is judged against the p99 of {e each} retained
+    window of the sojourn ring; the stage budgets against the whole-run
+    stage p99s; [slo_max_drop_rate] against dropped/offered. JSON form:
+    [slo: {p99_sojourn, max_drop_rate,
+    stage_budgets: {qwait, dispatch, service}, window, windows}], every
+    budget optional (absent = not judged). *)
+type slo = {
+  slo_p99_sojourn : int option;  (** per-window p99 budget, ticks *)
+  slo_max_drop_rate : float option;  (** dropped / offered, in [0, 1] *)
+  slo_qwait_p99 : int option;  (** whole-run stage p99 budgets, ticks *)
+  slo_dispatch_p99 : int option;
+  slo_service_p99 : int option;
+  slo_window : int;  (** window width, ticks *)
+  slo_window_slots : int;  (** windows retained (and judged) *)
+}
+
+val default_slo : slo
+(** No budgets (nothing judged), 8192-tick windows, 16 retained. *)
+
 type open_spec = {
   sc_name : string;
   sc_queue : string;  (** registry name *)
@@ -85,6 +106,7 @@ type open_spec = {
   sc_tick_ns : int;  (** native runner: wall nanoseconds per tick *)
   sc_arrival : Ws_runtime.Open_load.arrival;
   sc_service : Ws_runtime.Open_load.service;
+  sc_slo : slo option;  (** absent: no verdicts, default windowing *)
 }
 
 val open_schema : string
@@ -108,6 +130,25 @@ val open_spec_of_json :
 
 val load_open_spec : string -> (open_spec, string) result
 (** {!open_spec_of_json} over a file, with the path prefixed to errors. *)
+
+(** One judged SLO budget: a per-window sojourn row, a whole-run stage
+    row, or the drop-rate row. Shared by the sim sweep (budgets in ticks)
+    and the native replay (converted to ns) so both print the same table
+    shape. *)
+type verdict = {
+  vd_load : string;  (** sweep point label, ["-"] for a single run *)
+  vd_window : string;  (** window index, ["-"] for whole-run budgets *)
+  vd_metric : string;
+  vd_actual : string;
+  vd_budget : string;
+  vd_ok : bool;
+}
+
+val verdicts_ok : verdict list -> bool
+
+val render_verdicts : name:string -> units:string -> verdict list -> string
+(** Verdict table plus a final [SLO: PASS] / [SLO: FAIL (n violations)]
+    line. Deterministic given deterministic rows. *)
 
 val open_config : open_spec -> Ws_runtime.Open_system.config
 (** The spec as a timing-model open-system config (native-only fields

@@ -94,8 +94,22 @@ let stats_equal a b =
    (0. when off), so completion can observe the spawn-to-finish latency.
    [id]/[parent] are flight-recorder task identities (-1 when the recorder
    is off): [parent] is the id of the task whose body called [spawn], which
-   is what lets the reconstructor walk steal ancestries. *)
-type cell = { f : task; id : int; parent : int; born : float }
+   is what lets the reconstructor walk steal ancestries.
+
+   [arr_ns]/[inj_ns] are monotonic-ns stage stamps taken when attribution
+   is on (0 when off): arrival is when the producer first wanted the task
+   in (before any [submit] backpressure spin), inject is when the cell
+   actually entered a queue. The executor adds the dequeue and completion
+   stamps, yielding the three-stage split qwait (arrival to inject),
+   dispatch (inject to dequeue) and service (dequeue to completion). *)
+type cell = {
+  f : task;
+  id : int;
+  parent : int;
+  born : float;
+  arr_ns : int;
+  inj_ns : int;
+}
 
 type deque = Cl of cell Chase_lev.t | The of cell The_queue.t
 
@@ -115,11 +129,20 @@ type t = {
   steal_half : bool;
   debug : bool;
   telemetry : bool;
+  attribution : bool;
+  window_ns : int;  (* windowed-ring geometry, attribution only *)
+  window_slots : int;
   lock : Mutex.t;
   cond : Condition.t;
   sleepers : int Atomic.t;
   stats : worker_stats array;
   latencies : Telemetry.Histogram.t array;  (* per worker, telemetry only *)
+  (* per-slot stage histograms (ns) and rotating sojourn windows, written
+     only by the owning domain (attribution only) *)
+  stage_qwait : Telemetry.Histogram.t array;
+  stage_dispatch : Telemetry.Histogram.t array;
+  stage_service : Telemetry.Histogram.t array;
+  sojourn_windows : Telemetry.Windowed.t array;
   recorder : Telemetry.Flight_recorder.t option;
   current : int array;  (* per slot: id of the task being executed, -1 idle *)
   next_task_id : int Atomic.t;
@@ -133,11 +156,23 @@ let now () = Unix.gettimeofday ()
 
 module FR = Telemetry.Flight_recorder
 
-let make_cell pool ~parent f =
+(* [arrived] backdates the arrival stamp for submissions that waited out
+   a backpressure spin; 0 (the default) means "arrived right now". *)
+let make_cell pool ~parent ?(arrived = 0) f =
   let born = if pool.telemetry then now () else 0. in
+  let inj_ns = if pool.attribution then Telemetry.Clock.now_ns () else 0 in
+  let arr_ns = if arrived > 0 then arrived else inj_ns in
   match pool.recorder with
-  | None -> { f; id = -1; parent = -1; born }
-  | Some _ -> { f; id = Atomic.fetch_and_add pool.next_task_id 1; parent; born }
+  | None -> { f; id = -1; parent = -1; born; arr_ns; inj_ns }
+  | Some _ ->
+      {
+        f;
+        id = Atomic.fetch_and_add pool.next_task_id 1;
+        parent;
+        born;
+        arr_ns;
+        inj_ns;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Parking lot                                                         *)
@@ -239,6 +274,7 @@ let record_error pool e bt =
    their parent; only this slot's domain touches [current.(me)]. *)
 let exec_cell pool me cell =
   pool.current.(me) <- cell.id;
+  let deq_ns = if cell.inj_ns > 0 then Telemetry.Clock.now_ns () else 0 in
   (try cell.f ()
    with e ->
      let bt = Printexc.get_raw_backtrace () in
@@ -246,6 +282,18 @@ let exec_cell pool me cell =
   pool.current.(me) <- -1;
   let st = pool.stats.(me) in
   st.tasks_run <- st.tasks_run + 1;
+  if deq_ns > 0 then begin
+    (* all four stamps read the same monotonic clock, and this slot's
+       histograms/ring are single-writer, so no lock is needed *)
+    let fin = Telemetry.Clock.now_ns () in
+    Telemetry.Histogram.observe pool.stage_qwait.(me)
+      (cell.inj_ns - cell.arr_ns);
+    Telemetry.Histogram.observe pool.stage_dispatch.(me)
+      (deq_ns - cell.inj_ns);
+    Telemetry.Histogram.observe pool.stage_service.(me) (fin - deq_ns);
+    Telemetry.Windowed.observe pool.sojourn_windows.(me) ~now:fin
+      (fin - cell.arr_ns)
+  end;
   if pool.telemetry && cell.born > 0. then
     Telemetry.Histogram.observe pool.latencies.(me)
       (int_of_float ((now () -. cell.born) *. 1e9));
@@ -352,11 +400,14 @@ let worker_loop pool me =
 (* ------------------------------------------------------------------ *)
 
 let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
-    ?(steal_half = false) ?(telemetry = false) ?(debug = false)
+    ?(steal_half = false) ?(telemetry = false) ?(attribution = false)
+    ?(window_ns = 100_000_000) ?(window_slots = 16) ?(debug = false)
     ?(queue_capacity = 1 lsl 13) ?(injector_capacity = max_int)
     ?(flight = false) ?(flight_capacity = 16384) () =
   if injector_capacity < 1 then
     invalid_arg "Pool.create: injector_capacity must be >= 1";
+  if attribution && window_ns < 1 then
+    invalid_arg "Pool.create: window_ns must be >= 1";
   if steal_half && backend <> The_deques then
     invalid_arg "Pool.create: steal_half requires the THE backend";
   let n =
@@ -391,11 +442,22 @@ let create ?domains ?(backend = Chase_lev_deques) ?(policy = Random_victim)
       steal_half;
       debug;
       telemetry;
+      attribution;
+      window_ns;
+      window_slots;
       lock = Mutex.create ();
       cond = Condition.create ();
       sleepers = Atomic.make 0;
       stats = Array.init (n + 1) (fun _ -> stats_create ());
       latencies = Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      stage_qwait = Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      stage_dispatch =
+        Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      stage_service =
+        Array.init (n + 1) (fun _ -> Telemetry.Histogram.create ());
+      sojourn_windows =
+        Array.init (n + 1) (fun _ ->
+            Telemetry.Windowed.create ~slots:window_slots ~width:window_ns ());
       recorder =
         (if flight then
            Some (FR.create ~capacity:flight_capacity ~slots:(n + 1) ())
@@ -442,10 +504,10 @@ let spawn pool f =
    size check, so the depth can transiently exceed capacity by the number
    of racing callers — fine for backpressure, whose job is to stop an
    unbounded queue, not to enforce an exact high-water mark. *)
-let inject pool f =
+let inject ?arrived pool f =
   ignore (Atomic.fetch_and_add pool.in_flight 1);
   ignore (Atomic.fetch_and_add pool.pending 1);
-  let cell = make_cell pool ~parent:(-1) f in
+  let cell = make_cell pool ~parent:(-1) ?arrived f in
   (match pool.recorder with
   | Some r -> FR.record_external r FR.Inject ~task:cell.id ~arg:FR.no_arg
   | None -> ());
@@ -454,8 +516,11 @@ let inject pool f =
 
 let submit ?(policy = Block) pool f =
   if Atomic.get pool.shut then invalid_arg "Pool.submit: pool is shut down";
+  (* arrival is stamped before the capacity check: a Block spin is queueing
+     delay the request experiences, so it belongs to the qwait stage *)
+  let arrived = if pool.attribution then Telemetry.Clock.now_ns () else 0 in
   if Injector.size pool.injector < pool.injector_capacity then begin
-    inject pool f;
+    inject ~arrived pool f;
     true
   end
   else
@@ -467,7 +532,7 @@ let submit ?(policy = Block) pool f =
         while Injector.size pool.injector >= pool.injector_capacity do
           Domain.cpu_relax ()
         done;
-        inject pool f;
+        inject ~arrived pool f;
         true
 
 let raise_pending_error pool =
@@ -580,6 +645,10 @@ let scrape_slot pool i =
 type snapshot = {
   slot_stats : worker_stats array;
   slot_latencies : Telemetry.Histogram.t array;
+  slot_qwait : Telemetry.Histogram.t array;
+  slot_dispatch : Telemetry.Histogram.t array;
+  slot_service : Telemetry.Histogram.t array;
+  snap_windows : Telemetry.Windowed.t;
   snap_pending : int;
   snap_in_flight : int;
   snap_sleepers : int;
@@ -587,16 +656,36 @@ type snapshot = {
   snap_injector_drops : int;
 }
 
+let copy_hists a =
+  Array.map
+    (fun l ->
+      let h = Telemetry.Histogram.create () in
+      Telemetry.Histogram.merge ~into:h l;
+      h)
+    a
+
+(* Merged non-draining view of the per-slot sojourn rings: snapshot each
+   slot's ring (safe against its writer), then fold the copies — the
+   claim rule makes the fold independent of slot order. *)
+let merged_windows pool =
+  let acc =
+    Telemetry.Windowed.create ~slots:pool.window_slots ~width:pool.window_ns
+      ()
+  in
+  Array.iter
+    (fun w ->
+      Telemetry.Windowed.merge ~into:acc (Telemetry.Windowed.snapshot w))
+    pool.sojourn_windows;
+  acc
+
 let scrape pool =
   {
     slot_stats = Array.init (Array.length pool.stats) (scrape_slot pool);
-    slot_latencies =
-      Array.map
-        (fun l ->
-          let h = Telemetry.Histogram.create () in
-          Telemetry.Histogram.merge ~into:h l;
-          h)
-        pool.latencies;
+    slot_latencies = copy_hists pool.latencies;
+    slot_qwait = copy_hists pool.stage_qwait;
+    slot_dispatch = copy_hists pool.stage_dispatch;
+    slot_service = copy_hists pool.stage_service;
+    snap_windows = merged_windows pool;
     snap_pending = Atomic.get pool.pending;
     snap_in_flight = Atomic.get pool.in_flight;
     snap_sleepers = Atomic.get pool.sleepers;
@@ -616,6 +705,18 @@ let latency pool =
   let h = Telemetry.Histogram.create () in
   Array.iter (fun l -> Telemetry.Histogram.merge ~into:h l) pool.latencies;
   h
+
+let merge_all a =
+  let h = Telemetry.Histogram.create () in
+  Array.iter (fun l -> Telemetry.Histogram.merge ~into:h l) a;
+  h
+
+let stage_hists pool =
+  ( merge_all pool.stage_qwait,
+    merge_all pool.stage_dispatch,
+    merge_all pool.stage_service )
+
+let windowed_sojourn pool = merged_windows pool
 
 let fold_into_sink pool sink =
   Array.iter

@@ -38,6 +38,9 @@ val create :
   ?policy:victim_policy ->
   ?steal_half:bool ->
   ?telemetry:bool ->
+  ?attribution:bool ->
+  ?window_ns:int ->
+  ?window_slots:int ->
   ?debug:bool ->
   ?queue_capacity:int ->
   ?injector_capacity:int ->
@@ -49,6 +52,15 @@ val create :
     domains plus the caller. [steal_half] (THE backend only; [Invalid_argument]
     otherwise) makes thieves take up to half a victim's queue per steal.
     [telemetry] enables per-task latency timestamps (see {!latency}).
+    [attribution] additionally stamps every cell with monotonic-ns stage
+    timestamps — arrival (before any {!submit} backpressure spin), inject,
+    dequeue, completion — feeding per-slot qwait / dispatch / service
+    histograms ({!stage_hists}, [slot_qwait] etc. in {!scrape}) and a
+    rotating per-slot sojourn window ring of [window_slots] windows of
+    [window_ns] nanoseconds each ({!windowed_sojourn}, [snap_windows]).
+    Stages are per {e cell}: a worker-spawned continuation arrives the
+    instant it is pushed, so its qwait is ~0, while externally submitted
+    cells charge backpressure delay to qwait.
     [debug] asserts the single-owner push discipline on every push.
     [queue_capacity] bounds the fixed-size THE deques (overflow spills to
     the injector). [injector_capacity] (default unbounded) is the soft
@@ -115,6 +127,14 @@ type snapshot = {
   slot_stats : worker_stats array;  (** per-slot counter copies *)
   slot_latencies : Telemetry.Histogram.t array;
       (** per-slot latency histogram copies (empty unless [~telemetry]) *)
+  slot_qwait : Telemetry.Histogram.t array;
+      (** per-slot arrival-to-inject ns (empty unless [~attribution]) *)
+  slot_dispatch : Telemetry.Histogram.t array;
+      (** per-slot inject-to-dequeue ns (empty unless [~attribution]) *)
+  slot_service : Telemetry.Histogram.t array;
+      (** per-slot dequeue-to-completion ns (empty unless [~attribution]) *)
+  snap_windows : Telemetry.Windowed.t;
+      (** merged rotating sojourn windows (empty unless [~attribution]) *)
   snap_pending : int;  (** cells enqueued and not yet dequeued *)
   snap_in_flight : int;  (** tasks spawned and not yet finished *)
   snap_sleepers : int;  (** workers parked at the instant of the scrape *)
@@ -150,6 +170,15 @@ val tasks_run : t -> int
 val latency : t -> Telemetry.Histogram.t
 (** Merged spawn-to-completion latency histogram (nanoseconds). Empty
     unless the pool was created with [~telemetry:true]. *)
+
+val stage_hists : t -> Telemetry.Histogram.t * Telemetry.Histogram.t * Telemetry.Histogram.t
+(** Merged (qwait, dispatch, service) stage histograms in nanoseconds,
+    non-draining copies. All empty unless [~attribution:true]. *)
+
+val windowed_sojourn : t -> Telemetry.Windowed.t
+(** Merged non-draining snapshot of the per-slot rotating sojourn window
+    rings (arrival-to-completion ns keyed by completion time). Empty
+    unless [~attribution:true]. *)
 
 val fold_into_sink : t -> Telemetry.Sink.t -> unit
 (** Accumulate pool counters into a telemetry sink: spawns into [puts],

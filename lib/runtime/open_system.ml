@@ -41,6 +41,8 @@ type config = {
   policy : Open_load.policy;
   idle_backoff : int;
   max_steps : int;
+  window : int;  (* ticks per latency-attribution window *)
+  window_slots : int;  (* windows retained in each rotating ring *)
 }
 
 let default_config =
@@ -61,6 +63,8 @@ let default_config =
     policy = Open_load.Block;
     idle_backoff = 64;
     max_steps = 200_000_000;
+    window = 8192;
+    window_slots = 16;
   }
 
 type report = {
@@ -74,6 +78,21 @@ type report = {
   p99 : int;
   p999 : int;
   sojourn : Telemetry.Histogram.t;
+  (* Stage attribution, in ticks. The three stages partition each
+     completed request's sojourn exactly:
+       qwait    = arrival (post-gap, pre-backpressure-spin) -> inject
+       dispatch = inject -> stage-0 dequeue
+       service  = stage-0 dequeue -> final-stage completion
+     so qwait + dispatch + service = sojourn, request by request. *)
+  qwait : Telemetry.Histogram.t;
+  dispatch : Telemetry.Histogram.t;
+  service : Telemetry.Histogram.t;
+  (* Rotating-window series (width [cfg.window] ticks, last
+     [cfg.window_slots] windows). Sojourn is keyed by completion tick;
+     queue wait is keyed by the request's arrival tick, so a burst's
+     extra waiting lands in the burst's own windows. *)
+  sojourn_windows : Telemetry.Windowed.t;
+  qwait_windows : Telemetry.Windowed.t;
   peak_queue : int;  (* max injector deque depth observed *)
   block_spins : int;  (* injector pause instructions while blocked *)
   offered_rate : float;  (* configured long-run arrivals per 1000 ticks *)
@@ -125,7 +144,25 @@ let run ?sink cfg =
   let sojourn_shards =
     Array.init cfg.workers (fun _ -> Telemetry.Histogram.create ())
   in
+  (* Stage attribution rides the same discipline: per-worker histograms
+     and rotating-window rings, single-writer during the run, merged at
+     the quiescent end — so the merged series are independent of which
+     worker executed which request (Windowed's claim rule). *)
+  let hist_shards () =
+    Array.init cfg.workers (fun _ -> Telemetry.Histogram.create ())
+  in
+  let window_shards () =
+    Array.init cfg.workers (fun _ ->
+        Telemetry.Windowed.create ~slots:cfg.window_slots ~width:cfg.window ())
+  in
+  let qwait_shards = hist_shards () in
+  let dispatch_shards = hist_shards () in
+  let service_shards = hist_shards () in
+  let sojourn_w_shards = window_shards () in
+  let qwait_w_shards = window_shards () in
   let arrive = Array.make cfg.requests 0 in
+  let inject_t = Array.make cfg.requests 0 in
+  let dequeue_t = Array.make cfg.requests 0 in
   let stage_ticks = Array.make (cfg.requests * cfg.chain) 0 in
   for i = 0 to cfg.requests - 1 do
     let s = plan.Open_load.services.(i) in
@@ -146,6 +183,10 @@ let run ?sink cfg =
     for i = 0 to cfg.requests - 1 do
       let gap = plan.Open_load.gaps.(i) in
       if gap > 0 then Program.work gap;
+      (* Arrival is stamped before any backpressure spin, so queue wait
+         (and hence sojourn) charges the time a Block policy makes the
+         request wait at the front door. *)
+      arrive.(i) <- Timing.now clk;
       (match cfg.policy with
       | Open_load.Block ->
           while !in_queue >= cfg.capacity do
@@ -155,12 +196,12 @@ let run ?sink cfg =
       | Open_load.Drop -> ());
       if !in_queue >= cfg.capacity then incr dropped
       else begin
-        arrive.(i) <- Timing.now clk;
         incr injected;
         incr in_flight;
         incr in_queue;
         if !in_queue > !peak_queue then peak_queue := !in_queue;
-        Ws_core.Queue_intf.put queues.(inj) (i * cfg.chain)
+        Ws_core.Queue_intf.put queues.(inj) (i * cfg.chain);
+        inject_t.(i) <- Timing.now clk
       end
     done;
     injector_done := true
@@ -168,17 +209,32 @@ let run ?sink cfg =
   let exec_task w t =
     let m = metrics.Metrics.workers.(w) in
     m.Metrics.tasks_run <- m.Metrics.tasks_run + 1;
+    let stage = t mod cfg.chain in
+    let i = t / cfg.chain in
+    if stage = 0 then begin
+      (* Stage-0 dequeue closes the first two stages. The injector queue
+         is FIFO, so successive stage-0 dequeues on one worker see
+         non-decreasing arrival ticks — monotone enough for the
+         arrival-keyed queue-wait ring. *)
+      let now = Timing.now clk in
+      dequeue_t.(i) <- now;
+      let qw = inject_t.(i) - arrive.(i) in
+      Telemetry.Histogram.observe qwait_shards.(w) qw;
+      Telemetry.Windowed.observe qwait_w_shards.(w) ~now:arrive.(i) qw;
+      Telemetry.Histogram.observe dispatch_shards.(w) (now - inject_t.(i))
+    end;
     let ticks = stage_ticks.(t) in
     if ticks > 0 then Program.work ticks;
-    let stage = t mod cfg.chain in
     if stage < cfg.chain - 1 then begin
       m.Metrics.puts <- m.Metrics.puts + 1;
       Ws_core.Queue_intf.put queues.(w) (t + 1)
     end
     else begin
-      let i = t / cfg.chain in
-      Telemetry.Histogram.observe sojourn_shards.(w)
-        (Timing.now clk - arrive.(i));
+      let now = Timing.now clk in
+      let soj = now - arrive.(i) in
+      Telemetry.Histogram.observe sojourn_shards.(w) soj;
+      Telemetry.Histogram.observe service_shards.(w) (now - dequeue_t.(i));
+      Telemetry.Windowed.observe sojourn_w_shards.(w) ~now soj;
       incr completed;
       decr in_flight
     end
@@ -251,10 +307,19 @@ let run ?sink cfg =
   (match sink with
   | None -> ()
   | Some s -> Metrics.fold_into_sink metrics s);
-  let sojourn = Telemetry.Histogram.create () in
-  Array.iter
-    (fun h -> Telemetry.Histogram.merge ~into:sojourn h)
-    sojourn_shards;
+  let merge_hists shards =
+    let into = Telemetry.Histogram.create () in
+    Array.iter (fun h -> Telemetry.Histogram.merge ~into h) shards;
+    into
+  in
+  let merge_windows shards =
+    let into =
+      Telemetry.Windowed.create ~slots:cfg.window_slots ~width:cfg.window ()
+    in
+    Array.iter (fun w -> Telemetry.Windowed.merge ~into w) shards;
+    into
+  in
+  let sojourn = merge_hists sojourn_shards in
   let makespan = timing.Timing.makespan in
   {
     injected = !injected;
@@ -267,6 +332,11 @@ let run ?sink cfg =
     p99 = Telemetry.Histogram.percentile sojourn 0.99;
     p999 = Telemetry.Histogram.percentile sojourn 0.999;
     sojourn;
+    qwait = merge_hists qwait_shards;
+    dispatch = merge_hists dispatch_shards;
+    service = merge_hists service_shards;
+    sojourn_windows = merge_windows sojourn_w_shards;
+    qwait_windows = merge_windows qwait_w_shards;
     peak_queue = !peak_queue;
     block_spins = !block_spins;
     offered_rate = Open_load.mean_rate cfg.arrival;

@@ -32,6 +32,8 @@ type config = {
   policy : Open_load.policy;
   idle_backoff : int;
   max_steps : int;
+  window : int;  (** ticks per latency-attribution window (> 0) *)
+  window_slots : int;  (** windows retained per rotating ring (> 0) *)
 }
 
 val default_config : config
@@ -49,6 +51,19 @@ type report = {
   p99 : int;
   p999 : int;
   sojourn : Telemetry.Histogram.t;
+  qwait : Telemetry.Histogram.t;
+      (** arrival (post-gap, pre-backpressure-spin) -> inject, ticks *)
+  dispatch : Telemetry.Histogram.t;  (** inject -> stage-0 dequeue, ticks *)
+  service : Telemetry.Histogram.t;
+      (** stage-0 dequeue -> final-stage completion, ticks. The three
+          stages partition each completed request's sojourn exactly:
+          qwait + dispatch + service = sojourn, request by request. *)
+  sojourn_windows : Telemetry.Windowed.t;
+      (** rotating-window sojourn series ([window] ticks wide,
+          [window_slots] retained), keyed by completion tick *)
+  qwait_windows : Telemetry.Windowed.t;
+      (** queue-wait series keyed by {e arrival} tick, so a burst's extra
+          waiting lands in the burst's own windows *)
   peak_queue : int;  (** max injector deque depth observed *)
   block_spins : int;  (** injector pause instructions while blocked *)
   offered_rate : float;  (** configured long-run arrivals per 1000 ticks *)

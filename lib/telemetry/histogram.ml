@@ -99,6 +99,11 @@ let percentile t q =
     min (bucket_hi !i) t.max_value
   end
 
+(* [percentile] answers 0 on an empty histogram — indistinguishable from
+   a histogram full of zeros. Callers that must tell "no data" apart from
+   "all zeros" (SLO verdicts, sparkline rows) use the option form. *)
+let percentile_opt t q = if t.total = 0 then None else Some (percentile t q)
+
 (* Non-empty buckets as [(lo, hi, count)], lowest first. *)
 let buckets t =
   let acc = ref [] in

@@ -35,7 +35,16 @@ val count : t -> int -> int
 val percentile : t -> float -> int
 (** [percentile t q] (with [q] in [[0, 1]], e.g. [0.99]) returns the upper
     bound of the bucket containing the q-quantile sample, capped at
-    {!max_value} — exact to within the 2x bucket width. 0 when empty. *)
+    {!max_value} — exact to within the 2x bucket width. An empty histogram
+    answers 0 by definition (the same answer as a histogram that only ever
+    observed 0); use {!percentile_opt} when "no data" must be
+    distinguishable. A single observation answers that observation's
+    bucket bound capped at the value itself, i.e. the value, at every
+    [q]. *)
+
+val percentile_opt : t -> float -> int option
+(** [None] when the histogram is empty, [Some (percentile t q)]
+    otherwise. *)
 
 val merge : into:t -> t -> unit
 (** Add [src]'s samples into [into]; [src] is unchanged. *)

@@ -4,8 +4,11 @@
    a fixed deterministic format — the cram/CI contract greps and diffs the
    output, so "same data, same bytes" is part of the interface. *)
 
-type sample = { labels : (string * string) list; value : float }
-type metric_type = Counter | Gauge
+(* [suffix] is the per-sample metric-name suffix histogram expositions
+   need ("_bucket"/"_count"/"_sum"); counters get "_total" from the
+   renderer and plain samples leave it empty. *)
+type sample = { labels : (string * string) list; value : float; suffix : string }
+type metric_type = Counter | Gauge | Histogram
 
 type metric = {
   name : string;
@@ -16,7 +19,39 @@ type metric = {
 
 let counter ~name ~help samples = { name; help; mtype = Counter; samples }
 let gauge ~name ~help samples = { name; help; mtype = Gauge; samples }
-let sample ?(labels = []) value = { labels; value }
+let sample ?(labels = []) value = { labels; value; suffix = "" }
+
+(* Histogram exposition per the OpenMetrics spec: cumulative "_bucket"
+   samples with an "le" upper-bound label (one per occupied power-of-two
+   bucket — thresholds may be sparse as long as they increase), a closing
+   le="+Inf" bucket, then "_count" and "_sum". Extra [labels] (e.g. a
+   worker slot) prefix the "le" label on every bucket sample. *)
+let histogram ~name ~help ?(labels = []) h =
+  let cum = ref 0 in
+  let bucket_samples =
+    List.map
+      (fun (_, hi, c) ->
+        cum := !cum + c;
+        {
+          labels = labels @ [ ("le", string_of_int hi) ];
+          value = float_of_int !cum;
+          suffix = "_bucket";
+        })
+      (Histogram.buckets h)
+  in
+  let total = float_of_int (Histogram.total h) in
+  {
+    name;
+    help;
+    mtype = Histogram;
+    samples =
+      bucket_samples
+      @ [
+          { labels = labels @ [ ("le", "+Inf") ]; value = total; suffix = "_bucket" };
+          { labels; value = total; suffix = "_count" };
+          { labels; value = float_of_int (Histogram.sum h); suffix = "_sum" };
+        ];
+  }
 
 (* Label values: escape backslash, double-quote and newline per spec. *)
 let escape_label v =
@@ -50,16 +85,25 @@ let render metrics =
   let buf = Buffer.create 1024 in
   List.iter
     (fun m ->
-      let tname = match m.mtype with Counter -> "counter" | Gauge -> "gauge" in
+      let tname =
+        match m.mtype with
+        | Counter -> "counter"
+        | Gauge -> "gauge"
+        | Histogram -> "histogram"
+      in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m.name tname);
       Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
-      (* OpenMetrics requires counter sample names to carry the _total
-         suffix while the metric family keeps the bare name. *)
-      let sname =
-        match m.mtype with Counter -> m.name ^ "_total" | Gauge -> m.name
-      in
       List.iter
         (fun s ->
+          (* OpenMetrics requires counter sample names to carry the _total
+             suffix — and histogram samples their _bucket/_count/_sum —
+             while the metric family keeps the bare name. *)
+          let sname =
+            match m.mtype with
+            | Counter -> m.name ^ "_total"
+            | Gauge -> m.name
+            | Histogram -> m.name ^ s.suffix
+          in
           Buffer.add_string buf
             (Printf.sprintf "%s%s %s\n" sname (render_labels s.labels)
                (render_value s.value)))

@@ -5,8 +5,8 @@
     Counter families automatically get the spec-required [_total] suffix on
     their sample lines, and the document ends with the [# EOF] terminator. *)
 
-type sample = { labels : (string * string) list; value : float }
-type metric_type = Counter | Gauge
+type sample = { labels : (string * string) list; value : float; suffix : string }
+type metric_type = Counter | Gauge | Histogram
 
 type metric = {
   name : string;
@@ -17,7 +17,16 @@ type metric = {
 
 val counter : name:string -> help:string -> sample list -> metric
 val gauge : name:string -> help:string -> sample list -> metric
+
+val histogram :
+  name:string -> help:string -> ?labels:(string * string) list -> Histogram.t -> metric
+(** Spec-compliant histogram exposition: cumulative [_bucket] samples with
+    an [le] upper-bound label per occupied power-of-two bucket, a closing
+    [le="+Inf"] bucket, then [_count] and [_sum]. [labels] (e.g. a worker
+    slot) prefix [le] on every bucket sample. *)
+
 val sample : ?labels:(string * string) list -> float -> sample
+(** Plain sample (empty name suffix). *)
 
 val render : metric list -> string
 (** Full exposition document, [# EOF]-terminated. *)

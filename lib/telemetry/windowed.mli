@@ -1,0 +1,55 @@
+(** Rotating-window time series of {!Histogram}s: time is sliced into
+    fixed-width windows (ticks in the simulator, nanoseconds native) and
+    the last [slots] windows are kept in a ring, giving per-window
+    percentile series (p50/p99 over time) instead of one end-of-run
+    number.
+
+    Sharding contract, mirroring {!Shards}: writers observe into their own
+    ring with a monotone clock; a quiescence-point {!merge} folds worker
+    rings into a root ring and drains them. The slot claim rule (largest
+    window index wins, equal indices add bucket-wise, smaller are dropped
+    as stale) makes the merge associative and commutative, so the merged
+    ring — and its {!to_json} bytes — are independent of how the
+    observation stream was partitioned across shards. *)
+
+type t
+
+val create : ?slots:int -> width:int -> unit -> t
+(** [create ~width ()] with [width > 0] time units per window and
+    [slots] (default 16, [> 0]) windows retained.
+    @raise Invalid_argument on a non-positive [width] or [slots]. *)
+
+val width : t -> int
+val slots : t -> int
+
+val observe : t -> now:int -> int -> unit
+(** [observe t ~now v] records [v] into the window [now / width]
+    (negative [now] is clamped to 0), evicting the older window resident
+    in its ring slot if any. Callers must feed a monotone [now]; a sample
+    for a window older than the slot's resident is dropped as stale. *)
+
+val merge : into:t -> t -> unit
+(** Quiescence-point merge: fold every occupied window of [src] into
+    [into], then reset [src] (drain semantics — a second merge adds
+    nothing). Slots resolve by the largest-window-index rule, so merge
+    order across shards cannot change the result.
+    @raise Invalid_argument if [width] or [slots] differ. *)
+
+val snapshot : t -> t
+(** Non-draining deep copy, for live scrapers. Safe to take while the
+    owner writes, with the same torn-free-per-field / no-cross-field
+    consistency model as {!Shards}. *)
+
+val reset : t -> unit
+
+val windows : t -> (int * Histogram.t) list
+(** Occupied windows as [(window index, histogram)], oldest first. The
+    histograms are live ring entries — read-only views. *)
+
+val latest : t -> int
+(** Largest window index seen, [-1] when empty. *)
+
+val series : t -> q:float -> (int * int) list
+(** [(window index, q-quantile)] per occupied window, oldest first. *)
+
+val to_json : t -> Json.value

@@ -507,6 +507,17 @@ let fancy_spec =
       OL.Bursty
         { rate_lo = 0.5; rate_hi = 6.0; switch_lo = 0.1; switch_hi = 0.2 };
     sc_service = OL.Bimodal { short = 100; long = 1800; p_long = 0.05 };
+    sc_slo =
+      Some
+        {
+          Scenarios.slo_p99_sojourn = Some 4000;
+          slo_max_drop_rate = Some 0.05;
+          slo_qwait_p99 = Some 900;
+          slo_dispatch_p99 = None;
+          slo_service_p99 = Some 3500;
+          slo_window = 4096;
+          slo_window_slots = 8;
+        };
   }
 
 let test_open_spec_roundtrip () =
@@ -642,6 +653,81 @@ let test_overload_report_validates () =
   checkb "non-monotone percentiles rejected" true
     (Result.is_error (Exp_overload.validate corrupt))
 
+(* Native SLO verdicts over a synthetic replay result: deterministic check
+   of the tick-to-ns budget conversion, the relative window indexing, and
+   the pass/fail logic, without a wallclock run. *)
+let test_native_verdicts () =
+  let module H = Telemetry.Histogram in
+  let module W = Telemetry.Windowed in
+  let spec =
+    { Scenarios.default_open_spec with Scenarios.sc_tick_ns = 100 }
+  in
+  let slo =
+    {
+      Scenarios.default_slo with
+      Scenarios.slo_p99_sojourn = Some 10 (* 1000 ns after conversion *);
+      slo_qwait_p99 = Some 5 (* 500 ns *);
+      slo_max_drop_rate = Some 0.1;
+    }
+  in
+  let h v =
+    let h = H.create () in
+    H.observe h v;
+    h
+  in
+  let windows = W.create ~slots:4 ~width:(10 * 100) () in
+  W.observe windows ~now:500 800 (* p99 800 <= 1000: ok *);
+  W.observe windows ~now:1500 2000 (* p99 2000 > 1000: violation *);
+  let r =
+    {
+      Exp_native.sn_injected = 9;
+      sn_dropped = 1;
+      sn_completed = 9;
+      sn_elapsed = 0.001;
+      sn_p50_ns = 800;
+      sn_p99_ns = 2000;
+      sn_p999_ns = 2000;
+      sn_sojourn = h 800;
+      sn_peak_injector = 1;
+      sn_steals = 0;
+      sn_injector_runs = 9;
+      sn_parks = 0;
+      sn_qwait = h 200 (* p99 255 <= 500: ok *);
+      sn_dispatch = h 1;
+      sn_service = h 1;
+      sn_windows = windows;
+    }
+  in
+  let vs = Exp_native.native_verdicts spec slo r in
+  (* two window rows, the qwait stage row, the drop-rate row *)
+  checki "row count" 4 (List.length vs);
+  checkb "the late window fails the sojourn budget" false
+    (Scenarios.verdicts_ok vs);
+  (match vs with
+  | w0 :: w1 :: q :: d :: [] ->
+      checkb "first window ok" true w0.Scenarios.vd_ok;
+      Alcotest.(check string)
+        "window indices are relative" "0" w0.Scenarios.vd_window;
+      Alcotest.(check string)
+        "budget converted to ns" "1000" w0.Scenarios.vd_budget;
+      checkb "second window violates" false w1.Scenarios.vd_ok;
+      Alcotest.(check string) "relative index 1" "1" w1.Scenarios.vd_window;
+      checkb "qwait within budget" true q.Scenarios.vd_ok;
+      Alcotest.(check string)
+        "qwait budget in ns" "500" q.Scenarios.vd_budget;
+      checkb "drop rate 1/10 within 0.1" true d.Scenarios.vd_ok
+  | _ -> Alcotest.fail "unexpected verdict shape")
+
+(* The steal-delay stage only exists as a lineage join: the flight
+   recorder's steal-forcing probe guarantees stolen tasks, and every
+   stolen lineage must yield one non-negative spawn-to-run delay. *)
+let test_steal_delay_join () =
+  let module H = Telemetry.Histogram in
+  let recorder = Exp_native.flight_probe ~domains:2 ~rounds:4 () in
+  let h = Exp_native.steal_delay_of_flight recorder in
+  checkb "every forced steal contributes a delay" true (H.total h >= 4);
+  checki "no negative delays" 0 (H.negative h)
+
 let () =
   Alcotest.run "harness"
     [
@@ -702,6 +788,13 @@ let () =
             test_open_spec_validates;
           Alcotest.test_case "overload report validates" `Quick
             test_overload_report_validates;
+        ] );
+      ( "native-slo",
+        [
+          Alcotest.test_case "verdict conversion and judging" `Quick
+            test_native_verdicts;
+          Alcotest.test_case "steal-delay lineage join" `Quick
+            test_steal_delay_join;
         ] );
       ( "delta-analysis",
         [

@@ -454,6 +454,54 @@ let test_pool_scrape () =
        0 snap.Pool.slot_latencies);
   Pool.shutdown pool
 
+(* Stage attribution: every cell executed by a worker contributes exactly
+   one observation to each of the three stage histograms (qwait, dispatch,
+   service), the rotating sojourn ring carries the same mass, and no stage
+   ever goes negative (the four stamps come from one monotonic clock). *)
+let test_pool_stage_attribution () =
+  let module H = Telemetry.Histogram in
+  let module W = Telemetry.Windowed in
+  let pool =
+    Pool.create ~domains:1 ~attribution:true ~window_ns:1_000_000_000
+      ~window_slots:4 ()
+  in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 50 do
+    ignore (Pool.submit pool (fun () -> Atomic.incr ran))
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get ran < 50 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  checki "all submissions ran" 50 (Atomic.get ran);
+  let qw, dp, sv = Pool.stage_hists pool in
+  checki "one qwait observation per cell" 50 (H.total qw);
+  checki "one dispatch observation per cell" 50 (H.total dp);
+  checki "one service observation per cell" 50 (H.total sv);
+  checki "no negative qwait" 0 (H.negative qw);
+  checki "no negative dispatch" 0 (H.negative dp);
+  checki "no negative service" 0 (H.negative sv);
+  let ring = Pool.windowed_sojourn pool in
+  let mass =
+    List.fold_left (fun a (_, h) -> a + H.total h) 0 (W.windows ring)
+  in
+  checki "windowed ring carries every completion" 50 mass;
+  let snap = Pool.scrape pool in
+  checki "scrape exports the stage plane" 50
+    (Array.fold_left (fun a h -> a + H.total h) 0 snap.Pool.slot_qwait);
+  checki "scrape exports the window ring" 50
+    (List.fold_left
+       (fun a (_, h) -> a + H.total h)
+       0
+       (W.windows snap.Pool.snap_windows));
+  (* a plain pool keeps the whole plane empty — the off-path is free *)
+  let plain = Pool.create ~domains:1 () in
+  ignore (Pool.submit plain (fun () -> ()));
+  Pool.shutdown plain;
+  let pq, _, _ = Pool.stage_hists plain in
+  checki "no attribution without the flag" 0 (H.total pq);
+  Pool.shutdown pool
+
 (* Bounded-injector backpressure: submit is the open-system front door and
    must honor [injector_capacity]; spawn-side admission is unconditional.
    One worker is parked on a gate so admissions sit in the injector. *)
@@ -572,6 +620,8 @@ let () =
             test_pool_flight_lineage;
           Alcotest.test_case "live scrape is exact at quiescence" `Quick
             test_pool_scrape;
+          Alcotest.test_case "stage attribution covers every cell" `Quick
+            test_pool_stage_attribution;
           Alcotest.test_case "bounded injector backpressure" `Quick
             test_pool_submit_backpressure;
         ] );

@@ -111,6 +111,28 @@ let test_histogram_percentile () =
   H.observe h (-5);
   check int "negatives do not shift percentiles" 1000 (H.percentile h 0.999)
 
+let test_histogram_percentile_edges () =
+  (* empty: [percentile] answers 0 by definition, [percentile_opt] makes
+     "no data" distinguishable from "all zeros" *)
+  let h = H.create () in
+  check int "empty percentile is 0" 0 (H.percentile h 0.99);
+  check bool "empty percentile_opt is None" true (H.percentile_opt h 0.5 = None);
+  H.observe h 0;
+  check int "all-zeros percentile is also 0" 0 (H.percentile h 0.99);
+  check bool "all-zeros percentile_opt is Some 0" true
+    (H.percentile_opt h 0.99 = Some 0);
+  (* a single observation is every percentile, capped at the value *)
+  let one = H.create () in
+  H.observe one 37;
+  List.iter
+    (fun q ->
+      check int
+        (Printf.sprintf "single observation at q=%.3f" q)
+        37 (H.percentile one q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  check bool "single observation percentile_opt" true
+    (H.percentile_opt one 0.99 = Some 37)
+
 (* --- sink ------------------------------------------------------------- *)
 
 let filled_sink () =
@@ -453,6 +475,44 @@ let test_openmetrics_render () =
      # EOF\n"
     s
 
+let test_openmetrics_histogram () =
+  (* 3 zeros, one 5 ([4,8) bucket), one 20 ([16,32) bucket): cumulative
+     _bucket counts at each occupied power-of-two bound, +Inf closes at
+     the total, _count/_sum follow *)
+  let h = H.create () in
+  List.iter (H.observe h) [ 0; 0; 0; 5; 20 ];
+  let doc () =
+    OM.render
+      [ OM.histogram ~name:"ws_stage_qwait_ns" ~help:"queue wait" h ]
+  in
+  let s = doc () in
+  check string "byte-stable across renders" s (doc ());
+  check string "exact histogram exposition"
+    "# TYPE ws_stage_qwait_ns histogram\n\
+     # HELP ws_stage_qwait_ns queue wait\n\
+     ws_stage_qwait_ns_bucket{le=\"0\"} 3\n\
+     ws_stage_qwait_ns_bucket{le=\"7\"} 4\n\
+     ws_stage_qwait_ns_bucket{le=\"31\"} 5\n\
+     ws_stage_qwait_ns_bucket{le=\"+Inf\"} 5\n\
+     ws_stage_qwait_ns_count 5\n\
+     ws_stage_qwait_ns_sum 25\n\
+     # EOF\n"
+    s;
+  (* extra labels prefix le on bucket samples and ride _count/_sum too *)
+  let labelled =
+    OM.render
+      [ OM.histogram ~name:"h" ~help:"x" ~labels:[ ("slot", "2") ] h ]
+  in
+  check bool "labels prefix le" true
+    (let has needle =
+       let rec go i =
+         i + String.length needle <= String.length labelled
+         && (String.sub labelled i (String.length needle) = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "h_bucket{slot=\"2\",le=\"0\"} 3" && has "h_count{slot=\"2\"} 5")
+
 (* --- sharded counter plane ------------------------------------------- *)
 
 (* A deterministic op stream: op [i] bumps a scalar counter and observes
@@ -496,7 +556,13 @@ let test_shards_drain_semantics () =
   check string "second merge is a no-op" once (J.to_string (S.to_json root));
   Array.iter
     (fun sh -> check bool "shard reset" true (List.for_all (fun (_, v) -> v = 0) (S.fields sh)))
-    (Telemetry.Shards.sinks shards)
+    (Telemetry.Shards.sinks shards);
+  (* ...even into a different target: drained shards contribute zero *)
+  let fresh = S.create () in
+  Telemetry.Shards.merge ~into:fresh shards;
+  check string "drained shards merge as empty into a fresh sink"
+    (J.to_string (S.to_json (S.create ())))
+    (J.to_string (S.to_json fresh))
 
 let test_shards_wrap_and_clamp () =
   let shards = Telemetry.Shards.create ~n:2 in
@@ -507,7 +573,119 @@ let test_shards_wrap_and_clamp () =
   check int "id 5 wraps to shard 1" 3
     (Telemetry.Shards.shard shards 1).S.puts;
   let clamped = Telemetry.Shards.create ~n:0 in
-  check int "n <= 0 clamps to 1 shard" 1 (Telemetry.Shards.length clamped)
+  check int "n <= 0 clamps to 1 shard" 1 (Telemetry.Shards.length clamped);
+  (* a histogram observed through a wrapped id merges exactly once *)
+  H.observe (S.sb_occupancy (Telemetry.Shards.shard shards 7)) 9;
+  let root = S.create () in
+  Telemetry.Shards.merge ~into:root shards;
+  check int "wrapped-id histogram sample counted once" 1
+    (H.total (S.sb_occupancy root))
+
+(* --- windowed time series --------------------------------------------- *)
+
+module W = Telemetry.Windowed
+
+(* A deterministic stream of (now, value) observations spanning many
+   windows: now advances monotonically, values vary per step. *)
+let windowed_stream n = List.init n (fun i -> (i * 13, (i * 7 mod 97) + (i mod 3)))
+
+let test_windowed_rotation () =
+  let t = W.create ~slots:4 ~width:100 () in
+  check int "latest of empty is -1" (-1) (W.latest t);
+  check bool "empty has no windows" true (W.windows t = []);
+  W.observe t ~now:10 1;
+  W.observe t ~now:50 2;
+  W.observe t ~now:150 3;
+  check int "two windows live" 2 (List.length (W.windows t));
+  check int "latest" 1 (W.latest t);
+  (* window 4 maps to slot 0 and evicts window 0; window 1 survives *)
+  W.observe t ~now:420 9;
+  let ws = List.map fst (W.windows t) in
+  check bool "window 0 evicted by window 4" true (ws = [ 1; 4 ]);
+  check int "evicting slot starts fresh" 1
+    (H.total (List.assoc 4 (W.windows t)));
+  (* per-window percentiles: window 1 saw only 3 *)
+  check bool "series q=0.5" true (W.series t ~q:0.5 = [ (1, 3); (4, 9) ]);
+  (* negative now clamps to window 0 *)
+  let n = W.create ~slots:2 ~width:10 () in
+  W.observe n ~now:(-5) 7;
+  check bool "negative now lands in window 0" true
+    (List.map fst (W.windows n) = [ 0 ])
+
+let test_windowed_partition_independence () =
+  (* one ring sees the whole stream; k rings see it partitioned round-robin
+     by an arbitrary key; merged bytes must match for every k *)
+  let stream = windowed_stream 500 in
+  let single = W.create ~slots:8 ~width:64 () in
+  List.iter (fun (now, v) -> W.observe single ~now v) stream;
+  let expect = J.to_string ~indent:true (W.to_json single) in
+  List.iter
+    (fun k ->
+      let rings = Array.init k (fun _ -> W.create ~slots:8 ~width:64 ()) in
+      List.iteri
+        (fun i (now, v) -> W.observe rings.(i * 11 mod k) ~now v)
+        stream;
+      let merged = W.create ~slots:8 ~width:64 () in
+      Array.iter (fun r -> W.merge ~into:merged r) rings;
+      check string
+        (Printf.sprintf "merged JSON byte-identical at %d shards" k)
+        expect
+        (J.to_string ~indent:true (W.to_json merged)))
+    [ 1; 2; 4; 8 ];
+  (* merge order cannot matter either: reversed shard order, same bytes *)
+  let rings = Array.init 4 (fun _ -> W.create ~slots:8 ~width:64 ()) in
+  List.iteri (fun i (now, v) -> W.observe rings.(i mod 4) ~now v) stream;
+  let merged = W.create ~slots:8 ~width:64 () in
+  for i = 3 downto 0 do
+    W.merge ~into:merged rings.(i)
+  done;
+  check string "reverse merge order, same bytes" expect
+    (J.to_string ~indent:true (W.to_json merged))
+
+let test_windowed_drain_and_snapshot () =
+  let src = W.create ~slots:4 ~width:50 () in
+  List.iter (fun (now, v) -> W.observe src ~now v) (windowed_stream 40);
+  let snap = W.snapshot src in
+  check string "snapshot equals source"
+    (J.to_string (W.to_json src))
+    (J.to_string (W.to_json snap));
+  (* snapshot does not drain: source still renders the same *)
+  let before = J.to_string (W.to_json src) in
+  let root = W.create ~slots:4 ~width:50 () in
+  W.merge ~into:root src;
+  check string "merge moved everything" before (J.to_string (W.to_json root));
+  check bool "merge drained the source" true (W.windows src = []);
+  W.merge ~into:root src;
+  check string "second merge is a no-op" before (J.to_string (W.to_json root));
+  (* snapshot is deep: mutating it leaves the (drained) source alone *)
+  W.observe snap ~now:0 1;
+  check bool "snapshot mutation invisible to source" true (W.windows src = [])
+
+let test_windowed_stale_and_mismatch () =
+  let t = W.create ~slots:2 ~width:10 () in
+  W.observe t ~now:35 5;
+  (* window 1 maps to slot 1; window 3 owns it now, so this is stale *)
+  W.observe t ~now:15 7;
+  check bool "stale sample dropped" true
+    (List.map fst (W.windows t) = [ 3 ])
+    ;
+  check int "stale sample did not pollute" 1
+    (H.total (List.assoc 3 (W.windows t)));
+  (* a lagging shard merges its stale window away, a leading one evicts *)
+  let lag = W.create ~slots:2 ~width:10 () in
+  W.observe lag ~now:15 7;
+  W.merge ~into:t lag;
+  check bool "lagging shard's stale window dropped on merge" true
+    (List.map fst (W.windows t) = [ 3 ]);
+  Alcotest.check_raises "width mismatch rejected"
+    (Invalid_argument "Windowed.merge: width/slots mismatch") (fun () ->
+      W.merge ~into:t (W.create ~slots:2 ~width:20 ()));
+  Alcotest.check_raises "slots mismatch rejected"
+    (Invalid_argument "Windowed.merge: width/slots mismatch") (fun () ->
+      W.merge ~into:t (W.create ~slots:4 ~width:10 ()));
+  Alcotest.check_raises "zero width rejected"
+    (Invalid_argument "Windowed.create: width must be positive") (fun () ->
+      ignore (W.create ~width:0 ()))
 
 let () =
   Alcotest.run "telemetry"
@@ -522,6 +700,8 @@ let () =
           Alcotest.test_case "saturating sum" `Quick
             test_histogram_saturating_sum;
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "percentile empty/single edges" `Quick
+            test_histogram_percentile_edges;
         ] );
       ( "sink",
         [
@@ -556,6 +736,8 @@ let () =
         [
           Alcotest.test_case "byte-stable exposition" `Quick
             test_openmetrics_render;
+          Alcotest.test_case "histogram cumulative buckets" `Quick
+            test_openmetrics_histogram;
         ] );
       ( "shards",
         [
@@ -563,5 +745,16 @@ let () =
             test_shards_merge_equals_sequential;
           Alcotest.test_case "merge drains" `Quick test_shards_drain_semantics;
           Alcotest.test_case "wrap and clamp" `Quick test_shards_wrap_and_clamp;
+        ] );
+      ( "windowed",
+        [
+          Alcotest.test_case "rotation and eviction" `Quick
+            test_windowed_rotation;
+          Alcotest.test_case "partition independence" `Quick
+            test_windowed_partition_independence;
+          Alcotest.test_case "drain and snapshot" `Quick
+            test_windowed_drain_and_snapshot;
+          Alcotest.test_case "stale drop and mismatch" `Quick
+            test_windowed_stale_and_mismatch;
         ] );
     ]
